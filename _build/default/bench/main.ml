@@ -1,0 +1,376 @@
+(* Evaluation harness: regenerates every table and figure of the paper's
+   §8 from the simulator, plus the ablations DESIGN.md calls out and a set
+   of Bechamel micro-benchmarks of the compiler passes themselves
+   (one Test.make per experiment).
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig6    # one section
+     sections: fig6 table1 table2 fig7 ablation micro
+
+   Cycle counts are this repository's simulator, not the paper's ModelSim
+   runs; EXPERIMENTS.md records the side-by-side comparison of shapes. *)
+
+open Dae_workloads
+
+let archs =
+  [ Dae_sim.Machine.Sta; Dae_sim.Machine.Dae; Dae_sim.Machine.Spec;
+    Dae_sim.Machine.Oracle ]
+
+let simulate ?cfg arch (k : Kernels.t) =
+  let r =
+    Dae_sim.Machine.simulate ?cfg arch
+      (k.Kernels.build ())
+      ~invocations:(k.Kernels.invocations ())
+      ~mem:(k.Kernels.init_mem ())
+  in
+  (match k.Kernels.check r.Dae_sim.Machine.memory with
+  | Ok () -> ()
+  | Error msg ->
+    Fmt.failwith "%s/%s failed its reference check: %s" k.Kernels.name
+      (Dae_sim.Machine.arch_name arch)
+      msg);
+  r
+
+let harmonic_mean xs =
+  let xs = List.filter (fun x -> x > 0.) xs in
+  float_of_int (List.length xs) /. List.fold_left (fun a x -> a +. (1. /. x)) 0. xs
+
+(* --- Figure 6: speedup over STA ------------------------------------------- *)
+
+let fig6 () =
+  Fmt.pr "@.== Figure 6: performance normalized to STA (higher is better) ==@.";
+  Fmt.pr "%-6s %10s %10s %10s@." "kernel" "DAE" "SPEC" "ORACLE";
+  let speedups = ref [] in
+  List.iter
+    (fun (k : Kernels.t) ->
+      let cycles arch = float_of_int (simulate arch k).Dae_sim.Machine.cycles in
+      let sta = cycles Dae_sim.Machine.Sta in
+      let norm arch = sta /. cycles arch in
+      let spec = norm Dae_sim.Machine.Spec in
+      speedups := spec :: !speedups;
+      Fmt.pr "%-6s %9.2fx %9.2fx %9.2fx@." k.Kernels.name
+        (norm Dae_sim.Machine.Dae) spec
+        (norm Dae_sim.Machine.Oracle))
+    (Kernels.paper_suite ());
+  Fmt.pr "SPEC harmonic-mean speedup over STA: %.2fx (paper: 1.9x avg, up to 3x)@."
+    (harmonic_mean !speedups)
+
+(* --- Table 1: absolute cycles and area -------------------------------------- *)
+
+let table1 () =
+  Fmt.pr "@.== Table 1: absolute performance and area ==@.";
+  Fmt.pr "%-6s %6s %6s %8s | %10s %10s %10s %10s | %7s %7s %7s %7s@."
+    "kernel" "pblk" "pcall" "misspec" "STA" "DAE" "SPEC" "ORACLE" "aSTA"
+    "aDAE" "aSPEC" "aORA";
+  let ratios = ref ([], [], [], [], [], []) in
+  List.iter
+    (fun (k : Kernels.t) ->
+      let results = List.map (fun a -> (a, simulate a k)) archs in
+      let get a = List.assoc a results in
+      let cycles a = (get a).Dae_sim.Machine.cycles in
+      let area a = (get a).Dae_sim.Machine.area.Dae_sim.Area.total in
+      let spec = get Dae_sim.Machine.Spec in
+      let pblk, pcall =
+        match spec.Dae_sim.Machine.pipeline with
+        | Some p ->
+          ( Dae_core.Pipeline.poison_block_count p,
+            Dae_core.Pipeline.poison_call_count p )
+        | None -> (0, 0)
+      in
+      Fmt.pr "%-6s %6d %6d %7.0f%% | %10d %10d %10d %10d | %7d %7d %7d %7d@."
+        k.Kernels.name pblk pcall
+        (100. *. spec.Dae_sim.Machine.misspec_rate)
+        (cycles Dae_sim.Machine.Sta) (cycles Dae_sim.Machine.Dae)
+        (cycles Dae_sim.Machine.Spec) (cycles Dae_sim.Machine.Oracle)
+        (area Dae_sim.Machine.Sta) (area Dae_sim.Machine.Dae)
+        (area Dae_sim.Machine.Spec) (area Dae_sim.Machine.Oracle);
+      let f = float_of_int in
+      let c0 = f (cycles Dae_sim.Machine.Sta) in
+      let a0 = f (area Dae_sim.Machine.Sta) in
+      let cd, cs, co, ad, as_, ao = ratios.contents |> fun (a,b,c,d,e,g) -> (a,b,c,d,e,g) in
+      ratios :=
+        ( (f (cycles Dae_sim.Machine.Dae) /. c0) :: cd,
+          (f (cycles Dae_sim.Machine.Spec) /. c0) :: cs,
+          (f (cycles Dae_sim.Machine.Oracle) /. c0) :: co,
+          (f (area Dae_sim.Machine.Dae) /. a0) :: ad,
+          (f (area Dae_sim.Machine.Spec) /. a0) :: as_,
+          (f (area Dae_sim.Machine.Oracle) /. a0) :: ao ))
+    (Kernels.paper_suite ());
+  let cd, cs, co, ad, as_, ao = !ratios in
+  Fmt.pr
+    "Harmonic means vs STA — cycles: DAE %.2f SPEC %.2f ORACLE %.2f; area: \
+     DAE %.2f SPEC %.2f ORACLE %.2f@."
+    (harmonic_mean cd) (harmonic_mean cs) (harmonic_mean co)
+    (harmonic_mean ad) (harmonic_mean as_) (harmonic_mean ao);
+  Fmt.pr "(paper: cycles 3.2 / 0.51 / 0.48; area 1.16 / 1.42 / 1.36)@."
+
+(* --- Table 2: mis-speculation cost ------------------------------------------- *)
+
+let table2 () =
+  Fmt.pr "@.== Table 2: SPEC cycles as the mis-speculation rate changes ==@.";
+  Fmt.pr "%-6s" "kernel";
+  List.iter (fun r -> Fmt.pr " %8d%%" r) Misspec.rates;
+  Fmt.pr " %8s@." "sigma";
+  List.iter
+    (fun (name, variant) ->
+      Fmt.pr "%-6s" name;
+      let cycles =
+        List.map
+          (fun rate ->
+            let k = variant rate in
+            float_of_int (simulate Dae_sim.Machine.Spec k).Dae_sim.Machine.cycles)
+          Misspec.rates
+      in
+      List.iter (fun c -> Fmt.pr " %9.0f" c) cycles;
+      let n = float_of_int (List.length cycles) in
+      let mean = List.fold_left ( +. ) 0. cycles /. n in
+      let sigma =
+        sqrt
+          (List.fold_left (fun a c -> a +. ((c -. mean) ** 2.)) 0. cycles /. n)
+      in
+      Fmt.pr " %8.0f@." sigma)
+    [
+      ("hist", fun rate -> Misspec.hist ~rate_percent:rate ());
+      ("thr", fun rate -> Misspec.thr ~rate_percent:rate ());
+      ("mm", fun rate -> Misspec.mm ~rate_percent:rate ());
+    ];
+  Fmt.pr "(paper: no correlation between rate and cycles; sigma 16-21)@."
+
+(* --- Figure 7: nested control flow overhead ----------------------------------- *)
+
+let fig7 () =
+  Fmt.pr
+    "@.== Figure 7: SPEC overhead over ORACLE vs poison blocks (nested ifs) \
+     ==@.";
+  Fmt.pr "%-6s %6s %6s %10s %10s %10s@." "depth" "pblk" "pcall" "perf-ovh"
+    "CU-area" "AGU-area";
+  List.iter
+    (fun depth ->
+      let k = Synthetic.workload ~n:400 ~depth () in
+      let spec = simulate Dae_sim.Machine.Spec k in
+      let oracle = simulate Dae_sim.Machine.Oracle k in
+      let pblk, pcall =
+        match spec.Dae_sim.Machine.pipeline with
+        | Some p ->
+          ( Dae_core.Pipeline.poison_block_count p,
+            Dae_core.Pipeline.poison_call_count p )
+        | None -> (0, 0)
+      in
+      let pct a b = 100. *. (float_of_int a /. float_of_int b -. 1.) in
+      Fmt.pr "%-6d %6d %6d %9.1f%% %9.1f%% %9.1f%%@." depth pblk pcall
+        (pct spec.Dae_sim.Machine.cycles oracle.Dae_sim.Machine.cycles)
+        (pct spec.Dae_sim.Machine.area.Dae_sim.Area.cu
+           oracle.Dae_sim.Machine.area.Dae_sim.Area.cu)
+        (pct spec.Dae_sim.Machine.area.Dae_sim.Area.agu
+           oracle.Dae_sim.Machine.area.Dae_sim.Area.agu))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  Fmt.pr
+    "(paper: perf overhead ~0%%; CU area grows <5%% per poison block, <25%% \
+     at depth 8; AGU ~0%%)@."
+
+(* --- ablations ------------------------------------------------------------------ *)
+
+let ablation () =
+  Fmt.pr "@.== Ablation: store queue size vs SPEC cycles (§8.2.1) ==@.";
+  let g = Graph.small ~nodes:128 ~edges:1200 () in
+  let k = Kernels.bfs ~graph:g () in
+  Fmt.pr "%-6s" "SQ";
+  List.iter (fun sq -> Fmt.pr " %8d" sq) [ 2; 4; 8; 16; 32; 64 ];
+  Fmt.pr "@.%-6s" "cycles";
+  List.iter
+    (fun sq ->
+      let cfg = { Dae_sim.Config.default with Dae_sim.Config.store_queue_size = sq } in
+      Fmt.pr " %8d" (simulate ~cfg Dae_sim.Machine.Spec k).Dae_sim.Machine.cycles)
+    [ 2; 4; 8; 16; 32; 64 ];
+  Fmt.pr
+    "@.(mis-speculated allocations fill a small SQ and stall later loads — \
+     the bfs/bc SPEC-vs-ORACLE gap)@.";
+
+  Fmt.pr "@.== Ablation: FIFO latency vs DAE round trip ==@.";
+  let k = Kernels.hist () in
+  Fmt.pr "%-10s" "fifo lat";
+  List.iter (fun l -> Fmt.pr " %8d" l) [ 1; 2; 4; 8 ];
+  Fmt.pr "@.%-10s" "DAE";
+  List.iter
+    (fun l ->
+      let cfg = { Dae_sim.Config.default with Dae_sim.Config.fifo_latency = l } in
+      Fmt.pr " %8d" (simulate ~cfg Dae_sim.Machine.Dae k).Dae_sim.Machine.cycles)
+    [ 1; 2; 4; 8 ];
+  Fmt.pr "@.%-10s" "SPEC";
+  List.iter
+    (fun l ->
+      let cfg = { Dae_sim.Config.default with Dae_sim.Config.fifo_latency = l } in
+      Fmt.pr " %8d" (simulate ~cfg Dae_sim.Machine.Spec k).Dae_sim.Machine.cycles)
+    [ 1; 2; 4; 8 ];
+  Fmt.pr
+    "@.(the synchronized DAE AGU pays every extra cycle of channel latency \
+     per iteration; the speculative AGU hides it)@.";
+
+  Fmt.pr "@.== Ablation: poison-block merging (§5.3) on CU area ==@.";
+  Fmt.pr "%-8s %12s %12s %8s@." "kernel" "merged-area" "unmerged" "saved";
+  List.iter
+    (fun depth ->
+      let k = Synthetic.workload ~n:100 ~depth () in
+      let area merge =
+        let p =
+          Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Spec ~merge
+            (k.Kernels.build ())
+        in
+        (Dae_sim.Area.decoupled p).Dae_sim.Area.cu
+      in
+      let m = area true and u = area false in
+      Fmt.pr "%-8s %12d %12d %7.1f%%@."
+        (Fmt.str "nest%d" depth)
+        m u
+        (100. *. (1. -. (float_of_int m /. float_of_int u))))
+    [ 2; 4; 6 ];
+  let k = Kernels.mm ~left:40 ~right:40 ~m:200 () in
+  let area merge =
+    let p =
+      Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Spec ~merge
+        (k.Kernels.build ())
+    in
+    (Dae_sim.Area.decoupled p).Dae_sim.Area.cu
+  in
+  Fmt.pr "%-8s %12d %12d %7.1f%%@." "mm" (area true) (area false)
+    (100. *. (1. -. (float_of_int (area true) /. float_of_int (area false))));
+
+  Fmt.pr "@.== Ablation: vectorized speculative requests (paper §10) ==@.";
+  Fmt.pr "%-8s" "width";
+  List.iter (fun v -> Fmt.pr " %8d" v) [ 1; 2; 4; 8 ];
+  Fmt.pr "@.";
+  List.iter
+    (fun (name, k) ->
+      Fmt.pr "%-8s" name;
+      List.iter
+        (fun v ->
+          let cfg =
+            { Dae_sim.Config.default with Dae_sim.Config.vector_width = v }
+          in
+          Fmt.pr " %8d" (simulate ~cfg Dae_sim.Machine.Spec k).Dae_sim.Machine.cycles)
+        [ 1; 2; 4; 8 ];
+      Fmt.pr "@.")
+    [ ("thr", Kernels.thr ());
+      (* six mostly-killed store requests per iteration on one channel:
+         exactly the "vector of speculative requests + store mask" shape
+         §10 sketches — kills need no memory port, so the channel and kill
+         bandwidth are the whole story *)
+      ("nest6", Synthetic.workload ~n:500 ~depth:6 ~pass_percent:15 ());
+      ("bc", Kernels.bc ~graph:(Graph.small ~nodes:64 ~edges:400 ()) ()) ];
+  Fmt.pr
+    "(a vector of requests per cycle with a CU store mask lifts the \
+     per-channel port and kill limits; the SRAM ports stay scalar — \
+     load-port-bound kernels like thr are unaffected)@.";
+
+  Fmt.pr "@.== Ablation: partial if-conversion (§9) ==@.";
+  (* a branchy elementwise max: its diamond is pure, so if-conversion
+     flattens it to a select and drops two scheduler states *)
+  let branchy_max () =
+    let open Dae_ir in
+    let b = Builder.create ~name:"vmax" ~params:[ "n" ] in
+    let (_ : Dae_ir.Types.operand list) =
+      Builder.counted_loop b ~n:(Builder.param b "n") (fun b ~i ~carried:_ ->
+          let x = Builder.load b "xa" i in
+          let y = Builder.load b "ya" i in
+          let c = Builder.cmp b Instr.Sgt x y in
+          let m =
+            match
+              Builder.if_values b c ~tys:[ Dae_ir.Types.I32 ]
+                ~then_:(fun _ -> [ x ])
+                ~else_:(fun _ -> [ y ])
+            with
+            | [ m ] -> m
+            | _ -> assert false
+          in
+          Builder.store b "out" ~idx:i ~value:m;
+          [])
+    in
+    Builder.seal b
+  in
+  let f = branchy_max () in
+  let before_blocks = List.length f.Dae_ir.Func.layout in
+  let sta_before = Dae_sim.Sta.analyze f in
+  let flattened = Dae_ir.If_convert.run f in
+  ignore (Dae_ir.Const_fold.run f);
+  Dae_ir.Simplify.run f;
+  Dae_ir.Verify.check_exn f;
+  let sta_after = Dae_sim.Sta.analyze f in
+  Fmt.pr
+    "vmax: %d -> %d blocks (%d diamond flattened); STA pipeline depth %d -> \
+     %d; area %d -> %d@."
+    before_blocks
+    (List.length f.Dae_ir.Func.layout)
+    flattened sta_before.Dae_sim.Sta.pipeline_depth
+    sta_after.Dae_sim.Sta.pipeline_depth
+    (Dae_sim.Area.sta (branchy_max ())).Dae_sim.Area.total
+    (Dae_sim.Area.sta f).Dae_sim.Area.total
+
+(* --- Bechamel micro-benchmarks of the compiler passes --------------------------- *)
+
+let micro () =
+  Fmt.pr "@.== Compiler pass micro-benchmarks (Bechamel) ==@.";
+  let open Bechamel in
+  let open Toolkit in
+  let fig6_kernel () = (Kernels.hist ()).Kernels.build () in
+  let fig4 () =
+    (* the running example used throughout: parse cost included once *)
+    (Synthetic.workload ~n:10 ~depth:4 ()).Kernels.build ()
+  in
+  let tests =
+    [
+      (* one Test.make per experiment id: the compile work behind each *)
+      Test.make ~name:"fig6-spec-compile"
+        (Staged.stage (fun () ->
+             ignore
+               (Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Spec
+                  (fig6_kernel ()))));
+      Test.make ~name:"table1-lod-analysis"
+        (Staged.stage (fun () -> ignore (Dae_core.Lod.analyze (fig6_kernel ()))));
+      Test.make ~name:"table2-dae-compile"
+        (Staged.stage (fun () ->
+             ignore
+               (Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Dae
+                  (fig6_kernel ()))));
+      Test.make ~name:"fig7-nested-spec-compile"
+        (Staged.stage (fun () ->
+             ignore
+               (Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Spec
+                  (fig4 ()))));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let results = benchmark (Test.make_grouped ~name:"passes" ~fmt:"%s %s" tests) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Fmt.pr "%-32s %12.1f ns/run@." name est
+      | _ -> Fmt.pr "%-32s (no estimate)@." name)
+    results
+
+let () =
+  let sections =
+    match Array.to_list Sys.argv with
+    | _ :: rest when rest <> [] -> rest
+    | _ -> [ "fig6"; "table1"; "table2"; "fig7"; "ablation"; "micro" ]
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | "fig6" -> fig6 ()
+      | "table1" -> table1 ()
+      | "table2" -> table2 ()
+      | "fig7" -> fig7 ()
+      | "ablation" -> ablation ()
+      | "micro" -> micro ()
+      | other -> Fmt.epr "unknown section %s@." other)
+    sections

@@ -1,0 +1,251 @@
+(* daec — the command-line driver.
+
+     daec list                                  # benchmark kernels
+     daec analyze --kernel bfs                  # LoD report (§4)
+     daec analyze file.ir
+     daec compile --kernel hist --mode spec     # print AGU/CU slices
+     daec compile file.ir --mode dae
+     daec run --kernel hist --arch spec         # simulate + verify
+     daec run --kernel bfs --all --sq 8         # all four architectures
+
+   Files use the textual IR grammar printed by the compiler itself (see
+   examples/quickstart.exe output or lib/ir/parser.ml). *)
+
+open Cmdliner
+
+let kernels () = Dae_workloads.Kernels.paper_suite ()
+
+let load_func ~file ~kernel =
+  match (file, kernel) with
+  | Some path, None ->
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    Ok (Dae_ir.Parser.parse src, None)
+  | None, Some name -> (
+    match Dae_workloads.Kernels.by_name (kernels ()) name with
+    | Some k -> Ok (k.Dae_workloads.Kernels.build (), Some k)
+    | None ->
+      Error
+        (Fmt.str "unknown kernel %s (try `daec list')" name))
+  | Some _, Some _ -> Error "give either a file or --kernel, not both"
+  | None, None -> Error "give an IR file or --kernel NAME"
+
+(* --- common arguments ------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Textual IR file.")
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "k"; "kernel" ] ~docv:"NAME" ~doc:"Benchmark kernel name.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("dae", Dae_core.Pipeline.Dae); ("spec", Dae_core.Pipeline.Spec) ])
+        Dae_core.Pipeline.Spec
+    & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"dae (no speculation) or spec.")
+
+let arch_conv =
+  Arg.enum
+    [ ("sta", Dae_sim.Machine.Sta); ("dae", Dae_sim.Machine.Dae);
+      ("spec", Dae_sim.Machine.Spec); ("oracle", Dae_sim.Machine.Oracle) ]
+
+(* --- list ------------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (k : Dae_workloads.Kernels.t) ->
+        Fmt.pr "%-6s %s@." k.Dae_workloads.Kernels.name
+          k.Dae_workloads.Kernels.description)
+      (kernels ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark kernels.")
+    Term.(const run $ const ())
+
+(* --- analyze ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let run file kernel =
+    match load_func ~file ~kernel with
+    | Error e ->
+      Fmt.epr "%s@." e;
+      exit 2
+    | Ok (f, _) ->
+      Fmt.pr "%a@." Dae_ir.Printer.pp_func f;
+      let lod = Dae_core.Lod.analyze f in
+      Fmt.pr "%a" Dae_core.Lod.pp lod;
+      if Dae_core.Lod.has_data_lod lod then
+        Fmt.pr
+          "note: data LoD present — those operations stay synchronized@.";
+      if lod.Dae_core.Lod.chain_heads <> [] then
+        Fmt.pr "speculation will hoist requests to: %a@."
+          Fmt.(list ~sep:(any ", ") (fun ppf b -> pf ppf "bb%d" b))
+          lod.Dae_core.Lod.chain_heads
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the loss-of-decoupling analysis (paper §4).")
+    Term.(const run $ file_arg $ kernel_arg)
+
+(* --- compile ------------------------------------------------------------------- *)
+
+let compile_cmd =
+  let run file kernel mode no_merge fold if_convert phi_select licm backend =
+    match load_func ~file ~kernel with
+    | Error e ->
+      Fmt.epr "%s@." e;
+      exit 2
+    | Ok (f, _) ->
+      let p = Dae_core.Pipeline.compile ~mode ~merge:(not no_merge) f in
+      let post (g : Dae_ir.Func.t) =
+        if fold then
+          Fmt.pr "; %s: %d constant folds@." g.Dae_ir.Func.name
+            (Dae_ir.Const_fold.run g);
+        if if_convert then
+          Fmt.pr "; %s: %d diamonds flattened@." g.Dae_ir.Func.name
+            (Dae_ir.If_convert.run g);
+        if phi_select then
+          Fmt.pr "; %s: %d phis converted to selects@." g.Dae_ir.Func.name
+            (Dae_ir.Phi_to_select.run g);
+        if licm then
+          Fmt.pr "; %s: %d loop-invariant instrs hoisted@." g.Dae_ir.Func.name
+            (Dae_ir.Licm.run g);
+        if fold || if_convert || phi_select || licm then
+          Dae_ir.Verify.check_exn g
+      in
+      post p.Dae_core.Pipeline.agu;
+      post p.Dae_core.Pipeline.cu;
+      (match backend with
+      | `Ir ->
+        Fmt.pr "; == AGU ==@.%a@." Dae_ir.Printer.pp_func
+          p.Dae_core.Pipeline.agu;
+        Fmt.pr "; == CU ==@.%a@." Dae_ir.Printer.pp_func p.Dae_core.Pipeline.cu
+      | `Dot ->
+        Fmt.pr "%a@.%a@." Dae_ir.Dot.pp p.Dae_core.Pipeline.agu Dae_ir.Dot.pp
+          p.Dae_core.Pipeline.cu
+      | `Desc -> Fmt.pr "%a@." Dae_core.Desc_backend.pp
+                   (Dae_core.Desc_backend.lower p)
+      | `Cgra -> Fmt.pr "%a@." Dae_core.Cgra_backend.pp
+                   (Dae_core.Cgra_backend.lower p));
+      Fmt.pr "; %a@." Dae_core.Pipeline.pp_summary p
+  in
+  let no_merge =
+    Arg.(value & flag & info [ "no-merge" ] ~doc:"Disable poison-block merging (§5.3).")
+  in
+  let fold =
+    Arg.(value & flag & info [ "fold" ] ~doc:"Run constant folding on the slices.")
+  in
+  let if_convert =
+    Arg.(value & flag & info [ "if-convert" ]
+           ~doc:"Flatten pure diamonds in the slices (partial if-conversion).")
+  in
+  let phi_select =
+    Arg.(value & flag & info [ "phi-select" ]
+           ~doc:"Convert eligible φs to selects (§5.4).")
+  in
+  let licm =
+    Arg.(value & flag & info [ "licm" ]
+           ~doc:"Hoist loop-invariant pure instructions to preheaders.")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("ir", `Ir); ("desc", `Desc); ("cgra", `Cgra); ("dot", `Dot) ])
+          `Ir
+      & info [ "b"; "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Output form: ir (textual IR), desc (§7.1 prefetcher ISA), cgra \
+             (§7.2 stream dataflow) or dot (graphviz).")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Decouple (and optionally speculate) a kernel; print the slices.")
+    Term.(
+      const run $ file_arg $ kernel_arg $ mode_arg $ no_merge $ fold
+      $ if_convert $ phi_select $ licm $ backend)
+
+(* --- run ----------------------------------------------------------------------- *)
+
+let run_cmd =
+  let run file kernel archs all sq lq fifo_lat =
+    match load_func ~file ~kernel with
+    | Error e ->
+      Fmt.epr "%s@." e;
+      exit 2
+    | Ok (_, None) ->
+      Fmt.epr "run needs --kernel (files carry no input data)@.";
+      exit 2
+    | Ok (f, Some k) ->
+      let cfg =
+        {
+          Dae_sim.Config.default with
+          Dae_sim.Config.store_queue_size = sq;
+          load_queue_size = lq;
+          fifo_latency = fifo_lat;
+        }
+      in
+      let archs =
+        if all then
+          [ Dae_sim.Machine.Sta; Dae_sim.Machine.Dae; Dae_sim.Machine.Spec;
+            Dae_sim.Machine.Oracle ]
+        else if archs = [] then [ Dae_sim.Machine.Spec ]
+        else archs
+      in
+      Fmt.pr "%s: %s  (%a)@." k.Dae_workloads.Kernels.name
+        k.Dae_workloads.Kernels.description Dae_sim.Config.pp cfg;
+      List.iter
+        (fun arch ->
+          let r =
+            Dae_sim.Machine.simulate ~cfg arch f
+              ~invocations:(k.Dae_workloads.Kernels.invocations ())
+              ~mem:(k.Dae_workloads.Kernels.init_mem ())
+          in
+          let verdict =
+            match k.Dae_workloads.Kernels.check r.Dae_sim.Machine.memory with
+            | Ok () -> "ok"
+            | Error _ -> "WRONG RESULT"
+          in
+          Fmt.pr
+            "  %-7s %9d cycles  misspec %5.1f%%  area %6d ALMs  check: %s@."
+            (Dae_sim.Machine.arch_name arch)
+            r.Dae_sim.Machine.cycles
+            (100. *. r.Dae_sim.Machine.misspec_rate)
+            r.Dae_sim.Machine.area.Dae_sim.Area.total verdict)
+        archs
+  in
+  let archs =
+    Arg.(value & opt_all arch_conv [] & info [ "a"; "arch" ] ~docv:"ARCH"
+           ~doc:"Architecture: sta, dae, spec or oracle (repeatable).")
+  in
+  let all = Arg.(value & flag & info [ "all" ] ~doc:"Run all four architectures.") in
+  let sq =
+    Arg.(value & opt int Dae_sim.Config.default.Dae_sim.Config.store_queue_size
+         & info [ "sq" ] ~doc:"Store queue size.")
+  in
+  let lq =
+    Arg.(value & opt int Dae_sim.Config.default.Dae_sim.Config.load_queue_size
+         & info [ "lq" ] ~doc:"Load queue size.")
+  in
+  let fifo_lat =
+    Arg.(value & opt int Dae_sim.Config.default.Dae_sim.Config.fifo_latency
+         & info [ "fifo-latency" ] ~doc:"Channel latency in cycles.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate a kernel and verify against its reference.")
+    Term.(const run $ file_arg $ kernel_arg $ archs $ all $ sq $ lq $ fifo_lat)
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
+  let info =
+    Cmd.info "daec" ~version:"1.0.0"
+      ~doc:"Speculative decoupled access/execute compiler and simulator."
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; analyze_cmd; compile_cmd; run_cmd ]))

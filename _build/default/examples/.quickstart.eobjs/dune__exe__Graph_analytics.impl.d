@@ -1,0 +1,1 @@
+examples/graph_analytics.ml: Array Dae_core Dae_sim Dae_workloads Fmt Graph Kernels List Sys

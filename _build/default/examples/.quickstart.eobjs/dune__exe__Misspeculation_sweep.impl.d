@@ -1,0 +1,1 @@
+examples/misspeculation_sweep.ml: Dae_sim Dae_workloads Fmt Kernels List Misspec

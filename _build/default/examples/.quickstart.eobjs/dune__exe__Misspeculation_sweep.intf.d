@@ -1,0 +1,1 @@
+examples/misspeculation_sweep.mli:

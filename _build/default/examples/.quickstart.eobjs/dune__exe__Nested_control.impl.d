@@ -1,0 +1,1 @@
+examples/nested_control.ml: Dae_core Dae_ir Dae_sim Dae_workloads Fmt Kernels List Synthetic

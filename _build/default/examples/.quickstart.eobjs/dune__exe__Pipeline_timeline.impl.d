@@ -1,0 +1,1 @@
+examples/pipeline_timeline.ml: Array Builder Dae_core Dae_ir Dae_sim Exec Fmt Instr Interp List String Timing Trace Types

@@ -1,0 +1,1 @@
+examples/prefetcher_isa.ml: Dae_core Dae_ir Dae_workloads Fmt Kernels

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Dae_core Dae_ir Dae_sim Fmt Instr Interp List Printer Types

@@ -1,0 +1,64 @@
+(* Mis-speculation cost sweep (the paper's Table 2 as an interactive
+   example): instrument thr/hist/mm inputs from 0% to 100% kill rate and
+   watch SPEC cycle counts stay flat — there are no replays, so a wrong
+   guess costs nothing beyond its (pre-allocated) store-queue slot.
+
+   The second half shows where that slot *does* start to matter: shrink
+   the store queue and the mis-speculation rate becomes visible, which is
+   exactly the paper's §8.2.1 explanation of the bfs/bc gap.
+
+     dune exec examples/misspeculation_sweep.exe *)
+
+open Dae_workloads
+
+let run ?cfg (k : Kernels.t) =
+  let r =
+    Dae_sim.Machine.simulate ?cfg Dae_sim.Machine.Spec
+      (k.Kernels.build ())
+      ~invocations:(k.Kernels.invocations ())
+      ~mem:(k.Kernels.init_mem ())
+  in
+  (match k.Kernels.check r.Dae_sim.Machine.memory with
+  | Ok () -> ()
+  | Error m -> Fmt.failwith "%s: %s" k.Kernels.name m);
+  r
+
+let () =
+  Fmt.pr "== SPEC cycles vs targeted mis-speculation rate ==@.";
+  Fmt.pr "%-6s" "rate";
+  List.iter (fun r -> Fmt.pr " %8d%%" r) Misspec.rates;
+  Fmt.pr "@.";
+  List.iter
+    (fun (name, make) ->
+      Fmt.pr "%-6s" name;
+      List.iter
+        (fun rate ->
+          let r = run (make rate) in
+          Fmt.pr " %9d" r.Dae_sim.Machine.cycles)
+        Misspec.rates;
+      Fmt.pr "@.%-6s" "";
+      List.iter
+        (fun rate ->
+          let r = run (make rate) in
+          Fmt.pr "  (%5.0f%%)" (100. *. r.Dae_sim.Machine.misspec_rate))
+        Misspec.rates;
+      Fmt.pr "  <- measured rate@.")
+    [
+      ("hist", fun rate -> Misspec.hist ~rate_percent:rate ());
+      ("thr", fun rate -> Misspec.thr ~rate_percent:rate ());
+      ("mm", fun rate -> Misspec.mm ~rate_percent:rate ());
+    ];
+
+  Fmt.pr
+    "@.== ...until the store queue is too small to hold the doomed \
+     allocations ==@.";
+  Fmt.pr "%-14s %10s %10s %10s@." "store queue" "0% kill" "50% kill"
+    "100% kill";
+  List.iter
+    (fun sq ->
+      let cfg =
+        { Dae_sim.Config.default with Dae_sim.Config.store_queue_size = sq }
+      in
+      let cycles rate = (run ~cfg (Misspec.hist ~rate_percent:rate ())).Dae_sim.Machine.cycles in
+      Fmt.pr "%-14d %10d %10d %10d@." sq (cycles 0) (cycles 50) (cycles 100))
+    [ 1; 2; 4; 32 ]

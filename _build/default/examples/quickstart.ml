@@ -1,0 +1,64 @@
+(* Quickstart: build the paper's running example `if (A[i] > 0) A[i] = 0`,
+   watch the speculation transformation restore decoupling, and run all
+   four evaluated architectures on it.
+
+     dune exec examples/quickstart.exe *)
+
+open Dae_ir
+
+let () =
+  (* 1. Build the kernel with the structured IR builder. *)
+  let b = Builder.create ~name:"running_example" ~params:[ "n" ] in
+  let (_ : Types.operand list) =
+    Builder.counted_loop b ~n:(Builder.param b "n") (fun b ~i ~carried:_ ->
+        let v = Builder.load b "A" i in
+        let above = Builder.cmp b Instr.Sgt v (Builder.int 0) in
+        Builder.if_ b above
+          ~then_:(fun b -> Builder.store b "A" ~idx:i ~value:(Builder.int 0))
+          ();
+        [])
+  in
+  let f = Builder.seal b in
+  Fmt.pr "== original kernel ==@.%a@." Printer.pp_func f;
+
+  (* 2. The loss-of-decoupling analysis (paper §4): the store is
+     control-dependent on a branch that loads the stored array. *)
+  let lod = Dae_core.Lod.analyze f in
+  Fmt.pr "== LoD analysis ==@.%a@." Dae_core.Lod.pp lod;
+
+  (* 3. Plain DAE decoupling (§3.2) loses decoupling: the AGU has to
+     consume the load value to decide whether to send the store address. *)
+  let dae = Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Dae f in
+  Fmt.pr "== DAE (no speculation): AGU is synchronized ==@.%a@."
+    Printer.pp_func dae.Dae_core.Pipeline.agu;
+
+  (* 4. With speculation (§5) the AGU runs free and the CU poisons
+     mis-speculations — the paper's Figure 1(c). *)
+  let spec = Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Spec f in
+  Fmt.pr "== SPEC: AGU fully decoupled ==@.%a@." Printer.pp_func
+    spec.Dae_core.Pipeline.agu;
+  Fmt.pr "== SPEC: CU with poison calls ==@.%a@." Printer.pp_func
+    spec.Dae_core.Pipeline.cu;
+
+  (* 5. Simulate. Every decoupled run is checked against the sequential
+     interpreter (final memory + commit order) and the AGU/CU streams are
+     checked against each other (Lemma 6.1). *)
+  let n = 64 in
+  let data =
+    Array.init n (fun k -> if k mod 3 = 0 then k + 1 else -k)
+  in
+  Fmt.pr "== simulation (%d iterations) ==@." n;
+  List.iter
+    (fun arch ->
+      let r =
+        Dae_sim.Machine.simulate arch f
+          ~invocations:[ [ ("n", Types.Vint n) ] ]
+          ~mem:(Interp.Memory.create [ ("A", data) ])
+      in
+      Fmt.pr "  %-7s %6d cycles  (mis-speculation %.0f%%, area %d ALMs)@."
+        (Dae_sim.Machine.arch_name arch)
+        r.Dae_sim.Machine.cycles
+        (100. *. r.Dae_sim.Machine.misspec_rate)
+        r.Dae_sim.Machine.area.Dae_sim.Area.total)
+    [ Dae_sim.Machine.Sta; Dae_sim.Machine.Dae; Dae_sim.Machine.Spec;
+      Dae_sim.Machine.Oracle ]

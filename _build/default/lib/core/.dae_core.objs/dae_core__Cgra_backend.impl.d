@@ -1,0 +1,1 @@
+lib/core/cgra_backend.ml: Block Dae_ir Fmt Func Hashtbl Instr List Loops Pipeline String Types

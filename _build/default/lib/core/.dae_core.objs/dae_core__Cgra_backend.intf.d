@@ -1,0 +1,1 @@
+lib/core/cgra_backend.mli: Dae_ir Format Hashtbl Pipeline

@@ -1,0 +1,1 @@
+lib/core/decouple.ml: Block Dae_ir Defuse Func Hashtbl Instr List Lod Queue Simplify Types

@@ -1,0 +1,1 @@
+lib/core/decouple.mli: Dae_ir Func Instr

@@ -1,0 +1,1 @@
+lib/core/desc_backend.ml: Block Dae_ir Fmt Func Instr List Pipeline String Types

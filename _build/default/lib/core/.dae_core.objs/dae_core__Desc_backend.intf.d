@@ -1,0 +1,1 @@
+lib/core/desc_backend.mli: Dae_ir Format Pipeline

@@ -1,0 +1,1 @@
+lib/core/hoist.ml: Block Dae_ir Defuse Dom Fmt Func Hashtbl Instr List Lod Loops Order Ssa_repair Types

@@ -1,0 +1,1 @@
+lib/core/hoist.mli: Dae_ir Format Func Instr Lod

@@ -1,0 +1,1 @@
+lib/core/lod.ml: Block Control_dep Dae_ir Defuse Fmt Func Hashtbl Instr List Types

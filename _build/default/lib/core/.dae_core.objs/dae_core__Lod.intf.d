@@ -1,0 +1,1 @@
+lib/core/lod.mli: Control_dep Dae_ir Format Func Instr

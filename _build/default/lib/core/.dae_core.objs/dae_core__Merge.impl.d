@@ -1,0 +1,1 @@
+lib/core/merge.ml: Block Dae_ir Func Hashtbl Instr List

@@ -1,0 +1,1 @@
+lib/core/merge.mli: Block Dae_ir Func Instr

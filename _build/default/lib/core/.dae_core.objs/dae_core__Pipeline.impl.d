@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Dae_ir Decouple Fmt Func Hoist Instr List Lod Logs Loop_canon Loops Merge Node_split Poison Spec_load Verify

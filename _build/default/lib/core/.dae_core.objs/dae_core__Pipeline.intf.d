@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Dae_ir Decouple Format Func Hoist Instr Lod Poison Spec_load

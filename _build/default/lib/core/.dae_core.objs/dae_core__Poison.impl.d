@@ -1,0 +1,1 @@
+lib/core/poison.ml: Block Dae_ir Dom Func Hashtbl Hoist Instr List Loops Reach Steer

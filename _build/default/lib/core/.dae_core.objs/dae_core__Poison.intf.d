@@ -1,0 +1,1 @@
+lib/core/poison.mli: Dae_ir Func Hoist Loops

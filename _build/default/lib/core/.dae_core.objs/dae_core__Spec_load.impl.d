@@ -1,0 +1,1 @@
+lib/core/spec_load.ml: Block Dae_ir Func Hashtbl Hoist Instr List Ssa_repair Types

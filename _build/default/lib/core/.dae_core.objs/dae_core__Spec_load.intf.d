@@ -1,0 +1,1 @@
+lib/core/spec_load.mli: Dae_ir Func Hoist

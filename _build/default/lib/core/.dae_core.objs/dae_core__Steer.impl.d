@@ -1,0 +1,1 @@
+lib/core/steer.ml: Block Dae_ir Dom Func Hashtbl List Loops Reach Types

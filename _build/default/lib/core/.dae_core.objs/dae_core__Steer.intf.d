@@ -1,0 +1,1 @@
+lib/core/steer.mli: Dae_ir Func Types

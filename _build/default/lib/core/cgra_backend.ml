@@ -1,0 +1,219 @@
+(* Stream-dataflow CGRA lowering (paper §7.2).
+
+   The CGRA of Nowatzki et al. (ISCA'17, "stream-dataflow acceleration")
+   decouples address generation into stream commands at compile time; all
+   communication is FIFO-based, control flow is handled with predication,
+   and an SD_Clean_Port command throws away a value from an output port —
+   the paper points at it as the predicated-store hook our poison maps to.
+
+   This backend lowers a compiled pipeline to that model:
+
+   - the AGU becomes a list of stream commands (SD_Mem_Port / SD_Port_Mem),
+     each carrying the predicate under which its requests issue — after
+     speculation these predicates are [1] (always), which is the §7.2
+     claim: the transformation removes LoD when mapping to CGRAs;
+   - the CU becomes a predicated dataflow graph: one node per instruction,
+     predicates derived from the path conditions of its block; poison
+     lowers to SD_Clean_Port under the mis-speculation predicate.
+
+   Predicates are produced symbolically (this is a code generator, not an
+   executor): the predicate of a block is the disjunction over incoming
+   edges of [pred(src) ∧ edge condition]. *)
+
+open Dae_ir
+
+type predicate = string (* symbolic, e.g. "1", "(r5 & !r9)" *)
+
+type stream_command = {
+  cmd : string; (* SD_Mem_Port (loads) / SD_Port_Mem (stores) *)
+  array : string;
+  address : string;
+  port : int; (* the mem id doubles as the port number *)
+  predicate : predicate;
+}
+
+type df_node = {
+  node_op : string;
+  node_dest : string;
+  node_args : string list;
+  node_pred : predicate;
+}
+
+type t = {
+  streams : stream_command list; (* the AGU, as stream commands *)
+  dataflow : df_node list; (* the CU, as a predicated dataflow graph *)
+  clean_ports : int; (* number of SD_Clean_Port nodes (poisons) *)
+  fully_decoupled : bool; (* every stream command unconditional? *)
+}
+
+let reg v = Fmt.str "r%d" v
+
+let operand = function
+  | Types.Var v -> reg v
+  | Types.Cst (Types.Int n) -> string_of_int n
+  | Types.Cst (Types.Bool b) -> if b then "1" else "0"
+
+(* Symbolic path predicates per block, over the loop-body DAG. The loop
+   header (and anything executed every iteration) gets "1". *)
+let block_predicates (f : Func.t) : (int, predicate) Hashtbl.t =
+  let loops = Loops.compute f in
+  let preds_tbl = Func.predecessors f in
+  let result : (int, predicate) Hashtbl.t = Hashtbl.create 16 in
+  let conj a b = if a = "1" then b else if b = "1" then a else a ^ " & " ^ b in
+  let edge_condition src dst =
+    (* a loop header's branch into its own body is the trip condition, not
+       a per-iteration predicate: stream commands and dataflow nodes fire
+       once per iteration unconditionally *)
+    let header_into_body =
+      Loops.is_header loops src
+      &&
+      match Loops.loop_of_header loops src with
+      | Some l -> List.mem dst l.Loops.body
+      | None -> false
+    in
+    if header_into_body then "1"
+    else
+      match (Func.block f src).Block.term with
+      | Block.Br _ -> "1"
+      | Block.Cond_br (c, yes, no) ->
+      if yes = dst && no = dst then "1"
+      else if yes = dst then operand c
+      else "!" ^ operand c
+    | Block.Switch (c, targets) ->
+      let hits =
+        List.filteri (fun _ t -> t = dst) targets |> List.length
+      in
+      if hits = List.length targets then "1"
+      else
+        String.concat " | "
+          (List.concat
+             (List.mapi
+                (fun k t ->
+                  if t = dst then [ Fmt.str "%s==%d" (operand c) k ] else [])
+                targets))
+    | Block.Ret _ -> "1"
+  in
+  let rec pred bid =
+    match Hashtbl.find_opt result bid with
+    | Some p -> p
+    | None ->
+      (* break recursion at loop headers and the entry: both execute
+         unconditionally within their scope *)
+      if bid = f.Func.entry || Loops.is_header loops bid then begin
+        Hashtbl.replace result bid "1";
+        "1"
+      end
+      else begin
+        Hashtbl.replace result bid "1" (* defensive cycle cut *);
+        let incoming =
+          List.filter_map
+            (fun p ->
+              if Loops.is_backedge loops ~src:p ~dst:bid then None
+              else Some (conj (pred p) (edge_condition p bid)))
+            (try Hashtbl.find preds_tbl bid with Not_found -> [])
+        in
+        let p =
+          match List.sort_uniq compare incoming with
+          | [] -> "1"
+          | [ one ] -> one
+          | many ->
+            if List.mem "1" many then "1"
+            else "(" ^ String.concat ") | (" many ^ ")"
+        in
+        Hashtbl.replace result bid p;
+        p
+      end
+  in
+  List.iter (fun bid -> ignore (pred bid)) f.Func.layout;
+  result
+
+let lower_agu (agu : Func.t) : stream_command list * bool =
+  let preds = block_predicates agu in
+  let commands = ref [] in
+  List.iter
+    (fun bid ->
+      let p = try Hashtbl.find preds bid with Not_found -> "1" in
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.kind with
+          | Instr.Send_ld_addr { arr; idx; mem } ->
+            commands :=
+              { cmd = "SD_Mem_Port"; array = arr; address = operand idx;
+                port = mem; predicate = p }
+              :: !commands
+          | Instr.Send_st_addr { arr; idx; mem } ->
+            commands :=
+              { cmd = "SD_Port_Mem"; array = arr; address = operand idx;
+                port = mem; predicate = p }
+              :: !commands
+          | _ -> ())
+        (Func.block agu bid).Block.instrs)
+    agu.Func.layout;
+  let cmds = List.rev !commands in
+  (cmds, List.for_all (fun c -> c.predicate = "1") cmds)
+
+let lower_cu (cu : Func.t) : df_node list * int =
+  let preds = block_predicates cu in
+  let nodes = ref [] in
+  let cleans = ref 0 in
+  let emit node_op node_dest node_args node_pred =
+    nodes := { node_op; node_dest; node_args; node_pred } :: !nodes
+  in
+  List.iter
+    (fun bid ->
+      let p = try Hashtbl.find preds bid with Not_found -> "1" in
+      let b = Func.block cu bid in
+      List.iter
+        (fun (phi : Block.phi) ->
+          emit "PHI" (reg phi.Block.pid)
+            (List.map (fun (src, op) -> Fmt.str "bb%d:%s" src (operand op))
+               phi.Block.incoming)
+            p)
+        b.Block.phis;
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.kind with
+          | Instr.Binop (op, a, b') ->
+            emit (Instr.string_of_binop op) (reg i.Instr.id)
+              [ operand a; operand b' ] p
+          | Instr.Cmp (c, a, b') ->
+            emit ("cmp_" ^ Instr.string_of_cmp c) (reg i.Instr.id)
+              [ operand a; operand b' ] p
+          | Instr.Select (c, a, b') ->
+            emit "sel" (reg i.Instr.id) [ operand c; operand a; operand b' ] p
+          | Instr.Not a -> emit "not" (reg i.Instr.id) [ operand a ] p
+          | Instr.Consume_val { mem; _ } ->
+            emit "SD_Port_Read" (reg i.Instr.id) [ Fmt.str "port%d" mem ] p
+          | Instr.Produce_val { value; mem; _ } ->
+            emit "SD_Port_Write" (Fmt.str "port%d" mem) [ operand value ] p
+          | Instr.Poison { mem; _ } ->
+            incr cleans;
+            emit "SD_Clean_Port" (Fmt.str "port%d" mem) [] p
+          | Instr.Load _ | Instr.Store _ | Instr.Send_ld_addr _
+          | Instr.Send_st_addr _ ->
+            ())
+        b.Block.instrs)
+    cu.Func.layout;
+  (List.rev !nodes, !cleans)
+
+let lower (p : Pipeline.t) : t =
+  let streams, fully_decoupled = lower_agu p.Pipeline.agu in
+  let dataflow, clean_ports = lower_cu p.Pipeline.cu in
+  { streams; dataflow; clean_ports; fully_decoupled }
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "; === stream commands (AGU) ===@.";
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "  %-12s %s[%s] -> port%d  [pred: %s]@." c.cmd c.array
+        c.address c.port c.predicate)
+    t.streams;
+  Fmt.pf ppf "; === predicated dataflow (CU) ===@.";
+  List.iter
+    (fun n ->
+      Fmt.pf ppf "  %-14s %s <- %s  [pred: %s]@." n.node_op n.node_dest
+        (String.concat ", " n.node_args)
+        n.node_pred)
+    t.dataflow;
+  Fmt.pf ppf "; %d SD_Clean_Port node(s); streams %s@." t.clean_ports
+    (if t.fully_decoupled then "fully decoupled" else "predicated")

@@ -1,0 +1,35 @@
+(** Stream-dataflow CGRA lowering (paper §7.2, after Nowatzki et al.'s
+    stream-dataflow ISA): the AGU becomes stream commands with symbolic
+    issue predicates — all [1] once speculation removed the LoD — and the
+    CU becomes a predicated dataflow graph in which every poison lowers to
+    an [SD_Clean_Port] node. *)
+
+type predicate = string
+
+type stream_command = {
+  cmd : string;
+  array : string;
+  address : string;
+  port : int;
+  predicate : predicate;
+}
+
+type df_node = {
+  node_op : string;
+  node_dest : string;
+  node_args : string list;
+  node_pred : predicate;
+}
+
+type t = {
+  streams : stream_command list;
+  dataflow : df_node list;
+  clean_ports : int;
+  fully_decoupled : bool;
+}
+
+(** Symbolic path predicate per block over the loop-body DAG. *)
+val block_predicates : Dae_ir.Func.t -> (int, predicate) Hashtbl.t
+
+val lower : Pipeline.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,181 @@
+(* The standard DAE decoupling transformation (paper §3.2).
+
+   Both slices start as clones of the original function (same block ids —
+   the speculation passes rely on this), with memory operations rewritten:
+
+     AGU:  load  -> send_ld_addr  +  consume_val (kept only if the AGU
+                                     slice itself needs the value; a
+                                     surviving consume is precisely a
+                                     loss-of-decoupling synchronization)
+           store -> send_st_addr
+     CU:   load  -> consume_val
+           store -> produce_val
+
+   Cleanup (slice DCE + CFG simplification) is NOT performed here: the
+   speculation passes must run on the un-simplified slices first. Call
+   [cleanup] afterwards (Pipeline does). *)
+
+open Dae_ir
+
+type channel_use = { mem : Instr.mem_id; arr : string; is_store : bool }
+
+type t = {
+  original : Func.t;
+  agu : Func.t;
+  cu : Func.t;
+  channels : channel_use list; (* one per decoupled memory op *)
+}
+
+(* Rewrite one slice. [keep_value_as] says whether the rewritten load keeps
+   a value-producing consume carrying the original instruction id. *)
+let rewrite_slice (f : Func.t) ~(mode : [ `Agu | `Cu ]) : unit =
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      b.Block.instrs <-
+        List.concat_map
+          (fun (i : Instr.t) ->
+            match i.Instr.kind, mode with
+            | Instr.Load { arr; idx; mem }, `Agu ->
+              (* The send gets a fresh id; the consume keeps the load's id so
+                 that AGU-side uses (branch conditions, address chains) still
+                 resolve. Slice DCE removes the consume when unused. *)
+              [
+                { Instr.id = Func.fresh_vid f;
+                  kind = Instr.Send_ld_addr { arr; idx; mem } };
+                { Instr.id = i.Instr.id; kind = Instr.Consume_val { arr; mem } };
+              ]
+            | Instr.Load { arr; mem; _ }, `Cu ->
+              [ { Instr.id = i.Instr.id; kind = Instr.Consume_val { arr; mem } } ]
+            | Instr.Store { arr; idx; mem; _ }, `Agu ->
+              [ { i with Instr.kind = Instr.Send_st_addr { arr; idx; mem } } ]
+            | Instr.Store { arr; value; mem; _ }, `Cu ->
+              [ { i with Instr.kind = Instr.Produce_val { arr; value; mem } } ]
+            | ( ( Instr.Binop _ | Instr.Cmp _ | Instr.Select _ | Instr.Not _
+                | Instr.Send_ld_addr _ | Instr.Send_st_addr _
+                | Instr.Consume_val _ | Instr.Produce_val _ | Instr.Poison _ ),
+                _ ) ->
+              [ i ])
+          b.Block.instrs)
+    f.Func.layout
+
+let run (f : Func.t) : t =
+  let channels =
+    List.map
+      (fun (m : Lod.mem_op) ->
+        { mem = m.Lod.mem; arr = m.Lod.arr; is_store = m.Lod.is_store })
+      (Lod.collect_mem_ops f)
+  in
+  let agu = Func.clone ~name:(f.Func.name ^ ".agu") f in
+  let cu = Func.clone ~name:(f.Func.name ^ ".cu") f in
+  rewrite_slice agu ~mode:`Agu;
+  rewrite_slice cu ~mode:`Cu;
+  { original = f; agu; cu; channels }
+
+(* DCE where [Consume_val] is not a root: a consume survives only when its
+   value feeds something live in the slice (an address chain, a branch, a
+   produce). This is how a slice sheds the loads it does not need. *)
+let dce_slice (f : Func.t) : unit =
+  (* Temporarily treat consumes as value-producing pure instructions by
+     running the normal DCE with a pre-pass: the normal DCE roots
+     side-effecting instructions, so instead we inline a variant here. *)
+  let live = Hashtbl.create 64 in
+  let worklist = Queue.create () in
+  let mark v =
+    if not (Hashtbl.mem live v) then begin
+      Hashtbl.replace live v ();
+      Queue.add v worklist
+    end
+  in
+  let mark_operands ops =
+    List.iter (function Types.Var v -> mark v | Types.Cst _ -> ()) ops
+  in
+  let is_root (i : Instr.t) =
+    match i.Instr.kind with
+    | Instr.Consume_val _ -> false
+    | _ -> Instr.has_side_effect i
+  in
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      List.iter
+        (fun (i : Instr.t) ->
+          if is_root i then begin
+            mark i.Instr.id;
+            mark_operands (Instr.operands i)
+          end)
+        b.Block.instrs;
+      mark_operands (Block.terminator_operands b))
+    f.Func.layout;
+  let du = Defuse.compute f in
+  while not (Queue.is_empty worklist) do
+    let v = Queue.pop worklist in
+    match Defuse.def_site du v with
+    | None | Some (Defuse.Param _) -> ()
+    | Some (Defuse.Instruction _) ->
+      (match Defuse.find_instr du v with
+      | None -> ()
+      | Some i -> mark_operands (Instr.operands i))
+    | Some (Defuse.Phi _) ->
+      (match Defuse.find_phi du v with
+      | None -> ()
+      | Some (p, _) -> mark_operands (List.map snd p.Block.incoming))
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun bid ->
+        let b = Func.block f bid in
+        let keep_i (i : Instr.t) = is_root i || Hashtbl.mem live i.Instr.id in
+        let keep_p (p : Block.phi) = Hashtbl.mem live p.Block.pid in
+        if
+          List.exists (fun i -> not (keep_i i)) b.Block.instrs
+          || List.exists (fun p -> not (keep_p p)) b.Block.phis
+        then begin
+          b.Block.instrs <- List.filter keep_i b.Block.instrs;
+          b.Block.phis <- List.filter keep_p b.Block.phis;
+          changed := true
+        end)
+      f.Func.layout
+  done
+
+(* DCE can make a branch condition dead only after Simplify folds the
+   branch, and Simplify can fold a branch only after DCE empties its arms —
+   so the pair runs to a fixed point. *)
+let cleanup (f : Func.t) : unit =
+  let shape () =
+    ( List.length f.Func.layout,
+      Func.fold_instrs f (fun n _ -> n + 1) 0,
+      List.fold_left
+        (fun n bid -> n + List.length (Func.block f bid).Block.phis)
+        0 f.Func.layout )
+  in
+  let prev = ref (-1, -1, -1) in
+  while shape () <> !prev do
+    prev := shape ();
+    dce_slice f;
+    Simplify.run f
+  done
+
+(* Which units consume each load's value, after cleanup. *)
+let load_subscribers (t : t) :
+    (Instr.mem_id * [ `Agu | `Cu ] list) list =
+  let consumes f =
+    Func.fold_instrs f
+      (fun acc (i : Instr.t) ->
+        match i.Instr.kind with
+        | Instr.Consume_val { mem; _ } -> mem :: acc
+        | _ -> acc)
+      []
+  in
+  let agu_c = consumes t.agu and cu_c = consumes t.cu in
+  List.filter_map
+    (fun c ->
+      if c.is_store then None
+      else
+        Some
+          ( c.mem,
+            (if List.mem c.mem agu_c then [ `Agu ] else [])
+            @ if List.mem c.mem cu_c then [ `Cu ] else [] ))
+    t.channels

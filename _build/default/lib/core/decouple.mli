@@ -1,0 +1,34 @@
+(** The standard DAE decoupling transformation (paper §3.2).
+
+    Both slices start as clones of the original (same block ids — the
+    speculation passes rely on this): the AGU gets [send_ld_addr] /
+    [send_st_addr] (plus a [consume_val] when its own slice needs a load's
+    value — a surviving AGU consume is precisely a loss-of-decoupling
+    synchronization), the CU gets [consume_val] / [produce_val]. *)
+
+open Dae_ir
+
+type channel_use = { mem : Instr.mem_id; arr : string; is_store : bool }
+
+type t = {
+  original : Func.t;
+  agu : Func.t;
+  cu : Func.t;
+  channels : channel_use list;  (** one per decoupled memory op *)
+}
+
+(** Rewrite memory ops into channel ops; no cleanup yet. *)
+val run : Func.t -> t
+
+(** Slice DCE in which [consume_val] is not a root: consumes survive only
+    if the slice uses their value. *)
+val dce_slice : Func.t -> unit
+
+(** (DCE; CFG simplification) to a fixed point — a branch condition dies
+    only after its branch folds, and a branch folds only after its arms
+    empty. *)
+val cleanup : Func.t -> unit
+
+(** Which units consume each load's value after cleanup (the DU broadcasts
+    to all subscribers). *)
+val load_subscribers : t -> (Instr.mem_id * [ `Agu | `Cu ] list) list

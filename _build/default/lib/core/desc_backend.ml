@@ -1,0 +1,177 @@
+(* DeSC-style CPU prefetcher lowering (paper §7.1).
+
+   The prefetcher of Ham et al. (MICRO'15), which most DAE prefetcher work
+   builds on, extends the ISA with store_addr, load_produce, store_val,
+   load_consume and store_inv instructions — exactly the five names the
+   paper's §7.1.1 lists as direct targets for this compiler. This backend
+   lowers a compiled pipeline to that ISA as a textual program listing per
+   unit (the paper's supply/compute slices), demonstrating the §7 claim
+   that the transformation is not HLS-specific.
+
+   Mapping (paper §3.2 / §7.1.1):
+     send_ld_addr  ->  load_produce  rA        (supply side issues the load)
+     send_st_addr  ->  store_addr    rA        (allocate in the store buffer)
+     consume_val   ->  load_consume  rD        (compute side pops the value)
+     produce_val   ->  store_val     rD        (complete the allocation)
+     poison        ->  store_inv               (kill it — §3.1's poison bit)
+
+   Scalar instructions lower to a generic RISC-flavoured three-address
+   form; φs become explicit edge moves on the predecessor side (the
+   listing is not SSA). *)
+
+open Dae_ir
+
+type instruction = {
+  label : string option; (* block label, on the first instruction *)
+  opcode : string;
+  operands : string list;
+  comment : string option;
+}
+
+type listing = {
+  unit_name : string; (* "supply" (AGU) or "compute" (CU) *)
+  instructions : instruction list;
+}
+
+let reg v = Fmt.str "r%d" v
+
+let operand = function
+  | Types.Var v -> reg v
+  | Types.Cst (Types.Int n) -> Fmt.str "#%d" n
+  | Types.Cst (Types.Bool b) -> if b then "#1" else "#0"
+
+let block_label bid = Fmt.str ".bb%d" bid
+
+let lower_instr (i : Instr.t) : instruction list =
+  let simple opcode operands =
+    [ { label = None; opcode; operands; comment = None } ]
+  in
+  match i.Instr.kind with
+  | Instr.Binop (op, a, b) ->
+    simple (Instr.string_of_binop op) [ reg i.Instr.id; operand a; operand b ]
+  | Instr.Cmp (c, a, b) ->
+    simple
+      ("cmp." ^ Instr.string_of_cmp c)
+      [ reg i.Instr.id; operand a; operand b ]
+  | Instr.Select (c, a, b) ->
+    simple "csel" [ reg i.Instr.id; operand c; operand a; operand b ]
+  | Instr.Not a -> simple "not" [ reg i.Instr.id; operand a ]
+  | Instr.Load { arr; idx; _ } ->
+    simple "ld" [ reg i.Instr.id; Fmt.str "%s[%s]" arr (operand idx) ]
+  | Instr.Store { arr; idx; value; _ } ->
+    simple "st" [ Fmt.str "%s[%s]" arr (operand idx); operand value ]
+  | Instr.Send_ld_addr { arr; idx; mem } ->
+    [ { label = None;
+        opcode = "load_produce";
+        operands = [ Fmt.str "%s[%s]" arr (operand idx) ];
+        comment = Some (Fmt.str "q%d" mem) } ]
+  | Instr.Send_st_addr { arr; idx; mem } ->
+    [ { label = None;
+        opcode = "store_addr";
+        operands = [ Fmt.str "%s[%s]" arr (operand idx) ];
+        comment = Some (Fmt.str "q%d" mem) } ]
+  | Instr.Consume_val { mem; _ } ->
+    [ { label = None;
+        opcode = "load_consume";
+        operands = [ reg i.Instr.id ];
+        comment = Some (Fmt.str "q%d" mem) } ]
+  | Instr.Produce_val { value; mem; _ } ->
+    [ { label = None;
+        opcode = "store_val";
+        operands = [ operand value ];
+        comment = Some (Fmt.str "q%d" mem) } ]
+  | Instr.Poison { mem; _ } ->
+    [ { label = None;
+        opcode = "store_inv";
+        operands = [];
+        comment = Some (Fmt.str "q%d" mem) } ]
+
+(* φs lower to moves at the end of each predecessor (before its branch). *)
+let phi_moves (f : Func.t) (pred : Block.t) : instruction list =
+  List.concat_map
+    (fun succ ->
+      List.filter_map
+        (fun (p : Block.phi) ->
+          match List.assoc_opt pred.Block.bid p.Block.incoming with
+          | Some op when op <> Types.Var p.Block.pid ->
+            Some
+              { label = None;
+                opcode = "mov";
+                operands = [ reg p.Block.pid; operand op ];
+                comment = Some "phi" }
+          | Some _ | None -> None)
+        (Func.block f succ).Block.phis)
+    (Block.successors pred)
+
+let lower_terminator (t : Block.terminator) : instruction list =
+  match t with
+  | Block.Br target ->
+    [ { label = None; opcode = "b"; operands = [ block_label target ];
+        comment = None } ]
+  | Block.Cond_br (c, yes, no) ->
+    [ { label = None; opcode = "bnz";
+        operands = [ operand c; block_label yes ]; comment = None };
+      { label = None; opcode = "b"; operands = [ block_label no ];
+        comment = None } ]
+  | Block.Switch (c, targets) ->
+    List.concat
+      (List.mapi
+         (fun k target ->
+           [ { label = None; opcode = "beq";
+               operands = [ operand c; Fmt.str "#%d" k; block_label target ];
+               comment = None } ])
+         targets)
+    @ [ { label = None; opcode = "b";
+          operands = [ block_label (List.nth targets (List.length targets - 1)) ];
+          comment = Some "switch default" } ]
+  | Block.Ret _ ->
+    [ { label = None; opcode = "ret"; operands = []; comment = None } ]
+
+let lower_unit ~name (f : Func.t) : listing =
+  let instructions =
+    List.concat_map
+      (fun bid ->
+        let b = Func.block f bid in
+        let body =
+          List.concat_map lower_instr b.Block.instrs
+          @ phi_moves f b @ lower_terminator b.Block.term
+        in
+        match body with
+        | first :: rest -> { first with label = Some (block_label bid) } :: rest
+        | [] -> [])
+      f.Func.layout
+  in
+  { unit_name = name; instructions }
+
+(* Lower a compiled pipeline to the two DeSC slices. *)
+type t = { supply : listing; compute : listing }
+
+let lower (p : Pipeline.t) : t =
+  {
+    supply = lower_unit ~name:"supply" p.Pipeline.agu;
+    compute = lower_unit ~name:"compute" p.Pipeline.cu;
+  }
+
+let uses_speculation (l : listing) =
+  List.exists (fun i -> i.opcode = "store_inv") l.instructions
+
+let count_opcode (l : listing) opcode =
+  List.length (List.filter (fun i -> i.opcode = opcode) l.instructions)
+
+let pp_instruction ppf (i : instruction) =
+  (match i.label with
+  | Some l -> Fmt.pf ppf "%s:@." l
+  | None -> ());
+  Fmt.pf ppf "        %-14s %s" i.opcode (String.concat ", " i.operands);
+  match i.comment with
+  | Some c -> Fmt.pf ppf "    ; %s@." c
+  | None -> Fmt.pf ppf "@."
+
+let pp_listing ppf (l : listing) =
+  Fmt.pf ppf "; === %s slice (DeSC ISA, Ham et al. MICRO'15) ===@." l.unit_name;
+  List.iter (pp_instruction ppf) l.instructions
+
+let pp ppf (t : t) =
+  pp_listing ppf t.supply;
+  Fmt.pf ppf "@.";
+  pp_listing ppf t.compute

@@ -1,0 +1,28 @@
+(** DeSC-style CPU prefetcher lowering (paper §7.1): emit the AGU as a
+    "supply" slice and the CU as a "compute" slice over the five-
+    instruction ISA extension of Ham et al. (MICRO'15) — [store_addr],
+    [load_produce], [store_val], [load_consume], [store_inv] — which the
+    paper's §7.1.1 names as a direct compilation target. Demonstrates that
+    the speculation support is not HLS-specific. *)
+
+type instruction = {
+  label : string option;
+  opcode : string;
+  operands : string list;
+  comment : string option;
+}
+
+type listing = { unit_name : string; instructions : instruction list }
+
+type t = { supply : listing; compute : listing }
+
+val lower_unit : name:string -> Dae_ir.Func.t -> listing
+val lower : Pipeline.t -> t
+
+(** Does the listing use predicated-store invalidation? *)
+val uses_speculation : listing -> bool
+
+val count_opcode : listing -> string -> int
+
+val pp_listing : Format.formatter -> listing -> unit
+val pp : Format.formatter -> t -> unit

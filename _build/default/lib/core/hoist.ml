@@ -1,0 +1,305 @@
+(* Algorithm 1: control-flow hoisting of AGU memory requests (paper §5.1).
+
+   For every LoD chain head [srcBB], traverse the CFG region from [srcBB]
+   to its loop latch in reverse post-order (the topological order of the
+   region's DAG — ignoring backedges and never entering loops other than
+   the innermost loop containing [srcBB]); every request with a LoD control
+   dependency on [srcBB] is moved to the end of [srcBB], in traversal
+   order. A request may be hoisted to several chain heads (paper Figure 4:
+   requests b and e land in both block 2 and block 3); the original
+   instruction is removed and a copy placed at each head.
+
+   Hoisting also clones the request's address computation when it does not
+   dominate the head (pure chains only — anything else is a data LoD the
+   analysis already rejected). *)
+
+open Dae_ir
+
+type spec_req = {
+  mem : Instr.mem_id;
+  is_store : bool;
+  arr : string;
+  true_bb : int; (* block the request originally lived in *)
+}
+
+type t = {
+  (* chain head -> requests speculated there, in speculation order *)
+  spec_req_map : (int * spec_req list) list;
+  hoisted_mems : Instr.mem_id list; (* all speculated ops *)
+}
+
+exception Unhoistable of string
+
+(* Clone the pure computation chain producing [op] so that it is available
+   at the end of [head]. [memo] caches clones per head so shared
+   subexpressions are materialised once.
+
+   A chain may cross a [Consume_val] — the address of a speculated request
+   depending on the value of another speculated *load* (e.g. the paper's
+   A[idx[i]] where idx[i] is itself decoupled). Such a consume is
+   *relocated*: a fresh consume is placed at the head (after the
+   corresponding hoisted send — the load was visited earlier in topological
+   order, so its send copy is already there), recorded in [relocated] so
+   the caller can remove the original and SSA-repair its remaining uses.
+   [may_relocate mem] says whether that load is speculated at this head —
+   relocating a consume whose request stays conditional would desync the
+   channel. Returns the operand to use. *)
+let rec materialize_operand (agu : Func.t) (dom : Dom.t) ~head ~memo
+    ~(du : Defuse.t) ~may_relocate ~relocated (op : Types.operand) :
+    Types.operand =
+  match op with
+  | Types.Cst _ -> op
+  | Types.Var v -> (
+    match Hashtbl.find_opt memo v with
+    | Some cached -> cached
+    | None ->
+      let def_bid =
+        match Defuse.def_site du v with
+        | Some (Defuse.Param _) -> None (* params dominate everything *)
+        | Some (Defuse.Phi b) | Some (Defuse.Instruction b) -> Some b
+        | None ->
+          raise
+            (Unhoistable (Fmt.str "operand %%%d has no definition site" v))
+      in
+      (match def_bid with
+      | None -> op
+      | Some d when d = head || Dom.strictly_dominates dom d head -> op
+      | Some _ -> (
+        match Defuse.find_instr du v with
+        | None ->
+          raise
+            (Unhoistable
+               (Fmt.str
+                  "address chain of a speculated request crosses a φ (%%%d); \
+                   this is a data dependency speculation cannot remove"
+                  v))
+        | Some i -> (
+          match i.Instr.kind with
+          | Instr.Binop _ | Instr.Cmp _ | Instr.Select _ | Instr.Not _ ->
+            let cloned_kind =
+              (Instr.map_operands
+                 (fun o ->
+                   materialize_operand agu dom ~head ~memo ~du ~may_relocate
+                     ~relocated o)
+                 i)
+                .Instr.kind
+            in
+            let id = Func.fresh_vid agu in
+            Block.append_instr (Func.block agu head)
+              { Instr.id; kind = cloned_kind };
+            let res = Types.Var id in
+            Hashtbl.replace memo v res;
+            res
+          | Instr.Consume_val { arr; mem } when may_relocate mem ->
+            let id = Func.fresh_vid agu in
+            Block.append_instr (Func.block agu head)
+              { Instr.id; kind = Instr.Consume_val { arr; mem } };
+            let res = Types.Var id in
+            Hashtbl.replace memo v res;
+            relocated := (v, head, res) :: !relocated;
+            res
+          | _ ->
+            raise
+              (Unhoistable
+                 (Fmt.str "address chain instruction %%%d is not pure" v))))))
+
+(* The blocks visited by Algorithm 1's traversal from [src], in reverse
+   post-order: follow forward edges only, and do not enter loops other than
+   the innermost loop containing [src]. *)
+let traversal_order (f : Func.t) (loops : Loops.t) src : int list =
+  let own_loop = Loops.innermost loops src in
+  let skip ~src:u ~dst =
+    Loops.is_backedge loops ~src:u ~dst
+    ||
+    (* Entering another loop = stepping onto a header that is not our own
+       loop's header. (Our own header is only reachable via the backedge,
+       already skipped.) *)
+    (Loops.is_header loops dst
+    &&
+    match own_loop with
+    | Some l -> dst <> l.Loops.header
+    | None -> true)
+    ||
+    (* Stay inside our own loop: the region of interest ends at the latch;
+       loop-exit edges leave the region. *)
+    (match own_loop with
+    | Some l -> not (List.mem dst l.Loops.body)
+    | None -> false)
+  in
+  Order.reverse_postorder ~skip ~succs:(Func.successors f) src
+
+let run (agu : Func.t) (lod : Lod.t) : t =
+  let loops = Loops.compute agu in
+  (match Loops.check_canonical loops with
+  | Ok () -> ()
+  | Error msg -> raise (Unhoistable ("non-canonical loops: " ^ msg)));
+  (* Chain heads that a given op's sources resolve to. *)
+  (* Ops with a data LoD (§4, Definition 4.1) are never speculated: the
+     paper's speculation recovers control dependencies only. They stay in
+     place, conditional, and the AGU keeps the synchronizing consume. *)
+  let data_blocked = Lod.data_blocked lod in
+  let heads_of_mem m =
+    if List.mem m data_blocked then []
+    else
+      match List.assoc_opt m lod.Lod.control_lod with
+      | None -> []
+      | Some sources ->
+        List.filter (fun s -> List.mem s lod.Lod.chain_heads) sources
+  in
+  let hoisted_mems = ref [] in
+  let removals : (int * int) list ref = ref [] in
+  (* (block, instr id) *)
+  (* Ids of request copies appended at heads: skipped when scanning for
+     requests on behalf of a later head, so a copy is never re-hoisted. *)
+  let copies = Hashtbl.create 16 in
+  (* consumes relocated into heads: (original vid, head, new operand) *)
+  let relocated : (int * int * Types.operand) list ref = ref [] in
+  let spec_req_map =
+    List.filter_map
+      (fun head ->
+        let order = traversal_order agu loops head in
+        let du = Defuse.compute agu in
+        let dom = Dom.compute agu in
+        let memo = Hashtbl.create 16 in
+        let reqs = ref [] in
+        List.iter
+          (fun fromBB ->
+            if fromBB <> head then
+              List.iter
+                (fun (i : Instr.t) ->
+                  match i.Instr.kind with
+                  | Instr.Send_ld_addr { arr; idx; mem }
+                  | Instr.Send_st_addr { arr; idx; mem }
+                    when List.mem head (heads_of_mem mem)
+                         && not (Hashtbl.mem copies i.Instr.id) ->
+                    let is_store =
+                      match i.Instr.kind with
+                      | Instr.Send_st_addr _ -> true
+                      | _ -> false
+                    in
+                    (* Materialise the address at the head and append a
+                       copy of the request there. *)
+                    let idx' =
+                      materialize_operand agu dom ~head ~memo ~du
+                        ~may_relocate:(fun m ->
+                          List.mem head (heads_of_mem m))
+                        ~relocated idx
+                    in
+                    let kind =
+                      if is_store then
+                        Instr.Send_st_addr { arr; idx = idx'; mem }
+                      else Instr.Send_ld_addr { arr; idx = idx'; mem }
+                    in
+                    let copy_id = Func.fresh_vid agu in
+                    Hashtbl.replace copies copy_id ();
+                    Block.append_instr (Func.block agu head)
+                      { Instr.id = copy_id; kind };
+                    reqs :=
+                      { mem; is_store; arr; true_bb = fromBB } :: !reqs;
+                    if not (List.mem mem !hoisted_mems) then
+                      hoisted_mems := mem :: !hoisted_mems;
+                    if not (List.mem (fromBB, i.Instr.id) !removals) then
+                      removals := (fromBB, i.Instr.id) :: !removals
+                  | _ -> ())
+                (Func.block agu fromBB).Block.instrs)
+          order;
+        match List.rev !reqs with
+        | [] -> None
+        | rs -> Some (head, rs))
+      lod.Lod.chain_heads
+  in
+  (* §5.4 applied to the AGU itself: a speculated load whose value the AGU
+     still consumes — e.g. feeding a branch that stays, as when the loop
+     condition is data-dependent through a φ — must have that consume
+     relocated to the speculation block(s) as well, or the request and
+     value channel counts desync on the paths where only the send was
+     hoisted. Consumes already relocated through address chains are left
+     alone. *)
+  let created_consumes =
+    List.filter_map
+      (fun (_, _, op) -> match op with Types.Var v -> Some v | _ -> None)
+      !relocated
+  in
+  let already_relocated = List.map (fun (v, _, _) -> v) !relocated in
+  let heads_of_hoisted_load : (Instr.mem_id, int list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (head, reqs) ->
+      List.iter
+        (fun (r : spec_req) ->
+          if not r.is_store then begin
+            let cur =
+              try Hashtbl.find heads_of_hoisted_load r.mem with Not_found -> []
+            in
+            if not (List.mem head cur) then
+              Hashtbl.replace heads_of_hoisted_load r.mem (cur @ [ head ])
+          end)
+        reqs)
+    spec_req_map;
+  Hashtbl.iter
+    (fun mem heads ->
+      let original_consume =
+        List.find_map
+          (fun bid ->
+            List.find_map
+              (fun (i : Instr.t) ->
+                match i.Instr.kind with
+                | Instr.Consume_val { arr; mem = m }
+                  when m = mem
+                       && (not (List.mem i.Instr.id created_consumes))
+                       && (not (List.mem i.Instr.id already_relocated))
+                       && not (List.mem bid heads) ->
+                  Some (i.Instr.id, arr)
+                | _ -> None)
+              (Func.block agu bid).Block.instrs)
+          agu.Func.layout
+      in
+      match original_consume with
+      | None -> ()
+      | Some (old_id, arr) ->
+        List.iter
+          (fun head ->
+            let id = Func.fresh_vid agu in
+            Block.append_instr (Func.block agu head)
+              { Instr.id; kind = Instr.Consume_val { arr; mem } };
+            relocated := (old_id, head, Types.Var id) :: !relocated)
+          heads)
+    heads_of_hoisted_load;
+  (* Remove the original (now speculated) requests from their blocks. *)
+  List.iter
+    (fun (bid, id) -> Block.remove_instr (Func.block agu bid) ~id)
+    !removals;
+  (* Relocated consumes: remove the originals and SSA-repair any remaining
+     uses of their values against the per-head copies. *)
+  let by_vid =
+    List.sort_uniq compare (List.map (fun (v, _, _) -> v) !relocated)
+  in
+  List.iter
+    (fun old_vid ->
+      (match Func.block_of_instr agu ~id:old_vid with
+      | Some b -> Block.remove_instr b ~id:old_vid
+      | None -> ());
+      let defs =
+        List.filter_map
+          (fun (v, head, op) -> if v = old_vid then Some (head, op) else None)
+          !relocated
+      in
+      Ssa_repair.rewrite_uses agu ~old_vid ~defs ~ty:Types.I32 ())
+    by_vid;
+  { spec_req_map; hoisted_mems = List.rev !hoisted_mems }
+
+let spec_requests (t : t) head =
+  match List.assoc_opt head t.spec_req_map with Some rs -> rs | None -> []
+
+let pp ppf (t : t) =
+  List.iter
+    (fun (head, rs) ->
+      Fmt.pf ppf "bb%d: %a@." head
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf r ->
+              pf ppf "%s mem%d (bb%d)"
+                (if r.is_store then "st" else "ld")
+                r.mem r.true_bb))
+        rs)
+    t.spec_req_map

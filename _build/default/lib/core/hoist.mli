@@ -1,0 +1,37 @@
+(** Algorithm 1: control-flow hoisting of AGU memory requests (§5.1).
+
+    For every LoD chain head, the CFG region from the head to its loop
+    latch is traversed in reverse post-order (the topological order of the
+    region's DAG — never entering other loops), and every request with an
+    LoD control dependency on the head is moved to the head's end in
+    traversal order. A request may be hoisted to several heads (paper
+    Figure 4's b and e). Address chains that do not dominate the head are
+    cloned (pure ops), and chains crossing another speculated load's
+    [consume_val] relocate that consume to the head, with SSA repair of its
+    remaining uses. Data-LoD requests are skipped (speculation cannot
+    recover them, §4). *)
+
+open Dae_ir
+
+type spec_req = {
+  mem : Instr.mem_id;
+  is_store : bool;
+  arr : string;
+  true_bb : int;  (** block the request originally lived in *)
+}
+
+type t = {
+  spec_req_map : (int * spec_req list) list;
+      (** chain head -> requests in speculation order (the paper's
+          SpecReqMap) *)
+  hoisted_mems : Instr.mem_id list;
+}
+
+exception Unhoistable of string
+
+(** Mutates the AGU slice. @raise Unhoistable on address chains that cross
+    a φ or a non-relocatable impure definition. *)
+val run : Func.t -> Lod.t -> t
+
+val spec_requests : t -> int -> spec_req list
+val pp : Format.formatter -> t -> unit

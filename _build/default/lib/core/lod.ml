@@ -1,0 +1,192 @@
+(* Loss-of-decoupling analysis (paper §4).
+
+   Given the set [A] of loads that cannot be trivially prefetched (by
+   default: loads from arrays the function also stores to, i.e. loads with
+   potential RAW hazards that require memory disambiguation), find for every
+   memory operation:
+
+   - Definition 4.1 (data LoD): a def-use path from some a ∈ A to the
+     operation's address computation. Paths through φ-nodes also trace the
+     terminator conditions of the φ's incoming blocks (Defuse.backward_slice
+     implements exactly that).
+   - Definition 4.2 (control LoD): the operation is (transitively)
+     control-dependent on a branch whose condition depends on some a ∈ A.
+     The blocks housing such branches are the LoD control-dependency
+     *sources*.
+
+   §5.1.2: speculation only starts at chain heads — sources that are not
+   themselves control-dependent on another source. *)
+
+open Dae_ir
+
+type policy =
+  | Raw_hazard_loads (* default: loads from arrays that are also stored *)
+  | All_loads
+  | Loads_from of string list
+
+type mem_op = {
+  instr_id : int;
+  mem : Instr.mem_id;
+  block : int;
+  is_store : bool;
+  arr : string;
+}
+
+type t = {
+  a_values : int list; (* SSA ids of the A-set loads *)
+  mem_ops : mem_op list; (* every load/store, in layout order *)
+  data_lod : (Instr.mem_id * int) list; (* (op, offending A-load id) *)
+  control_lod : (Instr.mem_id * int list) list; (* (op, source blocks) *)
+  src_blocks : int list; (* all LoD control-dependency sources *)
+  chain_heads : int list; (* §5.1.2 filtered sources *)
+  (* For each chain head: the requests to speculate there, resolved by
+     Hoist (left empty by analyze). *)
+  cdep : Control_dep.t;
+}
+
+let collect_mem_ops (f : Func.t) : mem_op list =
+  List.concat_map
+    (fun bid ->
+      List.filter_map
+        (fun (i : Instr.t) ->
+          match i.Instr.kind with
+          | Instr.Load { arr; mem; _ } ->
+            Some { instr_id = i.Instr.id; mem; block = bid; is_store = false; arr }
+          | Instr.Store { arr; mem; _ } ->
+            Some { instr_id = i.Instr.id; mem; block = bid; is_store = true; arr }
+          | _ -> None)
+        (Func.block f bid).Block.instrs)
+    f.Func.layout
+
+let a_set (f : Func.t) (policy : policy) : int list =
+  let stored_arrays =
+    List.sort_uniq compare
+      (Func.fold_instrs f
+         (fun acc (i : Instr.t) ->
+           match i.Instr.kind with
+           | Instr.Store { arr; _ } -> arr :: acc
+           | _ -> acc)
+         [])
+  in
+  Func.fold_instrs f
+    (fun acc (i : Instr.t) ->
+      match i.Instr.kind with
+      | Instr.Load { arr; _ } ->
+        let in_a =
+          match policy with
+          | All_loads -> true
+          | Raw_hazard_loads -> List.mem arr stored_arrays
+          | Loads_from arrs -> List.mem arr arrs
+        in
+        if in_a then i.Instr.id :: acc else acc
+      | _ -> acc)
+    []
+  |> List.rev
+
+(* The address operand of a memory operation. *)
+let addr_operand (i : Instr.t) =
+  match i.Instr.kind with
+  | Instr.Load { idx; _ } | Instr.Store { idx; _ } -> Some idx
+  | _ -> None
+
+let analyze ?(policy = Raw_hazard_loads) (f : Func.t) : t =
+  let du = Defuse.compute f in
+  let cdep = Control_dep.compute f in
+  let a_values = a_set f policy in
+  let mem_ops = collect_mem_ops f in
+  let depends_on_a op =
+    match op with
+    | Types.Cst _ -> false
+    | Types.Var v -> Defuse.depends_on du v ~sources:a_values
+  in
+  (* Data LoD: address computation depends on an A-load. The A-load itself
+     trivially "depends" on its own value only if the address uses it, so no
+     special-casing is needed. *)
+  let instr_of (m : mem_op) =
+    List.find_opt
+      (fun (i : Instr.t) -> i.Instr.id = m.instr_id)
+      (Func.block f m.block).Block.instrs
+  in
+  let data_lod =
+    List.filter_map
+      (fun (m : mem_op) ->
+        match instr_of m with
+        | None -> None
+        | Some i ->
+          (match addr_operand i with
+          | Some (Types.Var v) ->
+            let slice = Defuse.backward_slice du v in
+            (* any a ∈ A in the slice is a data LoD — including the op's
+               own load reached through a loop-carried φ, the paper's
+               `if (A[i]) A[i++] = 1` pattern that speculation must not
+               touch (§4) *)
+            (match List.find_opt (fun a -> Hashtbl.mem slice a) a_values with
+            | Some a -> Some (m.mem, a)
+            | None -> None)
+          | Some (Types.Cst _) | None -> None))
+      mem_ops
+  in
+  (* Control LoD: for each memory op, the transitive control-dependency
+     sources whose branch condition depends on an A-load. *)
+  let branch_depends_on_a bid =
+    let b = Func.block f bid in
+    List.exists depends_on_a (Block.terminator_operands b)
+  in
+  let control_lod =
+    List.filter_map
+      (fun (m : mem_op) ->
+        let sources =
+          List.filter branch_depends_on_a
+            (Control_dep.transitive_sources cdep m.block)
+        in
+        if sources = [] then None else Some (m.mem, List.sort compare sources))
+      mem_ops
+  in
+  let src_blocks =
+    List.sort_uniq compare (List.concat_map snd control_lod)
+  in
+  (* §5.1.2: keep only chain heads — sources not control-dependent on
+     another source (whose branch also qualifies). *)
+  let chain_heads =
+    List.filter
+      (fun s ->
+        not
+          (List.exists
+             (fun s' -> s' <> s && Control_dep.depends cdep ~block:s ~on:s')
+             src_blocks))
+      src_blocks
+  in
+  { a_values; mem_ops; data_lod; control_lod; src_blocks; chain_heads; cdep }
+
+(* Memory ops whose decoupling is blocked by a data LoD (speculation cannot
+   recover these, §4). *)
+let data_blocked (t : t) = List.map fst t.data_lod
+
+let has_control_lod (t : t) = t.control_lod <> []
+let has_data_lod (t : t) = t.data_lod <> []
+
+(* The chain head(s) from which a given source block's requests will
+   actually be speculated: the heads that the source depends on (or itself
+   if it is a head). *)
+let heads_for_source (t : t) src =
+  if List.mem src t.chain_heads then [ src ]
+  else
+    List.filter
+      (fun h -> Control_dep.depends t.cdep ~block:src ~on:h)
+      t.chain_heads
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "A = {%a}@." Fmt.(list ~sep:(any ", ") int) t.a_values;
+  Fmt.pf ppf "data LoD: %a@."
+    Fmt.(list ~sep:(any ", ") (fun ppf (m, a) -> pf ppf "mem%d<-%%%d" m a))
+    t.data_lod;
+  Fmt.pf ppf "control LoD: %a@."
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (m, srcs) ->
+          pf ppf "mem%d<-bb{%a}" m (list ~sep:(any ",") int) srcs))
+    t.control_lod;
+  Fmt.pf ppf "sources: %a; chain heads: %a@."
+    Fmt.(list ~sep:(any ", ") int)
+    t.src_blocks
+    Fmt.(list ~sep:(any ", ") int)
+    t.chain_heads

@@ -1,0 +1,53 @@
+(** Loss-of-decoupling analysis (paper §4).
+
+    Finds, for the set [A] of loads that cannot be trivially prefetched,
+    every memory operation with a data LoD (Definition 4.1: a def-use path
+    from some a ∈ A to the operation's address) or a control LoD
+    (Definition 4.2: the operation is transitively control-dependent on a
+    branch whose condition depends on some a ∈ A), the source blocks of
+    those control dependencies, and the §5.1.2 chain heads speculation
+    starts from. *)
+
+open Dae_ir
+
+(** How the [A] set is chosen (the paper notes it can be expanded or
+    narrowed per hardware context). *)
+type policy =
+  | Raw_hazard_loads
+      (** loads from arrays the function also stores to (default) *)
+  | All_loads  (** e.g. an AGU with no control-flow support *)
+  | Loads_from of string list  (** preserve decoupling for these arrays only *)
+
+type mem_op = {
+  instr_id : int;
+  mem : Instr.mem_id;
+  block : int;
+  is_store : bool;
+  arr : string;
+}
+
+type t = {
+  a_values : int list;  (** SSA ids of the A-set loads *)
+  mem_ops : mem_op list;
+  data_lod : (Instr.mem_id * int) list;  (** (op, offending A-load id) *)
+  control_lod : (Instr.mem_id * int list) list;  (** (op, source blocks) *)
+  src_blocks : int list;
+  chain_heads : int list;  (** §5.1.2-filtered sources *)
+  cdep : Control_dep.t;
+}
+
+val collect_mem_ops : Func.t -> mem_op list
+val a_set : Func.t -> policy -> int list
+val analyze : ?policy:policy -> Func.t -> t
+
+(** Ops whose decoupling is blocked by a data LoD — speculation cannot
+    recover these (§4); they stay synchronized. *)
+val data_blocked : t -> Instr.mem_id list
+
+val has_control_lod : t -> bool
+val has_data_lod : t -> bool
+
+(** Chain heads a given source block's requests are speculated from. *)
+val heads_for_source : t -> int -> int list
+
+val pp : Format.formatter -> t -> unit

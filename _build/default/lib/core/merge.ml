@@ -1,0 +1,87 @@
+(* Merging poison blocks (paper §5.3).
+
+   Two blocks can be merged when they contain the same list of poison
+   stores (and nothing else), have the same immediate successors, and every
+   φ in those successors receives the same value from both blocks. The
+   paper applies this iteratively after Algorithms 2 and 3; it is an area
+   optimisation (fewer blocks → smaller scheduler in HLS). *)
+
+open Dae_ir
+
+let poison_signature (b : Block.t) : (string * Instr.mem_id) list option =
+  if b.Block.phis <> [] then None
+  else
+    let rec collect acc = function
+      | [] -> Some (List.rev acc)
+      | ({ Instr.kind = Instr.Poison { arr; mem }; _ } : Instr.t) :: rest ->
+        collect ((arr, mem) :: acc) rest
+      | _ -> None
+    in
+    match collect [] b.Block.instrs with
+    | Some sig_ when sig_ <> [] -> Some sig_
+    | Some _ | None -> None
+
+let mergeable (f : Func.t) (b1 : Block.t) (b2 : Block.t) : bool =
+  b1.Block.bid <> b2.Block.bid
+  && b1.Block.bid <> f.Func.entry
+  && b2.Block.bid <> f.Func.entry
+  &&
+  match (poison_signature b1, poison_signature b2) with
+  | Some s1, Some s2 when s1 = s2 ->
+    let succs1 = Block.successors b1 and succs2 = Block.successors b2 in
+    succs1 = succs2
+    && List.for_all
+         (fun s ->
+           List.for_all
+             (fun (p : Block.phi) ->
+               List.assoc_opt b1.Block.bid p.Block.incoming
+               = List.assoc_opt b2.Block.bid p.Block.incoming)
+             (Func.block f s).Block.phis)
+         succs1
+  | _ -> false
+
+(* Merge [b2] into [b1]: predecessors of [b2] are redirected to [b1]; φs in
+   the successors drop their [b2] entries. Returns the number of merges
+   performed over the whole function (applied to a fixed point). *)
+let run (f : Func.t) : int =
+  let merged = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let candidates =
+      List.filter
+        (fun bid ->
+          match Func.block_opt f bid with
+          | Some b -> poison_signature b <> None
+          | None -> false)
+        f.Func.layout
+    in
+    let rec try_pairs = function
+      | [] -> ()
+      | b1_id :: rest ->
+        (match
+           List.find_opt
+             (fun b2_id ->
+               mergeable f (Func.block f b1_id) (Func.block f b2_id))
+             rest
+         with
+        | Some b2_id ->
+          let preds_tbl = Func.predecessors f in
+          let b2_preds =
+            try Hashtbl.find preds_tbl b2_id with Not_found -> []
+          in
+          List.iter
+            (fun p ->
+              Func.retarget_edge f ~src:p ~old_dst:b2_id ~new_dst:b1_id)
+            b2_preds;
+          List.iter
+            (fun s -> Block.remove_phi_pred (Func.block f s) ~pred:b2_id)
+            (Block.successors (Func.block f b2_id));
+          Func.remove_block f b2_id;
+          incr merged;
+          continue_ := true
+        | None -> try_pairs rest)
+    in
+    try_pairs candidates
+  done;
+  !merged

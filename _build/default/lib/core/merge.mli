@@ -1,0 +1,12 @@
+(** Poison-block merging (§5.3): blocks containing the same list of poison
+    calls (and nothing else) with the same successors — and agreeing φ
+    values in those successors — are merged, to a fixed point. Returns the
+    number of merges. *)
+
+open Dae_ir
+
+(** The (array, mem) signature of a poison-only block, if it is one. *)
+val poison_signature : Block.t -> (string * Instr.mem_id) list option
+
+val mergeable : Func.t -> Block.t -> Block.t -> bool
+val run : Func.t -> int

@@ -1,0 +1,146 @@
+(* End-to-end compilation pipeline.
+
+      original ──Lod.analyze──► decouple (§3.2)
+                                  │ AGU: sends (+consume where synchronized)
+                                  │ CU:  consumes / produces
+             [Spec only]          │
+         Hoist.run (Alg. 1, AGU) ─┤
+         Poison.run (Alg. 2+3, CU)┤
+         Spec_load.run (§5.4, CU) ┤
+         Merge.run (§5.3, CU)     │
+                                  ▼
+                       per-slice DCE + CFG simplification
+                                  ▼
+                               verify
+
+   The [Dae] mode stops after decoupling (the paper's state-of-the-art
+   baseline, which suffers LoD); [Spec] applies the paper's contribution. *)
+
+open Dae_ir
+
+type mode = Dae | Spec
+
+type spec_info = {
+  hoist : Hoist.t;
+  poison_stats : Poison.stats;
+  merged_blocks : int;
+  load_stats : Spec_load.stats;
+}
+
+type t = {
+  mode : mode;
+  original : Func.t;
+  lod : Lod.t;
+  agu : Func.t;
+  cu : Func.t;
+  channels : Decouple.channel_use list;
+  load_subscribers : (Instr.mem_id * [ `Agu | `Cu ] list) list;
+  spec : spec_info option;
+}
+
+exception Compile_error of string
+
+let compile ?(mode = Spec) ?(policy = Lod.Raw_hazard_loads)
+    ?(merge = true) ?(check = true) (original : Func.t) : t =
+  if check then Verify.check_exn original;
+  (* front-end normalization (§3.2): irreducible control flow is made
+     reducible by node splitting, and multi-latch loops get a combined
+     latch, so the speculation passes can assume canonical form *)
+  if not (Loops.is_reducible original) then begin
+    let splits = Node_split.run original in
+    Logs.info (fun m ->
+        m "%s: made reducible with %d node split(s)" original.Func.name splits)
+  end;
+  (match Loops.check_canonical (Loops.compute original) with
+  | Ok () -> ()
+  | Error _ ->
+    let added = Loop_canon.run original in
+    Logs.info (fun m ->
+        m "%s: canonicalized loops with %d combined latch(es)"
+          original.Func.name added));
+  if check then Verify.check_exn original;
+  let lod = Lod.analyze ~policy original in
+  let slices = Decouple.run original in
+  let agu = slices.Decouple.agu and cu = slices.Decouple.cu in
+  let spec =
+    match mode with
+    | Dae -> None
+    | Spec ->
+      if Lod.has_data_lod lod then
+        Logs.warn (fun m ->
+            m "%s: data LoD on mem ops %a — speculation cannot recover these"
+              original.Func.name
+              Fmt.(list ~sep:(any ", ") int)
+              (Lod.data_blocked lod));
+      let hoist =
+        try Hoist.run agu lod
+        with Hoist.Unhoistable msg -> raise (Compile_error msg)
+      in
+      if hoist.Hoist.spec_req_map = [] then None
+      else begin
+        let poison = Poison.run cu hoist in
+        let load_stats = Spec_load.run cu hoist in
+        (* merge after CFG cleanup: simplification collapses the empty join
+           blocks between a poison block and the latch, exposing poison
+           blocks with identical successors (the paper's mm example merges
+           only then) *)
+        Decouple.cleanup cu;
+        let merged_blocks = if merge then Merge.run cu else 0 in
+        Some
+          {
+            hoist;
+            poison_stats = poison.Poison.stats;
+            merged_blocks;
+            load_stats;
+          }
+      end
+  in
+  Decouple.cleanup agu;
+  Decouple.cleanup cu;
+  if check then begin
+    Verify.check_exn agu;
+    Verify.check_exn cu
+  end;
+  {
+    mode;
+    original;
+    lod;
+    agu;
+    cu;
+    channels = slices.Decouple.channels;
+    load_subscribers =
+      Decouple.load_subscribers
+        { slices with Decouple.agu; Decouple.cu };
+    spec;
+  }
+
+(* Number of CU blocks that exist purely to poison (post-merge), the
+   quantity Table 1 reports. *)
+let poison_block_count (t : t) : int =
+  List.length
+    (List.filter
+       (fun bid ->
+         match Merge.poison_signature (Func.block t.cu bid) with
+         | Some _ -> true
+         | None -> false)
+       t.cu.Func.layout)
+
+let poison_call_count (t : t) : int =
+  Func.fold_instrs t.cu
+    (fun acc (i : Instr.t) ->
+      match i.Instr.kind with Instr.Poison _ -> acc + 1 | _ -> acc)
+    0
+
+let pp_summary ppf (t : t) =
+  Fmt.pf ppf "%s [%s]: agu %d blocks, cu %d blocks, %d channels"
+    t.original.Func.name
+    (match t.mode with Dae -> "dae" | Spec -> "spec")
+    (List.length t.agu.Func.layout)
+    (List.length t.cu.Func.layout)
+    (List.length t.channels);
+  match t.spec with
+  | None -> Fmt.pf ppf " (no speculation applied)"
+  | Some s ->
+    Fmt.pf ppf " | spec: %d poison calls, %d poison blocks (%d merged)"
+      s.poison_stats.Poison.poison_calls s.poison_stats.Poison.poison_blocks
+      s.merged_blocks

@@ -1,0 +1,48 @@
+(** End-to-end compilation pipeline:
+
+    {v
+    original ─ Lod.analyze ─► Decouple (§3.2) ─► AGU + CU clones
+                 [Spec] Hoist (Alg. 1, AGU)
+                 [Spec] Poison (Alg. 2+3, CU)
+                 [Spec] Spec_load (§5.4, CU)
+                 [Spec] Merge (§5.3, CU, after CU cleanup)
+              ─► per-slice DCE + CFG simplification ─► verify
+    v} *)
+
+open Dae_ir
+
+type mode =
+  | Dae  (** decoupling only — the paper's LoD-suffering baseline *)
+  | Spec  (** with the paper's speculation support *)
+
+type spec_info = {
+  hoist : Hoist.t;
+  poison_stats : Poison.stats;
+  merged_blocks : int;
+  load_stats : Spec_load.stats;
+}
+
+type t = {
+  mode : mode;
+  original : Func.t;
+  lod : Lod.t;
+  agu : Func.t;
+  cu : Func.t;
+  channels : Decouple.channel_use list;
+  load_subscribers : (Instr.mem_id * [ `Agu | `Cu ] list) list;
+  spec : spec_info option;  (** [None] when nothing was speculated *)
+}
+
+exception Compile_error of string
+
+(** [merge] toggles §5.3 poison-block merging (ablations); [check] runs the
+    IR verifier on the input and on both slices. *)
+val compile :
+  ?mode:mode -> ?policy:Lod.policy -> ?merge:bool -> ?check:bool -> Func.t -> t
+
+(** CU blocks that exist purely to poison, post-merge (Table 1's "Poison
+    Blocks"). *)
+val poison_block_count : t -> int
+
+val poison_call_count : t -> int
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,265 @@
+(* Algorithms 2 and 3: poisoning mis-speculated stores in the CU (§5.2).
+
+   Phase 1 (Algorithm 2) runs on the *unmodified* CU CFG and maps poison
+   calls to CFG edges. For every speculation block and every DAG path from
+   it to the loop latch, the pending speculative requests are tracked in
+   speculation order (grouped by the block where they become true). At each
+   edge of the path:
+
+     - if the edge destination IS the head group's true-block, the group is
+       used there (its produce_val executes) — resolved, next edge;
+     - else if the head group's true-block is no longer reachable (forward
+       edges only) from the edge destination, the group is poisoned on this
+       edge and the next group is examined on the same edge;
+     - else the head is still reachable: the edge is skipped entirely —
+       poisoning a later group now would break the AGU/CU stream order
+       (the paper's §2 counterexample).
+
+   Phase 2 (Algorithm 3) materialises each (edge, group) decision:
+
+     - if the speculation block dominates the edge source, the poison fires
+       whenever the edge is taken: append to the edge source when it has a
+       single successor, prepend to the destination when it has a single
+       predecessor, otherwise split the edge with a poison block (reused by
+       later decisions on the same edge);
+     - otherwise the edge is reachable on paths that never speculated, and
+       the poison must be *steered*: a φ network (Steer) carries a "passed
+       the speculation block" flag, and a dispatch block on the edge
+       branches to the poison block only when the flag is set. *)
+
+open Dae_ir
+
+type decision = {
+  edge : int * int;
+  spec_bb : int;
+  true_bb : int;
+  requests : Hoist.spec_req list; (* the group's store requests, in order *)
+}
+
+type stats = {
+  mutable poison_calls : int;
+  mutable poison_blocks : int; (* blocks created to host poison calls *)
+  mutable steer_blocks : int; (* dispatch blocks for steered poisons *)
+  mutable steer_phis : int;
+}
+
+type t = { decisions : decision list; stats : stats }
+
+exception Poison_error of string
+
+(* All DAG paths (as edge lists) from [src] to the latch of its innermost
+   loop (or to function exits when [src] is not in a loop). Loop-exit edges
+   terminate a path: every group still pending there is out of reach and
+   gets poisoned on that edge. *)
+let all_paths (f : Func.t) (loops : Loops.t) src : (int * int) list list =
+  let own_loop = Loops.innermost loops src in
+  let in_scope dst =
+    match own_loop with Some l -> List.mem dst l.Loops.body | None -> true
+  in
+  let terminal bid =
+    match own_loop with
+    | Some l -> bid = l.Loops.latch
+    | None -> Func.successors f bid = []
+  in
+  let limit = 200_000 in
+  let count = ref 0 in
+  let paths = ref [] in
+  let rec go bid acc =
+    incr count;
+    if !count > limit then
+      raise (Poison_error "path explosion in Algorithm 2 (CFG too irregular)");
+    if terminal bid then paths := List.rev acc :: !paths
+    else begin
+      let succs =
+        List.filter
+          (fun s -> not (Loops.is_backedge loops ~src:bid ~dst:s))
+          (Func.successors f bid)
+      in
+      if succs = [] then paths := List.rev acc :: !paths
+      else
+        List.iter
+          (fun s ->
+            if in_scope s then go s ((bid, s) :: acc)
+            else
+              (* loop-exit edge: terminal for poisoning purposes *)
+              paths := List.rev ((bid, s) :: acc) :: !paths)
+          succs
+    end
+  in
+  go src [];
+  List.rev !paths
+
+(* Group consecutive requests by their true block, preserving order. *)
+let group_by_true_bb (reqs : Hoist.spec_req list) :
+    (int * Hoist.spec_req list) list =
+  List.fold_left
+    (fun acc (r : Hoist.spec_req) ->
+      match acc with
+      | (bb, group) :: rest when bb = r.Hoist.true_bb ->
+        (bb, group @ [ r ]) :: rest
+      | _ -> (r.Hoist.true_bb, [ r ]) :: acc)
+    [] reqs
+  |> List.rev
+
+(* --- Phase 1: map poisons to edges (Algorithm 2) ------------------------- *)
+
+let map_to_edges (cu : Func.t) (hoist : Hoist.t) : decision list =
+  let loops = Loops.compute cu in
+  let reach = Reach.create_with_backedges cu ~backedges:loops.Loops.backedges in
+  let decisions = ref [] in
+  let seen = Hashtbl.create 32 in
+  (* (edge, true_bb, spec_bb) dedup: Algorithm 3 runs once per tuple *)
+  List.iter
+    (fun (spec_bb, spec_requests) ->
+      let store_groups =
+        group_by_true_bb
+          (List.filter (fun (r : Hoist.spec_req) -> r.Hoist.is_store)
+             spec_requests)
+      in
+      if store_groups <> [] then
+        List.iter
+          (fun path ->
+            let pending = ref store_groups in
+            List.iter
+              (fun ((_, dst) as edge) ->
+                let rec resolve () =
+                  match !pending with
+                  | [] -> ()
+                  | (true_bb, group) :: rest ->
+                    if dst = true_bb then
+                      (* used at dst; stop processing this edge *)
+                      pending := rest
+                    else if not (Reach.reachable reach ~src:dst ~dst:true_bb)
+                    then begin
+                      let key = (edge, true_bb, spec_bb) in
+                      if not (Hashtbl.mem seen key) then begin
+                        Hashtbl.replace seen key ();
+                        decisions :=
+                          { edge; spec_bb; true_bb; requests = group }
+                          :: !decisions
+                      end;
+                      pending := rest;
+                      resolve ()
+                    end
+                    (* still reachable: skip the rest of this edge *)
+                in
+                resolve ())
+              path)
+          (all_paths cu loops spec_bb))
+    hoist.Hoist.spec_req_map;
+  List.rev !decisions
+
+(* --- Phase 2: place poisons into blocks (Algorithm 3) -------------------- *)
+
+let poison_instrs (cu : Func.t) (group : Hoist.spec_req list) : Instr.t list =
+  List.map
+    (fun (r : Hoist.spec_req) ->
+      { Instr.id = Func.fresh_vid cu;
+        kind = Instr.Poison { arr = r.Hoist.arr; mem = r.Hoist.mem } })
+    group
+
+let place (cu : Func.t) (decisions : decision list) : stats =
+  let stats =
+    { poison_calls = 0; poison_blocks = 0; steer_blocks = 0; steer_phis = 0 }
+  in
+  let dom = Dom.compute cu in
+  let steer = Steer.create cu in
+  let phi_count (f : Func.t) =
+    List.fold_left
+      (fun acc bid -> acc + List.length (Func.block f bid).Block.phis)
+      0 f.Func.layout
+  in
+  (* Group decisions per edge, preserving order: a dynamic execution taking
+     the edge must encounter the poison stations in decision order. *)
+  let edges =
+    List.fold_left
+      (fun acc d -> if List.mem d.edge acc then acc else acc @ [ d.edge ])
+      [] decisions
+  in
+  List.iter
+    (fun ((src, dst) as edge) ->
+      let ds = List.filter (fun d -> d.edge = edge) decisions in
+      (* The chain grows between [tail] and [dst]; [tail] always has [dst]
+         as its unique remaining link for this edge. [last_plain] is a
+         reusable unconditional host at the chain's end. *)
+      let tail = ref src in
+      let last_plain : Block.t option ref = ref None in
+      let fresh_plain () =
+        let nb = Func.split_edge cu ~src:!tail ~dst in
+        stats.poison_blocks <- stats.poison_blocks + 1;
+        tail := nb.Block.bid;
+        last_plain := Some nb;
+        nb
+      in
+      let all_unsteered =
+        List.for_all (fun d -> Dom.dominates dom d.spec_bb src) ds
+      in
+      (* Paper's case-3 shortcuts, valid when nothing on this edge needs
+         steering: append to a single-successor source (block 6 killing
+         store e) or prepend to a single-predecessor destination. *)
+      let src_single_succ =
+        match Block.successors (Func.block cu src) with
+        | [ s ] -> s = dst
+        | _ -> false
+      in
+      let dst_preds =
+        List.filter (fun p -> List.mem dst (Func.successors cu p)) cu.Func.layout
+      in
+      if all_unsteered && src_single_succ then begin
+        List.iter
+          (fun d ->
+            let instrs = poison_instrs cu d.requests in
+            stats.poison_calls <- stats.poison_calls + List.length instrs;
+            List.iter (Block.append_instr (Func.block cu src)) instrs)
+          ds
+      end
+      else if all_unsteered && dst_preds = [ src ] then begin
+        let instrs =
+          List.concat_map (fun d -> poison_instrs cu d.requests) ds
+        in
+        stats.poison_calls <- stats.poison_calls + List.length instrs;
+        List.iter (Block.prepend_instr (Func.block cu dst)) (List.rev instrs)
+      end
+      else
+        List.iter
+          (fun d ->
+            let instrs = poison_instrs cu d.requests in
+            stats.poison_calls <- stats.poison_calls + List.length instrs;
+            if Dom.dominates dom d.spec_bb src then begin
+              (* Unconditional: reuse the plain host at the chain end if the
+                 previous station was plain, else open a new one (case 1
+                 with poisonBlockReuse). *)
+              let host =
+                match !last_plain with Some b -> b | None -> fresh_plain ()
+              in
+              List.iter (Block.append_instr host) instrs
+            end
+            else begin
+              (* Steered (case 2): dispatch → poison → join, all spliced at
+                 the chain end. The join keeps the chain's tail a single
+                 block with a unique successor. *)
+              let phis_before = phi_count cu in
+              let flag = Steer.flag_at steer ~spec_bb:d.spec_bb ~block:src in
+              stats.steer_phis <- stats.steer_phis + (phi_count cu - phis_before);
+              let dispatch = Func.split_edge cu ~src:!tail ~dst in
+              let join = Func.split_edge cu ~src:dispatch.Block.bid ~dst in
+              let poison_bb =
+                Func.add_block ~after:dispatch.Block.bid cu
+                  ~term:(Block.Br join.Block.bid)
+              in
+              dispatch.Block.term <-
+                Block.Cond_br (flag, poison_bb.Block.bid, join.Block.bid);
+              List.iter (Block.append_instr poison_bb) instrs;
+              stats.poison_blocks <- stats.poison_blocks + 1;
+              stats.steer_blocks <- stats.steer_blocks + 2;
+              tail := join.Block.bid;
+              last_plain := None
+            end)
+          ds)
+    edges;
+  stats
+
+let run (cu : Func.t) (hoist : Hoist.t) : t =
+  let decisions = map_to_edges cu hoist in
+  let stats = place cu decisions in
+  { decisions; stats }

@@ -1,0 +1,51 @@
+(** Algorithms 2 and 3: poisoning mis-speculated stores in the CU (§5.2).
+
+    Phase 1 (Algorithm 2) maps poison calls to CFG edges: along every DAG
+    path from a speculation block to the loop latch, the pending request
+    groups are tracked in speculation order; a group is poisoned on the
+    first edge from which its true-block is unreachable — but only once
+    every earlier group has been used or poisoned (skipping the edge
+    otherwise), which is what keeps the store-value stream in request order
+    (the §2 counterexample).
+
+    Phase 2 (Algorithm 3) materialises each decision: appended to a
+    single-successor source, prepended to a single-predecessor destination,
+    hosted in a (reused) block split on the edge — or, when the speculation
+    block does not dominate the edge, guarded by a steering flag φ network
+    ({!Steer}) so the poison fires only on paths that actually
+    speculated. *)
+
+open Dae_ir
+
+type decision = {
+  edge : int * int;
+  spec_bb : int;
+  true_bb : int;
+  requests : Hoist.spec_req list;  (** the group's stores, in order *)
+}
+
+type stats = {
+  mutable poison_calls : int;
+  mutable poison_blocks : int;
+  mutable steer_blocks : int;
+  mutable steer_phis : int;
+}
+
+type t = { decisions : decision list; stats : stats }
+
+exception Poison_error of string
+
+(** All DAG paths (edge lists) from a block to its loop latch (or function
+    exits). @raise Poison_error on path explosion. *)
+val all_paths : Func.t -> Loops.t -> int -> (int * int) list list
+
+val group_by_true_bb :
+  Hoist.spec_req list -> (int * Hoist.spec_req list) list
+
+(** Phase 1 — runs on the unmodified CU CFG. *)
+val map_to_edges : Func.t -> Hoist.t -> decision list
+
+(** Phase 2 — mutates the CU. *)
+val place : Func.t -> decision list -> stats
+
+val run : Func.t -> Hoist.t -> t

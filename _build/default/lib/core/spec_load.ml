@@ -1,0 +1,76 @@
+(* Speculative load consumption (paper §5.4).
+
+   For every *load* request hoisted in the AGU, the CU's matching
+   [consume_val] is moved to the same speculation block(s), so that the
+   number and position of consumes matches the number of speculative
+   requests on every path — the CU then either uses the value or discards
+   it. Uses of the load value are rewritten by SSA repair (φ insertion at
+   join points), which also realises the paper's "update all φ instructions
+   that use the load value". *)
+
+open Dae_ir
+
+type stats = { moved_consumes : int; repair_phis : int }
+
+let run (cu : Func.t) (hoist : Hoist.t) : stats =
+  (* Collect, per speculated load mem id, the speculation blocks. *)
+  let spec_blocks_of_mem : (Instr.mem_id, int list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (head, reqs) ->
+      List.iter
+        (fun (r : Hoist.spec_req) ->
+          if not r.Hoist.is_store then begin
+            let cur =
+              try Hashtbl.find spec_blocks_of_mem r.Hoist.mem
+              with Not_found -> []
+            in
+            if not (List.mem head cur) then
+              Hashtbl.replace spec_blocks_of_mem r.Hoist.mem (cur @ [ head ])
+          end)
+        reqs)
+    hoist.Hoist.spec_req_map;
+  let moved = ref 0 in
+  let phis_before =
+    List.fold_left
+      (fun acc bid -> acc + List.length (Func.block cu bid).Block.phis)
+      0 cu.Func.layout
+  in
+  Hashtbl.iter
+    (fun mem heads ->
+      (* Find the consume for this load in the CU. *)
+      let found =
+        List.find_map
+          (fun bid ->
+            List.find_map
+              (fun (i : Instr.t) ->
+                match i.Instr.kind with
+                | Instr.Consume_val { arr; mem = m } when m = mem ->
+                  Some (bid, i.Instr.id, arr)
+                | _ -> None)
+              (Func.block cu bid).Block.instrs)
+          cu.Func.layout
+      in
+      match found with
+      | None -> () (* load value unused in CU; nothing to move *)
+      | Some (bid, old_id, arr) ->
+        Block.remove_instr (Func.block cu bid) ~id:old_id;
+        let defs =
+          List.map
+            (fun head ->
+              let id = Func.fresh_vid cu in
+              Block.append_instr (Func.block cu head)
+                { Instr.id; kind = Instr.Consume_val { arr; mem } };
+              incr moved;
+              (head, Types.Var id))
+            heads
+        in
+        Ssa_repair.rewrite_uses cu ~old_vid:old_id ~defs ~ty:Types.I32 ())
+    spec_blocks_of_mem;
+  let phis_after =
+    List.fold_left
+      (fun acc bid -> acc + List.length (Func.block cu bid).Block.phis)
+      0 cu.Func.layout
+  in
+  { moved_consumes = !moved; repair_phis = phis_after - phis_before }

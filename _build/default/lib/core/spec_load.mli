@@ -1,0 +1,11 @@
+(** Speculative load consumption (§5.4): every hoisted load's [consume_val]
+    in the CU moves to the same speculation block(s) as its request in the
+    AGU, so consumes and requests pair up on every path; uses of the value
+    are rewritten by SSA repair (the paper's "update all φ instructions
+    that use the load value"). *)
+
+open Dae_ir
+
+type stats = { moved_consumes : int; repair_phis : int }
+
+val run : Func.t -> Hoist.t -> stats

@@ -1,0 +1,67 @@
+(* Steering flags for Algorithm 3, case 2 (paper §5.2.2).
+
+   When a poison block on edge (src, dst) must fire only on paths that
+   passed the speculation block, the paper threads a φ network carrying 1
+   from [specBB] to [src] ("create ϕ(1, specBB) value in edge_src ...
+   create recursively on specBB→edge_src paths"). [flag_at] builds exactly
+   that SSA boolean: true iff the current iteration's path went through
+   [spec_bb].
+
+   The recursion is over forward (non-backedge) predecessors, so it is
+   well-founded on reducible CFGs:
+     - at [spec_bb] the flag is true;
+     - at a loop header the flag is false (a fresh iteration has not passed
+       [spec_bb] yet);
+     - at a block not forward-reachable from [spec_bb] it is false;
+     - at a block dominated by [spec_bb] it is true;
+     - otherwise it is a φ over the predecessors' flags. *)
+
+open Dae_ir
+
+type ctx = {
+  func : Func.t;
+  dom : Dom.t;
+  reach : Reach.t;
+  loops : Loops.t;
+  memo : (int * int, Types.operand) Hashtbl.t; (* (spec_bb, block) -> flag *)
+}
+
+let create (f : Func.t) =
+  {
+    func = f;
+    dom = Dom.compute f;
+    reach = Reach.create f;
+    loops = Loops.compute f;
+    memo = Hashtbl.create 16;
+  }
+
+(* The flag value available at the END of [block]. *)
+let rec flag_at (c : ctx) ~spec_bb ~block : Types.operand =
+  match Hashtbl.find_opt c.memo (spec_bb, block) with
+  | Some op -> op
+  | None ->
+    let result =
+      if block = spec_bb then Types.Cst (Types.Bool true)
+      else if Loops.is_header c.loops block then Types.Cst (Types.Bool false)
+      else if not (Reach.reachable c.reach ~src:spec_bb ~dst:block) then
+        Types.Cst (Types.Bool false)
+      else if Dom.dominates c.dom spec_bb block then
+        Types.Cst (Types.Bool true)
+      else begin
+        (* φ over forward predecessors. Memoise a placeholder first to cut
+           cycles defensively (reducible CFGs cannot hit it, but a malformed
+           input should fail loudly rather than loop). *)
+        let pid = Func.fresh_vid c.func in
+        Hashtbl.replace c.memo (spec_bb, block) (Types.Var pid);
+        let preds_tbl = Func.predecessors c.func in
+        let preds = try Hashtbl.find preds_tbl block with Not_found -> [] in
+        let incoming =
+          List.map (fun p -> (p, flag_at c ~spec_bb ~block:p)) preds
+        in
+        Block.add_phi (Func.block c.func block)
+          { Block.pid; ty = Types.I1; incoming };
+        Types.Var pid
+      end
+    in
+    Hashtbl.replace c.memo (spec_bb, block) result;
+    result

@@ -1,0 +1,13 @@
+(** Steering flags for Algorithm 3 case 2 (§5.2.2): an SSA boolean that is
+    true iff the current iteration's path went through the speculation
+    block — the paper's "create ϕ(1, specBB) ... recursively on
+    specBB→edge_src paths". *)
+
+open Dae_ir
+
+type ctx
+
+val create : Func.t -> ctx
+
+(** The flag available at the end of [block]; inserts φs as needed. *)
+val flag_at : ctx -> spec_bb:int -> block:int -> Types.operand

@@ -1,0 +1,1 @@
+lib/ir/const_fold.ml: Block Func Hashtbl Instr List Types

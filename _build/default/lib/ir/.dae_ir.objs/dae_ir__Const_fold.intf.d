@@ -1,0 +1,1 @@
+lib/ir/const_fold.mli: Block Func Instr Types

@@ -1,0 +1,1 @@
+lib/ir/control_dep.ml: Dom Func Hashtbl Lazy List

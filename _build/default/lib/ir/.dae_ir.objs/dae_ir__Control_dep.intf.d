@@ -1,0 +1,1 @@
+lib/ir/control_dep.mli: Func

@@ -1,0 +1,1 @@
+lib/ir/cse.ml: Block Dom Fmt Func Hashtbl Instr List Types

@@ -1,0 +1,1 @@
+lib/ir/dce.ml: Block Defuse Func Hashtbl Instr List Queue Types

@@ -1,0 +1,1 @@
+lib/ir/defuse.ml: Block Control_dep Func Hashtbl Instr Lazy List Types

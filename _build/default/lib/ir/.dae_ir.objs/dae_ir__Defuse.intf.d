@@ -1,0 +1,1 @@
+lib/ir/defuse.mli: Block Func Hashtbl Instr Types

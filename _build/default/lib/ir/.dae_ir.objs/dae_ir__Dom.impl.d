@@ -1,0 +1,1 @@
+lib/ir/dom.ml: Block Func Hashtbl List Order

@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Block Buffer Fmt Func Instr List Loops Printer String

@@ -1,0 +1,1 @@
+lib/ir/if_convert.ml: Block Func Instr List Types

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Block Fmt Func Hashtbl Instr List Option Printer Types

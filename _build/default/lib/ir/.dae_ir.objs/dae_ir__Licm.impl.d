@@ -1,0 +1,1 @@
+lib/ir/licm.ml: Block Dom Func Hashtbl Instr List Loops Types

@@ -1,0 +1,1 @@
+lib/ir/licm.mli: Func Loops

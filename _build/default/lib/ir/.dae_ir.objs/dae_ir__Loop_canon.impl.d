@@ -1,0 +1,1 @@
+lib/ir/loop_canon.ml: Block Func List Loops Types

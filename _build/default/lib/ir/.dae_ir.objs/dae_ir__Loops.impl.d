@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Dom Fmt Func Hashtbl List String

@@ -1,0 +1,1 @@
+lib/ir/node_split.ml: Block Dom Fmt Func Hashtbl Instr List Loops Ssa_repair Types

@@ -1,0 +1,1 @@
+lib/ir/node_split.mli: Func

@@ -1,0 +1,1 @@
+lib/ir/order.ml: Func Hashtbl List

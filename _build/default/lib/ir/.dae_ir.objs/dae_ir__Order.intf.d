@@ -1,0 +1,1 @@
+lib/ir/order.mli: Func Hashtbl

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Block Fmt Func Hashtbl Instr List String Types

@@ -1,0 +1,1 @@
+lib/ir/phi_to_select.mli: Func

@@ -1,0 +1,1 @@
+lib/ir/reach.ml: Func Hashtbl List Loops

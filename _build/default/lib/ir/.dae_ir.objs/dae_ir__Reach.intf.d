@@ -1,0 +1,1 @@
+lib/ir/reach.mli: Func

@@ -1,0 +1,1 @@
+lib/ir/simplify.ml: Block Func Hashtbl List Loops Order Types

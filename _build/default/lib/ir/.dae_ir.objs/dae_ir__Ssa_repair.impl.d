@@ -1,0 +1,1 @@
+lib/ir/ssa_repair.ml: Block Dom Func Hashtbl Instr List Queue Types

@@ -1,0 +1,1 @@
+lib/ir/ssa_repair.mli: Dom Func Hashtbl Types

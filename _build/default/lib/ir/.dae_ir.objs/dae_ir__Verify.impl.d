@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Block Dom Fmt Func Hashtbl Instr List Order Printer String Types

@@ -1,0 +1,107 @@
+(* Basic blocks: a φ-node section, a straight-line instruction body and a
+   single terminator. Blocks are mutable because the speculation
+   transformation performs heavy CFG surgery (hoisting, edge splitting,
+   steering-φ insertion). *)
+
+open Types
+
+type phi = {
+  pid : int; (* SSA value id defined by the φ *)
+  ty : ty;
+  incoming : (int * operand) list; (* predecessor block id, value *)
+}
+
+type terminator =
+  | Br of int
+  | Cond_br of operand * int * int (* cond, if-true target, if-false target *)
+  | Switch of operand * int list (* multi-way: i32 selector indexes targets *)
+  | Ret of operand option
+
+type t = {
+  bid : int;
+  mutable phis : phi list;
+  mutable instrs : Instr.t list;
+  mutable term : terminator;
+}
+
+let create ?(phis = []) ?(instrs = []) ~term bid = { bid; phis; instrs; term }
+
+let dedup xs =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] xs
+
+let successors (b : t) =
+  match b.term with
+  | Br t -> [ t ]
+  | Cond_br (_, t, f) -> if t = f then [ t ] else [ t; f ]
+  | Switch (_, ts) -> dedup ts
+  | Ret _ -> []
+
+(* Successors with duplicates preserved: a conditional branch where both
+   targets coincide still has two CFG edges for φ purposes; we normalise
+   such branches away in Simplify instead, so this returns the raw edges. *)
+let successor_edges (b : t) =
+  match b.term with
+  | Br t -> [ t ]
+  | Cond_br (_, t, f) -> [ t; f ]
+  | Switch (_, ts) -> ts
+  | Ret _ -> []
+
+let terminator_operands (b : t) =
+  match b.term with
+  | Br _ | Ret None -> []
+  | Cond_br (c, _, _) -> [ c ]
+  | Switch (c, _) -> [ c ]
+  | Ret (Some v) -> [ v ]
+
+let map_terminator_operands f (b : t) =
+  match b.term with
+  | Br _ as t -> t
+  | Cond_br (c, x, y) -> Cond_br (f c, x, y)
+  | Switch (c, ts) -> Switch (f c, ts)
+  | Ret None as t -> t
+  | Ret (Some v) -> Ret (Some (f v))
+
+(* Redirect every branch from this block that targets [old_target] to
+   [new_target]. φ-nodes of the targets are NOT adjusted here; callers use
+   Func.retarget_edge which also patches φ incoming lists. *)
+let replace_successor (b : t) ~old_target ~new_target =
+  b.term <-
+    (match b.term with
+    | Br t -> Br (if t = old_target then new_target else t)
+    | Cond_br (c, t, f) ->
+      let t = if t = old_target then new_target else t in
+      let f = if f = old_target then new_target else f in
+      Cond_br (c, t, f)
+    | Switch (c, ts) ->
+      Switch (c, List.map (fun t -> if t = old_target then new_target else t) ts)
+    | Ret _ as t -> t)
+
+let append_instr (b : t) (i : Instr.t) = b.instrs <- b.instrs @ [ i ]
+let prepend_instr (b : t) (i : Instr.t) = b.instrs <- i :: b.instrs
+
+let remove_instr (b : t) ~id =
+  b.instrs <- List.filter (fun (i : Instr.t) -> i.Instr.id <> id) b.instrs
+
+let add_phi (b : t) (p : phi) = b.phis <- b.phis @ [ p ]
+
+(* Rename the predecessor block mentioned in φ incoming edges, used when an
+   edge is split by the insertion of a poison block. *)
+let rename_phi_pred (b : t) ~old_pred ~new_pred =
+  b.phis <-
+    List.map
+      (fun (p : phi) ->
+        {
+          p with
+          incoming =
+            List.map
+              (fun (pred, v) -> ((if pred = old_pred then new_pred else pred), v))
+              p.incoming;
+        })
+      b.phis
+
+let remove_phi_pred (b : t) ~pred =
+  b.phis <-
+    List.map
+      (fun (p : phi) ->
+        { p with incoming = List.filter (fun (q, _) -> q <> pred) p.incoming })
+      b.phis

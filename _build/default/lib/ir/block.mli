@@ -1,0 +1,56 @@
+(** Basic blocks: a φ section, a straight-line body and one terminator.
+
+    Blocks are mutable because the speculation transformation performs
+    heavy CFG surgery (hoisting, edge splitting, steering-φ insertion). *)
+
+type phi = {
+  pid : int;  (** SSA value defined by the φ *)
+  ty : Types.ty;
+  incoming : (int * Types.operand) list;  (** (predecessor block, value) *)
+}
+
+type terminator =
+  | Br of int
+  | Cond_br of Types.operand * int * int  (** cond, if-true, if-false *)
+  | Switch of Types.operand * int list
+      (** multi-way branch: the i32 selector indexes the target list
+          (clamped); needed for the paper's Figure 4 running example *)
+  | Ret of Types.operand option
+
+type t = {
+  bid : int;
+  mutable phis : phi list;
+  mutable instrs : Instr.t list;
+  mutable term : terminator;
+}
+
+val create :
+  ?phis:phi list -> ?instrs:Instr.t list -> term:terminator -> int -> t
+
+val dedup : 'a list -> 'a list
+
+(** Successor blocks with duplicate targets collapsed. *)
+val successors : t -> int list
+
+(** Raw successor edges, duplicates preserved (a conditional branch with
+    equal targets still has two syntactic edges). *)
+val successor_edges : t -> int list
+
+val terminator_operands : t -> Types.operand list
+val map_terminator_operands : (Types.operand -> Types.operand) -> t -> terminator
+
+(** Redirect every branch to [old_target] onto [new_target]. φs of the
+    targets are not adjusted — use {!Func.split_edge} / {!Func.retarget_edge}
+    for SSA-preserving surgery. *)
+val replace_successor : t -> old_target:int -> new_target:int -> unit
+
+val append_instr : t -> Instr.t -> unit
+val prepend_instr : t -> Instr.t -> unit
+val remove_instr : t -> id:int -> unit
+val add_phi : t -> phi -> unit
+
+(** Rename the predecessor mentioned in φ incoming edges (edge splitting). *)
+val rename_phi_pred : t -> old_pred:int -> new_pred:int -> unit
+
+(** Drop φ incoming entries for a removed predecessor. *)
+val remove_phi_pred : t -> pred:int -> unit

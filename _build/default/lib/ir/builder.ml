@@ -1,0 +1,153 @@
+(* Structured IR construction.
+
+   Kernels (and the randomized program generator used in property tests)
+   build functions through this API, which guarantees the canonical loop
+   shape the speculation passes assume: one header, one latch, one
+   backedge, reducible control flow. *)
+
+open Types
+
+type t = { func : Func.t; mutable cur : int }
+
+let create ~name ~params =
+  let func = Func.create ~name ~params in
+  { func; cur = func.Func.entry }
+
+let func (b : t) = b.func
+let cur (b : t) = b.cur
+let seal (b : t) = b.func
+
+let set_cur (b : t) bid = b.cur <- bid
+let cur_block (b : t) = Func.block b.func b.cur
+let param (b : t) name = Var (Func.param_vid b.func name)
+
+let emit (b : t) kind =
+  let id = Func.fresh_vid b.func in
+  Block.append_instr (cur_block b) { Instr.id; kind };
+  Var id
+
+let binop (b : t) op x y = emit b (Instr.Binop (op, x, y))
+let add b x y = binop b Instr.Add x y
+let sub b x y = binop b Instr.Sub x y
+let mul b x y = binop b Instr.Mul x y
+let cmp (b : t) op x y = emit b (Instr.Cmp (op, x, y))
+let select (b : t) c x y = emit b (Instr.Select (c, x, y))
+let not_ (b : t) x = emit b (Instr.Not x)
+
+let load (b : t) arr idx =
+  let mem = Func.fresh_mem b.func in
+  emit b (Instr.Load { arr; idx; mem })
+
+let store (b : t) arr ~idx ~value =
+  let mem = Func.fresh_mem b.func in
+  ignore (emit b (Instr.Store { arr; idx; value; mem }))
+
+let int n = Cst (Int n)
+let bool v = Cst (Bool v)
+
+(* --- blocks and terminators --------------------------------------------- *)
+
+let new_block (b : t) =
+  (Func.add_block ~after:b.cur b.func ~term:(Block.Ret None)).Block.bid
+
+let br (b : t) target = (cur_block b).Block.term <- Block.Br target
+
+let cond_br (b : t) c t f = (cur_block b).Block.term <- Block.Cond_br (c, t, f)
+
+let switch (b : t) c targets =
+  (cur_block b).Block.term <- Block.Switch (c, targets)
+
+let ret (b : t) v = (cur_block b).Block.term <- Block.Ret v
+
+(* Insert a φ into the *current* block. Incoming list must cover exactly the
+   block's predecessors once construction is complete. *)
+let phi (b : t) ty incoming =
+  let pid = Func.fresh_vid b.func in
+  Block.add_phi (cur_block b) { Block.pid; ty; incoming };
+  Var pid
+
+(* --- structured control flow -------------------------------------------- *)
+
+(* if c then <then_> [else <else_>]; leaves the builder in the join block.
+   Each branch body returns the values to merge; the result is the list of
+   merged operands (φs in the join block, or the single branch's values when
+   the φ would be degenerate). *)
+let if_values (b : t) c ~tys ~then_ ~else_ =
+  let then_bb = new_block b in
+  let else_bb = new_block b in
+  let join_bb = new_block b in
+  cond_br b c then_bb else_bb;
+  set_cur b then_bb;
+  let then_vals = then_ b in
+  let then_end = b.cur in
+  br b join_bb;
+  set_cur b else_bb;
+  let else_vals = else_ b in
+  let else_end = b.cur in
+  br b join_bb;
+  set_cur b join_bb;
+  if List.length then_vals <> List.length tys
+     || List.length else_vals <> List.length tys
+  then invalid_arg "Builder.if_values: arity mismatch";
+  List.map2
+    (fun ty (tv, ev) -> phi b ty [ (then_end, tv); (else_end, ev) ])
+    tys
+    (List.combine then_vals else_vals)
+
+let if_ (b : t) c ~then_ ?else_ () =
+  let else_body = match else_ with Some f -> f | None -> fun _ -> () in
+  let (_ : operand list) =
+    if_values b c ~tys:[]
+      ~then_:(fun b ->
+        then_ b;
+        [])
+      ~else_:(fun b ->
+        else_body b;
+        [])
+  in
+  ()
+
+(* Canonical counted loop [for i = 0; i < n; i++] with loop-carried scalar
+   state. [body] receives the induction variable and the carried values and
+   returns their next-iteration values; it may create arbitrary nested
+   structured control flow. The builder is left in the exit block; the
+   carried values' final φs (at the header) are returned for use after the
+   loop. *)
+let counted_loop (b : t) ~n ?(carried = []) body =
+  let preheader = b.cur in
+  let fn = b.func in
+  let header = new_block b in
+  let body_bb = new_block b in
+  let exit_bb = new_block b in
+  br b header;
+  (* Pre-allocate φ ids so the body can reference them. *)
+  let i_pid = Func.fresh_vid fn in
+  let carried_pids =
+    List.map (fun (ty, init) -> (Func.fresh_vid fn, ty, init)) carried
+  in
+  set_cur b header;
+  let i_op = Var i_pid in
+  let carried_ops = List.map (fun (pid, _, _) -> Var pid) carried_pids in
+  let c = cmp b Instr.Slt i_op n in
+  cond_br b c body_bb exit_bb;
+  set_cur b body_bb;
+  let next_carried = body b ~i:i_op ~carried:carried_ops in
+  if List.length next_carried <> List.length carried then
+    invalid_arg "Builder.counted_loop: carried arity mismatch";
+  let i_next = add b i_op (int 1) in
+  let latch = b.cur in
+  br b header;
+  (* Install header φs now that the latch and next values are known. *)
+  let header_b = Func.block fn header in
+  header_b.Block.phis <-
+    {
+      Block.pid = i_pid;
+      ty = I32;
+      incoming = [ (preheader, int 0); (latch, i_next) ];
+    }
+    :: List.map2
+         (fun (pid, ty, init) next ->
+           { Block.pid; ty; incoming = [ (preheader, init); (latch, next) ] })
+         carried_pids next_carried;
+  set_cur b exit_bb;
+  carried_ops

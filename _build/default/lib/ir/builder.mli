@@ -1,0 +1,80 @@
+(** Structured IR construction.
+
+    The builder guarantees the canonical loop shape the speculation passes
+    assume (paper §3.2): a single header, a single latch, one backedge,
+    reducible control flow. Kernels and the randomized program generator
+    build all their functions through it. *)
+
+type t
+
+val create : name:string -> params:string list -> t
+
+(** The function under construction (also available while building). *)
+val func : t -> Func.t
+
+(** Finish and return the function. *)
+val seal : t -> Func.t
+
+(** Current insertion block. *)
+val cur : t -> int
+
+val set_cur : t -> int -> unit
+val cur_block : t -> Block.t
+
+(** Operand for a named parameter. *)
+val param : t -> string -> Types.operand
+
+(** {1 Instructions} — each appends to the current block and returns the
+    defined operand. *)
+
+val binop : t -> Instr.binop -> Types.operand -> Types.operand -> Types.operand
+val add : t -> Types.operand -> Types.operand -> Types.operand
+val sub : t -> Types.operand -> Types.operand -> Types.operand
+val mul : t -> Types.operand -> Types.operand -> Types.operand
+val cmp : t -> Instr.cmp -> Types.operand -> Types.operand -> Types.operand
+val select :
+  t -> Types.operand -> Types.operand -> Types.operand -> Types.operand
+val not_ : t -> Types.operand -> Types.operand
+val load : t -> string -> Types.operand -> Types.operand
+val store : t -> string -> idx:Types.operand -> value:Types.operand -> unit
+
+val int : int -> Types.operand
+val bool : bool -> Types.operand
+
+(** {1 Blocks and terminators} *)
+
+val new_block : t -> int
+val br : t -> int -> unit
+val cond_br : t -> Types.operand -> int -> int -> unit
+val switch : t -> Types.operand -> int list -> unit
+val ret : t -> Types.operand option -> unit
+
+(** Add a φ to the current block; incoming must match its final
+    predecessors. *)
+val phi : t -> Types.ty -> (int * Types.operand) list -> Types.operand
+
+(** {1 Structured control flow} *)
+
+(** [if_values b c ~tys ~then_ ~else_]: both arms return values to merge;
+    the builder is left in the join block, and the merged φs are returned. *)
+val if_values :
+  t ->
+  Types.operand ->
+  tys:Types.ty list ->
+  then_:(t -> Types.operand list) ->
+  else_:(t -> Types.operand list) ->
+  Types.operand list
+
+val if_ :
+  t -> Types.operand -> then_:(t -> unit) -> ?else_:(t -> unit) -> unit -> unit
+
+(** Canonical counted loop [for i = 0; i < n; i++] with loop-carried
+    scalars: [body] receives the induction variable and the carried values
+    and returns their next-iteration values. The builder is left in the
+    exit block; the carried φs are returned for use after the loop. *)
+val counted_loop :
+  t ->
+  n:Types.operand ->
+  ?carried:(Types.ty * Types.operand) list ->
+  (t -> i:Types.operand -> carried:Types.operand list -> Types.operand list) ->
+  Types.operand list

@@ -1,0 +1,130 @@
+(* Constant folding and algebraic simplification, with substitution-based
+   copy propagation: an instruction that folds to a constant or to one of
+   its own operands is deleted and its uses rewritten. Runs to a fixed
+   point (a fold can expose another). *)
+
+open Types
+
+(* The folded form of an instruction, if any. *)
+let fold_kind (k : Instr.kind) : operand option =
+  match k with
+  | Instr.Binop (op, Cst (Int a), Cst (Int b)) ->
+    Some (Cst (Int (Instr.eval_binop op a b)))
+  | Instr.Binop (op, x, Cst (Int 0)) -> (
+    match op with
+    | Instr.Add | Instr.Sub | Instr.Or | Instr.Xor | Instr.Shl | Instr.Ashr ->
+      Some x
+    | Instr.Mul | Instr.And -> Some (Cst (Int 0))
+    | _ -> None)
+  | Instr.Binop (op, Cst (Int 0), x) -> (
+    match op with
+    | Instr.Add | Instr.Or | Instr.Xor -> Some x
+    | Instr.Mul | Instr.And -> Some (Cst (Int 0))
+    | _ -> None)
+  | Instr.Binop (Instr.Mul, x, Cst (Int 1)) -> Some x
+  | Instr.Binop (Instr.Mul, Cst (Int 1), x) -> Some x
+  | Instr.Binop (Instr.Sdiv, x, Cst (Int 1)) -> Some x
+  | Instr.Binop (op, (Var a as x), Var b) when a = b -> (
+    match op with
+    | Instr.And | Instr.Or | Instr.Smin | Instr.Smax -> Some x
+    | Instr.Sub | Instr.Xor -> Some (Cst (Int 0))
+    | _ -> None)
+  | Instr.Cmp (op, Cst (Int a), Cst (Int b)) ->
+    Some (Cst (Bool (Instr.eval_cmp op a b)))
+  | Instr.Cmp (op, Var a, Var b) when a = b -> (
+    match op with
+    | Instr.Eq | Instr.Sle | Instr.Sge -> Some (Cst (Bool true))
+    | Instr.Ne | Instr.Slt | Instr.Sgt -> Some (Cst (Bool false)))
+  | Instr.Select (Cst (Bool true), x, _) -> Some x
+  | Instr.Select (Cst (Bool false), _, x) -> Some x
+  | Instr.Select (_, x, y) when equal_operand x y -> Some x
+  | Instr.Not (Cst (Bool b)) -> Some (Cst (Bool (not b)))
+  | _ -> None
+
+(* φs whose incoming values are all identical (or the φ itself) fold to
+   that value. *)
+let fold_phi (p : Block.phi) : operand option =
+  let values =
+    List.filter
+      (fun v -> v <> Var p.Block.pid)
+      (List.map snd p.Block.incoming)
+  in
+  match values with
+  | [] -> None
+  | v :: rest -> if List.for_all (equal_operand v) rest then Some v else None
+
+let substitute (f : Func.t) ~vid ~(with_ : operand) =
+  let subst op = if op = Var vid then with_ else op in
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      b.Block.instrs <- List.map (Instr.map_operands subst) b.Block.instrs;
+      b.Block.term <- Block.map_terminator_operands subst b;
+      b.Block.phis <-
+        List.map
+          (fun (p : Block.phi) ->
+            { p with
+              Block.incoming =
+                List.map (fun (pr, v) -> (pr, subst v)) p.Block.incoming })
+          b.Block.phis)
+    f.Func.layout
+
+(* One sweep: collect all folds first, then delete the folded definitions
+   and apply the (transitively resolved) substitutions — interleaving
+   deletion with substitution would clobber rewrites of instructions
+   captured earlier in the traversal. Returns the number of folds. *)
+let sweep (f : Func.t) : int =
+  let replacements : (int, operand) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.produces_value i then
+            match fold_kind i.Instr.kind with
+            | Some r -> Hashtbl.replace replacements i.Instr.id r
+            | None -> ())
+        b.Block.instrs;
+      List.iter
+        (fun (p : Block.phi) ->
+          match fold_phi p with
+          | Some r -> Hashtbl.replace replacements p.Block.pid r
+          | None -> ())
+        b.Block.phis)
+    f.Func.layout;
+  (* resolve replacement chains (%a -> %b -> 3) *)
+  let rec resolve seen op =
+    match op with
+    | Var v when Hashtbl.mem replacements v && not (List.mem v seen) ->
+      resolve (v :: seen) (Hashtbl.find replacements v)
+    | _ -> op
+  in
+  let folded = Hashtbl.length replacements in
+  if folded > 0 then begin
+    List.iter
+      (fun bid ->
+        let b = Func.block f bid in
+        b.Block.instrs <-
+          List.filter
+            (fun (i : Instr.t) -> not (Hashtbl.mem replacements i.Instr.id))
+            b.Block.instrs;
+        b.Block.phis <-
+          List.filter
+            (fun (p : Block.phi) -> not (Hashtbl.mem replacements p.Block.pid))
+            b.Block.phis)
+      f.Func.layout;
+    Hashtbl.iter
+      (fun vid r -> substitute f ~vid ~with_:(resolve [ vid ] r))
+      replacements
+  end;
+  folded
+
+let run (f : Func.t) : int =
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let n = sweep f in
+    total := !total + n;
+    continue_ := n > 0
+  done;
+  !total

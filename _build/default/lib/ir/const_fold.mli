@@ -1,0 +1,8 @@
+(** Constant folding and algebraic simplification with substitution-based
+    copy propagation, to a fixed point. Folds constant binops/compares/
+    selects/nots, identities (x+0, x*1, x&x, x-x, ...), and φs whose
+    incoming values coincide. Returns the number of folds. *)
+
+val fold_kind : Instr.kind -> Types.operand option
+val fold_phi : Block.phi -> Types.operand option
+val run : Func.t -> int

@@ -1,0 +1,74 @@
+(* Control dependence (Ferrante–Ottenstein–Warren, computed from the
+   postdominator tree as in the paper's §3.2 reference to Ottenstein et
+   al.).
+
+   Block B is control-dependent on block A iff A has successors S1, S2 such
+   that B postdominates S1 but B does not strictly postdominate A — i.e.
+   A's branch decides whether B executes. For every CFG edge (A, S) where S
+   is not A's immediate postdominator, every block from S up the
+   postdominator tree to (excluding) ipostdom(A) is control-dependent
+   on A. *)
+
+
+type t = {
+  direct : (int, int list) Hashtbl.t; (* block -> blocks it is directly cd on *)
+  transitive : (int, int list) Hashtbl.t Lazy.t;
+}
+
+let add tbl b a =
+  let cur = try Hashtbl.find tbl b with Not_found -> [] in
+  if not (List.mem a cur) then Hashtbl.replace tbl b (cur @ [ a ])
+
+let compute (f : Func.t) : t =
+  let pdom = Dom.compute_post f in
+  let direct = Hashtbl.create 16 in
+  List.iter
+    (fun (a, s) ->
+      let stop = Dom.idom pdom a in
+      (* Walk the postdominator tree from s upwards until ipostdom(a). *)
+      let rec walk n =
+        let continue_ =
+          match stop with Some st -> n <> st | None -> true
+        in
+        if continue_ && n <> Dom.virtual_exit then begin
+          add direct n a;
+          match Dom.idom pdom n with
+          | Some p when p <> n -> walk p
+          | Some _ | None -> ()
+        end
+      in
+      walk s)
+    (Func.edges f);
+  let transitive =
+    lazy
+      (let tr = Hashtbl.create 16 in
+       List.iter
+         (fun b ->
+           let seen = Hashtbl.create 8 in
+           let rec go n =
+             List.iter
+               (fun a ->
+                 if not (Hashtbl.mem seen a) then begin
+                   Hashtbl.replace seen a ();
+                   go a
+                 end)
+               (try Hashtbl.find direct n with Not_found -> [])
+           in
+           go b;
+           Hashtbl.replace tr b
+             (Hashtbl.fold (fun k () acc -> k :: acc) seen []
+             |> List.sort compare))
+         f.Func.layout;
+       tr)
+  in
+  { direct; transitive }
+
+(* Blocks whose branch [b] is directly control-dependent on. *)
+let sources (t : t) b = try Hashtbl.find t.direct b with Not_found -> []
+
+(* Transitive control dependencies of [b] (Definition 4.2's source "need
+   not be the immediate control dependency"). *)
+let transitive_sources (t : t) b =
+  try Hashtbl.find (Lazy.force t.transitive) b with Not_found -> []
+
+let depends (t : t) ~block ~on = List.mem on (transitive_sources t block)

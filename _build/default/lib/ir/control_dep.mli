@@ -1,0 +1,16 @@
+(** Control dependence (Ferrante–Ottenstein–Warren, from the postdominator
+    tree): block [b] is control-dependent on block [a] iff [a]'s branch
+    decides whether [b] executes. *)
+
+type t
+
+val compute : Func.t -> t
+
+(** Blocks whose branch [b] is directly control-dependent on. *)
+val sources : t -> int -> int list
+
+(** Transitive control dependencies — Definition 4.2's LoD source "need
+    not be the immediate control dependency". *)
+val transitive_sources : t -> int -> int list
+
+val depends : t -> block:int -> on:int -> bool

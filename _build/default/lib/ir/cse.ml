@@ -1,0 +1,104 @@
+(* Dominator-scoped common subexpression elimination.
+
+   Pure instructions with identical (opcode, operands) compute the same
+   value; a later occurrence dominated by an earlier one is replaced by it.
+   The hoisting pass duplicates address chains per chain head, and LICM
+   piles invariants into preheaders — CSE cleans both up (e.g. fw's
+   [i*n] recomputed for [d[i*n+k]] and [d[i*n+j]]).
+
+   Implementation: walk the dominator tree with a scoped hash of available
+   expressions; matches are substituted and removed. Loads are NOT value-
+   numbered (two loads of the same address may straddle a store). *)
+
+open Types
+
+(* A hashable key for a pure computation. *)
+type key = string
+
+let key_of (i : Instr.t) : key option =
+  let op = function
+    | Var v -> Fmt.str "v%d" v
+    | Cst (Int n) -> Fmt.str "i%d" n
+    | Cst (Bool b) -> Fmt.str "b%b" b
+  in
+  match i.Instr.kind with
+  | Instr.Binop (o, a, b) ->
+    (* exploit commutativity where it holds *)
+    let a, b =
+      match o with
+      | Instr.Add | Instr.Mul | Instr.And | Instr.Or | Instr.Xor | Instr.Smin
+      | Instr.Smax ->
+        if compare a b <= 0 then (a, b) else (b, a)
+      | _ -> (a, b)
+    in
+    Some (Fmt.str "%s(%s,%s)" (Instr.string_of_binop o) (op a) (op b))
+  | Instr.Cmp (c, a, b) ->
+    Some (Fmt.str "cmp%s(%s,%s)" (Instr.string_of_cmp c) (op a) (op b))
+  | Instr.Select (c, a, b) ->
+    Some (Fmt.str "sel(%s,%s,%s)" (op c) (op a) (op b))
+  | Instr.Not a -> Some (Fmt.str "not(%s)" (op a))
+  | _ -> None
+
+let run (f : Func.t) : int =
+  let dom = Dom.compute f in
+  let children = Dom.children dom in
+  let available : (key, int) Hashtbl.t = Hashtbl.create 64 in
+  let replacements : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let eliminated = ref 0 in
+  let subst op =
+    match op with
+    | Var v -> (
+      match Hashtbl.find_opt replacements v with
+      | Some w -> Var w
+      | None -> op)
+    | Cst _ -> op
+  in
+  let rec walk bid =
+    match Func.block_opt f bid with
+    | None -> ()
+    | Some b ->
+      (* φ incoming operands are rewritten later (they are uses at the end
+         of predecessors; a pred's replacement always dominates them) *)
+      let added = ref [] in
+      b.Block.instrs <-
+        List.filter
+          (fun (i : Instr.t) ->
+            let i' = Instr.map_operands subst i in
+            (* map_operands returns a copy: write the rewritten operands
+               back by replacing the list element below *)
+            match key_of i' with
+            | Some k -> (
+              match Hashtbl.find_opt available k with
+              | Some prior ->
+                Hashtbl.replace replacements i.Instr.id prior;
+                incr eliminated;
+                false
+              | None ->
+                Hashtbl.replace available k i'.Instr.id;
+                added := k :: !added;
+                true)
+            | None -> true)
+          b.Block.instrs;
+      b.Block.instrs <- List.map (Instr.map_operands subst) b.Block.instrs;
+      b.Block.term <- Block.map_terminator_operands subst b;
+      List.iter walk (try Hashtbl.find children bid with Not_found -> []);
+      (* pop this block's scope *)
+      List.iter (Hashtbl.remove available) !added
+  in
+  walk f.Func.entry;
+  (* φ uses: rewrite everywhere (dominance of the replacement over the
+     predecessor end is guaranteed because the replacement dominated the
+     replaced definition) *)
+  if Hashtbl.length replacements > 0 then
+    List.iter
+      (fun bid ->
+        let b = Func.block f bid in
+        b.Block.phis <-
+          List.map
+            (fun (p : Block.phi) ->
+              { p with
+                Block.incoming =
+                  List.map (fun (pr, v) -> (pr, subst v)) p.Block.incoming })
+            b.Block.phis)
+      f.Func.layout;
+  !eliminated

@@ -1,0 +1,7 @@
+(** Dominator-scoped common subexpression elimination over pure
+    instructions (commutativity-aware). Loads are not value-numbered (a
+    store may intervene). Cleans up the duplication introduced by per-head
+    address-chain hoisting and LICM. Returns the number of eliminated
+    instructions. *)
+
+val run : Func.t -> int

@@ -1,0 +1,75 @@
+(* Dead code elimination (paper §3.2 step 3).
+
+   After decoupling, the CU no longer needs address-generation code and the
+   AGU no longer needs compute code; a standard mark-and-sweep over the SSA
+   graph removes both. Roots are side-effecting instructions (stores,
+   channel operations) and branch conditions of live blocks. *)
+
+let run (f : Func.t) : int =
+  let live = Hashtbl.create 64 in
+  let worklist = Queue.create () in
+  let mark v =
+    if not (Hashtbl.mem live v) then begin
+      Hashtbl.replace live v ();
+      Queue.add v worklist
+    end
+  in
+  let mark_operands ops =
+    List.iter (function Types.Var v -> mark v | Types.Cst _ -> ()) ops
+  in
+  (* Roots: side effects and control flow. *)
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.has_side_effect i then begin
+            mark i.Instr.id;
+            mark_operands (Instr.operands i)
+          end)
+        b.Block.instrs;
+      mark_operands (Block.terminator_operands b))
+    f.Func.layout;
+  (* Propagate through use-def edges. *)
+  let du = Defuse.compute f in
+  while not (Queue.is_empty worklist) do
+    let v = Queue.pop worklist in
+    match Defuse.def_site du v with
+    | None | Some (Defuse.Param _) -> ()
+    | Some (Defuse.Instruction _) ->
+      (match Defuse.find_instr du v with
+      | None -> ()
+      | Some i -> mark_operands (Instr.operands i))
+    | Some (Defuse.Phi _) ->
+      (match Defuse.find_phi du v with
+      | None -> ()
+      | Some (p, _) -> mark_operands (List.map snd p.Block.incoming))
+  done;
+  (* Sweep. *)
+  let removed = ref 0 in
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      let keep_i (i : Instr.t) =
+        Instr.has_side_effect i || Hashtbl.mem live i.Instr.id
+      in
+      let keep_p (p : Block.phi) = Hashtbl.mem live p.Block.pid in
+      removed :=
+        !removed
+        + List.length (List.filter (fun i -> not (keep_i i)) b.Block.instrs)
+        + List.length (List.filter (fun p -> not (keep_p p)) b.Block.phis);
+      b.Block.instrs <- List.filter keep_i b.Block.instrs;
+      b.Block.phis <- List.filter keep_p b.Block.phis)
+    f.Func.layout;
+  !removed
+
+(* Run to a fixed point (a swept φ can make another φ dead). *)
+let run_to_fixpoint (f : Func.t) : int =
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let n = run f in
+    total := !total + n;
+    continue_ := n > 0
+  done;
+  !total

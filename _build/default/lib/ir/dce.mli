@@ -1,0 +1,6 @@
+(** Dead code elimination (paper §3.2 step 3): mark-and-sweep from
+    side-effecting instructions and branch conditions. Returns the number
+    of removed instructions/φs. *)
+
+val run : Func.t -> int
+val run_to_fixpoint : Func.t -> int

@@ -1,0 +1,135 @@
+(* SSA def-use chains.
+
+   The LoD analysis (paper §4) traces def-use paths from decoupled loads to
+   address-generating instructions and branch conditions, looking *through*
+   φ-nodes — and, per Definition 4.1, when a φ is crossed it additionally
+   traces the terminator conditions of the φ's incoming blocks. This module
+   provides the raw def-use and use-def indexes those traversals need. *)
+
+type def_site =
+  | Param of string
+  | Phi of int (* block id containing the φ *)
+  | Instruction of int (* block id containing the instruction *)
+
+type t = {
+  func : Func.t;
+  def_site : (int, def_site) Hashtbl.t; (* vid -> where it is defined *)
+  users : (int, int list) Hashtbl.t; (* vid -> vids of instrs/φs using it *)
+  term_users : (int, int list) Hashtbl.t; (* vid -> block ids whose terminator uses it *)
+}
+
+let vars_of_operands ops =
+  List.filter_map
+    (function Types.Var v -> Some v | Types.Cst _ -> None)
+    ops
+
+let compute (f : Func.t) : t =
+  let def_site = Hashtbl.create 64 in
+  let users = Hashtbl.create 64 in
+  let term_users = Hashtbl.create 16 in
+  let add_user tbl v u =
+    let cur = try Hashtbl.find tbl v with Not_found -> [] in
+    if not (List.mem u cur) then Hashtbl.replace tbl v (cur @ [ u ])
+  in
+  List.iter (fun (n, id) -> Hashtbl.replace def_site id (Param n)) f.Func.params;
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      List.iter
+        (fun (p : Block.phi) ->
+          Hashtbl.replace def_site p.Block.pid (Phi bid);
+          List.iter
+            (fun v -> add_user users v p.Block.pid)
+            (vars_of_operands (List.map snd p.Block.incoming)))
+        b.Block.phis;
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.produces_value i then
+            Hashtbl.replace def_site i.Instr.id (Instruction bid);
+          List.iter
+            (fun v -> add_user users v i.Instr.id)
+            (vars_of_operands (Instr.operands i)))
+        b.Block.instrs;
+      List.iter
+        (fun v -> add_user term_users v bid)
+        (vars_of_operands (Block.terminator_operands b)))
+    f.Func.layout;
+  { func = f; def_site; users; term_users }
+
+let def_site (t : t) vid = Hashtbl.find_opt t.def_site vid
+let users (t : t) vid = try Hashtbl.find t.users vid with Not_found -> []
+let terminator_users (t : t) vid =
+  try Hashtbl.find t.term_users vid with Not_found -> []
+
+let find_instr (t : t) vid : Instr.t option =
+  match def_site t vid with
+  | Some (Instruction bid) ->
+    List.find_opt
+      (fun (i : Instr.t) -> i.Instr.id = vid)
+      (Func.block t.func bid).Block.instrs
+  | Some (Param _ | Phi _) | None -> None
+
+let find_phi (t : t) vid : (Block.phi * int) option =
+  match def_site t vid with
+  | Some (Phi bid) ->
+    (match
+       List.find_opt
+         (fun (p : Block.phi) -> p.Block.pid = vid)
+         (Func.block t.func bid).Block.phis
+     with
+    | Some p -> Some (p, bid)
+    | None -> None)
+  | Some (Param _ | Instruction _) | None -> None
+
+(* Transitive closure of values reachable *backwards* from [vid] along the
+   use-def chain, i.e. everything [vid]'s computation depends on. When a
+   φ-node is crossed, per Definition 4.1 the conditions deciding which
+   incoming value is selected are also traced: the terminators of the φ's
+   incoming blocks (the paper's rule) and, because an incoming block may
+   end in an unconditional branch with the real decision made further up
+   (an empty diamond), the terminators of every block the φ's block is
+   control-dependent on. *)
+let backward_slice (t : t) vid : (int, unit) Hashtbl.t =
+  let cdep = lazy (Control_dep.compute t.func) in
+  let seen = Hashtbl.create 32 in
+  let rec go v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.replace seen v ();
+      match def_site t v with
+      | None | Some (Param _) -> ()
+      | Some (Instruction _) ->
+        (match find_instr t v with
+        | None -> ()
+        | Some i -> List.iter go (vars_of_operands (Instr.operands i)))
+      | Some (Phi _) ->
+        (match find_phi t v with
+        | None -> ()
+        | Some (p, _) ->
+          List.iter go
+            (vars_of_operands (List.map snd p.Block.incoming));
+          let trace_terminator bid =
+            match Func.block_opt t.func bid with
+            | None -> ()
+            | Some pb ->
+              List.iter go (vars_of_operands (Block.terminator_operands pb))
+          in
+          (* which incoming value is selected is decided by the incoming
+             blocks' own terminators and by every branch those blocks are
+             control-dependent on (the φ's block itself may postdominate
+             the decision, e.g. an empty diamond) *)
+          List.iter
+            (fun (pred, _) ->
+              trace_terminator pred;
+              List.iter trace_terminator
+                (Control_dep.transitive_sources (Lazy.force cdep) pred))
+            p.Block.incoming)
+    end
+  in
+  go vid;
+  seen
+
+(* Does the computation of [vid] (transitively) depend on any value in
+   [sources]? *)
+let depends_on (t : t) vid ~sources =
+  let slice = backward_slice t vid in
+  List.exists (fun s -> Hashtbl.mem slice s) sources

@@ -1,0 +1,34 @@
+(** SSA def-use chains and backward slicing.
+
+    The LoD analysis (paper §4) traces def-use paths from decoupled loads
+    to address computations and branch conditions, looking through φ-nodes;
+    per Definition 4.1, crossing a φ also traces the conditions that decide
+    which incoming value is selected. *)
+
+type def_site =
+  | Param of string
+  | Phi of int  (** block containing the φ *)
+  | Instruction of int  (** block containing the instruction *)
+
+type t
+
+val vars_of_operands : Types.operand list -> int list
+
+val compute : Func.t -> t
+
+val def_site : t -> int -> def_site option
+
+(** Instruction/φ ids using the value. *)
+val users : t -> int -> int list
+
+(** Blocks whose terminator uses the value. *)
+val terminator_users : t -> int -> int list
+
+val find_instr : t -> int -> Instr.t option
+val find_phi : t -> int -> (Block.phi * int) option
+
+(** Everything the value's computation transitively depends on, including
+    (through φs) the branch conditions selecting incoming values. *)
+val backward_slice : t -> int -> (int, unit) Hashtbl.t
+
+val depends_on : t -> int -> sources:int list -> bool

@@ -1,0 +1,118 @@
+(* Dominator and postdominator trees, via the Cooper–Harvey–Kennedy
+   iterative algorithm ("A Simple, Fast Dominance Algorithm").
+
+   Postdominance runs the same engine on the reversed CFG rooted at a
+   virtual exit node that every [Ret] block feeds; control dependence
+   (Dae_core.Control_dep) is computed from the postdominator tree. *)
+
+type t = {
+  idom : (int, int) Hashtbl.t; (* immediate dominator; root maps to itself *)
+  root : int;
+}
+
+(* Generic CHK over an explicit node list in reverse post-order. *)
+let compute_generic ~nodes_rpo ~preds ~root =
+  let index = Hashtbl.create 32 in
+  List.iteri (fun i n -> Hashtbl.replace index n i) nodes_rpo;
+  let idom = Hashtbl.create 32 in
+  Hashtbl.replace idom root root;
+  let intersect a b =
+    let rec go a b =
+      if a = b then a
+      else begin
+        let ia = Hashtbl.find index a and ib = Hashtbl.find index b in
+        if ia > ib then go (Hashtbl.find idom a) b else go a (Hashtbl.find idom b)
+      end
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        if n <> root then begin
+          let ps =
+            List.filter (fun p -> Hashtbl.mem idom p && Hashtbl.mem index p)
+              (preds n)
+          in
+          match ps with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if Hashtbl.find_opt idom n <> Some new_idom then begin
+              Hashtbl.replace idom n new_idom;
+              changed := true
+            end
+          end)
+      nodes_rpo
+  done;
+  { idom; root }
+
+let compute (f : Func.t) : t =
+  let nodes_rpo = Order.rpo f in
+  let preds_tbl = Func.predecessors f in
+  let preds n = try Hashtbl.find preds_tbl n with Not_found -> [] in
+  compute_generic ~nodes_rpo ~preds ~root:f.entry
+
+(* Virtual exit node used by the postdominator computation. Block ids are
+   non-negative, so -1 is free. *)
+let virtual_exit = -1
+
+let compute_post (f : Func.t) : t =
+  let rets =
+    List.filter
+      (fun bid ->
+        match (Func.block f bid).Block.term with
+        | Block.Ret _ -> true
+        | Block.Br _ | Block.Cond_br _ | Block.Switch _ -> false)
+      f.layout
+  in
+  (* Successors in the reversed graph = predecessors in the CFG, with the
+     virtual exit preceding every Ret block. *)
+  let preds_tbl = Func.predecessors f in
+  let rev_succs n =
+    if n = virtual_exit then rets
+    else try Hashtbl.find preds_tbl n with Not_found -> []
+  in
+  let nodes_rpo =
+    Order.reverse_postorder ~succs:rev_succs virtual_exit
+  in
+  let rev_preds n =
+    if n = virtual_exit then []
+    else
+      let direct = Func.successors f n in
+      let to_exit =
+        match (Func.block f n).Block.term with
+        | Block.Ret _ -> [ virtual_exit ]
+        | Block.Br _ | Block.Cond_br _ | Block.Switch _ -> []
+      in
+      direct @ to_exit
+  in
+  compute_generic ~nodes_rpo ~preds:rev_preds ~root:virtual_exit
+
+let idom (t : t) n = Hashtbl.find_opt t.idom n
+
+(* Does [a] dominate [b] (reflexively)? *)
+let dominates (t : t) a b =
+  let rec walk n =
+    if n = a then true
+    else if n = t.root then a = t.root
+    else
+      match Hashtbl.find_opt t.idom n with
+      | None -> false
+      | Some p -> if p = n then a = n else walk p
+  in
+  walk b
+
+let strictly_dominates (t : t) a b = a <> b && dominates t a b
+
+(* Children of each node in the dominator tree. *)
+let children (t : t) : (int, int list) Hashtbl.t =
+  let ch = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun n p ->
+      if n <> p then
+        Hashtbl.replace ch p (n :: (try Hashtbl.find ch p with Not_found -> [])))
+    t.idom;
+  ch

@@ -1,0 +1,27 @@
+(** Dominator and postdominator trees (Cooper–Harvey–Kennedy).
+
+    Postdominance runs the same engine on the reversed CFG rooted at a
+    virtual exit that every [ret] block feeds; control dependence is
+    derived from it. *)
+
+type t = {
+  idom : (int, int) Hashtbl.t;  (** immediate dominator; root maps to itself *)
+  root : int;
+}
+
+val compute : Func.t -> t
+
+(** The virtual exit node id used by {!compute_post} (never a block id). *)
+val virtual_exit : int
+
+val compute_post : Func.t -> t
+
+val idom : t -> int -> int option
+
+(** Reflexive dominance. *)
+val dominates : t -> int -> int -> bool
+
+val strictly_dominates : t -> int -> int -> bool
+
+(** Children map of the (post)dominator tree. *)
+val children : t -> (int, int list) Hashtbl.t

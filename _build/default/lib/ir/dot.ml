@@ -1,0 +1,73 @@
+(* Graphviz (DOT) export of the CFG, for inspecting transformation output
+   (`daec compile --backend dot`, or programmatically from the examples).
+
+   Blocks become record-shaped nodes listing φs and instructions; edge
+   styles distinguish loop backedges (dashed) from forward edges; poison
+   and channel instructions are visually tagged so the speculation
+   machinery stands out in the CU. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '{' | '}' | '<' | '>' | '|' ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c
+      | '\n' -> Buffer.add_string buf "\\l"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let instr_line (i : Instr.t) =
+  let text = Printer.instr_to_string i in
+  match i.Instr.kind with
+  | Instr.Poison _ -> "☠ " ^ text
+  | Instr.Send_ld_addr _ | Instr.Send_st_addr _ -> "→ " ^ text
+  | Instr.Consume_val _ -> "← " ^ text
+  | Instr.Produce_val _ -> "⇒ " ^ text
+  | _ -> text
+
+let block_label (b : Block.t) =
+  let lines =
+    (Fmt.str "bb%d:" b.Block.bid
+    :: List.map (fun p -> Fmt.str "%a" Printer.pp_phi p) b.Block.phis)
+    @ List.map instr_line b.Block.instrs
+    @ [ Fmt.str "%a" Printer.pp_terminator b.Block.term ]
+  in
+  escape (String.concat "\n" lines) ^ "\\l"
+
+let pp ppf (f : Func.t) =
+  let loops = Loops.compute f in
+  Fmt.pf ppf "digraph %s {@." (String.map (fun c -> if c = '.' then '_' else c) f.Func.name);
+  Fmt.pf ppf "  node [shape=box, fontname=\"monospace\", fontsize=9];@.";
+  Fmt.pf ppf "  label=\"%s\";@." f.Func.name;
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      let style =
+        if bid = f.Func.entry then ", style=bold"
+        else if Loops.is_header loops bid then ", style=filled, fillcolor=\"#eef5ff\""
+        else if
+          List.exists
+            (fun (i : Instr.t) ->
+              match i.Instr.kind with Instr.Poison _ -> true | _ -> false)
+            b.Block.instrs
+        then ", style=filled, fillcolor=\"#ffecec\""
+        else ""
+      in
+      Fmt.pf ppf "  bb%d [label=\"%s\"%s];@." bid (block_label b) style)
+    f.Func.layout;
+  List.iter
+    (fun (src, dst) ->
+      let attrs =
+        if Loops.is_backedge loops ~src ~dst then
+          " [style=dashed, constraint=false]"
+        else ""
+      in
+      Fmt.pf ppf "  bb%d -> bb%d%s;@." src dst attrs)
+    (Func.edges f);
+  Fmt.pf ppf "}@."
+
+let to_string (f : Func.t) = Fmt.str "%a" pp f

@@ -1,0 +1,5 @@
+(** Graphviz (DOT) export of a function's CFG: headers shaded, poison
+    blocks highlighted, backedges dashed, channel operations tagged. *)
+
+val pp : Format.formatter -> Func.t -> unit
+val to_string : Func.t -> string

@@ -1,0 +1,208 @@
+(* Functions: a named entry block, a block table, and fresh-id counters.
+
+   The block table is mutable (blocks are added by edge splitting and poison
+   insertion, removed by CFG simplification); analyses over the CFG are
+   recomputed from scratch after mutation — the functions involved are
+   kernel-sized, so clarity wins over incrementality. *)
+
+type t = {
+  name : string;
+  params : (string * int) list; (* parameter name, SSA value id *)
+  entry : int;
+  blocks : (int, Block.t) Hashtbl.t;
+  mutable layout : int list; (* printing / iteration order *)
+  mutable next_vid : int;
+  mutable next_bid : int;
+  mutable next_mem : int;
+}
+
+let create ~name ~params =
+  let next_vid = ref 0 in
+  let params =
+    List.map
+      (fun p ->
+        let id = !next_vid in
+        incr next_vid;
+        (p, id))
+      params
+  in
+  let entry_bid = 0 in
+  let entry = Block.create ~term:(Block.Ret None) entry_bid in
+  let blocks = Hashtbl.create 16 in
+  Hashtbl.replace blocks entry_bid entry;
+  {
+    name;
+    params;
+    entry = entry_bid;
+    blocks;
+    layout = [ entry_bid ];
+    next_vid = !next_vid;
+    next_bid = entry_bid + 1;
+    next_mem = 0;
+  }
+
+let block (f : t) bid =
+  match Hashtbl.find_opt f.blocks bid with
+  | Some b -> b
+  | None -> Fmt.invalid_arg "Func.block: no block %d in %s" bid f.name
+
+let block_opt (f : t) bid = Hashtbl.find_opt f.blocks bid
+let mem_block (f : t) bid = Hashtbl.mem f.blocks bid
+
+let blocks_in_layout (f : t) = List.map (block f) f.layout
+
+let entry_block (f : t) = block f f.entry
+
+let fresh_vid (f : t) =
+  let id = f.next_vid in
+  f.next_vid <- id + 1;
+  id
+
+let fresh_mem (f : t) =
+  let id = f.next_mem in
+  f.next_mem <- id + 1;
+  id
+
+(* Create a fresh empty block, terminated by [term], and register it in the
+   layout right after [after] when given (purely cosmetic for printing). *)
+let add_block ?after (f : t) ~term =
+  let bid = f.next_bid in
+  f.next_bid <- bid + 1;
+  let b = Block.create ~term bid in
+  Hashtbl.replace f.blocks bid b;
+  (f.layout <-
+     match after with
+     | None -> f.layout @ [ bid ]
+     | Some a ->
+       let rec ins = function
+         | [] -> [ bid ]
+         | x :: rest when x = a -> x :: bid :: rest
+         | x :: rest -> x :: ins rest
+       in
+       ins f.layout);
+  b
+
+let remove_block (f : t) bid =
+  Hashtbl.remove f.blocks bid;
+  f.layout <- List.filter (fun b -> b <> bid) f.layout
+
+let param_vid (f : t) name =
+  match List.assoc_opt name f.params with
+  | Some id -> id
+  | None -> Fmt.invalid_arg "Func.param_vid: no parameter %s in %s" name f.name
+
+(* Deep copy: blocks are fresh records, so mutations of the clone never
+   affect the original. Ids (blocks, values, mem ids) are preserved — the
+   decoupler relies on the AGU and CU slices sharing the original's block
+   ids until their CFGs are simplified. *)
+let clone ?name (f : t) : t =
+  let blocks = Hashtbl.create (Hashtbl.length f.blocks) in
+  Hashtbl.iter
+    (fun bid (b : Block.t) ->
+      Hashtbl.replace blocks bid
+        (Block.create ~phis:b.Block.phis ~instrs:b.Block.instrs
+           ~term:b.Block.term bid))
+    f.blocks;
+  {
+    name = (match name with Some n -> n | None -> f.name);
+    params = f.params;
+    entry = f.entry;
+    blocks;
+    layout = f.layout;
+    next_vid = f.next_vid;
+    next_bid = f.next_bid;
+    next_mem = f.next_mem;
+  }
+
+(* --- CFG structure ------------------------------------------------------ *)
+
+let successors (f : t) bid = Block.successors (block f bid)
+
+(* Predecessor map (with duplicate edges collapsed, mirroring
+   Block.successors). *)
+let predecessors (f : t) : (int, int list) Hashtbl.t =
+  let preds = Hashtbl.create 16 in
+  List.iter (fun bid -> Hashtbl.replace preds bid []) f.layout;
+  List.iter
+    (fun bid ->
+      List.iter
+        (fun s ->
+          let cur = try Hashtbl.find preds s with Not_found -> [] in
+          if not (List.mem bid cur) then Hashtbl.replace preds s (cur @ [ bid ]))
+        (successors f bid))
+    f.layout;
+  preds
+
+let edges (f : t) : (int * int) list =
+  List.concat_map
+    (fun bid -> List.map (fun s -> (bid, s)) (successors f bid))
+    f.layout
+
+(* All SSA definitions of the function: parameter ids, φ ids, and ids of
+   value-producing instructions. *)
+let definitions (f : t) : (int, unit) Hashtbl.t =
+  let defs = Hashtbl.create 64 in
+  List.iter (fun (_, id) -> Hashtbl.replace defs id ()) f.params;
+  List.iter
+    (fun bid ->
+      let b = block f bid in
+      List.iter (fun (p : Block.phi) -> Hashtbl.replace defs p.pid ()) b.phis;
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.produces_value i then Hashtbl.replace defs i.Instr.id ())
+        b.instrs)
+    f.layout;
+  defs
+
+(* Names of all arrays (memory regions) touched by the function, in first
+   occurrence order. *)
+let arrays (f : t) : string list =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  List.iter
+    (fun bid ->
+      List.iter
+        (fun i ->
+          match Instr.array_name i with
+          | Some a when not (Hashtbl.mem seen a) ->
+            Hashtbl.replace seen a ();
+            out := a :: !out
+          | Some _ | None -> ())
+        (block f bid).Block.instrs)
+    f.layout;
+  List.rev !out
+
+(* --- CFG surgery -------------------------------------------------------- *)
+
+(* Redirect the CFG edge [src -> old_dst] to [src -> new_dst], patching the
+   φ-nodes of both destinations: the incoming entry for [src] moves from
+   [old_dst]'s φs (removed) — callers that split an edge are expected to
+   have installed φs or instructions in [new_dst] as appropriate. *)
+let retarget_edge (f : t) ~src ~old_dst ~new_dst =
+  Block.replace_successor (block f src) ~old_target:old_dst
+    ~new_target:new_dst
+
+(* Split the edge [src -> dst] by inserting a fresh block that jumps to
+   [dst]. φ incoming entries of [dst] mentioning [src] are renamed to the
+   new block, preserving SSA form. Returns the new block. *)
+let split_edge (f : t) ~src ~dst =
+  let nb = add_block ~after:src f ~term:(Block.Br dst) in
+  retarget_edge f ~src ~old_dst:dst ~new_dst:nb.Block.bid;
+  Block.rename_phi_pred (block f dst) ~old_pred:src ~new_pred:nb.Block.bid;
+  nb
+
+(* Map over every instruction of the function in place. *)
+let iter_instrs (f : t) g =
+  List.iter (fun bid -> List.iter g (block f bid).Block.instrs) f.layout
+
+let fold_instrs (f : t) g acc =
+  List.fold_left
+    (fun acc bid -> List.fold_left g acc (block f bid).Block.instrs)
+    acc f.layout
+
+(* Find the block containing the instruction with the given id. *)
+let block_of_instr (f : t) ~id : Block.t option =
+  List.find_opt
+    (fun (b : Block.t) ->
+      List.exists (fun (i : Instr.t) -> i.Instr.id = id) b.Block.instrs)
+    (blocks_in_layout f)

@@ -1,0 +1,67 @@
+(** Functions: a named entry block, a mutable block table and fresh-id
+    counters. Analyses are recomputed from scratch after mutation —
+    functions are kernel-sized, so clarity wins over incrementality. *)
+
+type t = {
+  name : string;
+  params : (string * int) list;  (** parameter name, SSA id *)
+  entry : int;
+  blocks : (int, Block.t) Hashtbl.t;
+  mutable layout : int list;  (** printing / iteration order *)
+  mutable next_vid : int;
+  mutable next_bid : int;
+  mutable next_mem : int;
+}
+
+(** A fresh function with an empty entry block terminated by [ret]. *)
+val create : name:string -> params:string list -> t
+
+(** Deep copy; block/value/mem ids are preserved (the decoupler relies on
+    the AGU and CU clones sharing the original's block ids). *)
+val clone : ?name:string -> t -> t
+
+(** @raise Invalid_argument when the block does not exist. *)
+val block : t -> int -> Block.t
+
+val block_opt : t -> int -> Block.t option
+val mem_block : t -> int -> bool
+val blocks_in_layout : t -> Block.t list
+val entry_block : t -> Block.t
+
+val fresh_vid : t -> int
+val fresh_mem : t -> int
+
+(** Create an empty block terminated by [term]; [after] positions it in the
+    layout (cosmetic). *)
+val add_block : ?after:int -> t -> term:Block.terminator -> Block.t
+
+val remove_block : t -> int -> unit
+
+(** @raise Invalid_argument for an unknown parameter. *)
+val param_vid : t -> string -> int
+
+val successors : t -> int -> int list
+
+(** Predecessor map with duplicate edges collapsed. *)
+val predecessors : t -> (int, int list) Hashtbl.t
+
+val edges : t -> (int * int) list
+
+(** All SSA definitions: parameters, φs and value-producing instructions. *)
+val definitions : t -> (int, unit) Hashtbl.t
+
+(** Arrays touched by the function, in first-occurrence order. *)
+val arrays : t -> string list
+
+(** Redirect the edge [src -> old_dst] to [src -> new_dst] (no φ repair). *)
+val retarget_edge : t -> src:int -> old_dst:int -> new_dst:int -> unit
+
+(** Split the edge [src -> dst] with a fresh forwarding block; φ incoming
+    entries of [dst] are renamed so SSA form is preserved. *)
+val split_edge : t -> src:int -> dst:int -> Block.t
+
+val iter_instrs : t -> (Instr.t -> unit) -> unit
+val fold_instrs : t -> ('a -> Instr.t -> 'a) -> 'a -> 'a
+
+(** The block containing the instruction with the given id. *)
+val block_of_instr : t -> id:int -> Block.t option

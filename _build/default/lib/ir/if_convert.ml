@@ -1,0 +1,132 @@
+(* Partial if-conversion: flatten diamonds and triangles whose arms are
+   pure (paper §9 — "many algorithms like modulo-scheduling and
+   if-conversion originally developed for VLIW [are] directly applicable to
+   HLS").
+
+   A conditional branch whose arm blocks contain only pure instructions
+   (no memory or channel operations) and reconverge immediately is
+   flattened: the arms' instructions are hoisted into the branch block
+   (executing them unconditionally is safe — they are pure), the join's φs
+   become selects on the branch condition, and the branch becomes an
+   unconditional jump. This trades a scheduler state for a mux — the
+   trade HLS if-conversion makes — and reduces block counts in the CU.
+
+   Arms are bounded by [max_arm_instrs] so the pass does not speculate
+   unbounded work. *)
+
+open Types
+
+let default_max_arm_instrs = 8
+
+let pure_instr (i : Instr.t) =
+  match i.Instr.kind with
+  | Instr.Binop _ | Instr.Cmp _ | Instr.Select _ | Instr.Not _ -> true
+  | _ -> false
+
+(* An arm of the diamond: either the join itself (triangle) or a single
+   pure block falling through to the join. *)
+type arm = Direct | Through of Block.t
+
+let arm_of (f : Func.t) ~branch ~join target : arm option =
+  if target = join then Some Direct
+  else
+    match Func.block_opt f target with
+    | None -> None
+    | Some b ->
+      let preds_ok =
+        (* single predecessor: the branch block *)
+        List.for_all
+          (fun p ->
+            (not (List.mem target (Func.successors f p))) || p = branch)
+          f.Func.layout
+      in
+      (match b.Block.term with
+      | Block.Br t
+        when t = join && b.Block.phis = [] && preds_ok
+             && List.for_all pure_instr b.Block.instrs
+             && List.length b.Block.instrs <= default_max_arm_instrs ->
+        Some (Through b)
+      | _ -> None)
+
+let flatten_one (f : Func.t) bid : bool =
+  let b = Func.block f bid in
+  match b.Block.term with
+  | Block.Cond_br (c, t, fl) when t <> fl -> (
+    (* the join is whichever common target the arms reconverge on *)
+    let join_candidates =
+      match (Func.block_opt f t, Func.block_opt f fl) with
+      | Some tb, Some flb -> (
+        match (tb.Block.term, flb.Block.term) with
+        | Block.Br jt, Block.Br jf when jt = jf -> [ jt ]
+        | Block.Br jt, _ when jt = fl -> [ fl ]
+        | _, Block.Br jf when jf = t -> [ t ]
+        | _ -> [])
+      | _ -> []
+    in
+    match join_candidates with
+    | [] -> false
+    | join :: _ -> (
+      match (arm_of f ~branch:bid ~join t, arm_of f ~branch:bid ~join fl) with
+      | Some at, Some af
+        when (at <> Direct || af <> Direct) && join <> bid -> begin
+        (* the join's φs must only merge this diamond *)
+        let jb = Func.block f join in
+        let arm_bid = function Direct -> bid | Through blk -> blk.Block.bid in
+        let t_pred = arm_bid at and f_pred = arm_bid af in
+        let phi_ok =
+          List.for_all
+            (fun (p : Block.phi) ->
+              List.for_all
+                (fun (pr, _) -> pr = t_pred || pr = f_pred)
+                p.Block.incoming)
+            jb.Block.phis
+        in
+        if not phi_ok || t_pred = f_pred then false
+        else begin
+          (* hoist arm instructions into the branch block *)
+          (match at with
+          | Through blk -> b.Block.instrs <- b.Block.instrs @ blk.Block.instrs
+          | Direct -> ());
+          (match af with
+          | Through blk -> b.Block.instrs <- b.Block.instrs @ blk.Block.instrs
+          | Direct -> ());
+          (* join φs become selects on c *)
+          let selects =
+            List.map
+              (fun (p : Block.phi) ->
+                let value_from pr =
+                  match List.assoc_opt pr p.Block.incoming with
+                  | Some v -> v
+                  | None -> Cst (Int 0)
+                in
+                { Instr.id = p.Block.pid;
+                  kind =
+                    Instr.Select (c, value_from t_pred, value_from f_pred) })
+              jb.Block.phis
+          in
+          jb.Block.phis <- [];
+          jb.Block.instrs <- selects @ jb.Block.instrs;
+          b.Block.term <- Block.Br join;
+          (* retire the arm blocks *)
+          (match at with
+          | Through blk -> Func.remove_block f blk.Block.bid
+          | Direct -> ());
+          (match af with
+          | Through blk -> Func.remove_block f blk.Block.bid
+          | Direct -> ());
+          true
+        end
+      end
+      | _ -> false))
+  | _ -> false
+
+(* Flatten to a fixed point; returns the number of flattened diamonds. *)
+let run (f : Func.t) : int =
+  let flattened = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match List.find_opt (flatten_one f) f.Func.layout with
+    | Some _ -> incr flattened
+    | None -> continue_ := false
+  done;
+  !flattened

@@ -1,0 +1,8 @@
+(** Partial if-conversion (paper §9's VLIW lineage): diamonds/triangles
+    whose arms contain only pure instructions are flattened — arms hoisted
+    into the branch block, join φs turned into selects, the branch removed.
+    Arms larger than 8 instructions are left alone. Returns the number of
+    flattened diamonds. *)
+
+val pure_instr : Instr.t -> bool
+val run : Func.t -> int

@@ -1,0 +1,201 @@
+(* IR instructions.
+
+   Every instruction defines an SSA value (unit-producing instructions such
+   as [Store] or the DAE channel sends still carry an id so that def-use
+   bookkeeping stays uniform). Memory operations additionally carry a stable
+   [mem_id] that survives the decoupling transformation: the store [s] of
+   the original program becomes [Send_st_addr] with the same id in the AGU
+   slice and [Produce_val]/[Poison] with the same id in the CU slice, which
+   is how the simulator ties request, value and kill streams together. *)
+
+open Types
+
+type mem_id = int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Sdiv
+  | Srem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Ashr
+  | Smin
+  | Smax
+
+type cmp = Eq | Ne | Slt | Sle | Sgt | Sge
+
+type kind =
+  | Binop of binop * operand * operand
+  | Cmp of cmp * operand * operand
+  | Select of operand * operand * operand (* cond, if-true, if-false *)
+  | Not of operand
+  | Load of { arr : string; idx : operand; mem : mem_id }
+  | Store of { arr : string; idx : operand; value : operand; mem : mem_id }
+  (* DAE channel operations, introduced by Dae_core.Decouple (paper §3.2).
+     AGU side: *)
+  | Send_ld_addr of { arr : string; idx : operand; mem : mem_id }
+  | Send_st_addr of { arr : string; idx : operand; mem : mem_id }
+  (* CU (and, for loads the AGU slice itself needs, AGU) side: *)
+  | Consume_val of { arr : string; mem : mem_id }
+  | Produce_val of { arr : string; value : operand; mem : mem_id }
+  | Poison of { arr : string; mem : mem_id }
+
+type t = { id : int; kind : kind }
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Sdiv -> if b = 0 then 0 else a / b
+  | Srem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 31)
+  | Ashr -> a asr (b land 31)
+  | Smin -> min a b
+  | Smax -> max a b
+
+let eval_cmp op a b =
+  match op with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Slt -> a < b
+  | Sle -> a <= b
+  | Sgt -> a > b
+  | Sge -> a >= b
+
+let string_of_binop = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Sdiv -> "sdiv"
+  | Srem -> "srem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Ashr -> "ashr"
+  | Smin -> "smin"
+  | Smax -> "smax"
+
+let string_of_cmp = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Sgt -> "sgt"
+  | Sge -> "sge"
+
+(* Operands read by an instruction, in syntactic order. *)
+let operands (i : t) : operand list =
+  match i.kind with
+  | Binop (_, a, b) | Cmp (_, a, b) -> [ a; b ]
+  | Select (c, a, b) -> [ c; a; b ]
+  | Not a -> [ a ]
+  | Load { idx; _ } -> [ idx ]
+  | Store { idx; value; _ } -> [ idx; value ]
+  | Send_ld_addr { idx; _ } | Send_st_addr { idx; _ } -> [ idx ]
+  | Consume_val _ -> []
+  | Produce_val { value; _ } -> [ value ]
+  | Poison _ -> []
+
+(* Rewrite every operand of an instruction. *)
+let map_operands f (i : t) : t =
+  let kind =
+    match i.kind with
+    | Binop (op, a, b) -> Binop (op, f a, f b)
+    | Cmp (op, a, b) -> Cmp (op, f a, f b)
+    | Select (c, a, b) -> Select (f c, f a, f b)
+    | Not a -> Not (f a)
+    | Load l -> Load { l with idx = f l.idx }
+    | Store s -> Store { s with idx = f s.idx; value = f s.value }
+    | Send_ld_addr l -> Send_ld_addr { l with idx = f l.idx }
+    | Send_st_addr s -> Send_st_addr { s with idx = f s.idx }
+    | Consume_val _ as k -> k
+    | Produce_val p -> Produce_val { p with value = f p.value }
+    | Poison _ as k -> k
+  in
+  { i with kind }
+
+(* Does the instruction produce a value that other instructions may use?
+   [Load] and [Consume_val] produce the loaded value; everything effectful
+   below is executed only for its side channel. *)
+let produces_value (i : t) =
+  match i.kind with
+  | Binop _ | Cmp _ | Select _ | Not _ | Load _ | Consume_val _ -> true
+  | Store _ | Send_ld_addr _ | Send_st_addr _ | Produce_val _ | Poison _ ->
+    false
+
+(* Instructions that must never be removed by DCE: they communicate with
+   memory or another unit. *)
+let has_side_effect (i : t) =
+  match i.kind with
+  | Store _ | Send_ld_addr _ | Send_st_addr _ | Consume_val _ | Produce_val _
+  | Poison _ ->
+    true
+  | Load _ ->
+    (* A dead load is removable in this IR: on-chip SRAM loads cannot
+       fault, so a load whose value is unused has no observable effect. *)
+    false
+  | Binop _ | Cmp _ | Select _ | Not _ -> false
+
+(* The memory id of a memory / channel operation, if any. *)
+let mem_id (i : t) =
+  match i.kind with
+  | Load { mem; _ }
+  | Store { mem; _ }
+  | Send_ld_addr { mem; _ }
+  | Send_st_addr { mem; _ }
+  | Consume_val { mem; _ }
+  | Produce_val { mem; _ }
+  | Poison { mem; _ } ->
+    Some mem
+  | Binop _ | Cmp _ | Select _ | Not _ -> None
+
+let array_name (i : t) =
+  match i.kind with
+  | Load { arr; _ }
+  | Store { arr; _ }
+  | Send_ld_addr { arr; _ }
+  | Send_st_addr { arr; _ }
+  | Consume_val { arr; _ }
+  | Produce_val { arr; _ }
+  | Poison { arr; _ } ->
+    Some arr
+  | Binop _ | Cmp _ | Select _ | Not _ -> None
+
+(* Is this a memory *request* in the AGU sense (paper Algorithm 1 hoists
+   these)? *)
+let is_request (i : t) =
+  match i.kind with
+  | Send_ld_addr _ | Send_st_addr _ -> true
+  | _ -> false
+
+let pp ppf (i : t) =
+  let p fmt = Fmt.pf ppf fmt in
+  match i.kind with
+  | Binop (op, a, b) ->
+    p "%%%d = %s %a, %a" i.id (string_of_binop op) pp_operand a pp_operand b
+  | Cmp (op, a, b) ->
+    p "%%%d = cmp %s %a, %a" i.id (string_of_cmp op) pp_operand a pp_operand b
+  | Select (c, a, b) ->
+    p "%%%d = select %a, %a, %a" i.id pp_operand c pp_operand a pp_operand b
+  | Not a -> p "%%%d = not %a" i.id pp_operand a
+  | Load { arr; idx; mem } ->
+    p "%%%d = load %s[%a] !mem%d" i.id arr pp_operand idx mem
+  | Store { arr; idx; value; mem } ->
+    p "store %s[%a], %a !mem%d" arr pp_operand idx pp_operand value mem
+  | Send_ld_addr { arr; idx; mem } ->
+    p "send_ld_addr %s[%a] !mem%d" arr pp_operand idx mem
+  | Send_st_addr { arr; idx; mem } ->
+    p "send_st_addr %s[%a] !mem%d" arr pp_operand idx mem
+  | Consume_val { arr; mem } -> p "%%%d = consume_val %s !mem%d" i.id arr mem
+  | Produce_val { arr; value; mem } ->
+    p "produce_val %s, %a !mem%d" arr pp_operand value mem
+  | Poison { arr; mem } -> p "poison %s !mem%d" arr mem

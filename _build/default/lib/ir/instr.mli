@@ -1,0 +1,79 @@
+(** IR instructions.
+
+    Every instruction carries an SSA id (also the unit-producing ones, to
+    keep def-use bookkeeping uniform). Memory operations carry a stable
+    {!type:mem_id} that survives decoupling: the store [s] of the original
+    program becomes [Send_st_addr] with the same id in the AGU slice and
+    [Produce_val]/[Poison] with the same id in the CU slice — the id is
+    what ties request, value and kill streams together in the simulator. *)
+
+(** Stable identity of a static memory operation across transformation. *)
+type mem_id = int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Sdiv  (** division by zero yields 0, as the simulated SRAM datapath *)
+  | Srem  (** remainder by zero yields 0 *)
+  | And
+  | Or
+  | Xor
+  | Shl  (** shift amounts are masked to 5 bits *)
+  | Ashr
+  | Smin
+  | Smax
+
+type cmp = Eq | Ne | Slt | Sle | Sgt | Sge
+
+type kind =
+  | Binop of binop * Types.operand * Types.operand
+  | Cmp of cmp * Types.operand * Types.operand
+  | Select of Types.operand * Types.operand * Types.operand
+      (** [Select (cond, if_true, if_false)] *)
+  | Not of Types.operand
+  | Load of { arr : string; idx : Types.operand; mem : mem_id }
+  | Store of
+      { arr : string; idx : Types.operand; value : Types.operand; mem : mem_id }
+  | Send_ld_addr of { arr : string; idx : Types.operand; mem : mem_id }
+      (** AGU: push a load request to the DU (paper §3.2). *)
+  | Send_st_addr of { arr : string; idx : Types.operand; mem : mem_id }
+      (** AGU: push a store allocation request to the DU. *)
+  | Consume_val of { arr : string; mem : mem_id }
+      (** pop a load value from the DU; produces the value *)
+  | Produce_val of { arr : string; value : Types.operand; mem : mem_id }
+      (** CU: push a store value to the DU *)
+  | Poison of { arr : string; mem : mem_id }
+      (** CU: kill the pending store allocation (paper §3.1) *)
+
+type t = { id : int; kind : kind }
+
+val eval_binop : binop -> int -> int -> int
+val eval_cmp : cmp -> int -> int -> bool
+
+val string_of_binop : binop -> string
+val string_of_cmp : cmp -> string
+
+(** Operands read by the instruction, in syntactic order. *)
+val operands : t -> Types.operand list
+
+(** Rewrite every operand. *)
+val map_operands : (Types.operand -> Types.operand) -> t -> t
+
+(** Does the instruction define a value other instructions may use? *)
+val produces_value : t -> bool
+
+(** Instructions DCE must never remove (stores and channel operations; a
+    dead on-chip-SRAM load is removable). *)
+val has_side_effect : t -> bool
+
+(** The memory id of a memory or channel operation. *)
+val mem_id : t -> mem_id option
+
+(** The array touched by a memory or channel operation. *)
+val array_name : t -> string option
+
+(** Is this an AGU memory request (what Algorithm 1 hoists)? *)
+val is_request : t -> bool
+
+val pp : Format.formatter -> t -> unit

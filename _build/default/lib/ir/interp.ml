@@ -1,0 +1,180 @@
+(* Sequential reference interpreter — the golden model.
+
+   Executes original (non-decoupled) IR against a memory image and records
+   the dynamic trace of memory operations. The decoupled machine's final
+   memory must match this interpreter's on every run (sequential
+   consistency, paper §6), and the recorded store trace is what Lemma 6.1's
+   dynamic check compares the AGU/CU streams against. *)
+
+open Types
+
+module Memory = struct
+  type t = (string, int array) Hashtbl.t
+
+  let create (arrays : (string * int array) list) : t =
+    let t = Hashtbl.create 8 in
+    List.iter (fun (name, a) -> Hashtbl.replace t name (Array.copy a)) arrays;
+    t
+
+  let copy (t : t) : t =
+    let c = Hashtbl.create (Hashtbl.length t) in
+    Hashtbl.iter (fun k v -> Hashtbl.replace c k (Array.copy v)) t;
+    c
+
+  let array (t : t) name =
+    match Hashtbl.find_opt t name with
+    | Some a -> a
+    | None -> Fmt.invalid_arg "Interp.Memory: unknown array %s" name
+
+  let get (t : t) name idx =
+    let a = array t name in
+    if idx < 0 || idx >= Array.length a then
+      Fmt.invalid_arg "Interp.Memory: %s[%d] out of bounds (len %d)" name idx
+        (Array.length a)
+    else a.(idx)
+
+  (* Non-trapping read for speculative loads: a mis-speculated address may
+     be out of bounds; on-chip SRAM returns garbage (modelled as 0) rather
+     than faulting, and the value is discarded anyway (paper §3.1). *)
+  let get_speculative (t : t) name idx =
+    let a = array t name in
+    if idx < 0 || idx >= Array.length a then 0 else a.(idx)
+
+  let set (t : t) name idx v =
+    let a = array t name in
+    if idx < 0 || idx >= Array.length a then
+      Fmt.invalid_arg "Interp.Memory: %s[%d] out of bounds (len %d)" name idx
+        (Array.length a)
+    else a.(idx) <- v
+
+  let names (t : t) = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+
+  let equal (a : t) (b : t) =
+    names a = names b
+    && List.for_all (fun n -> array a n = array b n) (names a)
+
+  let pp ppf (t : t) =
+    List.iter
+      (fun n ->
+        Fmt.pf ppf "%s = [%a]@." n
+          Fmt.(array ~sep:(any "; ") int)
+          (array t n))
+      (names t)
+end
+
+type event =
+  | Eload of { mem : Instr.mem_id; arr : string; idx : int; value : int }
+  | Estore of { mem : Instr.mem_id; arr : string; idx : int; value : int }
+
+type result = {
+  ret : value option;
+  trace : event list; (* program-order memory events *)
+  steps : int; (* dynamic instruction count *)
+  block_trace : int list; (* dynamic block path, entry first *)
+}
+
+exception Out_of_fuel
+exception Channel_op_in_sequential_code of string
+
+let run ?(fuel = 10_000_000) (f : Func.t) ~(args : (string * value) list)
+    ~(mem : Memory.t) : result =
+  let env : (int, value) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (name, vid) ->
+      match List.assoc_opt name args with
+      | Some v -> Hashtbl.replace env vid v
+      | None -> Fmt.invalid_arg "Interp.run: missing argument %s" name)
+    f.Func.params;
+  let value_of = function
+    | Cst c -> value_of_const c
+    | Var v -> (
+      match Hashtbl.find_opt env v with
+      | Some x -> x
+      | None -> Fmt.invalid_arg "Interp.run: read of undefined %%%d" v)
+  in
+  let int_of op = int_of_value (value_of op) in
+  let bool_of op = bool_of_value (value_of op) in
+  let trace = ref [] in
+  let block_trace = ref [] in
+  let steps = ref 0 in
+  let tick () =
+    incr steps;
+    if !steps > fuel then raise Out_of_fuel
+  in
+  let exec_instr (i : Instr.t) =
+    tick ();
+    match i.Instr.kind with
+    | Instr.Binop (op, a, b) ->
+      Hashtbl.replace env i.Instr.id
+        (Vint (Instr.eval_binop op (int_of a) (int_of b)))
+    | Instr.Cmp (op, a, b) ->
+      Hashtbl.replace env i.Instr.id
+        (Vbool (Instr.eval_cmp op (int_of a) (int_of b)))
+    | Instr.Select (c, a, b) ->
+      Hashtbl.replace env i.Instr.id
+        (if bool_of c then value_of a else value_of b)
+    | Instr.Not a -> Hashtbl.replace env i.Instr.id (Vbool (not (bool_of a)))
+    | Instr.Load { arr; idx; mem = m } ->
+      let idx = int_of idx in
+      let v = Memory.get mem arr idx in
+      trace := Eload { mem = m; arr; idx; value = v } :: !trace;
+      Hashtbl.replace env i.Instr.id (Vint v)
+    | Instr.Store { arr; idx; value; mem = m } ->
+      let idx = int_of idx in
+      let v = int_of value in
+      trace := Estore { mem = m; arr; idx; value = v } :: !trace;
+      Memory.set mem arr idx v
+    | Instr.Send_ld_addr _ | Instr.Send_st_addr _ | Instr.Consume_val _
+    | Instr.Produce_val _ | Instr.Poison _ ->
+      raise
+        (Channel_op_in_sequential_code (Printer.instr_to_string i))
+  in
+  (* φs of a block are evaluated simultaneously on entry from [pred]. *)
+  let exec_phis (b : Block.t) ~pred =
+    let resolved =
+      List.map
+        (fun (p : Block.phi) ->
+          match List.assoc_opt pred p.Block.incoming with
+          | Some op -> (p.Block.pid, value_of op)
+          | None ->
+            Fmt.invalid_arg "Interp.run: phi %%%d in bb%d has no entry for bb%d"
+              p.Block.pid b.Block.bid pred)
+        b.Block.phis
+    in
+    List.iter (fun (pid, v) -> Hashtbl.replace env pid v) resolved
+  in
+  let rec exec_block bid ~pred =
+    tick ();
+    block_trace := bid :: !block_trace;
+    let b = Func.block f bid in
+    (match pred with Some p -> exec_phis b ~pred:p | None -> ());
+    List.iter exec_instr b.Block.instrs;
+    match b.Block.term with
+    | Block.Br t -> exec_block t ~pred:(Some bid)
+    | Block.Cond_br (c, t, fl) ->
+      exec_block (if bool_of c then t else fl) ~pred:(Some bid)
+    | Block.Switch (c, ts) ->
+      let n = List.length ts in
+      let k = int_of c in
+      let k = if k < 0 then 0 else if k >= n then n - 1 else k in
+      exec_block (List.nth ts k) ~pred:(Some bid)
+    | Block.Ret v -> Option.map value_of v
+  in
+  let ret = exec_block f.Func.entry ~pred:None in
+  { ret; trace = List.rev !trace; steps = !steps;
+    block_trace = List.rev !block_trace }
+
+(* Convenience: the store sub-trace, in program order. *)
+let stores (r : result) =
+  List.filter_map
+    (function
+      | Estore { mem; arr; idx; value } -> Some (mem, arr, idx, value)
+      | Eload _ -> None)
+    r.trace
+
+let loads (r : result) =
+  List.filter_map
+    (function
+      | Eload { mem; arr; idx; value } -> Some (mem, arr, idx, value)
+      | Estore _ -> None)
+    r.trace

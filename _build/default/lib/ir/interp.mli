@@ -1,0 +1,56 @@
+(** Sequential reference interpreter — the golden model.
+
+    Executes original (non-decoupled) IR against a memory image and records
+    the dynamic memory trace. The decoupled machine's final memory and
+    per-array commit order must match this interpreter on every run
+    (sequential consistency, paper §6). *)
+
+module Memory : sig
+  type t
+
+  val create : (string * int array) list -> t
+  val copy : t -> t
+
+  (** @raise Invalid_argument for an unknown array. *)
+  val array : t -> string -> int array
+
+  (** @raise Invalid_argument when out of bounds. *)
+  val get : t -> string -> int -> int
+
+  (** Non-trapping read for speculative loads: out-of-bounds yields 0
+      (the paper's discarded mis-speculated values, §3.1). *)
+  val get_speculative : t -> string -> int -> int
+
+  val set : t -> string -> int -> int -> unit
+  val names : t -> string list
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+type event =
+  | Eload of { mem : Instr.mem_id; arr : string; idx : int; value : int }
+  | Estore of { mem : Instr.mem_id; arr : string; idx : int; value : int }
+
+type result = {
+  ret : Types.value option;
+  trace : event list;  (** program-order memory events *)
+  steps : int;
+  block_trace : int list;  (** dynamic block path, entry first *)
+}
+
+exception Out_of_fuel
+exception Channel_op_in_sequential_code of string
+
+(** @raise Out_of_fuel beyond [fuel] dynamic steps (default 10M).
+    @raise Channel_op_in_sequential_code if the IR was already decoupled. *)
+val run :
+  ?fuel:int ->
+  Func.t ->
+  args:(string * Types.value) list ->
+  mem:Memory.t ->
+  result
+
+(** The store sub-trace, in program order: (mem id, array, index, value). *)
+val stores : result -> (Instr.mem_id * string * int * int) list
+
+val loads : result -> (Instr.mem_id * string * int * int) list

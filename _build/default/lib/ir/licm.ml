@@ -1,0 +1,100 @@
+(* Loop-invariant code motion.
+
+   Pure instructions whose operands are all defined outside the loop (or
+   are themselves invariant) move to the loop preheader — in this IR the
+   unique out-of-loop predecessor of the header. Address computations like
+   fw's [i*n] in an inner loop are the motivating case: the AGU's address
+   chains shrink, and the STA model's pipeline depth with them. Memory and
+   channel operations never move (loads would need the §4 analysis to
+   prove safety; this pass stays conservative). *)
+
+open Types
+
+(* The unique out-of-loop predecessor of a canonical loop's header. *)
+let preheader (f : Func.t) (l : Loops.loop) : int option =
+  let preds_tbl = Func.predecessors f in
+  let preds =
+    try Hashtbl.find preds_tbl l.Loops.header with Not_found -> []
+  in
+  match List.filter (fun p -> not (List.mem p l.Loops.body)) preds with
+  | [ p ] -> Some p
+  | _ -> None
+
+let hoistable_kind (k : Instr.kind) =
+  match k with
+  | Instr.Binop (op, _, _) ->
+    (* division by a possibly-zero invariant is still fine here: the IR
+       defines x/0 = 0, so speculation cannot trap *)
+    ignore op;
+    true
+  | Instr.Cmp _ | Instr.Select _ | Instr.Not _ -> true
+  | _ -> false
+
+(* One pass over one loop; returns the number of instructions moved. *)
+let hoist_loop (f : Func.t) (l : Loops.loop) : int =
+  match preheader f l with
+  | None -> 0
+  | Some pre ->
+    let defined_in_loop = Hashtbl.create 32 in
+    List.iter
+      (fun bid ->
+        let b = Func.block f bid in
+        List.iter
+          (fun (p : Block.phi) -> Hashtbl.replace defined_in_loop p.Block.pid ())
+          b.Block.phis;
+        List.iter
+          (fun (i : Instr.t) ->
+            if Instr.produces_value i then
+              Hashtbl.replace defined_in_loop i.Instr.id ())
+          b.Block.instrs)
+      l.Loops.body;
+    let invariant_op op =
+      match op with
+      | Cst _ -> true
+      | Var v -> not (Hashtbl.mem defined_in_loop v)
+    in
+    (* Only instructions in blocks that execute on every iteration (blocks
+       dominating the latch) may move: hoisting conditional code would
+       speculate it, which is the speculation passes' job, not LICM's. *)
+    let dom = Dom.compute f in
+    let moved = ref 0 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun bid ->
+          if Dom.dominates dom bid l.Loops.latch then begin
+            let b = Func.block f bid in
+            let stay, move =
+              List.partition
+                (fun (i : Instr.t) ->
+                  not
+                    (hoistable_kind i.Instr.kind
+                    && List.for_all invariant_op (Instr.operands i)))
+                b.Block.instrs
+            in
+            if move <> [] then begin
+              b.Block.instrs <- stay;
+              let pre_b = Func.block f pre in
+              List.iter
+                (fun (i : Instr.t) ->
+                  Block.append_instr pre_b i;
+                  Hashtbl.remove defined_in_loop i.Instr.id;
+                  incr moved)
+                move;
+              changed := true
+            end
+          end)
+        l.Loops.body
+    done;
+    !moved
+
+(* Innermost loops first, so invariants bubble outward across nests. *)
+let run (f : Func.t) : int =
+  let loops = Loops.compute f in
+  let by_depth =
+    List.sort
+      (fun (a : Loops.loop) b -> compare b.Loops.depth a.Loops.depth)
+      loops.Loops.loops
+  in
+  List.fold_left (fun acc l -> acc + hoist_loop f l) 0 by_depth

@@ -1,0 +1,7 @@
+(** Loop-invariant code motion: pure instructions in blocks that execute on
+    every iteration, with loop-invariant operands, move to the loop
+    preheader (innermost loops first). Returns the number of instructions
+    moved. Memory/channel operations never move. *)
+
+val preheader : Func.t -> Loops.loop -> int option
+val run : Func.t -> int

@@ -1,0 +1,70 @@
+(* Loop canonicalization: merge multiple backedges into a single latch.
+
+   The paper's canonical loop form (§3.2) has one backedge from one latch.
+   A loop with several latches (e.g. produced by node splitting, or by a
+   `continue`-style CFG) gets a fresh combined latch: every old latch
+   branches to it, it branches to the header, and the header's φs are
+   re-routed through new φs in the combined latch. *)
+
+open Types
+
+(* Canonicalize one header; returns true if it changed anything. *)
+let canonicalize_header (f : Func.t) header : bool =
+  let loops = Loops.compute f in
+  let latches =
+    List.filter_map
+      (fun (src, dst) -> if dst = header then Some src else None)
+      loops.Loops.backedges
+  in
+  match latches with
+  | [] | [ _ ] -> false
+  | latches ->
+    let hb = Func.block f header in
+    let combined = Func.add_block ~after:(List.hd latches) f
+        ~term:(Block.Br header) in
+    (* header φs: the entries for the old latches move into a new φ in the
+       combined latch *)
+    hb.Block.phis <-
+      List.map
+        (fun (p : Block.phi) ->
+          let latch_entries, other_entries =
+            List.partition (fun (pr, _) -> List.mem pr latches) p.Block.incoming
+          in
+          if latch_entries = [] then p
+          else begin
+            let merged = Func.fresh_vid f in
+            Block.add_phi combined
+              { Block.pid = merged; ty = p.Block.ty; incoming = latch_entries };
+            { p with
+              Block.incoming =
+                other_entries @ [ (combined.Block.bid, Var merged) ] }
+          end)
+        hb.Block.phis;
+    (* redirect every old latch's backedge to the combined latch *)
+    List.iter
+      (fun l -> Func.retarget_edge f ~src:l ~old_dst:header
+          ~new_dst:combined.Block.bid)
+      latches;
+    true
+
+(* Canonicalize every loop; returns the number of combined latches added. *)
+let run (f : Func.t) : int =
+  let added = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let loops = Loops.compute f in
+    match
+      List.find_opt
+        (fun (l : Loops.loop) ->
+          List.length
+            (List.filter (fun (_, dst) -> dst = l.Loops.header)
+               loops.Loops.backedges)
+          > 1)
+        loops.Loops.loops
+    with
+    | Some l ->
+      if canonicalize_header f l.Loops.header then incr added
+      else continue_ := false
+    | None -> continue_ := false
+  done;
+  !added

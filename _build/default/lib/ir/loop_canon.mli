@@ -1,0 +1,7 @@
+(** Loop canonicalization: loops with several backedges get a fresh
+    combined latch (header φ entries re-routed through new latch φs),
+    restoring the single-latch form the speculation passes assume (§3.2).
+    Returns the number of latches added. *)
+
+val canonicalize_header : Func.t -> int -> bool
+val run : Func.t -> int

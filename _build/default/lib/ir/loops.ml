@@ -1,0 +1,159 @@
+(* Natural loop detection.
+
+   The paper assumes canonical loops: a single header and a single backedge
+   from the loop latch to the header (§3.2), and reducible control flow.
+   Our builders produce exactly that shape; [check_canonical] enforces it
+   so the speculation passes can assume it. *)
+
+type loop = {
+  header : int;
+  latch : int;
+  body : int list; (* all blocks of the loop, header first *)
+  depth : int; (* 1 = outermost *)
+  parent : int option; (* header of the enclosing loop *)
+}
+
+type t = {
+  loops : loop list; (* outermost-first *)
+  backedges : (int * int) list; (* (latch, header) pairs, all loops *)
+  loop_of_header : (int, loop) Hashtbl.t;
+}
+
+(* Natural loop of backedge latch->header: header plus every block that can
+   reach the latch without going through the header. *)
+let natural_loop (f : Func.t) ~header ~latch =
+  let preds_tbl = Func.predecessors f in
+  let preds n = try Hashtbl.find preds_tbl n with Not_found -> [] in
+  let in_loop = Hashtbl.create 16 in
+  Hashtbl.replace in_loop header ();
+  let rec add n =
+    if not (Hashtbl.mem in_loop n) then begin
+      Hashtbl.replace in_loop n ();
+      List.iter add (preds n)
+    end
+  in
+  add latch;
+  let body =
+    List.filter (fun b -> Hashtbl.mem in_loop b) f.Func.layout
+  in
+  header :: List.filter (fun b -> b <> header) body
+
+let compute (f : Func.t) : t =
+  let dom = Dom.compute f in
+  let backedges =
+    List.filter (fun (src, dst) -> Dom.dominates dom dst src) (Func.edges f)
+  in
+  (* Group backedges by header; canonical form has exactly one latch per
+     header, but we aggregate defensively and let check_canonical complain. *)
+  let headers =
+    List.sort_uniq compare (List.map snd backedges)
+  in
+  let raw_loops =
+    List.map
+      (fun header ->
+        let latches =
+          List.filter_map
+            (fun (src, dst) -> if dst = header then Some src else None)
+            backedges
+        in
+        let latch = List.hd latches in
+        let body =
+          List.fold_left
+            (fun acc l ->
+              let nl = natural_loop f ~header ~latch:l in
+              List.sort_uniq compare (acc @ nl))
+            [] latches
+        in
+        let body = header :: List.filter (fun b -> b <> header) body in
+        (header, latch, body))
+      headers
+  in
+  (* Nesting: loop A encloses loop B iff A's body contains B's header and
+     they differ. Depth = number of enclosing loops + 1. *)
+  let encloses (_, _, body_a) (hb, _, _) = List.mem hb body_a in
+  let loops =
+    List.map
+      (fun ((header, latch, body) as l) ->
+        let enclosing =
+          List.filter (fun l' -> l' <> l && encloses l' l) raw_loops
+        in
+        let parent =
+          (* The innermost enclosing loop is the one with the smallest body
+             among enclosing loops. *)
+          match
+            List.sort
+              (fun (_, _, b1) (_, _, b2) ->
+                compare (List.length b1) (List.length b2))
+              enclosing
+          with
+          | [] -> None
+          | (h, _, _) :: _ -> Some h
+        in
+        { header; latch; body; depth = List.length enclosing + 1; parent })
+      raw_loops
+  in
+  let loops = List.sort (fun a b -> compare a.depth b.depth) loops in
+  let loop_of_header = Hashtbl.create 8 in
+  List.iter (fun l -> Hashtbl.replace loop_of_header l.header l) loops;
+  { loops; backedges; loop_of_header }
+
+(* The innermost loop containing block [bid], if any. *)
+let innermost (t : t) bid =
+  let candidates = List.filter (fun l -> List.mem bid l.body) t.loops in
+  match List.sort (fun a b -> compare b.depth a.depth) candidates with
+  | [] -> None
+  | l :: _ -> Some l
+
+let loop_of_header (t : t) header = Hashtbl.find_opt t.loop_of_header header
+
+let is_backedge (t : t) ~src ~dst = List.mem (src, dst) t.backedges
+
+let is_header (t : t) bid = Hashtbl.mem t.loop_of_header bid
+
+(* Canonical-form check: every loop has exactly one backedge (single latch).
+   Returns an error message per offending header. *)
+let check_canonical (t : t) : (unit, string) result =
+  let bad =
+    List.filter_map
+      (fun l ->
+        let latches =
+          List.filter (fun (_, dst) -> dst = l.header) t.backedges
+        in
+        if List.length latches <> 1 then
+          Some
+            (Fmt.str "loop with header %d has %d backedges" l.header
+               (List.length latches))
+        else None)
+      t.loops
+  in
+  match bad with
+  | [] -> Ok ()
+  | msgs -> Error (String.concat "; " msgs)
+
+(* Reducibility check: with all backedges (w.r.t. dominance) removed, the
+   remaining forward edges must form a DAG that still reaches every node
+   reachable in the full CFG. Irreducible CFGs have "backedges" whose
+   target does not dominate the source; removing dominance-backedges then
+   leaves a cycle, which we detect. *)
+let is_reducible (f : Func.t) : bool =
+  let t = compute f in
+  let skip ~src ~dst = is_backedge t ~src ~dst in
+  (* DFS cycle detection over forward edges. *)
+  let color = Hashtbl.create 32 in
+  (* 0 = white, 1 = grey, 2 = black *)
+  let exception Cycle in
+  let rec visit n =
+    match Hashtbl.find_opt color n with
+    | Some 1 -> raise Cycle
+    | Some 2 -> ()
+    | _ ->
+      Hashtbl.replace color n 1;
+      List.iter
+        (fun s -> if not (skip ~src:n ~dst:s) then visit s)
+        (Func.successors f n);
+      Hashtbl.replace color n 2
+  in
+  try
+    visit f.Func.entry;
+    true
+  with Cycle -> false

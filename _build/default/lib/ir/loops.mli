@@ -1,0 +1,34 @@
+(** Natural loop detection.
+
+    The paper assumes canonical loops — one header, one latch, one
+    backedge (§3.2) — and reducible control flow; {!check_canonical} and
+    {!is_reducible} enforce both. *)
+
+type loop = {
+  header : int;
+  latch : int;
+  body : int list;  (** all blocks, header first *)
+  depth : int;  (** 1 = outermost *)
+  parent : int option;  (** header of the enclosing loop *)
+}
+
+type t = {
+  loops : loop list;  (** outermost first *)
+  backedges : (int * int) list;  (** (latch, header) pairs *)
+  loop_of_header : (int, loop) Hashtbl.t;
+}
+
+val compute : Func.t -> t
+
+(** The innermost loop containing a block. *)
+val innermost : t -> int -> loop option
+
+val loop_of_header : t -> int -> loop option
+val is_backedge : t -> src:int -> dst:int -> bool
+val is_header : t -> int -> bool
+
+(** Every loop has exactly one backedge. *)
+val check_canonical : t -> (unit, string) result
+
+(** Removing dominance-backedges leaves an acyclic forward graph. *)
+val is_reducible : Func.t -> bool

@@ -1,0 +1,180 @@
+(* Node splitting for irreducible control flow (paper §3.2: "Irreducible
+   control flow can be made reducible with node splitting", citing
+   Peterson et al. '73 / Bahmann et al. '15).
+
+   The speculation passes assume reducible CFGs (backedges form natural
+   loops). An irreducible region has a retreating edge (u, v) — v appears
+   before u in some DFS but does not dominate u — i.e. a cycle with two
+   entries. We repeatedly pick such an edge and split its target: a copy
+   v' of v takes over the offending edge, so v is entered from one side
+   only. Splitting is SSA-aware:
+
+   - v' clones v's instructions with fresh ids (fresh mem ids too: a
+     duplicated static memory op is a distinct request site);
+   - v's φs collapse in v' to the single incoming value from u;
+   - every value v defines that is used elsewhere gets both definitions
+     reconciled by SSA repair (φs at the iterated dominance frontier).
+
+   Splitting can duplicate code exponentially in pathological CFGs; a
+   fuel bound guards against that. *)
+
+open Types
+
+exception Cannot_reduce of string
+
+(* A retreating-but-not-backedge: the witness of irreducibility. *)
+let find_irreducible_edge (f : Func.t) : (int * int) option =
+  let dom = Dom.compute f in
+  (* DFS detecting a grey-grey edge whose target does not dominate source *)
+  let color = Hashtbl.create 32 in
+  let found = ref None in
+  let rec visit n =
+    if !found = None then begin
+      Hashtbl.replace color n 1;
+      List.iter
+        (fun s ->
+          if !found = None then
+            match Hashtbl.find_opt color s with
+            | Some 1 ->
+              if not (Dom.dominates dom s n) then found := Some (n, s)
+            | Some _ -> ()
+            | None -> visit s)
+        (Func.successors f n);
+      Hashtbl.replace color n 2
+    end
+  in
+  visit f.Func.entry;
+  !found
+
+(* Duplicate block [v]; the copy takes over the single edge [u -> v]. *)
+let split_target (f : Func.t) ~u ~v : int =
+  let vb = Func.block f v in
+  let v' = Func.add_block ~after:v f ~term:vb.Block.term in
+  (* instructions: fresh ids (and fresh mem ids) *)
+  let id_map = Hashtbl.create 8 in
+  let cloned_defs = ref [] in
+  v'.Block.instrs <-
+    List.map
+      (fun (i : Instr.t) ->
+        let id = Func.fresh_vid f in
+        Hashtbl.replace id_map i.Instr.id id;
+        if Instr.produces_value i then
+          cloned_defs := (i.Instr.id, id) :: !cloned_defs;
+        let kind =
+          match i.Instr.kind with
+          | Instr.Load { arr; idx; mem = _ } ->
+            Instr.Load { arr; idx; mem = Func.fresh_mem f }
+          | Instr.Store { arr; idx; value; mem = _ } ->
+            Instr.Store { arr; idx; value; mem = Func.fresh_mem f }
+          | k -> k
+        in
+        { Instr.id; kind })
+      vb.Block.instrs;
+  (* φs of v collapse to the value flowing in from u *)
+  let phi_defs = ref [] in
+  List.iter
+    (fun (p : Block.phi) ->
+      match List.assoc_opt u p.Block.incoming with
+      | Some incoming_value ->
+        (* bind the φ's id to the incoming value inside v' via the map *)
+        phi_defs := (p.Block.pid, incoming_value) :: !phi_defs
+      | None -> ())
+    vb.Block.phis;
+  (* rewrite operands inside v': cloned ids and collapsed φs *)
+  let subst op =
+    match op with
+    | Var x -> (
+      match Hashtbl.find_opt id_map x with
+      | Some y -> Var y
+      | None -> (
+        match List.assoc_opt x !phi_defs with
+        | Some collapsed -> collapsed
+        | None -> op))
+    | Cst _ -> op
+  in
+  v'.Block.instrs <- List.map (Instr.map_operands subst) v'.Block.instrs;
+  v'.Block.term <- Block.map_terminator_operands subst v';
+  (* redirect u's edge; v loses u as predecessor *)
+  Func.retarget_edge f ~src:u ~old_dst:v ~new_dst:v'.Block.bid;
+  Block.remove_phi_pred vb ~pred:u;
+  (* successors of v' see a new predecessor: φ entries duplicate v's *)
+  List.iter
+    (fun s ->
+      let sb = Func.block f s in
+      sb.Block.phis <-
+        List.map
+          (fun (p : Block.phi) ->
+            match List.assoc_opt v p.Block.incoming with
+            | Some value ->
+              { p with
+                Block.incoming =
+                  p.Block.incoming @ [ (v'.Block.bid, subst value) ] }
+            | None -> p)
+          sb.Block.phis)
+    (Block.dedup (Block.successor_edges v'));
+  (* Values defined in v now have a twin definition in v'. Before SSA
+     repair, rename each definition inside v to a fresh id (updating v's
+     intra-block uses, which must keep referring to the local def — repair
+     resolves block-internal uses to the block-entry value); then repair
+     all remaining uses of the old id against the two renamed twins. *)
+  let rename_def_in_v ~old_id =
+    let renamed = Func.fresh_vid f in
+    vb.Block.instrs <-
+      List.map
+        (fun (i : Instr.t) ->
+          let i = if i.Instr.id = old_id then { i with Instr.id = renamed } else i in
+          Instr.map_operands
+            (fun op -> if op = Var old_id then Var renamed else op)
+            i)
+        vb.Block.instrs;
+    vb.Block.phis <-
+      List.map
+        (fun (p : Block.phi) ->
+          if p.Block.pid = old_id then { p with Block.pid = renamed } else p)
+        vb.Block.phis;
+    vb.Block.term <-
+      Block.map_terminator_operands
+        (fun op -> if op = Var old_id then Var renamed else op)
+        vb;
+    renamed
+  in
+  List.iter
+    (fun (old_id, new_id) ->
+      let renamed = rename_def_in_v ~old_id in
+      Ssa_repair.rewrite_uses f ~old_vid:old_id
+        ~defs:[ (v, Var renamed); (v'.Block.bid, Var new_id) ]
+        ~ty:I32 ())
+    (List.rev !cloned_defs);
+  List.iter
+    (fun (pid, collapsed) ->
+      let renamed = rename_def_in_v ~old_id:pid in
+      Ssa_repair.rewrite_uses f ~old_vid:pid
+        ~defs:[ (v, Var renamed); (v'.Block.bid, collapsed) ]
+        ~ty:I32 ())
+    !phi_defs;
+  v'.Block.bid
+
+(* Split until reducible. Returns the number of blocks duplicated. *)
+let run ?(fuel = 64) (f : Func.t) : int =
+  let splits = ref 0 in
+  let rec go budget =
+    if Loops.is_reducible f then ()
+    else if budget = 0 then
+      raise
+        (Cannot_reduce
+           (Fmt.str "%s still irreducible after %d node splits" f.Func.name
+              fuel))
+    else begin
+      match find_irreducible_edge f with
+      | Some (u, v) ->
+        ignore (split_target f ~u ~v);
+        incr splits;
+        go (budget - 1)
+      | None ->
+        raise
+          (Cannot_reduce
+             "CFG reported irreducible but no irreducible edge found")
+    end
+  in
+  go fuel;
+  !splits

@@ -1,0 +1,18 @@
+(** Node splitting for irreducible control flow (paper §3.2, after
+    Peterson et al.): repeatedly duplicate the target of an irreducible
+    retreating edge — SSA-aware (cloned ids, collapsed φs, iterated-
+    dominance-frontier repair of twin definitions) — until the CFG is
+    reducible. *)
+
+exception Cannot_reduce of string
+
+(** The witness edge (u, v): v is on the DFS stack but does not dominate u. *)
+val find_irreducible_edge : Func.t -> (int * int) option
+
+(** Duplicate [v]; the copy takes over the edge [u -> v]. Returns the new
+    block id. *)
+val split_target : Func.t -> u:int -> v:int -> int
+
+(** Split until reducible; returns the number of duplicated blocks.
+    @raise Cannot_reduce when [fuel] (default 64) splits do not suffice. *)
+val run : ?fuel:int -> Func.t -> int

@@ -1,0 +1,44 @@
+(* CFG traversal orders.
+
+   Reverse post-order of a reducible loop body (with backedges ignored) is a
+   topological order of its DAG — the property Algorithm 1 of the paper
+   relies on: if block A precedes block B on any path through the loop, then
+   A precedes B in reverse post-order. *)
+
+(* Generic DFS postorder from [root] following [succs]; [skip] filters out
+   edges (used to ignore loop backedges or headers of other loops). *)
+let postorder ?(skip = fun ~src:_ ~dst:_ -> false) ~succs root =
+  let visited = Hashtbl.create 32 in
+  let order = ref [] in
+  let rec go n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.replace visited n ();
+      List.iter
+        (fun s -> if not (skip ~src:n ~dst:s) then go s)
+        (succs n);
+      order := n :: !order
+    end
+  in
+  go root;
+  (* [order] was built by prepending at exit, so it already is reverse
+     postorder; return the postorder. *)
+  List.rev !order
+
+let reverse_postorder ?skip ~succs root =
+  List.rev (postorder ?skip ~succs root)
+
+(* Reverse post-order over the whole function CFG. *)
+let rpo (f : Func.t) = reverse_postorder ~succs:(Func.successors f) f.entry
+
+(* Blocks reachable from the entry. *)
+let reachable_from_entry (f : Func.t) =
+  let set = Hashtbl.create 32 in
+  List.iter (fun b -> Hashtbl.replace set b ()) (rpo f);
+  set
+
+(* Reverse post-order of the DAG obtained by starting at [root] and ignoring
+   the given set of backedges (pairs). Used both for topological sorting of
+   a loop body and for Algorithm 1's traversal from a LoD source block. *)
+let rpo_ignoring_backedges (f : Func.t) ~backedges root =
+  let skip ~src ~dst = List.mem (src, dst) backedges in
+  reverse_postorder ~skip ~succs:(Func.successors f) root

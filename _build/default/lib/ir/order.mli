@@ -1,0 +1,25 @@
+(** CFG traversal orders.
+
+    Reverse post-order of a reducible loop body with backedges ignored is a
+    topological order of its DAG — the property Algorithm 1 relies on: if
+    block A precedes B on any path through the loop, A precedes B in
+    reverse post-order. *)
+
+(** DFS postorder from [root]; [skip] filters edges (ignore backedges,
+    avoid entering other loops). *)
+val postorder :
+  ?skip:(src:'a -> dst:'a -> bool) -> succs:('a -> 'a list) -> 'a -> 'a list
+
+val reverse_postorder :
+  ?skip:(src:'a -> dst:'a -> bool) -> succs:('a -> 'a list) -> 'a -> 'a list
+
+(** Reverse post-order over the whole function CFG. *)
+val rpo : Func.t -> int list
+
+(** Blocks reachable from the entry, as a set. *)
+val reachable_from_entry : Func.t -> (int, unit) Hashtbl.t
+
+(** Reverse post-order of the DAG rooted at [root] with the given backedges
+    removed. *)
+val rpo_ignoring_backedges :
+  Func.t -> backedges:(int * int) list -> int -> int list

@@ -1,0 +1,474 @@
+(* Textual IR parser.
+
+   Accepts exactly the grammar Printer emits, so that
+   [parse (Printer.func_to_string f)] reconstructs [f] up to layout; the
+   round trip is property-tested. Useful for writing test CFGs as literal
+   strings (the paper's Figure 3/4 examples live in tests this way) and for
+   the CLI driver. *)
+
+open Types
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* --- tokenizer ---------------------------------------------------------- *)
+
+type token =
+  | Tident of string (* bare word: func, add, bb-less idents, array names *)
+  | Tvar of int (* %N *)
+  | Tblock of int (* bbN *)
+  | Tint of int
+  | Tmem of int (* !memN *)
+  | Tlparen
+  | Trparen
+  | Tlbrace
+  | Trbrace
+  | Tlbracket
+  | Trbracket
+  | Tcomma
+  | Tcolon
+  | Tequal
+  | Teof
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let toks = ref [] in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || is_digit c || c = '_' || c = '.'
+  in
+  let read_while p =
+    let start = !pos in
+    while (match peek () with Some c -> p c | None -> false) do
+      advance ()
+    done;
+    String.sub s start (!pos - start)
+  in
+  let read_int () =
+    let neg = peek () = Some '-' in
+    if neg then advance ();
+    let digits = read_while is_digit in
+    if digits = "" then fail "expected integer at offset %d" !pos;
+    let v = int_of_string digits in
+    if neg then -v else v
+  in
+  while !pos < n do
+    match s.[!pos] with
+    | ' ' | '\t' | '\n' | '\r' -> advance ()
+    | '(' -> advance (); toks := Tlparen :: !toks
+    | ')' -> advance (); toks := Trparen :: !toks
+    | '{' -> advance (); toks := Tlbrace :: !toks
+    | '}' -> advance (); toks := Trbrace :: !toks
+    | '[' -> advance (); toks := Tlbracket :: !toks
+    | ']' -> advance (); toks := Trbracket :: !toks
+    | ',' -> advance (); toks := Tcomma :: !toks
+    | ':' -> advance (); toks := Tcolon :: !toks
+    | '=' -> advance (); toks := Tequal :: !toks
+    | '%' ->
+      advance ();
+      toks := Tvar (read_int ()) :: !toks
+    | '!' ->
+      advance ();
+      let word = read_while is_ident_char in
+      if String.length word > 3 && String.sub word 0 3 = "mem" then
+        toks :=
+          Tmem (int_of_string (String.sub word 3 (String.length word - 3)))
+          :: !toks
+      else fail "unknown metadata !%s" word
+    | ';' ->
+      (* comment to end of line *)
+      while peek () <> None && peek () <> Some '\n' do
+        advance ()
+      done
+    | c when is_digit c || c = '-' -> toks := Tint (read_int ()) :: !toks
+    | c when is_ident_char c ->
+      let word = read_while is_ident_char in
+      if
+        String.length word > 2
+        && String.sub word 0 2 = "bb"
+        && String.for_all is_digit (String.sub word 2 (String.length word - 2))
+      then
+        toks :=
+          Tblock (int_of_string (String.sub word 2 (String.length word - 2)))
+          :: !toks
+      else toks := Tident word :: !toks
+    | c -> fail "unexpected character %C at offset %d" c !pos
+  done;
+  List.rev (Teof :: !toks)
+
+(* --- parser state ------------------------------------------------------- *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Teof | t :: _ -> t
+let next st =
+  match st.toks with
+  | [] -> Teof
+  | t :: rest ->
+    st.toks <- rest;
+    t
+
+let pp_token ppf = function
+  | Tident s -> Fmt.pf ppf "ident %S" s
+  | Tvar v -> Fmt.pf ppf "%%%d" v
+  | Tblock b -> Fmt.pf ppf "bb%d" b
+  | Tint n -> Fmt.pf ppf "int %d" n
+  | Tmem m -> Fmt.pf ppf "!mem%d" m
+  | Tlparen -> Fmt.string ppf "("
+  | Trparen -> Fmt.string ppf ")"
+  | Tlbrace -> Fmt.string ppf "{"
+  | Trbrace -> Fmt.string ppf "}"
+  | Tlbracket -> Fmt.string ppf "["
+  | Trbracket -> Fmt.string ppf "]"
+  | Tcomma -> Fmt.string ppf ","
+  | Tcolon -> Fmt.string ppf ":"
+  | Tequal -> Fmt.string ppf "="
+  | Teof -> Fmt.string ppf "<eof>"
+
+let expect st tok =
+  let t = next st in
+  if t <> tok then fail "expected %a, got %a" pp_token tok pp_token t
+
+let expect_ident st =
+  match next st with
+  | Tident s -> s
+  | t -> fail "expected identifier, got %a" pp_token t
+
+let expect_var st =
+  match next st with
+  | Tvar v -> v
+  | t -> fail "expected %%value, got %a" pp_token t
+
+let expect_block st =
+  match next st with
+  | Tblock b -> b
+  | t -> fail "expected bbN, got %a" pp_token t
+
+let expect_mem st =
+  match next st with
+  | Tmem m -> m
+  | t -> fail "expected !memN, got %a" pp_token t
+
+let parse_operand st =
+  match next st with
+  | Tvar v -> Var v
+  | Tint n -> Cst (Int n)
+  | Tident "true" -> Cst (Bool true)
+  | Tident "false" -> Cst (Bool false)
+  | t -> fail "expected operand, got %a" pp_token t
+
+let parse_ty st =
+  match next st with
+  | Tident "i1" -> I1
+  | Tident "i32" -> I32
+  | t -> fail "expected type, got %a" pp_token t
+
+let binop_of_string = function
+  | "add" -> Some Instr.Add
+  | "sub" -> Some Instr.Sub
+  | "mul" -> Some Instr.Mul
+  | "sdiv" -> Some Instr.Sdiv
+  | "srem" -> Some Instr.Srem
+  | "and" -> Some Instr.And
+  | "or" -> Some Instr.Or
+  | "xor" -> Some Instr.Xor
+  | "shl" -> Some Instr.Shl
+  | "ashr" -> Some Instr.Ashr
+  | "smin" -> Some Instr.Smin
+  | "smax" -> Some Instr.Smax
+  | _ -> None
+
+let cmp_of_string = function
+  | "eq" -> Some Instr.Eq
+  | "ne" -> Some Instr.Ne
+  | "slt" -> Some Instr.Slt
+  | "sle" -> Some Instr.Sle
+  | "sgt" -> Some Instr.Sgt
+  | "sge" -> Some Instr.Sge
+  | _ -> None
+
+(* [arr [ idx ]] suffix of memory operations. *)
+let parse_indexed st arr =
+  expect st Tlbracket;
+  let idx = parse_operand st in
+  expect st Trbracket;
+  (arr, idx)
+
+(* --- per-line parsers ---------------------------------------------------- *)
+
+type parsed_line =
+  | Lphi of Block.phi
+  | Linstr of Instr.t
+  | Lterm of Block.terminator
+
+let parse_phi_body st ~pid =
+  let ty = parse_ty st in
+  let rec incoming acc =
+    expect st Tlbracket;
+    let pred = expect_block st in
+    expect st Tcolon;
+    let v = parse_operand st in
+    expect st Trbracket;
+    let acc = acc @ [ (pred, v) ] in
+    if peek st = Tcomma then begin
+      ignore (next st);
+      incoming acc
+    end
+    else acc
+  in
+  Lphi { Block.pid; ty; incoming = incoming [] }
+
+(* An instruction line that started with [%id =]. *)
+let parse_def st ~id =
+  let op = expect_ident st in
+  match op with
+  | "phi" -> parse_phi_body st ~pid:id
+  | "cmp" ->
+    let c = expect_ident st in
+    let cmp =
+      match cmp_of_string c with
+      | Some c -> c
+      | None -> fail "unknown comparison %s" c
+    in
+    let a = parse_operand st in
+    expect st Tcomma;
+    let b = parse_operand st in
+    Linstr { Instr.id; kind = Instr.Cmp (cmp, a, b) }
+  | "select" ->
+    let c = parse_operand st in
+    expect st Tcomma;
+    let a = parse_operand st in
+    expect st Tcomma;
+    let b = parse_operand st in
+    Linstr { Instr.id; kind = Instr.Select (c, a, b) }
+  | "not" ->
+    let a = parse_operand st in
+    Linstr { Instr.id; kind = Instr.Not a }
+  | "load" ->
+    let arr = expect_ident st in
+    let arr, idx = parse_indexed st arr in
+    let mem = expect_mem st in
+    Linstr { Instr.id; kind = Instr.Load { arr; idx; mem } }
+  | "consume_val" ->
+    let arr = expect_ident st in
+    let mem = expect_mem st in
+    Linstr { Instr.id; kind = Instr.Consume_val { arr; mem } }
+  | other ->
+    (match binop_of_string other with
+    | Some bop ->
+      let a = parse_operand st in
+      expect st Tcomma;
+      let b = parse_operand st in
+      Linstr { Instr.id; kind = Instr.Binop (bop, a, b) }
+    | None -> fail "unknown value-producing operation %s" other)
+
+(* An instruction line that started with a bare identifier. The caller
+   passes a fresh-id generator for unit-valued instructions. *)
+let parse_effect st ~fresh_id op =
+  match op with
+  | "store" ->
+    let arr = expect_ident st in
+    let arr, idx = parse_indexed st arr in
+    expect st Tcomma;
+    let value = parse_operand st in
+    let mem = expect_mem st in
+    Linstr { Instr.id = fresh_id (); kind = Instr.Store { arr; idx; value; mem } }
+  | "send_ld_addr" ->
+    let arr = expect_ident st in
+    let arr, idx = parse_indexed st arr in
+    let mem = expect_mem st in
+    Linstr { Instr.id = fresh_id (); kind = Instr.Send_ld_addr { arr; idx; mem } }
+  | "send_st_addr" ->
+    let arr = expect_ident st in
+    let arr, idx = parse_indexed st arr in
+    let mem = expect_mem st in
+    Linstr { Instr.id = fresh_id (); kind = Instr.Send_st_addr { arr; idx; mem } }
+  | "produce_val" ->
+    let arr = expect_ident st in
+    expect st Tcomma;
+    let value = parse_operand st in
+    let mem = expect_mem st in
+    Linstr { Instr.id = fresh_id (); kind = Instr.Produce_val { arr; value; mem } }
+  | "poison" ->
+    let arr = expect_ident st in
+    let mem = expect_mem st in
+    Linstr { Instr.id = fresh_id (); kind = Instr.Poison { arr; mem } }
+  | "br" ->
+    (* br bbN  |  br %c, bbN, bbM *)
+    (match peek st with
+    | Tblock _ -> Lterm (Block.Br (expect_block st))
+    | _ ->
+      let c = parse_operand st in
+      expect st Tcomma;
+      let t = expect_block st in
+      expect st Tcomma;
+      let f = expect_block st in
+      Lterm (Block.Cond_br (c, t, f)))
+  | "switch" ->
+    let c = parse_operand st in
+    expect st Tcomma;
+    let rec targets acc =
+      let t = expect_block st in
+      let acc = acc @ [ t ] in
+      if peek st = Tcomma then begin
+        ignore (next st);
+        targets acc
+      end
+      else acc
+    in
+    Lterm (Block.Switch (c, targets []))
+  | "ret" ->
+    (match peek st with
+    | Tvar _ | Tint _ | Tident "true" | Tident "false" ->
+      Lterm (Block.Ret (Some (parse_operand st)))
+    | _ -> Lterm (Block.Ret None))
+  | other -> fail "unknown operation %s" other
+
+(* --- function parser ----------------------------------------------------- *)
+
+let parse (src : string) : Func.t =
+  let st = { toks = tokenize src } in
+  expect st (Tident "func");
+  let name = expect_ident st in
+  expect st Tlparen;
+  let rec params acc =
+    match peek st with
+    | Trparen ->
+      ignore (next st);
+      acc
+    | _ ->
+      let pname = expect_ident st in
+      expect st Tcolon;
+      let vid = expect_var st in
+      let acc = acc @ [ (pname, vid) ] in
+      (match peek st with
+      | Tcomma ->
+        ignore (next st);
+        params acc
+      | _ ->
+        expect st Trparen;
+        acc)
+  in
+  let params = params [] in
+  expect st Tlbrace;
+  (* Parse block sections. *)
+  let max_vid = ref (-1) in
+  let max_mem = ref (-1) in
+  let note_vid v = if v > !max_vid then max_vid := v in
+  let note_mem m = if m > !max_mem then max_mem := m in
+  List.iter (fun (_, v) -> note_vid v) params;
+  (* We pre-scan nothing; unit instruction ids are assigned after parsing
+     from a counter above every %id seen, so parse into an intermediate
+     representation first. *)
+  let blocks : (int * Block.phi list * (parsed_line list)) list ref = ref [] in
+  let rec parse_blocks () =
+    match next st with
+    | Trbrace -> ()
+    | Tblock bid ->
+      expect st Tcolon;
+      let phis = ref [] in
+      let lines = ref [] in
+      let rec body () =
+        match peek st with
+        | Tblock _ | Trbrace -> ()
+        | Tvar id ->
+          ignore (next st);
+          note_vid id;
+          expect st Tequal;
+          (match parse_def st ~id with
+          | Lphi p -> phis := !phis @ [ p ]
+          | line -> lines := !lines @ [ line ]);
+          body ()
+        | Tident op ->
+          ignore (next st);
+          (* fresh ids for unit instructions patched below: use -1 now *)
+          let line = parse_effect st ~fresh_id:(fun () -> -1) op in
+          lines := !lines @ [ line ];
+          body ()
+        | t -> fail "unexpected token %a in block body" pp_token t
+      in
+      body ();
+      blocks := !blocks @ [ (bid, !phis, !lines) ];
+      parse_blocks ()
+    | t -> fail "expected block label, got %a" pp_token t
+  in
+  parse_blocks ();
+  (match peek st with
+  | Teof -> ()
+  | t -> fail "trailing input: %a" pp_token t);
+  (* Scan for mem ids and the max vid used anywhere. *)
+  List.iter
+    (fun (_, phis, lines) ->
+      List.iter (fun (p : Block.phi) -> note_vid p.Block.pid) phis;
+      List.iter
+        (function
+          | Linstr i ->
+            note_vid i.Instr.id;
+            (match Instr.mem_id i with Some m -> note_mem m | None -> ());
+            List.iter
+              (function Var v -> note_vid v | Cst _ -> ())
+              (Instr.operands i)
+          | Lphi _ | Lterm _ -> ())
+        lines)
+    !blocks;
+  (* Materialize the function. *)
+  (match !blocks with
+  | [] -> fail "function %s has no blocks" name
+  | (entry_bid, _, _) :: _ ->
+    let f : Func.t =
+      {
+        Func.name;
+        params;
+        entry = entry_bid;
+        blocks = Hashtbl.create 16;
+        layout = [];
+        next_vid = !max_vid + 1;
+        next_bid = 1 + List.fold_left (fun a (b, _, _) -> max a b) 0 !blocks;
+        next_mem = !max_mem + 1;
+      }
+    in
+    List.iter
+      (fun (bid, phis, lines) ->
+        let instrs = ref [] in
+        let term = ref None in
+        List.iter
+          (fun line ->
+            match line with
+            | Linstr i ->
+              let i =
+                if i.Instr.id = -1 then begin
+                  let id = Func.fresh_vid f in
+                  { i with Instr.id }
+                end
+                else i
+              in
+              instrs := !instrs @ [ i ]
+            | Lterm t ->
+              (match !term with
+              | None -> term := Some t
+              | Some _ -> fail "bb%d has two terminators" bid)
+            | Lphi _ -> assert false)
+          lines;
+        let term =
+          match !term with
+          | Some t -> t
+          | None -> fail "bb%d has no terminator" bid
+        in
+        let b = Block.create ~phis ~instrs:!instrs ~term bid in
+        Hashtbl.replace f.Func.blocks bid b;
+        f.Func.layout <- f.Func.layout @ [ bid ])
+      !blocks;
+    f)
+
+let parse_exn = parse
+
+let parse_result (src : string) : (Func.t, string) result =
+  match parse src with
+  | f -> Ok f
+  | exception Parse_error msg -> Error msg

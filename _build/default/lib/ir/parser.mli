@@ -1,0 +1,12 @@
+(** Textual IR parser for exactly the grammar {!Printer} emits: [;]
+    comments, [func name(p: %0, ...) { bbN: ... }] with the instruction
+    forms of {!Instr.pp}, [phi], [br]/[switch]/[ret] terminators. Fresh-id
+    counters of the parsed function start above every id in the text. *)
+
+exception Parse_error of string
+
+(** @raise Parse_error on malformed input. *)
+val parse : string -> Func.t
+
+val parse_exn : string -> Func.t
+val parse_result : string -> (Func.t, string) result

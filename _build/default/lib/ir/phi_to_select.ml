@@ -1,0 +1,94 @@
+(* φ → select conversion (paper §5.4: "Alternatively, we can transform φ
+   instructions using the load value into select instructions").
+
+   A φ at a two-predecessor join converts to a select when the join's
+   immediate dominator ends in a conditional branch whose two arms
+   correspond one-to-one to the predecessors, and both incoming values are
+   available at the join (their definitions dominate it — constants,
+   parameters, or values computed above the branch). The CFG is left
+   untouched; only the merge point becomes a data-flow mux, which is what a
+   predicated/dataflow backend (§7.2) wants. *)
+
+open Types
+
+(* Does the operand's definition dominate [bid]? *)
+let available_at (f : Func.t) (dom : Dom.t) op bid =
+  match op with
+  | Cst _ -> true
+  | Var v -> (
+    if List.exists (fun (_, id) -> id = v) f.Func.params then true
+    else
+      match Func.block_of_instr f ~id:v with
+      | Some db ->
+        Dom.strictly_dominates dom db.Block.bid bid || db.Block.bid = bid
+      | None -> (
+        (* maybe a φ *)
+        match
+          List.find_opt
+            (fun b ->
+              List.exists
+                (fun (p : Block.phi) -> p.Block.pid = v)
+                (Func.block f b).Block.phis)
+            f.Func.layout
+        with
+        | Some db -> Dom.strictly_dominates dom db bid
+        | None -> false))
+
+(* The branch arm (true/false side) a predecessor of [join] belongs to,
+   given the dominating branch block [br] with targets [t]/[fl]. *)
+let side_of (dom : Dom.t) ~join ~br ~t ~fl pred =
+  if pred = br then
+    (* triangle: the branch jumps straight to the join on one side *)
+    if t = join && fl <> join then Some `T
+    else if fl = join && t <> join then Some `F
+    else None
+  else if t <> fl && Dom.dominates dom t pred && not (Dom.dominates dom fl pred)
+  then Some `T
+  else if t <> fl && Dom.dominates dom fl pred && not (Dom.dominates dom t pred)
+  then Some `F
+  else None
+
+let convertible (f : Func.t) (dom : Dom.t) bid (p : Block.phi) :
+    Instr.kind option =
+  match p.Block.incoming with
+  | [ (p1, v1); (p2, v2) ] -> (
+    match Dom.idom dom bid with
+    | Some br when br <> bid -> (
+      match (Func.block f br).Block.term with
+      | Block.Cond_br (c, t, fl) -> (
+        match
+          ( side_of dom ~join:bid ~br ~t ~fl p1,
+            side_of dom ~join:bid ~br ~t ~fl p2 )
+        with
+        | Some `T, Some `F
+          when available_at f dom v1 bid && available_at f dom v2 bid ->
+          Some (Instr.Select (c, v1, v2))
+        | Some `F, Some `T
+          when available_at f dom v1 bid && available_at f dom v2 bid ->
+          Some (Instr.Select (c, v2, v1))
+        | _ -> None)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(* Convert every eligible φ; returns the number converted. *)
+let run (f : Func.t) : int =
+  let dom = Dom.compute f in
+  let converted = ref 0 in
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      let keep =
+        List.filter
+          (fun (p : Block.phi) ->
+            match convertible f dom bid p with
+            | Some kind ->
+              Block.prepend_instr b { Instr.id = p.Block.pid; kind };
+              incr converted;
+              false
+            | None -> true)
+          b.Block.phis
+      in
+      b.Block.phis <- keep)
+    f.Func.layout;
+  !converted

@@ -1,0 +1,7 @@
+(** φ → select conversion (paper §5.4's alternative to φ rewiring): a φ at
+    a two-predecessor join whose immediate dominator's conditional branch
+    separates the predecessors, and whose incoming values are available at
+    the join, becomes a [select] on the branch condition. Returns the
+    number of conversions. *)
+
+val run : Func.t -> int

@@ -1,0 +1,41 @@
+(* Human-readable IR printing. The output grammar is accepted back by
+   Parser, and the round trip is property-tested. *)
+
+open Types
+
+let pp_phi ppf (p : Block.phi) =
+  Fmt.pf ppf "%%%d = phi %a %a" p.Block.pid pp_ty p.Block.ty
+    Fmt.(
+      list ~sep:(any ", ")
+        (fun ppf (pred, v) -> pf ppf "[bb%d: %a]" pred pp_operand v))
+    p.Block.incoming
+
+let pp_terminator ppf = function
+  | Block.Br t -> Fmt.pf ppf "br bb%d" t
+  | Block.Cond_br (c, t, f) ->
+    Fmt.pf ppf "br %a, bb%d, bb%d" pp_operand c t f
+  | Block.Switch (c, ts) ->
+    Fmt.pf ppf "switch %a, %a" pp_operand c
+      Fmt.(list ~sep:(any ", ") (fun ppf t -> pf ppf "bb%d" t))
+      ts
+  | Block.Ret None -> Fmt.string ppf "ret"
+  | Block.Ret (Some v) -> Fmt.pf ppf "ret %a" pp_operand v
+
+let pp_block ppf (b : Block.t) =
+  Fmt.pf ppf "bb%d:@." b.Block.bid;
+  List.iter (fun p -> Fmt.pf ppf "  %a@." pp_phi p) b.Block.phis;
+  List.iter (fun i -> Fmt.pf ppf "  %a@." Instr.pp i) b.Block.instrs;
+  Fmt.pf ppf "  %a@." pp_terminator b.Block.term
+
+let pp_func ppf (f : Func.t) =
+  Fmt.pf ppf "func %s(%a) {@."
+    f.Func.name
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (n, id) -> pf ppf "%s: %%%d" n id))
+    f.Func.params;
+  List.iter (fun bid -> pp_block ppf (Func.block f bid)) f.Func.layout;
+  Fmt.pf ppf "}@."
+
+let func_to_string (f : Func.t) = Fmt.str "%a" pp_func f
+let block_to_string (b : Block.t) = Fmt.str "%a" pp_block b
+let instr_to_string (i : Instr.t) = Fmt.str "%a" Instr.pp i

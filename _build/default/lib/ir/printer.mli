@@ -1,0 +1,11 @@
+(** Human-readable IR printing. The grammar is accepted back by {!Parser};
+    the round trip is property-tested. *)
+
+val pp_phi : Format.formatter -> Block.phi -> unit
+val pp_terminator : Format.formatter -> Block.terminator -> unit
+val pp_block : Format.formatter -> Block.t -> unit
+val pp_func : Format.formatter -> Func.t -> unit
+
+val func_to_string : Func.t -> string
+val block_to_string : Block.t -> string
+val instr_to_string : Instr.t -> string

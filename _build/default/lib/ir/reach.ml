@@ -1,0 +1,45 @@
+(* Reachability over the loop-body DAG.
+
+   Algorithms 2 and 3 of the paper repeatedly ask "is block X reachable from
+   block Y, ignoring loop backedges?". We precompute the transitive closure
+   of the forward-edge graph once per query set; functions are small, so a
+   simple DFS per source is plenty. *)
+
+type t = {
+  func : Func.t;
+  backedges : (int * int) list;
+  memo : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let create (f : Func.t) =
+  let loops = Loops.compute f in
+  { func = f; backedges = loops.Loops.backedges; memo = Hashtbl.create 16 }
+
+let create_with_backedges (f : Func.t) ~backedges =
+  { func = f; backedges; memo = Hashtbl.create 16 }
+
+let closure_from (t : t) src =
+  match Hashtbl.find_opt t.memo src with
+  | Some set -> set
+  | None ->
+    let set = Hashtbl.create 16 in
+    let rec go n =
+      if not (Hashtbl.mem set n) then begin
+        Hashtbl.replace set n ();
+        List.iter
+          (fun s -> if not (List.mem (n, s) t.backedges) then go s)
+          (Func.successors t.func n)
+      end
+    in
+    go src;
+    Hashtbl.replace t.memo src set;
+    set
+
+(* Is [dst] reachable from [src] following only forward edges (reflexive)? *)
+let reachable (t : t) ~src ~dst = Hashtbl.mem (closure_from t src) dst
+
+(* Strict variant: at least one edge must be taken. *)
+let strictly_reachable (t : t) ~src ~dst =
+  List.exists
+    (fun s -> (not (List.mem (src, s) t.backedges)) && reachable t ~src:s ~dst)
+    (Func.successors t.func src)

@@ -1,0 +1,16 @@
+(** Reachability over the forward-edge (backedge-blind) graph — the query
+    Algorithms 2 and 3 ask repeatedly: "is trueBB still reachable from this
+    edge destination?" *)
+
+type t
+
+(** Backedges from {!Loops.compute}. *)
+val create : Func.t -> t
+
+val create_with_backedges : Func.t -> backedges:(int * int) list -> t
+
+(** Reflexive forward reachability. *)
+val reachable : t -> src:int -> dst:int -> bool
+
+(** At least one forward edge must be taken. *)
+val strictly_reachable : t -> src:int -> dst:int -> bool

@@ -1,0 +1,192 @@
+(* Control-flow simplification (paper §3.2 step 3: "removes empty blocks
+   potentially created by DCE").
+
+   Four rewrites, applied to a fixed point:
+     1. remove blocks unreachable from the entry;
+     2. fold conditional branches whose condition is constant, and
+        normalise conditional branches with identical targets;
+     3. bypass empty forwarding blocks (no φs, no instructions, [Br] only);
+     4. merge a block into its unique successor when that successor has a
+        unique predecessor and no φs. *)
+
+let remove_unreachable (f : Func.t) : bool =
+  let reachable = Order.reachable_from_entry f in
+  let dead = List.filter (fun b -> not (Hashtbl.mem reachable b)) f.Func.layout in
+  List.iter
+    (fun bid ->
+      (* Remove φ entries in reachable blocks that mention the dead block. *)
+      List.iter
+        (fun keep ->
+          Block.remove_phi_pred (Func.block f keep) ~pred:bid)
+        (List.filter (fun b -> Hashtbl.mem reachable b) f.Func.layout);
+      Func.remove_block f bid)
+    dead;
+  dead <> []
+
+let fold_constant_branches (f : Func.t) : bool =
+  let changed = ref false in
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      match b.Block.term with
+      | Block.Cond_br (Types.Cst (Types.Bool c), t, fl) ->
+        let taken, skipped = if c then (t, fl) else (fl, t) in
+        b.Block.term <- Block.Br taken;
+        if skipped <> taken then
+          Block.remove_phi_pred (Func.block f skipped) ~pred:bid;
+        changed := true
+      | Block.Cond_br (_, t, fl) when t = fl ->
+        b.Block.term <- Block.Br t;
+        changed := true
+      | Block.Switch (Types.Cst (Types.Int k), ts) ->
+        let n = List.length ts in
+        let k = if k < 0 then 0 else if k >= n then n - 1 else k in
+        let taken = List.nth ts k in
+        b.Block.term <- Block.Br taken;
+        List.iter
+          (fun skipped ->
+            if skipped <> taken then
+              Block.remove_phi_pred (Func.block f skipped) ~pred:bid)
+          (Block.dedup ts);
+        changed := true
+      | Block.Switch (_, ts)
+        when (match Block.dedup ts with [ _ ] -> true | _ -> false) ->
+        b.Block.term <- Block.Br (List.hd ts);
+        changed := true
+      | Block.Switch _ | Block.Cond_br _ | Block.Br _ | Block.Ret _ -> ())
+    f.Func.layout;
+  !changed
+
+(* A block is an empty forwarder if it has no φs, no instructions and ends
+   in an unconditional branch. Predecessors are redirected to its target,
+   unless doing so would create a duplicate CFG edge into a block with φs
+   (which would make the φ incoming list ambiguous). *)
+let bypass_empty_blocks (f : Func.t) : bool =
+  let changed = ref false in
+  let preds_tbl = Func.predecessors f in
+  (* Never bypass into a loop header: a unique latch per loop (canonical
+     form, §3.2) must be preserved, and redirecting several predecessors of
+     an empty latch onto the header would create multiple backedges. *)
+  let loops = Loops.compute f in
+  List.iter
+    (fun bid ->
+      if bid <> f.Func.entry then begin
+        match Func.block_opt f bid with
+        | None -> ()
+        | Some b ->
+          (match (b.Block.phis, b.Block.instrs, b.Block.term) with
+          | [], [], Block.Br target
+            when target <> bid && not (Loops.is_header loops target) ->
+            (* the table is a snapshot: earlier bypasses in this sweep may
+               have removed or redirected predecessors *)
+            let preds =
+              List.filter
+                (fun p ->
+                  Func.mem_block f p && List.mem bid (Func.successors f p))
+                (try Hashtbl.find preds_tbl bid with Not_found -> [])
+            in
+            let target_b = Func.block f target in
+            let target_preds =
+              List.concat_map
+                (fun p ->
+                  if Func.mem_block f p then
+                    List.filter (fun s -> s = target) (Func.successors f p)
+                    |> List.map (fun _ -> p)
+                  else [])
+                f.Func.layout
+            in
+            ignore target_preds;
+            let safe_for p =
+              (* Redirecting p -> bid to p -> target must not duplicate an
+                 existing p -> target edge when target has φs. *)
+              target_b.Block.phis = []
+              || not (List.mem target (Func.successors f p))
+            in
+            if preds <> [] && List.for_all safe_for preds then begin
+              List.iter
+                (fun p ->
+                  Func.retarget_edge f ~src:p ~old_dst:bid ~new_dst:target)
+                preds;
+              (* φs of target: entries mentioning bid now come from each
+                 pred. For a single pred this is a rename; multiple preds
+                 each inherit the same incoming value. *)
+              target_b.Block.phis <-
+                List.map
+                  (fun (p : Block.phi) ->
+                    let value_from_bid =
+                      List.assoc_opt bid p.Block.incoming
+                    in
+                    match value_from_bid with
+                    | None -> p
+                    | Some v ->
+                      let without =
+                        List.filter (fun (q, _) -> q <> bid) p.Block.incoming
+                      in
+                      let added =
+                        List.filter_map
+                          (fun q ->
+                            if List.mem_assoc q without then None
+                            else Some (q, v))
+                          preds
+                      in
+                      { p with incoming = without @ added })
+                  target_b.Block.phis;
+              Func.remove_block f bid;
+              changed := true
+            end
+          | _ -> ())
+      end)
+    f.Func.layout;
+  !changed
+
+let merge_straightline (f : Func.t) : bool =
+  let changed = ref false in
+  let try_merge bid =
+    match Func.block_opt f bid with
+    | None -> false
+    | Some b ->
+      (match b.Block.term with
+      | Block.Br succ when succ <> bid && succ <> f.Func.entry ->
+        let preds_tbl = Func.predecessors f in
+        let succ_preds =
+          try Hashtbl.find preds_tbl succ with Not_found -> []
+        in
+        let sb = Func.block f succ in
+        if succ_preds = [ bid ] && sb.Block.phis = [] then begin
+          b.Block.instrs <- b.Block.instrs @ sb.Block.instrs;
+          b.Block.term <- sb.Block.term;
+          (* successors of succ now see bid as predecessor *)
+          List.iter
+            (fun s ->
+              Block.rename_phi_pred (Func.block f s) ~old_pred:succ
+                ~new_pred:bid)
+            (Block.successors sb);
+          Func.remove_block f succ;
+          true
+        end
+        else false
+      | Block.Br _ | Block.Cond_br _ | Block.Switch _ | Block.Ret _ -> false)
+  in
+  let rec loop bids =
+    match bids with
+    | [] -> ()
+    | bid :: rest ->
+      if try_merge bid then begin
+        changed := true;
+        (* retry the same block: it may now chain into the next *)
+        loop (bid :: List.filter (Func.mem_block f) rest)
+      end
+      else loop rest
+  in
+  loop f.Func.layout;
+  !changed
+
+let run (f : Func.t) : unit =
+  let continue_ = ref true in
+  while !continue_ do
+    let c1 = fold_constant_branches f in
+    let c2 = remove_unreachable f in
+    let c3 = bypass_empty_blocks f in
+    let c4 = merge_straightline f in
+    continue_ := c1 || c2 || c3 || c4
+  done

@@ -1,0 +1,10 @@
+(** Control-flow simplification (paper §3.2 step 3): remove unreachable
+    blocks, fold constant/degenerate branches, bypass empty forwarding
+    blocks (without ever destroying a loop's unique latch) and merge
+    straight-line chains, to a fixed point. *)
+
+val remove_unreachable : Func.t -> bool
+val fold_constant_branches : Func.t -> bool
+val bypass_empty_blocks : Func.t -> bool
+val merge_straightline : Func.t -> bool
+val run : Func.t -> unit

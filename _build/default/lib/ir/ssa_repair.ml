@@ -1,0 +1,129 @@
+(* SSA reconstruction after code motion.
+
+   When the speculative-load pass (§5.4) moves a [consume_val] from its
+   original block to one or more speculation blocks, the value's uses must
+   be rewritten: a use may now be reached by several copies of the consume,
+   requiring φs at join points. This is the classic "multiple definitions
+   of one variable" SSA repair: place φs at the iterated dominance frontier
+   of the definition blocks, then resolve every use to its reaching
+   definition along the dominator tree. *)
+
+open Types
+
+(* Dominance frontier of every block (Cooper–Harvey–Kennedy §4). *)
+let dominance_frontier (f : Func.t) (dom : Dom.t) : (int, int list) Hashtbl.t =
+  let df = Hashtbl.create 16 in
+  let add n b =
+    let cur = try Hashtbl.find df n with Not_found -> [] in
+    if not (List.mem b cur) then Hashtbl.replace df n (b :: cur)
+  in
+  let preds_tbl = Func.predecessors f in
+  List.iter
+    (fun b ->
+      let preds = try Hashtbl.find preds_tbl b with Not_found -> [] in
+      if List.length preds >= 2 then begin
+        let idom_b = Dom.idom dom b in
+        List.iter
+          (fun p ->
+            let rec runner n =
+              if Some n <> idom_b && Dom.idom dom n <> None then begin
+                add n b;
+                match Dom.idom dom n with
+                | Some parent when parent <> n -> runner parent
+                | Some _ | None -> ()
+              end
+            in
+            runner p)
+          preds
+      end)
+    f.Func.layout;
+  df
+
+exception No_reaching_def of { use_block : int; vid : int }
+
+(* Rewrite all uses of [old_vid] given fresh definitions [defs] (block ->
+   operand holding the new value; at most one per block, conceptually at
+   the block's end). φs of type [ty] are inserted at the iterated dominance
+   frontier. [undef] (default: int 0) is used on paths with no reaching
+   definition — such paths must never actually read the value (the dynamic
+   equivalence check would expose it). *)
+let rewrite_uses (f : Func.t) ~(old_vid : int) ~(defs : (int * operand) list)
+    ~(ty : ty) ?(undef = Cst (Int 0)) () : unit =
+  let dom = Dom.compute f in
+  let df = dominance_frontier f dom in
+  (* 1. iterated dominance frontier of the def blocks *)
+  let phi_blocks = Hashtbl.create 8 in
+  let worklist = Queue.create () in
+  List.iter (fun (b, _) -> Queue.add b worklist) defs;
+  let seen = Hashtbl.create 8 in
+  while not (Queue.is_empty worklist) do
+    let b = Queue.pop worklist in
+    List.iter
+      (fun d ->
+        if not (Hashtbl.mem phi_blocks d) then begin
+          Hashtbl.replace phi_blocks d ();
+          if not (Hashtbl.mem seen d) then begin
+            Hashtbl.replace seen d ();
+            Queue.add d worklist
+          end
+        end)
+      (try Hashtbl.find df b with Not_found -> [])
+  done;
+  (* 2. allocate φ ids *)
+  let phi_ids = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun b () -> Hashtbl.replace phi_ids b (Func.fresh_vid f))
+    phi_blocks;
+  let explicit_defs = Hashtbl.create 8 in
+  List.iter (fun (b, op) -> Hashtbl.replace explicit_defs b op) defs;
+  (* def available at the end of block [b] *)
+  let rec def_out b =
+    match Hashtbl.find_opt explicit_defs b with
+    | Some op -> Some op
+    | None -> def_in b
+  and def_in b =
+    match Hashtbl.find_opt phi_ids b with
+    | Some pid -> Some (Var pid)
+    | None -> (
+      match Dom.idom dom b with
+      | Some p when p <> b -> def_out p
+      | Some _ | None -> None)
+  in
+  let def_out_or_undef b = match def_out b with Some op -> op | None -> undef in
+  let def_in_or_undef b = match def_in b with Some op -> op | None -> undef in
+  (* 3. install the φs *)
+  let preds_tbl = Func.predecessors f in
+  Hashtbl.iter
+    (fun b pid ->
+      let preds = try Hashtbl.find preds_tbl b with Not_found -> [] in
+      let incoming = List.map (fun p -> (p, def_out_or_undef p)) preds in
+      Block.add_phi (Func.block f b) { Block.pid = pid; ty; incoming })
+    phi_ids;
+  (* 4. rewrite uses. An instruction use inside a block with an explicit
+     def resolves to the def only if the def instruction precedes it; the
+     caller places explicit defs at block ends, so instruction uses inside
+     a def block resolve to the inherited (entry) value. *)
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      let subst_in op = if op = Var old_vid then def_in_or_undef bid else op in
+      b.Block.instrs <-
+        List.map (fun i -> Instr.map_operands subst_in i) b.Block.instrs;
+      b.Block.term <-
+        Block.map_terminator_operands
+          (fun op -> if op = Var old_vid then def_out_or_undef bid else op)
+          b;
+      b.Block.phis <-
+        List.map
+          (fun (p : Block.phi) ->
+            {
+              p with
+              Block.incoming =
+                List.map
+                  (fun (pred, op) ->
+                    ( pred,
+                      if op = Var old_vid then def_out_or_undef pred else op ))
+                  p.Block.incoming;
+            })
+          b.Block.phis)
+    f.Func.layout

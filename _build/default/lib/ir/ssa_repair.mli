@@ -1,0 +1,22 @@
+(** SSA reconstruction after code motion (used by §5.4 speculative load
+    consumption and by consume relocation in Algorithm 1): given fresh
+    definitions of one value in several blocks, place φs at the iterated
+    dominance frontier and rewrite every use to its reaching definition. *)
+
+val dominance_frontier : Func.t -> Dom.t -> (int, int list) Hashtbl.t
+
+exception No_reaching_def of { use_block : int; vid : int }
+
+(** [rewrite_uses f ~old_vid ~defs ~ty ()] — [defs] maps block id to the
+    operand holding the new value at that block's end. [undef] (default
+    [Cst (Int 0)]) is used on paths with no reaching definition; such paths
+    must never actually read the value (the dynamic equivalence checks
+    would expose it). *)
+val rewrite_uses :
+  Func.t ->
+  old_vid:int ->
+  defs:(int * Types.operand) list ->
+  ty:Types.ty ->
+  ?undef:Types.operand ->
+  unit ->
+  unit

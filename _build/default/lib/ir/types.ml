@@ -1,0 +1,74 @@
+(* Core scalar types and operands of the IR.
+
+   The IR is deliberately small: 32-bit integers and booleans cover every
+   kernel in the paper's evaluation, and arrays are named memory regions
+   addressed by integer index (the HLS accelerators the paper targets use
+   statically allocated on-chip SRAM, see DESIGN.md). *)
+
+type ty = I1 | I32
+
+type const =
+  | Bool of bool
+  | Int of int
+
+type operand =
+  | Var of int (* SSA value id *)
+  | Cst of const
+
+let ty_of_const = function
+  | Bool _ -> I1
+  | Int _ -> I32
+
+let equal_ty (a : ty) (b : ty) = a = b
+
+let equal_const (a : const) (b : const) =
+  match a, b with
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Bool _, Int _ | Int _, Bool _ -> false
+
+let equal_operand (a : operand) (b : operand) =
+  match a, b with
+  | Var x, Var y -> x = y
+  | Cst x, Cst y -> equal_const x y
+  | Var _, Cst _ | Cst _, Var _ -> false
+
+let pp_ty ppf = function
+  | I1 -> Fmt.string ppf "i1"
+  | I32 -> Fmt.string ppf "i32"
+
+let pp_const ppf = function
+  | Bool true -> Fmt.string ppf "true"
+  | Bool false -> Fmt.string ppf "false"
+  | Int n -> Fmt.int ppf n
+
+let pp_operand ppf = function
+  | Var v -> Fmt.pf ppf "%%%d" v
+  | Cst c -> pp_const ppf c
+
+(* Runtime values flowing through the interpreter and simulator. *)
+type value =
+  | Vbool of bool
+  | Vint of int
+
+let value_of_const = function
+  | Bool b -> Vbool b
+  | Int n -> Vint n
+
+let equal_value (a : value) (b : value) =
+  match a, b with
+  | Vbool x, Vbool y -> x = y
+  | Vint x, Vint y -> x = y
+  | Vbool _, Vint _ | Vint _, Vbool _ -> false
+
+let pp_value ppf = function
+  | Vbool b -> Fmt.bool ppf b
+  | Vint n -> Fmt.int ppf n
+
+let int_of_value = function
+  | Vint n -> n
+  | Vbool _ -> invalid_arg "Types.int_of_value: boolean value"
+
+let bool_of_value = function
+  | Vbool b -> b
+  | Vint _ -> invalid_arg "Types.bool_of_value: integer value"

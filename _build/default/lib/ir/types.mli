@@ -1,0 +1,38 @@
+(** Scalar types, constants, operands and runtime values of the IR.
+
+    The IR is deliberately small: 32-bit signed integers and booleans cover
+    every kernel in the paper's evaluation. Arrays are named memory regions
+    addressed by integer index (the target accelerators use statically
+    allocated on-chip SRAM). *)
+
+(** Scalar types. *)
+type ty = I1 | I32
+
+(** Compile-time constants. *)
+type const = Bool of bool | Int of int
+
+(** An instruction operand: an SSA value reference or an immediate. *)
+type operand = Var of int | Cst of const
+
+val ty_of_const : const -> ty
+
+val equal_ty : ty -> ty -> bool
+val equal_const : const -> const -> bool
+val equal_operand : operand -> operand -> bool
+
+val pp_ty : Format.formatter -> ty -> unit
+val pp_const : Format.formatter -> const -> unit
+val pp_operand : Format.formatter -> operand -> unit
+
+(** Runtime values flowing through the interpreter and the simulator. *)
+type value = Vbool of bool | Vint of int
+
+val value_of_const : const -> value
+val equal_value : value -> value -> bool
+val pp_value : Format.formatter -> value -> unit
+
+(** @raise Invalid_argument on a boolean. *)
+val int_of_value : value -> int
+
+(** @raise Invalid_argument on an integer. *)
+val bool_of_value : value -> bool

@@ -1,0 +1,173 @@
+(* IR well-formedness checker.
+
+   Run after every transformation in tests: SSA uniqueness, dominance of
+   uses by definitions, φ/CFG consistency, branch target existence.
+   Transformation bugs in CFG surgery (edge splitting, steering φs) show up
+   here long before they corrupt simulation results. *)
+
+type error = { where : string; what : string }
+
+let pp_error ppf e = Fmt.pf ppf "%s: %s" e.where e.what
+
+let check (f : Func.t) : (unit, error list) result =
+  let errors = ref [] in
+  let err where fmt = Fmt.kstr (fun what -> errors := { where; what } :: !errors) fmt in
+  try
+  (* 1. entry exists and has no predecessors through φs *)
+  if not (Func.mem_block f f.Func.entry) then
+    err "entry" "entry block %d missing" f.Func.entry;
+  (* 2. layout matches the block table *)
+  List.iter
+    (fun bid ->
+      if not (Func.mem_block f bid) then
+        err "layout" "layout mentions missing block %d" bid)
+    f.Func.layout;
+  Hashtbl.iter
+    (fun bid _ ->
+      if not (List.mem bid f.Func.layout) then
+        err "layout" "block %d not in layout" bid)
+    f.Func.blocks;
+  (* 3. branch targets exist — structural errors below here would make the
+     dominance-based checks crash, so bail out early on any *)
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      List.iter
+        (fun t ->
+          if not (Func.mem_block f t) then
+            err (Fmt.str "bb%d" bid) "branch to missing block %d" t)
+        (Block.successor_edges b))
+    f.Func.layout;
+  if !errors <> [] then raise Exit;
+  (* 4. unique SSA definitions *)
+  let defs = Hashtbl.create 64 in
+  let define where id =
+    if Hashtbl.mem defs id then
+      err where "value %%%d defined more than once" id
+    else Hashtbl.replace defs id where
+  in
+  List.iter (fun (n, id) -> define (Fmt.str "param %s" n) id) f.Func.params;
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      List.iter
+        (fun (p : Block.phi) -> define (Fmt.str "bb%d(phi)" bid) p.Block.pid)
+        b.Block.phis;
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.produces_value i then
+            define (Fmt.str "bb%d" bid) i.Instr.id)
+        b.Block.instrs)
+    f.Func.layout;
+  (* 5. φ incoming lists match CFG predecessors exactly *)
+  let preds_tbl = Func.predecessors f in
+  let reachable = Order.reachable_from_entry f in
+  List.iter
+    (fun bid ->
+      if Hashtbl.mem reachable bid then begin
+        let b = Func.block f bid in
+        let preds =
+          List.sort_uniq compare
+            (List.filter
+               (fun p -> Hashtbl.mem reachable p)
+               (try Hashtbl.find preds_tbl bid with Not_found -> []))
+        in
+        List.iter
+          (fun (p : Block.phi) ->
+            let inc = List.sort_uniq compare (List.map fst p.Block.incoming) in
+            if inc <> preds then
+              err (Fmt.str "bb%d" bid)
+                "phi %%%d incoming blocks [%s] do not match predecessors [%s]"
+                p.Block.pid
+                (String.concat "," (List.map string_of_int inc))
+                (String.concat "," (List.map string_of_int preds)))
+          b.Block.phis
+      end)
+    f.Func.layout;
+  (* 6. every used variable is defined, and the definition dominates the
+     use (for φ uses: dominates the end of the incoming block). *)
+  let dom = Dom.compute f in
+  let check_var ~where ~use_bid ?phi_incoming_from v =
+    match Hashtbl.find_opt defs v with
+    | None -> err where "use of undefined value %%%d" v
+    | Some _ ->
+      (* Find the defining block. *)
+      let def_bid =
+        if List.exists (fun (_, id) -> id = v) f.Func.params then
+          Some f.Func.entry
+        else
+          List.find_map
+            (fun bid ->
+              let b = Func.block f bid in
+              if
+                List.exists (fun (p : Block.phi) -> p.Block.pid = v) b.Block.phis
+                || List.exists
+                     (fun (i : Instr.t) ->
+                       Instr.produces_value i && i.Instr.id = v)
+                     b.Block.instrs
+              then Some bid
+              else None)
+            f.Func.layout
+      in
+      (match def_bid, phi_incoming_from with
+      | Some db, Some from_bid ->
+        if Hashtbl.mem reachable from_bid && not (Dom.dominates dom db from_bid)
+        then
+          err where
+            "phi use of %%%d: def in bb%d does not dominate incoming bb%d" v db
+            from_bid
+      | Some db, None ->
+        if
+          Hashtbl.mem reachable use_bid && db <> use_bid
+          && not (Dom.dominates dom db use_bid)
+        then
+          err where "use of %%%d: def in bb%d does not dominate use in bb%d" v
+            db use_bid
+      | None, _ -> ())
+  in
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      List.iter
+        (fun (p : Block.phi) ->
+          List.iter
+            (fun (pred, op) ->
+              match op with
+              | Types.Var v ->
+                check_var
+                  ~where:(Fmt.str "bb%d phi %%%d" bid p.Block.pid)
+                  ~use_bid:bid ~phi_incoming_from:pred v
+              | Types.Cst _ -> ())
+            p.Block.incoming)
+        b.Block.phis;
+      List.iter
+        (fun (i : Instr.t) ->
+          List.iter
+            (fun op ->
+              match op with
+              | Types.Var v ->
+                check_var ~where:(Fmt.str "bb%d %%%d" bid i.Instr.id)
+                  ~use_bid:bid ?phi_incoming_from:None v
+              | Types.Cst _ -> ())
+            (Instr.operands i))
+        b.Block.instrs;
+      List.iter
+        (fun op ->
+          match op with
+          | Types.Var v ->
+            check_var ~where:(Fmt.str "bb%d term" bid) ~use_bid:bid
+              ?phi_incoming_from:None v
+          | Types.Cst _ -> ())
+        (Block.terminator_operands b))
+    f.Func.layout;
+  match List.rev !errors with [] -> Ok () | es -> Error es
+  with Exit -> Error (List.rev !errors)
+
+(* Raise on malformed IR; used by tests and at pass boundaries. *)
+let check_exn (f : Func.t) =
+  match check f with
+  | Ok () -> ()
+  | Error es ->
+    Fmt.invalid_arg "IR verification failed for %s:@.%a@.%a" f.Func.name
+      Fmt.(list ~sep:(any "@.") pp_error)
+      es Printer.pp_func f

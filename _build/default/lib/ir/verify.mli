@@ -1,0 +1,13 @@
+(** IR well-formedness: layout/table agreement, existing branch targets,
+    unique SSA definitions, φ/predecessor consistency, and dominance of
+    every use by its definition. Run at pass boundaries — CFG-surgery bugs
+    surface here long before they corrupt simulation results. *)
+
+type error = { where : string; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val check : Func.t -> (unit, error list) result
+
+(** @raise Invalid_argument with a full report on malformed IR. *)
+val check_exn : Func.t -> unit

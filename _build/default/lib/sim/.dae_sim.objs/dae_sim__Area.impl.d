@@ -1,0 +1,1 @@
+lib/sim/area.ml: Block Config Dae_core Dae_ir Func Instr List

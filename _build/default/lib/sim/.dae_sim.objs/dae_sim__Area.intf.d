@@ -1,0 +1,1 @@
+lib/sim/area.mli: Config Dae_core Dae_ir Func Instr

@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array Block Dae_core Dae_ir Defuse Fmt Func Hashtbl Instr Interp List Loops Printer Queue Stdlib Trace Types

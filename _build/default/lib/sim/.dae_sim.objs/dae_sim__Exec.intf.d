@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Dae_core Dae_ir Interp Stdlib Trace Types

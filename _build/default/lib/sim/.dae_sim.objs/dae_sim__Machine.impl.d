@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Area Config Dae_core Dae_ir Exec Fmt Func Interp List Sta Timing Trace Types

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Area Config Dae_core Dae_ir Func Interp Types

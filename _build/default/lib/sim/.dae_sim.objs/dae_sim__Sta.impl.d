@@ -1,0 +1,1 @@
+lib/sim/sta.ml: Block Config Control_dep Dae_ir Defuse Func Hashtbl Instr Interp List Loops Option Types

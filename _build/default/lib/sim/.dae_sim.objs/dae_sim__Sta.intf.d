@@ -1,0 +1,1 @@
+lib/sim/sta.mli: Config Dae_ir Defuse Func Instr Interp

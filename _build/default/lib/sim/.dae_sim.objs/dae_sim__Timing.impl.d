@@ -1,0 +1,1 @@
+lib/sim/timing.ml: Array Config Fmt Hashtbl List Queue Trace

@@ -1,0 +1,123 @@
+(* Analytical area model (ALMs).
+
+   Substitutes the paper's Quartus place-and-route numbers (DESIGN.md,
+   "Substitutions"). Every quantity that drives ALM usage in an
+   HLS-generated accelerator is structural: datapath operators, scheduler
+   complexity (∝ basic blocks and φ muxes), FIFO channels, and the LSQ.
+   The weights below are calibrated so the *relationships* of Table 1 hold
+   (STA < DAE < SPEC ≈ ORACLE; CU grows a few percent per poison block),
+   not the absolute ALM counts of the Arria 10. *)
+
+open Dae_ir
+
+type weights = {
+  base : int; (* host interface + memory system, shared by all units *)
+  unit_base : int; (* per-unit controller *)
+  per_alu : int; (* binop/cmp/select/not *)
+  per_mem_op : int; (* load/store port logic *)
+  per_channel_op : int; (* send/consume/produce endpoints *)
+  per_poison : int; (* a poison is a 1-bit tagged push: far cheaper *)
+  per_block : int; (* scheduler state *)
+  per_poison_block : int; (* poison-only block: a narrow FSM state *)
+  per_phi : int; (* mux *)
+  per_fifo : int; (* channel buffering *)
+  lsq_base : int;
+  lsq_per_entry : int;
+}
+
+let default_weights =
+  {
+    base = 2400;
+    unit_base = 700;
+    per_alu = 32;
+    per_mem_op = 110;
+    per_channel_op = 55;
+    per_poison = 10;
+    per_block = 48;
+    per_poison_block = 16;
+    per_phi = 18;
+    per_fifo = 40;
+    lsq_base = 400;
+    lsq_per_entry = 8;
+  }
+
+type breakdown = {
+  agu : int;
+  cu : int;
+  du : int; (* FIFOs + LSQs *)
+  total : int;
+}
+
+let instr_cost (w : weights) ?(ignore_poison = false) (i : Instr.t) =
+  match i.Instr.kind with
+  | Instr.Binop _ | Instr.Cmp _ | Instr.Select _ | Instr.Not _ -> w.per_alu
+  | Instr.Load _ | Instr.Store _ -> w.per_mem_op
+  | Instr.Send_ld_addr _ | Instr.Send_st_addr _ | Instr.Consume_val _
+  | Instr.Produce_val _ ->
+    w.per_channel_op
+  | Instr.Poison _ -> if ignore_poison then 0 else w.per_poison
+
+let func_area (w : weights) ?(ignore_poison = false) (f : Func.t) : int =
+  List.fold_left
+    (fun acc bid ->
+      let b = Func.block f bid in
+      let poison_only =
+        b.Block.instrs <> []
+        && List.for_all
+             (fun (i : Instr.t) ->
+               match i.Instr.kind with Instr.Poison _ -> true | _ -> false)
+             b.Block.instrs
+      in
+      let block_cost =
+        if poison_only then if ignore_poison then 0 else w.per_poison_block
+        else w.per_block
+      in
+      acc + block_cost
+      + (List.length b.Block.phis * w.per_phi)
+      + List.fold_left
+          (fun a i -> a + instr_cost w ~ignore_poison i)
+          0 b.Block.instrs)
+    0 f.Func.layout
+
+(* STA: the whole kernel is one statically-scheduled unit — no FIFOs, no
+   LSQ, loads execute in order. *)
+let sta ?(w = default_weights) (original : Func.t) : breakdown =
+  let a = w.base + w.unit_base + func_area w original in
+  { agu = 0; cu = 0; du = 0; total = a }
+
+(* DAE / SPEC / ORACLE: AGU + CU + DU with one LSQ per stored array and one
+   FIFO per channel endpoint pair. *)
+let decoupled ?(w = default_weights) ?(cfg = Config.default)
+    ?(ignore_poison = false) (p : Dae_core.Pipeline.t) : breakdown =
+  let agu = w.unit_base + func_area w ~ignore_poison p.Dae_core.Pipeline.agu in
+  let cu = w.unit_base + func_area w ~ignore_poison p.Dae_core.Pipeline.cu in
+  let stored_arrays =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (c : Dae_core.Decouple.channel_use) ->
+           if c.Dae_core.Decouple.is_store then
+             Some c.Dae_core.Decouple.arr
+           else None)
+         p.Dae_core.Pipeline.channels)
+  in
+  let n_channels =
+    (* request stream per array + store-value stream per stored array +
+       one load-value fifo per (load, subscriber) *)
+    List.length
+      (List.sort_uniq compare
+         (List.map
+            (fun (c : Dae_core.Decouple.channel_use) -> c.Dae_core.Decouple.arr)
+            p.Dae_core.Pipeline.channels))
+    + List.length stored_arrays
+    + List.fold_left
+        (fun acc (_, subs) -> acc + List.length subs)
+        0 p.Dae_core.Pipeline.load_subscribers
+  in
+  let du =
+    (n_channels * w.per_fifo)
+    + List.length stored_arrays
+      * (w.lsq_base
+        + (w.lsq_per_entry
+          * (cfg.Config.load_queue_size + cfg.Config.store_queue_size)))
+  in
+  { agu; cu; du; total = w.base + agu + cu + du }

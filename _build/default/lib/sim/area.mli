@@ -1,0 +1,39 @@
+(** Analytical ALM area model — the substitution for the paper's Quartus
+    place-and-route numbers (DESIGN.md): datapath operators, scheduler
+    complexity (blocks, φ muxes), FIFO channels and the LSQ, with weights
+    calibrated so Table 1's relationships hold (STA < DAE ≈ SPEC ≈ ORACLE;
+    a few percent of CU growth per poison block), not the absolute Arria 10
+    counts. *)
+
+open Dae_ir
+
+type weights = {
+  base : int;  (** host interface + memory system, shared *)
+  unit_base : int;  (** per-unit controller *)
+  per_alu : int;
+  per_mem_op : int;
+  per_channel_op : int;
+  per_poison : int;  (** a poison is a 1-bit tagged push *)
+  per_block : int;
+  per_poison_block : int;
+  per_phi : int;
+  per_fifo : int;
+  lsq_base : int;
+  lsq_per_entry : int;
+}
+
+val default_weights : weights
+
+type breakdown = { agu : int; cu : int; du : int; total : int }
+
+val instr_cost : weights -> ?ignore_poison:bool -> Instr.t -> int
+val func_area : weights -> ?ignore_poison:bool -> Func.t -> int
+
+(** The statically-scheduled single-unit accelerator. *)
+val sta : ?w:weights -> Func.t -> breakdown
+
+(** AGU + CU + DU (FIFOs and one LSQ per stored array). [ignore_poison]
+    computes the ORACLE variant without the poison machinery. *)
+val decoupled :
+  ?w:weights -> ?cfg:Config.t -> ?ignore_poison:bool -> Dae_core.Pipeline.t ->
+  breakdown

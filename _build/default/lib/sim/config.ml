@@ -1,0 +1,55 @@
+(* Architectural parameters of the simulated DAE template (paper §8.1).
+
+   The paper evaluates accelerators with a deterministic dual-ported
+   on-chip SRAM (1 read + 1 write per cycle) and an HLS load-store queue
+   with load/store queue sizes 4/32. FIFO latencies model the pipelined
+   channel between units. Absolute cycle counts are not expected to match
+   ModelSim; the latency ratios are what shapes the results, and every
+   knob is exposed for the ablation benches. *)
+
+type t = {
+  load_queue_size : int; (* paper: 4 *)
+  store_queue_size : int; (* paper: 32 *)
+  request_fifo_capacity : int; (* AGU -> DU request channel depth *)
+  value_fifo_capacity : int; (* DU -> unit load-value channel depth *)
+  store_value_fifo_capacity : int; (* CU -> DU store-value channel depth *)
+  fifo_latency : int; (* cycles for a token to traverse a channel *)
+  memory_load_latency : int; (* SRAM read latency *)
+  memory_store_latency : int; (* SRAM write latency (commit occupancy) *)
+  forward_latency : int; (* store-to-load forwarding inside the LSQ *)
+  alu_latency : int; (* per simple op, for STA chain estimates *)
+  branch_latency : int; (* control resolution for synchronized units *)
+  unit_ii : int; (* min initiation interval of a decoupled unit *)
+  vector_width : int;
+  (* paper §10 (future work): speculative requests are filled into vectors
+     of this width — the unit may issue up to this many operations per
+     channel per cycle, and the DU accepts/resolves as many requests,
+     store-value tags and kills per cycle. Memory ports stay scalar
+     (1 load issue + 1 commit per array and cycle): vectorization widens
+     runahead and kill bandwidth, not SRAM bandwidth. 1 = the paper's
+     evaluated scalar design. *)
+}
+
+let default =
+  {
+    load_queue_size = 4;
+    store_queue_size = 32;
+    request_fifo_capacity = 16;
+    value_fifo_capacity = 16;
+    store_value_fifo_capacity = 16;
+    fifo_latency = 2;
+    memory_load_latency = 2;
+    memory_store_latency = 1;
+    forward_latency = 1;
+    alu_latency = 1;
+    branch_latency = 1;
+    unit_ii = 1;
+    vector_width = 1;
+  }
+
+let pp ppf (c : t) =
+  Fmt.pf ppf
+    "lsq %d/%d, req fifo %d, val fifo %d, fifo lat %d, mem ld/st %d/%d"
+    c.load_queue_size c.store_queue_size c.request_fifo_capacity
+    c.value_fifo_capacity c.fifo_latency c.memory_load_latency
+    c.memory_store_latency

@@ -1,0 +1,25 @@
+(** Architectural parameters of the simulated DAE template (paper §8.1):
+    LSQ sizes (paper: 4/32), channel depths and latencies, SRAM latencies,
+    and the unit initiation interval. Every knob is exposed for the
+    ablation benches. *)
+
+type t = {
+  load_queue_size : int;
+  store_queue_size : int;
+  request_fifo_capacity : int;
+  value_fifo_capacity : int;
+  store_value_fifo_capacity : int;
+  fifo_latency : int;
+  memory_load_latency : int;
+  memory_store_latency : int;
+  forward_latency : int;
+  alu_latency : int;
+  branch_latency : int;
+  unit_ii : int;
+  vector_width : int;
+      (** §10 future work: vector of speculative requests per cycle;
+          1 = the paper's scalar design *)
+}
+
+val default : t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,669 @@
+(* Functional co-simulation of the decoupled machine.
+
+   The AGU and CU slices run as round-robin small-step interpreters over
+   unbounded FIFOs; the DU is modelled functionally per array: it serves
+   the request stream in order, fills pending store allocations with
+   (value, poison) tags from the CU and commits or drops them in
+   allocation order.
+
+   This is where the paper's §6 guarantees are *checked dynamically*:
+
+   - Lemma 6.1: the store-value/kill stream per array must match the store
+     request stream mem-id by mem-id ([Stream_mismatch] otherwise);
+   - sequential consistency: the final memory (and the per-array commit
+     order) must equal the sequential interpreter's;
+   - deadlock freedom: a global round with no progress raises [Deadlock].
+
+   As a side effect the run produces the per-unit channel traces the
+   timing engine replays. *)
+
+open Dae_ir
+
+exception Deadlock of string
+exception Stream_mismatch of string
+exception Desync of string
+
+type request =
+  | Rld of { mem : int; addr : int }
+  | Rst of { mem : int; addr : int }
+
+type store_tag = { tag_mem : int; value : int; poisoned : bool }
+
+type commit = { c_arr : string; c_addr : int; c_value : int }
+
+type channels = {
+  requests : (string, request Queue.t) Hashtbl.t;
+  store_values : (string, store_tag Queue.t) Hashtbl.t;
+  load_values : (int * Trace.unit_id, int Queue.t) Hashtbl.t;
+  subscribers : (int, Trace.unit_id list) Hashtbl.t; (* load mem -> units *)
+}
+
+let get_queue tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace tbl key q;
+    q
+
+(* --- per-unit interpreter state ------------------------------------------ *)
+
+type phase = Phis | At of int (* instruction index *) | Term
+
+(* A value slot: either a materialised value or a cell that a lazily-issued
+   consume will fill when the DU responds. φ-nodes copy slots (a mux does
+   not force its input), so a pending consume value can flow through joins
+   without blocking the unit; only a computational *use* forces it. *)
+type slot = Ready of Types.value | Cell of Types.value option ref
+
+type ustate = {
+  uid : Trace.unit_id;
+  func : Func.t;
+  env : (int, slot) Hashtbl.t;
+  mutable cur : int;
+  mutable came_from : int option;
+  mutable phase : phase;
+  mutable finished : bool;
+  mutable iter : int;
+  mutable depth : int;
+  mutable steps : int;
+  mutable trace_rev : Trace.entry list;
+  mutable n_events : int;
+  (* Lazy consumes: a consume whose channel is still empty registers a
+     cell and execution continues — only a *use* of the value blocks.
+     This models the dataflow CU, where an unconsumed value never stops
+     independent operations (e.g. poisoning an earlier store the DU is
+     waiting on — sequential consumption would deadlock there). Cells per
+     channel fill in FIFO order. *)
+  promise_queues : (int, Types.value option ref Queue.t) Hashtbl.t;
+      (* mem -> cells in pop order *)
+  hot_header : int option;
+  control_consumes : (int, unit) Hashtbl.t; (* consume ids feeding branches *)
+  (* block -> consume ids its terminator condition transitively depends on;
+     executing such a terminator emits a Gate event *)
+  serializing_terms : (int, int list) Hashtbl.t;
+  last_consume_idx : (int, int) Hashtbl.t; (* consume id -> last trace index *)
+}
+
+(* The innermost loop header with the most channel operations: iteration
+   boundaries for trace purposes. *)
+let hot_header (f : Func.t) : int option =
+  let loops = Loops.compute f in
+  let channel_ops_in body =
+    List.fold_left
+      (fun acc bid ->
+        acc
+        + List.length
+            (List.filter
+               (fun (i : Instr.t) ->
+                 match i.Instr.kind with
+                 | Instr.Send_ld_addr _ | Instr.Send_st_addr _
+                 | Instr.Consume_val _ | Instr.Produce_val _ | Instr.Poison _
+                   ->
+                   true
+                 | _ -> false)
+               (Func.block f bid).Block.instrs))
+      0 body
+  in
+  let candidates =
+    List.map (fun (l : Loops.loop) -> (l, channel_ops_in l.Loops.body)) loops.Loops.loops
+  in
+  let innermost_first =
+    List.sort
+      (fun ((a : Loops.loop), na) (b, nb) ->
+        match compare nb na with
+        | 0 -> compare b.Loops.depth a.Loops.depth
+        | c -> c)
+      candidates
+  in
+  match innermost_first with
+  | ((l, n) :: _) when n > 0 -> Some l.Loops.header
+  | _ -> None
+
+(* Consume instructions whose value (transitively) reaches a terminator:
+   these make the unit control-synchronized. *)
+let control_consume_ids (f : Func.t) : (int, unit) Hashtbl.t =
+  let du = Defuse.compute f in
+  let result = Hashtbl.create 8 in
+  let feeds_control v =
+    let seen = Hashtbl.create 16 in
+    let rec go v =
+      (not (Hashtbl.mem seen v))
+      && begin
+        Hashtbl.replace seen v ();
+        Defuse.terminator_users du v <> []
+        || List.exists go (Defuse.users du v)
+      end
+    in
+    go v
+  in
+  Func.iter_instrs f (fun (i : Instr.t) ->
+      match i.Instr.kind with
+      | Instr.Consume_val _ ->
+        if feeds_control i.Instr.id then Hashtbl.replace result i.Instr.id ()
+      | _ -> ());
+  result
+
+(* For each block whose terminator condition transitively depends on
+   consumed values: the consume ids it depends on. The unit cannot know its
+   downstream FIFO push order before such a branch resolves. *)
+let serializing_terminators (f : Func.t) : (int, int list) Hashtbl.t =
+  let du = Defuse.compute f in
+  let consumes =
+    Func.fold_instrs f
+      (fun acc (i : Instr.t) ->
+        match i.Instr.kind with
+        | Instr.Consume_val _ -> i.Instr.id :: acc
+        | _ -> acc)
+      []
+  in
+  let result = Hashtbl.create 8 in
+  if consumes <> [] then
+    List.iter
+      (fun bid ->
+        let b = Func.block f bid in
+        let deps =
+          List.concat_map
+            (fun op ->
+              match op with
+              | Types.Cst _ -> []
+              | Types.Var v ->
+                let slice = Defuse.backward_slice du v in
+                List.filter (fun c -> Hashtbl.mem slice c) consumes)
+            (Block.terminator_operands b)
+        in
+        if deps <> [] then
+          Hashtbl.replace result bid (List.sort_uniq compare deps))
+      f.Func.layout;
+  result
+
+let make_ustate uid (f : Func.t) ~(args : (string * Types.value) list) : ustate
+    =
+  let env = Hashtbl.create 64 in
+  List.iter
+    (fun (name, vid) ->
+      match List.assoc_opt name args with
+      | Some v -> Hashtbl.replace env vid (Ready v)
+      | None -> Fmt.invalid_arg "Exec: missing argument %s" name)
+    f.Func.params;
+  {
+    uid;
+    func = f;
+    env;
+    cur = f.Func.entry;
+    came_from = None;
+    phase = Phis;
+    finished = false;
+    iter = -1 (* becomes 0 on first hot-header entry; stays -1 pre-loop *);
+    depth = 0;
+    steps = 0;
+    trace_rev = [];
+    n_events = 0;
+    hot_header = hot_header f;
+    control_consumes = control_consume_ids f;
+    serializing_terms = serializing_terminators f;
+    last_consume_idx = Hashtbl.create 8;
+    promise_queues = Hashtbl.create 8;
+  }
+
+(* --- small-step execution ------------------------------------------------ *)
+
+type step_result = Progress | Blocked | Finished
+
+exception Blocked_on_value
+
+(* The slot an operand denotes, without forcing it. *)
+let slot_of (u : ustate) = function
+  | Types.Cst c -> Ready (Types.value_of_const c)
+  | Types.Var v -> (
+    match Hashtbl.find_opt u.env v with
+    | Some s -> s
+    | None ->
+      Fmt.invalid_arg "Exec(%s): read of undefined %%%d in %s"
+        (Trace.unit_name u.uid) v u.func.Func.name)
+
+let value_of (u : ustate) op =
+  match slot_of u op with
+  | Ready v -> v
+  | Cell r -> (
+    match !r with Some v -> v | None -> raise Blocked_on_value)
+
+(* Fill outstanding consume cells from their channels, FIFO per channel.
+   Returns true on progress. *)
+let fulfill_promises (ch : channels) (u : ustate) : bool =
+  let progress = ref false in
+  Hashtbl.iter
+    (fun mem q ->
+      let data = get_queue ch.load_values (mem, u.uid) in
+      while (not (Queue.is_empty q)) && not (Queue.is_empty data) do
+        let cell = Queue.pop q in
+        let v = Queue.pop data in
+        cell := Some (Types.Vint v);
+        progress := true
+      done)
+    u.promise_queues;
+  !progress
+
+let int_of u op = Types.int_of_value (value_of u op)
+let bool_of u op = Types.bool_of_value (value_of u op)
+
+let record (u : ustate) ev =
+  u.trace_rev <-
+    { Trace.iter = max u.iter 0; depth = u.depth; ev } :: u.trace_rev;
+  u.n_events <- u.n_events + 1
+
+let enter_block (u : ustate) bid =
+  (match u.hot_header with
+  | Some h when bid = h -> begin
+    u.iter <- u.iter + 1;
+    u.depth <- 0
+  end
+  | _ -> ());
+  u.came_from <- Some u.cur;
+  u.cur <- bid;
+  u.phase <- Phis
+
+let step (ch : channels) (u : ustate) : step_result =
+  if u.finished then Finished
+  else begin
+    let b = Func.block u.func u.cur in
+    match u.phase with
+    | Phis ->
+      (match u.came_from with
+      | None -> ()
+      | Some pred ->
+        (* φs copy slots, not values: a pending consume flows through the
+           join and only blocks a later computational use *)
+        let resolved =
+          List.map
+            (fun (p : Block.phi) ->
+              match List.assoc_opt pred p.Block.incoming with
+              | Some op -> (p.Block.pid, slot_of u op)
+              | None ->
+                Fmt.invalid_arg "Exec(%s): phi %%%d in bb%d lacks entry for bb%d"
+                  (Trace.unit_name u.uid) p.Block.pid b.Block.bid pred)
+            b.Block.phis
+        in
+        List.iter (fun (pid, s) -> Hashtbl.replace u.env pid s) resolved);
+      u.phase <- At 0;
+      u.steps <- u.steps + 1;
+      Progress
+    | At k when k >= List.length b.Block.instrs ->
+      u.phase <- Term;
+      Progress
+    | At k -> (
+      let i = List.nth b.Block.instrs k in
+      let advance () =
+        u.phase <- At (k + 1);
+        u.depth <- u.depth + 1;
+        u.steps <- u.steps + 1;
+        Progress
+      in
+      match i.Instr.kind with
+      | Instr.Binop (op, a, b') ->
+        Hashtbl.replace u.env i.Instr.id
+          (Ready (Types.Vint (Instr.eval_binop op (int_of u a) (int_of u b'))));
+        advance ()
+      | Instr.Cmp (op, a, b') ->
+        Hashtbl.replace u.env i.Instr.id
+          (Ready (Types.Vbool (Instr.eval_cmp op (int_of u a) (int_of u b'))));
+        advance ()
+      | Instr.Select (c, a, b') ->
+        Hashtbl.replace u.env i.Instr.id
+          (if bool_of u c then slot_of u a else slot_of u b');
+        advance ()
+      | Instr.Not a ->
+        Hashtbl.replace u.env i.Instr.id (Ready (Types.Vbool (not (bool_of u a))));
+        advance ()
+      | Instr.Load _ | Instr.Store _ ->
+        Fmt.invalid_arg "Exec(%s): raw memory op survived decoupling: %s"
+          (Trace.unit_name u.uid)
+          (Printer.instr_to_string i)
+      | Instr.Send_ld_addr { arr; idx; mem } ->
+        let addr = int_of u idx in
+        Queue.add (Rld { mem; addr }) (get_queue ch.requests arr);
+        record u (Trace.Send_ld { arr; mem; addr });
+        advance ()
+      | Instr.Send_st_addr { arr; idx; mem } ->
+        let addr = int_of u idx in
+        Queue.add (Rst { mem; addr }) (get_queue ch.requests arr);
+        record u (Trace.Send_st { arr; mem; addr });
+        advance ()
+      | Instr.Consume_val { arr; mem } ->
+        let q = get_queue ch.load_values (mem, u.uid) in
+        let pq =
+          match Hashtbl.find_opt u.promise_queues mem with
+          | Some pq -> pq
+          | None ->
+            let pq = Queue.create () in
+            Hashtbl.replace u.promise_queues mem pq;
+            pq
+        in
+        (if Queue.is_empty q || not (Queue.is_empty pq) then begin
+           (* channel empty (or earlier pops still pending): issue the pop
+              lazily and keep going — only a use of the value blocks *)
+           let cell = ref None in
+           Hashtbl.replace u.env i.Instr.id (Cell cell);
+           Queue.add cell pq
+         end
+         else begin
+           let v = Queue.pop q in
+           Hashtbl.replace u.env i.Instr.id (Ready (Types.Vint v))
+         end);
+        record u
+          (Trace.Consume
+             {
+               arr;
+               mem;
+               feeds_control = Hashtbl.mem u.control_consumes i.Instr.id;
+             });
+        Hashtbl.replace u.last_consume_idx i.Instr.id (u.n_events - 1);
+        advance ()
+      | Instr.Produce_val { arr; value; mem } ->
+        let v = int_of u value in
+        Queue.add
+          { tag_mem = mem; value = v; poisoned = false }
+          (get_queue ch.store_values arr);
+        record u (Trace.Produce { arr; mem; value = v });
+        advance ()
+      | Instr.Poison { arr; mem } ->
+        Queue.add
+          { tag_mem = mem; value = 0; poisoned = true }
+          (get_queue ch.store_values arr);
+        record u (Trace.Kill { arr; mem });
+        advance ())
+    | Term ->
+      (* evaluate the branch first: a blocked condition must not record the
+         gate or advance any state *)
+      let target =
+        match b.Block.term with
+        | Block.Br t -> Some t
+        | Block.Cond_br (c, t, f) -> Some (if bool_of u c then t else f)
+        | Block.Switch (c, ts) ->
+          let n = List.length ts in
+          let k = int_of u c in
+          let k = if k < 0 then 0 else if k >= n then n - 1 else k in
+          Some (List.nth ts k)
+        | Block.Ret _ -> None
+      in
+      u.steps <- u.steps + 1;
+      (match Hashtbl.find_opt u.serializing_terms u.cur with
+      | Some consume_ids ->
+        let dep =
+          List.fold_left
+            (fun acc c ->
+              match Hashtbl.find_opt u.last_consume_idx c with
+              | Some idx -> max acc idx
+              | None -> acc)
+            (-1) consume_ids
+        in
+        record u (Trace.Gate { dep })
+      | None -> ());
+      (match target with
+      | Some t ->
+        enter_block u t;
+        Progress
+      | None ->
+        u.finished <- true;
+        Finished)
+  end
+
+let step ch u : step_result =
+  match step ch u with r -> r | exception Blocked_on_value -> Blocked
+
+(* --- functional DU ------------------------------------------------------- *)
+
+type du_state = {
+  (* per array: stores allocated (in request order) awaiting value/poison *)
+  pending : (string, (int * int) Queue.t) Hashtbl.t; (* (mem, addr) *)
+  mutable commits : commit list; (* reverse order *)
+  mutable killed : int;
+  mutable committed : int;
+  mutable loads_served : int;
+}
+
+let du_create () =
+  {
+    pending = Hashtbl.create 8;
+    commits = [];
+    killed = 0;
+    committed = 0;
+    loads_served = 0;
+  }
+
+(* Drain store values into pending allocations (checking Lemma 6.1), commit
+   or drop resolved heads, and serve load requests whose earlier stores are
+   all resolved. Returns true if any progress was made. *)
+let du_pump (du : du_state) (ch : channels) (mem : Interp.Memory.t) : bool =
+  let progress = ref false in
+  let arrays =
+    Hashtbl.fold (fun arr _ acc -> arr :: acc) ch.requests []
+    @ Hashtbl.fold (fun arr _ acc -> arr :: acc) ch.store_values []
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun arr ->
+      let reqs = get_queue ch.requests arr in
+      let vals = get_queue ch.store_values arr in
+      let pend = get_queue du.pending arr in
+      let continue_ = ref true in
+      while !continue_ do
+        continue_ := false;
+        (* resolve the pending head with an arrived value *)
+        if (not (Queue.is_empty pend)) && not (Queue.is_empty vals) then begin
+          let p_mem, p_addr = Queue.pop pend in
+          let tag = Queue.pop vals in
+          if tag.tag_mem <> p_mem then
+            raise
+              (Stream_mismatch
+                 (Fmt.str
+                    "array %s: store request stream has mem%d at head but \
+                     value stream delivered mem%d — AGU/CU order mismatch"
+                    arr p_mem tag.tag_mem));
+          if tag.poisoned then du.killed <- du.killed + 1
+          else begin
+            Interp.Memory.set mem arr p_addr tag.value;
+            du.commits <-
+              { c_arr = arr; c_addr = p_addr; c_value = tag.value }
+              :: du.commits;
+            du.committed <- du.committed + 1
+          end;
+          progress := true;
+          continue_ := true
+        end;
+        (* serve the request head *)
+        if not (Queue.is_empty reqs) then begin
+          match Queue.peek reqs with
+          | Rst { mem = m; addr } ->
+            ignore (Queue.pop reqs);
+            Queue.add (m, addr) pend;
+            progress := true;
+            continue_ := true
+          | Rld { mem = m; addr } ->
+            (* strict in-order disambiguation: a load waits until every
+               earlier store of this array is resolved *)
+            if Queue.is_empty pend then begin
+              ignore (Queue.pop reqs);
+              (* speculative request: the address may be out of bounds on a
+                 mis-speculated path; the read must not trap *)
+              let v = Interp.Memory.get_speculative mem arr addr in
+              let subs =
+                match Hashtbl.find_opt ch.subscribers m with
+                | Some s -> s
+                | None -> []
+              in
+              List.iter
+                (fun unit -> Queue.add v (get_queue ch.load_values (m, unit)))
+                subs;
+              du.loads_served <- du.loads_served + 1;
+              progress := true;
+              continue_ := true
+            end
+        end
+      done)
+    arrays;
+  !progress
+
+(* --- co-simulation driver ------------------------------------------------ *)
+
+type result = {
+  memory : Interp.Memory.t;
+  agu_trace : Trace.unit_trace;
+  cu_trace : Trace.unit_trace;
+  commits : commit list; (* program order per array *)
+  killed_stores : int;
+  committed_stores : int;
+  loads_served : int;
+  agu_steps : int;
+  cu_steps : int;
+}
+
+let finalize_trace (u : ustate) : Trace.unit_trace =
+  {
+    Trace.unit = u.uid;
+    entries = Array.of_list (List.rev u.trace_rev);
+    iterations = u.iter + 1;
+    control_synchronized = Hashtbl.length u.control_consumes > 0;
+  }
+
+let run ?(fuel = 50_000_000) (p : Dae_core.Pipeline.t)
+    ~(args : (string * Types.value) list) ~(mem : Interp.Memory.t) : result =
+  let ch =
+    {
+      requests = Hashtbl.create 8;
+      store_values = Hashtbl.create 8;
+      load_values = Hashtbl.create 16;
+      subscribers = Hashtbl.create 16;
+    }
+  in
+  List.iter
+    (fun (m, subs) ->
+      Hashtbl.replace ch.subscribers m
+        (List.map (function `Agu -> Trace.Agu | `Cu -> Trace.Cu) subs))
+    p.Dae_core.Pipeline.load_subscribers;
+  let agu = make_ustate Trace.Agu p.Dae_core.Pipeline.agu ~args in
+  let cu = make_ustate Trace.Cu p.Dae_core.Pipeline.cu ~args in
+  let du = du_create () in
+  let total_steps = ref 0 in
+  let finished () = agu.finished && cu.finished in
+  let running = ref true in
+  while !running do
+    let progress = ref false in
+    (* run each unit as far as it can go this round *)
+    List.iter
+      (fun u ->
+        if fulfill_promises ch u then progress := true;
+        let go = ref true in
+        while !go do
+          match step ch u with
+          | Progress ->
+            progress := true;
+            incr total_steps;
+            if !total_steps > fuel then raise (Deadlock "out of fuel");
+            if fulfill_promises ch u then ()
+          | Blocked | Finished -> go := false
+        done)
+      [ agu; cu ];
+    if du_pump du ch mem then progress := true;
+    if finished () then begin
+      (* final drain: let the DU retire trailing stores and fulfill any
+         consumes that were issued lazily and never used *)
+      while
+        du_pump du ch mem
+        || fulfill_promises ch agu
+        || fulfill_promises ch cu
+      do
+        ()
+      done;
+      running := false
+    end
+    else if not !progress then
+      raise
+        (Deadlock
+           (Fmt.str "no progress: AGU %s at bb%d, CU %s at bb%d"
+              (if agu.finished then "finished" else "blocked")
+              agu.cur
+              (if cu.finished then "finished" else "blocked")
+              cu.cur))
+  done;
+  (* post-run invariants: every channel must be fully drained *)
+  Hashtbl.iter
+    (fun arr q ->
+      if not (Queue.is_empty q) then
+        raise (Desync (Fmt.str "unserved requests remain for array %s" arr)))
+    ch.requests;
+  Hashtbl.iter
+    (fun arr q ->
+      if not (Queue.is_empty q) then
+        raise (Desync (Fmt.str "unmatched store values remain for array %s" arr)))
+    ch.store_values;
+  Hashtbl.iter
+    (fun arr q ->
+      if not (Queue.is_empty q) then
+        raise
+          (Desync
+             (Fmt.str "store allocations never resolved for array %s" arr)))
+    du.pending;
+  Hashtbl.iter
+    (fun (m, unit) q ->
+      if not (Queue.is_empty q) then
+        raise
+          (Desync
+             (Fmt.str "load values for mem%d never consumed by %s" m
+                (Trace.unit_name unit))))
+    ch.load_values;
+  {
+    memory = mem;
+    agu_trace = finalize_trace agu;
+    cu_trace = finalize_trace cu;
+    commits = List.rev du.commits;
+    killed_stores = du.killed;
+    committed_stores = du.committed;
+    loads_served = du.loads_served;
+    agu_steps = agu.steps;
+    cu_steps = cu.steps;
+  }
+
+(* Mis-speculation rate: fraction of store requests whose value was a kill. *)
+let misspeculation_rate (r : result) : float =
+  let total = r.killed_stores + r.committed_stores in
+  if total = 0 then 0.0 else float_of_int r.killed_stores /. float_of_int total
+
+(* Check a decoupled execution against the sequential golden model: same
+   final memory, and the same per-array sequence of committed stores. *)
+let check_against_golden ~(golden_mem : Interp.Memory.t)
+    ~(golden : Interp.result) (r : result) : (unit, string) Stdlib.result =
+  if not (Interp.Memory.equal golden_mem r.memory) then
+    Error
+      (Fmt.str "final memory differs@.golden:@.%a@.decoupled:@.%a"
+         Interp.Memory.pp golden_mem Interp.Memory.pp r.memory)
+  else begin
+    let arrays =
+      List.sort_uniq compare (List.map (fun c -> c.c_arr) r.commits)
+    in
+    let mismatch =
+      List.find_map
+        (fun arr ->
+          let golden_stores =
+            List.filter_map
+              (fun (_, a, idx, v) -> if a = arr then Some (idx, v) else None)
+              (Interp.stores golden)
+          in
+          let sim_stores =
+            List.filter_map
+              (fun c ->
+                if c.c_arr = arr then Some (c.c_addr, c.c_value) else None)
+              r.commits
+          in
+          if golden_stores <> sim_stores then
+            Some
+              (Fmt.str
+                 "commit order for %s differs: golden %d stores, sim %d stores"
+                 arr
+                 (List.length golden_stores)
+                 (List.length sim_stores))
+          else None)
+        arrays
+    in
+    match mismatch with None -> Ok () | Some m -> Error m
+  end

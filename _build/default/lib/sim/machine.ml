@@ -1,0 +1,125 @@
+(* Top-level machine: compiles a kernel for one of the four evaluated
+   architectures and simulates a sequence of invocations (graph kernels run
+   once per BFS level / relaxation round, threading memory through).
+
+   Every decoupled invocation is checked against the sequential golden
+   model (final memory + per-array commit order) and the AGU/CU streams
+   are checked against each other (Lemma 6.1) — a run that returns is a
+   run that proved its own sequential consistency. *)
+
+open Dae_ir
+
+type arch = Sta | Dae | Spec | Oracle
+
+let arch_name = function
+  | Sta -> "STA"
+  | Dae -> "DAE"
+  | Spec -> "SPEC"
+  | Oracle -> "ORACLE"
+
+type invocation = (string * Types.value) list (* kernel arguments *)
+
+type result = {
+  arch : arch;
+  cycles : int;
+  invocations : int;
+  killed_stores : int;
+  committed_stores : int;
+  misspec_rate : float;
+  area : Area.breakdown;
+  memory : Interp.Memory.t; (* final memory, for workload-level checks *)
+  pipeline : Dae_core.Pipeline.t option;
+}
+
+exception Check_failed of string
+
+let golden_run (f : Func.t) ~args ~mem = Interp.run f ~args ~mem
+
+let simulate ?(cfg = Config.default) ?(w = Area.default_weights)
+    (arch : arch) (f : Func.t) ~(invocations : invocation list)
+    ~(mem : Interp.Memory.t) : result =
+  match arch with
+  | Sta ->
+    let mem = Interp.Memory.copy mem in
+    let cycles = ref 0 in
+    List.iter
+      (fun args ->
+        let golden = golden_run f ~args ~mem in
+        let r = Sta.cycles_of_run ~cfg f golden in
+        cycles := !cycles + r.Sta.cycles)
+      invocations;
+    {
+      arch;
+      cycles = !cycles;
+      invocations = List.length invocations;
+      killed_stores = 0;
+      committed_stores = 0;
+      misspec_rate = 0.0;
+      area = Area.sta ~w f;
+      memory = mem;
+      pipeline = None;
+    }
+  | Dae | Spec | Oracle ->
+    let mode =
+      match arch with
+      | Dae -> Dae_core.Pipeline.Dae
+      | Spec | Oracle -> Dae_core.Pipeline.Spec
+      | Sta -> assert false
+    in
+    let p = Dae_core.Pipeline.compile ~mode f in
+    let sim_mem = Interp.Memory.copy mem in
+    let golden_mem = Interp.Memory.copy mem in
+    let cycles = ref 0 in
+    let killed = ref 0 and committed = ref 0 in
+    let subscribers =
+      List.map
+        (fun (m, subs) ->
+          ( m,
+            List.map (function `Agu -> Trace.Agu | `Cu -> Trace.Cu) subs ))
+        p.Dae_core.Pipeline.load_subscribers
+    in
+    List.iter
+      (fun args ->
+        let golden =
+          golden_run p.Dae_core.Pipeline.original ~args ~mem:golden_mem
+        in
+        let r = Exec.run p ~args ~mem:sim_mem in
+        (match Exec.check_against_golden ~golden_mem ~golden r with
+        | Ok () -> ()
+        | Error msg ->
+          raise
+            (Check_failed
+               (Fmt.str "%s/%s: %s" f.Func.name (arch_name arch) msg)));
+        killed := !killed + r.Exec.killed_stores;
+        committed := !committed + r.Exec.committed_stores;
+        let agu_tr, cu_tr =
+          match arch with
+          | Oracle -> Timing.oracle_filter r.Exec.agu_trace r.Exec.cu_trace
+          | _ -> (r.Exec.agu_trace, r.Exec.cu_trace)
+        in
+        let timed = Timing.run ~cfg ~subscribers agu_tr cu_tr in
+        cycles := !cycles + timed.Timing.cycles)
+      invocations;
+    let total = !killed + !committed in
+    {
+      arch;
+      cycles = !cycles;
+      invocations = List.length invocations;
+      killed_stores = !killed;
+      committed_stores = !committed;
+      misspec_rate =
+        (if total = 0 then 0.0 else float_of_int !killed /. float_of_int total);
+      area =
+        (match arch with
+        | Oracle -> Area.decoupled ~w ~cfg ~ignore_poison:true p
+        | _ -> Area.decoupled ~w ~cfg p);
+      memory = sim_mem;
+      pipeline = Some p;
+    }
+
+(* Convenience: run all four architectures on the same kernel/input. *)
+let simulate_all ?cfg ?w (f : Func.t) ~invocations ~mem :
+    (arch * result) list =
+  List.map
+    (fun arch -> (arch, simulate ?cfg ?w arch f ~invocations ~mem))
+    [ Sta; Dae; Spec; Oracle ]

@@ -1,0 +1,53 @@
+(** Top-level machine: compile a kernel for one of the four evaluated
+    architectures and simulate a sequence of invocations (graph kernels run
+    once per level/round, threading memory through).
+
+    Every decoupled invocation is checked against the sequential golden
+    model (final memory and per-array commit order) and the AGU/CU streams
+    are checked against each other — a run that returns has proved its own
+    sequential consistency. *)
+
+open Dae_ir
+
+type arch =
+  | Sta  (** static HLS baseline *)
+  | Dae  (** decoupling without speculation *)
+  | Spec  (** the paper's contribution *)
+  | Oracle  (** SPEC with mis-speculated requests filtered: an upper bound *)
+
+val arch_name : arch -> string
+
+type invocation = (string * Types.value) list
+
+type result = {
+  arch : arch;
+  cycles : int;
+  invocations : int;
+  killed_stores : int;
+  committed_stores : int;
+  misspec_rate : float;
+  area : Area.breakdown;
+  memory : Interp.Memory.t;  (** final memory, for workload-level checks *)
+  pipeline : Dae_core.Pipeline.t option;  (** [None] for {!Sta} *)
+}
+
+exception Check_failed of string
+
+(** @raise Check_failed when a decoupled run disagrees with the golden
+    model. *)
+val simulate :
+  ?cfg:Config.t ->
+  ?w:Area.weights ->
+  arch ->
+  Func.t ->
+  invocations:invocation list ->
+  mem:Interp.Memory.t ->
+  result
+
+val simulate_all :
+  ?cfg:Config.t ->
+  ?w:Area.weights ->
+  Func.t ->
+  invocations:invocation list ->
+  mem:Interp.Memory.t ->
+  (arch * result) list

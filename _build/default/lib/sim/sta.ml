@@ -1,0 +1,251 @@
+(* Statically-scheduled accelerator baseline (paper §8.1.1 "STA").
+
+   Models the industry-grade static HLS flow: the loop is modulo-scheduled
+   with a fixed initiation interval. Loads that cannot be disambiguated at
+   compile time execute in order, so any same-array load→store chain in the
+   loop body forms a loop-carried memory dependence cycle whose latency
+   bounds the II (Rau '94):
+
+       II ≥ load_latency + |def-use chain from the load to the store| + 1
+
+   Resource constraints (dual-ported SRAM: one load and one store port per
+   array and cycle) bound II from below as well. Total cycles follow from
+   the golden run's dynamic iteration count plus pipeline fill/drain. *)
+
+open Dae_ir
+
+type analysis = {
+  ii : int;
+  ii_dependence : int;
+  ii_resource : int;
+  pipeline_depth : int;
+  hot_header : int option;
+}
+
+(* Longest def-use distance (in instructions) from value [src] to any
+   operand of instruction [dst_instr]; None if unreachable. *)
+let chain_length (du : Defuse.t) ~src (dst_instr : Instr.t) : int option =
+  let memo : (int, int option) Hashtbl.t = Hashtbl.create 32 in
+  let visiting = Hashtbl.create 32 in
+  (* distance from [src] to value v, following use-def backwards *)
+  let rec dist v =
+    if v = src then Some 0
+    else
+      match Hashtbl.find_opt memo v with
+      | Some d -> d
+      | None ->
+        if Hashtbl.mem visiting v then None (* φ cycle: loop-carried, skip *)
+        else begin
+          Hashtbl.replace visiting v ();
+          let result =
+            match Defuse.def_site du v with
+            | None | Some (Defuse.Param _) -> None
+            | Some (Defuse.Instruction _) ->
+              (match Defuse.find_instr du v with
+              | None -> None
+              | Some i ->
+                let ds =
+                  List.filter_map
+                    (function
+                      | Types.Var w -> dist w
+                      | Types.Cst _ -> None)
+                    (Instr.operands i)
+                in
+                (match ds with
+                | [] -> None
+                | ds -> Some (1 + List.fold_left max 0 ds)))
+            | Some (Defuse.Phi _) ->
+              (match Defuse.find_phi du v with
+              | None -> None
+              | Some (p, _) ->
+                let ds =
+                  List.filter_map
+                    (function
+                      | _, Types.Var w -> dist w
+                      | _, Types.Cst _ -> None)
+                    p.Block.incoming
+                in
+                (match ds with
+                | [] -> None
+                | ds -> Some (List.fold_left max 0 ds)))
+          in
+          Hashtbl.remove visiting v;
+          Hashtbl.replace memo v result;
+          result
+        end
+  in
+  let ds =
+    List.filter_map
+      (function Types.Var w -> dist w | Types.Cst _ -> None)
+      (Instr.operands dst_instr)
+  in
+  match ds with [] -> None | ds -> Some (List.fold_left max 0 ds)
+
+let analyze ?(cfg = Config.default) (f : Func.t) : analysis =
+  let loops = Loops.compute f in
+  let du = Defuse.compute f in
+  (* hot loop: the innermost loop with memory operations *)
+  let mem_ops_in body =
+    List.concat_map
+      (fun bid ->
+        List.filter
+          (fun (i : Instr.t) ->
+            match i.Instr.kind with
+            | Instr.Load _ | Instr.Store _ -> true
+            | _ -> false)
+          (Func.block f bid).Block.instrs)
+      body
+  in
+  let candidates =
+    List.filter
+      (fun (l : Loops.loop) -> mem_ops_in l.Loops.body <> [])
+      loops.Loops.loops
+  in
+  let hot =
+    match
+      List.sort
+        (fun (a : Loops.loop) b -> compare b.Loops.depth a.Loops.depth)
+        candidates
+    with
+    | [] -> None
+    | l :: _ -> Some l
+  in
+  match hot with
+  | None ->
+    { ii = 1; ii_dependence = 1; ii_resource = 1; pipeline_depth = 4;
+      hot_header = None }
+  | Some l ->
+    let ops = mem_ops_in l.Loops.body in
+    let loads =
+      List.filter
+        (fun (i : Instr.t) ->
+          match i.Instr.kind with Instr.Load _ -> true | _ -> false)
+        ops
+    in
+    let stores =
+      List.filter
+        (fun (i : Instr.t) ->
+          match i.Instr.kind with Instr.Store _ -> true | _ -> false)
+        ops
+    in
+    (* dependence II: every same-array (load, store) pair that the static
+       scheduler cannot disambiguate serializes the loop. The store depends
+       on the load either through data (operand chain) or through control —
+       a predicated store cannot commit before the branches guarding it
+       resolve, and those conditions chain back to the load. *)
+    let cdep = Control_dep.compute f in
+    let block_of_instr id =
+      match Func.block_of_instr f ~id with
+      | Some b -> Some b.Block.bid
+      | None -> None
+    in
+    let control_chain (ld : Instr.t) (st : Instr.t) : int option =
+      match block_of_instr st.Instr.id with
+      | None -> None
+      | Some st_bid ->
+        let sources = Control_dep.transitive_sources cdep st_bid in
+        List.fold_left
+          (fun acc src ->
+            match Func.block_opt f src with
+            | None -> acc
+            | Some sb ->
+              List.fold_left
+                (fun acc op ->
+                  match op with
+                  | Types.Cst _ -> acc
+                  | Types.Var v -> (
+                    let dist =
+                      (* distance from the load's value to the branch
+                         condition producer *)
+                      if v = ld.Instr.id then Some 0
+                      else
+                        match Defuse.find_instr du v with
+                        | Some cond_instr ->
+                          Option.map (fun d -> d + 1)
+                            (chain_length du ~src:ld.Instr.id cond_instr)
+                        | None -> None
+                    in
+                    match dist, acc with
+                    | None, _ -> acc
+                    | Some d, None -> Some d
+                    | Some d, Some a -> Some (max d a)))
+                acc (Block.terminator_operands sb))
+          None sources
+    in
+    let ii_dependence =
+      List.fold_left
+        (fun acc (ld : Instr.t) ->
+          List.fold_left
+            (fun acc (st : Instr.t) ->
+              if Instr.array_name ld = Instr.array_name st then begin
+                let data = chain_length du ~src:ld.Instr.id st in
+                let ctrl = control_chain ld st in
+                let chain =
+                  match data, ctrl with
+                  | Some d, Some c -> Some (max d c)
+                  | (Some _ as x), None | None, (Some _ as x) -> x
+                  | None, None -> None
+                in
+                match chain with
+                | Some chain ->
+                  max acc
+                    (cfg.Config.memory_load_latency
+                    + (chain * cfg.Config.alu_latency)
+                    + 1)
+                | None -> acc
+              end
+              else acc)
+            acc stores)
+        1 loads
+    in
+    (* resource II: port pressure per array *)
+    let count_per_array sel =
+      let tbl = Hashtbl.create 4 in
+      List.iter
+        (fun (i : Instr.t) ->
+          if sel i then
+            match Instr.array_name i with
+            | Some a ->
+              Hashtbl.replace tbl a
+                (1 + try Hashtbl.find tbl a with Not_found -> 0)
+            | None -> ())
+        ops;
+      Hashtbl.fold (fun _ n acc -> max acc n) tbl 0
+    in
+    let ii_resource =
+      max 1
+        (max
+           (count_per_array (fun i ->
+                match i.Instr.kind with Instr.Load _ -> true | _ -> false))
+           (count_per_array (fun i ->
+                match i.Instr.kind with Instr.Store _ -> true | _ -> false)))
+    in
+    let body_instrs =
+      List.fold_left
+        (fun acc bid ->
+          acc + List.length (Func.block f bid).Block.instrs)
+        0 l.Loops.body
+    in
+    {
+      ii = max ii_dependence ii_resource;
+      ii_dependence;
+      ii_resource;
+      pipeline_depth =
+        cfg.Config.memory_load_latency + (body_instrs / 2) + 2;
+      hot_header = Some l.Loops.header;
+    }
+
+type result = { cycles : int; ii : int; iterations : int }
+
+(* Cycle count for one invocation, given the golden run's block trace. *)
+let cycles_of_run ?(cfg = Config.default) (f : Func.t)
+    (golden : Interp.result) : result =
+  let a = analyze ~cfg f in
+  let iterations =
+    match a.hot_header with
+    | None -> 0
+    | Some h ->
+      (* header visits − 1: the final visit fails the loop condition *)
+      max 0 (List.length (List.filter (fun b -> b = h) golden.Interp.block_trace) - 1)
+  in
+  { cycles = (a.ii * iterations) + a.pipeline_depth; ii = a.ii; iterations }

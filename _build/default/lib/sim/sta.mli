@@ -1,0 +1,28 @@
+(** Statically-scheduled accelerator baseline (paper §8.1.1 "STA"):
+    modulo-scheduled loop with a fixed initiation interval. Any same-array
+    load→store chain the static scheduler cannot disambiguate — through
+    data {e or} control (a predicated store waits for its guard) — forms a
+    loop-carried dependence cycle bounding the II from below; port pressure
+    on the dual-ported SRAM bounds it too. *)
+
+open Dae_ir
+
+type analysis = {
+  ii : int;
+  ii_dependence : int;
+  ii_resource : int;
+  pipeline_depth : int;
+  hot_header : int option;
+}
+
+(** Longest def-use distance (instructions) from value [src] to any operand
+    of [dst_instr]. *)
+val chain_length : Defuse.t -> src:int -> Instr.t -> int option
+
+val analyze : ?cfg:Config.t -> Func.t -> analysis
+
+type result = { cycles : int; ii : int; iterations : int }
+
+(** Cycle count of one invocation from the golden run's dynamic iteration
+    count. *)
+val cycles_of_run : ?cfg:Config.t -> Func.t -> Interp.result -> result

@@ -1,0 +1,671 @@
+(* Cycle-level timing simulation of the DAE architecture template
+   (paper Figure 1): pipelined AGU and CU loop engines, latency-carrying
+   bounded FIFOs, a per-array load-store queue in the DU, and dual-ported
+   SRAM.
+
+   The engine replays the channel traces produced by the functional
+   co-simulation (Exec). Unit model: events may retire out of order across
+   channels but in order per channel, no earlier than
+   [iteration × unit_ii + depth] (pipeline shape), and never past an
+   unresolved [Gate] — a branch whose condition consumed a value. Gates are
+   what serialize the non-speculative DAE AGU (Figure 2(b)); the
+   speculation transformation removes them from the AGU and the engine
+   then streams requests at II=1.
+
+   DU model per array: requests pop in order (1/cycle) into the LSQ when a
+   queue slot is free; store values resolve allocations in order; loads
+   issue out of order once every older store is address-disambiguated —
+   waiting only on same-address stores (forwarding when the value is
+   ready); stores commit in order through the store port; poisoned stores
+   are dropped without a port. A mis-speculated store thus occupies its
+   store-queue slot from allocation to kill, which is exactly the paper's
+   §8.2.1 cost mechanism. *)
+
+type lsq_stats = {
+  mutable alloc_stall_cycles : int; (* request pop blocked on full queue *)
+  mutable raw_wait_cycles : int; (* load blocked on unresolved same-addr store *)
+  mutable forwards : int;
+  mutable kills : int;
+  mutable commits : int;
+  mutable loads : int;
+}
+
+type result = {
+  cycles : int;
+  agu_finish : int;
+  cu_finish : int;
+  lsq : (string * lsq_stats) list;
+  agu_retire : int array; (* per-event retire cycles, for timeline views *)
+  cu_retire : int array;
+}
+
+exception Timing_error of string
+
+(* --- FIFO with arrival latency and bounded capacity ---------------------- *)
+
+module Fifo = struct
+  type 'a t = {
+    q : (int * 'a) Queue.t; (* (available-at cycle, payload) *)
+    capacity : int;
+    latency : int;
+    mutable in_flight : int; (* pushed, not yet popped *)
+  }
+
+  let create ~capacity ~latency =
+    { q = Queue.create (); capacity; latency; in_flight = 0 }
+
+  let has_space t = t.in_flight < t.capacity
+
+  let push t ~now payload =
+    if not (has_space t) then raise (Timing_error "push into full FIFO");
+    Queue.add (now + t.latency, payload) t.q;
+    t.in_flight <- t.in_flight + 1
+
+  let peek t ~now =
+    match Queue.peek_opt t.q with
+    | Some (avail, payload) when avail <= now -> Some payload
+    | Some _ | None -> None
+
+  let pop t =
+    let _, payload = Queue.pop t.q in
+    t.in_flight <- t.in_flight - 1;
+    payload
+
+  let is_empty t = Queue.is_empty t.q
+end
+
+(* --- LSQ / DU per array --------------------------------------------------- *)
+
+type store_state = Awaiting | Ready | Poisoned
+
+type store_entry = {
+  st_seq : int;
+  st_addr : int;
+  mutable st_state : store_state;
+}
+
+type load_entry = {
+  ld_seq : int;
+  ld_addr : int;
+  ld_mem : int;
+  ld_older_sts : int; (* stores preceding this load in program order *)
+  mutable issued : bool;
+  mutable complete_at : int; (* valid when issued *)
+}
+
+type ld_request = { rq_mem : int; rq_addr : int; rq_seq : int; rq_older : int }
+type st_request = { sq_addr : int; sq_seq : int }
+
+(* Load and store requests travel on separate channels (the paper's LSQ has
+   distinct load/store queues with 4/32 entries); program order is carried
+   by per-array sequence tags assigned from the AGU trace order. *)
+type du_array = {
+  arr : string;
+  req_ld : ld_request Fifo.t;
+  req_st : st_request Fifo.t;
+  stv : bool Fifo.t; (* payload: poisoned? *)
+  mutable stores : store_entry list; (* oldest first *)
+  mutable loads : load_entry list; (* oldest first *)
+  mutable st_allocated : int; (* total stores accepted so far *)
+  stats : lsq_stats;
+}
+
+(* --- unit replay ---------------------------------------------------------- *)
+
+type chan_key =
+  | Kreq_ld of string
+  | Kreq_st of string
+  | Kstv of string
+  | Kldv of int (* load value channel, per mem id; per unit by construction *)
+
+let chan_of_ev (ev : Trace.ev) : chan_key option =
+  match ev with
+  | Trace.Send_ld { arr; _ } -> Some (Kreq_ld arr)
+  | Trace.Send_st { arr; _ } -> Some (Kreq_st arr)
+  | Trace.Produce { arr; _ } | Trace.Kill { arr; _ } -> Some (Kstv arr)
+  | Trace.Consume { mem; _ } -> Some (Kldv mem)
+  | Trace.Gate _ -> None
+
+type urep = {
+  tr : Trace.unit_trace;
+  retire : int array; (* retire cycle per event; -1 = not retired *)
+  prev_chan : int array; (* index of previous event on same channel; -1 *)
+  seq : int array; (* per-array program-order tag for Send_* events *)
+  older_sts : int array; (* for Send_ld: stores sent earlier on this array *)
+  mutable n_retired : int;
+  mutable scan_from : int; (* first unretired index *)
+  unit_ii : int;
+}
+
+let make_urep (tr : Trace.unit_trace) ~unit_ii =
+  let n = Array.length tr.Trace.entries in
+  let prev_chan = Array.make n (-1) in
+  let seq = Array.make n 0 in
+  let older_sts = Array.make n 0 in
+  let last : (chan_key, int) Hashtbl.t = Hashtbl.create 8 in
+  let seq_counter : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let st_counter : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump tbl arr =
+    let v = try Hashtbl.find tbl arr with Not_found -> 0 in
+    Hashtbl.replace tbl arr (v + 1);
+    v
+  in
+  let get tbl arr = try Hashtbl.find tbl arr with Not_found -> 0 in
+  Array.iteri
+    (fun k (e : Trace.entry) ->
+      (match e.Trace.ev with
+      | Trace.Send_ld { arr; _ } ->
+        seq.(k) <- bump seq_counter arr;
+        older_sts.(k) <- get st_counter arr
+      | Trace.Send_st { arr; _ } ->
+        seq.(k) <- bump seq_counter arr;
+        ignore (bump st_counter arr)
+      | _ -> ());
+      match chan_of_ev e.Trace.ev with
+      | None -> ()
+      | Some c ->
+        (match Hashtbl.find_opt last c with
+        | Some j -> prev_chan.(k) <- j
+        | None -> ());
+        Hashtbl.replace last c k)
+    tr.Trace.entries;
+  {
+    tr;
+    retire = Array.make n (-1);
+    prev_chan;
+    seq;
+    older_sts;
+    n_retired = 0;
+    scan_from = 0;
+    unit_ii;
+  }
+
+let window = 24
+
+(* --- engine --------------------------------------------------------------- *)
+
+type env = {
+  cfg : Config.t;
+  arrays : (string, du_array) Hashtbl.t;
+  ldv : (int * Trace.unit_id, unit Fifo.t) Hashtbl.t;
+  subscribers : (int, Trace.unit_id list) Hashtbl.t;
+}
+
+let du_array env arr =
+  match Hashtbl.find_opt env.arrays arr with
+  | Some a -> a
+  | None ->
+    let a =
+      {
+        arr;
+        req_ld =
+          Fifo.create ~capacity:env.cfg.Config.request_fifo_capacity
+            ~latency:env.cfg.Config.fifo_latency;
+        req_st =
+          Fifo.create ~capacity:env.cfg.Config.request_fifo_capacity
+            ~latency:env.cfg.Config.fifo_latency;
+        stv =
+          Fifo.create ~capacity:env.cfg.Config.store_value_fifo_capacity
+            ~latency:env.cfg.Config.fifo_latency;
+        stores = [];
+        loads = [];
+        st_allocated = 0;
+        stats =
+          {
+            alloc_stall_cycles = 0;
+            raw_wait_cycles = 0;
+            forwards = 0;
+            kills = 0;
+            commits = 0;
+            loads = 0;
+          };
+      }
+    in
+    Hashtbl.replace env.arrays arr a;
+    a
+
+let ldv_fifo env key =
+  match Hashtbl.find_opt env.ldv key with
+  | Some f -> f
+  | None ->
+    let f =
+      Fifo.create ~capacity:env.cfg.Config.value_fifo_capacity
+        ~latency:env.cfg.Config.fifo_latency
+    in
+    Hashtbl.replace env.ldv key f;
+    f
+
+(* Attempt to retire events of [u] at cycle [t]. Returns true on progress. *)
+let step_unit env (u : urep) ~t : bool =
+  let entries = u.tr.Trace.entries in
+  let n = Array.length entries in
+  let progress = ref false in
+  (* earliest unresolved gate index before which everything must retire *)
+  let idx = ref u.scan_from in
+  let stop = min n (u.scan_from + window) in
+  let blocked_by_gate = ref false in
+  while !idx < stop && not !blocked_by_gate do
+    let k = !idx in
+    if u.retire.(k) < 0 then begin
+      let e = entries.(k) in
+      let sched_ok = (e.Trace.iter * u.unit_ii) + e.Trace.depth <= t in
+      (* in-order per channel: the previous event on this channel must have
+         retired, and at most [vector_width] ops share a cycle on one
+         channel (§10's vectorized requests; width 1 = the paper's scalar
+         port) *)
+      let chan_ok =
+        let w = env.cfg.Config.vector_width in
+        let p = u.prev_chan.(k) in
+        p < 0
+        || (u.retire.(p) >= 0
+           &&
+           if u.retire.(p) < t then true
+           else begin
+             (* count how many chain predecessors already retired at t *)
+             let rec same_cycle p n =
+               if p < 0 || u.retire.(p) < t then n
+               else same_cycle u.prev_chan.(p) (n + 1)
+             in
+             same_cycle p 0 < w
+           end)
+      in
+      let retire_now () =
+        u.retire.(k) <- t;
+        u.n_retired <- u.n_retired + 1;
+        progress := true
+      in
+      if sched_ok && chan_ok then begin
+        match e.Trace.ev with
+        | Trace.Gate { dep } ->
+          let resolved =
+            if dep < 0 then true
+            else
+              u.retire.(dep) >= 0
+              && u.retire.(dep) + env.cfg.Config.branch_latency <= t
+          in
+          if resolved then retire_now () else blocked_by_gate := true
+        | Trace.Send_ld { arr; mem; addr } ->
+          let a = du_array env arr in
+          if Fifo.has_space a.req_ld then begin
+            Fifo.push a.req_ld ~now:t
+              { rq_mem = mem; rq_addr = addr; rq_seq = u.seq.(k);
+                rq_older = u.older_sts.(k) };
+            retire_now ()
+          end
+        | Trace.Send_st { arr; addr; _ } ->
+          let a = du_array env arr in
+          if Fifo.has_space a.req_st then begin
+            Fifo.push a.req_st ~now:t { sq_addr = addr; sq_seq = u.seq.(k) };
+            retire_now ()
+          end
+        | Trace.Produce { arr; _ } ->
+          let a = du_array env arr in
+          if Fifo.has_space a.stv then begin
+            Fifo.push a.stv ~now:t false;
+            retire_now ()
+          end
+        | Trace.Kill { arr; _ } ->
+          let a = du_array env arr in
+          if Fifo.has_space a.stv then begin
+            Fifo.push a.stv ~now:t true;
+            retire_now ()
+          end
+        | Trace.Consume { mem; _ } ->
+          let f = ldv_fifo env (mem, u.tr.Trace.unit) in
+          (match Fifo.peek f ~now:t with
+          | Some () ->
+            ignore (Fifo.pop f);
+            retire_now ()
+          | None -> ())
+      end
+      else if not sched_ok then ()
+      else ();
+      (* a gate that has not retired blocks everything after it *)
+      (match e.Trace.ev with
+      | Trace.Gate _ when u.retire.(k) < 0 -> blocked_by_gate := true
+      | _ -> ())
+    end;
+    incr idx
+  done;
+  while u.scan_from < n && u.retire.(u.scan_from) >= 0 do
+    u.scan_from <- u.scan_from + 1
+  done;
+  !progress
+
+(* One DU cycle for one array. *)
+let step_du env (a : du_array) ~t : bool =
+  let cfg = env.cfg in
+  let w = cfg.Config.vector_width in
+  let progress = ref false in
+  (* 1. apply store values (up to the vector width) to the oldest awaiting
+     allocations *)
+  (try
+     for _ = 1 to w do
+       match Fifo.peek a.stv ~now:t with
+       | Some poisoned -> (
+         match List.find_opt (fun s -> s.st_state = Awaiting) a.stores with
+         | Some s ->
+           ignore (Fifo.pop a.stv);
+           s.st_state <- (if poisoned then Poisoned else Ready);
+           progress := true
+         | None -> raise Exit)
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  (* 2. drop poisoned heads (up to the vector width — a store mask kills a
+     whole vector, §10) and commit at most one ready head through the
+     scalar store port *)
+  (try
+     for _ = 1 to w do
+       match a.stores with
+       | s :: rest when s.st_state = Poisoned ->
+         a.stores <- rest;
+         a.stats.kills <- a.stats.kills + 1;
+         progress := true
+       | _ -> raise Exit
+     done
+   with Exit -> ());
+  (match a.stores with
+  | s :: rest when s.st_state = Ready ->
+    (* store port: one commit per cycle *)
+    a.stores <- rest;
+    a.stats.commits <- a.stats.commits + 1;
+    progress := true
+  | _ -> ());
+  (* 3. issue one ready load (out of order within the LQ). RAW check: every
+     older store must have been *allocated* (address known) before the load
+     can be disambiguated at all; then only same-address stores hold it. *)
+  let can_issue (l : load_entry) =
+    if l.issued then `Blocked
+    else if a.st_allocated < l.ld_older_sts then `Blocked
+    else begin
+      let older_conflicts =
+        List.filter
+          (fun s -> s.st_seq < l.ld_seq && s.st_addr = l.ld_addr
+                    && s.st_state <> Poisoned)
+          a.stores
+      in
+      match older_conflicts with
+      | [] -> `Memory
+      | cs ->
+        if List.for_all (fun s -> s.st_state = Ready) cs then `Forward
+        else `Blocked
+    end
+  in
+  (match
+     List.find_opt
+       (fun l -> (not l.issued) && can_issue l <> `Blocked)
+       a.loads
+   with
+  | Some l ->
+    (* all subscriber FIFOs must have space (reserved at issue) *)
+    let subs =
+      match Hashtbl.find_opt env.subscribers l.ld_mem with
+      | Some s -> s
+      | None -> []
+    in
+    let fifos = List.map (fun unit -> ldv_fifo env (l.ld_mem, unit)) subs in
+    if List.for_all Fifo.has_space fifos then begin
+      let latency =
+        match can_issue l with
+        | `Forward ->
+          a.stats.forwards <- a.stats.forwards + 1;
+          cfg.Config.forward_latency
+        | `Memory | `Blocked -> cfg.Config.memory_load_latency
+      in
+      l.issued <- true;
+      l.complete_at <- t + latency;
+      a.stats.loads <- a.stats.loads + 1;
+      List.iter (fun f -> Fifo.push f ~now:(t + latency) ()) fifos;
+      progress := true
+    end
+  | None ->
+    if List.exists (fun l -> not l.issued) a.loads then
+      a.stats.raw_wait_cycles <- a.stats.raw_wait_cycles + 1);
+  (* 4. retire completed loads from the LQ *)
+  let before = List.length a.loads in
+  a.loads <- List.filter (fun l -> not (l.issued && l.complete_at <= t)) a.loads;
+  if List.length a.loads < before then progress := true;
+  (* 5. accept up to [vector_width] store and load requests into the LSQ *)
+  (try
+     for _ = 1 to w do
+       match Fifo.peek a.req_st ~now:t with
+       | Some { sq_addr; sq_seq } ->
+         if List.length a.stores < cfg.Config.store_queue_size then begin
+           ignore (Fifo.pop a.req_st);
+           a.stores <-
+             a.stores
+             @ [ { st_seq = sq_seq; st_addr = sq_addr; st_state = Awaiting } ];
+           a.st_allocated <- a.st_allocated + 1;
+           progress := true
+         end
+         else begin
+           a.stats.alloc_stall_cycles <- a.stats.alloc_stall_cycles + 1;
+           raise Exit
+         end
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  (try
+     for _ = 1 to w do
+       match Fifo.peek a.req_ld ~now:t with
+       | Some { rq_mem; rq_addr; rq_seq; rq_older } ->
+         if List.length a.loads < cfg.Config.load_queue_size then begin
+           ignore (Fifo.pop a.req_ld);
+           a.loads <-
+             a.loads
+             @ [ { ld_seq = rq_seq; ld_addr = rq_addr; ld_mem = rq_mem;
+                   ld_older_sts = rq_older; issued = false; complete_at = 0 } ];
+           progress := true
+         end
+         else begin
+           a.stats.alloc_stall_cycles <- a.stats.alloc_stall_cycles + 1;
+           raise Exit
+         end
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  !progress
+
+let du_idle (a : du_array) =
+  Fifo.is_empty a.req_ld && Fifo.is_empty a.req_st && Fifo.is_empty a.stv
+  && a.stores = [] && a.loads = []
+
+(* --- top level ------------------------------------------------------------ *)
+
+let run ?(cfg = Config.default) ?(max_cycles = 50_000_000)
+    ~(subscribers : (int * Trace.unit_id list) list)
+    (agu_tr : Trace.unit_trace) (cu_tr : Trace.unit_trace) : result =
+  let env =
+    {
+      cfg;
+      arrays = Hashtbl.create 8;
+      ldv = Hashtbl.create 16;
+      subscribers = Hashtbl.create 16;
+    }
+  in
+  List.iter (fun (m, subs) -> Hashtbl.replace env.subscribers m subs) subscribers;
+  let agu = make_urep agu_tr ~unit_ii:cfg.Config.unit_ii in
+  let cu = make_urep cu_tr ~unit_ii:cfg.Config.unit_ii in
+  let n_agu = Array.length agu_tr.Trace.entries in
+  let n_cu = Array.length cu_tr.Trace.entries in
+  let t = ref 0 in
+  let agu_finish = ref 0 and cu_finish = ref 0 in
+  let idle_rounds = ref 0 in
+  let done_ () =
+    agu.n_retired = n_agu && cu.n_retired = n_cu
+    && Hashtbl.fold (fun _ a acc -> acc && du_idle a) env.arrays true
+    && Hashtbl.fold (fun _ f acc -> acc && Fifo.is_empty f) env.ldv true
+  in
+  while not (done_ ()) do
+    if !t > max_cycles then
+      raise
+        (Timing_error
+           (Fmt.str "exceeded %d cycles (AGU %d/%d, CU %d/%d retired)"
+              max_cycles agu.n_retired n_agu cu.n_retired n_cu));
+    let p1 = step_unit env agu ~t:!t in
+    let p2 = step_unit env cu ~t:!t in
+    let p3 =
+      Hashtbl.fold (fun _ a acc -> step_du env a ~t:!t || acc) env.arrays false
+    in
+    if agu.n_retired = n_agu && !agu_finish = 0 then agu_finish := !t;
+    if cu.n_retired = n_cu && !cu_finish = 0 then cu_finish := !t;
+    if p1 || p2 || p3 then begin
+      idle_rounds := 0;
+      incr t
+    end
+    else begin
+      (* Nothing moved this cycle: fast-forward to the next time-driven
+         constraint (FIFO arrival, load completion, scheduled issue, gate
+         resolution). If no future time can unblock anything, the
+         architecture model has deadlocked. *)
+      let next = ref max_int in
+      let cand x = if x > !t && x < !next then next := x in
+      let unit_cands (u : urep) =
+        let n = Array.length u.tr.Trace.entries in
+        let stop = min n (u.scan_from + window) in
+        for k = u.scan_from to stop - 1 do
+          if u.retire.(k) < 0 then begin
+            let e = u.tr.Trace.entries.(k) in
+            cand ((e.Trace.iter * u.unit_ii) + e.Trace.depth);
+            let p = u.prev_chan.(k) in
+            if p >= 0 && u.retire.(p) >= 0 then cand (u.retire.(p) + 1);
+            match e.Trace.ev with
+            | Trace.Gate { dep } when dep >= 0 && u.retire.(dep) >= 0 ->
+              cand (u.retire.(dep) + cfg.Config.branch_latency)
+            | _ -> ()
+          end
+        done
+      in
+      unit_cands agu;
+      unit_cands cu;
+      Hashtbl.iter
+        (fun _ (a : du_array) ->
+          (match Queue.peek_opt a.req_ld.Fifo.q with
+          | Some (avail, _) -> cand avail
+          | None -> ());
+          (match Queue.peek_opt a.req_st.Fifo.q with
+          | Some (avail, _) -> cand avail
+          | None -> ());
+          (match Queue.peek_opt a.stv.Fifo.q with
+          | Some (avail, _) -> cand avail
+          | None -> ());
+          List.iter (fun l -> if l.issued then cand l.complete_at) a.loads)
+        env.arrays;
+      Hashtbl.iter
+        (fun _ (f : unit Fifo.t) ->
+          match Queue.peek_opt f.Fifo.q with
+          | Some (avail, _) -> cand avail
+          | None -> ())
+        env.ldv;
+      if !next = max_int then begin
+        incr idle_rounds;
+        if !idle_rounds > 4 then
+          raise
+            (Timing_error
+               (Fmt.str
+                  "timing deadlock at cycle %d (AGU %d/%d, CU %d/%d retired)"
+                  !t agu.n_retired n_agu cu.n_retired n_cu));
+        incr t
+      end
+      else begin
+        idle_rounds := 0;
+        t := !next
+      end
+    end
+  done;
+  {
+    cycles = !t;
+    agu_finish = !agu_finish;
+    cu_finish = !cu_finish;
+    lsq =
+      Hashtbl.fold (fun arr a acc -> (arr, a.stats) :: acc) env.arrays []
+      |> List.sort compare;
+    agu_retire = agu.retire;
+    cu_retire = cu.retire;
+  }
+
+(* --- ORACLE trace filtering ----------------------------------------------- *)
+
+(* The ORACLE bound (paper §8.1.1) runs the same architecture with perfect
+   speculation: mis-speculated store requests never enter the AGU stream
+   and the CU never issues kills. Which store requests die is decided by
+   matching, per array, the k-th store request against the k-th store value
+   tag — exactly the pairing Lemma 6.1 guarantees. *)
+let oracle_filter (agu_tr : Trace.unit_trace) (cu_tr : Trace.unit_trace) :
+    Trace.unit_trace * Trace.unit_trace =
+  (* per array, the kill flags in CU store-value order *)
+  let kill_flags : (string, bool list ref) Hashtbl.t = Hashtbl.create 8 in
+  let flags arr =
+    match Hashtbl.find_opt kill_flags arr with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace kill_flags arr r;
+      r
+  in
+  Array.iter
+    (fun (e : Trace.entry) ->
+      match e.Trace.ev with
+      | Trace.Produce { arr; _ } -> (flags arr) := false :: !(flags arr)
+      | Trace.Kill { arr; _ } -> (flags arr) := true :: !(flags arr)
+      | _ -> ())
+    cu_tr.Trace.entries;
+  Hashtbl.iter (fun _ r -> r := List.rev !r) kill_flags;
+  (* rebuild each trace, dropping killed store sends and kill events, and
+     remapping gate dependency indices *)
+  let filter_trace (tr : Trace.unit_trace) =
+    let cursor : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let killed arr =
+      let k = match Hashtbl.find_opt cursor arr with Some k -> k | None -> 0 in
+      Hashtbl.replace cursor arr (k + 1);
+      match Hashtbl.find_opt kill_flags arr with
+      | Some r -> (try List.nth !r k with _ -> false)
+      | None -> false
+    in
+    let kept = ref [] in
+    let index_map = Hashtbl.create 64 in
+    let new_idx = ref 0 in
+    Array.iteri
+      (fun old_i (e : Trace.entry) ->
+        let keep =
+          match e.Trace.ev with
+          | Trace.Send_st { arr; _ } -> not (killed arr)
+          | Trace.Kill { arr; _ } -> not (killed arr)
+          | Trace.Produce { arr; _ } ->
+            (* advances the same per-array cursor as kills: the k-th store
+               value tag pairs with the k-th store request *)
+            ignore (killed arr);
+            true
+          | _ -> true
+        in
+        if keep then begin
+          Hashtbl.replace index_map old_i !new_idx;
+          kept := e :: !kept;
+          incr new_idx
+        end)
+      tr.Trace.entries;
+    let remap old_i =
+      if old_i < 0 then -1
+      else
+        let rec back i =
+          if i < 0 then -1
+          else
+            match Hashtbl.find_opt index_map i with
+            | Some ni -> ni
+            | None -> back (i - 1)
+        in
+        back old_i
+    in
+    let entries =
+      Array.of_list
+        (List.rev_map
+           (fun (e : Trace.entry) ->
+             match e.Trace.ev with
+             | Trace.Gate { dep } -> { e with Trace.ev = Trace.Gate { dep = remap dep } }
+             | _ -> e)
+           !kept)
+    in
+    { tr with Trace.entries }
+  in
+  (filter_trace agu_tr, filter_trace cu_tr)

@@ -1,0 +1,67 @@
+(** Cycle-level timing simulation of the DAE architecture template (paper
+    Figure 1): pipelined AGU/CU loop engines replaying their channel
+    traces, bounded latency-carrying FIFOs, a per-array LSQ with separate
+    load/store request channels, disambiguation by program-order tags,
+    store-to-load forwarding and poison kill, and dual-ported SRAM.
+
+    A unit retires events out of order across channels but in order per
+    channel (one op per channel per cycle), no earlier than
+    [iteration × unit_ii + depth], and never past an unresolved {!Trace.ev}
+    [Gate] — which is what serializes the non-speculative DAE AGU. A
+    mis-speculated store occupies its store-queue slot from allocation to
+    kill: the paper's §8.2.1 cost mechanism. *)
+
+type lsq_stats = {
+  mutable alloc_stall_cycles : int;
+  mutable raw_wait_cycles : int;
+  mutable forwards : int;
+  mutable kills : int;
+  mutable commits : int;
+  mutable loads : int;
+}
+
+type result = {
+  cycles : int;
+  agu_finish : int;
+  cu_finish : int;
+  lsq : (string * lsq_stats) list;
+  agu_retire : int array;
+      (** per-event retire cycles, index-aligned with the trace entries —
+          for pipeline timeline views (the paper's Figure 2) *)
+  cu_retire : int array;
+}
+
+exception Timing_error of string
+
+(** Bounded FIFO whose entries become visible [latency] cycles after the
+    push. *)
+module Fifo : sig
+  type 'a t
+
+  val create : capacity:int -> latency:int -> 'a t
+  val has_space : 'a t -> bool
+
+  (** @raise Timing_error when full. *)
+  val push : 'a t -> now:int -> 'a -> unit
+
+  (** The head, if it has arrived by [now]. *)
+  val peek : 'a t -> now:int -> 'a option
+
+  val pop : 'a t -> 'a
+  val is_empty : 'a t -> bool
+end
+
+(** Replay a pair of unit traces to completion.
+    @raise Timing_error on a modelled deadlock or cycle overrun. *)
+val run :
+  ?cfg:Config.t ->
+  ?max_cycles:int ->
+  subscribers:(int * Trace.unit_id list) list ->
+  Trace.unit_trace ->
+  Trace.unit_trace ->
+  result
+
+(** The ORACLE bound (paper §8.1.1): drop mis-speculated store requests
+    from the AGU trace and kills from the CU trace — perfect speculation. *)
+val oracle_filter :
+  Trace.unit_trace -> Trace.unit_trace -> Trace.unit_trace * Trace.unit_trace

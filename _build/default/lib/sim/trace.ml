@@ -1,0 +1,69 @@
+(* Channel-event traces.
+
+   The functional co-simulation (Exec) records, per unit, the dynamic
+   sequence of channel transactions with their loop-iteration index and
+   intra-iteration depth; the timing engine (Timing) replays these against
+   bounded FIFOs, the LSQ and memory ports. Keeping values/addresses in the
+   trace means the timing engine never re-executes code — it only schedules. *)
+
+type unit_id = Agu | Cu
+
+let unit_name = function Agu -> "AGU" | Cu -> "CU"
+
+type ev =
+  | Send_ld of { arr : string; mem : int; addr : int }
+  | Send_st of { arr : string; mem : int; addr : int }
+  | Consume of { arr : string; mem : int; feeds_control : bool }
+  | Produce of { arr : string; mem : int; value : int }
+  | Kill of { arr : string; mem : int } (* poison call *)
+  | Gate of { dep : int }
+      (* a branch that depends on consumed values resolved here; [dep] is
+         the trace index of the latest consume feeding it (-1 if none
+         executed yet). Until the gate resolves, no later channel op of
+         this unit may issue — the FIFO push order downstream of the branch
+         is unknown before the branch is decided. This is the serialization
+         of the paper's Figure 2(b); after speculation the branch is gone
+         from the AGU and the gate disappears with it. *)
+
+type entry = {
+  iter : int; (* hot-loop iteration index, 0-based *)
+  depth : int; (* dynamic instruction index within the iteration *)
+  ev : ev;
+}
+
+type unit_trace = {
+  unit : unit_id;
+  entries : entry array;
+  iterations : int;
+  control_synchronized : bool;
+      (* true when some consumed value feeds a branch of this unit: the
+         next iteration cannot issue before that consume resolves
+         (paper Figure 2(b)'s serialization) *)
+}
+
+let arr_of_ev = function
+  | Send_ld { arr; _ }
+  | Send_st { arr; _ }
+  | Consume { arr; _ }
+  | Produce { arr; _ }
+  | Kill { arr; _ } ->
+    Some arr
+  | Gate _ -> None
+
+let mem_of_ev = function
+  | Send_ld { mem; _ }
+  | Send_st { mem; _ }
+  | Consume { mem; _ }
+  | Produce { mem; _ }
+  | Kill { mem; _ } ->
+    Some mem
+  | Gate _ -> None
+
+let pp_ev ppf = function
+  | Send_ld { arr; mem; addr } -> Fmt.pf ppf "send_ld %s[%d] !%d" arr addr mem
+  | Send_st { arr; mem; addr } -> Fmt.pf ppf "send_st %s[%d] !%d" arr addr mem
+  | Consume { arr; mem; feeds_control } ->
+    Fmt.pf ppf "consume %s !%d%s" arr mem (if feeds_control then " (ctrl)" else "")
+  | Produce { arr; mem; value } -> Fmt.pf ppf "produce %s=%d !%d" arr value mem
+  | Kill { arr; mem } -> Fmt.pf ppf "kill %s !%d" arr mem
+  | Gate { dep } -> Fmt.pf ppf "gate(dep=%d)" dep

@@ -1,0 +1,40 @@
+(** Channel-event traces: the functional co-simulation ({!Exec}) records
+    each unit's dynamic channel transactions; the timing engine ({!Timing})
+    replays them against bounded FIFOs, the LSQ and memory ports without
+    re-executing any code. *)
+
+type unit_id = Agu | Cu
+
+val unit_name : unit_id -> string
+
+type ev =
+  | Send_ld of { arr : string; mem : int; addr : int }
+  | Send_st of { arr : string; mem : int; addr : int }
+  | Consume of { arr : string; mem : int; feeds_control : bool }
+  | Produce of { arr : string; mem : int; value : int }
+  | Kill of { arr : string; mem : int }  (** poison call *)
+  | Gate of { dep : int }
+      (** a branch depending on consumed values resolved here; [dep] is the
+          trace index of the latest consume feeding it (-1 if none). Until
+          the gate resolves no later channel op may issue — the FIFO push
+          order downstream of the branch is unknown before the decision.
+          This is the serialization of the paper's Figure 2(b); speculation
+          removes the branch from the AGU and the gate with it. *)
+
+type entry = {
+  iter : int;  (** hot-loop iteration, 0-based *)
+  depth : int;  (** dynamic instruction index within the iteration *)
+  ev : ev;
+}
+
+type unit_trace = {
+  unit : unit_id;
+  entries : entry array;
+  iterations : int;
+  control_synchronized : bool;
+      (** some consumed value feeds a branch of this unit *)
+}
+
+val arr_of_ev : ev -> string option
+val mem_of_ev : ev -> int option
+val pp_ev : Format.formatter -> ev -> unit

@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Builder Dae_ir Fmt Func Instr Interp List Rng Types

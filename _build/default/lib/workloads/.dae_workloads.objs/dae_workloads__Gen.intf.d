@@ -1,0 +1,1 @@
+lib/workloads/gen.mli: Dae_ir Func Interp Types

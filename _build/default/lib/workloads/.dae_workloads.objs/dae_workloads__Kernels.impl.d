@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Array Builder Dae_ir Dae_sim Fmt Func Graph Instr Interp List Rng Types

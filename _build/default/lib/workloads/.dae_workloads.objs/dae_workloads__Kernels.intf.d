@@ -1,0 +1,1 @@
+lib/workloads/kernels.mli: Dae_ir Dae_sim Func Graph Interp

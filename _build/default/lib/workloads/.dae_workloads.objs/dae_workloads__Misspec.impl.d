@@ -1,0 +1,1 @@
+lib/workloads/misspec.ml: Array Dae_ir Fmt Interp Kernels Rng Types

@@ -1,0 +1,1 @@
+lib/workloads/misspec.mli: Kernels

@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Array Builder Dae_ir Fmt Func Instr Interp Kernels Rng Types

@@ -1,0 +1,1 @@
+lib/workloads/synthetic.mli: Dae_ir Func Kernels

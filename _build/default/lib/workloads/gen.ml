@@ -1,0 +1,195 @@
+(* Randomized structured kernel generator.
+
+   Produces kernels with the shapes the speculation transformation must
+   handle — nested and sequential data-dependent guards, multiple stored
+   arrays, guards at different nesting depths, stores and loads mixed
+   across branches — while staying inside the supported envelope:
+   reducible canonical loops, hoistable (pure or relocatable-consume)
+   address chains, no data LoD. The qcheck properties in the test suite
+   drive Pipeline + Exec with these and assert sequential consistency,
+   stream matching and deadlock freedom on every sample (the dynamic form
+   of the paper's §6 proof). *)
+
+open Dae_ir
+
+type t = {
+  func : Func.t;
+  mem : unit -> Interp.Memory.t;
+  args : (string * Types.value) list;
+  seed : int;
+}
+
+type ctx = {
+  b : Builder.t;
+  rng : Rng.t;
+  n : int; (* loop trip count and array size *)
+  mutable depth : int;
+  mutable stmts_left : int;
+  (* values loaded from stored arrays this iteration: guard candidates *)
+  mutable guard_values : Types.operand list;
+  (* pure i32 values usable as data *)
+  mutable data_values : Types.operand list;
+  stored_arrays : string list;
+  index_arrays : string list; (* read-only, entries in [0, n) *)
+  i : Types.operand;
+  inner_loops : bool;
+}
+
+let pick rng xs = List.nth xs (Rng.int rng (List.length xs))
+
+(* A random in-bounds address: the induction variable or an index-array
+   element (itself a decoupled load, exercising consume relocation). *)
+let gen_addr (c : ctx) : Types.operand =
+  if Rng.percent c.rng 55 then c.i
+  else Builder.load c.b (pick c.rng c.index_arrays) c.i
+
+let gen_value (c : ctx) : Types.operand =
+  match Rng.int c.rng 4 with
+  | 0 -> Builder.int (Rng.int c.rng 100)
+  | 1 -> pick c.rng c.data_values
+  | 2 ->
+    Builder.add c.b (pick c.rng c.data_values)
+      (Builder.int (1 + Rng.int c.rng 9))
+  | _ ->
+    Builder.binop c.b Instr.Xor (pick c.rng c.data_values)
+      (pick c.rng c.data_values)
+
+let gen_load (c : ctx) =
+  let arr = pick c.rng c.stored_arrays in
+  let v = Builder.load c.b arr (gen_addr c) in
+  c.guard_values <- v :: c.guard_values;
+  c.data_values <- v :: c.data_values
+
+let gen_store (c : ctx) =
+  let arr = pick c.rng c.stored_arrays in
+  Builder.store c.b arr ~idx:(gen_addr c) ~value:(gen_value c)
+
+(* A small nested counted loop. Algorithm 1 never enters loops other than
+   the innermost loop containing the speculation source, so requests in
+   here stay conditional when guarded from outside — correctness must hold
+   regardless. *)
+let gen_inner_loop (c : ctx) =
+  let trips = 2 + Rng.int c.rng 3 in
+  let saved_guards = c.guard_values and saved_data = c.data_values in
+  let (_ : Types.operand list) =
+    Builder.counted_loop c.b ~n:(Builder.int trips) (fun b ~i:j ~carried:_ ->
+        let arr = pick c.rng c.stored_arrays in
+        let addr =
+          (* stay in bounds: (i + j) mod n via srem on non-negatives *)
+          Builder.binop b Instr.Srem
+            (Builder.add b c.i j)
+            (Builder.int c.n)
+        in
+        let v = Builder.load b arr addr in
+        if Rng.bool c.rng then
+          Builder.store b arr ~idx:addr
+            ~value:(Builder.add b v (Builder.int 1));
+        [])
+  in
+  c.guard_values <- saved_guards;
+  c.data_values <- saved_data
+
+(* A guard over a value loaded from a stored array — the LoD-creating
+   construct. Roughly half the guards get an else branch. *)
+let rec gen_guard (c : ctx) =
+  let v = pick c.rng c.guard_values in
+  let cond =
+    Builder.cmp c.b
+      (pick c.rng [ Instr.Slt; Instr.Sgt; Instr.Eq; Instr.Ne ])
+      v
+      (Builder.int (Rng.int c.rng 100))
+  in
+  c.depth <- c.depth + 1;
+  (* values defined inside a branch must not leak to the other branch or
+     the join: snapshot and restore the operand pools *)
+  let snapshot () = (c.guard_values, c.data_values) in
+  let restore (g, d) =
+    c.guard_values <- g;
+    c.data_values <- d
+  in
+  let saved = snapshot () in
+  if Rng.percent c.rng 45 then
+    Builder.if_ c.b cond
+      ~then_:(fun _ ->
+        gen_stmts c;
+        restore saved)
+      ~else_:(fun _ ->
+        gen_stmts c;
+        restore saved)
+      ()
+  else
+    Builder.if_ c.b cond
+      ~then_:(fun _ ->
+        gen_stmts c;
+        restore saved)
+      ();
+  c.depth <- c.depth - 1
+
+and gen_stmt (c : ctx) =
+  c.stmts_left <- c.stmts_left - 1;
+  match Rng.int c.rng 12 with
+  | 0 | 1 | 2 -> gen_load c
+  | 3 | 4 | 5 -> gen_store c
+  | 10 when c.inner_loops && c.depth >= 1 && c.depth < 3 ->
+    (* a nested loop inside a data-dependent guard: its requests cannot be
+       hoisted (Algorithm 1 stays in the innermost loop of the source) *)
+    gen_inner_loop c
+  | _ when c.depth < 3 -> gen_guard c
+  | _ -> gen_store c
+
+and gen_stmts (c : ctx) =
+  let k = 1 + Rng.int c.rng 2 in
+  for _ = 1 to k do
+    if c.stmts_left > 0 then gen_stmt c
+  done
+
+let generate ?(seed = 0) ?(n = 24) ?(stored = 2) ?(index = 2)
+    ?(max_stmts = 14) ?(inner_loops = false) () : t =
+  let rng = Rng.create seed in
+  let stored_arrays = List.init stored (fun k -> Fmt.str "s%d" k) in
+  let index_arrays = List.init index (fun k -> Fmt.str "ix%d" k) in
+  let b =
+    Builder.create ~name:(Fmt.str "gen%d" seed) ~params:[ "n" ]
+  in
+  let (_ : Types.operand list) =
+    Builder.counted_loop b ~n:(Builder.param b "n") (fun b ~i ~carried:_ ->
+        let c =
+          {
+            b;
+            rng;
+            n;
+            depth = 0;
+            stmts_left = max_stmts;
+            guard_values = [];
+            data_values = [ i ];
+            stored_arrays;
+            index_arrays;
+            i;
+            inner_loops;
+          }
+        in
+        (* every iteration starts by loading each stored array once so
+           guards always have an LoD candidate *)
+        List.iter
+          (fun arr ->
+            let v = Builder.load b arr i in
+            c.guard_values <- v :: c.guard_values;
+            c.data_values <- v :: c.data_values)
+          stored_arrays;
+        while c.stmts_left > 0 do
+          gen_stmt c
+        done;
+        []);
+  in
+  let func = Builder.seal b in
+  let mem () =
+    let data_rng = Rng.create (seed lxor 0x5EED) in
+    Interp.Memory.create
+      (List.map
+         (fun arr -> (arr, Array.init n (fun _ -> Rng.int data_rng 100)))
+         stored_arrays
+      @ List.map
+          (fun arr -> (arr, Array.init n (fun _ -> Rng.int data_rng n)))
+          index_arrays)
+  in
+  { func; mem; args = [ ("n", Types.Vint n) ]; seed }

@@ -1,0 +1,27 @@
+(** Randomized structured kernel generator for the property tests: nested
+    and sequential data-dependent guards over several stored arrays, with
+    addresses from the induction variable or read-only index arrays —
+    everything inside the supported envelope (reducible canonical loops,
+    hoistable address chains, no data LoD). *)
+
+open Dae_ir
+
+type t = {
+  func : Func.t;
+  mem : unit -> Interp.Memory.t;
+  args : (string * Types.value) list;
+  seed : int;
+}
+
+(** [inner_loops] permits small nested counted loops inside guards —
+    Algorithm 1 does not enter them, leaving their requests synchronized
+    (partial decoupling), which correctness properties must survive. *)
+val generate :
+  ?seed:int ->
+  ?n:int ->
+  ?stored:int ->
+  ?index:int ->
+  ?max_stmts:int ->
+  ?inner_loops:bool ->
+  unit ->
+  t

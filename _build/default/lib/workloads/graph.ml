@@ -1,0 +1,113 @@
+(* Directed graphs in edge-list and CSR form.
+
+   The paper evaluates bfs/bc/sssp on the real-world email-Eu-core graph
+   (1005 nodes, 25,571 edges). That dataset is not available offline, so
+   [email_eu_core_like] generates a deterministic synthetic graph with the
+   same node and edge counts and a heavy-tailed degree distribution
+   (DESIGN.md, "Substitutions"): what the kernels care about is scale and
+   irregular, data-dependent neighbour access, both preserved. *)
+
+type t = {
+  nodes : int;
+  src : int array; (* edge sources *)
+  dst : int array; (* edge destinations *)
+  weight : int array; (* edge weights, for sssp *)
+}
+
+let edges (g : t) = Array.length g.src
+
+let generate ~seed ~nodes ~edges:m ~max_weight : t =
+  let rng = Rng.create seed in
+  let src = Array.make m 0 and dst = Array.make m 0 and weight = Array.make m 1 in
+  for e = 0 to m - 1 do
+    (* skewed sources model hub nodes; uniform destinations keep the graph
+       connected enough for multi-level BFS *)
+    let u = Rng.skewed rng nodes in
+    let v = Rng.int rng nodes in
+    src.(e) <- u;
+    dst.(e) <- (if v = u then (v + 1) mod nodes else v);
+    weight.(e) <- 1 + Rng.int rng max_weight
+  done;
+  { nodes; src; dst; weight }
+
+let email_eu_core_like () =
+  generate ~seed:0xEEC0 ~nodes:1005 ~edges:25571 ~max_weight:15
+
+(* A small graph for unit tests. *)
+let small ?(seed = 42) ?(nodes = 24) ?(edges = 80) () =
+  generate ~seed ~nodes ~edges ~max_weight:9
+
+(* --- reference algorithms (golden models for the kernels) ----------------- *)
+
+(* Level-synchronous BFS by edge relaxation: one pass over all edges per
+   level. Returns (dist array, number of levels until fixpoint). Matches
+   exactly the kernel's per-invocation semantics. *)
+let bfs_reference (g : t) ~source : int array * int =
+  let dist = Array.make g.nodes (-1) in
+  dist.(source) <- 0;
+  let level = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for e = 0 to edges g - 1 do
+      if dist.(g.src.(e)) = !level && dist.(g.dst.(e)) < 0 then begin
+        dist.(g.dst.(e)) <- !level + 1;
+        changed := true
+      end
+    done;
+    incr level
+  done;
+  (dist, !level)
+
+let inf = 1 lsl 29
+
+(* Bellman-Ford rounds until fixpoint. Returns (dist, rounds). *)
+let sssp_reference (g : t) ~source : int array * int =
+  let dist = Array.make g.nodes inf in
+  dist.(source) <- 0;
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed && !rounds < g.nodes do
+    changed := false;
+    for e = 0 to edges g - 1 do
+      let du = dist.(g.src.(e)) in
+      if du < inf then begin
+        let nd = du + g.weight.(e) in
+        if nd < dist.(g.dst.(e)) then begin
+          dist.(g.dst.(e)) <- nd;
+          changed := true
+        end
+      end
+    done;
+    incr rounds
+  done;
+  (dist, !rounds)
+
+(* Forward pass of Brandes-style betweenness centrality from one source:
+   BFS levels plus shortest-path counts (sigma). Matches the bc kernel. *)
+let bc_reference (g : t) ~source : int array * int array * int =
+  let dist = Array.make g.nodes (-1) in
+  let sigma = Array.make g.nodes 0 in
+  dist.(source) <- 0;
+  sigma.(source) <- 1;
+  let level = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for e = 0 to edges g - 1 do
+      let u = g.src.(e) and v = g.dst.(e) in
+      if dist.(u) = !level then begin
+        if dist.(v) < 0 then begin
+          dist.(v) <- !level + 1;
+          sigma.(v) <- sigma.(v) + sigma.(u);
+          changed := true
+        end
+        else if dist.(v) = !level + 1 then begin
+          sigma.(v) <- sigma.(v) + sigma.(u);
+          changed := true
+        end
+      end
+    done;
+    incr level
+  done;
+  (dist, sigma, !level)

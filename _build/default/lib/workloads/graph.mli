@@ -1,0 +1,32 @@
+(** Directed graphs in edge-list form, a deterministic synthetic generator
+    scale-matched to the paper's email-Eu-core dataset (1005 nodes, 25,571
+    edges, heavy-tailed degrees — see DESIGN.md "Substitutions"), and the
+    reference algorithms the graph kernels are checked against. *)
+
+type t = {
+  nodes : int;
+  src : int array;
+  dst : int array;
+  weight : int array;
+}
+
+val edges : t -> int
+val generate : seed:int -> nodes:int -> edges:int -> max_weight:int -> t
+
+(** 1005 nodes, 25,571 edges — the paper's graph scale. *)
+val email_eu_core_like : unit -> t
+
+val small : ?seed:int -> ?nodes:int -> ?edges:int -> unit -> t
+
+(** Level-synchronous BFS by whole-edge-list relaxation (exactly the bfs
+    kernel's per-invocation semantics). Returns distances and levels. *)
+val bfs_reference : t -> source:int -> int array * int
+
+(** "Infinity" distance used by sssp. *)
+val inf : int
+
+(** Bellman-Ford to fixpoint. Returns distances and rounds. *)
+val sssp_reference : t -> source:int -> int array * int
+
+(** Brandes forward pass: BFS levels plus shortest-path counts. *)
+val bc_reference : t -> source:int -> int array * int array * int

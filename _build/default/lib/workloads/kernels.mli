@@ -1,0 +1,51 @@
+(** The paper's nine benchmark kernels (§8.1.2) as IR builders with OCaml
+    reference implementations. Each mirrors the loop structure and the
+    loss-of-decoupling control dependencies of the GAP / HLS_Benchmarks C
+    originals; where the paper leaves the guard unspecified (hist, spmv),
+    a guard loading the stored array is used so the kernel has the LoD
+    structure the paper requires of its benchmark set (DESIGN.md). *)
+
+open Dae_ir
+
+type t = {
+  name : string;
+  description : string;
+  build : unit -> Func.t;
+  init_mem : unit -> Interp.Memory.t;
+  invocations : unit -> Dae_sim.Machine.invocation list;
+  check : Interp.Memory.t -> (unit, string) result;
+}
+
+(** Raw IR builders (shared by the Table-2 instrumentation). *)
+
+val build_hist : unit -> Func.t
+val build_thr : unit -> Func.t
+val build_mm : unit -> Func.t
+val build_bfs : unit -> Func.t
+val build_sssp : unit -> Func.t
+val build_bc : unit -> Func.t
+val build_fw : unit -> Func.t
+val build_sort : unit -> Func.t
+val build_spmv : unit -> Func.t
+
+(** Parameterized workloads. *)
+
+val hist : ?n:int -> ?buckets:int -> ?cap:int -> ?seed:int -> unit -> t
+val thr :
+  ?n:int -> ?threshold:int -> ?above_percent:int -> ?seed:int -> unit -> t
+val mm : ?left:int -> ?right:int -> ?m:int -> ?seed:int -> unit -> t
+val bfs : ?graph:Graph.t -> ?source:int -> unit -> t
+val sssp : ?graph:Graph.t -> ?source:int -> ?max_rounds:int -> unit -> t
+val bc : ?graph:Graph.t -> ?source:int -> unit -> t
+val fw : ?n:int -> ?seed:int -> unit -> t
+val sort : ?n:int -> ?seed:int -> unit -> t
+val spmv :
+  ?rows:int -> ?cols:int -> ?nnz:int -> ?clamp:int -> ?seed:int -> unit -> t
+
+(** Table 1 / Figure 6 sizes. *)
+val paper_suite : unit -> t list
+
+(** Reduced sizes for the test suite. *)
+val test_suite : unit -> t list
+
+val by_name : t list -> string -> t option

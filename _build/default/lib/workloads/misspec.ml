@@ -1,0 +1,112 @@
+(* Mis-speculation rate instrumentation (paper Table 2).
+
+   The paper instruments the inputs of hist, thr and mm so the
+   mis-speculation rate sweeps 0–100%, then shows the SPEC cycle count
+   stays flat. We generate inputs targeting each rate:
+
+   - thr: exactly rate% of pixels at or below the threshold (guard false →
+     store killed);
+   - hist: rate% of buckets pre-saturated at the cap; hits to the rest
+     never saturate (cap effectively infinite for them), so the kill
+     fraction equals the hit mass on saturated buckets;
+   - mm: endpoints pre-matched with probability q = 1 − sqrt(1 − r), so an
+     edge is killed (either endpoint taken) with probability ≈ r.
+
+   The achieved rate is whatever the machine measures; Table 2 reports it
+   alongside the cycles. *)
+
+open Dae_ir
+
+let vint n = Types.Vint n
+
+let thr ?(n = 1000) ?(seed = 41) ~rate_percent () : Kernels.t =
+  let rng = Rng.create (seed + rate_percent) in
+  let threshold = 100 in
+  let pix =
+    Array.init n (fun _ ->
+        if Rng.percent rng rate_percent then Rng.int rng (threshold + 1)
+        else threshold + 1 + Rng.int rng 100)
+  in
+  {
+    Kernels.name = Fmt.str "thr@%d%%" rate_percent;
+    description = Fmt.str "thr with ~%d%% mis-speculation" rate_percent;
+    build = Kernels.build_thr;
+    init_mem = (fun () -> Interp.Memory.create [ ("pix", pix) ]);
+    invocations = (fun () -> [ [ ("n", vint n); ("thr", vint threshold) ] ]);
+    check =
+      (fun mem ->
+        let expected = Array.map (fun p -> if p > threshold then 0 else p) pix in
+        if Interp.Memory.array mem "pix" = expected then Ok ()
+        else Error "thr misspec variant: memory differs");
+  }
+
+let hist ?(n = 1000) ?(buckets = 64) ?(seed = 43) ~rate_percent () : Kernels.t
+    =
+  let rng = Rng.create (seed + rate_percent) in
+  let cap = 1_000_000 in
+  let bucket = Array.init n (fun _ -> Rng.int rng buckets) in
+  let hist0 =
+    Array.init buckets (fun _ ->
+        if Rng.percent rng rate_percent then cap else 0)
+  in
+  {
+    Kernels.name = Fmt.str "hist@%d%%" rate_percent;
+    description = Fmt.str "hist with ~%d%% mis-speculation" rate_percent;
+    build = Kernels.build_hist;
+    init_mem =
+      (fun () ->
+        Interp.Memory.create [ ("bucket", bucket); ("hist", Array.copy hist0) ]);
+    invocations = (fun () -> [ [ ("n", vint n); ("cap", vint cap) ] ]);
+    check =
+      (fun mem ->
+        let expected = Array.copy hist0 in
+        Array.iter
+          (fun b -> if expected.(b) < cap then expected.(b) <- expected.(b) + 1)
+          bucket;
+        if Interp.Memory.array mem "hist" = expected then Ok ()
+        else Error "hist misspec variant: memory differs");
+  }
+
+(* mm: a sparse bipartite graph (few edges per node) keeps the *dynamic*
+   match rate low, so the kill rate tracks the pre-matched fraction. *)
+let mm ?(left = 2000) ?(right = 2000) ?(m = 600) ?(seed = 47) ~rate_percent ()
+    : Kernels.t =
+  let rng = Rng.create (seed + rate_percent) in
+  let nodes = left + right in
+  let esrc = Array.init m (fun _ -> Rng.int rng left) in
+  let edst = Array.init m (fun _ -> left + Rng.int rng right) in
+  (* probability that one endpoint is pre-matched *)
+  let q_percent =
+    let r = float_of_int rate_percent /. 100. in
+    int_of_float (100. *. (1. -. sqrt (max 0. (1. -. r)))) |> min 100 |> max 0
+  in
+  let mate0 =
+    Array.init nodes (fun k ->
+        if Rng.percent rng q_percent then nodes + k (* dummy partner *)
+        else -1)
+  in
+  {
+    Kernels.name = Fmt.str "mm@%d%%" rate_percent;
+    description = Fmt.str "mm with ~%d%% mis-speculation" rate_percent;
+    build = Kernels.build_mm;
+    init_mem =
+      (fun () ->
+        Interp.Memory.create
+          [ ("esrc", esrc); ("edst", edst); ("mate", Array.copy mate0) ]);
+    invocations = (fun () -> [ [ ("m", vint m) ] ]);
+    check =
+      (fun mem ->
+        let expected = Array.copy mate0 in
+        for e = 0 to m - 1 do
+          let u = esrc.(e) and v = edst.(e) in
+          if expected.(u) < 0 && expected.(v) < 0 then begin
+            expected.(u) <- v;
+            expected.(v) <- u
+          end
+        done;
+        if Interp.Memory.array mem "mate" = expected then Ok ()
+        else Error "mm misspec variant: memory differs");
+  }
+
+(* Table 2's sweep points. *)
+let rates = [ 0; 20; 40; 60; 80; 100 ]

@@ -1,0 +1,15 @@
+(** Table 2 instrumentation: inputs for hist, thr and mm targeting a given
+    mis-speculation rate (the achieved rate is whatever the machine
+    measures). *)
+
+val thr : ?n:int -> ?seed:int -> rate_percent:int -> unit -> Kernels.t
+
+val hist :
+  ?n:int -> ?buckets:int -> ?seed:int -> rate_percent:int -> unit -> Kernels.t
+
+val mm :
+  ?left:int -> ?right:int -> ?m:int -> ?seed:int -> rate_percent:int ->
+  unit -> Kernels.t
+
+(** The sweep points of Table 2. *)
+val rates : int list

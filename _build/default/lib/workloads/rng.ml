@@ -1,0 +1,38 @@
+(* Deterministic splitmix64-style PRNG.
+
+   All workload data is generated from fixed seeds so every run of the
+   benchmarks (and every architecture within a run) sees identical inputs —
+   a requirement for the paper's apples-to-apples comparisons. We do not
+   use Stdlib.Random to keep the streams stable across OCaml versions. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next (t : t) : int64 =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform integer in [0, bound). *)
+let int (t : t) bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let bool (t : t) = Int64.logand (next t) 1L = 1L
+
+(* Bernoulli with probability p (in percent, 0-100). *)
+let percent (t : t) p = int t 100 < p
+
+(* Skewed (approximately Zipf-ish) integer in [0, bound): repeated halving
+   concentrates mass on small values, giving graphs a heavy-tailed degree
+   distribution like the paper's email-Eu-core. *)
+let skewed (t : t) bound =
+  let rec go b =
+    if b <= 1 then 0
+    else if bool t then int t b
+    else go (b / 2)
+  in
+  go bound

@@ -1,0 +1,20 @@
+(** Deterministic splitmix64-style PRNG: all workload data derives from
+    fixed seeds so every run and every architecture sees identical inputs
+    (and streams stay stable across OCaml versions, unlike Stdlib.Random).
+*)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+
+(** Uniform in [0, bound). @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Bernoulli with the given probability in percent. *)
+val percent : t -> int -> bool
+
+(** Heavy-tailed (Zipf-ish) integer in [0, bound) — hub-node degrees. *)
+val skewed : t -> int -> int

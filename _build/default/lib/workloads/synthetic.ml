@@ -1,0 +1,78 @@
+(* The §8.3.1 synthetic nested-if template:
+
+     if x > c1 then
+       store_1
+       if x > c2 then
+         store_2
+         if x > c3 then ...
+
+   With n nesting levels (one store per level) the SPEC transformation
+   produces n poison blocks and n(n+1)/2 poison calls — the knob behind
+   Figure 7's area/performance-overhead sweep. *)
+
+open Dae_ir
+
+(* Build the kernel with [depth] nesting levels. Stores hit a[i]; the
+   guard value is a[i] itself, so every level is an LoD source chained to
+   the outermost one. *)
+let build ~depth () : Func.t =
+  let b = Builder.create ~name:(Fmt.str "nested%d" depth) ~params:[ "n" ] in
+  let (_ : Types.operand list) =
+    Builder.counted_loop b ~n:(Builder.param b "n") (fun b ~i ~carried:_ ->
+        let x = Builder.load b "a" i in
+        let rec nest level =
+          if level <= depth then begin
+            let c =
+              Builder.cmp b Instr.Sgt x (Builder.int (level * 10))
+            in
+            Builder.if_ b c
+              ~then_:(fun b ->
+                Builder.store b "a" ~idx:i
+                  ~value:(Builder.add b x (Builder.int level));
+                nest (level + 1))
+              ()
+          end
+        in
+        nest 1;
+        [])
+  in
+  Builder.seal b
+
+(* Reference semantics: the guard value is loaded once per iteration, so
+   every satisfied level stores [x + level] and the deepest one wins. *)
+let reference ~depth (a : int array) : int array =
+  Array.map
+    (fun x ->
+      let rec go level acc =
+        if level <= depth && x > level * 10 then go (level + 1) (x + level)
+        else acc
+      in
+      go 1 x)
+    a
+
+let workload ?(n = 200) ?(seed = 31) ?(pass_percent = 92) ~depth () :
+    Kernels.t =
+  (* Figure 7 measures the cost of the poison *machinery*, so most
+     iterations should satisfy every guard (speculation mostly right) —
+     with mostly-killed stores the comparison against the perfect-
+     speculation ORACLE would instead measure the mis-speculation rate. *)
+  let rng = Rng.create seed in
+  let a0 =
+    Array.init n (fun _ ->
+        if Rng.percent rng pass_percent then
+          (depth * 10) + 1 + Rng.int rng 50
+        else Rng.int rng (depth * 10))
+  in
+  {
+    Kernels.name = Fmt.str "nested%d" depth;
+    description = Fmt.str "synthetic template, %d nesting levels" depth;
+    build = (fun () -> build ~depth ());
+    init_mem = (fun () -> Interp.Memory.create [ ("a", a0) ]);
+    invocations = (fun () -> [ [ ("n", Types.Vint n) ] ]);
+    check =
+      (fun mem ->
+        let got = Interp.Memory.array mem "a" in
+        let expected = reference ~depth a0 in
+        if got = expected then Ok ()
+        else Error "synthetic nested template: memory differs from reference");
+  }

@@ -1,0 +1,13 @@
+(** The §8.3.1 synthetic nested-if template behind Figure 7: with [depth]
+    nesting levels (one store per level) the SPEC transformation produces
+    [depth] poison blocks and depth(depth+1)/2 poison calls. *)
+
+open Dae_ir
+
+val build : depth:int -> unit -> Func.t
+val reference : depth:int -> int array -> int array
+
+(** [pass_percent] controls how often every guard is satisfied (Figure 7
+    measures the poison machinery, so speculation should be mostly right). *)
+val workload :
+  ?n:int -> ?seed:int -> ?pass_percent:int -> depth:int -> unit -> Kernels.t

@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Builder Dae_ir Dae_workloads Instr Interp Parser Types Verify

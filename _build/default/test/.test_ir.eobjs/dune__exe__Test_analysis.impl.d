@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Control_dep Dae_core Dae_ir Dae_workloads Defuse Dom Fmt Hashtbl List Lod Loops Parser Reach Verify

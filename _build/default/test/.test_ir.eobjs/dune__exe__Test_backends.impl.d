@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Cgra_backend Dae_core Dae_ir Dae_workloads Desc_backend Fixtures Fmt Hashtbl List Pipeline QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Array Dae_core Dae_ir Dae_sim Dae_workloads Gen List QCheck QCheck_alcotest Test

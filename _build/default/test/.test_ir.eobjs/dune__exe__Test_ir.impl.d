@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Block Builder Dae_ir Dae_workloads Dce Func Instr Interp List Loops Parser QCheck QCheck_alcotest Simplify Test Types Verify

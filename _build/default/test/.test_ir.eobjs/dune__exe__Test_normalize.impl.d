@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Array Dae_ir Dae_sim Fixtures Fmt Func Interp List Loop_canon Loops Node_split Parser Types Verify

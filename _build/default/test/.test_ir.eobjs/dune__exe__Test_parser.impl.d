@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Block Dae_core Dae_ir Dae_workloads Func Interp List Parser Printer QCheck QCheck_alcotest Test Types

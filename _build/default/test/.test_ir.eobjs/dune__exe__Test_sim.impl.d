@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Area Array Builder Config Dae_core Dae_ir Dae_sim Dae_workloads Exec Fixtures Interp Machine Sta Timing Trace Types

@@ -1,0 +1,1 @@
+test/test_speculation.ml: Alcotest Block Dae_core Dae_ir Dae_sim Dae_workloads Decouple Fixtures Fmt Func Hoist Instr List Lod Merge Parser Pipeline Poison Reach Spec_load Verify

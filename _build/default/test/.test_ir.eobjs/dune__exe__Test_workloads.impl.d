@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Dae_core Dae_sim Dae_workloads Fmt Graph Kernels List Misspec Synthetic

@@ -1,0 +1,79 @@
+(* Shared test fixtures: the paper's running examples as parseable IR. *)
+
+open Dae_ir
+
+(* Figure 4(a): paper block 1 = bb2, 2 = bb3 (request a, LoD source),
+   3 = bb4 (LoD source, 3-way switch), 4 = bb5 (request c),
+   5 = bb6 (request b, LoD source), 6 = bb7 (request d), 7 = bb8 (request e),
+   latch = bb9. Requests: a=mem0, c=mem3, d=mem4, b=mem5, e=mem7. *)
+let fig4_src =
+  {|
+  func fig4(n: %0) {
+  bb0:
+    br bb1
+  bb1:
+    %1 = phi i32 [bb0: 0], [bb9: %2]
+    %3 = cmp slt %1, %0
+    br %3, bb2, bb10
+  bb2:
+    %4 = and %1, 1
+    %5 = cmp eq %4, 0
+    br %5, bb3, bb4
+  bb3:
+    store A[%1], 7 !mem0
+    %6 = load A[%1] !mem1
+    %7 = cmp sgt %6, 10
+    br %7, bb6, bb9
+  bb4:
+    %8 = load A[%1] !mem2
+    %9 = srem %8, 3
+    switch %9, bb5, bb6, bb7
+  bb5:
+    store A[%1], 8 !mem3
+    br bb6
+  bb7:
+    store A[%1], 9 !mem4
+    br bb9
+  bb6:
+    store A[%1], 10 !mem5
+    %10 = load A[%1] !mem6
+    %11 = cmp sgt %10, 20
+    br %11, bb8, bb9
+  bb8:
+    store A[%1], 11 !mem7
+    br bb9
+  bb9:
+    %2 = add %1, 1
+    br bb1
+  bb10:
+    ret
+  }
+  |}
+
+let fig4 () =
+  let f = Parser.parse fig4_src in
+  Verify.check_exn f;
+  f
+
+(* An input memory for fig4: values chosen so different iterations take
+   different paths through all three LoD branches. *)
+let fig4_mem ?(n = 32) ?(seed = 3) () =
+  let rng = Dae_workloads.Rng.create seed in
+  Interp.Memory.create
+    [ ("A", Array.init n (fun _ -> Dae_workloads.Rng.int rng 30)) ]
+
+let fig4_args n = [ ("n", Types.Vint n) ]
+
+(* Figure 1(b)/(c): the running example `if (A[i] > 0) A[i] = 0`. *)
+let fig1 () =
+  let b = Builder.create ~name:"fig1" ~params:[ "n" ] in
+  let (_ : Types.operand list) =
+    Builder.counted_loop b ~n:(Builder.param b "n") (fun b ~i ~carried:_ ->
+        let v = Builder.load b "A" i in
+        let c = Builder.cmp b Instr.Sgt v (Builder.int 0) in
+        Builder.if_ b c
+          ~then_:(fun b -> Builder.store b "A" ~idx:i ~value:(Builder.int 0))
+          ();
+        [])
+  in
+  Builder.seal b

@@ -1,0 +1,294 @@
+(* CFG analyses and the loss-of-decoupling analysis (paper §4), exercised
+   on the paper's running examples. *)
+
+open Dae_ir
+open Dae_core
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+let sorted = List.sort compare
+
+(* The paper's Figure 4(a) CFG. Block correspondence:
+     paper 1 = bb2, paper 2 = bb3 (request a, LoD source),
+     paper 3 = bb4 (LoD source, 3-way), paper 4 = bb5 (request c),
+     paper 5 = bb6 (request b, LoD source), paper 6 = bb7 (request d),
+     paper 7 = bb8 (request e), latch = bb9. *)
+let fig4_src =
+  {|
+  func fig4(n: %0) {
+  bb0:
+    br bb1
+  bb1:
+    %1 = phi i32 [bb0: 0], [bb9: %2]
+    %3 = cmp slt %1, %0
+    br %3, bb2, bb10
+  bb2:
+    %4 = and %1, 1
+    %5 = cmp eq %4, 0
+    br %5, bb3, bb4
+  bb3:
+    store A[%1], 7 !mem0
+    %6 = load A[%1] !mem1
+    %7 = cmp sgt %6, 10
+    br %7, bb6, bb9
+  bb4:
+    %8 = load A[%1] !mem2
+    %9 = srem %8, 3
+    switch %9, bb5, bb6, bb7
+  bb5:
+    store A[%1], 8 !mem3
+    br bb6
+  bb7:
+    store A[%1], 9 !mem4
+    br bb9
+  bb6:
+    store A[%1], 10 !mem5
+    %10 = load A[%1] !mem6
+    %11 = cmp sgt %10, 20
+    br %11, bb8, bb9
+  bb8:
+    store A[%1], 11 !mem7
+    br bb9
+  bb9:
+    %2 = add %1, 1
+    br bb1
+  bb10:
+    ret
+  }
+  |}
+
+let fig4 () =
+  let f = Parser.parse fig4_src in
+  Verify.check_exn f;
+  f
+
+(* --- dominators ----------------------------------------------------------- *)
+
+let test_dominators_fig4 () =
+  let f = fig4 () in
+  let dom = Dom.compute f in
+  let dominates a b = Dom.dominates dom a b in
+  check Alcotest.bool "entry dominates all" true (dominates 0 9);
+  check Alcotest.bool "header dominates body" true (dominates 1 6);
+  check Alcotest.bool "bb2 dominates bb6 (all paths pass it)" true
+    (dominates 2 6);
+  check Alcotest.bool "bb3 does not dominate bb6" false (dominates 3 6);
+  check Alcotest.bool "bb4 does not dominate bb6" false (dominates 4 6);
+  check Alcotest.bool "bb4 dominates bb5" true (dominates 4 5);
+  check Alcotest.bool "bb4 dominates bb7" true (dominates 4 7);
+  check Alcotest.bool "strict dominance is irreflexive" false
+    (Dom.strictly_dominates dom 4 4)
+
+let test_postdominators_fig4 () =
+  let f = fig4 () in
+  let pdom = Dom.compute_post f in
+  (* the latch bb9 postdominates every body block *)
+  List.iter
+    (fun b ->
+      check Alcotest.bool
+        (Fmt.str "bb9 postdominates bb%d" b)
+        true
+        (Dom.dominates pdom 9 b))
+    [ 2; 3; 4; 5; 6; 7; 8 ];
+  check Alcotest.bool "bb6 does not postdominate bb4" false
+    (Dom.dominates pdom 6 4);
+  check Alcotest.bool "bb6 postdominates bb5" true (Dom.dominates pdom 6 5)
+
+(* --- control dependence ---------------------------------------------------- *)
+
+let test_control_dep_fig4 () =
+  let f = fig4 () in
+  let cd = Control_dep.compute f in
+  check (Alcotest.list Alcotest.int) "bb5 directly depends on bb4" [ 4 ]
+    (sorted (Control_dep.sources cd 5));
+  check (Alcotest.list Alcotest.int) "bb7 directly depends on bb4" [ 4 ]
+    (sorted (Control_dep.sources cd 7));
+  check (Alcotest.list Alcotest.int) "bb6 depends on bb3 and bb4" [ 2; 3; 4 ]
+    (sorted (Control_dep.transitive_sources cd 6)
+    |> List.filter (fun b -> b <> 1));
+  check Alcotest.bool "bb8 transitively depends on bb6" true
+    (Control_dep.depends cd ~block:8 ~on:6);
+  check Alcotest.bool "bb8 transitively depends on bb2" true
+    (Control_dep.depends cd ~block:8 ~on:2);
+  check Alcotest.bool "bb3 does not depend on bb4" false
+    (Control_dep.depends cd ~block:3 ~on:4)
+
+(* --- loops ------------------------------------------------------------------ *)
+
+let test_loops_fig4 () =
+  let f = fig4 () in
+  let loops = Loops.compute f in
+  check Alcotest.int "single loop" 1 (List.length loops.Loops.loops);
+  let l = List.hd loops.Loops.loops in
+  check Alcotest.int "header" 1 l.Loops.header;
+  check Alcotest.int "latch" 9 l.Loops.latch;
+  check Alcotest.bool "backedge detected" true
+    (Loops.is_backedge loops ~src:9 ~dst:1);
+  check Alcotest.bool "body contains bb6" true (List.mem 6 l.Loops.body);
+  check Alcotest.bool "body excludes exit" false (List.mem 10 l.Loops.body)
+
+let test_nested_loops () =
+  let k = Dae_workloads.Kernels.fw ~n:3 () in
+  let f = k.Dae_workloads.Kernels.build () in
+  let loops = Loops.compute f in
+  check Alcotest.int "three nested loops" 3 (List.length loops.Loops.loops);
+  let depths =
+    sorted (List.map (fun (l : Loops.loop) -> l.Loops.depth) loops.Loops.loops)
+  in
+  check (Alcotest.list Alcotest.int) "depths 1,2,3" [ 1; 2; 3 ] depths;
+  let innermost =
+    List.find (fun (l : Loops.loop) -> l.Loops.depth = 3) loops.Loops.loops
+  in
+  check Alcotest.bool "innermost has a parent" true
+    (innermost.Loops.parent <> None)
+
+let test_reachability () =
+  let f = fig4 () in
+  let r = Reach.create f in
+  check Alcotest.bool "bb4 reaches bb8" true (Reach.reachable r ~src:4 ~dst:8);
+  check Alcotest.bool "bb3 reaches bb8" true (Reach.reachable r ~src:3 ~dst:8);
+  check Alcotest.bool "bb3 does not reach bb5" false
+    (Reach.reachable r ~src:3 ~dst:5);
+  check Alcotest.bool "bb7 does not reach bb6" false
+    (Reach.reachable r ~src:7 ~dst:6);
+  check Alcotest.bool "no reach through backedge" false
+    (Reach.reachable r ~src:9 ~dst:2);
+  check Alcotest.bool "reflexive" true (Reach.reachable r ~src:6 ~dst:6);
+  check Alcotest.bool "strict excludes self without cycle" false
+    (Reach.strictly_reachable r ~src:6 ~dst:6)
+
+(* --- def-use ---------------------------------------------------------------- *)
+
+let test_backward_slice_traces_phi_terminators () =
+  (* Definition 4.1's subtlety: crossing a φ also traces the terminator
+     conditions of its incoming blocks. *)
+  let f =
+    Parser.parse
+      {|
+      func sl(n: %0) {
+      bb0:
+        %1 = load A[0] !mem0
+        %2 = cmp sgt %1, 5
+        br %2, bb1, bb2
+      bb1:
+        br bb3
+      bb2:
+        br bb3
+      bb3:
+        %3 = phi i32 [bb1: 1], [bb2: 2]
+        store B[%3], 0 !mem1
+        ret
+      }
+      |}
+  in
+  let du = Defuse.compute f in
+  let slice = Defuse.backward_slice du 3 in
+  check Alcotest.bool "slice of φ includes the branch condition producer"
+    true (Hashtbl.mem slice 1);
+  check Alcotest.bool "depends_on sees the load" true
+    (Defuse.depends_on du 3 ~sources:[ 1 ])
+
+(* --- LoD analysis (§4) ------------------------------------------------------ *)
+
+let test_lod_fig4 () =
+  let f = fig4 () in
+  let lod = Lod.analyze f in
+  check (Alcotest.list Alcotest.int) "sources are paper blocks 2,3,5"
+    [ 3; 4; 6 ] (sorted lod.Lod.src_blocks);
+  check (Alcotest.list Alcotest.int) "chain heads are paper blocks 2,3"
+    [ 3; 4 ] (sorted lod.Lod.chain_heads);
+  (* request a (mem0, in bb3) must not be speculated *)
+  check Alcotest.bool "request a has no control LoD" true
+    (not (List.mem_assoc 0 lod.Lod.control_lod));
+  (* request d (mem4, bb7) depends on bb4 only *)
+  check (Alcotest.list Alcotest.int) "request d sources" [ 4 ]
+    (sorted (List.assoc 4 lod.Lod.control_lod));
+  (* request b (mem5, bb6) depends on both heads *)
+  check (Alcotest.list Alcotest.int) "request b sources" [ 3; 4 ]
+    (sorted (List.assoc 5 lod.Lod.control_lod)
+    |> List.filter (fun b -> b <> 6));
+  check Alcotest.bool "no data LoD in fig4" false (Lod.has_data_lod lod)
+
+let test_lod_data_dependency () =
+  (* A[f(A[i])]-style access: address depends on a decoupled load *)
+  let f =
+    Parser.parse
+      {|
+      func datalod(n: %0) {
+      bb0:
+        %1 = load A[0] !mem0
+        %2 = add %1, 1
+        store A[%2], 9 !mem1
+        ret
+      }
+      |}
+  in
+  let lod = Lod.analyze f in
+  check Alcotest.bool "data LoD detected" true (Lod.has_data_lod lod);
+  check (Alcotest.list Alcotest.int) "mem1 blocked" [ 1 ]
+    (Lod.data_blocked lod)
+
+let test_lod_no_false_positive () =
+  (* store guarded by a load from an array that is never stored: trivially
+     prefetchable, no LoD under the default policy *)
+  let f =
+    Parser.parse
+      {|
+      func clean(n: %0) {
+      bb0:
+        %1 = load C[0] !mem0
+        %2 = cmp sgt %1, 0
+        br %2, bb1, bb2
+      bb1:
+        store A[0], 1 !mem1
+        br bb2
+      bb2:
+        ret
+      }
+      |}
+  in
+  let lod = Lod.analyze f in
+  check Alcotest.bool "no control LoD" false (Lod.has_control_lod lod);
+  (* the All_loads policy makes it a LoD *)
+  let lod2 = Lod.analyze ~policy:Lod.All_loads f in
+  check Alcotest.bool "All_loads flags it" true (Lod.has_control_lod lod2);
+  (* array-targeted policy *)
+  let lod3 = Lod.analyze ~policy:(Lod.Loads_from [ "C" ]) f in
+  check Alcotest.bool "Loads_from C flags it" true (Lod.has_control_lod lod3);
+  let lod4 = Lod.analyze ~policy:(Lod.Loads_from [ "B" ]) f in
+  check Alcotest.bool "Loads_from B does not" false (Lod.has_control_lod lod4)
+
+let test_lod_chain_heads_on_kernels () =
+  (* bfs has the nested chain: the inner source is dropped *)
+  let k = Dae_workloads.Kernels.bfs ~graph:(Dae_workloads.Graph.small ()) () in
+  let f = k.Dae_workloads.Kernels.build () in
+  let lod = Lod.analyze f in
+  check Alcotest.int "bfs: two sources" 2 (List.length lod.Lod.src_blocks);
+  check Alcotest.int "bfs: one chain head" 1 (List.length lod.Lod.chain_heads)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "dom",
+        [
+          tc "dominators fig4" `Quick test_dominators_fig4;
+          tc "postdominators fig4" `Quick test_postdominators_fig4;
+        ] );
+      ("control-dep", [ tc "fig4" `Quick test_control_dep_fig4 ]);
+      ( "loops",
+        [
+          tc "fig4 loop" `Quick test_loops_fig4;
+          tc "nested (fw)" `Quick test_nested_loops;
+        ] );
+      ("reach", [ tc "fig4 reachability" `Quick test_reachability ]);
+      ( "defuse",
+        [ tc "φ traces terminators" `Quick
+            test_backward_slice_traces_phi_terminators ] );
+      ( "lod",
+        [
+          tc "fig4 sources and heads" `Quick test_lod_fig4;
+          tc "data LoD" `Quick test_lod_data_dependency;
+          tc "policies" `Quick test_lod_no_false_positive;
+          tc "kernel chain heads" `Quick test_lod_chain_heads_on_kernels;
+        ] );
+    ]

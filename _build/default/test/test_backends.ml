@@ -1,0 +1,149 @@
+(* The §7 application backends: the DeSC prefetcher ISA lowering (§7.1)
+   and the stream-dataflow CGRA lowering (§7.2). *)
+
+open Dae_core
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let spec_pipeline () =
+  Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig1 ())
+
+let dae_pipeline () = Pipeline.compile ~mode:Pipeline.Dae (Fixtures.fig1 ())
+
+(* --- DeSC (§7.1) --------------------------------------------------------------- *)
+
+let test_desc_opcode_mapping () =
+  let l = Desc_backend.lower (spec_pipeline ()) in
+  (* supply slice: one load_produce + one store_addr per iteration *)
+  check Alcotest.int "load_produce in supply" 1
+    (Desc_backend.count_opcode l.Desc_backend.supply "load_produce");
+  check Alcotest.int "store_addr in supply" 1
+    (Desc_backend.count_opcode l.Desc_backend.supply "store_addr");
+  (* compute slice: consume, complete, invalidate *)
+  check Alcotest.int "load_consume in compute" 1
+    (Desc_backend.count_opcode l.Desc_backend.compute "load_consume");
+  check Alcotest.int "store_val in compute" 1
+    (Desc_backend.count_opcode l.Desc_backend.compute "store_val");
+  check Alcotest.int "store_inv in compute" 1
+    (Desc_backend.count_opcode l.Desc_backend.compute "store_inv");
+  check Alcotest.bool "compute slice speculates" true
+    (Desc_backend.uses_speculation l.Desc_backend.compute);
+  check Alcotest.bool "supply slice does not invalidate" false
+    (Desc_backend.uses_speculation l.Desc_backend.supply)
+
+let test_desc_dae_has_no_store_inv () =
+  let l = Desc_backend.lower (dae_pipeline ()) in
+  check Alcotest.bool "no store_inv without speculation" false
+    (Desc_backend.uses_speculation l.Desc_backend.compute);
+  (* the DAE supply slice consumes — the paper's LoD synchronization *)
+  check Alcotest.bool "supply consumes under LoD" true
+    (Desc_backend.count_opcode l.Desc_backend.supply "load_consume" > 0)
+
+let test_desc_listing_structure () =
+  let l = Desc_backend.lower (spec_pipeline ()) in
+  let has_labels li =
+    List.exists
+      (fun (i : Desc_backend.instruction) -> i.Desc_backend.label <> None)
+      li.Desc_backend.instructions
+  in
+  check Alcotest.bool "supply has block labels" true (has_labels l.Desc_backend.supply);
+  check Alcotest.bool "rendering succeeds" true
+    (String.length (Fmt.str "%a" Desc_backend.pp l) > 0);
+  (* every block contributes a terminator: at least one ret in each slice *)
+  check Alcotest.bool "supply returns" true
+    (Desc_backend.count_opcode l.Desc_backend.supply "ret" >= 1)
+
+let test_desc_poison_count_matches_pipeline () =
+  let p =
+    Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig4 ())
+  in
+  let l = Desc_backend.lower p in
+  check Alcotest.int "store_inv = poison calls"
+    (Pipeline.poison_call_count p)
+    (Desc_backend.count_opcode l.Desc_backend.compute "store_inv")
+
+(* --- CGRA (§7.2) ---------------------------------------------------------------- *)
+
+let test_cgra_spec_streams_unconditional () =
+  let t = Cgra_backend.lower (spec_pipeline ()) in
+  check Alcotest.bool "streams fully decoupled after speculation" true
+    t.Cgra_backend.fully_decoupled;
+  check Alcotest.int "one clean port (the poison)" 1 t.Cgra_backend.clean_ports;
+  check Alcotest.int "two stream commands" 2
+    (List.length t.Cgra_backend.streams)
+
+let test_cgra_dae_streams_predicated () =
+  let t = Cgra_backend.lower (dae_pipeline ()) in
+  (* without speculation the store stream is predicated on the loaded
+     value — decoupling is lost *)
+  check Alcotest.bool "store stream predicated" false
+    t.Cgra_backend.fully_decoupled;
+  check Alcotest.int "no clean ports" 0 t.Cgra_backend.clean_ports
+
+let test_cgra_clean_ports_match_poisons () =
+  let p = Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
+  let t = Cgra_backend.lower p in
+  check Alcotest.int "clean ports = poison calls"
+    (Pipeline.poison_call_count p)
+    t.Cgra_backend.clean_ports;
+  check Alcotest.bool "rendering succeeds" true
+    (String.length (Fmt.str "%a" Cgra_backend.pp t) > 0)
+
+let test_cgra_predicates_cover_blocks () =
+  let f = Fixtures.fig4 () in
+  let preds = Cgra_backend.block_predicates f in
+  List.iter
+    (fun bid ->
+      check Alcotest.bool (Fmt.str "bb%d has a predicate" bid) true
+        (Hashtbl.mem preds bid))
+    f.Dae_ir.Func.layout;
+  (* the loop header is unconditional; a switch arm is not *)
+  check Alcotest.string "header predicate" "1" (Hashtbl.find preds 1);
+  check Alcotest.bool "switch arm predicated" true (Hashtbl.find preds 5 <> "1")
+
+let backend_props =
+  let open QCheck in
+  [
+    Test.make ~name:"DeSC lowering total over generated kernels" ~count:40
+      small_nat
+      (fun seed ->
+        let g = Dae_workloads.Gen.generate ~seed () in
+        let p =
+          Pipeline.compile ~mode:Pipeline.Spec g.Dae_workloads.Gen.func
+        in
+        let l = Desc_backend.lower p in
+        (* every poison lowered, nothing lost *)
+        Desc_backend.count_opcode l.Desc_backend.compute "store_inv"
+        = Pipeline.poison_call_count p);
+    Test.make ~name:"CGRA clean ports equal poisons on generated kernels"
+      ~count:40 small_nat
+      (fun seed ->
+        let g = Dae_workloads.Gen.generate ~seed () in
+        let p =
+          Pipeline.compile ~mode:Pipeline.Spec g.Dae_workloads.Gen.func
+        in
+        (Cgra_backend.lower p).Cgra_backend.clean_ports
+        = Pipeline.poison_call_count p);
+  ]
+
+let () =
+  Alcotest.run "backends"
+    [
+      ( "desc (§7.1)",
+        [
+          tc "opcode mapping" `Quick test_desc_opcode_mapping;
+          tc "DAE has no store_inv" `Quick test_desc_dae_has_no_store_inv;
+          tc "listing structure" `Quick test_desc_listing_structure;
+          tc "fig4 poison count" `Quick test_desc_poison_count_matches_pipeline;
+        ] );
+      ( "cgra (§7.2)",
+        [
+          tc "SPEC streams unconditional" `Quick
+            test_cgra_spec_streams_unconditional;
+          tc "DAE streams predicated" `Quick test_cgra_dae_streams_predicated;
+          tc "clean ports = poisons" `Quick test_cgra_clean_ports_match_poisons;
+          tc "predicates cover blocks" `Quick test_cgra_predicates_cover_blocks;
+        ] );
+      ("props", List.map QCheck_alcotest.to_alcotest backend_props);
+    ]

@@ -1,0 +1,170 @@
+(* The dynamic counterpart of the paper's §6 proof, as properties over
+   randomized structured kernels:
+
+   - sequential consistency: final memory and per-array commit order of the
+     decoupled machine equal the sequential interpreter's (checked inside
+     Machine.simulate on every run);
+   - Lemma 6.1: the CU's store-value/kill stream matches the AGU's request
+     stream mem-id by mem-id (Exec raises Stream_mismatch otherwise);
+   - deadlock freedom: the co-simulation always terminates (Exec raises
+     Deadlock on global non-progress);
+   - the timing replay also terminates and ORACLE never loses to SPEC. *)
+
+open Dae_workloads
+module G = Gen
+
+let archs =
+  [ Dae_sim.Machine.Dae; Dae_sim.Machine.Spec; Dae_sim.Machine.Oracle ]
+
+let simulate arch (g : Gen.t) =
+  Dae_sim.Machine.simulate arch g.G.func ~invocations:[ g.G.args ]
+    ~mem:(g.G.mem ())
+
+let qcheck_props =
+  let open QCheck in
+  let gen_seed = small_nat in
+  [
+    Test.make ~name:"seq consistency + lemma 6.1 + no deadlock (default gen)"
+      ~count:120 gen_seed
+      (fun seed ->
+        let g = G.generate ~seed () in
+        List.for_all (fun arch -> ignore (simulate arch g); true) archs);
+    Test.make ~name:"same, single-array kernels" ~count:60 gen_seed
+      (fun seed ->
+        let g = G.generate ~seed ~stored:1 ~index:1 ~max_stmts:8 () in
+        List.for_all (fun arch -> ignore (simulate arch g); true) archs);
+    Test.make ~name:"same, three stored arrays / deep bodies" ~count:40
+      gen_seed
+      (fun seed ->
+        let g = G.generate ~seed ~stored:3 ~index:2 ~max_stmts:20 () in
+        List.for_all (fun arch -> ignore (simulate arch g); true) archs);
+    Test.make
+      ~name:"same, with nested inner loops (Algorithm 1 must not enter them)"
+      ~count:40 gen_seed
+      (fun seed ->
+        let g = G.generate ~seed ~inner_loops:true ~max_stmts:16 () in
+        List.for_all (fun arch -> ignore (simulate arch g); true) archs);
+    Test.make ~name:"ORACLE is at least as fast as SPEC" ~count:50 gen_seed
+      (fun seed ->
+        let g = G.generate ~seed () in
+        let spec = simulate Dae_sim.Machine.Spec g in
+        let oracle = simulate Dae_sim.Machine.Oracle g in
+        oracle.Dae_sim.Machine.cycles <= spec.Dae_sim.Machine.cycles);
+    Test.make ~name:"SPEC commits exactly the golden store count" ~count:60
+      gen_seed
+      (fun seed ->
+        let g = G.generate ~seed () in
+        let golden_mem = g.G.mem () in
+        let golden =
+          Dae_ir.Interp.run g.G.func ~args:g.G.args ~mem:golden_mem
+        in
+        let r = simulate Dae_sim.Machine.Spec g in
+        r.Dae_sim.Machine.committed_stores
+        = List.length (Dae_ir.Interp.stores golden));
+    Test.make
+      ~name:"speculation never changes architected state (Spec = Dae memory)"
+      ~count:60 gen_seed
+      (fun seed ->
+        let g = G.generate ~seed () in
+        let dae = simulate Dae_sim.Machine.Dae g in
+        let spec = simulate Dae_sim.Machine.Spec g in
+        Dae_ir.Interp.Memory.equal dae.Dae_sim.Machine.memory
+          spec.Dae_sim.Machine.memory);
+    Test.make ~name:"transformed slices stay verifier-clean" ~count:60
+      gen_seed
+      (fun seed ->
+        let g = G.generate ~seed () in
+        (* compile calls Verify.check_exn internally with check:true *)
+        let p =
+          Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Spec g.G.func
+        in
+        ignore p;
+        true);
+    Test.make ~name:"mis-speculation rate is a valid probability" ~count:40
+      gen_seed
+      (fun seed ->
+        let g = G.generate ~seed () in
+        let r = simulate Dae_sim.Machine.Spec g in
+        r.Dae_sim.Machine.misspec_rate >= 0.
+        && r.Dae_sim.Machine.misspec_rate <= 1.);
+    Test.make ~name:"DAE mode never kills stores" ~count:40 gen_seed
+      (fun seed ->
+        let g = G.generate ~seed () in
+        let r = simulate Dae_sim.Machine.Dae g in
+        r.Dae_sim.Machine.killed_stores = 0);
+  ]
+
+(* Determinism: the same kernel and inputs give the same cycle count. *)
+let test_cycle_determinism () =
+  let g = G.generate ~seed:5 () in
+  let a = simulate Dae_sim.Machine.Spec g in
+  let b = simulate Dae_sim.Machine.Spec g in
+  Alcotest.(check int) "deterministic cycles" a.Dae_sim.Machine.cycles
+    b.Dae_sim.Machine.cycles
+
+(* A data-LoD op (the paper's A[f(A[i])]) is not speculated: the compile
+   succeeds, but the op stays synchronized — the AGU keeps a consume — and
+   the whole thing still executes sequentially consistently. *)
+let test_data_lod_unhoistable () =
+  let f =
+    Dae_ir.Parser.parse
+      {|
+      func dl(n: %0) {
+      bb0:
+        br bb1
+      bb1:
+        %1 = phi i32 [bb0: 0], [bb5: %2]
+        %3 = cmp slt %1, %0
+        br %3, bb2, bb3
+      bb2:
+        %4 = load A[%1] !mem0
+        %5 = cmp sgt %4, 3
+        %2 = add %1, 1
+        br %5, bb4, bb5
+      bb4:
+        %6 = and %4, 7
+        store A[%6], 1 !mem1
+        br bb5
+      bb5:
+        br bb1
+      bb3:
+        ret
+      }
+      |}
+  in
+  (* store address %6 depends on the loaded value %4 *)
+  let lod = Dae_core.Lod.analyze f in
+  Alcotest.(check bool) "data LoD detected" true (Dae_core.Lod.has_data_lod lod);
+  let p = Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Spec f in
+  (* the op was not speculated: the AGU keeps the synchronizing consume *)
+  let agu_consumes =
+    Dae_ir.Func.fold_instrs p.Dae_core.Pipeline.agu
+      (fun n (i : Dae_ir.Instr.t) ->
+        match i.Dae_ir.Instr.kind with
+        | Dae_ir.Instr.Consume_val _ -> n + 1
+        | _ -> n)
+      0
+  in
+  Alcotest.(check bool) "AGU still synchronized" true (agu_consumes > 0);
+  (* and the decoupled execution remains sequentially consistent *)
+  let mem =
+    Dae_ir.Interp.Memory.create
+      [ ("A", Array.init 16 (fun k -> (k * 5) mod 11)) ]
+  in
+  ignore
+    (Dae_sim.Machine.simulate Dae_sim.Machine.Spec f
+       ~invocations:[ [ ("n", Dae_ir.Types.Vint 16) ] ]
+       ~mem)
+
+let () =
+  Alcotest.run "consistency"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "cycles deterministic" `Quick
+            test_cycle_determinism;
+          Alcotest.test_case "data LoD rejected" `Quick
+            test_data_lod_unhoistable;
+        ] );
+      ("props", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

@@ -1,0 +1,411 @@
+(* IR substrate tests: types, instructions, CFG surgery, builder shapes,
+   the verifier, the interpreter, DCE and CFG simplification. *)
+
+open Dae_ir
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* --- instruction semantics ------------------------------------------------ *)
+
+let test_eval_binop () =
+  check Alcotest.int "add" 7 (Instr.eval_binop Instr.Add 3 4);
+  check Alcotest.int "sub" (-1) (Instr.eval_binop Instr.Sub 3 4);
+  check Alcotest.int "mul" 12 (Instr.eval_binop Instr.Mul 3 4);
+  check Alcotest.int "sdiv" 2 (Instr.eval_binop Instr.Sdiv 9 4);
+  check Alcotest.int "sdiv by zero" 0 (Instr.eval_binop Instr.Sdiv 9 0);
+  check Alcotest.int "srem" 1 (Instr.eval_binop Instr.Srem 9 4);
+  check Alcotest.int "srem by zero" 0 (Instr.eval_binop Instr.Srem 9 0);
+  check Alcotest.int "and" 0b100 (Instr.eval_binop Instr.And 0b110 0b101);
+  check Alcotest.int "or" 0b111 (Instr.eval_binop Instr.Or 0b110 0b101);
+  check Alcotest.int "xor" 0b011 (Instr.eval_binop Instr.Xor 0b110 0b101);
+  check Alcotest.int "shl" 24 (Instr.eval_binop Instr.Shl 3 3);
+  check Alcotest.int "ashr" 3 (Instr.eval_binop Instr.Ashr 24 3);
+  check Alcotest.int "ashr negative" (-2) (Instr.eval_binop Instr.Ashr (-8) 2);
+  check Alcotest.int "smin" 3 (Instr.eval_binop Instr.Smin 3 4);
+  check Alcotest.int "smax" 4 (Instr.eval_binop Instr.Smax 3 4)
+
+let test_eval_cmp () =
+  let t = Alcotest.bool in
+  check t "eq" true (Instr.eval_cmp Instr.Eq 4 4);
+  check t "ne" true (Instr.eval_cmp Instr.Ne 4 5);
+  check t "slt" true (Instr.eval_cmp Instr.Slt (-1) 0);
+  check t "sle" true (Instr.eval_cmp Instr.Sle 4 4);
+  check t "sgt" false (Instr.eval_cmp Instr.Sgt 4 4);
+  check t "sge" true (Instr.eval_cmp Instr.Sge 4 4)
+
+let test_operands_and_map () =
+  let i =
+    { Instr.id = 9;
+      kind = Instr.Store { arr = "a"; idx = Types.Var 1; value = Types.Var 2;
+                           mem = 0 } }
+  in
+  check Alcotest.int "store reads two operands" 2
+    (List.length (Instr.operands i));
+  let j =
+    Instr.map_operands
+      (function Types.Var v -> Types.Var (v + 10) | c -> c)
+      i
+  in
+  (match j.Instr.kind with
+  | Instr.Store { idx = Types.Var 11; value = Types.Var 12; _ } -> ()
+  | _ -> Alcotest.fail "map_operands did not rewrite the store");
+  check Alcotest.bool "store has side effect" true (Instr.has_side_effect i);
+  check Alcotest.bool "store produces no value" false (Instr.produces_value i);
+  check (Alcotest.option Alcotest.int) "mem id" (Some 0) (Instr.mem_id i)
+
+(* --- builder / CFG ----------------------------------------------------- *)
+
+(* for i < n: if a[i] > 0 then a[i] <- 0 — the paper's Figure 1(b) shape *)
+let fig1b () =
+  let b = Builder.create ~name:"fig1b" ~params:[ "n" ] in
+  let (_ : Types.operand list) =
+    Builder.counted_loop b ~n:(Builder.param b "n") (fun b ~i ~carried:_ ->
+        let v = Builder.load b "a" i in
+        let c = Builder.cmp b Instr.Sgt v (Builder.int 0) in
+        Builder.if_ b c
+          ~then_:(fun b -> Builder.store b "a" ~idx:i ~value:(Builder.int 0))
+          ();
+        [])
+  in
+  Builder.seal b
+
+let test_builder_canonical_loop () =
+  let f = fig1b () in
+  Verify.check_exn f;
+  let loops = Loops.compute f in
+  check Alcotest.int "one loop" 1 (List.length loops.Loops.loops);
+  (match Loops.check_canonical loops with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.bool "reducible" true (Loops.is_reducible f)
+
+let test_builder_carried_values () =
+  (* sum = Σ b[i] via a carried accumulator, checked through the interp *)
+  let b = Builder.create ~name:"sum" ~params:[ "n" ] in
+  let final =
+    Builder.counted_loop b ~n:(Builder.param b "n")
+      ~carried:[ (Types.I32, Builder.int 0) ]
+      (fun b ~i ~carried ->
+        match carried with
+        | [ acc ] -> [ Builder.add b acc (Builder.load b "b" i) ]
+        | _ -> assert false)
+  in
+  (match final with
+  | [ acc ] -> Builder.ret b (Some acc)
+  | _ -> assert false);
+  let f = Builder.seal b in
+  Verify.check_exn f;
+  let mem = Interp.Memory.create [ ("b", [| 3; 5; 7; 11 |]) ] in
+  let r = Interp.run f ~args:[ ("n", Types.Vint 4) ] ~mem in
+  (match r.Interp.ret with
+  | Some (Types.Vint 26) -> ()
+  | Some v -> Alcotest.failf "wrong sum: %a" Types.pp_value v
+  | None -> Alcotest.fail "no return value")
+
+let test_split_edge_preserves_ssa () =
+  let f = fig1b () in
+  (* split the loop backedge-adjacent edge: latch -> header has φs *)
+  let loops = Loops.compute f in
+  let l = List.hd loops.Loops.loops in
+  let nb = Func.split_edge f ~src:l.Loops.latch ~dst:l.Loops.header in
+  check Alcotest.bool "new block exists" true
+    (Func.mem_block f nb.Block.bid);
+  Verify.check_exn f
+
+let test_switch_successors () =
+  let b = Block.create ~term:(Block.Switch (Types.Var 0, [ 1; 2; 1; 3 ])) 0 in
+  check (Alcotest.list Alcotest.int) "dedup successors" [ 1; 2; 3 ]
+    (Block.successors b);
+  check (Alcotest.list Alcotest.int) "raw edges" [ 1; 2; 1; 3 ]
+    (Block.successor_edges b)
+
+(* --- verifier ----------------------------------------------------------- *)
+
+let test_verify_catches_undefined_use () =
+  let b = Builder.create ~name:"bad" ~params:[] in
+  let (_ : Types.operand) =
+    Builder.add b (Types.Var 999) (Builder.int 1)
+  in
+  Builder.ret b None;
+  match Verify.check (Builder.seal b) with
+  | Ok () -> Alcotest.fail "verifier accepted an undefined use"
+  | Error _ -> ()
+
+let test_verify_catches_missing_block () =
+  let b = Builder.create ~name:"bad2" ~params:[] in
+  Builder.br b 12345;
+  match Verify.check (Builder.seal b) with
+  | Ok () -> Alcotest.fail "verifier accepted a dangling branch"
+  | Error _ -> ()
+
+let test_verify_catches_phi_mismatch () =
+  let f =
+    Parser.parse
+      {|
+      func bad3(n: %0) {
+      bb0:
+        br bb1
+      bb1:
+        %1 = phi i32 [bb0: 0], [bb9: 1]
+        ret
+      }
+      |}
+  in
+  match Verify.check f with
+  | Ok () -> Alcotest.fail "verifier accepted inconsistent phi predecessors"
+  | Error _ -> ()
+
+let test_verify_catches_duplicate_def () =
+  let f =
+    Parser.parse
+      {|
+      func bad4(n: %0) {
+      bb0:
+        %1 = add %0, 1
+        %1 = add %0, 2
+        ret
+      }
+      |}
+  in
+  match Verify.check f with
+  | Ok () -> Alcotest.fail "verifier accepted a duplicate definition"
+  | Error _ -> ()
+
+let test_verify_use_before_def_across_blocks () =
+  let f =
+    Parser.parse
+      {|
+      func bad5(n: %0) {
+      bb0:
+        br %1, bb1, bb2
+      bb1:
+        %1 = cmp slt %0, 3
+        br bb2
+      bb2:
+        ret
+      }
+      |}
+  in
+  match Verify.check f with
+  | Ok () -> Alcotest.fail "verifier accepted a non-dominating use"
+  | Error _ -> ()
+
+(* --- interpreter --------------------------------------------------------- *)
+
+let test_interp_fig1b () =
+  let f = fig1b () in
+  let mem = Interp.Memory.create [ ("a", [| 4; -2; 0; 9 |]) ] in
+  let r = Interp.run f ~args:[ ("n", Types.Vint 4) ] ~mem in
+  check (Alcotest.array Alcotest.int) "thresholded" [| 0; -2; 0; 0 |]
+    (Interp.Memory.array mem "a");
+  check Alcotest.int "two stores traced" 2 (List.length (Interp.stores r));
+  check Alcotest.int "four loads traced" 4 (List.length (Interp.loads r))
+
+let test_interp_fuel () =
+  let b = Builder.create ~name:"inf" ~params:[] in
+  let loop = Builder.new_block b in
+  Builder.br b loop;
+  Builder.set_cur b loop;
+  Builder.br b loop;
+  let f = Builder.seal b in
+  match Interp.run ~fuel:100 f ~args:[] ~mem:(Interp.Memory.create []) with
+  | exception Interp.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected Out_of_fuel"
+
+let test_interp_rejects_channel_ops () =
+  let f =
+    Parser.parse
+      {|
+      func chan() {
+      bb0:
+        poison a !mem0
+        ret
+      }
+      |}
+  in
+  match Interp.run f ~args:[] ~mem:(Interp.Memory.create []) with
+  | exception Interp.Channel_op_in_sequential_code _ -> ()
+  | _ -> Alcotest.fail "expected rejection of channel op"
+
+let test_memory_bounds () =
+  let mem = Interp.Memory.create [ ("a", [| 1; 2 |]) ] in
+  (match Interp.Memory.get mem "a" 5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected out-of-bounds error");
+  match Interp.Memory.get mem "nope" 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected unknown-array error"
+
+(* --- DCE / simplify ------------------------------------------------------- *)
+
+let test_dce_removes_dead_keeps_effects () =
+  let b = Builder.create ~name:"dce" ~params:[ "n" ] in
+  let n = Builder.param b "n" in
+  let (_ : Types.operand) = Builder.add b n (Builder.int 1) in
+  (* dead *)
+  let (_ : Types.operand) = Builder.load b "a" n in
+  (* dead load: removable *)
+  Builder.store b "a" ~idx:(Builder.int 0) ~value:n;
+  (* kept *)
+  Builder.ret b None;
+  let f = Builder.seal b in
+  let removed = Dce.run_to_fixpoint f in
+  check Alcotest.int "two dead instrs removed" 2 removed;
+  check Alcotest.int "store survives" 1 (Func.fold_instrs f (fun n _ -> n + 1) 0)
+
+let test_simplify_folds_constant_branch () =
+  let f =
+    Parser.parse
+      {|
+      func cb(n: %0) {
+      bb0:
+        br true, bb1, bb2
+      bb1:
+        store a[0], 1 !mem0
+        ret
+      bb2:
+        store a[0], 2 !mem1
+        ret
+      }
+      |}
+  in
+  Simplify.run f;
+  Verify.check_exn f;
+  check Alcotest.bool "dead arm removed" false (Func.mem_block f 2);
+  check Alcotest.int "blocks merged" 1 (List.length f.Func.layout)
+
+let test_simplify_preserves_loop_latch () =
+  let f = fig1b () in
+  Dce.run_to_fixpoint f |> ignore;
+  Simplify.run f;
+  Verify.check_exn f;
+  let loops = Loops.compute f in
+  match Loops.check_canonical loops with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "loop form broken: %s" e
+
+let test_simplify_bypasses_empty_diamond () =
+  let f =
+    Parser.parse
+      {|
+      func dia(n: %0) {
+      bb0:
+        %1 = cmp slt %0, 5
+        br %1, bb1, bb2
+      bb1:
+        br bb3
+      bb2:
+        br bb3
+      bb3:
+        ret
+      }
+      |}
+  in
+  Dce.run_to_fixpoint f |> ignore;
+  Simplify.run f;
+  Dce.run_to_fixpoint f |> ignore;
+  Simplify.run f;
+  Verify.check_exn f;
+  check Alcotest.int "diamond collapsed to one block" 1
+    (List.length f.Func.layout)
+
+(* --- property tests -------------------------------------------------------- *)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"smin/smax are min/max" ~count:500
+      (pair small_signed_int small_signed_int)
+      (fun (a, b) ->
+        Instr.eval_binop Instr.Smin a b = min a b
+        && Instr.eval_binop Instr.Smax a b = max a b);
+    Test.make ~name:"cmp trichotomy" ~count:500
+      (pair small_signed_int small_signed_int)
+      (fun (a, b) ->
+        let lt = Instr.eval_cmp Instr.Slt a b in
+        let eq = Instr.eval_cmp Instr.Eq a b in
+        let gt = Instr.eval_cmp Instr.Sgt a b in
+        List.length (List.filter (fun x -> x) [ lt; eq; gt ]) = 1);
+    Test.make ~name:"map_operands identity preserves operands" ~count:200
+      (pair small_nat small_nat)
+      (fun (a, b) ->
+        let i =
+          { Instr.id = 0;
+            kind = Instr.Binop (Instr.Add, Types.Var a, Types.Var b) }
+        in
+        Instr.operands (Instr.map_operands (fun o -> o) i) = Instr.operands i);
+    Test.make ~name:"interp is deterministic on random kernels" ~count:40
+      small_nat
+      (fun seed ->
+        let g = Dae_workloads.Gen.generate ~seed () in
+        let run () =
+          let mem = g.Dae_workloads.Gen.mem () in
+          ignore
+            (Interp.run g.Dae_workloads.Gen.func
+               ~args:g.Dae_workloads.Gen.args ~mem);
+          mem
+        in
+        Interp.Memory.equal (run ()) (run ()));
+    Test.make ~name:"verifier accepts every generated kernel" ~count:60
+      small_nat
+      (fun seed ->
+        let g = Dae_workloads.Gen.generate ~seed () in
+        match Verify.check g.Dae_workloads.Gen.func with
+        | Ok () -> true
+        | Error _ -> false);
+    Test.make ~name:"DCE never removes stores" ~count:40 small_nat
+      (fun seed ->
+        let g = Dae_workloads.Gen.generate ~seed () in
+        let f = g.Dae_workloads.Gen.func in
+        let count_stores f =
+          Func.fold_instrs f
+            (fun n (i : Instr.t) ->
+              match i.Instr.kind with Instr.Store _ -> n + 1 | _ -> n)
+            0
+        in
+        let before = count_stores f in
+        ignore (Dce.run_to_fixpoint f);
+        count_stores f = before);
+  ]
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "instr",
+        [
+          tc "eval_binop" `Quick test_eval_binop;
+          tc "eval_cmp" `Quick test_eval_cmp;
+          tc "operands and map" `Quick test_operands_and_map;
+        ] );
+      ( "builder",
+        [
+          tc "canonical loop" `Quick test_builder_canonical_loop;
+          tc "carried values" `Quick test_builder_carried_values;
+          tc "split edge keeps SSA" `Quick test_split_edge_preserves_ssa;
+          tc "switch successors" `Quick test_switch_successors;
+        ] );
+      ( "verify",
+        [
+          tc "undefined use" `Quick test_verify_catches_undefined_use;
+          tc "missing block" `Quick test_verify_catches_missing_block;
+          tc "phi mismatch" `Quick test_verify_catches_phi_mismatch;
+          tc "duplicate def" `Quick test_verify_catches_duplicate_def;
+          tc "non-dominating use" `Quick test_verify_use_before_def_across_blocks;
+        ] );
+      ( "interp",
+        [
+          tc "fig1b semantics" `Quick test_interp_fig1b;
+          tc "fuel" `Quick test_interp_fuel;
+          tc "rejects channel ops" `Quick test_interp_rejects_channel_ops;
+          tc "memory bounds" `Quick test_memory_bounds;
+        ] );
+      ( "opt",
+        [
+          tc "dce" `Quick test_dce_removes_dead_keeps_effects;
+          tc "fold constant branch" `Quick test_simplify_folds_constant_branch;
+          tc "loop latch preserved" `Quick test_simplify_preserves_loop_latch;
+          tc "empty diamond" `Quick test_simplify_bypasses_empty_diamond;
+        ] );
+      ("props", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

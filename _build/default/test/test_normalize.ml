@@ -1,0 +1,160 @@
+(* Front-end normalization: node splitting for irreducible control flow
+   (§3.2, Peterson et al.) and loop canonicalization (single combined
+   latch). *)
+
+open Dae_ir
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+(* A two-entry cycle: bb1 <-> bb2, both reachable from bb0 — the canonical
+   irreducible shape. The loop mutates x[0], so it terminates and its
+   semantics are observable. *)
+let irreducible_src =
+  {|
+  func irr(n: %0) {
+  bb0:
+    %1 = cmp slt %0, 10
+    br %1, bb1, bb2
+  bb1:
+    %2 = load x[0] !mem0
+    %3 = add %2, 1
+    store x[0], %3 !mem1
+    %4 = cmp slt %3, 5
+    br %4, bb2, bb3
+  bb2:
+    %5 = load x[0] !mem2
+    %6 = add %5, 2
+    store x[0], %6 !mem3
+    %7 = cmp slt %6, 8
+    br %7, bb1, bb3
+  bb3:
+    %8 = load x[0] !mem4
+    store y[0], %8 !mem5
+    ret
+  }
+  |}
+
+let test_detects_irreducibility () =
+  let f = Parser.parse irreducible_src in
+  Verify.check_exn f;
+  check Alcotest.bool "irreducible" false (Loops.is_reducible f);
+  check Alcotest.bool "witness edge found" true
+    (Node_split.find_irreducible_edge f <> None)
+
+let run_mem (f : Func.t) n =
+  let mem = Interp.Memory.create [ ("x", [| 0 |]); ("y", [| -1 |]) ] in
+  ignore (Interp.run f ~args:[ ("n", Types.Vint n) ] ~mem);
+  mem
+
+let test_split_makes_reducible_and_preserves_semantics () =
+  List.iter
+    (fun n ->
+      let original = Parser.parse irreducible_src in
+      let golden = run_mem original n in
+      let f = Parser.parse irreducible_src in
+      let splits = Node_split.run f in
+      check Alcotest.bool "at least one split" true (splits >= 1);
+      Verify.check_exn f;
+      check Alcotest.bool "now reducible" true (Loops.is_reducible f);
+      let after = run_mem f n in
+      check Alcotest.bool
+        (Fmt.str "same memory for n=%d" n)
+        true
+        (Interp.Memory.equal golden after))
+    [ 3; 15 ]
+
+let test_split_noop_on_reducible () =
+  let f = Fixtures.fig4 () in
+  check Alcotest.int "no splits needed" 0 (Node_split.run f)
+
+let test_full_pipeline_on_irreducible_input () =
+  (* Pipeline.compile normalizes automatically; the decoupled execution
+     must still match the golden model *)
+  let f = Parser.parse irreducible_src in
+  List.iter
+    (fun arch ->
+      let r =
+        Dae_sim.Machine.simulate arch f
+          ~invocations:[ [ ("n", Types.Vint 3) ] ]
+          ~mem:(Interp.Memory.create [ ("x", [| 0 |]); ("y", [| -1 |]) ])
+      in
+      ignore r)
+    [ Dae_sim.Machine.Dae; Dae_sim.Machine.Spec ]
+
+(* --- loop canonicalization ------------------------------------------------- *)
+
+(* Two backedges into one header (a `continue`-like shape). *)
+let multi_latch_src =
+  {|
+  func ml(n: %0) {
+  bb0:
+    br bb1
+  bb1:
+    %1 = phi i32 [bb0: 0], [bb2: %2], [bb3: %3]
+    %4 = cmp slt %1, %0
+    br %4, bb2, bb4
+  bb2:
+    %2 = add %1, 1
+    %5 = load x[%1] !mem0
+    %6 = cmp sgt %5, 50
+    br %6, bb1, bb3
+  bb3:
+    %3 = add %1, 2
+    store x[%1], %3 !mem1
+    br bb1
+  bb4:
+    ret
+  }
+  |}
+
+let test_loop_canon () =
+  let f = Parser.parse multi_latch_src in
+  Verify.check_exn f;
+  (match Loops.check_canonical (Loops.compute f) with
+  | Ok () -> Alcotest.fail "expected a multi-latch loop"
+  | Error _ -> ());
+  let golden =
+    let mem = Interp.Memory.create [ ("x", Array.init 16 (fun i -> i * 9)) ] in
+    ignore (Interp.run f ~args:[ ("n", Types.Vint 10) ] ~mem);
+    mem
+  in
+  let added = Loop_canon.run f in
+  check Alcotest.int "one combined latch" 1 added;
+  Verify.check_exn f;
+  (match Loops.check_canonical (Loops.compute f) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "still non-canonical: %s" e);
+  let mem = Interp.Memory.create [ ("x", Array.init 16 (fun i -> i * 9)) ] in
+  ignore (Interp.run f ~args:[ ("n", Types.Vint 10) ] ~mem);
+  check Alcotest.bool "semantics preserved" true (Interp.Memory.equal golden mem)
+
+let test_canon_then_pipeline () =
+  let f = Parser.parse multi_latch_src in
+  List.iter
+    (fun arch ->
+      ignore
+        (Dae_sim.Machine.simulate arch f
+           ~invocations:[ [ ("n", Types.Vint 10) ] ]
+           ~mem:(Interp.Memory.create [ ("x", Array.init 16 (fun i -> i * 9)) ])))
+    [ Dae_sim.Machine.Dae; Dae_sim.Machine.Spec ]
+
+let () =
+  Alcotest.run "normalize"
+    [
+      ( "node-split",
+        [
+          tc "detects irreducibility" `Quick test_detects_irreducibility;
+          tc "split preserves semantics" `Quick
+            test_split_makes_reducible_and_preserves_semantics;
+          tc "no-op on reducible" `Quick test_split_noop_on_reducible;
+          tc "pipeline handles irreducible input" `Quick
+            test_full_pipeline_on_irreducible_input;
+        ] );
+      ( "loop-canon",
+        [
+          tc "multi-latch merged" `Quick test_loop_canon;
+          tc "pipeline handles multi-latch input" `Quick
+            test_canon_then_pipeline;
+        ] );
+    ]

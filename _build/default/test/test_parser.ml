@@ -1,0 +1,176 @@
+(* Textual IR parser: hand-written grammar cases, error reporting, and the
+   print→parse→print round-trip property over random generated kernels and
+   over every compiled slice of the benchmark suite. *)
+
+open Dae_ir
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let roundtrip_equal (f : Func.t) =
+  let s1 = Printer.func_to_string f in
+  let f2 = Parser.parse s1 in
+  let s2 = Printer.func_to_string f2 in
+  (s1 = s2, s1, s2)
+
+let assert_roundtrip f =
+  let ok, s1, s2 = roundtrip_equal f in
+  if not ok then
+    Alcotest.failf "round trip differs@.first:@.%s@.second:@.%s" s1 s2
+
+let test_every_instruction_form () =
+  let src =
+    {|
+    func all(n: %0, m: %1) {
+    bb0:
+      %2 = add %0, %1
+      %3 = sub %2, 1
+      %4 = mul %3, %3
+      %5 = sdiv %4, 3
+      %6 = srem %5, 7
+      %7 = and %6, 15
+      %8 = or %7, 1
+      %9 = xor %8, %2
+      %10 = shl %9, 2
+      %11 = ashr %10, 1
+      %12 = smin %11, %0
+      %13 = smax %12, %1
+      %14 = cmp slt %13, 100
+      %15 = select %14, %13, 0
+      %16 = not %14
+      %17 = load a[%15] !mem0
+      store a[%15], %17 !mem1
+      send_ld_addr a[%15] !mem2
+      send_st_addr a[%15] !mem3
+      %18 = consume_val a !mem2
+      produce_val a, %18 !mem3
+      poison a !mem3
+      br %16, bb1, bb2
+    bb1:
+      switch %15, bb2, bb1, bb2
+    bb2:
+      ret %15
+    }
+    |}
+  in
+  let f = Parser.parse src in
+  assert_roundtrip f;
+  check Alcotest.int "three blocks" 3 (List.length f.Func.layout)
+
+let test_phi_parsing () =
+  let src =
+    {|
+    func p(n: %0) {
+    bb0:
+      br bb1
+    bb1:
+      %1 = phi i32 [bb0: 0], [bb1: %2]
+      %3 = phi i1 [bb0: true], [bb1: false]
+      %2 = add %1, 1
+      %4 = cmp slt %2, %0
+      br %4, bb1, bb2
+    bb2:
+      ret %1
+    }
+    |}
+  in
+  let f = Parser.parse src in
+  assert_roundtrip f;
+  let b1 = Func.block f 1 in
+  check Alcotest.int "two phis" 2 (List.length b1.Block.phis)
+
+let test_negative_constants_and_comments () =
+  let f =
+    Parser.parse
+      {|
+      ; leading comment
+      func neg() {
+      bb0: ; trailing comment
+        %0 = add -5, -1
+        ret %0
+      }
+      |}
+  in
+  assert_roundtrip f;
+  let r = Interp.run f ~args:[] ~mem:(Interp.Memory.create []) in
+  match r.Interp.ret with
+  | Some (Types.Vint -6) -> ()
+  | _ -> Alcotest.fail "negative constants mis-parsed"
+
+let expect_error src =
+  match Parser.parse_result src with
+  | Ok _ -> Alcotest.failf "expected parse error for %s" src
+  | Error _ -> ()
+
+let test_errors () =
+  expect_error "func f() { }";
+  (* no blocks *)
+  expect_error "func f() { bb0: }";
+  (* no terminator *)
+  expect_error "func f() { bb0: frobnicate a, b\n ret }";
+  expect_error "func f() { bb0: ret ret }";
+  expect_error "func f() { bb0: %1 = cmp weird %0, 1\n ret }";
+  expect_error "func f() { bb0: store a[0] 1 !mem0\n ret }" (* missing comma *)
+
+let test_fresh_ids_after_parse () =
+  let f =
+    Parser.parse
+      {|
+      func fr(n: %0) {
+      bb0:
+        %7 = add %0, 1
+        store a[%7], %7 !mem4
+        ret
+      }
+      |}
+  in
+  Alcotest.(check bool) "fresh vid above max" true (Func.fresh_vid f > 7);
+  Alcotest.(check bool) "fresh mem above max" true (Func.fresh_mem f > 4)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"print/parse round trip on generated kernels" ~count:80
+      small_nat
+      (fun seed ->
+        let g = Dae_workloads.Gen.generate ~seed () in
+        let ok, _, _ = roundtrip_equal g.Dae_workloads.Gen.func in
+        ok);
+    Test.make ~name:"round trip on compiled AGU/CU slices" ~count:25 small_nat
+      (fun seed ->
+        let g = Dae_workloads.Gen.generate ~seed () in
+        let p =
+          Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Spec
+            g.Dae_workloads.Gen.func
+        in
+        let ok1, _, _ = roundtrip_equal p.Dae_core.Pipeline.agu in
+        let ok2, _, _ = roundtrip_equal p.Dae_core.Pipeline.cu in
+        ok1 && ok2);
+    Test.make ~name:"parsed kernel interprets identically" ~count:40 small_nat
+      (fun seed ->
+        let g = Dae_workloads.Gen.generate ~seed () in
+        let f2 =
+          Parser.parse (Printer.func_to_string g.Dae_workloads.Gen.func)
+        in
+        let mem1 = g.Dae_workloads.Gen.mem () in
+        let mem2 = g.Dae_workloads.Gen.mem () in
+        ignore
+          (Interp.run g.Dae_workloads.Gen.func ~args:g.Dae_workloads.Gen.args
+             ~mem:mem1);
+        ignore (Interp.run f2 ~args:g.Dae_workloads.Gen.args ~mem:mem2);
+        Interp.Memory.equal mem1 mem2);
+  ]
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "grammar",
+        [
+          tc "every instruction form" `Quick test_every_instruction_form;
+          tc "phis" `Quick test_phi_parsing;
+          tc "negatives and comments" `Quick test_negative_constants_and_comments;
+          tc "errors" `Quick test_errors;
+          tc "fresh ids" `Quick test_fresh_ids_after_parse;
+        ] );
+      ("props", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

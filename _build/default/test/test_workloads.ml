@@ -1,0 +1,208 @@
+(* Workloads: graph generators, reference algorithms, all nine benchmark
+   kernels across all four architectures, the §8.3.1 synthetic template,
+   and the Table-2 mis-speculation instrumentation. *)
+
+open Dae_workloads
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+(* --- graphs ------------------------------------------------------------------- *)
+
+let test_graph_determinism () =
+  let a = Graph.email_eu_core_like () in
+  let b = Graph.email_eu_core_like () in
+  check Alcotest.int "nodes" 1005 a.Graph.nodes;
+  check Alcotest.int "edges" 25571 (Graph.edges a);
+  check Alcotest.bool "deterministic" true
+    (a.Graph.src = b.Graph.src && a.Graph.dst = b.Graph.dst
+   && a.Graph.weight = b.Graph.weight)
+
+let test_graph_bounds () =
+  let g = Graph.small () in
+  Array.iter
+    (fun u -> check Alcotest.bool "src in range" true (u >= 0 && u < g.Graph.nodes))
+    g.Graph.src;
+  Array.iter
+    (fun v -> check Alcotest.bool "dst in range" true (v >= 0 && v < g.Graph.nodes))
+    g.Graph.dst;
+  Array.iter
+    (fun w -> check Alcotest.bool "weight positive" true (w > 0))
+    g.Graph.weight
+
+let test_bfs_reference_properties () =
+  let g = Graph.small () in
+  let dist, levels = Graph.bfs_reference g ~source:0 in
+  check Alcotest.int "source at distance 0" 0 dist.(0);
+  check Alcotest.bool "levels positive" true (levels > 0);
+  (* every edge relaxes: dist(v) ≤ dist(u)+1 when both reached *)
+  for e = 0 to Graph.edges g - 1 do
+    let du = dist.(g.Graph.src.(e)) and dv = dist.(g.Graph.dst.(e)) in
+    if du >= 0 then
+      check Alcotest.bool "bfs edge condition" true (dv >= 0 && dv <= du + 1)
+  done
+
+let test_sssp_reference_vs_bfs () =
+  (* with all weights forced to 1, sssp distances equal bfs distances *)
+  let g = Graph.small () in
+  let g1 = { g with Graph.weight = Array.make (Graph.edges g) 1 } in
+  let bfs_dist, _ = Graph.bfs_reference g1 ~source:0 in
+  let sssp_dist, _ = Graph.sssp_reference g1 ~source:0 in
+  Array.iteri
+    (fun v d ->
+      let expected = if d < 0 then Graph.inf else d in
+      check Alcotest.int (Fmt.str "node %d" v) expected sssp_dist.(v))
+    bfs_dist
+
+let test_bc_reference_sigma_source () =
+  let g = Graph.small () in
+  let _, sigma, _ = Graph.bc_reference g ~source:0 in
+  check Alcotest.int "σ(source) = 1" 1 sigma.(0)
+
+(* --- all kernels × all architectures --------------------------------------------- *)
+
+let test_kernel_all_archs (k : Kernels.t) () =
+  let f = k.Kernels.build () in
+  List.iter
+    (fun arch ->
+      let r =
+        Dae_sim.Machine.simulate arch f
+          ~invocations:(k.Kernels.invocations ())
+          ~mem:(k.Kernels.init_mem ())
+      in
+      match k.Kernels.check r.Dae_sim.Machine.memory with
+      | Ok () -> ()
+      | Error msg ->
+        Alcotest.failf "%s/%s: %s" k.Kernels.name
+          (Dae_sim.Machine.arch_name arch)
+          msg)
+    [ Dae_sim.Machine.Sta; Dae_sim.Machine.Dae; Dae_sim.Machine.Spec;
+      Dae_sim.Machine.Oracle ]
+
+let kernel_cases =
+  List.map
+    (fun (k : Kernels.t) ->
+      tc (Fmt.str "%s × 4 architectures" k.Kernels.name) `Quick
+        (test_kernel_all_archs k))
+    (Kernels.test_suite ())
+
+let test_speedup_shape_on_loD_kernels () =
+  (* the headline claim at small scale: DAE loses decoupling and SPEC
+     restores it *)
+  List.iter
+    (fun (k : Kernels.t) ->
+      let f = k.Kernels.build () in
+      let run arch =
+        (Dae_sim.Machine.simulate arch f
+           ~invocations:(k.Kernels.invocations ())
+           ~mem:(k.Kernels.init_mem ()))
+          .Dae_sim.Machine.cycles
+      in
+      let dae = run Dae_sim.Machine.Dae in
+      let spec = run Dae_sim.Machine.Spec in
+      let oracle = run Dae_sim.Machine.Oracle in
+      check Alcotest.bool (k.Kernels.name ^ ": SPEC beats DAE") true
+        (spec < dae);
+      check Alcotest.bool (k.Kernels.name ^ ": ORACLE bounds SPEC") true
+        (oracle <= spec))
+    [ Kernels.hist ~n:200 ~buckets:16 ~cap:20 (); Kernels.thr ~n:200 () ]
+
+(* --- synthetic nested template (§8.3.1) -------------------------------------------- *)
+
+let test_synthetic_poison_counts () =
+  List.iter
+    (fun depth ->
+      let k = Synthetic.workload ~n:50 ~depth () in
+      let p =
+        Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Spec
+          (k.Kernels.build ())
+      in
+      (* paper: n poison blocks and n(n+1)/2 poison calls *)
+      check Alcotest.int
+        (Fmt.str "depth %d: n(n+1)/2 poison calls" depth)
+        (depth * (depth + 1) / 2)
+        (Dae_core.Pipeline.poison_call_count p))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_synthetic_correct_all_archs () =
+  List.iter
+    (fun depth -> test_kernel_all_archs (Synthetic.workload ~n:60 ~depth ()) ())
+    [ 1; 2; 4 ]
+
+let test_synthetic_area_grows_with_depth () =
+  let cu_area depth =
+    let k = Synthetic.workload ~n:50 ~depth () in
+    let r =
+      Dae_sim.Machine.simulate Dae_sim.Machine.Spec (k.Kernels.build ())
+        ~invocations:(k.Kernels.invocations ())
+        ~mem:(k.Kernels.init_mem ())
+    in
+    r.Dae_sim.Machine.area.Dae_sim.Area.cu
+  in
+  check Alcotest.bool "CU area grows with nesting" true
+    (cu_area 6 > cu_area 2)
+
+(* --- Table 2 instrumentation --------------------------------------------------------- *)
+
+let test_misspec_rates_hit_targets () =
+  List.iter
+    (fun rate ->
+      let k = Misspec.thr ~n:800 ~rate_percent:rate () in
+      let r =
+        Dae_sim.Machine.simulate Dae_sim.Machine.Spec (k.Kernels.build ())
+          ~invocations:(k.Kernels.invocations ())
+          ~mem:(k.Kernels.init_mem ())
+      in
+      (match k.Kernels.check r.Dae_sim.Machine.memory with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      let measured = 100. *. r.Dae_sim.Machine.misspec_rate in
+      check Alcotest.bool
+        (Fmt.str "thr rate %d%% (measured %.0f%%)" rate measured)
+        true
+        (abs_float (measured -. float_of_int rate) < 8.))
+    [ 0; 20; 40; 60; 80; 100 ]
+
+let test_misspec_cost_is_flat () =
+  (* Table 2's claim: SPEC cycles do not correlate with the rate *)
+  let cycles rate =
+    let k = Misspec.hist ~n:500 ~rate_percent:rate () in
+    (Dae_sim.Machine.simulate Dae_sim.Machine.Spec (k.Kernels.build ())
+       ~invocations:(k.Kernels.invocations ())
+       ~mem:(k.Kernels.init_mem ()))
+      .Dae_sim.Machine.cycles
+  in
+  let cs = List.map cycles [ 0; 50; 100 ] in
+  let mx = List.fold_left max 0 cs and mn = List.fold_left min max_int cs in
+  check Alcotest.bool
+    (Fmt.str "flat cycles %a" Fmt.(list ~sep:(any ",") int) cs)
+    true
+    (float_of_int mx /. float_of_int mn < 1.25)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "graphs",
+        [
+          tc "determinism and scale" `Quick test_graph_determinism;
+          tc "bounds" `Quick test_graph_bounds;
+          tc "bfs reference" `Quick test_bfs_reference_properties;
+          tc "sssp vs bfs on unit weights" `Quick test_sssp_reference_vs_bfs;
+          tc "bc sigma" `Quick test_bc_reference_sigma_source;
+        ] );
+      ("kernels", kernel_cases);
+      ( "shapes",
+        [ tc "SPEC beats DAE; ORACLE bounds SPEC" `Quick
+            test_speedup_shape_on_loD_kernels ] );
+      ( "synthetic",
+        [
+          tc "poison call formula n(n+1)/2" `Quick test_synthetic_poison_counts;
+          tc "correct at depths 1,2,4" `Quick test_synthetic_correct_all_archs;
+          tc "area grows with depth" `Quick test_synthetic_area_grows_with_depth;
+        ] );
+      ( "misspec",
+        [
+          tc "rates hit targets" `Quick test_misspec_rates_hit_targets;
+          tc "cost flat across rates" `Quick test_misspec_cost_is_flat;
+        ] );
+    ]
