@@ -1,11 +1,20 @@
 (* Evaluation harness: regenerates every table and figure of the paper's
    §8 from the simulator, plus the ablations DESIGN.md calls out and a set
-   of Bechamel micro-benchmarks of the compiler passes themselves
-   (one Test.make per experiment).
+   of Bechamel micro-benchmarks of the compiler passes themselves.
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- fig6    # one section
-     sections: fig6 table1 table2 fig7 ablation micro
+     dune exec bench/main.exe                       # everything
+     dune exec bench/main.exe -- fig6 table1        # some sections
+     dune exec bench/main.exe -- --jobs 4 --json out.json fig6
+     sections: fig6 table1 table2 fig7 ablation micro smoke
+
+   Every section first *declares* its simulation jobs (kernel × arch ×
+   config); the distinct jobs are fanned out once over a work-stealing
+   domain pool (Dae_sim.Runner) with a per-domain memoized
+   compile+simulate cache, so sections that share points (fig6 and
+   table1 use the same paper-suite runs) pay for them once. The
+   per-job results — cycles, mis-speculation rate, area, wall-clock —
+   are written to BENCH_1.json so the perf trajectory is machine-
+   readable from PR 1 onward.
 
    Cycle counts are this repository's simulator, not the paper's ModelSim
    runs; EXPERIMENTS.md records the side-by-side comparison of shapes. *)
@@ -16,34 +25,123 @@ let archs =
   [ Dae_sim.Machine.Sta; Dae_sim.Machine.Dae; Dae_sim.Machine.Spec;
     Dae_sim.Machine.Oracle ]
 
-let simulate ?cfg arch (k : Kernels.t) =
-  let r =
-    Dae_sim.Machine.simulate ?cfg arch
+(* --- simulation jobs -------------------------------------------------------- *)
+
+type sim_out = {
+  o_kernel : string; (* kernel instance id, e.g. "hist" or "nest4~n400" *)
+  o_arch : string;
+  o_cfg : string;
+  o_cycles : int;
+  o_misspec : float;
+  o_area_total : int;
+  o_area_cu : int;
+  o_area_agu : int;
+  o_pblk : int;
+  o_pcall : int;
+  o_killed : int;
+  o_committed : int;
+  o_wall_s : float;
+}
+
+type sim_req = {
+  r_key : string;
+  r_kernel : string;
+  r_arch : Dae_sim.Machine.arch;
+  r_cfg : Dae_sim.Config.t;
+  r_mk : unit -> Kernels.t; (* built fresh in the worker domain *)
+}
+
+let req ?(cfg = Dae_sim.Config.default) ~kernel ~arch mk =
+  {
+    r_key =
+      Printf.sprintf "%s:%s:%s" kernel
+        (Dae_sim.Machine.arch_name arch)
+        (Dae_sim.Config.key cfg);
+    r_kernel = kernel;
+    r_arch = arch;
+    r_cfg = cfg;
+    r_mk = mk;
+  }
+
+let run_req (r : sim_req) : sim_out =
+  let t0 = Unix.gettimeofday () in
+  let k = r.r_mk () in
+  let res =
+    Dae_sim.Machine.simulate ~cfg:r.r_cfg r.r_arch
       (k.Kernels.build ())
       ~invocations:(k.Kernels.invocations ())
       ~mem:(k.Kernels.init_mem ())
   in
-  (match k.Kernels.check r.Dae_sim.Machine.memory with
+  (match k.Kernels.check res.Dae_sim.Machine.memory with
   | Ok () -> ()
   | Error msg ->
     Fmt.failwith "%s/%s failed its reference check: %s" k.Kernels.name
-      (Dae_sim.Machine.arch_name arch)
+      (Dae_sim.Machine.arch_name r.r_arch)
       msg);
-  r
+  let pblk, pcall =
+    match res.Dae_sim.Machine.pipeline with
+    | Some p ->
+      (Dae_core.Pipeline.poison_block_count p,
+       Dae_core.Pipeline.poison_call_count p)
+    | None -> (0, 0)
+  in
+  {
+    o_kernel = r.r_kernel;
+    o_arch = Dae_sim.Machine.arch_name r.r_arch;
+    o_cfg = Dae_sim.Config.key r.r_cfg;
+    o_cycles = res.Dae_sim.Machine.cycles;
+    o_misspec = res.Dae_sim.Machine.misspec_rate;
+    o_area_total = res.Dae_sim.Machine.area.Dae_sim.Area.total;
+    o_area_cu = res.Dae_sim.Machine.area.Dae_sim.Area.cu;
+    o_area_agu = res.Dae_sim.Machine.area.Dae_sim.Area.agu;
+    o_pblk = pblk;
+    o_pcall = pcall;
+    o_killed = res.Dae_sim.Machine.killed_stores;
+    o_committed = res.Dae_sim.Machine.committed_stores;
+    o_wall_s = Unix.gettimeofday () -. t0;
+  }
+
+(* Filled once by the pool; sections read it through [get]. *)
+let table : (string, sim_out) Hashtbl.t = Hashtbl.create 128
+
+let get r =
+  match Hashtbl.find_opt table r.r_key with
+  | Some o -> o
+  | None -> Fmt.failwith "bench: job %s was not scheduled" r.r_key
 
 let harmonic_mean xs =
   let xs = List.filter (fun x -> x > 0.) xs in
   float_of_int (List.length xs) /. List.fold_left (fun a x -> a +. (1. /. x)) 0. xs
 
-(* --- Figure 6: speedup over STA ------------------------------------------- *)
+(* --- Figure 6 / Table 1: the paper suite over all four architectures ------- *)
 
-let fig6 () =
+let suite_reqs () =
+  List.concat_map
+    (fun (k : Kernels.t) ->
+      List.map
+        (fun arch ->
+          req ~kernel:k.Kernels.name ~arch (fun () ->
+              match Kernels.by_name (Kernels.paper_suite ()) k.Kernels.name with
+              | Some k -> k
+              | None -> assert false))
+        archs)
+    (Kernels.paper_suite ())
+
+let suite_req name arch =
+  req ~kernel:name ~arch (fun () ->
+      match Kernels.by_name (Kernels.paper_suite ()) name with
+      | Some k -> k
+      | None -> assert false)
+
+let fig6_print () =
   Fmt.pr "@.== Figure 6: performance normalized to STA (higher is better) ==@.";
   Fmt.pr "%-6s %10s %10s %10s@." "kernel" "DAE" "SPEC" "ORACLE";
   let speedups = ref [] in
   List.iter
     (fun (k : Kernels.t) ->
-      let cycles arch = float_of_int (simulate arch k).Dae_sim.Machine.cycles in
+      let cycles arch =
+        float_of_int (get (suite_req k.Kernels.name arch)).o_cycles
+      in
       let sta = cycles Dae_sim.Machine.Sta in
       let norm arch = sta /. cycles arch in
       let spec = norm Dae_sim.Machine.Spec in
@@ -55,9 +153,7 @@ let fig6 () =
   Fmt.pr "SPEC harmonic-mean speedup over STA: %.2fx (paper: 1.9x avg, up to 3x)@."
     (harmonic_mean !speedups)
 
-(* --- Table 1: absolute cycles and area -------------------------------------- *)
-
-let table1 () =
+let table1_print () =
   Fmt.pr "@.== Table 1: absolute performance and area ==@.";
   Fmt.pr "%-6s %6s %6s %8s | %10s %10s %10s %10s | %7s %7s %7s %7s@."
     "kernel" "pblk" "pcall" "misspec" "STA" "DAE" "SPEC" "ORACLE" "aSTA"
@@ -65,21 +161,13 @@ let table1 () =
   let ratios = ref ([], [], [], [], [], []) in
   List.iter
     (fun (k : Kernels.t) ->
-      let results = List.map (fun a -> (a, simulate a k)) archs in
-      let get a = List.assoc a results in
-      let cycles a = (get a).Dae_sim.Machine.cycles in
-      let area a = (get a).Dae_sim.Machine.area.Dae_sim.Area.total in
-      let spec = get Dae_sim.Machine.Spec in
-      let pblk, pcall =
-        match spec.Dae_sim.Machine.pipeline with
-        | Some p ->
-          ( Dae_core.Pipeline.poison_block_count p,
-            Dae_core.Pipeline.poison_call_count p )
-        | None -> (0, 0)
-      in
+      let out arch = get (suite_req k.Kernels.name arch) in
+      let cycles a = (out a).o_cycles in
+      let area a = (out a).o_area_total in
+      let spec = out Dae_sim.Machine.Spec in
       Fmt.pr "%-6s %6d %6d %7.0f%% | %10d %10d %10d %10d | %7d %7d %7d %7d@."
-        k.Kernels.name pblk pcall
-        (100. *. spec.Dae_sim.Machine.misspec_rate)
+        k.Kernels.name spec.o_pblk spec.o_pcall
+        (100. *. spec.o_misspec)
         (cycles Dae_sim.Machine.Sta) (cycles Dae_sim.Machine.Dae)
         (cycles Dae_sim.Machine.Spec) (cycles Dae_sim.Machine.Oracle)
         (area Dae_sim.Machine.Sta) (area Dae_sim.Machine.Dae)
@@ -87,7 +175,7 @@ let table1 () =
       let f = float_of_int in
       let c0 = f (cycles Dae_sim.Machine.Sta) in
       let a0 = f (area Dae_sim.Machine.Sta) in
-      let cd, cs, co, ad, as_, ao = ratios.contents |> fun (a,b,c,d,e,g) -> (a,b,c,d,e,g) in
+      let cd, cs, co, ad, as_, ao = !ratios in
       ratios :=
         ( (f (cycles Dae_sim.Machine.Dae) /. c0) :: cd,
           (f (cycles Dae_sim.Machine.Spec) /. c0) :: cs,
@@ -106,7 +194,26 @@ let table1 () =
 
 (* --- Table 2: mis-speculation cost ------------------------------------------- *)
 
-let table2 () =
+let table2_variants =
+  [
+    ("hist", fun rate -> Misspec.hist ~rate_percent:rate ());
+    ("thr", fun rate -> Misspec.thr ~rate_percent:rate ());
+    ("mm", fun rate -> Misspec.mm ~rate_percent:rate ());
+  ]
+
+let table2_req name variant rate =
+  req
+    ~kernel:(Printf.sprintf "%s~r%d" name rate)
+    ~arch:Dae_sim.Machine.Spec
+    (fun () -> variant rate)
+
+let table2_reqs () =
+  List.concat_map
+    (fun (name, variant) ->
+      List.map (fun rate -> table2_req name variant rate) Misspec.rates)
+    table2_variants
+
+let table2_print () =
   Fmt.pr "@.== Table 2: SPEC cycles as the mis-speculation rate changes ==@.";
   Fmt.pr "%-6s" "kernel";
   List.iter (fun r -> Fmt.pr " %8d%%" r) Misspec.rates;
@@ -117,8 +224,7 @@ let table2 () =
       let cycles =
         List.map
           (fun rate ->
-            let k = variant rate in
-            float_of_int (simulate Dae_sim.Machine.Spec k).Dae_sim.Machine.cycles)
+            float_of_int (get (table2_req name variant rate)).o_cycles)
           Misspec.rates
       in
       List.iter (fun c -> Fmt.pr " %9.0f" c) cycles;
@@ -129,16 +235,25 @@ let table2 () =
           (List.fold_left (fun a c -> a +. ((c -. mean) ** 2.)) 0. cycles /. n)
       in
       Fmt.pr " %8.0f@." sigma)
-    [
-      ("hist", fun rate -> Misspec.hist ~rate_percent:rate ());
-      ("thr", fun rate -> Misspec.thr ~rate_percent:rate ());
-      ("mm", fun rate -> Misspec.mm ~rate_percent:rate ());
-    ];
+    table2_variants;
   Fmt.pr "(paper: no correlation between rate and cycles; sigma 16-21)@."
 
 (* --- Figure 7: nested control flow overhead ----------------------------------- *)
 
-let fig7 () =
+let fig7_depths = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let fig7_req depth arch =
+  req
+    ~kernel:(Printf.sprintf "nest%d~n400" depth)
+    ~arch
+    (fun () -> Synthetic.workload ~n:400 ~depth ())
+
+let fig7_reqs () =
+  List.concat_map
+    (fun d -> [ fig7_req d Dae_sim.Machine.Spec; fig7_req d Dae_sim.Machine.Oracle ])
+    fig7_depths
+
+let fig7_print () =
   Fmt.pr
     "@.== Figure 7: SPEC overhead over ORACLE vs poison blocks (nested ifs) \
      ==@.";
@@ -146,62 +261,87 @@ let fig7 () =
     "CU-area" "AGU-area";
   List.iter
     (fun depth ->
-      let k = Synthetic.workload ~n:400 ~depth () in
-      let spec = simulate Dae_sim.Machine.Spec k in
-      let oracle = simulate Dae_sim.Machine.Oracle k in
-      let pblk, pcall =
-        match spec.Dae_sim.Machine.pipeline with
-        | Some p ->
-          ( Dae_core.Pipeline.poison_block_count p,
-            Dae_core.Pipeline.poison_call_count p )
-        | None -> (0, 0)
-      in
+      let spec = get (fig7_req depth Dae_sim.Machine.Spec) in
+      let oracle = get (fig7_req depth Dae_sim.Machine.Oracle) in
       let pct a b = 100. *. (float_of_int a /. float_of_int b -. 1.) in
-      Fmt.pr "%-6d %6d %6d %9.1f%% %9.1f%% %9.1f%%@." depth pblk pcall
-        (pct spec.Dae_sim.Machine.cycles oracle.Dae_sim.Machine.cycles)
-        (pct spec.Dae_sim.Machine.area.Dae_sim.Area.cu
-           oracle.Dae_sim.Machine.area.Dae_sim.Area.cu)
-        (pct spec.Dae_sim.Machine.area.Dae_sim.Area.agu
-           oracle.Dae_sim.Machine.area.Dae_sim.Area.agu))
-    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+      Fmt.pr "%-6d %6d %6d %9.1f%% %9.1f%% %9.1f%%@." depth spec.o_pblk
+        spec.o_pcall
+        (pct spec.o_cycles oracle.o_cycles)
+        (pct spec.o_area_cu oracle.o_area_cu)
+        (pct spec.o_area_agu oracle.o_area_agu))
+    fig7_depths;
   Fmt.pr
     "(paper: perf overhead ~0%%; CU area grows <5%% per poison block, <25%% \
      at depth 8; AGU ~0%%)@."
 
 (* --- ablations ------------------------------------------------------------------ *)
 
-let ablation () =
+let ablation_sqs = [ 2; 4; 8; 16; 32; 64 ]
+let ablation_lats = [ 1; 2; 4; 8 ]
+let ablation_widths = [ 1; 2; 4; 8 ]
+
+let ablation_sq_req sq =
+  let cfg = { Dae_sim.Config.default with Dae_sim.Config.store_queue_size = sq } in
+  req ~cfg ~kernel:"bfs~g128e1200" ~arch:Dae_sim.Machine.Spec (fun () ->
+      Kernels.bfs ~graph:(Graph.small ~nodes:128 ~edges:1200 ()) ())
+
+let ablation_lat_req arch l =
+  let cfg = { Dae_sim.Config.default with Dae_sim.Config.fifo_latency = l } in
+  req ~cfg ~kernel:"hist" ~arch (fun () -> Kernels.hist ())
+
+let ablation_vw_kernels =
+  [
+    ("thr", "thr", fun () -> Kernels.thr ());
+    (* six mostly-killed store requests per iteration on one channel:
+       exactly the "vector of speculative requests + store mask" shape
+       §10 sketches — kills need no memory port, so the channel and kill
+       bandwidth are the whole story *)
+    ( "nest6", "nest6~n500p15",
+      fun () -> Synthetic.workload ~n:500 ~depth:6 ~pass_percent:15 () );
+    ( "bc", "bc~g64e400",
+      fun () -> Kernels.bc ~graph:(Graph.small ~nodes:64 ~edges:400 ()) () );
+  ]
+
+let ablation_vw_req (_, id, mk) v =
+  let cfg = { Dae_sim.Config.default with Dae_sim.Config.vector_width = v } in
+  req ~cfg ~kernel:id ~arch:Dae_sim.Machine.Spec mk
+
+let ablation_reqs () =
+  List.map ablation_sq_req ablation_sqs
+  @ List.concat_map
+      (fun l ->
+        [ ablation_lat_req Dae_sim.Machine.Dae l;
+          ablation_lat_req Dae_sim.Machine.Spec l ])
+      ablation_lats
+  @ List.concat_map
+      (fun k -> List.map (ablation_vw_req k) ablation_widths)
+      ablation_vw_kernels
+
+let ablation_print () =
   Fmt.pr "@.== Ablation: store queue size vs SPEC cycles (§8.2.1) ==@.";
-  let g = Graph.small ~nodes:128 ~edges:1200 () in
-  let k = Kernels.bfs ~graph:g () in
   Fmt.pr "%-6s" "SQ";
-  List.iter (fun sq -> Fmt.pr " %8d" sq) [ 2; 4; 8; 16; 32; 64 ];
+  List.iter (fun sq -> Fmt.pr " %8d" sq) ablation_sqs;
   Fmt.pr "@.%-6s" "cycles";
   List.iter
-    (fun sq ->
-      let cfg = { Dae_sim.Config.default with Dae_sim.Config.store_queue_size = sq } in
-      Fmt.pr " %8d" (simulate ~cfg Dae_sim.Machine.Spec k).Dae_sim.Machine.cycles)
-    [ 2; 4; 8; 16; 32; 64 ];
+    (fun sq -> Fmt.pr " %8d" (get (ablation_sq_req sq)).o_cycles)
+    ablation_sqs;
   Fmt.pr
     "@.(mis-speculated allocations fill a small SQ and stall later loads — \
      the bfs/bc SPEC-vs-ORACLE gap)@.";
 
   Fmt.pr "@.== Ablation: FIFO latency vs DAE round trip ==@.";
-  let k = Kernels.hist () in
   Fmt.pr "%-10s" "fifo lat";
-  List.iter (fun l -> Fmt.pr " %8d" l) [ 1; 2; 4; 8 ];
+  List.iter (fun l -> Fmt.pr " %8d" l) ablation_lats;
   Fmt.pr "@.%-10s" "DAE";
   List.iter
     (fun l ->
-      let cfg = { Dae_sim.Config.default with Dae_sim.Config.fifo_latency = l } in
-      Fmt.pr " %8d" (simulate ~cfg Dae_sim.Machine.Dae k).Dae_sim.Machine.cycles)
-    [ 1; 2; 4; 8 ];
+      Fmt.pr " %8d" (get (ablation_lat_req Dae_sim.Machine.Dae l)).o_cycles)
+    ablation_lats;
   Fmt.pr "@.%-10s" "SPEC";
   List.iter
     (fun l ->
-      let cfg = { Dae_sim.Config.default with Dae_sim.Config.fifo_latency = l } in
-      Fmt.pr " %8d" (simulate ~cfg Dae_sim.Machine.Spec k).Dae_sim.Machine.cycles)
-    [ 1; 2; 4; 8 ];
+      Fmt.pr " %8d" (get (ablation_lat_req Dae_sim.Machine.Spec l)).o_cycles)
+    ablation_lats;
   Fmt.pr
     "@.(the synchronized DAE AGU pays every extra cycle of channel latency \
      per iteration; the speculative AGU hides it)@.";
@@ -237,26 +377,16 @@ let ablation () =
 
   Fmt.pr "@.== Ablation: vectorized speculative requests (paper §10) ==@.";
   Fmt.pr "%-8s" "width";
-  List.iter (fun v -> Fmt.pr " %8d" v) [ 1; 2; 4; 8 ];
+  List.iter (fun v -> Fmt.pr " %8d" v) ablation_widths;
   Fmt.pr "@.";
   List.iter
-    (fun (name, k) ->
+    (fun ((name, _, _) as k) ->
       Fmt.pr "%-8s" name;
       List.iter
-        (fun v ->
-          let cfg =
-            { Dae_sim.Config.default with Dae_sim.Config.vector_width = v }
-          in
-          Fmt.pr " %8d" (simulate ~cfg Dae_sim.Machine.Spec k).Dae_sim.Machine.cycles)
-        [ 1; 2; 4; 8 ];
+        (fun v -> Fmt.pr " %8d" (get (ablation_vw_req k v)).o_cycles)
+        ablation_widths;
       Fmt.pr "@.")
-    [ ("thr", Kernels.thr ());
-      (* six mostly-killed store requests per iteration on one channel:
-         exactly the "vector of speculative requests + store mask" shape
-         §10 sketches — kills need no memory port, so the channel and kill
-         bandwidth are the whole story *)
-      ("nest6", Synthetic.workload ~n:500 ~depth:6 ~pass_percent:15 ());
-      ("bc", Kernels.bc ~graph:(Graph.small ~nodes:64 ~edges:400 ()) ()) ];
+    ablation_vw_kernels;
   Fmt.pr
     "(a vector of requests per cycle with a CU store mask lifts the \
      per-channel port and kill limits; the SRAM ports stay scalar — \
@@ -304,6 +434,26 @@ let ablation () =
     sta_after.Dae_sim.Sta.pipeline_depth
     (Dae_sim.Area.sta (branchy_max ())).Dae_sim.Area.total
     (Dae_sim.Area.sta f).Dae_sim.Area.total
+
+(* --- smoke: tiny sweep exercising the pool and the JSON emitter ------------- *)
+
+let smoke_reqs () =
+  List.map
+    (fun arch -> req ~kernel:"hist~n128" ~arch (fun () -> Kernels.hist ~n:128 ()))
+    archs
+  @ [
+      req ~kernel:"nest2~n32" ~arch:Dae_sim.Machine.Spec (fun () ->
+          Synthetic.workload ~n:32 ~depth:2 ());
+    ]
+
+let smoke_print () =
+  Fmt.pr "@.== Smoke: tiny kernels through the job pool ==@.";
+  List.iter
+    (fun r ->
+      let o = get r in
+      Fmt.pr "%-12s %-7s %8d cycles  misspec %5.1f%%  area %6d@." o.o_kernel
+        o.o_arch o.o_cycles (100. *. o.o_misspec) o.o_area_total)
+    (smoke_reqs ())
 
 (* --- Bechamel micro-benchmarks of the compiler passes --------------------------- *)
 
@@ -357,20 +507,143 @@ let micro () =
       | _ -> Fmt.pr "%-32s (no estimate)@." name)
     results
 
-let () =
-  let sections =
-    match Array.to_list Sys.argv with
-    | _ :: rest when rest <> [] -> rest
-    | _ -> [ "fig6"; "table1"; "table2"; "fig7"; "ablation"; "micro" ]
+(* --- JSON emitter ------------------------------------------------------------ *)
+
+(* Recorded with the seed (cycle-polling) engine on this host, before the
+   event-driven rewrite — the denominator of the §"perf trajectory". *)
+let seed_fig6_table1_wall_s = 142.5
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~path ~sections ~domains ~wall_s
+    (outs : (string * sim_out) list) =
+  let oc =
+    try open_out path
+    with Sys_error msg ->
+      Fmt.epr "cannot write %s: %s@." path msg;
+      exit 1
   in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"dae-bench/1\",\n";
+  p "  \"sections\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun s -> Printf.sprintf "\"%s\"" (json_escape s)) sections));
+  p "  \"domains\": %d,\n" domains;
+  p "  \"jobs\": %d,\n" (List.length outs);
+  p "  \"wall_s\": %.3f,\n" wall_s;
+  p "  \"baseline\": { \"engine\": \"seed cycle-polling\", \
+     \"fig6_table1_wall_s\": %.1f },\n"
+    seed_fig6_table1_wall_s;
+  p "  \"results\": [\n";
+  List.iteri
+    (fun i (key, o) ->
+      p
+        "    { \"key\": \"%s\", \"kernel\": \"%s\", \"arch\": \"%s\", \
+         \"cfg\": \"%s\", \"cycles\": %d, \"misspec_rate\": %.6f, \
+         \"area\": %d, \"area_cu\": %d, \"area_agu\": %d, \"pblk\": %d, \
+         \"pcall\": %d, \"killed_stores\": %d, \"committed_stores\": %d, \
+         \"wall_s\": %.6f }%s\n"
+        (json_escape key) (json_escape o.o_kernel) (json_escape o.o_arch)
+        (json_escape o.o_cfg) o.o_cycles o.o_misspec o.o_area_total
+        o.o_area_cu o.o_area_agu o.o_pblk o.o_pcall o.o_killed o.o_committed
+        o.o_wall_s
+        (if i = List.length outs - 1 then "" else ","))
+    outs;
+  p "  ]\n}\n";
+  close_out oc
+
+(* --- driver ------------------------------------------------------------------ *)
+
+type section = {
+  s_name : string;
+  s_reqs : unit -> sim_req list;
+  s_print : unit -> unit;
+}
+
+let sections_all =
+  [
+    { s_name = "fig6"; s_reqs = suite_reqs; s_print = fig6_print };
+    { s_name = "table1"; s_reqs = suite_reqs; s_print = table1_print };
+    { s_name = "table2"; s_reqs = table2_reqs; s_print = table2_print };
+    { s_name = "fig7"; s_reqs = fig7_reqs; s_print = fig7_print };
+    { s_name = "ablation"; s_reqs = ablation_reqs; s_print = ablation_print };
+    { s_name = "micro"; s_reqs = (fun () -> []); s_print = micro };
+    { s_name = "smoke"; s_reqs = smoke_reqs; s_print = smoke_print };
+  ]
+
+let default_section_names = [ "fig6"; "table1"; "table2"; "fig7"; "ablation"; "micro" ]
+
+let () =
+  let jobs = ref (Dae_sim.Runner.default_domains ()) in
+  let json_path = ref "BENCH_1.json" in
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> jobs := n
+      | _ ->
+        Fmt.epr "--jobs expects a positive integer, got %s@." n;
+        exit 2);
+      parse rest
+    | "--json" :: p :: rest ->
+      json_path := p;
+      parse rest
+    | ("--jobs" | "--json") :: [] ->
+      Fmt.epr "missing argument@.";
+      exit 2
+    | s :: rest ->
+      (if List.exists (fun sec -> sec.s_name = s) sections_all then
+         names := s :: !names
+       else begin
+         Fmt.epr "unknown section %s (sections: %s)@." s
+           (String.concat " " (List.map (fun sec -> sec.s_name) sections_all));
+         exit 2
+       end);
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let names =
+    if !names = [] then default_section_names else List.rev !names
+  in
+  let selected =
+    List.filter_map
+      (fun n -> List.find_opt (fun s -> s.s_name = n) sections_all)
+      names
+  in
+  let t0 = Unix.gettimeofday () in
+  (* gather every section's jobs, dedup by key, fan out over the pool *)
+  let reqs = List.concat_map (fun s -> s.s_reqs ()) selected in
+  let by_key : (string, sim_req) Hashtbl.t = Hashtbl.create 128 in
   List.iter
-    (fun s ->
-      match s with
-      | "fig6" -> fig6 ()
-      | "table1" -> table1 ()
-      | "table2" -> table2 ()
-      | "fig7" -> fig7 ()
-      | "ablation" -> ablation ()
-      | "micro" -> micro ()
-      | other -> Fmt.epr "unknown section %s@." other)
-    sections
+    (fun r -> if not (Hashtbl.mem by_key r.r_key) then Hashtbl.add by_key r.r_key r)
+    reqs;
+  let compute =
+    Dae_sim.Runner.memoize (fun key -> run_req (Hashtbl.find by_key key))
+  in
+  let results =
+    Dae_sim.Runner.map_keyed ~domains:!jobs
+      ~key:(fun r -> r.r_key)
+      ~f:(fun r -> compute r.r_key)
+      reqs
+  in
+  List.iter (fun (key, o) -> Hashtbl.replace table key o) results;
+  List.iter (fun s -> s.s_print ()) selected;
+  let wall = Unix.gettimeofday () -. t0 in
+  write_json ~path:!json_path ~sections:names ~domains:!jobs ~wall_s:wall
+    results;
+  Fmt.pr "@.[bench] %d jobs on %d domain(s) in %.1fs -> %s@."
+    (List.length results) !jobs wall !json_path

@@ -174,7 +174,7 @@ let compile_cmd =
 (* --- run ----------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file kernel archs all sq lq fifo_lat =
+  let run file kernel archs all sq lq fifo_lat jobs =
     match load_func ~file ~kernel with
     | Error e ->
       Fmt.epr "%s@." e;
@@ -182,7 +182,7 @@ let run_cmd =
     | Ok (_, None) ->
       Fmt.epr "run needs --kernel (files carry no input data)@.";
       exit 2
-    | Ok (f, Some k) ->
+    | Ok (_, Some k) ->
       let cfg =
         {
           Dae_sim.Config.default with
@@ -200,10 +200,13 @@ let run_cmd =
       in
       Fmt.pr "%s: %s  (%a)@." k.Dae_workloads.Kernels.name
         k.Dae_workloads.Kernels.description Dae_sim.Config.pp cfg;
-      List.iter
-        (fun arch ->
+      (* the per-arch runs are independent: fan them over the domain pool
+         (each worker rebuilds the IR and memory image from the kernel) *)
+      Dae_sim.Runner.map_list ~domains:jobs
+        ~f:(fun arch ->
           let r =
-            Dae_sim.Machine.simulate ~cfg arch f
+            Dae_sim.Machine.simulate ~cfg arch
+              (k.Dae_workloads.Kernels.build ())
               ~invocations:(k.Dae_workloads.Kernels.invocations ())
               ~mem:(k.Dae_workloads.Kernels.init_mem ())
           in
@@ -212,13 +215,15 @@ let run_cmd =
             | Ok () -> "ok"
             | Error _ -> "WRONG RESULT"
           in
-          Fmt.pr
-            "  %-7s %9d cycles  misspec %5.1f%%  area %6d ALMs  check: %s@."
-            (Dae_sim.Machine.arch_name arch)
-            r.Dae_sim.Machine.cycles
-            (100. *. r.Dae_sim.Machine.misspec_rate)
-            r.Dae_sim.Machine.area.Dae_sim.Area.total verdict)
+          (arch, r, verdict))
         archs
+      |> List.iter (fun (arch, r, verdict) ->
+             Fmt.pr
+               "  %-7s %9d cycles  misspec %5.1f%%  area %6d ALMs  check: %s@."
+               (Dae_sim.Machine.arch_name arch)
+               r.Dae_sim.Machine.cycles
+               (100. *. r.Dae_sim.Machine.misspec_rate)
+               r.Dae_sim.Machine.area.Dae_sim.Area.total verdict)
   in
   let archs =
     Arg.(value & opt_all arch_conv [] & info [ "a"; "arch" ] ~docv:"ARCH"
@@ -237,9 +242,18 @@ let run_cmd =
     Arg.(value & opt int Dae_sim.Config.default.Dae_sim.Config.fifo_latency
          & info [ "fifo-latency" ] ~doc:"Channel latency in cycles.")
   in
+  let jobs =
+    Arg.(value & opt int (Dae_sim.Runner.default_domains ())
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Simulate the selected architectures on up to $(docv) \
+                   domains (default: the machine's recommended domain \
+                   count).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a kernel and verify against its reference.")
-    Term.(const run $ file_arg $ kernel_arg $ archs $ all $ sq $ lq $ fifo_lat)
+    Term.(
+      const run $ file_arg $ kernel_arg $ archs $ all $ sq $ lq $ fifo_lat
+      $ jobs)
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

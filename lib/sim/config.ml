@@ -47,6 +47,15 @@ let default =
     vector_width = 1;
   }
 
+(* Canonical compact rendering of every field, in declaration order — the
+   memoization/dedup key of the evaluation harness's job pool. *)
+let key (c : t) =
+  Printf.sprintf "lq%d.sq%d.rf%d.vf%d.svf%d.fl%d.ml%d.ms%d.fw%d.al%d.bl%d.ii%d.vw%d"
+    c.load_queue_size c.store_queue_size c.request_fifo_capacity
+    c.value_fifo_capacity c.store_value_fifo_capacity c.fifo_latency
+    c.memory_load_latency c.memory_store_latency c.forward_latency
+    c.alu_latency c.branch_latency c.unit_ii c.vector_width
+
 let pp ppf (c : t) =
   Fmt.pf ppf
     "lsq %d/%d, req fifo %d, val fifo %d, fifo lat %d, mem ld/st %d/%d"

@@ -22,4 +22,9 @@ type t = {
 }
 
 val default : t
+
+val key : t -> string
+(** Canonical compact rendering of every field — stable cache/dedup key
+    for (kernel × arch × config) simulation jobs. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,148 @@
+(* Work-stealing job pool over OCaml 5 domains (see runner.mli).
+
+   One-shot pools: [map] distributes the jobs up front, spawns the
+   workers, and joins them — no job is added while the pool runs, so a
+   worker simply exits once its own deque and every victim's deque are
+   empty. Each result slot is written by exactly one worker before its
+   domain is joined; [Domain.join] publishes the writes to the caller. *)
+
+let default_domains () = Domain.recommended_domain_count ()
+
+(* A deque under a lock: the owner pops the front, thieves pop the back.
+   Contention is one mutex per worker, held for O(1) amortized list
+   surgery — simulation jobs are orders of magnitude coarser. *)
+module Deque = struct
+  type 'a t = {
+    lock : Mutex.t;
+    mutable front : 'a list; (* next owner pops *)
+    mutable back : 'a list; (* reversed; next thief pops its head *)
+  }
+
+  let create () = { lock = Mutex.create (); front = []; back = [] }
+
+  let push_back t x =
+    Mutex.lock t.lock;
+    t.back <- x :: t.back;
+    Mutex.unlock t.lock
+
+  let pop_front t =
+    Mutex.lock t.lock;
+    let r =
+      match t.front with
+      | x :: tl ->
+        t.front <- tl;
+        Some x
+      | [] -> (
+        match List.rev t.back with
+        | x :: tl ->
+          t.back <- [];
+          t.front <- tl;
+          Some x
+        | [] -> None)
+    in
+    Mutex.unlock t.lock;
+    r
+
+  let pop_back t =
+    Mutex.lock t.lock;
+    let r =
+      match t.back with
+      | x :: tl ->
+        t.back <- tl;
+        Some x
+      | [] -> (
+        match List.rev t.front with
+        | x :: tl ->
+          t.back <- tl;
+          t.front <- [];
+          Some x
+        | [] -> None)
+    in
+    Mutex.unlock t.lock;
+    r
+end
+
+let map (type a b) ?domains ~(f : a -> b) (jobs : a array) : b array =
+  let n = Array.length jobs in
+  let d =
+    match domains with
+    | Some d -> max 1 (min d n)
+    | None -> max 1 (min (default_domains ()) n)
+  in
+  if d <= 1 || n <= 1 then Array.map f jobs
+  else begin
+    let deques = Array.init d (fun _ -> Deque.create ()) in
+    Array.iteri (fun i _ -> Deque.push_back deques.(i mod d) i) jobs;
+    let results : b option array = Array.make n None in
+    let errors : (int * exn * Printexc.raw_backtrace) option array =
+      Array.make n None
+    in
+    let run_job i =
+      match f jobs.(i) with
+      | v -> results.(i) <- Some v
+      | exception e ->
+        errors.(i) <- Some (i, e, Printexc.get_raw_backtrace ())
+    in
+    let worker w () =
+      let continue_ = ref true in
+      while !continue_ do
+        match Deque.pop_front deques.(w) with
+        | Some i -> run_job i
+        | None ->
+          (* own deque dry: sweep the victims' backs once; exit when the
+             whole pool is dry (no new jobs appear mid-run) *)
+          let stolen = ref None in
+          let v = ref 1 in
+          while !stolen = None && !v < d do
+            stolen := Deque.pop_back deques.((w + !v) mod d);
+            incr v
+          done;
+          (match !stolen with
+          | Some i -> run_job i
+          | None -> continue_ := false)
+      done
+    in
+    let workers = Array.init d (fun w -> Domain.spawn (worker w)) in
+    Array.iter Domain.join workers;
+    (* first failure in submission order wins, as with a serial map *)
+    Array.iter
+      (function
+        | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.map
+      (function Some v -> v | None -> invalid_arg "Runner.map: lost job")
+      results
+  end
+
+let map_list ?domains ~f jobs =
+  Array.to_list (map ?domains ~f (Array.of_list jobs))
+
+let map_keyed ?domains ~key ~f jobs =
+  let seen = Hashtbl.create 64 in
+  let distinct =
+    List.filter
+      (fun j ->
+        let k = key j in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      jobs
+  in
+  let results = map_list ?domains ~f distinct in
+  List.map2 (fun j r -> (key j, r)) distinct results
+
+let memoize (type a) (f : string -> a) : string -> a =
+  let dls_key : (string, a) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+  in
+  fun s ->
+    let tbl = Domain.DLS.get dls_key in
+    match Hashtbl.find_opt tbl s with
+    | Some v -> v
+    | None ->
+      let v = f s in
+      Hashtbl.replace tbl s v;
+      v

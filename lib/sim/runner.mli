@@ -1,0 +1,46 @@
+(** Work-stealing job pool over OCaml 5 domains.
+
+    Simulation jobs (kernel × architecture × config) are independent:
+    every job builds its own IR, memory image and traces, and the
+    library keeps no module-level mutable state — so fanning jobs out
+    across cores is safe. The pool is bounded by
+    {!Domain.recommended_domain_count} and degrades to a plain in-domain
+    map when only one domain is available (or useful).
+
+    Jobs are distributed round-robin over per-worker deques; a worker
+    pops its own deque from the front and steals from the back of the
+    others when it runs dry. Results come back in submission order, so a
+    parallel sweep is a drop-in replacement for [List.map] /
+    [Array.map]. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], the pool's bound. *)
+
+val map : ?domains:int -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains ~f jobs] runs [f] over [jobs] on up to [domains]
+    worker domains (default {!default_domains}, clamped to the job
+    count) and returns the results in order. If any job raises, the
+    first exception (in submission order) is re-raised in the caller
+    after all workers have drained. *)
+
+val map_list : ?domains:int -> f:('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists. *)
+
+val map_keyed :
+  ?domains:int ->
+  key:('a -> string) ->
+  f:('a -> 'b) ->
+  'a list ->
+  (string * 'b) list
+(** [map_keyed ~key ~f jobs] deduplicates [jobs] by [key] (first
+    occurrence wins), computes each distinct job once via {!map}, and
+    returns one [(key, result)] pair per distinct key in first-appearance
+    order. This is how the evaluation harness submits every section's
+    (kernel, arch, config) jobs at once without re-simulating shared
+    points. *)
+
+val memoize : (string -> 'a) -> string -> 'a
+(** [memoize f] is [f] with a per-domain cache keyed by the string
+    argument (via [Domain.DLS] — no locks, no sharing). Repeated keys
+    inside one worker domain hit the cache; distinct domains compute
+    independently. *)

@@ -19,7 +19,19 @@
    ready); stores commit in order through the store port; poisoned stores
    are dropped without a port. A mis-speculated store thus occupies its
    store-queue slot from allocation to kill, which is exactly the paper's
-   §8.2.1 cost mechanism. *)
+   §8.2.1 cost mechanism.
+
+   Engine: event-driven. The main loop visits only cycles at which work can
+   retire. After a productive cycle the next wake-up is t+1 (units and DUs
+   may have more same-state work: in-order retirement admits one event per
+   channel per cycle, the store port one commit per cycle). When a cycle
+   makes no progress, every unit and DU array contributes its next-wake
+   candidates — earliest schedulable event, in-order successor, gate
+   resolution, FIFO arrival, load completion — to a min-heap calendar and
+   t jumps straight to the earliest one. Wake times are monotone (every
+   candidate is > t), so cycle counts are exactly those of a naive
+   cycle-by-cycle loop; the per-cycle work is O(live state), not
+   O(total events). *)
 
 type lsq_stats = {
   mutable alloc_stall_cycles : int; (* request pop blocked on full queue *)
@@ -44,71 +56,189 @@ exception Timing_error of string
 (* --- FIFO with arrival latency and bounded capacity ---------------------- *)
 
 module Fifo = struct
+  (* Ring buffer: [buf]/[avail] are parallel arrays of the physical
+     capacity; [buf] stays [||] until the first push fixes the element
+     type's representative. Pushes happen at nondecreasing [now], so
+     arrival times are nondecreasing from head to tail. *)
   type 'a t = {
-    q : (int * 'a) Queue.t; (* (available-at cycle, payload) *)
     capacity : int;
+    phys : int; (* max capacity 1, the allocated ring size *)
     latency : int;
-    mutable in_flight : int; (* pushed, not yet popped *)
+    mutable buf : 'a array;
+    avail : int array; (* available-at cycle per slot *)
+    mutable head : int; (* slot index of the oldest entry *)
+    mutable size : int; (* pushed, not yet popped *)
   }
 
   let create ~capacity ~latency =
-    { q = Queue.create (); capacity; latency; in_flight = 0 }
+    let phys = max capacity 1 in
+    {
+      capacity;
+      phys;
+      latency;
+      buf = [||];
+      avail = Array.make phys 0;
+      head = 0;
+      size = 0;
+    }
 
-  let has_space t = t.in_flight < t.capacity
+  let has_space t = t.size < t.capacity
+  let is_empty t = t.size = 0
 
   let push t ~now payload =
     if not (has_space t) then raise (Timing_error "push into full FIFO");
-    Queue.add (now + t.latency, payload) t.q;
-    t.in_flight <- t.in_flight + 1
+    if Array.length t.buf = 0 then t.buf <- Array.make t.phys payload;
+    let slot = (t.head + t.size) mod t.phys in
+    t.buf.(slot) <- payload;
+    t.avail.(slot) <- now + t.latency;
+    t.size <- t.size + 1
 
-  let peek t ~now =
-    match Queue.peek_opt t.q with
-    | Some (avail, payload) when avail <= now -> Some payload
-    | Some _ | None -> None
+  (* Non-allocating head accessors for the engine's hot path. *)
+  let ready t ~now = t.size > 0 && t.avail.(t.head) <= now
+  let head_avail t = t.avail.(t.head)
+
+  let peek t ~now = if ready t ~now then Some t.buf.(t.head) else None
 
   let pop t =
-    let _, payload = Queue.pop t.q in
-    t.in_flight <- t.in_flight - 1;
-    payload
+    if t.size = 0 then raise (Timing_error "pop from empty FIFO");
+    let v = t.buf.(t.head) in
+    t.head <- (t.head + 1) mod t.phys;
+    t.size <- t.size - 1;
+    v
+end
 
-  let is_empty t = Queue.is_empty t.q
+(* --- min-heap calendar ----------------------------------------------------- *)
+
+module Calendar = struct
+  (* Binary min-heap of wake-up cycles. Rebuilt per stall: when a cycle
+     makes no progress, every component pushes its next-wake candidates and
+     the engine advances t to the minimum. *)
+  type t = { mutable heap : int array; mutable size : int }
+
+  let create () = { heap = Array.make 64 0; size = 0 }
+  let clear c = c.size <- 0
+  let is_empty c = c.size = 0
+
+  let push c x =
+    if c.size = Array.length c.heap then begin
+      let bigger = Array.make (2 * c.size) 0 in
+      Array.blit c.heap 0 bigger 0 c.size;
+      c.heap <- bigger
+    end;
+    let i = ref c.size in
+    c.size <- c.size + 1;
+    c.heap.(!i) <- x;
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      c.heap.(p) > c.heap.(!i)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = c.heap.(p) in
+      c.heap.(p) <- c.heap.(!i);
+      c.heap.(!i) <- tmp;
+      i := p
+    done
+
+  let pop_min c =
+    let top = c.heap.(0) in
+    c.size <- c.size - 1;
+    c.heap.(0) <- c.heap.(c.size);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < c.size && c.heap.(l) < c.heap.(!s) then s := l;
+      if r < c.size && c.heap.(r) < c.heap.(!s) then s := r;
+      if !s = !i then continue_ := false
+      else begin
+        let tmp = c.heap.(!s) in
+        c.heap.(!s) <- c.heap.(!i);
+        c.heap.(!i) <- tmp;
+        i := !s
+      end
+    done;
+    top
 end
 
 (* --- LSQ / DU per array --------------------------------------------------- *)
 
-type store_state = Awaiting | Ready | Poisoned
+(* Store states, packed as ints in the ring: 0 = awaiting, 1 = ready,
+   2 = poisoned. *)
+let st_awaiting = 0
 
-type store_entry = {
-  st_seq : int;
-  st_addr : int;
-  mutable st_state : store_state;
-}
+let st_ready = 1
+let st_poisoned = 2
 
-type load_entry = {
-  ld_seq : int;
-  ld_addr : int;
-  ld_mem : int;
-  ld_older_sts : int; (* stores preceding this load in program order *)
+type load_slot = {
+  mutable live : bool;
+  mutable pos : int; (* allocation order, monotone per array *)
+  mutable ld_seq : int;
+  mutable ld_addr : int;
+  mutable ld_older_sts : int; (* stores preceding this load in program order *)
   mutable issued : bool;
   mutable complete_at : int; (* valid when issued *)
+  mutable subs : unit Fifo.t array; (* subscriber value FIFOs of its mem *)
 }
 
-type ld_request = { rq_mem : int; rq_addr : int; rq_seq : int; rq_older : int }
+type ld_request = {
+  rq_addr : int;
+  rq_seq : int;
+  rq_older : int;
+  rq_subs : unit Fifo.t array;
+}
+
 type st_request = { sq_addr : int; sq_seq : int }
 
 (* Load and store requests travel on separate channels (the paper's LSQ has
    distinct load/store queues with 4/32 entries); program order is carried
-   by per-array sequence tags assigned from the AGU trace order. *)
+   by per-array sequence tags assigned from the AGU trace order.
+
+   The store queue is a ring indexed by absolute allocation number:
+   [sq_head_abs, sq_tail_abs) are live, [sq_resolved] is the awaiting-head —
+   the next allocation a store value resolves. Store values arrive in
+   allocation order and stores pop only at the head, so both pointers are
+   O(1) cursors and never scan. RAW disambiguation uses [by_addr]: per
+   address, the live store allocation numbers in (ascending) program
+   order — a load consults only same-address stores. *)
 type du_array = {
   arr : string;
   req_ld : ld_request Fifo.t;
   req_st : st_request Fifo.t;
   stv : bool Fifo.t; (* payload: poisoned? *)
-  mutable stores : store_entry list; (* oldest first *)
-  mutable loads : load_entry list; (* oldest first *)
-  mutable st_allocated : int; (* total stores accepted so far *)
+  sq_phys : int;
+  sq_seq : int array;
+  sq_addr : int array;
+  sq_state : int array;
+  mutable sq_head_abs : int;
+  mutable sq_tail_abs : int; (* = total stores accepted so far *)
+  mutable sq_resolved : int; (* awaiting-head: next store-value target *)
+  by_addr : (int, int list ref) Hashtbl.t;
+  lq : load_slot array;
+  mutable lq_live : int;
+  mutable lq_unissued : int;
+  mutable lq_next_pos : int;
   stats : lsq_stats;
 }
+
+let sq_live a = a.sq_tail_abs - a.sq_head_abs
+let sq_slot a abs = abs mod a.sq_phys
+
+(* Pop the (resolved) head store and prune it from its address chain; the
+   head is the globally oldest live store, so it is the chain's front. *)
+let sq_pop a =
+  let s = sq_slot a a.sq_head_abs in
+  let addr = a.sq_addr.(s) in
+  (match Hashtbl.find_opt a.by_addr addr with
+  | Some r -> (
+    match !r with
+    | x :: tl when x = a.sq_head_abs ->
+      if tl = [] then Hashtbl.remove a.by_addr addr else r := tl
+    | _ -> ())
+  | None -> ());
+  a.sq_head_abs <- a.sq_head_abs + 1
 
 (* --- unit replay ---------------------------------------------------------- *)
 
@@ -126,59 +256,25 @@ let chan_of_ev (ev : Trace.ev) : chan_key option =
   | Trace.Consume { mem; _ } -> Some (Kldv mem)
   | Trace.Gate _ -> None
 
+(* Per-event action with its targets resolved up front: the hot loop never
+   hashes an array name or allocates a request payload. *)
+type action =
+  | Agate of int (* dep *)
+  | Asend_ld of du_array * ld_request
+  | Asend_st of du_array * st_request
+  | Aproduce of du_array
+  | Akill of du_array
+  | Aconsume of unit Fifo.t
+
 type urep = {
   tr : Trace.unit_trace;
   retire : int array; (* retire cycle per event; -1 = not retired *)
   prev_chan : int array; (* index of previous event on same channel; -1 *)
-  seq : int array; (* per-array program-order tag for Send_* events *)
-  older_sts : int array; (* for Send_ld: stores sent earlier on this array *)
+  acts : action array;
   mutable n_retired : int;
   mutable scan_from : int; (* first unretired index *)
   unit_ii : int;
 }
-
-let make_urep (tr : Trace.unit_trace) ~unit_ii =
-  let n = Array.length tr.Trace.entries in
-  let prev_chan = Array.make n (-1) in
-  let seq = Array.make n 0 in
-  let older_sts = Array.make n 0 in
-  let last : (chan_key, int) Hashtbl.t = Hashtbl.create 8 in
-  let seq_counter : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let st_counter : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let bump tbl arr =
-    let v = try Hashtbl.find tbl arr with Not_found -> 0 in
-    Hashtbl.replace tbl arr (v + 1);
-    v
-  in
-  let get tbl arr = try Hashtbl.find tbl arr with Not_found -> 0 in
-  Array.iteri
-    (fun k (e : Trace.entry) ->
-      (match e.Trace.ev with
-      | Trace.Send_ld { arr; _ } ->
-        seq.(k) <- bump seq_counter arr;
-        older_sts.(k) <- get st_counter arr
-      | Trace.Send_st { arr; _ } ->
-        seq.(k) <- bump seq_counter arr;
-        ignore (bump st_counter arr)
-      | _ -> ());
-      match chan_of_ev e.Trace.ev with
-      | None -> ()
-      | Some c ->
-        (match Hashtbl.find_opt last c with
-        | Some j -> prev_chan.(k) <- j
-        | None -> ());
-        Hashtbl.replace last c k)
-    tr.Trace.entries;
-  {
-    tr;
-    retire = Array.make n (-1);
-    prev_chan;
-    seq;
-    older_sts;
-    n_retired = 0;
-    scan_from = 0;
-    unit_ii;
-  }
 
 let window = 24
 
@@ -186,30 +282,61 @@ let window = 24
 
 type env = {
   cfg : Config.t;
+  vector_width : int;
+  branch_latency : int;
+  forward_latency : int;
+  memory_load_latency : int;
+  store_queue_size : int;
+  load_queue_size : int;
   arrays : (string, du_array) Hashtbl.t;
+  mutable du_list : du_array list; (* creation order; step/idle iteration *)
   ldv : (int * Trace.unit_id, unit Fifo.t) Hashtbl.t;
-  subscribers : (int, Trace.unit_id list) Hashtbl.t;
+  mutable ldv_list : unit Fifo.t list;
+  sub_fifos : (int, unit Fifo.t array) Hashtbl.t;
 }
 
 let du_array env arr =
   match Hashtbl.find_opt env.arrays arr with
   | Some a -> a
   | None ->
+    let cfg = env.cfg in
+    let sq_phys = max cfg.Config.store_queue_size 1 in
+    let lq_phys = max cfg.Config.load_queue_size 1 in
     let a =
       {
         arr;
         req_ld =
-          Fifo.create ~capacity:env.cfg.Config.request_fifo_capacity
-            ~latency:env.cfg.Config.fifo_latency;
+          Fifo.create ~capacity:cfg.Config.request_fifo_capacity
+            ~latency:cfg.Config.fifo_latency;
         req_st =
-          Fifo.create ~capacity:env.cfg.Config.request_fifo_capacity
-            ~latency:env.cfg.Config.fifo_latency;
+          Fifo.create ~capacity:cfg.Config.request_fifo_capacity
+            ~latency:cfg.Config.fifo_latency;
         stv =
-          Fifo.create ~capacity:env.cfg.Config.store_value_fifo_capacity
-            ~latency:env.cfg.Config.fifo_latency;
-        stores = [];
-        loads = [];
-        st_allocated = 0;
+          Fifo.create ~capacity:cfg.Config.store_value_fifo_capacity
+            ~latency:cfg.Config.fifo_latency;
+        sq_phys;
+        sq_seq = Array.make sq_phys 0;
+        sq_addr = Array.make sq_phys 0;
+        sq_state = Array.make sq_phys st_awaiting;
+        sq_head_abs = 0;
+        sq_tail_abs = 0;
+        sq_resolved = 0;
+        by_addr = Hashtbl.create 16;
+        lq =
+          Array.init lq_phys (fun _ ->
+              {
+                live = false;
+                pos = 0;
+                ld_seq = 0;
+                ld_addr = 0;
+                ld_older_sts = 0;
+                issued = false;
+                complete_at = 0;
+                subs = [||];
+              });
+        lq_live = 0;
+        lq_unissued = 0;
+        lq_next_pos = 0;
         stats =
           {
             alloc_stall_cycles = 0;
@@ -222,6 +349,7 @@ let du_array env arr =
       }
     in
     Hashtbl.replace env.arrays arr a;
+    env.du_list <- env.du_list @ [ a ];
     a
 
 let ldv_fifo env key =
@@ -233,7 +361,65 @@ let ldv_fifo env key =
         ~latency:env.cfg.Config.fifo_latency
     in
     Hashtbl.replace env.ldv key f;
+    env.ldv_list <- f :: env.ldv_list;
     f
+
+let make_urep env (tr : Trace.unit_trace) ~unit_ii =
+  let n = Array.length tr.Trace.entries in
+  let prev_chan = Array.make n (-1) in
+  let last : (chan_key, int) Hashtbl.t = Hashtbl.create 8 in
+  let seq_counter : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let st_counter : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump tbl arr =
+    let v = try Hashtbl.find tbl arr with Not_found -> 0 in
+    Hashtbl.replace tbl arr (v + 1);
+    v
+  in
+  let get tbl arr = try Hashtbl.find tbl arr with Not_found -> 0 in
+  let subs_of mem =
+    match Hashtbl.find_opt env.sub_fifos mem with Some a -> a | None -> [||]
+  in
+  let acts =
+    Array.mapi
+      (fun k (e : Trace.entry) ->
+        let act =
+          match e.Trace.ev with
+          | Trace.Send_ld { arr; mem; addr } ->
+            let seq = bump seq_counter arr in
+            let older = get st_counter arr in
+            Asend_ld
+              ( du_array env arr,
+                { rq_addr = addr; rq_seq = seq; rq_older = older;
+                  rq_subs = subs_of mem } )
+          | Trace.Send_st { arr; addr; _ } ->
+            let seq = bump seq_counter arr in
+            ignore (bump st_counter arr);
+            Asend_st (du_array env arr, { sq_addr = addr; sq_seq = seq })
+          | Trace.Produce { arr; _ } -> Aproduce (du_array env arr)
+          | Trace.Kill { arr; _ } -> Akill (du_array env arr)
+          | Trace.Consume { mem; _ } ->
+            Aconsume (ldv_fifo env (mem, tr.Trace.unit))
+          | Trace.Gate { dep } -> Agate dep
+        in
+        (match chan_of_ev e.Trace.ev with
+        | None -> ()
+        | Some c ->
+          (match Hashtbl.find_opt last c with
+          | Some j -> prev_chan.(k) <- j
+          | None -> ());
+          Hashtbl.replace last c k);
+        act)
+      tr.Trace.entries
+  in
+  {
+    tr;
+    retire = Array.make n (-1);
+    prev_chan;
+    acts;
+    n_retired = 0;
+    scan_from = 0;
+    unit_ii;
+  }
 
 (* Attempt to retire events of [u] at cycle [t]. Returns true on progress. *)
 let step_unit env (u : urep) ~t : bool =
@@ -254,7 +440,7 @@ let step_unit env (u : urep) ~t : bool =
          channel (§10's vectorized requests; width 1 = the paper's scalar
          port) *)
       let chan_ok =
-        let w = env.cfg.Config.vector_width in
+        let w = env.vector_width in
         let p = u.prev_chan.(k) in
         p < 0
         || (u.retire.(p) >= 0
@@ -275,54 +461,44 @@ let step_unit env (u : urep) ~t : bool =
         progress := true
       in
       if sched_ok && chan_ok then begin
-        match e.Trace.ev with
-        | Trace.Gate { dep } ->
+        match u.acts.(k) with
+        | Agate dep ->
           let resolved =
             if dep < 0 then true
             else
               u.retire.(dep) >= 0
-              && u.retire.(dep) + env.cfg.Config.branch_latency <= t
+              && u.retire.(dep) + env.branch_latency <= t
           in
           if resolved then retire_now () else blocked_by_gate := true
-        | Trace.Send_ld { arr; mem; addr } ->
-          let a = du_array env arr in
+        | Asend_ld (a, rq) ->
           if Fifo.has_space a.req_ld then begin
-            Fifo.push a.req_ld ~now:t
-              { rq_mem = mem; rq_addr = addr; rq_seq = u.seq.(k);
-                rq_older = u.older_sts.(k) };
+            Fifo.push a.req_ld ~now:t rq;
             retire_now ()
           end
-        | Trace.Send_st { arr; addr; _ } ->
-          let a = du_array env arr in
+        | Asend_st (a, rq) ->
           if Fifo.has_space a.req_st then begin
-            Fifo.push a.req_st ~now:t { sq_addr = addr; sq_seq = u.seq.(k) };
+            Fifo.push a.req_st ~now:t rq;
             retire_now ()
           end
-        | Trace.Produce { arr; _ } ->
-          let a = du_array env arr in
+        | Aproduce a ->
           if Fifo.has_space a.stv then begin
             Fifo.push a.stv ~now:t false;
             retire_now ()
           end
-        | Trace.Kill { arr; _ } ->
-          let a = du_array env arr in
+        | Akill a ->
           if Fifo.has_space a.stv then begin
             Fifo.push a.stv ~now:t true;
             retire_now ()
           end
-        | Trace.Consume { mem; _ } ->
-          let f = ldv_fifo env (mem, u.tr.Trace.unit) in
-          (match Fifo.peek f ~now:t with
-          | Some () ->
+        | Aconsume f ->
+          if Fifo.ready f ~now:t then begin
             ignore (Fifo.pop f);
             retire_now ()
-          | None -> ())
-      end
-      else if not sched_ok then ()
-      else ();
+          end
+      end;
       (* a gate that has not retired blocks everything after it *)
-      (match e.Trace.ev with
-      | Trace.Gate _ when u.retire.(k) < 0 -> blocked_by_gate := true
+      (match u.acts.(k) with
+      | Agate _ when u.retire.(k) < 0 -> blocked_by_gate := true
       | _ -> ())
     end;
     incr idx
@@ -332,144 +508,212 @@ let step_unit env (u : urep) ~t : bool =
   done;
   !progress
 
+(* RAW check for one load: every older store must have been *allocated*
+   (address known) before the load can be disambiguated at all; then only
+   same-address stores hold it. 0 = blocked, 1 = memory, 2 = forward. *)
+let can_issue (a : du_array) (l : load_slot) =
+  if l.issued then 0
+  else if a.sq_tail_abs < l.ld_older_sts then 0
+  else
+    match Hashtbl.find_opt a.by_addr l.ld_addr with
+    | None -> 1
+    | Some r ->
+      (* chain is in ascending program order: stop at the first younger *)
+      let rec scan = function
+        | [] -> 1
+        | abs :: tl ->
+          let s = sq_slot a abs in
+          if a.sq_seq.(s) >= l.ld_seq then 1
+          else if a.sq_state.(s) = st_awaiting then 0
+          else if a.sq_state.(s) = st_ready then
+            if scan_rest tl l.ld_seq then 2 else 0
+          else scan tl
+      and scan_rest lst seq =
+        (* saw a ready conflict: the rest must not contain an awaiting one *)
+        match lst with
+        | [] -> true
+        | abs :: tl ->
+          let s = sq_slot a abs in
+          if a.sq_seq.(s) >= seq then true
+          else if a.sq_state.(s) = st_awaiting then false
+          else scan_rest tl seq
+      in
+      scan !r
+
 (* One DU cycle for one array. *)
 let step_du env (a : du_array) ~t : bool =
-  let cfg = env.cfg in
-  let w = cfg.Config.vector_width in
+  let w = env.vector_width in
   let progress = ref false in
   (* 1. apply store values (up to the vector width) to the oldest awaiting
-     allocations *)
-  (try
-     for _ = 1 to w do
-       match Fifo.peek a.stv ~now:t with
-       | Some poisoned -> (
-         match List.find_opt (fun s -> s.st_state = Awaiting) a.stores with
-         | Some s ->
-           ignore (Fifo.pop a.stv);
-           s.st_state <- (if poisoned then Poisoned else Ready);
-           progress := true
-         | None -> raise Exit)
-       | None -> raise Exit
-     done
-   with Exit -> ());
+     allocations — the awaiting-head cursor, no scan *)
+  let k = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !k < w do
+    if Fifo.ready a.stv ~now:t && a.sq_resolved < a.sq_tail_abs then begin
+      let poisoned = Fifo.pop a.stv in
+      a.sq_state.(sq_slot a a.sq_resolved) <-
+        (if poisoned then st_poisoned else st_ready);
+      a.sq_resolved <- a.sq_resolved + 1;
+      progress := true;
+      incr k
+    end
+    else continue_ := false
+  done;
   (* 2. drop poisoned heads (up to the vector width — a store mask kills a
      whole vector, §10) and commit at most one ready head through the
      scalar store port *)
-  (try
-     for _ = 1 to w do
-       match a.stores with
-       | s :: rest when s.st_state = Poisoned ->
-         a.stores <- rest;
-         a.stats.kills <- a.stats.kills + 1;
-         progress := true
-       | _ -> raise Exit
-     done
-   with Exit -> ());
-  (match a.stores with
-  | s :: rest when s.st_state = Ready ->
+  let k = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !k < w do
+    if sq_live a > 0 && a.sq_state.(sq_slot a a.sq_head_abs) = st_poisoned
+    then begin
+      sq_pop a;
+      a.stats.kills <- a.stats.kills + 1;
+      progress := true;
+      incr k
+    end
+    else continue_ := false
+  done;
+  if sq_live a > 0 && a.sq_state.(sq_slot a a.sq_head_abs) = st_ready then begin
     (* store port: one commit per cycle *)
-    a.stores <- rest;
+    sq_pop a;
     a.stats.commits <- a.stats.commits + 1;
     progress := true
-  | _ -> ());
-  (* 3. issue one ready load (out of order within the LQ). RAW check: every
-     older store must have been *allocated* (address known) before the load
-     can be disambiguated at all; then only same-address stores hold it. *)
-  let can_issue (l : load_entry) =
-    if l.issued then `Blocked
-    else if a.st_allocated < l.ld_older_sts then `Blocked
-    else begin
-      let older_conflicts =
-        List.filter
-          (fun s -> s.st_seq < l.ld_seq && s.st_addr = l.ld_addr
-                    && s.st_state <> Poisoned)
-          a.stores
-      in
-      match older_conflicts with
-      | [] -> `Memory
-      | cs ->
-        if List.for_all (fun s -> s.st_state = Ready) cs then `Forward
-        else `Blocked
-    end
-  in
-  (match
-     List.find_opt
-       (fun l -> (not l.issued) && can_issue l <> `Blocked)
-       a.loads
-   with
-  | Some l ->
+  end;
+  (* 3. issue one ready load (out of order within the LQ): the oldest
+     unissued load the RAW check admits *)
+  let best = ref None in
+  Array.iter
+    (fun l ->
+      if l.live && not l.issued then begin
+        let c = can_issue a l in
+        if c <> 0 then
+          match !best with
+          | Some (bl, _) when bl.pos < l.pos -> ()
+          | _ -> best := Some (l, c)
+      end)
+    a.lq;
+  (match !best with
+  | Some (l, code) ->
     (* all subscriber FIFOs must have space (reserved at issue) *)
-    let subs =
-      match Hashtbl.find_opt env.subscribers l.ld_mem with
-      | Some s -> s
-      | None -> []
-    in
-    let fifos = List.map (fun unit -> ldv_fifo env (l.ld_mem, unit)) subs in
-    if List.for_all Fifo.has_space fifos then begin
+    if Array.for_all Fifo.has_space l.subs then begin
       let latency =
-        match can_issue l with
-        | `Forward ->
+        if code = 2 then begin
           a.stats.forwards <- a.stats.forwards + 1;
-          cfg.Config.forward_latency
-        | `Memory | `Blocked -> cfg.Config.memory_load_latency
+          env.forward_latency
+        end
+        else env.memory_load_latency
       in
       l.issued <- true;
       l.complete_at <- t + latency;
+      a.lq_unissued <- a.lq_unissued - 1;
       a.stats.loads <- a.stats.loads + 1;
-      List.iter (fun f -> Fifo.push f ~now:(t + latency) ()) fifos;
+      Array.iter (fun f -> Fifo.push f ~now:(t + latency) ()) l.subs;
       progress := true
     end
   | None ->
-    if List.exists (fun l -> not l.issued) a.loads then
+    if a.lq_unissued > 0 then
       a.stats.raw_wait_cycles <- a.stats.raw_wait_cycles + 1);
   (* 4. retire completed loads from the LQ *)
-  let before = List.length a.loads in
-  a.loads <- List.filter (fun l -> not (l.issued && l.complete_at <= t)) a.loads;
-  if List.length a.loads < before then progress := true;
+  Array.iter
+    (fun l ->
+      if l.live && l.issued && l.complete_at <= t then begin
+        l.live <- false;
+        a.lq_live <- a.lq_live - 1;
+        progress := true
+      end)
+    a.lq;
   (* 5. accept up to [vector_width] store and load requests into the LSQ *)
-  (try
-     for _ = 1 to w do
-       match Fifo.peek a.req_st ~now:t with
-       | Some { sq_addr; sq_seq } ->
-         if List.length a.stores < cfg.Config.store_queue_size then begin
-           ignore (Fifo.pop a.req_st);
-           a.stores <-
-             a.stores
-             @ [ { st_seq = sq_seq; st_addr = sq_addr; st_state = Awaiting } ];
-           a.st_allocated <- a.st_allocated + 1;
-           progress := true
-         end
-         else begin
-           a.stats.alloc_stall_cycles <- a.stats.alloc_stall_cycles + 1;
-           raise Exit
-         end
-       | None -> raise Exit
-     done
-   with Exit -> ());
-  (try
-     for _ = 1 to w do
-       match Fifo.peek a.req_ld ~now:t with
-       | Some { rq_mem; rq_addr; rq_seq; rq_older } ->
-         if List.length a.loads < cfg.Config.load_queue_size then begin
-           ignore (Fifo.pop a.req_ld);
-           a.loads <-
-             a.loads
-             @ [ { ld_seq = rq_seq; ld_addr = rq_addr; ld_mem = rq_mem;
-                   ld_older_sts = rq_older; issued = false; complete_at = 0 } ];
-           progress := true
-         end
-         else begin
-           a.stats.alloc_stall_cycles <- a.stats.alloc_stall_cycles + 1;
-           raise Exit
-         end
-       | None -> raise Exit
-     done
-   with Exit -> ());
+  let k = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !k < w do
+    if Fifo.ready a.req_st ~now:t then
+      if sq_live a < env.store_queue_size then begin
+        let rq = Fifo.pop a.req_st in
+        let s = sq_slot a a.sq_tail_abs in
+        a.sq_seq.(s) <- rq.sq_seq;
+        a.sq_addr.(s) <- rq.sq_addr;
+        a.sq_state.(s) <- st_awaiting;
+        (match Hashtbl.find_opt a.by_addr rq.sq_addr with
+        | Some r -> r := !r @ [ a.sq_tail_abs ]
+        | None -> Hashtbl.replace a.by_addr rq.sq_addr (ref [ a.sq_tail_abs ]));
+        a.sq_tail_abs <- a.sq_tail_abs + 1;
+        progress := true;
+        incr k
+      end
+      else begin
+        a.stats.alloc_stall_cycles <- a.stats.alloc_stall_cycles + 1;
+        continue_ := false
+      end
+    else continue_ := false
+  done;
+  let k = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !k < w do
+    if Fifo.ready a.req_ld ~now:t then
+      if a.lq_live < env.load_queue_size then begin
+        let rq = Fifo.pop a.req_ld in
+        let slot = ref None in
+        Array.iter
+          (fun l -> if (not l.live) && !slot = None then slot := Some l)
+          a.lq;
+        let l = match !slot with Some l -> l | None -> assert false in
+        l.live <- true;
+        l.pos <- a.lq_next_pos;
+        a.lq_next_pos <- a.lq_next_pos + 1;
+        l.ld_seq <- rq.rq_seq;
+        l.ld_addr <- rq.rq_addr;
+        l.ld_older_sts <- rq.rq_older;
+        l.issued <- false;
+        l.complete_at <- 0;
+        l.subs <- rq.rq_subs;
+        a.lq_live <- a.lq_live + 1;
+        a.lq_unissued <- a.lq_unissued + 1;
+        progress := true;
+        incr k
+      end
+      else begin
+        a.stats.alloc_stall_cycles <- a.stats.alloc_stall_cycles + 1;
+        continue_ := false
+      end
+    else continue_ := false
+  done;
   !progress
 
 let du_idle (a : du_array) =
   Fifo.is_empty a.req_ld && Fifo.is_empty a.req_st && Fifo.is_empty a.stv
-  && a.stores = [] && a.loads = []
+  && sq_live a = 0 && a.lq_live = 0
+
+(* --- next-wake candidates --------------------------------------------------- *)
+
+(* Contribute every cycle at which [u] might retire something: scheduled
+   issue slots, in-order successors of retired events, gate resolutions. *)
+let unit_wakes env (u : urep) ~t ~(push : int -> unit) =
+  let cand x = if x > t then push x in
+  let n = Array.length u.retire in
+  let stop = min n (u.scan_from + window) in
+  for k = u.scan_from to stop - 1 do
+    if u.retire.(k) < 0 then begin
+      let e = u.tr.Trace.entries.(k) in
+      cand ((e.Trace.iter * u.unit_ii) + e.Trace.depth);
+      let p = u.prev_chan.(k) in
+      if p >= 0 && u.retire.(p) >= 0 then cand (u.retire.(p) + 1);
+      match u.acts.(k) with
+      | Agate dep when dep >= 0 && u.retire.(dep) >= 0 ->
+        cand (u.retire.(dep) + env.branch_latency)
+      | _ -> ()
+    end
+  done
+
+(* FIFO arrivals and load completions of one DU array. *)
+let du_wakes (a : du_array) ~t ~(push : int -> unit) =
+  let cand x = if x > t then push x in
+  if a.req_ld.Fifo.size > 0 then cand (Fifo.head_avail a.req_ld);
+  if a.req_st.Fifo.size > 0 then cand (Fifo.head_avail a.req_st);
+  if a.stv.Fifo.size > 0 then cand (Fifo.head_avail a.stv);
+  Array.iter
+    (fun l -> if l.live && l.issued then cand l.complete_at)
+    a.lq
 
 (* --- top level ------------------------------------------------------------ *)
 
@@ -479,23 +723,37 @@ let run ?(cfg = Config.default) ?(max_cycles = 50_000_000)
   let env =
     {
       cfg;
+      vector_width = cfg.Config.vector_width;
+      branch_latency = cfg.Config.branch_latency;
+      forward_latency = cfg.Config.forward_latency;
+      memory_load_latency = cfg.Config.memory_load_latency;
+      store_queue_size = cfg.Config.store_queue_size;
+      load_queue_size = cfg.Config.load_queue_size;
       arrays = Hashtbl.create 8;
+      du_list = [];
       ldv = Hashtbl.create 16;
-      subscribers = Hashtbl.create 16;
+      ldv_list = [];
+      sub_fifos = Hashtbl.create 16;
     }
   in
-  List.iter (fun (m, subs) -> Hashtbl.replace env.subscribers m subs) subscribers;
-  let agu = make_urep agu_tr ~unit_ii:cfg.Config.unit_ii in
-  let cu = make_urep cu_tr ~unit_ii:cfg.Config.unit_ii in
+  (* last binding wins for duplicate mems, as with Hashtbl.replace *)
+  List.iter
+    (fun (m, subs) ->
+      Hashtbl.replace env.sub_fifos m
+        (Array.of_list (List.map (fun u -> ldv_fifo env (m, u)) subs)))
+    subscribers;
+  let agu = make_urep env agu_tr ~unit_ii:cfg.Config.unit_ii in
+  let cu = make_urep env cu_tr ~unit_ii:cfg.Config.unit_ii in
   let n_agu = Array.length agu_tr.Trace.entries in
   let n_cu = Array.length cu_tr.Trace.entries in
   let t = ref 0 in
   let agu_finish = ref 0 and cu_finish = ref 0 in
   let idle_rounds = ref 0 in
+  let calendar = Calendar.create () in
   let done_ () =
     agu.n_retired = n_agu && cu.n_retired = n_cu
-    && Hashtbl.fold (fun _ a acc -> acc && du_idle a) env.arrays true
-    && Hashtbl.fold (fun _ f acc -> acc && Fifo.is_empty f) env.ldv true
+    && List.for_all du_idle env.du_list
+    && List.for_all Fifo.is_empty env.ldv_list
   in
   while not (done_ ()) do
     if !t > max_cycles then
@@ -506,59 +764,34 @@ let run ?(cfg = Config.default) ?(max_cycles = 50_000_000)
     let p1 = step_unit env agu ~t:!t in
     let p2 = step_unit env cu ~t:!t in
     let p3 =
-      Hashtbl.fold (fun _ a acc -> step_du env a ~t:!t || acc) env.arrays false
+      List.fold_left (fun acc a -> step_du env a ~t:!t || acc) false env.du_list
     in
     if agu.n_retired = n_agu && !agu_finish = 0 then agu_finish := !t;
     if cu.n_retired = n_cu && !cu_finish = 0 then cu_finish := !t;
     if p1 || p2 || p3 then begin
+      (* more same-state work may be admissible next cycle (per-channel
+         in-order retirement, the scalar store port): wake at t+1 *)
       idle_rounds := 0;
       incr t
     end
     else begin
-      (* Nothing moved this cycle: fast-forward to the next time-driven
-         constraint (FIFO arrival, load completion, scheduled issue, gate
-         resolution). If no future time can unblock anything, the
-         architecture model has deadlocked. *)
-      let next = ref max_int in
-      let cand x = if x > !t && x < !next then next := x in
-      let unit_cands (u : urep) =
-        let n = Array.length u.tr.Trace.entries in
-        let stop = min n (u.scan_from + window) in
-        for k = u.scan_from to stop - 1 do
-          if u.retire.(k) < 0 then begin
-            let e = u.tr.Trace.entries.(k) in
-            cand ((e.Trace.iter * u.unit_ii) + e.Trace.depth);
-            let p = u.prev_chan.(k) in
-            if p >= 0 && u.retire.(p) >= 0 then cand (u.retire.(p) + 1);
-            match e.Trace.ev with
-            | Trace.Gate { dep } when dep >= 0 && u.retire.(dep) >= 0 ->
-              cand (u.retire.(dep) + cfg.Config.branch_latency)
-            | _ -> ()
-          end
-        done
-      in
-      unit_cands agu;
-      unit_cands cu;
-      Hashtbl.iter
-        (fun _ (a : du_array) ->
-          (match Queue.peek_opt a.req_ld.Fifo.q with
-          | Some (avail, _) -> cand avail
-          | None -> ());
-          (match Queue.peek_opt a.req_st.Fifo.q with
-          | Some (avail, _) -> cand avail
-          | None -> ());
-          (match Queue.peek_opt a.stv.Fifo.q with
-          | Some (avail, _) -> cand avail
-          | None -> ());
-          List.iter (fun l -> if l.issued then cand l.complete_at) a.loads)
-        env.arrays;
-      Hashtbl.iter
-        (fun _ (f : unit Fifo.t) ->
-          match Queue.peek_opt f.Fifo.q with
-          | Some (avail, _) -> cand avail
-          | None -> ())
-        env.ldv;
-      if !next = max_int then begin
+      (* Nothing moved this cycle: gather every time-driven constraint
+         (FIFO arrival, load completion, scheduled issue, gate resolution)
+         into the calendar and jump to the earliest. If no future time can
+         unblock anything, the architecture model has deadlocked. *)
+      Calendar.clear calendar;
+      let push x = Calendar.push calendar x in
+      unit_wakes env agu ~t:!t ~push;
+      unit_wakes env cu ~t:!t ~push;
+      List.iter (fun a -> du_wakes a ~t:!t ~push) env.du_list;
+      List.iter
+        (fun (f : unit Fifo.t) ->
+          if f.Fifo.size > 0 then begin
+            let avail = Fifo.head_avail f in
+            if avail > !t then push avail
+          end)
+        env.ldv_list;
+      if Calendar.is_empty calendar then begin
         incr idle_rounds;
         if !idle_rounds > 4 then
           raise
@@ -570,7 +803,7 @@ let run ?(cfg = Config.default) ?(max_cycles = 50_000_000)
       end
       else begin
         idle_rounds := 0;
-        t := !next
+        t := Calendar.pop_min calendar
       end
     end
   done;
@@ -595,76 +828,103 @@ let run ?(cfg = Config.default) ?(max_cycles = 50_000_000)
 let oracle_filter (agu_tr : Trace.unit_trace) (cu_tr : Trace.unit_trace) :
     Trace.unit_trace * Trace.unit_trace =
   (* per array, the kill flags in CU store-value order *)
-  let kill_flags : (string, bool list ref) Hashtbl.t = Hashtbl.create 8 in
-  let flags arr =
-    match Hashtbl.find_opt kill_flags arr with
-    | Some r -> r
-    | None ->
-      let r = ref [] in
-      Hashtbl.replace kill_flags arr r;
-      r
+  let counts : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let bump arr =
+    match Hashtbl.find_opt counts arr with
+    | Some r -> incr r
+    | None -> Hashtbl.replace counts arr (ref 1)
   in
   Array.iter
     (fun (e : Trace.entry) ->
       match e.Trace.ev with
-      | Trace.Produce { arr; _ } -> (flags arr) := false :: !(flags arr)
-      | Trace.Kill { arr; _ } -> (flags arr) := true :: !(flags arr)
+      | Trace.Produce { arr; _ } | Trace.Kill { arr; _ } -> bump arr
       | _ -> ())
     cu_tr.Trace.entries;
-  Hashtbl.iter (fun _ r -> r := List.rev !r) kill_flags;
+  let kill_flags : (string, bool array) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun arr r -> Hashtbl.replace kill_flags arr (Array.make !r false))
+    counts;
+  let fill : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun (e : Trace.entry) ->
+      let set arr v =
+        let i =
+          match Hashtbl.find_opt fill arr with
+          | Some r -> r
+          | None ->
+            let r = ref 0 in
+            Hashtbl.replace fill arr r;
+            r
+        in
+        (Hashtbl.find kill_flags arr).(!i) <- v;
+        incr i
+      in
+      match e.Trace.ev with
+      | Trace.Produce { arr; _ } -> set arr false
+      | Trace.Kill { arr; _ } -> set arr true
+      | _ -> ())
+    cu_tr.Trace.entries;
   (* rebuild each trace, dropping killed store sends and kill events, and
      remapping gate dependency indices *)
   let filter_trace (tr : Trace.unit_trace) =
-    let cursor : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let n = Array.length tr.Trace.entries in
+    let cursor : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
     let killed arr =
-      let k = match Hashtbl.find_opt cursor arr with Some k -> k | None -> 0 in
-      Hashtbl.replace cursor arr (k + 1);
+      let k =
+        match Hashtbl.find_opt cursor arr with
+        | Some r -> r
+        | None ->
+          let r = ref 0 in
+          Hashtbl.replace cursor arr r;
+          r
+      in
+      let i = !k in
+      incr k;
       match Hashtbl.find_opt kill_flags arr with
-      | Some r -> (try List.nth !r k with _ -> false)
-      | None -> false
+      | Some flags when i < Array.length flags -> flags.(i)
+      | _ -> false
     in
-    let kept = ref [] in
-    let index_map = Hashtbl.create 64 in
-    let new_idx = ref 0 in
+    let keep = Array.make n true in
     Array.iteri
-      (fun old_i (e : Trace.entry) ->
-        let keep =
-          match e.Trace.ev with
-          | Trace.Send_st { arr; _ } -> not (killed arr)
-          | Trace.Kill { arr; _ } -> not (killed arr)
-          | Trace.Produce { arr; _ } ->
-            (* advances the same per-array cursor as kills: the k-th store
-               value tag pairs with the k-th store request *)
-            ignore (killed arr);
-            true
-          | _ -> true
-        in
-        if keep then begin
-          Hashtbl.replace index_map old_i !new_idx;
-          kept := e :: !kept;
-          incr new_idx
-        end)
+      (fun i (e : Trace.entry) ->
+        match e.Trace.ev with
+        | Trace.Send_st { arr; _ } -> if killed arr then keep.(i) <- false
+        | Trace.Kill { arr; _ } -> if killed arr then keep.(i) <- false
+        | Trace.Produce { arr; _ } ->
+          (* advances the same per-array cursor as kills: the k-th store
+             value tag pairs with the k-th store request *)
+          ignore (killed arr)
+        | _ -> ())
       tr.Trace.entries;
-    let remap old_i =
-      if old_i < 0 then -1
-      else
-        let rec back i =
-          if i < 0 then -1
-          else
-            match Hashtbl.find_opt index_map i with
-            | Some ni -> ni
-            | None -> back (i - 1)
-        in
-        back old_i
-    in
+    (* new index of the latest kept entry at or before each old index *)
+    let before = Array.make (max n 1) (-1) in
+    let kept_count = ref 0 in
+    for i = 0 to n - 1 do
+      if keep.(i) then begin
+        before.(i) <- !kept_count;
+        incr kept_count
+      end
+      else before.(i) <- (if i = 0 then -1 else before.(i - 1))
+    done;
     let entries =
-      Array.of_list
-        (List.rev_map
-           (fun (e : Trace.entry) ->
-             match e.Trace.ev with
-             | Trace.Gate { dep } -> { e with Trace.ev = Trace.Gate { dep = remap dep } }
-             | _ -> e)
-           !kept)
+      if !kept_count = 0 then [||]
+      else begin
+        let out = Array.make !kept_count tr.Trace.entries.(0) in
+        let j = ref 0 in
+        for i = 0 to n - 1 do
+          if keep.(i) then begin
+            let e = tr.Trace.entries.(i) in
+            (out.(!j) <-
+               (match e.Trace.ev with
+               | Trace.Gate { dep } ->
+                 let dep = if dep < 0 then -1 else before.(dep) in
+                 { e with Trace.ev = Trace.Gate { dep } }
+               | _ -> e));
+            incr j
+          end
+        done;
+        out
+      end
     in
     { tr with Trace.entries }
   in

@@ -1,0 +1,147 @@
+(* Engine-equivalence fixture: the exact cycle counts of the seed
+   (cycle-polling) timing engine, recorded before the event-driven
+   rewrite. The rewrite is required to be bit-identical — same visited
+   cycles, same retire order, same stats — so these are equalities, not
+   tolerances. If an engine change is *meant* to shift cycle counts, it
+   must re-record this table and say so in its PR.
+
+   Also covers the Runner domain pool: a parallel map must agree with a
+   serial one job-for-job, and map_keyed must dedup by key. *)
+
+open Dae_workloads
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+(* (kernel, STA, DAE, SPEC, ORACLE) — seed engine, default config *)
+let paper_fixture =
+  [
+    ("bfs", 409172, 1022856, 204630, 204619);
+    ("bc", 409188, 1022856, 342390, 306919);
+    ("sssp", 767184, 2415600, 350772, 313912);
+    ("hist", 4007, 8007, 1161, 1155);
+    ("thr", 4006, 8002, 1011, 1009);
+    ("mm", 8009, 20236, 4585, 4025);
+    ("fw", 5506, 10010, 3177, 3015);
+    ("sort", 5607, 6472, 1701, 1648);
+    ("spmv", 649, 1284, 377, 367);
+  ]
+
+(* (depth, STA, DAE, SPEC, ORACLE) — Synthetic.workload ~n:400 *)
+let depth_fixture =
+  [
+    (1, 1607, 3205, 411, 411);
+    (2, 1608, 3578, 811, 768);
+    (3, 1610, 3960, 1211, 1163);
+    (4, 1611, 4346, 1612, 1543);
+    (5, 2013, 4729, 2014, 1931);
+    (6, 2414, 5113, 2416, 2321);
+    (7, 2816, 5494, 2818, 2701);
+    (8, 3217, 5890, 3220, 3095);
+  ]
+
+let cycles arch (k : Kernels.t) =
+  (Dae_sim.Machine.simulate arch
+     (k.Kernels.build ())
+     ~invocations:(k.Kernels.invocations ())
+     ~mem:(k.Kernels.init_mem ()))
+    .Dae_sim.Machine.cycles
+
+let check_kernel name k (sta, dae, spec, oracle) =
+  check Alcotest.int (name ^ "/STA") sta (cycles Dae_sim.Machine.Sta k);
+  check Alcotest.int (name ^ "/DAE") dae (cycles Dae_sim.Machine.Dae k);
+  check Alcotest.int (name ^ "/SPEC") spec (cycles Dae_sim.Machine.Spec k);
+  check Alcotest.int (name ^ "/ORACLE") oracle (cycles Dae_sim.Machine.Oracle k)
+
+(* the long graph kernels get their own cases so a failure names them *)
+let test_paper_kernel name () =
+  let expected =
+    List.find (fun (n, _, _, _, _) -> n = name) paper_fixture
+    |> fun (_, a, b, c, d) -> (a, b, c, d)
+  in
+  match Kernels.by_name (Kernels.paper_suite ()) name with
+  | Some k -> check_kernel name k expected
+  | None -> Alcotest.failf "kernel %s not in paper suite" name
+
+let test_depth_sweep () =
+  List.iter
+    (fun (depth, sta, dae, spec, oracle) ->
+      check_kernel
+        (Printf.sprintf "nest%d" depth)
+        (Synthetic.workload ~n:400 ~depth ())
+        (sta, dae, spec, oracle))
+    depth_fixture
+
+(* --- Runner ------------------------------------------------------------------- *)
+
+let test_runner_map_matches_serial () =
+  let jobs = Array.init 37 (fun i -> i) in
+  let f i = (i * i * 7919) mod 1231 in
+  let serial = Array.map f jobs in
+  List.iter
+    (fun domains ->
+      let par = Dae_sim.Runner.map ~domains ~f jobs in
+      check
+        Alcotest.(array int)
+        (Printf.sprintf "map d=%d" domains)
+        serial par)
+    [ 1; 2; 4 ]
+
+let test_runner_parallel_sim_matches_serial () =
+  (* real simulation jobs through the pool: same cycles as direct calls *)
+  let reqs =
+    List.concat_map
+      (fun arch -> [ (arch, 1); (arch, 2) ])
+      [ Dae_sim.Machine.Sta; Dae_sim.Machine.Spec ]
+  in
+  let f (arch, depth) = cycles arch (Synthetic.workload ~n:64 ~depth ()) in
+  let serial = List.map f reqs in
+  let par = Dae_sim.Runner.map_list ~domains:4 ~f reqs in
+  check Alcotest.(list int) "pool == serial" serial par
+
+let test_runner_map_keyed_dedups () =
+  let jobs = [ "a"; "b"; "a"; "c"; "b"; "a" ] in
+  let calls = Atomic.make 0 in
+  let out =
+    Dae_sim.Runner.map_keyed ~domains:2
+      ~key:(fun j -> j)
+      ~f:(fun j ->
+        Atomic.incr calls;
+        String.uppercase_ascii j)
+      jobs
+  in
+  check
+    Alcotest.(list (pair string string))
+    "distinct keys, first-appearance order"
+    [ ("a", "A"); ("b", "B"); ("c", "C") ]
+    out;
+  check Alcotest.int "each distinct job ran once" 3 (Atomic.get calls)
+
+let test_runner_propagates_errors () =
+  let f i = if i = 5 then failwith "boom" else i in
+  match Dae_sim.Runner.map ~domains:2 ~f (Array.init 8 (fun i -> i)) with
+  | _ -> Alcotest.fail "expected the job's exception to propagate"
+  | exception Failure m -> check Alcotest.string "first error wins" "boom" m
+
+let () =
+  Alcotest.run "timing_equiv"
+    [
+      ( "paper-suite",
+        List.map
+          (fun (name, _, _, _, _) ->
+            let speed =
+              (* the graph kernels run hundreds of thousands of cycles *)
+              if List.mem name [ "bfs"; "bc"; "sssp" ] then `Slow else `Quick
+            in
+            tc name speed (test_paper_kernel name))
+          paper_fixture );
+      ("synthetic", [ tc "depth sweep n=400" `Quick test_depth_sweep ]);
+      ( "runner",
+        [
+          tc "map matches serial" `Quick test_runner_map_matches_serial;
+          tc "parallel sim == serial sim" `Quick
+            test_runner_parallel_sim_matches_serial;
+          tc "map_keyed dedups" `Quick test_runner_map_keyed_dedups;
+          tc "errors propagate" `Quick test_runner_propagates_errors;
+        ] );
+    ]
