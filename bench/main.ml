@@ -40,6 +40,7 @@ type sim_out = {
   o_pcall : int;
   o_killed : int;
   o_committed : int;
+  o_stats : Dae_sim.Stats.keyed; (* per-unit cycle attribution *)
   o_wall_s : float;
 }
 
@@ -98,6 +99,7 @@ let run_req (r : sim_req) : sim_out =
     o_pcall = pcall;
     o_killed = res.Dae_sim.Machine.killed_stores;
     o_committed = res.Dae_sim.Machine.committed_stores;
+    o_stats = res.Dae_sim.Machine.stats;
     o_wall_s = Unix.gettimeofday () -. t0;
   }
 
@@ -547,6 +549,20 @@ let write_json ~path ~sections ~domains ~wall_s
   p "  \"baseline\": { \"engine\": \"seed cycle-polling\", \
      \"fig6_table1_wall_s\": %.1f },\n"
     seed_fig6_table1_wall_s;
+  let stats_json (stats : Dae_sim.Stats.keyed) =
+    (* nonzero causes only: the full 11-row vector is mostly zeros *)
+    String.concat ", "
+      (List.map
+         (fun (unit, c) ->
+           Printf.sprintf "\"%s\": { %s }" (json_escape unit)
+             (String.concat ", "
+                (List.filter_map
+                   (fun (cause, n) ->
+                     if n = 0 then None
+                     else Some (Printf.sprintf "\"%s\": %d" cause n))
+                   (Dae_sim.Stats.to_list c))))
+         stats)
+  in
   p "  \"results\": [\n";
   List.iteri
     (fun i (key, o) ->
@@ -555,11 +571,11 @@ let write_json ~path ~sections ~domains ~wall_s
          \"cfg\": \"%s\", \"cycles\": %d, \"misspec_rate\": %.6f, \
          \"area\": %d, \"area_cu\": %d, \"area_agu\": %d, \"pblk\": %d, \
          \"pcall\": %d, \"killed_stores\": %d, \"committed_stores\": %d, \
-         \"wall_s\": %.6f }%s\n"
+         \"stats\": { %s }, \"wall_s\": %.6f }%s\n"
         (json_escape key) (json_escape o.o_kernel) (json_escape o.o_arch)
         (json_escape o.o_cfg) o.o_cycles o.o_misspec o.o_area_total
         o.o_area_cu o.o_area_agu o.o_pblk o.o_pcall o.o_killed o.o_committed
-        o.o_wall_s
+        (stats_json o.o_stats) o.o_wall_s
         (if i = List.length outs - 1 then "" else ","))
     outs;
   p "  ]\n}\n";

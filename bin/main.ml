@@ -7,6 +7,8 @@
      daec compile file.ir --mode dae
      daec run --kernel hist --arch spec         # simulate + verify
      daec run --kernel bfs --all --sq 8         # all four architectures
+     daec stats --kernel bfs --arch dae --arch spec   # stall attribution
+     daec trace --kernel thr --out thr.json     # Perfetto timeline JSON
 
    Files use the textual IR grammar printed by the compiler itself (see
    examples/quickstart.exe output or lib/ir/parser.ml). *)
@@ -54,6 +56,47 @@ let arch_conv =
   Arg.enum
     [ ("sta", Dae_sim.Machine.Sta); ("dae", Dae_sim.Machine.Dae);
       ("spec", Dae_sim.Machine.Spec); ("oracle", Dae_sim.Machine.Oracle) ]
+
+let archs_arg =
+  Arg.(value & opt_all arch_conv [] & info [ "a"; "arch" ] ~docv:"ARCH"
+         ~doc:"Architecture: sta, dae, spec or oracle (repeatable).")
+
+let all_arg =
+  Arg.(value & flag & info [ "all" ] ~doc:"Run all four architectures.")
+
+let sq_arg =
+  Arg.(value & opt int Dae_sim.Config.default.Dae_sim.Config.store_queue_size
+       & info [ "sq" ] ~doc:"Store queue size.")
+
+let lq_arg =
+  Arg.(value & opt int Dae_sim.Config.default.Dae_sim.Config.load_queue_size
+       & info [ "lq" ] ~doc:"Load queue size.")
+
+let fifo_lat_arg =
+  Arg.(value & opt int Dae_sim.Config.default.Dae_sim.Config.fifo_latency
+       & info [ "fifo-latency" ] ~doc:"Channel latency in cycles.")
+
+let jobs_arg =
+  Arg.(value & opt int (Dae_sim.Runner.default_domains ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Simulate the selected architectures on up to $(docv) \
+                 domains (default: the machine's recommended domain \
+                 count).")
+
+let cfg_of ~sq ~lq ~fifo_lat =
+  {
+    Dae_sim.Config.default with
+    Dae_sim.Config.store_queue_size = sq;
+    load_queue_size = lq;
+    fifo_latency = fifo_lat;
+  }
+
+let pick_archs ~archs ~all =
+  if all then
+    [ Dae_sim.Machine.Sta; Dae_sim.Machine.Dae; Dae_sim.Machine.Spec;
+      Dae_sim.Machine.Oracle ]
+  else if archs = [] then [ Dae_sim.Machine.Spec ]
+  else archs
 
 (* --- list ------------------------------------------------------------------- *)
 
@@ -183,21 +226,8 @@ let run_cmd =
       Fmt.epr "run needs --kernel (files carry no input data)@.";
       exit 2
     | Ok (_, Some k) ->
-      let cfg =
-        {
-          Dae_sim.Config.default with
-          Dae_sim.Config.store_queue_size = sq;
-          load_queue_size = lq;
-          fifo_latency = fifo_lat;
-        }
-      in
-      let archs =
-        if all then
-          [ Dae_sim.Machine.Sta; Dae_sim.Machine.Dae; Dae_sim.Machine.Spec;
-            Dae_sim.Machine.Oracle ]
-        else if archs = [] then [ Dae_sim.Machine.Spec ]
-        else archs
-      in
+      let cfg = cfg_of ~sq ~lq ~fifo_lat in
+      let archs = pick_archs ~archs ~all in
       Fmt.pr "%s: %s  (%a)@." k.Dae_workloads.Kernels.name
         k.Dae_workloads.Kernels.description Dae_sim.Config.pp cfg;
       (* the per-arch runs are independent: fan them over the domain pool
@@ -225,35 +255,104 @@ let run_cmd =
                (100. *. r.Dae_sim.Machine.misspec_rate)
                r.Dae_sim.Machine.area.Dae_sim.Area.total verdict)
   in
-  let archs =
-    Arg.(value & opt_all arch_conv [] & info [ "a"; "arch" ] ~docv:"ARCH"
-           ~doc:"Architecture: sta, dae, spec or oracle (repeatable).")
-  in
-  let all = Arg.(value & flag & info [ "all" ] ~doc:"Run all four architectures.") in
-  let sq =
-    Arg.(value & opt int Dae_sim.Config.default.Dae_sim.Config.store_queue_size
-         & info [ "sq" ] ~doc:"Store queue size.")
-  in
-  let lq =
-    Arg.(value & opt int Dae_sim.Config.default.Dae_sim.Config.load_queue_size
-         & info [ "lq" ] ~doc:"Load queue size.")
-  in
-  let fifo_lat =
-    Arg.(value & opt int Dae_sim.Config.default.Dae_sim.Config.fifo_latency
-         & info [ "fifo-latency" ] ~doc:"Channel latency in cycles.")
-  in
-  let jobs =
-    Arg.(value & opt int (Dae_sim.Runner.default_domains ())
-         & info [ "j"; "jobs" ] ~docv:"N"
-             ~doc:"Simulate the selected architectures on up to $(docv) \
-                   domains (default: the machine's recommended domain \
-                   count).")
-  in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a kernel and verify against its reference.")
     Term.(
-      const run $ file_arg $ kernel_arg $ archs $ all $ sq $ lq $ fifo_lat
-      $ jobs)
+      const run $ file_arg $ kernel_arg $ archs_arg $ all_arg $ sq_arg
+      $ lq_arg $ fifo_lat_arg $ jobs_arg)
+
+(* --- stats --------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run file kernel archs all sq lq fifo_lat jobs =
+    match load_func ~file ~kernel with
+    | Error e ->
+      Fmt.epr "%s@." e;
+      exit 2
+    | Ok (_, None) ->
+      Fmt.epr "stats needs --kernel (files carry no input data)@.";
+      exit 2
+    | Ok (_, Some k) ->
+      let cfg = cfg_of ~sq ~lq ~fifo_lat in
+      let archs = pick_archs ~archs ~all in
+      Fmt.pr "%s: %s  (%a)@." k.Dae_workloads.Kernels.name
+        k.Dae_workloads.Kernels.description Dae_sim.Config.pp cfg;
+      Dae_sim.Runner.map_list ~domains:jobs
+        ~f:(fun arch ->
+          ( arch,
+            Dae_sim.Machine.simulate ~cfg arch
+              (k.Dae_workloads.Kernels.build ())
+              ~invocations:(k.Dae_workloads.Kernels.invocations ())
+              ~mem:(k.Dae_workloads.Kernels.init_mem ()) ))
+        archs
+      |> List.iter (fun (arch, r) ->
+             Fmt.pr "@.%s: %d cycles over %d invocation%s@."
+               (Dae_sim.Machine.arch_name arch)
+               r.Dae_sim.Machine.cycles r.Dae_sim.Machine.invocations
+               (if r.Dae_sim.Machine.invocations = 1 then "" else "s");
+             Fmt.pr "%a" Dae_sim.Machine.pp_stats r)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Simulate a kernel and print the per-unit stall attribution \
+          (each unit's causes partition its total cycles).")
+    Term.(
+      const run $ file_arg $ kernel_arg $ archs_arg $ all_arg $ sq_arg
+      $ lq_arg $ fifo_lat_arg $ jobs_arg)
+
+(* --- trace --------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let run file kernel arch sq lq fifo_lat out =
+    match load_func ~file ~kernel with
+    | Error e ->
+      Fmt.epr "%s@." e;
+      exit 2
+    | Ok (_, None) ->
+      Fmt.epr "trace needs --kernel (files carry no input data)@.";
+      exit 2
+    | Ok (_, Some k) ->
+      if arch = Dae_sim.Machine.Sta then begin
+        Fmt.epr
+          "trace needs a decoupled architecture (dae, spec or oracle)@.";
+        exit 2
+      end;
+      let cfg = cfg_of ~sq ~lq ~fifo_lat in
+      let r =
+        Dae_sim.Machine.simulate ~cfg ~collect:true arch
+          (k.Dae_workloads.Kernels.build ())
+          ~invocations:(k.Dae_workloads.Kernels.invocations ())
+          ~mem:(k.Dae_workloads.Kernels.init_mem ())
+      in
+      Dae_sim.Trace_export.write_file ~path:out
+        ~kernel:k.Dae_workloads.Kernels.name r;
+      if out <> "-" then
+        Fmt.pr
+          "%s: wrote %s (%s, %d cycles, %d invocations; open in \
+           ui.perfetto.dev or chrome://tracing)@."
+          k.Dae_workloads.Kernels.name out
+          (Dae_sim.Machine.arch_name arch)
+          r.Dae_sim.Machine.cycles r.Dae_sim.Machine.invocations
+  in
+  let arch_arg =
+    Arg.(value & opt arch_conv Dae_sim.Machine.Spec
+         & info [ "a"; "arch" ] ~docv:"ARCH"
+             ~doc:"Architecture: dae, spec or oracle.")
+  in
+  let out_arg =
+    Arg.(value & opt string "-"
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Output path for the timeline JSON (default: stdout).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Simulate a kernel and export a Chrome-tracing/Perfetto timeline \
+          (unit occupancy slices plus channel-depth counter tracks).")
+    Term.(
+      const run $ file_arg $ kernel_arg $ arch_arg $ sq_arg $ lq_arg
+      $ fifo_lat_arg $ out_arg)
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -262,4 +361,7 @@ let () =
     Cmd.info "daec" ~version:"1.0.0"
       ~doc:"Speculative decoupled access/execute compiler and simulator."
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; analyze_cmd; compile_cmd; run_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; analyze_cmd; compile_cmd; run_cmd; stats_cmd; trace_cmd ]))

@@ -6,36 +6,40 @@
    for each iteration's load value before it can decide whether to send
    the store address, so iterations serialize on the round trip.
 
+   The runs go through [Machine.simulate ~collect:true], so besides the
+   ASCII art each variant also gets a Perfetto/chrome://tracing JSON
+   timeline (fig2_dae.json / fig2_spec.json, via Trace_export) and a
+   stall-attribution table.
+
      dune exec examples/pipeline_timeline.exe *)
 
 open Dae_ir
 open Dae_sim
 
-let timeline mode =
-  let f = (* `if (A[i] > 0) A[i] = 0` over 6 elements *)
-    let b = Builder.create ~name:"fig2" ~params:[ "n" ] in
-    let (_ : Types.operand list) =
-      Builder.counted_loop b ~n:(Builder.param b "n") (fun b ~i ~carried:_ ->
-          let v = Builder.load b "A" i in
-          let c = Builder.cmp b Instr.Sgt v (Builder.int 0) in
-          Builder.if_ b c
-            ~then_:(fun b -> Builder.store b "A" ~idx:i ~value:(Builder.int 0))
-            ();
-          [])
-    in
-    Builder.seal b
+let fig2 () =
+  let b = Builder.create ~name:"fig2" ~params:[ "n" ] in
+  (* `if (A[i] > 0) A[i] = 0` over 6 elements *)
+  let (_ : Types.operand list) =
+    Builder.counted_loop b ~n:(Builder.param b "n") (fun b ~i ~carried:_ ->
+        let v = Builder.load b "A" i in
+        let c = Builder.cmp b Instr.Sgt v (Builder.int 0) in
+        Builder.if_ b c
+          ~then_:(fun b -> Builder.store b "A" ~idx:i ~value:(Builder.int 0))
+          ();
+        [])
   in
-  let p = Dae_core.Pipeline.compile ~mode f in
-  let mem = Interp.Memory.create [ ("A", [| 3; -1; 4; -1 ; 5; -9 |]) ] in
-  let r = Exec.run p ~args:[ ("n", Types.Vint 6) ] ~mem in
-  let subscribers =
-    List.map
-      (fun (m, subs) ->
-        (m, List.map (function `Agu -> Trace.Agu | `Cu -> Trace.Cu) subs))
-      p.Dae_core.Pipeline.load_subscribers
+  Builder.seal b
+
+let timeline arch =
+  let mem = Interp.Memory.create [ ("A", [| 3; -1; 4; -1; 5; -9 |]) ] in
+  let r =
+    Machine.simulate ~collect:true arch (fig2 ())
+      ~invocations:[ [ ("n", Types.Vint 6) ] ]
+      ~mem
   in
-  let t = Timing.run ~subscribers r.Exec.agu_trace r.Exec.cu_trace in
-  (r, t)
+  match r.Machine.timelines with
+  | [ tl ] -> (r, tl)
+  | _ -> assert false
 
 let show name (tr : Trace.unit_trace) (retire : int array) ~width =
   Fmt.pr "%s@." name;
@@ -52,17 +56,26 @@ let show name (tr : Trace.unit_trace) (retire : int array) ~width =
         (width + 1) bar cycle)
     tr.Trace.entries
 
+let export path (r : Machine.result) =
+  Trace_export.write_file ~path ~kernel:"fig2" r;
+  Fmt.pr "  timeline JSON -> %s (open in ui.perfetto.dev)@." path
+
 let () =
   Fmt.pr
     "== Figure 2(b): DAE without speculation — the AGU serializes on the \
      value round trip ==@.";
-  let r, t = timeline Dae_core.Pipeline.Dae in
-  show "AGU" r.Exec.agu_trace t.Timing.agu_retire ~width:60;
-  Fmt.pr "  total: %d cycles for 6 iterations@.@." t.Timing.cycles;
+  let r, tl = timeline Machine.Dae in
+  show "AGU" tl.Machine.t_agu tl.Machine.t_timing.Timing.agu_retire ~width:60;
+  Fmt.pr "  total: %d cycles for 6 iterations@." r.Machine.cycles;
+  Fmt.pr "%a" Machine.pp_stats r;
+  export "fig2_dae.json" r;
+  Fmt.pr "@.";
 
   Fmt.pr
     "== Figure 2(a)/1(c): with speculation — requests stream at II=1 ==@.";
-  let r, t = timeline Dae_core.Pipeline.Spec in
-  show "AGU" r.Exec.agu_trace t.Timing.agu_retire ~width:60;
-  show "CU" r.Exec.cu_trace t.Timing.cu_retire ~width:60;
-  Fmt.pr "  total: %d cycles for 6 iterations@." t.Timing.cycles
+  let r, tl = timeline Machine.Spec in
+  show "AGU" tl.Machine.t_agu tl.Machine.t_timing.Timing.agu_retire ~width:60;
+  show "CU" tl.Machine.t_cu tl.Machine.t_timing.Timing.cu_retire ~width:60;
+  Fmt.pr "  total: %d cycles for 6 iterations@." r.Machine.cycles;
+  Fmt.pr "%a" Machine.pp_stats r;
+  export "fig2_spec.json" r

@@ -19,6 +19,13 @@ let arch_name = function
 
 type invocation = (string * Types.value) list (* kernel arguments *)
 
+type timeline = {
+  t_invocation : int;
+  t_agu : Trace.unit_trace;
+  t_cu : Trace.unit_trace;
+  t_timing : Timing.result;
+}
+
 type result = {
   arch : arch;
   cycles : int;
@@ -29,6 +36,8 @@ type result = {
   area : Area.breakdown;
   memory : Interp.Memory.t; (* final memory, for workload-level checks *)
   pipeline : Dae_core.Pipeline.t option;
+  stats : Stats.keyed; (* cycle attribution, merged over invocations *)
+  timelines : timeline list; (* per invocation; only with ~collect:true *)
 }
 
 exception Check_failed of string
@@ -36,8 +45,8 @@ exception Check_failed of string
 let golden_run (f : Func.t) ~args ~mem = Interp.run f ~args ~mem
 
 let simulate ?(cfg = Config.default) ?(w = Area.default_weights)
-    (arch : arch) (f : Func.t) ~(invocations : invocation list)
-    ~(mem : Interp.Memory.t) : result =
+    ?(collect = false) (arch : arch) (f : Func.t)
+    ~(invocations : invocation list) ~(mem : Interp.Memory.t) : result =
   match arch with
   | Sta ->
     let mem = Interp.Memory.copy mem in
@@ -58,6 +67,10 @@ let simulate ?(cfg = Config.default) ?(w = Area.default_weights)
       area = Area.sta ~w f;
       memory = mem;
       pipeline = None;
+      (* the single statically-scheduled unit is never idle: modulo
+         scheduling fills every cycle, so the whole run is Busy *)
+      stats = [ ("STA", Stats.of_busy !cycles) ];
+      timelines = [];
     }
   | Dae | Spec | Oracle ->
     let mode =
@@ -71,6 +84,9 @@ let simulate ?(cfg = Config.default) ?(w = Area.default_weights)
     let golden_mem = Interp.Memory.copy mem in
     let cycles = ref 0 in
     let killed = ref 0 and committed = ref 0 in
+    let stats = ref [] in
+    let timelines = ref [] in
+    let inv_index = ref 0 in
     let subscribers =
       List.map
         (fun (m, subs) ->
@@ -97,8 +113,21 @@ let simulate ?(cfg = Config.default) ?(w = Area.default_weights)
           | Oracle -> Timing.oracle_filter r.Exec.agu_trace r.Exec.cu_trace
           | _ -> (r.Exec.agu_trace, r.Exec.cu_trace)
         in
-        let timed = Timing.run ~cfg ~subscribers agu_tr cu_tr in
-        cycles := !cycles + timed.Timing.cycles)
+        let timed =
+          Timing.run ~cfg ~record_depths:collect ~subscribers agu_tr cu_tr
+        in
+        cycles := !cycles + timed.Timing.cycles;
+        stats := Stats.merge_keyed !stats timed.Timing.stats;
+        if collect then
+          timelines :=
+            {
+              t_invocation = !inv_index;
+              t_agu = agu_tr;
+              t_cu = cu_tr;
+              t_timing = timed;
+            }
+            :: !timelines;
+        incr inv_index)
       invocations;
     let total = !killed + !committed in
     {
@@ -115,6 +144,8 @@ let simulate ?(cfg = Config.default) ?(w = Area.default_weights)
         | _ -> Area.decoupled ~w ~cfg p);
       memory = sim_mem;
       pipeline = Some p;
+      stats = !stats;
+      timelines = List.rev !timelines;
     }
 
 (* Convenience: run all four architectures on the same kernel/input. *)
@@ -123,3 +154,6 @@ let simulate_all ?cfg ?w (f : Func.t) ~invocations ~mem :
   List.map
     (fun arch -> (arch, simulate ?cfg ?w arch f ~invocations ~mem))
     [ Sta; Dae; Spec; Oracle ]
+
+let pp_stats ppf (r : result) =
+  Stats.pp_table ~total_cycles:r.cycles ppf r.stats

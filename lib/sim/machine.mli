@@ -19,6 +19,14 @@ val arch_name : arch -> string
 
 type invocation = (string * Types.value) list
 
+type timeline = {
+  t_invocation : int;  (** 0-based invocation index *)
+  t_agu : Trace.unit_trace;  (** as replayed (ORACLE: post-filter) *)
+  t_cu : Trace.unit_trace;
+  t_timing : Timing.result;
+}
+(** One invocation's replay, as consumed by {!Trace_export}. *)
+
 type result = {
   arch : arch;
   cycles : int;
@@ -29,15 +37,26 @@ type result = {
   area : Area.breakdown;
   memory : Interp.Memory.t;  (** final memory, for workload-level checks *)
   pipeline : Dae_core.Pipeline.t option;  (** [None] for {!Sta} *)
+  stats : Stats.keyed;
+      (** per-unit cycle attribution merged over all invocations; every
+          unit's counters sum exactly to [cycles] ({!Sta}: one unit
+          ["STA"], all Busy) *)
+  timelines : timeline list;
+      (** per-invocation replays with channel-depth samples; empty unless
+          [simulate ~collect:true] *)
 }
 
 exception Check_failed of string
 
-(** @raise Check_failed when a decoupled run disagrees with the golden
+(** [collect] (default false) additionally keeps every invocation's traces,
+    retire times and channel-depth samples for the timeline exporter — it
+    never changes cycles or stats.
+    @raise Check_failed when a decoupled run disagrees with the golden
     model. *)
 val simulate :
   ?cfg:Config.t ->
   ?w:Area.weights ->
+  ?collect:bool ->
   arch ->
   Func.t ->
   invocations:invocation list ->
@@ -51,3 +70,7 @@ val simulate_all :
   invocations:invocation list ->
   mem:Interp.Memory.t ->
   (arch * result) list
+
+val pp_stats : result Fmt.t
+(** The stall-attribution breakdown of {!result.stats} as a table (one
+    column per unit, one row per nonzero cause, cycles and share). *)

@@ -49,6 +49,17 @@ type result = {
   lsq : (string * lsq_stats) list;
   agu_retire : int array; (* per-event retire cycles, for timeline views *)
   cu_retire : int array;
+  stats : Stats.keyed;
+      (* per-unit cycle attribution ("AGU", "CU", "DU:<arr>"); for every
+         unit the counters sum exactly to [cycles] — each visited
+         cycle-span is classified once, and between visited cycles the
+         blocking state is frozen (the same invariant that makes the
+         calendar jump sound), so span attribution is exact *)
+  depth_samples : (int * string * int) array;
+      (* (cycle, channel, depth) — emitted on change, in cycle order, only
+         when [run ~record_depths:true]; channels are "<arr>.req_ld",
+         "<arr>.req_st", "<arr>.stv", "<arr>.sq", "<arr>.lq" and
+         "ldv<mem>.<unit>" *)
 }
 
 exception Timing_error of string
@@ -221,6 +232,15 @@ type du_array = {
   mutable lq_unissued : int;
   mutable lq_next_pos : int;
   stats : lsq_stats;
+  cstats : Stats.t; (* cycle attribution for this DU array *)
+  (* per-cycle condition flags, reset at the top of [step_du] and read by
+     the classifier after it; when a whole span of cycles is skipped the
+     machine made no progress, so the flags are frozen and span
+     attribution stays exact *)
+  mutable f_progress : bool;
+  mutable f_alloc_block : bool; (* ready request turned away: queue full *)
+  mutable f_subs_full : bool; (* issuable load held by full subscriber FIFO *)
+  mutable f_extra_adm : bool; (* admissible work beyond the scalar ports *)
 }
 
 let sq_live a = a.sq_tail_abs - a.sq_head_abs
@@ -292,6 +312,7 @@ type env = {
   mutable du_list : du_array list; (* creation order; step/idle iteration *)
   ldv : (int * Trace.unit_id, unit Fifo.t) Hashtbl.t;
   mutable ldv_list : unit Fifo.t list;
+  mutable ldv_named : (string * unit Fifo.t) list; (* creation order, rev *)
   sub_fifos : (int, unit Fifo.t array) Hashtbl.t;
 }
 
@@ -346,6 +367,11 @@ let du_array env arr =
             commits = 0;
             loads = 0;
           };
+        cstats = Stats.create ();
+        f_progress = false;
+        f_alloc_block = false;
+        f_subs_full = false;
+        f_extra_adm = false;
       }
     in
     Hashtbl.replace env.arrays arr a;
@@ -362,6 +388,9 @@ let ldv_fifo env key =
     in
     Hashtbl.replace env.ldv key f;
     env.ldv_list <- f :: env.ldv_list;
+    let mem, u = key in
+    env.ldv_named <-
+      (Printf.sprintf "ldv%d.%s" mem (Trace.unit_name u), f) :: env.ldv_named;
     f
 
 let make_urep env (tr : Trace.unit_trace) ~unit_ii =
@@ -544,6 +573,9 @@ let can_issue (a : du_array) (l : load_slot) =
 let step_du env (a : du_array) ~t : bool =
   let w = env.vector_width in
   let progress = ref false in
+  a.f_alloc_block <- false;
+  a.f_subs_full <- false;
+  a.f_extra_adm <- false;
   (* 1. apply store values (up to the vector width) to the oldest awaiting
      allocations — the awaiting-head cursor, no scan *)
   let k = ref 0 in
@@ -578,19 +610,25 @@ let step_du env (a : du_array) ~t : bool =
     (* store port: one commit per cycle *)
     sq_pop a;
     a.stats.commits <- a.stats.commits + 1;
-    progress := true
+    progress := true;
+    (* a second ready head wanted the write port this cycle *)
+    if sq_live a > 0 && a.sq_state.(sq_slot a a.sq_head_abs) = st_ready then
+      a.f_extra_adm <- true
   end;
   (* 3. issue one ready load (out of order within the LQ): the oldest
      unissued load the RAW check admits *)
   let best = ref None in
+  let admissible = ref 0 in
   Array.iter
     (fun l ->
       if l.live && not l.issued then begin
         let c = can_issue a l in
-        if c <> 0 then
+        if c <> 0 then begin
+          incr admissible;
           match !best with
           | Some (bl, _) when bl.pos < l.pos -> ()
           | _ -> best := Some (l, c)
+        end
       end)
     a.lq;
   (match !best with
@@ -609,8 +647,10 @@ let step_du env (a : du_array) ~t : bool =
       a.lq_unissued <- a.lq_unissued - 1;
       a.stats.loads <- a.stats.loads + 1;
       Array.iter (fun f -> Fifo.push f ~now:(t + latency) ()) l.subs;
-      progress := true
+      progress := true;
+      if !admissible >= 2 then a.f_extra_adm <- true
     end
+    else a.f_subs_full <- true
   | None ->
     if a.lq_unissued > 0 then
       a.stats.raw_wait_cycles <- a.stats.raw_wait_cycles + 1);
@@ -643,6 +683,7 @@ let step_du env (a : du_array) ~t : bool =
       end
       else begin
         a.stats.alloc_stall_cycles <- a.stats.alloc_stall_cycles + 1;
+        a.f_alloc_block <- true;
         continue_ := false
       end
     else continue_ := false
@@ -674,6 +715,7 @@ let step_du env (a : du_array) ~t : bool =
       end
       else begin
         a.stats.alloc_stall_cycles <- a.stats.alloc_stall_cycles + 1;
+        a.f_alloc_block <- true;
         continue_ := false
       end
     else continue_ := false
@@ -683,6 +725,46 @@ let step_du env (a : du_array) ~t : bool =
 let du_idle (a : du_array) =
   Fifo.is_empty a.req_ld && Fifo.is_empty a.req_st && Fifo.is_empty a.stv
   && sq_live a = 0 && a.lq_live = 0
+
+(* --- cycle attribution ------------------------------------------------------ *)
+
+(* Classify what one unit spent cycle [t] (and, when the engine then jumps,
+   every cycle of the frozen span) on. Runs after [step_unit]: when the
+   unit made no progress and is not done, the head event [scan_from] is the
+   blocker — its in-order channel predecessor retired on an earlier cycle
+   (nothing retired at [t]), so the block is its issue slot, its gate, or
+   its channel resource. *)
+let classify_unit (u : urep) ~progress ~t : Stats.cause =
+  if progress then Stats.Busy
+  else if u.n_retired = Array.length u.retire then Stats.Drain
+  else begin
+    let k = u.scan_from in
+    let e = u.tr.Trace.entries.(k) in
+    if (e.Trace.iter * u.unit_ii) + e.Trace.depth > t then Stats.Sched_wait
+    else
+      match u.acts.(k) with
+      | Agate _ -> Stats.Gate_wait
+      | Asend_ld _ | Asend_st _ | Aproduce _ | Akill _ -> Stats.Fifo_full
+      | Aconsume _ -> Stats.Fifo_empty
+  end
+
+(* Classify one DU array's cycle from the flags [step_du] left behind.
+   Priority: a request turned away by a full queue is the §8.2.1 cost
+   mechanism and outranks everything; then useful work (downgraded to
+   port contention when admissible work exceeded the scalar ports); then
+   the stall causes. In a no-progress cycle a non-empty store queue means
+   its head is still awaiting the CU's value/poison verdict (a ready or
+   poisoned head would have progressed). *)
+let classify_du (a : du_array) ~progress : Stats.cause =
+  if a.f_alloc_block then Stats.Lsq_alloc
+  else if progress then
+    if a.f_extra_adm then Stats.Port_contention else Stats.Busy
+  else if du_idle a then Stats.Drain
+  else if sq_live a > 0 then Stats.Poison_wait
+  else if a.lq_unissued > 0 then
+    if a.f_subs_full then Stats.Fifo_full else Stats.Raw_wait
+  else if a.lq_live > 0 then Stats.Mem_wait
+  else Stats.Fifo_empty (* only in-flight tokens on the input channels *)
 
 (* --- next-wake candidates --------------------------------------------------- *)
 
@@ -718,7 +800,7 @@ let du_wakes (a : du_array) ~t ~(push : int -> unit) =
 (* --- top level ------------------------------------------------------------ *)
 
 let run ?(cfg = Config.default) ?(max_cycles = 50_000_000)
-    ~(subscribers : (int * Trace.unit_id list) list)
+    ?(record_depths = false) ~(subscribers : (int * Trace.unit_id list) list)
     (agu_tr : Trace.unit_trace) (cu_tr : Trace.unit_trace) : result =
   let env =
     {
@@ -733,6 +815,7 @@ let run ?(cfg = Config.default) ?(max_cycles = 50_000_000)
       du_list = [];
       ldv = Hashtbl.create 16;
       ldv_list = [];
+      ldv_named = [];
       sub_fifos = Hashtbl.create 16;
     }
   in
@@ -750,6 +833,33 @@ let run ?(cfg = Config.default) ?(max_cycles = 50_000_000)
   let agu_finish = ref 0 and cu_finish = ref 0 in
   let idle_rounds = ref 0 in
   let calendar = Calendar.create () in
+  let agu_stats = Stats.create () and cu_stats = Stats.create () in
+  (* depth sampling (only when requested): channel occupancies are
+     piecewise constant between visited cycles — size changes only on a
+     push or pop, which is machine progress — so sampling at visited
+     cycles, emitting on change, is exact *)
+  let samples = ref [] in
+  let sample_last : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let sample ~t chan depth =
+    match Hashtbl.find_opt sample_last chan with
+    | Some d when d = depth -> ()
+    | _ ->
+      Hashtbl.replace sample_last chan depth;
+      samples := (t, chan, depth) :: !samples
+  in
+  let sample_depths ~t =
+    List.iter
+      (fun a ->
+        sample ~t (a.arr ^ ".req_ld") a.req_ld.Fifo.size;
+        sample ~t (a.arr ^ ".req_st") a.req_st.Fifo.size;
+        sample ~t (a.arr ^ ".stv") a.stv.Fifo.size;
+        sample ~t (a.arr ^ ".sq") (sq_live a);
+        sample ~t (a.arr ^ ".lq") a.lq_live)
+      env.du_list;
+    List.iter
+      (fun (name, (f : unit Fifo.t)) -> sample ~t name f.Fifo.size)
+      (List.rev env.ldv_named)
+  in
   let done_ () =
     agu.n_retired = n_agu && cu.n_retired = n_cu
     && List.for_all du_idle env.du_list
@@ -764,48 +874,66 @@ let run ?(cfg = Config.default) ?(max_cycles = 50_000_000)
     let p1 = step_unit env agu ~t:!t in
     let p2 = step_unit env cu ~t:!t in
     let p3 =
-      List.fold_left (fun acc a -> step_du env a ~t:!t || acc) false env.du_list
+      List.fold_left
+        (fun acc a ->
+          let p = step_du env a ~t:!t in
+          a.f_progress <- p;
+          p || acc)
+        false env.du_list
     in
     if agu.n_retired = n_agu && !agu_finish = 0 then agu_finish := !t;
     if cu.n_retired = n_cu && !cu_finish = 0 then cu_finish := !t;
-    if p1 || p2 || p3 then begin
-      (* more same-state work may be admissible next cycle (per-channel
-         in-order retirement, the scalar store port): wake at t+1 *)
-      idle_rounds := 0;
-      incr t
-    end
-    else begin
-      (* Nothing moved this cycle: gather every time-driven constraint
-         (FIFO arrival, load completion, scheduled issue, gate resolution)
-         into the calendar and jump to the earliest. If no future time can
-         unblock anything, the architecture model has deadlocked. *)
-      Calendar.clear calendar;
-      let push x = Calendar.push calendar x in
-      unit_wakes env agu ~t:!t ~push;
-      unit_wakes env cu ~t:!t ~push;
-      List.iter (fun a -> du_wakes a ~t:!t ~push) env.du_list;
-      List.iter
-        (fun (f : unit Fifo.t) ->
-          if f.Fifo.size > 0 then begin
-            let avail = Fifo.head_avail f in
-            if avail > !t then push avail
-          end)
-        env.ldv_list;
-      if Calendar.is_empty calendar then begin
-        incr idle_rounds;
-        if !idle_rounds > 4 then
-          raise
-            (Timing_error
-               (Fmt.str
-                  "timing deadlock at cycle %d (AGU %d/%d, CU %d/%d retired)"
-                  !t agu.n_retired n_agu cu.n_retired n_cu));
-        incr t
+    let next_t =
+      if p1 || p2 || p3 then begin
+        (* more same-state work may be admissible next cycle (per-channel
+           in-order retirement, the scalar store port): wake at t+1 *)
+        idle_rounds := 0;
+        !t + 1
       end
       else begin
-        idle_rounds := 0;
-        t := Calendar.pop_min calendar
+        (* Nothing moved this cycle: gather every time-driven constraint
+           (FIFO arrival, load completion, scheduled issue, gate resolution)
+           into the calendar and jump to the earliest. If no future time can
+           unblock anything, the architecture model has deadlocked. *)
+        Calendar.clear calendar;
+        let push x = Calendar.push calendar x in
+        unit_wakes env agu ~t:!t ~push;
+        unit_wakes env cu ~t:!t ~push;
+        List.iter (fun a -> du_wakes a ~t:!t ~push) env.du_list;
+        List.iter
+          (fun (f : unit Fifo.t) ->
+            if f.Fifo.size > 0 then begin
+              let avail = Fifo.head_avail f in
+              if avail > !t then push avail
+            end)
+          env.ldv_list;
+        if Calendar.is_empty calendar then begin
+          incr idle_rounds;
+          if !idle_rounds > 4 then
+            raise
+              (Timing_error
+                 (Fmt.str
+                    "timing deadlock at cycle %d (AGU %d/%d, CU %d/%d retired)"
+                    !t agu.n_retired n_agu cu.n_retired n_cu));
+          !t + 1
+        end
+        else begin
+          idle_rounds := 0;
+          Calendar.pop_min calendar
+        end
       end
-    end
+    in
+    (* attribute the whole [t, next_t) span: when the span is longer than
+       one cycle no unit progressed, so every classification below is a
+       stall state frozen until the earliest calendar wake *)
+    let span = next_t - !t in
+    Stats.add agu_stats (classify_unit agu ~progress:p1 ~t:!t) span;
+    Stats.add cu_stats (classify_unit cu ~progress:p2 ~t:!t) span;
+    List.iter
+      (fun a -> Stats.add a.cstats (classify_du a ~progress:a.f_progress) span)
+      env.du_list;
+    if record_depths then sample_depths ~t:!t;
+    t := next_t
   done;
   {
     cycles = !t;
@@ -816,6 +944,11 @@ let run ?(cfg = Config.default) ?(max_cycles = 50_000_000)
       |> List.sort compare;
     agu_retire = agu.retire;
     cu_retire = cu.retire;
+    stats =
+      (("AGU", agu_stats) :: ("CU", cu_stats)
+      :: List.map (fun a -> ("DU:" ^ a.arr, a.cstats)) env.du_list)
+      |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2);
+    depth_samples = Array.of_list (List.rev !samples);
   }
 
 (* --- ORACLE trace filtering ----------------------------------------------- *)

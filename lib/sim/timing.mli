@@ -29,6 +29,17 @@ type result = {
       (** per-event retire cycles, index-aligned with the trace entries —
           for pipeline timeline views (the paper's Figure 2) *)
   cu_retire : int array;
+  stats : Stats.keyed;
+      (** cycle attribution per unit, keyed ["AGU"], ["CU"], ["DU:<arr>"];
+          for every unit [Stats.total] equals [cycles] exactly — the
+          engine classifies each unit once per visited cycle-span, and
+          between visited cycles the blocking state is frozen (the same
+          invariant that makes the calendar jump sound) *)
+  depth_samples : (int * string * int) array;
+      (** [(cycle, channel, depth)] occupancy samples, emitted on change
+          in cycle order; empty unless [run ~record_depths:true]. Channels
+          are ["<arr>.req_ld"], ["<arr>.req_st"], ["<arr>.stv"],
+          ["<arr>.sq"], ["<arr>.lq"] and ["ldv<mem>.<unit>"]. *)
 }
 
 exception Timing_error of string
@@ -51,11 +62,14 @@ module Fifo : sig
   val is_empty : 'a t -> bool
 end
 
-(** Replay a pair of unit traces to completion.
+(** Replay a pair of unit traces to completion. [record_depths] (default
+    false) additionally records channel-occupancy samples for the timeline
+    exporter; it never affects scheduling or cycle counts.
     @raise Timing_error on a modelled deadlock or cycle overrun. *)
 val run :
   ?cfg:Config.t ->
   ?max_cycles:int ->
+  ?record_depths:bool ->
   subscribers:(int * Trace.unit_id list) list ->
   Trace.unit_trace ->
   Trace.unit_trace ->

@@ -1,0 +1,181 @@
+(* The stall-attribution observability layer, held to its invariant: for
+   every unit the per-cause counters partition its total simulated cycles
+   exactly — no cycle double-counted, none dropped. Checked as a qcheck
+   property over randomized structured kernels (the §6 generator) for all
+   four architectures, and exhaustively over every kernel×arch pair of
+   the paper suite.
+
+   Also pins the timeline exporter: `daec trace` output for a small
+   kernel is byte-stable (fixed digest, repeated runs, and independent of
+   the runner's domain count), and Stats merging across the domain pool
+   is associative — aggregating per-job counters at --jobs 1 and --jobs 4
+   gives identical totals. *)
+
+open Dae_workloads
+module G = Gen
+module M = Dae_sim.Machine
+module S = Dae_sim.Stats
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+let archs = [ M.Sta; M.Dae; M.Spec; M.Oracle ]
+
+let sim ?collect arch (k : Kernels.t) =
+  M.simulate ?collect arch
+    (k.Kernels.build ())
+    ~invocations:(k.Kernels.invocations ())
+    ~mem:(k.Kernels.init_mem ())
+
+(* the invariant: every unit's causes sum to the run's total cycles *)
+let partition_exact (r : M.result) =
+  r.M.stats <> []
+  && List.for_all (fun (_, c) -> S.total c = r.M.cycles) r.M.stats
+
+(* --- qcheck: partition on randomized structured CFGs ------------------------- *)
+
+let gen_partition (g : G.t) =
+  List.for_all
+    (fun arch ->
+      let r =
+        M.simulate arch g.G.func ~invocations:[ g.G.args ] ~mem:(g.G.mem ())
+      in
+      partition_exact r)
+    archs
+
+let qcheck_props =
+  let open QCheck in
+  let gen_seed = small_nat in
+  [
+    Test.make ~name:"stall counters partition cycles (default gen, 4 archs)"
+      ~count:80 gen_seed
+      (fun seed -> gen_partition (G.generate ~seed ()));
+    Test.make ~name:"same, three stored arrays / deep bodies" ~count:30
+      gen_seed
+      (fun seed ->
+        gen_partition (G.generate ~seed ~stored:3 ~index:2 ~max_stmts:20 ()));
+    Test.make ~name:"same, with nested inner loops (partial decoupling)"
+      ~count:30 gen_seed
+      (fun seed ->
+        gen_partition (G.generate ~seed ~inner_loops:true ~max_stmts:16 ()));
+  ]
+
+(* --- suite-wide: every kernel×arch pair of the paper suite ------------------- *)
+
+let test_suite_partition name () =
+  match Kernels.by_name (Kernels.paper_suite ()) name with
+  | None -> Alcotest.failf "kernel %s not in paper suite" name
+  | Some k ->
+    List.iter
+      (fun arch ->
+        let r = sim arch k in
+        let label u = Printf.sprintf "%s/%s %s" name (M.arch_name arch) u in
+        List.iter
+          (fun (u, c) ->
+            check Alcotest.int (label u ^ " partitions") r.M.cycles
+              (S.total c))
+          r.M.stats;
+        match arch with
+        | M.Sta ->
+          check Alcotest.int "STA is one always-busy unit" r.M.cycles
+            (S.get (List.assoc "STA" r.M.stats) S.Busy)
+        | _ ->
+          check Alcotest.bool (label "has AGU+CU counters") true
+            (List.mem_assoc "AGU" r.M.stats && List.mem_assoc "CU" r.M.stats))
+      archs
+
+(* --- golden trace: byte-stable exporter -------------------------------------- *)
+
+(* `daec trace --kernel thr --arch spec` output, pinned. Any engine or
+   exporter change that moves this digest must re-record it and say so. *)
+let thr_trace_md5 = "c4411cc617b8ce9fb7f2d91f89303054"
+let thr_trace_bytes = 522356
+
+let thr_trace () =
+  let k =
+    match Kernels.by_name (Kernels.paper_suite ()) "thr" with
+    | Some k -> k
+    | None -> Alcotest.fail "thr not in paper suite"
+  in
+  Dae_sim.Trace_export.to_string ~kernel:"thr" (sim ~collect:true M.Spec k)
+
+let test_trace_golden () =
+  let s = thr_trace () in
+  check Alcotest.int "trace size" thr_trace_bytes (String.length s);
+  check Alcotest.string "trace md5" thr_trace_md5
+    (Digest.to_hex (Digest.string s))
+
+let test_trace_stable_across_runs_and_jobs () =
+  let direct = thr_trace () in
+  check Alcotest.string "second run is byte-identical" (Digest.string direct)
+    (Digest.string (thr_trace ()));
+  (* same export from inside the domain pool, at two pool widths *)
+  List.iter
+    (fun domains ->
+      Dae_sim.Runner.map_list ~domains
+        ~f:(fun () -> thr_trace ())
+        [ (); () ]
+      |> List.iter (fun s ->
+             check Alcotest.string
+               (Printf.sprintf "domains=%d matches direct" domains)
+               (Digest.string direct) (Digest.string s)))
+    [ 1; 4 ]
+
+(* --- runner: counter merging is associative / pool-width independent --------- *)
+
+let merge_jobs =
+  List.concat_map
+    (fun name -> List.map (fun arch -> (name, arch)) [ M.Dae; M.Spec; M.Oracle ])
+    [ "thr"; "hist"; "spmv" ]
+
+let stats_of (name, arch) =
+  match Kernels.by_name (Kernels.paper_suite ()) name with
+  | Some k -> (sim arch k).M.stats
+  | None -> Alcotest.failf "kernel %s not in paper suite" name
+
+let aggregate outs = List.fold_left S.merge_keyed [] outs
+
+let test_runner_merge_associative () =
+  let serial = Dae_sim.Runner.map_list ~domains:1 ~f:stats_of merge_jobs in
+  let par = Dae_sim.Runner.map_list ~domains:4 ~f:stats_of merge_jobs in
+  (* job-for-job: the pool changes nothing *)
+  List.iter2
+    (fun a b -> check Alcotest.bool "per-job stats equal" true (S.equal_keyed a b))
+    serial par;
+  (* aggregated: any fold order gives the same totals *)
+  let agg = aggregate serial in
+  check Alcotest.bool "--jobs 1 == --jobs 4 aggregate" true
+    (S.equal_keyed agg (aggregate par));
+  check Alcotest.bool "fold order is immaterial" true
+    (S.equal_keyed agg (aggregate (List.rev serial)));
+  (* and ((a+b)+c) = (a+(b+c)) on the raw merge *)
+  (match serial with
+  | a :: b :: c :: _ ->
+    check Alcotest.bool "merge_keyed associates" true
+      (S.equal_keyed
+         (S.merge_keyed (S.merge_keyed a b) c)
+         (S.merge_keyed a (S.merge_keyed b c)))
+  | _ -> Alcotest.fail "expected at least three jobs")
+
+let () =
+  Alcotest.run "stats"
+    [
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+      ( "paper-suite partition",
+        List.map
+          (fun (k : Kernels.t) ->
+            let name = k.Kernels.name in
+            let speed =
+              if List.mem name [ "bfs"; "bc"; "sssp" ] then `Slow else `Quick
+            in
+            tc name speed (test_suite_partition name))
+          (Kernels.paper_suite ()) );
+      ( "trace golden",
+        [
+          tc "thr SPEC trace digest" `Quick test_trace_golden;
+          tc "byte-stable across runs and pool widths" `Quick
+            test_trace_stable_across_runs_and_jobs;
+        ] );
+      ( "runner merge",
+        [ tc "associative, pool-width independent" `Quick
+            test_runner_merge_associative ] );
+    ]

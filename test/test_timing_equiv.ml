@@ -40,18 +40,60 @@ let depth_fixture =
     (8, 3217, 5890, 3220, 3095);
   ]
 
-let cycles arch (k : Kernels.t) =
-  (Dae_sim.Machine.simulate arch
-     (k.Kernels.build ())
-     ~invocations:(k.Kernels.invocations ())
-     ~mem:(k.Kernels.init_mem ()))
-    .Dae_sim.Machine.cycles
+(* (kernel, DAE (killed, committed), SPEC (killed, committed)) — from
+   Exec, so independent of the timing engine; ORACLE replays the same
+   execution as SPEC and must report the same counts. misspec_rate is
+   checked as killed/(killed+committed) of the pinned integers. *)
+let store_fixture =
+  [
+    ("bfs", (0, 1004), (101280, 1004));
+    ("bc", (0, 4887), (301965, 4887));
+    ("sssp", (0, 5948), (147478, 5948));
+    ("hist", (0, 960), (40, 960));
+    ("thr", (0, 31), (969, 31));
+    ("mm", (0, 364), (3636, 364));
+    ("fw", (0, 76), (924, 76));
+    ("sort", (0, 620), (724, 620));
+    ("spmv", (0, 72), (88, 72));
+  ]
 
-let check_kernel name k (sta, dae, spec, oracle) =
+let sim arch (k : Kernels.t) =
+  Dae_sim.Machine.simulate arch
+    (k.Kernels.build ())
+    ~invocations:(k.Kernels.invocations ())
+    ~mem:(k.Kernels.init_mem ())
+
+let cycles arch k = (sim arch k).Dae_sim.Machine.cycles
+
+let check_stores name (r : Dae_sim.Machine.result) (killed, committed) =
+  let label what =
+    Printf.sprintf "%s/%s %s" name (Dae_sim.Machine.arch_name r.Dae_sim.Machine.arch) what
+  in
+  check Alcotest.int (label "killed") killed r.Dae_sim.Machine.killed_stores;
+  check Alcotest.int (label "committed") committed
+    r.Dae_sim.Machine.committed_stores;
+  let expect_rate =
+    if killed + committed = 0 then 0.0
+    else float_of_int killed /. float_of_int (killed + committed)
+  in
+  check (Alcotest.float 1e-12) (label "misspec_rate") expect_rate
+    r.Dae_sim.Machine.misspec_rate
+
+let check_kernel ?stores name k (sta, dae, spec, oracle) =
   check Alcotest.int (name ^ "/STA") sta (cycles Dae_sim.Machine.Sta k);
-  check Alcotest.int (name ^ "/DAE") dae (cycles Dae_sim.Machine.Dae k);
-  check Alcotest.int (name ^ "/SPEC") spec (cycles Dae_sim.Machine.Spec k);
-  check Alcotest.int (name ^ "/ORACLE") oracle (cycles Dae_sim.Machine.Oracle k)
+  let r_dae = sim Dae_sim.Machine.Dae k in
+  let r_spec = sim Dae_sim.Machine.Spec k in
+  let r_oracle = sim Dae_sim.Machine.Oracle k in
+  check Alcotest.int (name ^ "/DAE") dae r_dae.Dae_sim.Machine.cycles;
+  check Alcotest.int (name ^ "/SPEC") spec r_spec.Dae_sim.Machine.cycles;
+  check Alcotest.int (name ^ "/ORACLE") oracle r_oracle.Dae_sim.Machine.cycles;
+  match stores with
+  | None -> ()
+  | Some (dae_st, spec_st) ->
+    check_stores name r_dae dae_st;
+    check_stores name r_spec spec_st;
+    (* ORACLE only filters the timing replay, not the execution *)
+    check_stores name r_oracle spec_st
 
 (* the long graph kernels get their own cases so a failure names them *)
 let test_paper_kernel name () =
@@ -59,8 +101,12 @@ let test_paper_kernel name () =
     List.find (fun (n, _, _, _, _) -> n = name) paper_fixture
     |> fun (_, a, b, c, d) -> (a, b, c, d)
   in
+  let stores =
+    List.find (fun (n, _, _) -> n = name) store_fixture
+    |> fun (_, d, s) -> (d, s)
+  in
   match Kernels.by_name (Kernels.paper_suite ()) name with
-  | Some k -> check_kernel name k expected
+  | Some k -> check_kernel ~stores name k expected
   | None -> Alcotest.failf "kernel %s not in paper suite" name
 
 let test_depth_sweep () =
