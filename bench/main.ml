@@ -13,7 +13,7 @@
    compile+simulate cache, so sections that share points (fig6 and
    table1 use the same paper-suite runs) pay for them once. The
    per-job results — cycles, mis-speculation rate, area, wall-clock —
-   are written to BENCH_1.json so the perf trajectory is machine-
+   are written to BENCH_3.json so the perf trajectory is machine-
    readable from PR 1 onward.
 
    Cycle counts are this repository's simulator, not the paper's ModelSim
@@ -41,6 +41,8 @@ type sim_out = {
   o_killed : int;
   o_committed : int;
   o_stats : Dae_sim.Stats.keyed; (* per-unit cycle attribution *)
+  o_check_errors : int; (* soundness-checker diagnostics on the compile *)
+  o_check_warnings : int;
   o_wall_s : float;
 }
 
@@ -86,6 +88,13 @@ let run_req (r : sim_req) : sim_out =
        Dae_core.Pipeline.poison_call_count p)
     | None -> (0, 0)
   in
+  let check_errors, check_warnings =
+    match res.Dae_sim.Machine.pipeline with
+    | Some p ->
+      let ds = Dae_analysis.Checker.run p in
+      (Dae_analysis.Diag.errors ds, Dae_analysis.Diag.warnings ds)
+    | None -> (0, 0)
+  in
   {
     o_kernel = r.r_kernel;
     o_arch = Dae_sim.Machine.arch_name r.r_arch;
@@ -100,6 +109,8 @@ let run_req (r : sim_req) : sim_out =
     o_killed = res.Dae_sim.Machine.killed_stores;
     o_committed = res.Dae_sim.Machine.committed_stores;
     o_stats = res.Dae_sim.Machine.stats;
+    o_check_errors = check_errors;
+    o_check_warnings = check_warnings;
     o_wall_s = Unix.gettimeofday () -. t0;
   }
 
@@ -571,10 +582,12 @@ let write_json ~path ~sections ~domains ~wall_s
          \"cfg\": \"%s\", \"cycles\": %d, \"misspec_rate\": %.6f, \
          \"area\": %d, \"area_cu\": %d, \"area_agu\": %d, \"pblk\": %d, \
          \"pcall\": %d, \"killed_stores\": %d, \"committed_stores\": %d, \
+         \"check_errors\": %d, \"check_warnings\": %d, \
          \"stats\": { %s }, \"wall_s\": %.6f }%s\n"
         (json_escape key) (json_escape o.o_kernel) (json_escape o.o_arch)
         (json_escape o.o_cfg) o.o_cycles o.o_misspec o.o_area_total
         o.o_area_cu o.o_area_agu o.o_pblk o.o_pcall o.o_killed o.o_committed
+        o.o_check_errors o.o_check_warnings
         (stats_json o.o_stats) o.o_wall_s
         (if i = List.length outs - 1 then "" else ","))
     outs;
@@ -604,7 +617,7 @@ let default_section_names = [ "fig6"; "table1"; "table2"; "fig7"; "ablation"; "m
 
 let () =
   let jobs = ref (Dae_sim.Runner.default_domains ()) in
-  let json_path = ref "BENCH_1.json" in
+  let json_path = ref "BENCH_3.json" in
   let names = ref [] in
   let rec parse = function
     | [] -> ()

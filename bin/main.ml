@@ -9,6 +9,8 @@
      daec run --kernel bfs --all --sq 8         # all four architectures
      daec stats --kernel bfs --arch dae --arch spec   # stall attribution
      daec trace --kernel thr --out thr.json     # Perfetto timeline JSON
+     daec check --kernel bfs --mode both        # soundness checker
+     daec check --all-kernels                   # gate the whole suite
 
    Files use the textual IR grammar printed by the compiler itself (see
    examples/quickstart.exe output or lib/ir/parser.ml). *)
@@ -354,6 +356,99 @@ let trace_cmd =
       const run $ file_arg $ kernel_arg $ arch_arg $ sq_arg $ lq_arg
       $ fifo_lat_arg $ out_arg)
 
+(* --- check --------------------------------------------------------------------- *)
+
+let check_cmd =
+  let modes_of = function
+    | `Dae -> [ Dae_core.Pipeline.Dae ]
+    | `Spec -> [ Dae_core.Pipeline.Spec ]
+    | `Both -> [ Dae_core.Pipeline.Dae; Dae_core.Pipeline.Spec ]
+  in
+  let mode_name = function
+    | Dae_core.Pipeline.Dae -> "dae"
+    | Dae_core.Pipeline.Spec -> "spec"
+  in
+  let check_one ~path_limit ~verbose name mode (f : Dae_ir.Func.t) =
+    match Dae_core.Pipeline.compile ~mode ~check:true f with
+    | exception Dae_core.Pipeline.Compile_error e ->
+      Fmt.pr "%s (%s): compile error@.  %s@." name (mode_name mode) e;
+      (1, 0)
+    | p ->
+      let ds = Dae_analysis.Checker.run ~path_limit p in
+      let shown =
+        if verbose then ds
+        else List.filter (fun d -> d.Dae_analysis.Diag.sev <> Dae_analysis.Diag.Info) ds
+      in
+      Fmt.pr "%s (%s): %a" name (mode_name mode) Dae_analysis.Diag.pp_report
+        shown;
+      (Dae_analysis.Diag.errors ds, Dae_analysis.Diag.warnings ds)
+  in
+  let run file kernel all_kernels mode path_limit verbose =
+    let targets =
+      if all_kernels then
+        Ok
+          (List.map
+             (fun (k : Dae_workloads.Kernels.t) ->
+               (k.Dae_workloads.Kernels.name, k.Dae_workloads.Kernels.build ()))
+             (kernels ()))
+      else
+        match load_func ~file ~kernel with
+        | Error e -> Error e
+        | Ok (f, Some k) -> Ok [ (k.Dae_workloads.Kernels.name, f) ]
+        | Ok (f, None) -> Ok [ (f.Dae_ir.Func.name, f) ]
+    in
+    match targets with
+    | Error e ->
+      Fmt.epr "%s@." e;
+      exit 2
+    | Ok targets ->
+      let errs = ref 0 and warns = ref 0 in
+      List.iter
+        (fun (name, f) ->
+          List.iter
+            (fun mode ->
+              let e, w =
+                check_one ~path_limit ~verbose name mode
+                  (Dae_ir.Func.clone f)
+              in
+              errs := !errs + e;
+              warns := !warns + w)
+            (modes_of mode))
+        targets;
+      if List.length targets > 1 then
+        Fmt.pr "total: %d error(s), %d warning(s)@." !errs !warns;
+      if !errs > 0 then exit 1
+  in
+  let all_kernels_arg =
+    Arg.(value & flag
+         & info [ "all-kernels" ] ~doc:"Check every benchmark kernel.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("dae", `Dae); ("spec", `Spec); ("both", `Both) ]) `Both
+      & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"dae, spec or both (default).")
+  in
+  let path_limit_arg =
+    Arg.(value & opt int Dae_core.Poison.default_path_limit
+         & info [ "path-limit" ] ~docv:"N"
+             ~doc:"Path-enumeration budget for the segment and Algorithm 2 \
+                   universes (overruns degrade to warnings).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ]
+           ~doc:"Also print info-level diagnostics.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify the decoupling protocol of compiled slices: \
+          channel balance (§3.2), poison coverage (§5.2) and LoD residue \
+          (§5.1). Exits 1 when any error-level diagnostic is found.")
+    Term.(
+      const run $ file_arg $ kernel_arg $ all_kernels_arg $ mode_arg
+      $ path_limit_arg $ verbose_arg)
+
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
@@ -364,4 +459,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; analyze_cmd; compile_cmd; run_cmd; stats_cmd; trace_cmd ]))
+          [ list_cmd; analyze_cmd; compile_cmd; run_cmd; stats_cmd;
+            trace_cmd; check_cmd ]))

@@ -1,0 +1,558 @@
+(* The inter-slice decoupling soundness checker.
+
+   Three path-sensitive analyses over the pre-cleanup slice snapshots of a
+   compiled pipeline, each quantifying over a finite path universe that
+   covers every dynamic trace:
+
+   1. Channel balance (§3.2 / Lemma 6.1). Every dynamic trace decomposes
+      into segments (Segments); on each segment, replaying both slices
+      must yield, per array, identical AGU store-request and CU
+      store-value (produce/poison) mem sequences, and per load, matching
+      send/consume counts for every subscribing unit. Per-segment balance
+      implies whole-trace balance by concatenation.
+
+   2. Poison coverage (§5.2). For every speculation block, every Algorithm
+      2 path either reaches a store group's true block (the group commits
+      and must not be poisoned) or crosses poison calls killing each of
+      the group's requests exactly once, in request order; groups resolve
+      in speculation order. This re-derives Algorithms 2+3 — including
+      steered placements — from the materialised CU, independently of the
+      pass that produced it.
+
+   3. LoD residue (§5.1). After speculation, the only AGU consumes of a
+      hoisted load are the ones Algorithm 1 itself relocated to chain
+      heads; any other surviving consume re-synchronises the units and
+      defeats the speculation. *)
+
+open Dae_ir
+module Pipeline = Dae_core.Pipeline
+module Hoist = Dae_core.Hoist
+module Poison = Dae_core.Poison
+module Lod = Dae_core.Lod
+
+let pp_path ppf (blocks : int list) =
+  let n = List.length blocks in
+  let shown = if n > 12 then List.filteri (fun i _ -> i < 12) blocks else blocks in
+  Fmt.pf ppf "%a%s"
+    Fmt.(list ~sep:(any "->") (fmt "bb%d"))
+    shown
+    (if n > 12 then Fmt.str "->...(%d blocks)" n else "")
+
+(* --- 1. channel balance ------------------------------------------------- *)
+
+let mems_of kind events =
+  List.filter_map
+    (fun (e : Replay.event) -> if List.mem e.Replay.ev_kind kind then Some e else None)
+    events
+
+(* Check one segment of one scope. [keep] filters the replayed events down
+   to the ones whose home scope is the segment's scope: block-local events
+   by their block's innermost loop, hoisted sends / relocated consumes by
+   their head's loop (= the block they now live in), poison calls by their
+   decision's speculation block. Events of other scopes that a segment
+   passes (a nested loop's header and exit sources, an outer scope's kills
+   on an exit chain) are counted by that scope's own segments instead. *)
+let check_segment (p : Pipeline.t) agu_ctx cu_ctx ~keep (seg : int list) :
+    Diag.t list =
+  let agu_o = Replay.replay agu_ctx seg in
+  let cu_o = Replay.replay cu_ctx seg in
+  let diags = ref (List.rev_append agu_o.Replay.diags cu_o.Replay.diags) in
+  let agu_o = { agu_o with Replay.events = List.filter keep agu_o.Replay.events } in
+  let cu_o = { cu_o with Replay.events = List.filter keep cu_o.Replay.events } in
+  let add d = diags := d :: !diags in
+  (* Store streams: per array, the AGU request mem sequence must equal the
+     CU produce/poison mem sequence (order and multiplicity) — otherwise a
+     trace through this segment mispairs a store address with another
+     store's value (the paper's §2 failure). *)
+  let arrays =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (c : Dae_core.Decouple.channel_use) ->
+           if c.Dae_core.Decouple.is_store then
+             Some c.Dae_core.Decouple.arr
+           else None)
+         p.Pipeline.channels)
+  in
+  List.iter
+    (fun arr ->
+      let of_slice kinds (o : Replay.outcome) =
+        List.filter
+          (fun (e : Replay.event) -> e.Replay.ev_arr = arr)
+          (mems_of kinds o.Replay.events)
+      in
+      let agu_st = of_slice [ Replay.Send_st ] agu_o in
+      let cu_st = of_slice [ Replay.Produce; Replay.Kill ] cu_o in
+      let rec cmp i a c =
+        match (a, c) with
+        | [], [] -> ()
+        | (ae : Replay.event) :: a', (ce : Replay.event) :: c' ->
+          if ae.Replay.ev_mem = ce.Replay.ev_mem then cmp (i + 1) a' c'
+          else
+            add
+              (Diag.make ~block:ce.Replay.ev_block ~mem:ce.Replay.ev_mem ~arr
+                 ~sev:Diag.Error ~analysis:Diag.Balance ~slice:Diag.Both
+                 (Fmt.str
+                    "store streams diverge at position %d of segment %a: \
+                     the AGU requests mem%d but the CU resolves mem%d"
+                    i pp_path seg ae.Replay.ev_mem ce.Replay.ev_mem))
+        | (ae : Replay.event) :: _, [] ->
+          add
+            (Diag.make ~block:ae.Replay.ev_block ~mem:ae.Replay.ev_mem ~arr
+               ~sev:Diag.Error ~analysis:Diag.Balance ~slice:Diag.Both
+               (Fmt.str
+                  "on segment %a the AGU sends %d store request(s) for \
+                   which the CU never produces or poisons a value \
+                   (starting with mem%d) — the store unit deadlocks"
+                  pp_path seg (List.length a) ae.Replay.ev_mem))
+        | [], (ce : Replay.event) :: _ ->
+          add
+            (Diag.make ~block:ce.Replay.ev_block ~mem:ce.Replay.ev_mem ~arr
+               ~sev:Diag.Error ~analysis:Diag.Balance ~slice:Diag.Both
+               (Fmt.str
+                  "on segment %a the CU resolves %d store value(s) the AGU \
+                   never requested (starting with mem%d)"
+                  pp_path seg (List.length c) ce.Replay.ev_mem))
+      in
+      cmp 0 agu_st cu_st)
+    arrays;
+  (* Load channels: every subscribing unit must consume exactly as many
+     values as the AGU sends requests for, per segment. *)
+  List.iter
+    (fun (c : Dae_core.Decouple.channel_use) ->
+      if not c.Dae_core.Decouple.is_store then begin
+        let mem = c.Dae_core.Decouple.mem in
+        let subs =
+          match List.assoc_opt mem p.Pipeline.load_subscribers with
+          | Some s -> s
+          | None -> []
+        in
+        let count kind (o : Replay.outcome) =
+          List.length
+            (List.filter
+               (fun (e : Replay.event) ->
+                 e.Replay.ev_kind = kind && e.Replay.ev_mem = mem)
+               o.Replay.events)
+        in
+        let sends = count Replay.Send_ld agu_o in
+        let check unit slice_tag consumed =
+          if List.mem unit subs then begin
+            if consumed <> sends then
+              add
+                (Diag.make ~mem ~arr:c.Dae_core.Decouple.arr ~sev:Diag.Error
+                   ~analysis:Diag.Balance ~slice:slice_tag
+                   (Fmt.str
+                      "on segment %a the AGU sends %d load request(s) but \
+                       the %s consumes %d value(s) — the channel %s"
+                      pp_path seg sends
+                      (Diag.slice_name slice_tag)
+                      consumed
+                      (if consumed < sends then "accumulates stale values"
+                       else "deadlocks waiting for a value")))
+          end
+          else if consumed > 0 then
+            add
+              (Diag.make ~mem ~arr:c.Dae_core.Decouple.arr ~sev:Diag.Warning
+                 ~analysis:Diag.Balance ~slice:slice_tag
+                 (Fmt.str
+                    "the %s consumes mem%d on segment %a but is not a \
+                     recorded subscriber of that load channel"
+                    (Diag.slice_name slice_tag)
+                    mem pp_path seg))
+        in
+        check `Cu Diag.Cu (count Replay.Consume cu_o);
+        check `Agu Diag.Agu (count Replay.Consume agu_o)
+      end)
+    p.Pipeline.channels;
+  List.rev !diags
+
+let check_balance ~path_limit (p : Pipeline.t) agu_ctx cu_ctx : Diag.t list =
+  match Segments.segments ~limit:path_limit p.Pipeline.original with
+  | Error (b : Segments.budget) ->
+    [
+      Diag.make ~block:b.Segments.start ~sev:Diag.Warning
+        ~analysis:Diag.Balance ~slice:Diag.Both
+        (Fmt.str
+           "balance analysis skipped: %d blocks explored from bb%d exceed \
+            the segment budget of %d"
+           b.Segments.explored b.Segments.start b.Segments.limit);
+    ]
+  | Ok segs ->
+    let loops = Loops.compute p.Pipeline.original in
+    let scope_of_block b =
+      match Loops.innermost loops b with
+      | Some l -> Some l.Loops.header
+      | None -> None
+    in
+    (* A poison call's home scope is its speculation block's loop, not the
+       block hosting it (steered hosts sit on exit chains one block past
+       the scope). An unattributed kill has no home: keep it everywhere so
+       it cannot hide from the stream comparison. *)
+    let kill_scope = Hashtbl.create 32 in
+    (match p.Pipeline.spec with
+    | None -> ()
+    | Some si ->
+      List.iter
+        (fun (pl : Poison.placement) ->
+          Hashtbl.replace kill_scope pl.Poison.p_instr
+            (scope_of_block pl.Poison.p_decision.Poison.spec_bb))
+        si.Pipeline.poison.Poison.placements);
+    List.concat_map
+      (fun (sg : Segments.seg) ->
+        let keep (e : Replay.event) =
+          match e.Replay.ev_kind with
+          | Replay.Kill -> (
+            match Hashtbl.find_opt kill_scope e.Replay.ev_instr with
+            | Some s -> s = sg.Segments.sg_scope
+            | None -> true)
+          | _ -> scope_of_block e.Replay.ev_block = sg.Segments.sg_scope
+        in
+        check_segment p agu_ctx cu_ctx ~keep sg.Segments.sg_blocks)
+      segs
+
+(* --- 2. poison coverage ------------------------------------------------- *)
+
+let check_coverage ~path_limit (p : Pipeline.t) (si : Pipeline.spec_info)
+    cu_ctx : Diag.t list =
+  let poison = si.Pipeline.poison in
+  let loops = Loops.compute p.Pipeline.original in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  List.iter
+    (fun (head, reqs) ->
+      let stores =
+        List.filter (fun (r : Hoist.spec_req) -> r.Hoist.is_store) reqs
+      in
+      if stores <> [] then
+        match Poison.all_paths ~limit:path_limit p.Pipeline.original loops head with
+        | Error (b : Poison.path_budget) ->
+          add
+            (Diag.make ~block:head ~sev:Diag.Warning
+               ~analysis:Diag.Poison_coverage ~slice:Diag.Cu
+               (Fmt.str
+                  "poison coverage of speculation block bb%d skipped: %d \
+                   blocks explored exceed the path budget of %d"
+                  head b.Poison.explored b.Poison.limit))
+        | Ok paths ->
+          let groups = Poison.group_by_true_bb stores in
+          List.iter
+            (fun edges ->
+              (* Contracted paths jump over nested loops: when an edge's
+                 source is not the previous edge's destination, replay must
+                 still enter the source so the edge's inserted chain (which
+                 may host our poisons) is traversed. *)
+              let blocks =
+                let rec build last = function
+                  | [] -> []
+                  | (u, v) :: rest ->
+                    if u = last then v :: build v rest
+                    else u :: v :: build v rest
+                in
+                head :: build head edges
+              in
+              let o = Replay.replay cu_ctx blocks in
+              List.iter add o.Replay.diags;
+              (* Attribute every poison event to the Algorithm 2 decision
+                 that justified it. *)
+              let kills =
+                List.filter_map
+                  (fun (e : Replay.event) ->
+                    if e.Replay.ev_kind <> Replay.Kill then None
+                    else
+                      match
+                        List.find_opt
+                          (fun (pl : Poison.placement) ->
+                            pl.Poison.p_instr = e.Replay.ev_instr)
+                          poison.Poison.placements
+                      with
+                      | Some pl -> Some (e, pl)
+                      | None ->
+                        add
+                          (Diag.make ~block:e.Replay.ev_block
+                             ~mem:e.Replay.ev_mem ~arr:e.Replay.ev_arr
+                             ~sev:Diag.Error ~analysis:Diag.Poison_coverage
+                             ~slice:Diag.Cu
+                             (Fmt.str
+                                "poison call %%%d in bb%d is not justified \
+                                 by any Algorithm 2 decision"
+                                e.Replay.ev_instr e.Replay.ev_block));
+                        None)
+                  o.Replay.events
+              in
+              let ours =
+                List.filter
+                  (fun ((_ : Replay.event), (pl : Poison.placement)) ->
+                    pl.Poison.p_decision.Poison.spec_bb = head)
+                  kills
+              in
+              (* Per store group: committed on this path, or each request
+                 poisoned exactly once, in request order. *)
+              let resolution = ref [] in
+              List.iteri
+                (fun gi (true_bb, group) ->
+                  let committed = List.mem true_bb blocks in
+                  let gkills =
+                    List.filter
+                      (fun (_, (pl : Poison.placement)) ->
+                        pl.Poison.p_decision.Poison.true_bb = true_bb)
+                      ours
+                  in
+                  let group_mems =
+                    List.map (fun (r : Hoist.spec_req) -> r.Hoist.mem) group
+                  in
+                  let garr =
+                    match group with
+                    | r :: _ -> Some r.Hoist.arr
+                    | [] -> None
+                  in
+                  if committed then begin
+                    (match gkills with
+                    | ((e : Replay.event), _) :: _ ->
+                      add
+                        (Diag.make ~block:e.Replay.ev_block ?arr:garr
+                           ~mem:e.Replay.ev_mem ~sev:Diag.Error
+                           ~analysis:Diag.Poison_coverage ~slice:Diag.Cu
+                           (Fmt.str
+                              "store group of bb%d commits on path %a but \
+                               is also poisoned %d time(s) — its value \
+                               stream gets an extra entry"
+                              true_bb pp_path blocks (List.length gkills)))
+                    | [] -> ());
+                    (* first resolution event: the produce at true_bb *)
+                    let pos =
+                      let rec find i = function
+                        | [] -> None
+                        | (e : Replay.event) :: rest ->
+                          if
+                            e.Replay.ev_kind = Replay.Produce
+                            && e.Replay.ev_block = true_bb
+                            && List.mem e.Replay.ev_mem group_mems
+                          then Some i
+                          else find (i + 1) rest
+                      in
+                      find 0 o.Replay.events
+                    in
+                    resolution := (gi, true_bb, pos) :: !resolution
+                  end
+                  else begin
+                    let kill_mems =
+                      List.map (fun ((e : Replay.event), _) -> e.Replay.ev_mem)
+                        gkills
+                    in
+                    if kill_mems <> group_mems then begin
+                      List.iter
+                        (fun m ->
+                          let n =
+                            List.length (List.filter (( = ) m) kill_mems)
+                          in
+                          if n = 0 then
+                            add
+                              (Diag.make ~block:head ~mem:m ?arr:garr
+                                 ~sev:Diag.Error
+                                 ~analysis:Diag.Poison_coverage ~slice:Diag.Cu
+                                 (Fmt.str
+                                    "store mem%d speculated at bb%d is \
+                                     never poisoned on mis-speculated path \
+                                     %a — the store unit deadlocks"
+                                    m head pp_path blocks))
+                          else if n > 1 then
+                            add
+                              (Diag.make ~block:head ~mem:m ?arr:garr
+                                 ~sev:Diag.Error
+                                 ~analysis:Diag.Poison_coverage ~slice:Diag.Cu
+                                 (Fmt.str
+                                    "store mem%d speculated at bb%d is \
+                                     poisoned %d times on path %a"
+                                    m head n pp_path blocks)))
+                        (List.sort_uniq compare group_mems);
+                      if
+                        List.sort compare kill_mems
+                        = List.sort compare group_mems
+                      then
+                        add
+                          (Diag.make ~block:head ?arr:garr ~sev:Diag.Error
+                             ~analysis:Diag.Poison_coverage ~slice:Diag.Cu
+                             (Fmt.str
+                                "poison calls on path %a run [%a] but the \
+                                 group speculates [%a] — out of request \
+                                 order"
+                                pp_path blocks
+                                Fmt.(list ~sep:comma (fmt "mem%d"))
+                                kill_mems
+                                Fmt.(list ~sep:comma (fmt "mem%d"))
+                                group_mems))
+                    end;
+                    let pos =
+                      match gkills with
+                      | ((e : Replay.event), _) :: _ ->
+                        let rec find i = function
+                          | [] -> None
+                          | (e' : Replay.event) :: rest ->
+                            if e' == e then Some i else find (i + 1) rest
+                        in
+                        find 0 o.Replay.events
+                      | [] -> None
+                    in
+                    resolution := (gi, true_bb, pos) :: !resolution
+                  end)
+                groups;
+              (* Speculation order: group i must resolve (first produce or
+                 poison) before group i+1 on every path. *)
+              let res = List.rev !resolution in
+              let rec order = function
+                | (gi1, bb1, Some p1) :: (((gi2, bb2, Some p2) :: _) as rest)
+                  ->
+                  if p1 > p2 then
+                    add
+                      (Diag.make ~block:head ~sev:Diag.Error
+                         ~analysis:Diag.Poison_coverage ~slice:Diag.Cu
+                         (Fmt.str
+                            "store groups of bb%d and bb%d (speculated at \
+                             bb%d in that order) resolve out of \
+                             speculation order on path %a (positions %d \
+                             and %d)"
+                            bb1 bb2 head pp_path blocks p1 p2));
+                  ignore gi1;
+                  ignore gi2;
+                  order rest
+                | _ :: rest -> order rest
+                | [] -> ()
+              in
+              order res)
+            paths)
+    si.Pipeline.hoist.Hoist.spec_req_map;
+  List.rev !diags
+
+(* --- 3. LoD residue ----------------------------------------------------- *)
+
+let check_residue (p : Pipeline.t) : Diag.t list =
+  match p.Pipeline.spec with
+  | None -> []
+  | Some si ->
+    let hoist = si.Pipeline.hoist in
+    let diags = ref [] in
+    let add d = diags := d :: !diags in
+    (* Primary rule: in the final AGU, a consume of a hoisted load that is
+       not one of the consumes Algorithm 1 itself relocated to a chain
+       head is a residue — the hoist was supposed to eliminate it. *)
+    Func.iter_instrs p.Pipeline.agu (fun (i : Instr.t) ->
+        match i.Instr.kind with
+        | Instr.Consume_val { arr; mem }
+          when List.mem mem hoist.Hoist.hoisted_mems
+               && not (List.mem i.Instr.id hoist.Hoist.head_consume_ids) ->
+          let block =
+            match Func.block_of_instr p.Pipeline.agu ~id:i.Instr.id with
+            | Some b -> Some b.Block.bid
+            | None -> None
+          in
+          add
+            (Diag.make ?block ~mem ~arr ~sev:Diag.Error
+               ~analysis:Diag.Lod_residue ~slice:Diag.Agu
+               (Fmt.str
+                  "the AGU still consumes hoisted load mem%d outside its \
+                   chain head (%%%d) — a loss-of-decoupling \
+                   synchronization speculation should have eliminated"
+                  mem i.Instr.id))
+        | _ -> ());
+    (* Secondary (conservative) rule: a load with a control LoD whose
+       every source block is a speculation target, sitting inside the
+       region Algorithm 1's traversal actually visits from one of those
+       heads, should have been hoisted. Blocks outside that region — in a
+       nested loop, or reachable from the head only through one — are
+       exempt: the traversal never gets there. *)
+    let data_blocked = Lod.data_blocked p.Pipeline.lod in
+    let loops = Loops.compute p.Pipeline.original in
+    let region_memo = Hashtbl.create 8 in
+    let in_region ~head b =
+      let region =
+        match Hashtbl.find_opt region_memo head with
+        | Some r -> r
+        | None ->
+          let r = Hoist.traversal_order p.Pipeline.original loops head in
+          Hashtbl.replace region_memo head r;
+          r
+      in
+      b <> head && List.mem b region
+    in
+    List.iter
+      (fun (op : Lod.mem_op) ->
+        if
+          (not op.Lod.is_store)
+          && (not (List.mem op.Lod.mem hoist.Hoist.hoisted_mems))
+          && not (List.mem op.Lod.mem data_blocked)
+        then
+          match List.assoc_opt op.Lod.mem p.Pipeline.lod.Lod.control_lod with
+          | Some srcs when srcs <> [] ->
+            let heads =
+              List.concat_map
+                (Lod.heads_for_source p.Pipeline.lod)
+                srcs
+            in
+            if
+              List.length heads >= List.length srcs
+              && List.exists
+                   (fun head -> in_region ~head op.Lod.block)
+                   heads
+            then
+              add
+                (Diag.make ~block:op.Lod.block ~mem:op.Lod.mem ~arr:op.Lod.arr
+                   ~sev:Diag.Warning ~analysis:Diag.Lod_residue
+                   ~slice:Diag.Agu
+                   (Fmt.str
+                      "load mem%d has a control LoD that speculation \
+                       targets (heads %a) yet was not hoisted — residual \
+                       synchronization"
+                      op.Lod.mem
+                      Fmt.(list ~sep:comma (fmt "bb%d"))
+                      (List.sort_uniq compare heads)))
+          | _ -> ())
+      p.Pipeline.lod.Lod.mem_ops;
+    List.rev !diags
+
+(* --- entry points ------------------------------------------------------- *)
+
+let dedup (ds : Diag.t list) : Diag.t list =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun d ->
+      if Hashtbl.mem seen d then false
+      else begin
+        Hashtbl.replace seen d ();
+        true
+      end)
+    ds
+
+let run ?(path_limit = Poison.default_path_limit) (p : Pipeline.t) :
+    Diag.t list =
+  let dispatches =
+    match p.Pipeline.spec with
+    | Some si -> si.Pipeline.poison.Poison.dispatches
+    | None -> []
+  in
+  let agu_ctx =
+    Replay.create ~orig:p.Pipeline.original ~slice:p.Pipeline.snap_agu
+      ~final:p.Pipeline.agu ~slice_tag:Diag.Agu
+      ~inserted_from:p.Pipeline.cu_inserted_from ~dispatches:[]
+  in
+  let cu_ctx =
+    Replay.create ~orig:p.Pipeline.original ~slice:p.Pipeline.snap_cu
+      ~final:p.Pipeline.cu ~slice_tag:Diag.Cu
+      ~inserted_from:p.Pipeline.cu_inserted_from ~dispatches
+  in
+  let balance = check_balance ~path_limit p agu_ctx cu_ctx in
+  let coverage =
+    match p.Pipeline.spec with
+    | Some si -> check_coverage ~path_limit p si cu_ctx
+    | None -> []
+  in
+  let residue = check_residue p in
+  dedup (balance @ coverage @ residue)
+
+let install () =
+  Pipeline.post_check_hook :=
+    fun p ->
+      let ds = run p in
+      if Diag.errors ds > 0 then
+        raise
+          (Pipeline.Compile_error
+             (Fmt.str "%s: decoupling protocol check failed:@.%a"
+                p.Pipeline.original.Func.name Diag.pp_report ds))

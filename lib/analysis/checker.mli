@@ -1,0 +1,28 @@
+(** The inter-slice decoupling soundness checker: three path-sensitive
+    analyses over the pre-cleanup slice snapshots of a compiled pipeline.
+
+    - {b Channel balance} (§3.2): on every trace segment, AGU store
+      requests and CU store values (produce/poison) form identical per-
+      array mem sequences, and every subscribing unit consumes exactly as
+      many load values as the AGU requests.
+    - {b Poison coverage} (§5.2): on every Algorithm 2 path from a
+      speculation block, each store group either commits at its true
+      block or has every request poisoned exactly once, in request order,
+      with groups resolving in speculation order — re-derived from the
+      materialised CU independently of the pass.
+    - {b LoD residue} (§5.1): the final AGU retains no consume of a
+      hoisted load besides the chain-head consumes Algorithm 1 placed.
+
+    A clean compile returns [[]]. *)
+
+open Dae_core
+
+(** [path_limit] bounds both the segment enumeration and the Algorithm 2
+    path enumeration (default {!Poison.default_path_limit}); overruns
+    degrade to [Warning] diagnostics, never exceptions. *)
+val run : ?path_limit:int -> Pipeline.t -> Diag.t list
+
+(** Install the checker as {!Pipeline.post_check_hook}: every
+    [Pipeline.compile ~check:true] then raises {!Pipeline.Compile_error}
+    listing the diagnostics whenever the checker finds an [Error]. *)
+val install : unit -> unit

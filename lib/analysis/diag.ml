@@ -1,0 +1,71 @@
+(* Structured diagnostics for the inter-slice soundness checker.
+
+   A diagnostic names the analysis that produced it, the slice and program
+   point it anchors to, and the channel (mem id / array) it concerns, so a
+   report line reads like
+
+     error[balance] cu bb6 (edge bb4->bb6) mem5 A: produce/poison stream
+     diverges from the AGU store requests: expected mem5, found mem7
+
+   Severities: [Error] is a protocol violation (the compiled slices can
+   deadlock or misalign value streams); [Warning] is a suspicious artifact
+   the checker cannot prove wrong (or an analysis it had to skip); [Info]
+   is an expected synchronization (Dae mode, data LoD) reported only under
+   verbose listing. *)
+
+type severity = Error | Warning | Info
+
+type analysis = Balance | Poison_coverage | Lod_residue | Structure
+
+type slice = Agu | Cu | Both
+
+type t = {
+  sev : severity;
+  analysis : analysis;
+  slice : slice;
+  block : int option;  (** block the diagnostic anchors to *)
+  edge : (int * int) option;  (** diverging edge, when known *)
+  mem : Dae_ir.Instr.mem_id option;
+  arr : string option;
+  msg : string;
+}
+
+let make ?block ?edge ?mem ?arr ~sev ~analysis ~slice msg =
+  { sev; analysis; slice; block; edge; mem; arr; msg }
+
+let analysis_name = function
+  | Balance -> "balance"
+  | Poison_coverage -> "poison"
+  | Lod_residue -> "lod-residue"
+  | Structure -> "structure"
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let slice_name = function Agu -> "agu" | Cu -> "cu" | Both -> "agu+cu"
+
+let pp ppf (d : t) =
+  Fmt.pf ppf "%s[%s] %s" (severity_name d.sev)
+    (analysis_name d.analysis)
+    (slice_name d.slice);
+  (match d.block with Some b -> Fmt.pf ppf " bb%d" b | None -> ());
+  (match d.edge with
+  | Some (s, t) -> Fmt.pf ppf " (edge bb%d->bb%d)" s t
+  | None -> ());
+  (match d.mem with Some m -> Fmt.pf ppf " mem%d" m | None -> ());
+  (match d.arr with Some a -> Fmt.pf ppf " %s" a | None -> ());
+  Fmt.pf ppf ": %s" d.msg
+
+let count sev ds = List.length (List.filter (fun d -> d.sev = sev) ds)
+let errors ds = count Error ds
+let warnings ds = count Warning ds
+
+let pp_report ppf (ds : t list) =
+  if ds = [] then Fmt.pf ppf "0 diagnostics@."
+  else begin
+    List.iter (fun d -> Fmt.pf ppf "%a@." pp d) ds;
+    Fmt.pf ppf "%d error(s), %d warning(s), %d info@." (errors ds)
+      (warnings ds) (count Info ds)
+  end

@@ -1,0 +1,42 @@
+(** Structured diagnostics for the inter-slice soundness checker.
+
+    [Error] = protocol violation (deadlock or value-stream misalignment is
+    reachable); [Warning] = suspicious artifact or a skipped analysis;
+    [Info] = an expected synchronization, reported only in verbose
+    listings. *)
+
+type severity = Error | Warning | Info
+type analysis = Balance | Poison_coverage | Lod_residue | Structure
+type slice = Agu | Cu | Both
+
+type t = {
+  sev : severity;
+  analysis : analysis;
+  slice : slice;
+  block : int option;
+  edge : (int * int) option;
+  mem : Dae_ir.Instr.mem_id option;
+  arr : string option;
+  msg : string;
+}
+
+val make :
+  ?block:int ->
+  ?edge:int * int ->
+  ?mem:Dae_ir.Instr.mem_id ->
+  ?arr:string ->
+  sev:severity ->
+  analysis:analysis ->
+  slice:slice ->
+  string ->
+  t
+
+val analysis_name : analysis -> string
+val severity_name : severity -> string
+val slice_name : slice -> string
+val pp : Format.formatter -> t -> unit
+val errors : t list -> int
+val warnings : t list -> int
+
+(** One line per diagnostic plus a severity tally (or "0 diagnostics"). *)
+val pp_report : Format.formatter -> t list -> unit

@@ -1,0 +1,241 @@
+(* Abstract replay of an original-CFG block path over a pre-cleanup slice.
+
+   The decoupler clones the original function, so before cleanup both
+   slices still contain every original block id; the speculation passes
+   move instructions between those blocks (Hoist, Spec_load) and insert
+   fresh blocks on CU edges (Poison's hosts, dispatches and joins — all
+   with bid >= [inserted_from]). Replaying a path [b0; b1; ...] therefore
+   walks the slice's copy of each bi, collecting its channel events, and
+   between bi and b(i+1) traverses whatever inserted chain the poison pass
+   spliced onto that edge.
+
+   Steered dispatch blocks branch on an Algorithm 3 steering flag — an SSA
+   boolean φ network (Steer) that is true iff the current iteration's path
+   passed the speculation block. The replay evaluates the *materialized*
+   network: every I1 φ whose incoming value for the actual predecessor is
+   a constant or an already-evaluated flag is tracked in an environment,
+   and a dispatch branches on the looked-up value. When the environment
+   cannot decide (a path entered mid-iteration), the fallback re-derives
+   the flag abstractly over the walked prefix with exactly Steer's rules:
+   true at the speculation block, false at any loop header, false when not
+   forward-reachable from the speculation block, true when dominated by
+   it, otherwise carried. *)
+
+open Dae_ir
+
+type ekind = Send_ld | Send_st | Consume | Produce | Kill
+
+type event = {
+  ev_block : int;  (** slice block hosting the instruction *)
+  ev_instr : int;
+  ev_arr : string;
+  ev_mem : Instr.mem_id;
+  ev_kind : ekind;
+}
+
+type ctx = {
+  orig : Func.t;
+  slice : Func.t;
+  slice_tag : Diag.slice;
+  inserted_from : int;
+  survivors : (int, unit) Hashtbl.t;
+  dispatches : (int * int) list;  (** dispatch bid -> guarding spec_bb *)
+  loops : Loops.t;  (** of [orig] *)
+  dom : Dom.t;  (** of [orig] *)
+  reach : Reach.t;  (** of [orig] *)
+}
+
+(* Cleanup only ever deletes instructions (ids are never renumbered), so
+   "this snapshot consume still executes" is exactly "its id is still in
+   the final slice" — more precise than re-running the liveness analysis
+   on the snapshot, where a consume can feed a branch that cleanup's
+   DCE/simplify fixed point later folds away. *)
+let create ~(orig : Func.t) ~(slice : Func.t) ~(final : Func.t) ~slice_tag
+    ~inserted_from ~dispatches : ctx =
+  let loops = Loops.compute orig in
+  let survivors = Hashtbl.create 64 in
+  Func.iter_instrs final (fun i -> Hashtbl.replace survivors i.Instr.id ());
+  {
+    orig;
+    slice;
+    slice_tag;
+    inserted_from;
+    survivors;
+    dispatches;
+    loops;
+    dom = Dom.compute orig;
+    reach = Reach.create_with_backedges orig ~backedges:loops.Loops.backedges;
+  }
+
+type outcome = { events : event list; diags : Diag.t list }
+
+(* Steer's flag for [spec_bb] at the end of a forward path walking
+   [prefix] (oldest block first) — the abstract per-path evaluation of the
+   φ network Steer materializes. *)
+let steer_eval (c : ctx) ~spec_bb (prefix : int list) : bool =
+  List.fold_left
+    (fun flag b ->
+      if b = spec_bb then true
+      else if Loops.is_header c.loops b then false
+      else if not (Reach.reachable c.reach ~src:spec_bb ~dst:b) then false
+      else if Dom.dominates c.dom spec_bb b then true
+      else flag)
+    false prefix
+
+let replay (c : ctx) (path : int list) : outcome =
+  let events = ref [] in
+  let diags = ref [] in
+  let env : (int, bool) Hashtbl.t = Hashtbl.create 32 in
+  let prefix = ref [] in
+  (* walked original blocks, newest first *)
+  let prev = ref None in
+  (* actual slice-level predecessor block *)
+  let diag ?block ?edge sev msg =
+    diags :=
+      Diag.make ?block ?edge ~sev ~analysis:Diag.Structure ~slice:c.slice_tag
+        msg
+      :: !diags
+  in
+  let exception Abort in
+  let eval_operand = function
+    | Types.Cst (Types.Bool b) -> Some b
+    | Types.Cst (Types.Int _) -> None
+    | Types.Var v -> Hashtbl.find_opt env v
+  in
+  let enter_block bid =
+    match Func.block_opt c.slice bid with
+    | None ->
+      diag ~block:bid Diag.Error
+        (Fmt.str "original block bb%d is missing from the slice snapshot" bid);
+      raise Abort
+    | Some b ->
+      (match !prev with
+      | None -> ()
+      | Some p ->
+        List.iter
+          (fun (phi : Block.phi) ->
+            if phi.Block.ty = Types.I1 then
+              match List.assoc_opt p phi.Block.incoming with
+              | Some op -> (
+                match eval_operand op with
+                | Some v -> Hashtbl.replace env phi.Block.pid v
+                | None -> ())
+              | None -> ())
+          b.Block.phis);
+      List.iter
+        (fun (i : Instr.t) ->
+          let push kind arr mem =
+            events :=
+              {
+                ev_block = bid;
+                ev_instr = i.Instr.id;
+                ev_arr = arr;
+                ev_mem = mem;
+                ev_kind = kind;
+              }
+              :: !events
+          in
+          match i.Instr.kind with
+          | Instr.Send_ld_addr { arr; mem; _ } -> push Send_ld arr mem
+          | Instr.Send_st_addr { arr; mem; _ } -> push Send_st arr mem
+          | Instr.Consume_val { arr; mem } ->
+            (* a consume whose value is dead is removed by slice DCE and
+               never executes: replay only the ones cleanup kept *)
+            if Hashtbl.mem c.survivors i.Instr.id then push Consume arr mem
+          | Instr.Produce_val { arr; mem; _ } -> push Produce arr mem
+          | Instr.Poison { arr; mem } -> push Kill arr mem
+          | _ -> ())
+        b.Block.instrs;
+      prev := Some bid
+  in
+  (* Walk from original block [b] to its original successor [next],
+     traversing any inserted chain the poison pass spliced on the edge.
+     When (b, next) is not an original edge the step is a contraction gap
+     (Segments/Poison.all_paths jump over nested loops): nothing executes
+     between the two blocks as far as this scope is concerned, so the walk
+     just moves on. *)
+  let step b next =
+    let ob = Func.block c.orig b in
+    let orig_edges = Block.successor_edges ob in
+    let arm =
+      let rec find j = function
+        | [] -> None
+        | t :: _ when t = next -> Some j
+        | _ :: rest -> find (j + 1) rest
+      in
+      find 0 orig_edges
+    in
+    match arm with
+    | None -> (* contraction gap *) ()
+    | Some j ->
+      let sb = Func.block c.slice b in
+      let slice_edges = Block.successor_edges sb in
+      (match List.nth_opt slice_edges j with
+      | None ->
+        diag ~block:b Diag.Error
+          (Fmt.str
+             "slice terminator of bb%d has %d arms where the original has %d"
+             b (List.length slice_edges) (List.length orig_edges));
+        raise Abort
+      | Some first ->
+        let cur = ref first in
+        let steps = ref 0 in
+        while !cur >= c.inserted_from do
+          incr steps;
+          if !steps > 10_000 then begin
+            diag ~edge:(b, next) Diag.Error
+              "inserted-block chain does not terminate";
+            raise Abort
+          end;
+          let bid = !cur in
+          enter_block bid;
+          let ib = Func.block c.slice bid in
+          (match ib.Block.term with
+          | Block.Br t -> cur := t
+          | Block.Cond_br (flag_op, t, f) ->
+            let v =
+              match eval_operand flag_op with
+              | Some v -> Some v
+              | None -> (
+                match List.assoc_opt bid c.dispatches with
+                | Some spec_bb ->
+                  Some (steer_eval c ~spec_bb (List.rev !prefix))
+                | None -> None)
+            in
+            (match v with
+            | Some true -> cur := t
+            | Some false -> cur := f
+            | None ->
+              diag ~block:bid ~edge:(b, next) Diag.Warning
+                "cannot statically evaluate the steering flag of an \
+                 inserted dispatch; taking the fall-through arm";
+              cur := f)
+          | Block.Switch _ | Block.Ret _ ->
+            diag ~block:bid ~edge:(b, next) Diag.Error
+              "inserted block ends in a switch or return";
+            raise Abort)
+        done;
+        if !cur <> next then begin
+          diag ~edge:(b, next) Diag.Error
+            (Fmt.str
+               "replay diverged: original edge bb%d->bb%d resolves to bb%d \
+                in the slice"
+               b next !cur);
+          raise Abort
+        end)
+  in
+  (try
+     match path with
+     | [] -> ()
+     | b0 :: rest ->
+       prefix := [ b0 ];
+       enter_block b0;
+       List.iter
+         (fun next ->
+           let b = List.hd !prefix in
+           step b next;
+           prefix := next :: !prefix;
+           enter_block next)
+         rest
+   with Abort -> ());
+  { events = List.rev !events; diags = List.rev !diags }

@@ -1,0 +1,49 @@
+(** Abstract replay of an original-CFG block path over a pre-cleanup slice
+    snapshot, yielding the ordered stream of channel events the slice
+    would emit along that path. Inserted poison blocks (bid >=
+    [inserted_from]) are traversed between original blocks; steered
+    dispatch branches are resolved from the materialized steering-φ
+    network, with an abstract re-derivation of Steer's flag as fallback. *)
+
+open Dae_ir
+
+type ekind = Send_ld | Send_st | Consume | Produce | Kill
+
+type event = {
+  ev_block : int;  (** slice block hosting the instruction *)
+  ev_instr : int;
+  ev_arr : string;
+  ev_mem : Instr.mem_id;
+  ev_kind : ekind;
+}
+
+type ctx
+
+(** [final] is the post-cleanup slice: a snapshot consume emits an event
+    only when its instruction id survived into [final] (cleanup deletes
+    but never renumbers, so id membership is exact). [dispatches] maps
+    inserted dispatch block ids to the speculation block guarding them
+    (from [Poison.t.dispatches]); analyses of the original function are
+    computed once per context. *)
+val create :
+  orig:Func.t ->
+  slice:Func.t ->
+  final:Func.t ->
+  slice_tag:Diag.slice ->
+  inserted_from:int ->
+  dispatches:(int * int) list ->
+  ctx
+
+type outcome = { events : event list; diags : Diag.t list }
+
+(** Steer's Algorithm 3 flag for [spec_bb] after walking [prefix] (oldest
+    block first); exposed for the poison-coverage analysis. *)
+val steer_eval : ctx -> spec_bb:int -> int list -> bool
+
+(** Replay an original block path. Consecutive blocks that are not
+    CFG-adjacent are contraction gaps (a jump over a nested loop): the
+    walk enters the next block without traversing an inserted chain. A
+    structural divergence (missing block, non-terminating inserted chain)
+    aborts the walk with an [Error] diagnostic; events collected so far
+    are still returned. *)
+val replay : ctx -> int list -> outcome

@@ -1,0 +1,123 @@
+(* The path universe the channel-balance analysis quantifies over.
+
+   A dynamic trace decomposes into per-loop iteration chunks: each
+   execution of a loop body from its header up to the latch (backedge
+   taken), an exit edge (one block past the loop), or a return. The
+   balance invariant is checked per *scope* — a loop, or the top level —
+   on the segments of that scope, counting only the events whose home
+   scope matches (the checker filters by scope): an event stream that is
+   balanced on every segment of its own scope is balanced on every
+   dynamic trace by concatenation of chunks.
+
+   Segments of a scope follow forward edges through the scope's body and
+   step OVER nested loops the same way [Poison.all_paths] does: the walk
+   enters the inner header, jumps to each exit-edge source and continues
+   past the exit edge. Interior inner-loop blocks are covered by the
+   inner loop's own segments; the blocks a segment does include from a
+   nested loop (header, exit sources, exit chains) carry only block-local
+   or inner-scope events there, which the scope filter discards. A
+   consequence is that consecutive blocks of a segment are NOT always
+   CFG-adjacent (the header -> exit-source jump); the replayer treats a
+   non-edge step as a gap and simply does not traverse an inserted chain
+   for it.
+
+   The enumeration is exhaustive DFS over the forward-edge DAG; a budget
+   bounds the worst case (the same concern as [Poison.all_paths]) with a
+   typed overrun instead of an exception, so the checker can degrade to a
+   "skipped" warning. *)
+
+open Dae_ir
+
+type budget = { start : int; limit : int; explored : int }
+
+type seg = {
+  sg_scope : int option;  (** header of the scope loop, [None] at top level *)
+  sg_blocks : int list;
+}
+
+let default_limit = 500_000
+
+let segments ?(limit = default_limit) (f : Func.t) : (seg list, budget) result
+    =
+  let loops = Loops.compute f in
+  let headers =
+    List.sort_uniq compare
+      (List.map (fun l -> l.Loops.header) loops.Loops.loops)
+  in
+  let starts =
+    (f.Func.entry, Loops.innermost loops f.Func.entry)
+    :: List.filter_map
+         (fun h ->
+           if h = f.Func.entry then None
+           else Some (h, Loops.loop_of_header loops h))
+         headers
+  in
+  let out = ref [] in
+  let count = ref 0 in
+  let exception Exceeded of int in
+  let walk (start, (scope : Loops.loop option)) =
+    let own_header =
+      match scope with Some l -> Some l.Loops.header | None -> None
+    in
+    let in_scope b =
+      match scope with Some l -> List.mem b l.Loops.body | None -> true
+    in
+    let foreign_loop s =
+      if Loops.is_header loops s && Some s <> own_header then
+        Loops.loop_of_header loops s
+      else None
+    in
+    let exit_edges (l : Loops.loop) =
+      List.concat_map
+        (fun u ->
+          Func.successors f u
+          |> List.filter (fun v ->
+                 (not (List.mem v l.Loops.body))
+                 && not (Loops.is_backedge loops ~src:u ~dst:v))
+          |> List.map (fun v -> (u, v)))
+        l.Loops.body
+    in
+    let record acc =
+      out := { sg_scope = own_header; sg_blocks = List.rev acc } :: !out
+    in
+    let tick () =
+      incr count;
+      if !count > limit then raise (Exceeded start)
+    in
+    (* [bid] is already in [acc]. A block ends its segment when the
+       backedge leaves it (latch) or nothing follows (return); an edge out
+       of the scope ends the segment one block past it, so the exit edge's
+       inserted chain is still replayed in this scope. *)
+    let rec go bid acc =
+      tick ();
+      let succs = Func.successors f bid in
+      if
+        succs = []
+        || List.exists (fun s -> Loops.is_backedge loops ~src:bid ~dst:s) succs
+      then record acc;
+      List.iter
+        (fun s ->
+          if not (Loops.is_backedge loops ~src:bid ~dst:s) then
+            if in_scope s then enter s acc
+            else record (s :: acc))
+        succs
+    and enter s acc =
+      tick ();
+      match foreign_loop s with
+      | None -> go s (s :: acc)
+      | Some l' -> (
+        let acc = s :: acc in
+        match exit_edges l' with
+        | [] -> record acc (* the nested loop never exits *)
+        | exits ->
+          List.iter
+            (fun (u, v) ->
+              let acc = if u = s then acc else u :: acc in
+              if in_scope v then enter v acc else record (v :: acc))
+            exits)
+    in
+    go start [ start ]
+  in
+  match List.iter walk starts with
+  | () -> Ok (List.rev !out)
+  | exception Exceeded start -> Error { start; limit; explored = !count }

@@ -1,0 +1,25 @@
+(** The path universe the channel-balance analysis quantifies over: every
+    dynamic trace decomposes into per-loop iteration chunks, and each
+    chunk is covered by a segment of its scope — entry or a loop header,
+    forward edges through the scope's body with nested loops stepped over
+    (header, then each exit-edge source), ending at a latch about to take
+    its backedge, at a return, or one block past a scope-exit edge. An
+    event-stream invariant holding, per scope, on every segment of that
+    scope holds on every trace. Consecutive blocks of a segment are not
+    always CFG-adjacent (the jump over a nested loop); the replayer
+    treats non-edge steps as gaps. *)
+
+open Dae_ir
+
+(** Typed enumeration overrun: [explored] blocks visited from segment
+    start [start] when the budget [limit] was crossed. *)
+type budget = { start : int; limit : int; explored : int }
+
+type seg = {
+  sg_scope : int option;  (** header of the scope loop, [None] at top level *)
+  sg_blocks : int list;
+}
+
+val default_limit : int
+
+val segments : ?limit:int -> Func.t -> (seg list, budget) result

@@ -72,13 +72,11 @@ let run (f : Func.t) : t =
   rewrite_slice cu ~mode:`Cu;
   { original = f; agu; cu; channels }
 
-(* DCE where [Consume_val] is not a root: a consume survives only when its
-   value feeds something live in the slice (an address chain, a branch, a
-   produce). This is how a slice sheds the loads it does not need. *)
-let dce_slice (f : Func.t) : unit =
-  (* Temporarily treat consumes as value-producing pure instructions by
-     running the normal DCE with a pre-pass: the normal DCE roots
-     side-effecting instructions, so instead we inline a variant here. *)
+(* The liveness DCE works from: a value is live when it transitively feeds
+   a root (a side-effecting instruction other than [Consume_val], or a
+   terminator). Exposed because the soundness checker needs the same
+   definition to predict which pre-cleanup consumes survive. *)
+let live_values (f : Func.t) : (int, unit) Hashtbl.t =
   let live = Hashtbl.create 64 in
   let worklist = Queue.create () in
   let mark v =
@@ -121,6 +119,18 @@ let dce_slice (f : Func.t) : unit =
       | None -> ()
       | Some (p, _) -> mark_operands (List.map snd p.Block.incoming))
   done;
+  live
+
+(* DCE where [Consume_val] is not a root: a consume survives only when its
+   value feeds something live in the slice (an address chain, a branch, a
+   produce). This is how a slice sheds the loads it does not need. *)
+let dce_slice (f : Func.t) : unit =
+  let live = live_values f in
+  let is_root (i : Instr.t) =
+    match i.Instr.kind with
+    | Instr.Consume_val _ -> false
+    | _ -> Instr.has_side_effect i
+  in
   let changed = ref true in
   while !changed do
     changed := false;

@@ -20,6 +20,12 @@ type t = {
 (** Rewrite memory ops into channel ops; no cleanup yet. *)
 val run : Func.t -> t
 
+(** The liveness relation behind {!dce_slice}: a value is live when it
+    transitively feeds a root (a side-effecting instruction other than
+    [consume_val], or a terminator). The soundness checker uses the same
+    definition to predict which pre-cleanup consumes survive. *)
+val live_values : Func.t -> (int, unit) Hashtbl.t
+
 (** Slice DCE in which [consume_val] is not a root: consumes survive only
     if the slice uses their value. *)
 val dce_slice : Func.t -> unit

@@ -26,6 +26,10 @@ type t = {
   (* chain head -> requests speculated there, in speculation order *)
   spec_req_map : (int * spec_req list) list;
   hoisted_mems : Instr.mem_id list; (* all speculated ops *)
+  head_consume_ids : int list;
+  (* consumes this pass placed at chain heads (address-chain relocations
+     plus §5.4-on-the-AGU relocations): the only AGU consumes of a hoisted
+     load that are legitimate after speculation *)
 }
 
 exception Unhoistable of string
@@ -105,28 +109,67 @@ let rec materialize_operand (agu : Func.t) (dom : Dom.t) ~head ~memo
 
 (* The blocks visited by Algorithm 1's traversal from [src], in reverse
    post-order: follow forward edges only, and do not enter loops other than
-   the innermost loop containing [src]. *)
+   the innermost loop containing [src].
+
+   Membership never crosses a nested loop (a block reachable from [src]
+   only through one stays outside the region), but the ORDER must: the
+   speculation order is the order the AGU emits hoisted requests in, and
+   the CU resolves them in program order, so it has to be a topological
+   order of the region under the real CFG — including the precedence a
+   nested loop induces between the block before it and the blocks after
+   it. Dropping those edges (as a plain skip-based RPO does) can order a
+   request whose true-block feeds a nested loop AFTER one that follows the
+   loop, and the streams then mismatch on every path through the former.
+   The RPO therefore runs over the contracted graph — a nested loop is
+   replaced by edges from its header to its exit targets — and the result
+   is filtered back to the skip-based membership. *)
 let traversal_order (f : Func.t) (loops : Loops.t) src : int list =
   let own_loop = Loops.innermost loops src in
-  let skip ~src:u ~dst =
-    Loops.is_backedge loops ~src:u ~dst
-    ||
-    (* Entering another loop = stepping onto a header that is not our own
-       loop's header. (Our own header is only reachable via the backedge,
-       already skipped.) *)
-    (Loops.is_header loops dst
-    &&
-    match own_loop with
-    | Some l -> dst <> l.Loops.header
-    | None -> true)
-    ||
-    (* Stay inside our own loop: the region of interest ends at the latch;
-       loop-exit edges leave the region. *)
-    (match own_loop with
-    | Some l -> not (List.mem dst l.Loops.body)
-    | None -> false)
+  let own_header =
+    match own_loop with Some l -> Some l.Loops.header | None -> None
   in
-  Order.reverse_postorder ~skip ~succs:(Func.successors f) src
+  let in_scope dst =
+    match own_loop with Some l -> List.mem dst l.Loops.body | None -> true
+  in
+  let foreign_loop s =
+    if Loops.is_header loops s && Some s <> own_header then
+      Loops.loop_of_header loops s
+    else None
+  in
+  (* Blocks actually entered when a forward edge lands on [s]: [s] itself,
+     or — when [s] heads a nested loop — whatever its exit edges land on,
+     expanded recursively (forward edges form a DAG, so this terminates). *)
+  let rec expand s =
+    if not (in_scope s) then []
+    else
+      match foreign_loop s with
+      | None -> [ s ]
+      | Some l' ->
+        List.concat_map
+          (fun b ->
+            Func.successors f b
+            |> List.filter (fun v ->
+                   (not (List.mem v l'.Loops.body))
+                   && not (Loops.is_backedge loops ~src:b ~dst:v))
+            |> List.concat_map expand)
+          l'.Loops.body
+  in
+  let contracted_succs u =
+    Func.successors f u
+    |> List.filter (fun s -> not (Loops.is_backedge loops ~src:u ~dst:s))
+    |> List.concat_map expand
+  in
+  let member =
+    let skip ~src:u ~dst =
+      Loops.is_backedge loops ~src:u ~dst
+      || (Loops.is_header loops dst && Some dst <> own_header)
+      || not (in_scope dst)
+    in
+    Order.reverse_postorder ~skip ~succs:(Func.successors f) src
+  in
+  List.filter
+    (fun b -> List.mem b member)
+    (Order.reverse_postorder ~succs:contracted_succs src)
 
 let run (agu : Func.t) (lod : Lod.t) : t =
   let loops = Loops.compute agu in
@@ -145,6 +188,70 @@ let run (agu : Func.t) (lod : Lod.t) : t =
       | None -> []
       | Some sources ->
         List.filter (fun s -> List.mem s lod.Lod.chain_heads) sources
+  in
+  (* Store-order safety (pre-pass). Hoisting a store to array X makes the
+     AGU emit X's request at the head while the CU resolves it as late as
+     the poison edges; any other X-store the hoist cannot carry along that
+     can execute between those two points splits X's request and value
+     streams out of order (the §2 failure, re-created by the compiler).
+     Only a store that can execute while the group is pending is a
+     hazard: it must be forward-reachable from the head (backedges
+     excluded — every group resolves by the end of its iteration, the
+     kills sit on edges into the latch at the latest). The head itself
+     and the latch are exempt: a pair in the head completes before the
+     appended hoisted sends, and every resolution precedes the latch.
+     What remains (typically a store inside or beyond a nested loop,
+     which the traversal cannot reach) blocks speculation of that
+     array's stores from this head. *)
+  let dom0 = Dom.compute agu in
+  let reach0 =
+    Reach.create_with_backedges agu ~backedges:loops.Loops.backedges
+  in
+  let blocked_store_arrays : (int, string list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun head ->
+      let candidate_ids = Hashtbl.create 16 in
+      List.iter
+        (fun fromBB ->
+          if fromBB <> head then
+            List.iter
+              (fun (i : Instr.t) ->
+                match i.Instr.kind with
+                | Instr.Send_st_addr { mem; _ }
+                  when List.mem head (heads_of_mem mem) ->
+                  Hashtbl.replace candidate_ids i.Instr.id ()
+                | _ -> ())
+              (Func.block agu fromBB).Block.instrs)
+        (traversal_order agu loops head);
+      let scope_blocks, latch =
+        match Loops.innermost loops head with
+        | Some l -> (l.Loops.body, Some l.Loops.latch)
+        | None -> (List.map (fun b -> b.Block.bid) (Func.blocks_in_layout agu), None)
+      in
+      let blocked = ref [] in
+      List.iter
+        (fun bid ->
+          List.iter
+            (fun (i : Instr.t) ->
+              match i.Instr.kind with
+              | Instr.Send_st_addr { arr; _ }
+                when (not (Hashtbl.mem candidate_ids i.Instr.id))
+                     && Reach.reachable reach0 ~src:head ~dst:bid
+                     && (not (Dom.dominates dom0 bid head))
+                     && Some bid <> latch
+                     && not (List.mem arr !blocked) ->
+                blocked := arr :: !blocked
+              | _ -> ())
+            (Func.block agu bid).Block.instrs)
+        scope_blocks;
+      Hashtbl.replace blocked_store_arrays head !blocked)
+    lod.Lod.chain_heads;
+  let store_blocked head arr =
+    match Hashtbl.find_opt blocked_store_arrays head with
+    | Some arrs -> List.mem arr arrs
+    | None -> false
   in
   let hoisted_mems = ref [] in
   let removals : (int * int) list ref = ref [] in
@@ -171,7 +278,11 @@ let run (agu : Func.t) (lod : Lod.t) : t =
                   | Instr.Send_ld_addr { arr; idx; mem }
                   | Instr.Send_st_addr { arr; idx; mem }
                     when List.mem head (heads_of_mem mem)
-                         && not (Hashtbl.mem copies i.Instr.id) ->
+                         && (not (Hashtbl.mem copies i.Instr.id))
+                         && (match i.Instr.kind with
+                            | Instr.Send_st_addr { arr; _ } ->
+                              not (store_blocked head arr)
+                            | _ -> true) ->
                     let is_store =
                       match i.Instr.kind with
                       | Instr.Send_st_addr _ -> true
@@ -287,7 +398,12 @@ let run (agu : Func.t) (lod : Lod.t) : t =
       in
       Ssa_repair.rewrite_uses agu ~old_vid ~defs ~ty:Types.I32 ())
     by_vid;
-  { spec_req_map; hoisted_mems = List.rev !hoisted_mems }
+  let head_consume_ids =
+    List.filter_map
+      (fun (_, _, op) -> match op with Types.Var v -> Some v | _ -> None)
+      !relocated
+  in
+  { spec_req_map; hoisted_mems = List.rev !hoisted_mems; head_consume_ids }
 
 let spec_requests (t : t) head =
   match List.assoc_opt head t.spec_req_map with Some rs -> rs | None -> []

@@ -25,6 +25,10 @@ type t = {
       (** chain head -> requests in speculation order (the paper's
           SpecReqMap) *)
   hoisted_mems : Instr.mem_id list;
+  head_consume_ids : int list;
+      (** [Consume_val] instruction ids this pass placed at chain heads —
+          the only AGU consumes of a hoisted load that are legitimate after
+          speculation (everything else is an LoD residue) *)
 }
 
 exception Unhoistable of string
@@ -32,6 +36,12 @@ exception Unhoistable of string
 (** Mutates the AGU slice. @raise Unhoistable on address chains that cross
     a φ or a non-relocatable impure definition. *)
 val run : Func.t -> Lod.t -> t
+
+(** The blocks Algorithm 1's traversal visits from a chain head, in
+    reverse post-order: forward edges only, never leaving the head's
+    innermost loop and never entering a nested one. Exposed so the static
+    checker can reproduce the exact region a hoist could have reached. *)
+val traversal_order : Func.t -> Loops.t -> int -> int list
 
 val spec_requests : t -> int -> spec_req list
 val pp : Format.formatter -> t -> unit

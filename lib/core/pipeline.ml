@@ -22,6 +22,7 @@ type mode = Dae | Spec
 
 type spec_info = {
   hoist : Hoist.t;
+  poison : Poison.t;
   poison_stats : Poison.stats;
   merged_blocks : int;
   load_stats : Spec_load.stats;
@@ -33,12 +34,34 @@ type t = {
   lod : Lod.t;
   agu : Func.t;
   cu : Func.t;
+  snap_agu : Func.t;
+  snap_cu : Func.t;
+  cu_inserted_from : int;
   channels : Decouple.channel_use list;
   load_subscribers : (Instr.mem_id * [ `Agu | `Cu ] list) list;
   spec : spec_info option;
 }
 
 exception Compile_error of string
+
+(* Installed by the soundness checker (lib/analysis depends on this
+   library, so the dependency runs through a hook): called on the finished
+   pipeline whenever [compile ~check:true] succeeds. *)
+let post_check_hook : (t -> unit) ref = ref (fun _ -> ())
+
+(* Per-pass verification: a speculation pass that corrupts the IR is named
+   in the failure instead of surfacing at the end of the pipeline. *)
+let verify_stage ~check ~stage (f : Func.t) =
+  if check then
+    match Verify.check f with
+    | Ok () -> ()
+    | Error es ->
+      raise
+        (Compile_error
+           (Fmt.str "%s: IR verification failed after %s:@.%a" f.Func.name
+              stage
+              Fmt.(list ~sep:(any "@.") Verify.pp_error)
+              es))
 
 let compile ?(mode = Spec) ?(policy = Lod.Raw_hazard_loads)
     ?(merge = true) ?(check = true) (original : Func.t) : t =
@@ -62,6 +85,13 @@ let compile ?(mode = Spec) ?(policy = Lod.Raw_hazard_loads)
   let lod = Lod.analyze ~policy original in
   let slices = Decouple.run original in
   let agu = slices.Decouple.agu and cu = slices.Decouple.cu in
+  (* Blocks with ids at or past this point are speculation-pass inserts
+     (poison hosts, steering dispatch/join blocks) rather than clones of
+     original blocks — the boundary the checker's path replay keys on. *)
+  let cu_inserted_from = cu.Func.next_bid in
+  (* Pre-cleanup snapshot of the CU: captured after the last CU speculation
+     pass but before DCE/simplification erases the original block ids. *)
+  let cu_snapshot = ref None in
   let spec =
     match mode with
     | Dae -> None
@@ -76,24 +106,34 @@ let compile ?(mode = Spec) ?(policy = Lod.Raw_hazard_loads)
         try Hoist.run agu lod
         with Hoist.Unhoistable msg -> raise (Compile_error msg)
       in
+      verify_stage ~check ~stage:"hoist (Algorithm 1)" agu;
       if hoist.Hoist.spec_req_map = [] then None
       else begin
         let poison = Poison.run cu hoist in
+        verify_stage ~check ~stage:"poison (Algorithms 2+3)" cu;
         let load_stats = Spec_load.run cu hoist in
+        verify_stage ~check ~stage:"spec_load (§5.4)" cu;
+        cu_snapshot := Some (Func.clone cu);
         (* merge after CFG cleanup: simplification collapses the empty join
            blocks between a poison block and the latch, exposing poison
            blocks with identical successors (the paper's mm example merges
            only then) *)
         Decouple.cleanup cu;
         let merged_blocks = if merge then Merge.run cu else 0 in
+        verify_stage ~check ~stage:"merge (§5.3)" cu;
         Some
           {
             hoist;
+            poison;
             poison_stats = poison.Poison.stats;
             merged_blocks;
             load_stats;
           }
       end
+  in
+  let snap_agu = Func.clone agu in
+  let snap_cu =
+    match !cu_snapshot with Some c -> c | None -> Func.clone cu
   in
   Decouple.cleanup agu;
   Decouple.cleanup cu;
@@ -101,18 +141,25 @@ let compile ?(mode = Spec) ?(policy = Lod.Raw_hazard_loads)
     Verify.check_exn agu;
     Verify.check_exn cu
   end;
-  {
-    mode;
-    original;
-    lod;
-    agu;
-    cu;
-    channels = slices.Decouple.channels;
-    load_subscribers =
-      Decouple.load_subscribers
-        { slices with Decouple.agu; Decouple.cu };
-    spec;
-  }
+  let t =
+    {
+      mode;
+      original;
+      lod;
+      agu;
+      cu;
+      snap_agu;
+      snap_cu;
+      cu_inserted_from;
+      channels = slices.Decouple.channels;
+      load_subscribers =
+        Decouple.load_subscribers
+          { slices with Decouple.agu; Decouple.cu };
+      spec;
+    }
+  in
+  if check then !post_check_hook t;
+  t
 
 (* Number of CU blocks that exist purely to poison (post-merge), the
    quantity Table 1 reports. *)

@@ -17,6 +17,7 @@ type mode =
 
 type spec_info = {
   hoist : Hoist.t;
+  poison : Poison.t;  (** decisions + placements, for the checker *)
   poison_stats : Poison.stats;
   merged_blocks : int;
   load_stats : Spec_load.stats;
@@ -28,6 +29,15 @@ type t = {
   lod : Lod.t;
   agu : Func.t;
   cu : Func.t;
+  snap_agu : Func.t;
+      (** AGU snapshot after the speculation passes but before cleanup:
+          every original block id is still present, so the checker can
+          replay original CFG paths over it *)
+  snap_cu : Func.t;  (** CU snapshot, same stage *)
+  cu_inserted_from : int;
+      (** CU blocks with [bid >= cu_inserted_from] were inserted by the
+          poison pass (hosts, dispatches, joins), not cloned from the
+          original *)
   channels : Decouple.channel_use list;
   load_subscribers : (Instr.mem_id * [ `Agu | `Cu ] list) list;
   spec : spec_info option;  (** [None] when nothing was speculated *)
@@ -35,8 +45,16 @@ type t = {
 
 exception Compile_error of string
 
+(** Called on the finished pipeline whenever [compile ~check:true]
+    succeeds. The static soundness checker ([Dae_analysis.Checker], which
+    depends on this library) installs itself here so every checked compile
+    is also protocol-checked. *)
+val post_check_hook : (t -> unit) ref
+
 (** [merge] toggles §5.3 poison-block merging (ablations); [check] runs the
-    IR verifier on the input and on both slices. *)
+    IR verifier on the input, after each speculation pass (naming the
+    offending pass in the {!Compile_error}), and on both final slices —
+    then invokes {!post_check_hook}. *)
 val compile :
   ?mode:mode -> ?policy:Lod.policy -> ?merge:bool -> ?check:bool -> Func.t -> t
 

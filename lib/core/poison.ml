@@ -43,51 +43,128 @@ type stats = {
   mutable steer_phis : int;
 }
 
-type t = { decisions : decision list; stats : stats }
+(* A poison call materialised by Phase 2, tied back to its Phase 1
+   decision: what the static checker needs to attribute every poison
+   instruction in the CU to the (spec_bb, true_bb, edge) that justified
+   it. *)
+type placement = {
+  p_instr : int;
+  p_mem : Instr.mem_id;
+  p_host : int;
+  p_steered : bool;
+  p_decision : decision;
+}
+
+type t = {
+  decisions : decision list;
+  placements : placement list;
+  dispatches : (int * int) list;
+  stats : stats;
+}
 
 exception Poison_error of string
+
+type path_budget = { src : int; limit : int; explored : int }
+
+let default_path_limit = 200_000
 
 (* All DAG paths (as edge lists) from [src] to the latch of its innermost
    loop (or to function exits when [src] is not in a loop). Loop-exit edges
    terminate a path: every group still pending there is out of reach and
-   gets poisoned on that edge. *)
-let all_paths (f : Func.t) (loops : Loops.t) src : (int * int) list list =
+   gets poisoned on that edge.
+
+   Loops nested inside the scope are stepped OVER, not into: the path takes
+   the edge onto the inner header and resumes at each of the inner loop's
+   exit edges. Descending into the body would dead-end at the inner latch
+   (its only forward-filtered successor is the backedge), and Phase 1 would
+   then poison every pending group on an edge that re-executes on every
+   inner iteration. Contracting keeps every decision on a once-per-episode
+   edge; that is sound because Algorithm 1 never speculates a request out
+   of or into a nested loop, so no true-block lies inside one, and a
+   header's ≥2 predecessors (entry + backedge) stop Algorithm 3 from ever
+   prepending a poison into a block the inner loop re-executes. *)
+let all_paths ?(limit = default_path_limit) (f : Func.t) (loops : Loops.t) src
+    : ((int * int) list list, path_budget) result =
   let own_loop = Loops.innermost loops src in
+  let own_header =
+    match own_loop with Some l -> Some l.Loops.header | None -> None
+  in
   let in_scope dst =
     match own_loop with Some l -> List.mem dst l.Loops.body | None -> true
+  in
+  let foreign_loop s =
+    if Loops.is_header loops s && Some s <> own_header then
+      Loops.loop_of_header loops s
+    else None
+  in
+  let exit_edges (l : Loops.loop) =
+    List.concat_map
+      (fun u ->
+        Func.successors f u
+        |> List.filter (fun v ->
+               (not (List.mem v l.Loops.body))
+               && not (Loops.is_backedge loops ~src:u ~dst:v))
+        |> List.map (fun v -> (u, v)))
+      l.Loops.body
   in
   let terminal bid =
     match own_loop with
     | Some l -> bid = l.Loops.latch
     | None -> Func.successors f bid = []
   in
-  let limit = 200_000 in
   let count = ref 0 in
   let paths = ref [] in
+  let exception Exceeded in
+  let record acc = paths := List.rev acc :: !paths in
   let rec go bid acc =
     incr count;
-    if !count > limit then
-      raise (Poison_error "path explosion in Algorithm 2 (CFG too irregular)");
-    if terminal bid then paths := List.rev acc :: !paths
+    if !count > limit then raise Exceeded;
+    if terminal bid then record acc
     else begin
       let succs =
         List.filter
           (fun s -> not (Loops.is_backedge loops ~src:bid ~dst:s))
           (Func.successors f bid)
       in
-      if succs = [] then paths := List.rev acc :: !paths
+      if succs = [] then record acc
       else
         List.iter
           (fun s ->
-            if in_scope s then go s ((bid, s) :: acc)
+            if in_scope s then continue_to (bid, s) acc
             else
               (* loop-exit edge: terminal for poisoning purposes *)
-              paths := List.rev ((bid, s) :: acc) :: !paths)
+              record ((bid, s) :: acc))
           succs
     end
+  and continue_to ((_, v) as edge) acc =
+    incr count;
+    if !count > limit then raise Exceeded;
+    let acc = edge :: acc in
+    match foreign_loop v with
+    | None -> go v acc
+    | Some l' -> (
+      match exit_edges l' with
+      | [] -> record acc (* the nested loop never exits: the path ends here *)
+      | exits ->
+        List.iter
+          (fun ((_, v') as e) ->
+            if in_scope v' then continue_to e acc else record (e :: acc))
+          exits)
   in
-  go src [];
-  List.rev !paths
+  match go src [] with
+  | () -> Ok (List.rev !paths)
+  | exception Exceeded -> Error { src; limit; explored = !count }
+
+let all_paths_exn ?limit f loops src =
+  match all_paths ?limit f loops src with
+  | Ok paths -> paths
+  | Error b ->
+    raise
+      (Poison_error
+         (Fmt.str
+            "path explosion in Algorithm 2: %d blocks explored from bb%d \
+             exceed the limit of %d (CFG too irregular)"
+            b.explored b.src b.limit))
 
 (* Group consecutive requests by their true block, preserving order. *)
 let group_by_true_bb (reqs : Hoist.spec_req list) :
@@ -103,7 +180,7 @@ let group_by_true_bb (reqs : Hoist.spec_req list) :
 
 (* --- Phase 1: map poisons to edges (Algorithm 2) ------------------------- *)
 
-let map_to_edges (cu : Func.t) (hoist : Hoist.t) : decision list =
+let map_to_edges ?limit (cu : Func.t) (hoist : Hoist.t) : decision list =
   let loops = Loops.compute cu in
   let reach = Reach.create_with_backedges cu ~backedges:loops.Loops.backedges in
   let decisions = ref [] in
@@ -145,7 +222,7 @@ let map_to_edges (cu : Func.t) (hoist : Hoist.t) : decision list =
                 in
                 resolve ())
               path)
-          (all_paths cu loops spec_bb))
+          (all_paths_exn ?limit cu loops spec_bb))
     hoist.Hoist.spec_req_map;
   List.rev !decisions
 
@@ -158,9 +235,31 @@ let poison_instrs (cu : Func.t) (group : Hoist.spec_req list) : Instr.t list =
         kind = Instr.Poison { arr = r.Hoist.arr; mem = r.Hoist.mem } })
     group
 
-let place (cu : Func.t) (decisions : decision list) : stats =
+type placed = {
+  pl_stats : stats;
+  pl_placements : placement list;
+  pl_dispatches : (int * int) list;
+}
+
+let place (cu : Func.t) (decisions : decision list) : placed =
   let stats =
     { poison_calls = 0; poison_blocks = 0; steer_blocks = 0; steer_phis = 0 }
+  in
+  let placements = ref [] in
+  let dispatches = ref [] in
+  let record ~host ~steered d (instrs : Instr.t list) =
+    List.iter2
+      (fun (i : Instr.t) (r : Hoist.spec_req) ->
+        placements :=
+          {
+            p_instr = i.Instr.id;
+            p_mem = r.Hoist.mem;
+            p_host = host;
+            p_steered = steered;
+            p_decision = d;
+          }
+          :: !placements)
+      instrs d.requests
   in
   let dom = Dom.compute cu in
   let steer = Steer.create cu in
@@ -210,12 +309,18 @@ let place (cu : Func.t) (decisions : decision list) : stats =
           (fun d ->
             let instrs = poison_instrs cu d.requests in
             stats.poison_calls <- stats.poison_calls + List.length instrs;
+            record ~host:src ~steered:false d instrs;
             List.iter (Block.append_instr (Func.block cu src)) instrs)
           ds
       end
       else if all_unsteered && dst_preds = [ src ] then begin
         let instrs =
-          List.concat_map (fun d -> poison_instrs cu d.requests) ds
+          List.concat_map
+            (fun d ->
+              let instrs = poison_instrs cu d.requests in
+              record ~host:dst ~steered:false d instrs;
+              instrs)
+            ds
         in
         stats.poison_calls <- stats.poison_calls + List.length instrs;
         List.iter (Block.prepend_instr (Func.block cu dst)) (List.rev instrs)
@@ -232,6 +337,7 @@ let place (cu : Func.t) (decisions : decision list) : stats =
               let host =
                 match !last_plain with Some b -> b | None -> fresh_plain ()
               in
+              record ~host:host.Block.bid ~steered:false d instrs;
               List.iter (Block.append_instr host) instrs
             end
             else begin
@@ -249,6 +355,8 @@ let place (cu : Func.t) (decisions : decision list) : stats =
               in
               dispatch.Block.term <-
                 Block.Cond_br (flag, poison_bb.Block.bid, join.Block.bid);
+              dispatches := (dispatch.Block.bid, d.spec_bb) :: !dispatches;
+              record ~host:poison_bb.Block.bid ~steered:true d instrs;
               List.iter (Block.append_instr poison_bb) instrs;
               stats.poison_blocks <- stats.poison_blocks + 1;
               stats.steer_blocks <- stats.steer_blocks + 2;
@@ -257,9 +365,18 @@ let place (cu : Func.t) (decisions : decision list) : stats =
             end)
           ds)
     edges;
-  stats
+  {
+    pl_stats = stats;
+    pl_placements = List.rev !placements;
+    pl_dispatches = List.rev !dispatches;
+  }
 
-let run (cu : Func.t) (hoist : Hoist.t) : t =
-  let decisions = map_to_edges cu hoist in
-  let stats = place cu decisions in
-  { decisions; stats }
+let run ?limit (cu : Func.t) (hoist : Hoist.t) : t =
+  let decisions = map_to_edges ?limit cu hoist in
+  let placed = place cu decisions in
+  {
+    decisions;
+    placements = placed.pl_placements;
+    dispatches = placed.pl_dispatches;
+    stats = placed.pl_stats;
+  }

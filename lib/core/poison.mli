@@ -31,21 +31,65 @@ type stats = {
   mutable steer_phis : int;
 }
 
-type t = { decisions : decision list; stats : stats }
+(** A poison call materialised by Phase 2, tied back to its Phase 1
+    decision — the record the static soundness checker uses to attribute
+    every poison instruction in the CU. *)
+type placement = {
+  p_instr : int;  (** the poison instruction's SSA id *)
+  p_mem : Instr.mem_id;
+  p_host : int;  (** block hosting the instruction *)
+  p_steered : bool;  (** guarded by a steering-flag dispatch (case 2) *)
+  p_decision : decision;
+}
+
+type t = {
+  decisions : decision list;
+  placements : placement list;
+  dispatches : (int * int) list;
+      (** steered dispatch blocks: (dispatch bid, spec_bb guarding it) *)
+  stats : stats;
+}
 
 exception Poison_error of string
 
+(** The typed path-explosion overrun: how many blocks the enumeration had
+    visited when it crossed [limit], starting from [src]. *)
+type path_budget = { src : int; limit : int; explored : int }
+
+val default_path_limit : int
+
 (** All DAG paths (edge lists) from a block to its loop latch (or function
-    exits). @raise Poison_error on path explosion. *)
-val all_paths : Func.t -> Loops.t -> int -> (int * int) list list
+    exits), or the budget record when the enumeration exceeds [limit]
+    (default {!default_path_limit}). Loops nested inside the block's own
+    loop are contracted: a path takes the edge onto the inner header and
+    resumes at the inner loop's exit edges, so consecutive edges need not
+    be adjacent and no edge interior to a nested loop ever carries an
+    Algorithm 2 decision. *)
+val all_paths :
+  ?limit:int ->
+  Func.t ->
+  Loops.t ->
+  int ->
+  ((int * int) list list, path_budget) result
+
+(** [all_paths] with the historical raising behavior.
+    @raise Poison_error on path explosion. *)
+val all_paths_exn : ?limit:int -> Func.t -> Loops.t -> int -> (int * int) list list
 
 val group_by_true_bb :
   Hoist.spec_req list -> (int * Hoist.spec_req list) list
 
-(** Phase 1 — runs on the unmodified CU CFG. *)
-val map_to_edges : Func.t -> Hoist.t -> decision list
+(** Phase 1 — runs on the unmodified CU CFG.
+    @raise Poison_error on path explosion. *)
+val map_to_edges : ?limit:int -> Func.t -> Hoist.t -> decision list
+
+type placed = {
+  pl_stats : stats;
+  pl_placements : placement list;
+  pl_dispatches : (int * int) list;
+}
 
 (** Phase 2 — mutates the CU. *)
-val place : Func.t -> decision list -> stats
+val place : Func.t -> decision list -> placed
 
-val run : Func.t -> Hoist.t -> t
+val run : ?limit:int -> Func.t -> Hoist.t -> t

@@ -1,3 +1,6 @@
+(* Every checked compile in this suite is also protocol-checked. *)
+let () = Dae_analysis.Checker.install ()
+
 (* The §7 application backends: the DeSC prefetcher ISA lowering (§7.1)
    and the stream-dataflow CGRA lowering (§7.2). *)
 
@@ -7,9 +10,9 @@ let tc = Alcotest.test_case
 let check = Alcotest.check
 
 let spec_pipeline () =
-  Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig1 ())
+  Pipeline.compile ~check:true ~mode:Pipeline.Spec (Fixtures.fig1 ())
 
-let dae_pipeline () = Pipeline.compile ~mode:Pipeline.Dae (Fixtures.fig1 ())
+let dae_pipeline () = Pipeline.compile ~check:true ~mode:Pipeline.Dae (Fixtures.fig1 ())
 
 (* --- DeSC (§7.1) --------------------------------------------------------------- *)
 
@@ -56,7 +59,7 @@ let test_desc_listing_structure () =
 
 let test_desc_poison_count_matches_pipeline () =
   let p =
-    Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig4 ())
+    Pipeline.compile ~check:true ~mode:Pipeline.Spec (Fixtures.fig4 ())
   in
   let l = Desc_backend.lower p in
   check Alcotest.int "store_inv = poison calls"
@@ -82,7 +85,7 @@ let test_cgra_dae_streams_predicated () =
   check Alcotest.int "no clean ports" 0 t.Cgra_backend.clean_ports
 
 let test_cgra_clean_ports_match_poisons () =
-  let p = Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
+  let p = Pipeline.compile ~check:true ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
   let t = Cgra_backend.lower p in
   check Alcotest.int "clean ports = poison calls"
     (Pipeline.poison_call_count p)
@@ -110,7 +113,7 @@ let backend_props =
       (fun seed ->
         let g = Dae_workloads.Gen.generate ~seed () in
         let p =
-          Pipeline.compile ~mode:Pipeline.Spec g.Dae_workloads.Gen.func
+          Pipeline.compile ~check:true ~mode:Pipeline.Spec g.Dae_workloads.Gen.func
         in
         let l = Desc_backend.lower p in
         (* every poison lowered, nothing lost *)
@@ -121,7 +124,7 @@ let backend_props =
       (fun seed ->
         let g = Dae_workloads.Gen.generate ~seed () in
         let p =
-          Pipeline.compile ~mode:Pipeline.Spec g.Dae_workloads.Gen.func
+          Pipeline.compile ~check:true ~mode:Pipeline.Spec g.Dae_workloads.Gen.func
         in
         (Cgra_backend.lower p).Cgra_backend.clean_ports
         = Pipeline.poison_call_count p);

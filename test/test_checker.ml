@@ -1,0 +1,312 @@
+(* Validation of the inter-slice soundness checker (lib/analysis).
+
+   The mutation harness compiles Figure 4 cleanly, injects one protocol
+   bug into the pre-cleanup snapshots (or the final AGU), and asserts the
+   checker flags it with a correctly-located diagnostic — one test per
+   bug class. The qcheck property closes the other direction: randomly
+   generated kernels compile checker-clean in both modes, so the
+   diagnostics above are signal, not noise. *)
+
+open Dae_ir
+module Pipeline = Dae_core.Pipeline
+module Poison = Dae_core.Poison
+module Hoist = Dae_core.Hoist
+module Checker = Dae_analysis.Checker
+module Diag = Dae_analysis.Diag
+module G = Dae_workloads.Gen
+module Kernels = Dae_workloads.Kernels
+
+let check = Alcotest.check
+
+let compile_fig4 () = Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig4 ())
+
+let spec_info (p : Pipeline.t) =
+  match p.Pipeline.spec with
+  | Some s -> s
+  | None -> Alcotest.fail "expected speculation to apply"
+
+(* First instruction of [f] satisfying [pred], with its block. *)
+let find_instr (f : Func.t) pred =
+  let found = ref None in
+  List.iter
+    (fun (b : Block.t) ->
+      if !found = None then
+        List.iter
+          (fun (i : Instr.t) ->
+            if !found = None && pred i then found := Some (b, i))
+          b.Block.instrs)
+    (Func.blocks_in_layout f);
+  match !found with
+  | Some x -> x
+  | None -> Alcotest.fail "mutation target not found"
+
+let has ?block ?mem ~analysis ~sev diags =
+  List.exists
+    (fun (d : Diag.t) ->
+      d.Diag.analysis = analysis
+      && d.Diag.sev = sev
+      && (match block with None -> true | Some b -> d.Diag.block = Some b)
+      && match mem with None -> true | Some m -> d.Diag.mem = Some m)
+    diags
+
+let assert_flagged name ?block ?mem ~analysis p =
+  let diags = Checker.run p in
+  if not (has ?block ?mem ~analysis ~sev:Diag.Error diags) then
+    Alcotest.failf "%s: expected a located %s error, got:@.%a" name
+      (Diag.analysis_name analysis)
+      Diag.pp_report diags
+
+(* Baseline: the unmutated compile is diagnostic-free, so every flag
+   below is caused by its injected bug alone. *)
+let test_fig4_clean () =
+  check Alcotest.int "clean compile has no diagnostics" 0
+    (List.length (Checker.run (compile_fig4 ())))
+
+(* Bug 1: the AGU never requests a store the CU resolves. *)
+let test_mut_drop_agu_send () =
+  let p = compile_fig4 () in
+  let b, i =
+    find_instr p.Pipeline.snap_agu (fun i ->
+        match i.Instr.kind with
+        | Instr.Send_st_addr { mem = 0; _ } -> true
+        | _ -> false)
+  in
+  Block.remove_instr b ~id:i.Instr.id;
+  assert_flagged "drop AGU send" ~analysis:Diag.Balance p
+
+(* Bug 2: the CU never produces a value the AGU requested. *)
+let test_mut_drop_cu_produce () =
+  let p = compile_fig4 () in
+  let b, i =
+    find_instr p.Pipeline.snap_cu (fun i ->
+        match i.Instr.kind with
+        | Instr.Produce_val { mem = 3; _ } -> true
+        | _ -> false)
+  in
+  Block.remove_instr b ~id:i.Instr.id;
+  assert_flagged "drop CU produce" ~analysis:Diag.Balance p
+
+(* Bug 3: a mis-speculated path leaves one request unresolved. *)
+let test_mut_drop_poison () =
+  let p = compile_fig4 () in
+  let b, i =
+    find_instr p.Pipeline.snap_cu (fun i ->
+        match i.Instr.kind with Instr.Poison _ -> true | _ -> false)
+  in
+  let mem =
+    match i.Instr.kind with Instr.Poison { mem; _ } -> mem | _ -> assert false
+  in
+  let spec_bb =
+    let si = spec_info p in
+    match
+      List.find_opt
+        (fun (pl : Poison.placement) -> pl.Poison.p_instr = i.Instr.id)
+        si.Pipeline.poison.Poison.placements
+    with
+    | Some pl -> pl.Poison.p_decision.Poison.spec_bb
+    | None -> Alcotest.fail "poison has no placement record"
+  in
+  Block.remove_instr b ~id:i.Instr.id;
+  assert_flagged "drop poison" ~block:spec_bb ~mem
+    ~analysis:Diag.Poison_coverage p
+
+(* Bug 4: the same request is poisoned twice on one path. *)
+let test_mut_duplicate_poison () =
+  let p = compile_fig4 () in
+  let b, i =
+    find_instr p.Pipeline.snap_cu (fun i ->
+        match i.Instr.kind with Instr.Poison _ -> true | _ -> false)
+  in
+  let mem =
+    match i.Instr.kind with Instr.Poison { mem; _ } -> mem | _ -> assert false
+  in
+  Block.append_instr b i;
+  assert_flagged "duplicate poison" ~mem ~analysis:Diag.Poison_coverage p
+
+(* Bug 5: a poison no Algorithm 2 decision justifies. *)
+let test_mut_rogue_poison () =
+  let p = compile_fig4 () in
+  let b, _ =
+    find_instr p.Pipeline.snap_cu (fun i ->
+        match i.Instr.kind with Instr.Poison _ -> true | _ -> false)
+  in
+  Block.prepend_instr b
+    {
+      Instr.id = Func.fresh_vid p.Pipeline.snap_cu;
+      kind = Instr.Poison { arr = "A"; mem = 5 };
+    };
+  assert_flagged "rogue poison" ~block:b.Block.bid
+    ~analysis:Diag.Poison_coverage p
+
+(* Bug 6: two groups' poisons swapped — kills run against speculation
+   order (fig4's bb17-analogue hosts kills for two store groups). *)
+let test_mut_swap_poisons () =
+  let p = compile_fig4 () in
+  let host =
+    List.find_opt
+      (fun (b : Block.t) ->
+        let mems =
+          List.filter_map
+            (fun (i : Instr.t) ->
+              match i.Instr.kind with
+              | Instr.Poison { mem; _ } -> Some mem
+              | _ -> None)
+            b.Block.instrs
+        in
+        List.length (List.sort_uniq compare mems) >= 2)
+      (Func.blocks_in_layout p.Pipeline.snap_cu)
+  in
+  match host with
+  | None -> Alcotest.fail "no block hosts two groups' poisons"
+  | Some b ->
+    let poisons, rest =
+      List.partition
+        (fun (i : Instr.t) ->
+          match i.Instr.kind with Instr.Poison _ -> true | _ -> false)
+        b.Block.instrs
+    in
+    b.Block.instrs <- rest @ List.rev poisons;
+    assert_flagged "swap poisons" ~analysis:Diag.Poison_coverage p
+
+(* Bug 7: a consume of a hoisted load survives in the final AGU. *)
+let test_mut_residual_consume () =
+  let p = compile_fig4 () in
+  let si = spec_info p in
+  let mem =
+    match si.Pipeline.hoist.Hoist.hoisted_mems with
+    | m :: _ -> m
+    | [] -> Alcotest.fail "nothing was hoisted"
+  in
+  let b = List.hd (Func.blocks_in_layout p.Pipeline.agu) in
+  Block.append_instr b
+    {
+      Instr.id = Func.fresh_vid p.Pipeline.agu;
+      kind = Instr.Consume_val { arr = "A"; mem };
+    };
+  assert_flagged "residual consume" ~block:b.Block.bid ~mem
+    ~analysis:Diag.Lod_residue p
+
+(* Bug 8: the CU drops a load consume and starves the channel. *)
+let test_mut_drop_cu_consume () =
+  let p = compile_fig4 () in
+  let survives id =
+    let s = ref false in
+    Func.iter_instrs p.Pipeline.cu (fun i -> if i.Instr.id = id then s := true);
+    !s
+  in
+  let b, i =
+    find_instr p.Pipeline.snap_cu (fun i ->
+        match i.Instr.kind with
+        | Instr.Consume_val _ -> survives i.Instr.id
+        | _ -> false)
+  in
+  let mem =
+    match i.Instr.kind with
+    | Instr.Consume_val { mem; _ } -> mem
+    | _ -> assert false
+  in
+  Block.remove_instr b ~id:i.Instr.id;
+  (* the snapshot mutation alone is invisible to the survivor filter; the
+     event stream shrinks only once the final CU drops the id too *)
+  (let fb, _ =
+     find_instr p.Pipeline.cu (fun fi -> fi.Instr.id = i.Instr.id)
+   in
+   Block.remove_instr fb ~id:i.Instr.id);
+  assert_flagged "drop CU consume" ~mem ~analysis:Diag.Balance p
+
+(* --- checker-clean properties ------------------------------------------- *)
+
+let () = Checker.install ()
+
+let modes = [ Pipeline.Dae; Pipeline.Spec ]
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make
+      ~name:"generated kernels compile checker-clean (both modes, ±inner loops)"
+      ~count:30 small_nat
+      (fun seed ->
+        List.for_all
+          (fun inner ->
+            List.for_all
+              (fun mode ->
+                let g = G.generate ~seed ~inner_loops:inner () in
+                let p =
+                  Pipeline.compile ~check:true ~mode (Func.clone g.G.func)
+                in
+                Checker.run p = [])
+              modes)
+          [ false; true ]);
+  ]
+
+let test_paper_kernels_clean () =
+  List.iter
+    (fun (k : Kernels.t) ->
+      List.iter
+        (fun mode ->
+          let p = Pipeline.compile ~check:true ~mode (k.Kernels.build ()) in
+          check Alcotest.int
+            (Fmt.str "%s is diagnostic-free" k.Kernels.name)
+            0
+            (List.length (Checker.run p)))
+        modes)
+    (Kernels.paper_suite ())
+
+(* --- Poison.all_paths budget boundary ------------------------------------ *)
+
+let test_all_paths_budget () =
+  let f = Fixtures.fig4 () in
+  let loops = Loops.compute f in
+  let head = 4 in
+  (match Poison.all_paths f loops head with
+  | Ok paths -> check Alcotest.bool "default budget suffices" true (paths <> [])
+  | Error _ -> Alcotest.fail "default budget exceeded on fig4");
+  let rec minimal m =
+    if m > 10_000 then Alcotest.fail "no finite budget re-enumerates fig4"
+    else
+      match Poison.all_paths ~limit:m f loops head with
+      | Ok _ -> m
+      | Error _ -> minimal (m + 1)
+  in
+  let m = minimal 1 in
+  (match Poison.all_paths ~limit:(m - 1) f loops head with
+  | Ok _ -> Alcotest.fail "limit below the boundary must fail"
+  | Error (b : Poison.path_budget) ->
+    check Alcotest.int "budget src" head b.Poison.src;
+    check Alcotest.int "budget limit" (m - 1) b.Poison.limit;
+    check Alcotest.bool "explored exceeds limit" true
+      (b.Poison.explored > b.Poison.limit));
+  match Poison.all_paths_exn ~limit:(m - 1) f loops head with
+  | _ -> Alcotest.fail "all_paths_exn must raise below the boundary"
+  | exception Poison.Poison_error _ -> ()
+
+let () =
+  Alcotest.run "checker"
+    [
+      ( "mutations",
+        [
+          Alcotest.test_case "clean baseline" `Quick test_fig4_clean;
+          Alcotest.test_case "dropped AGU store request" `Quick
+            test_mut_drop_agu_send;
+          Alcotest.test_case "dropped CU produce" `Quick
+            test_mut_drop_cu_produce;
+          Alcotest.test_case "dropped poison" `Quick test_mut_drop_poison;
+          Alcotest.test_case "duplicated poison" `Quick
+            test_mut_duplicate_poison;
+          Alcotest.test_case "unjustified poison" `Quick test_mut_rogue_poison;
+          Alcotest.test_case "poisons against speculation order" `Quick
+            test_mut_swap_poisons;
+          Alcotest.test_case "residual hoisted consume" `Quick
+            test_mut_residual_consume;
+          Alcotest.test_case "dropped CU consume" `Quick
+            test_mut_drop_cu_consume;
+        ] );
+      ( "clean",
+        Alcotest.test_case "paper kernels, both modes" `Quick
+          test_paper_kernels_clean
+        :: List.map QCheck_alcotest.to_alcotest qcheck_props );
+      ( "budget",
+        [ Alcotest.test_case "all_paths boundary" `Quick test_all_paths_budget ]
+      );
+    ]

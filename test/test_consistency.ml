@@ -1,3 +1,6 @@
+(* Every checked compile in this suite is also protocol-checked. *)
+let () = Dae_analysis.Checker.install ()
+
 (* The dynamic counterpart of the paper's §6 proof, as properties over
    randomized structured kernels:
 
@@ -76,7 +79,7 @@ let qcheck_props =
         let g = G.generate ~seed () in
         (* compile calls Verify.check_exn internally with check:true *)
         let p =
-          Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Spec g.G.func
+          Dae_core.Pipeline.compile ~check:true ~mode:Dae_core.Pipeline.Spec g.G.func
         in
         ignore p;
         true);
@@ -135,7 +138,7 @@ let test_data_lod_unhoistable () =
   (* store address %6 depends on the loaded value %4 *)
   let lod = Dae_core.Lod.analyze f in
   Alcotest.(check bool) "data LoD detected" true (Dae_core.Lod.has_data_lod lod);
-  let p = Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Spec f in
+  let p = Dae_core.Pipeline.compile ~check:true ~mode:Dae_core.Pipeline.Spec f in
   (* the op was not speculated: the AGU keeps the synchronizing consume *)
   let agu_consumes =
     Dae_ir.Func.fold_instrs p.Dae_core.Pipeline.agu

@@ -1,3 +1,6 @@
+(* Every checked compile in this suite is also protocol-checked. *)
+let () = Dae_analysis.Checker.install ()
+
 (* Deeper unit coverage of the analysis substrate: traversal orders,
    dominance properties, dominance frontiers, SSA repair, and the steering
    flag network of Algorithm 3 case 2. *)
@@ -251,8 +254,8 @@ let test_steer_flag_values () =
 
 let test_load_subscribers_spec_vs_dae () =
   let f = Fixtures.fig1 () in
-  let dae = Pipeline.compile ~mode:Pipeline.Dae f in
-  let spec = Pipeline.compile ~mode:Pipeline.Spec f in
+  let dae = Pipeline.compile ~check:true ~mode:Pipeline.Dae f in
+  let spec = Pipeline.compile ~check:true ~mode:Pipeline.Spec f in
   let subs (p : Pipeline.t) =
     List.concat_map (fun (_, s) -> s) p.Pipeline.load_subscribers
   in

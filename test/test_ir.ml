@@ -191,6 +191,75 @@ let test_verify_use_before_def_across_blocks () =
   | Ok () -> Alcotest.fail "verifier accepted a non-dominating use"
   | Error _ -> ()
 
+(* The error [where] must point at the offending site — the checker and
+   the pass boundary reports both render it, so a drifting location makes
+   every downstream diagnostic lie. *)
+
+let contains s frag =
+  let n = String.length s and m = String.length frag in
+  let rec at i = i + m <= n && (String.sub s i m = frag || at (i + 1)) in
+  at 0
+
+let assert_where name expected_where what_frag = function
+  | Ok () -> Alcotest.failf "%s: verifier accepted malformed IR" name
+  | Error errs ->
+    if
+      not
+        (List.exists
+           (fun (e : Verify.error) ->
+             e.Verify.where = expected_where
+             && contains e.Verify.what what_frag)
+           errs)
+    then
+      Alcotest.failf "%s: no error at %S mentioning %S; got: %s" name
+        expected_where what_frag
+        (String.concat "; "
+           (List.map (Fmt.str "%a" Verify.pp_error) errs))
+
+let test_verify_where_phi_mismatch () =
+  let f =
+    Parser.parse
+      {|
+      func w1(n: %0) {
+      bb0:
+        br bb1
+      bb1:
+        %1 = phi i32 [bb0: 0], [bb9: 1]
+        ret
+      }
+      |}
+  in
+  assert_where "phi mismatch" "bb1" "do not match predecessors"
+    (Verify.check f)
+
+let test_verify_where_non_dominating_use () =
+  let f =
+    Parser.parse
+      {|
+      func w2(n: %0) {
+      bb0:
+        %1 = cmp slt %0, 3
+        br %1, bb1, bb2
+      bb1:
+        %2 = add %0, 1
+        br bb2
+      bb2:
+        %3 = add %2, 1
+        ret
+      }
+      |}
+  in
+  assert_where "non-dominating use" "bb2 %3" "does not dominate"
+    (Verify.check f)
+
+let test_verify_where_dangling_target () =
+  let b = Builder.create ~name:"w3" ~params:[] in
+  Builder.br b 12345;
+  let f = Builder.seal b in
+  assert_where "dangling target"
+    (Fmt.str "bb%d" f.Func.entry)
+    "missing block 12345" (Verify.check f)
+
 (* --- interpreter --------------------------------------------------------- *)
 
 let test_interp_fig1b () =
@@ -392,6 +461,10 @@ let () =
           tc "phi mismatch" `Quick test_verify_catches_phi_mismatch;
           tc "duplicate def" `Quick test_verify_catches_duplicate_def;
           tc "non-dominating use" `Quick test_verify_use_before_def_across_blocks;
+          tc "phi mismatch location" `Quick test_verify_where_phi_mismatch;
+          tc "non-dominating use location" `Quick
+            test_verify_where_non_dominating_use;
+          tc "dangling target location" `Quick test_verify_where_dangling_target;
         ] );
       ( "interp",
         [

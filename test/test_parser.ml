@@ -1,3 +1,6 @@
+(* Every checked compile in this suite is also protocol-checked. *)
+let () = Dae_analysis.Checker.install ()
+
 (* Textual IR parser: hand-written grammar cases, error reporting, and the
    print→parse→print round-trip property over random generated kernels and
    over every compiled slice of the benchmark suite. *)
@@ -140,7 +143,7 @@ let qcheck_props =
       (fun seed ->
         let g = Dae_workloads.Gen.generate ~seed () in
         let p =
-          Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Spec
+          Dae_core.Pipeline.compile ~check:true ~mode:Dae_core.Pipeline.Spec
             g.Dae_workloads.Gen.func
         in
         let ok1, _, _ = roundtrip_equal p.Dae_core.Pipeline.agu in

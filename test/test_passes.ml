@@ -1,3 +1,6 @@
+(* Every checked compile in this suite is also protocol-checked. *)
+let () = Dae_analysis.Checker.install ()
+
 (* Constant folding, φ→select conversion, and the §10 vector-width timing
    extension. *)
 
@@ -432,7 +435,7 @@ let cse_preserves_semantics =
 (* --- DOT export --------------------------------------------------------------------- *)
 
 let test_dot_export_structure () =
-  let p = Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Spec (Fixtures.fig4 ()) in
+  let p = Dae_core.Pipeline.compile ~check:true ~mode:Dae_core.Pipeline.Spec (Fixtures.fig4 ()) in
   let dot = Dot.to_string p.Dae_core.Pipeline.cu in
   check Alcotest.bool "digraph" true
     (String.length dot > 0 && String.sub dot 0 7 = "digraph");

@@ -1,3 +1,6 @@
+(* Every checked compile in this suite is also protocol-checked. *)
+let () = Dae_analysis.Checker.install ()
+
 (* Architecture simulator: FIFOs, functional co-simulation, LSQ behaviour,
    the timing engine's serialization mechanics, the STA model and the area
    model. *)
@@ -30,7 +33,7 @@ let test_fifo_latency_and_capacity () =
 (* --- functional co-simulation -------------------------------------------------- *)
 
 let fig1_pipeline mode =
-  Dae_core.Pipeline.compile ~mode (Fixtures.fig1 ())
+  Dae_core.Pipeline.compile ~check:true ~mode (Fixtures.fig1 ())
 
 let test_exec_misspec_rate () =
   (* 3 of 8 values positive → 5 of 8 stores poisoned *)

@@ -1,3 +1,6 @@
+(* Every checked compile in this suite is also protocol-checked. *)
+let () = Dae_analysis.Checker.install ()
+
 (* The paper's transformations: decoupling (§3.2), Algorithm 1 (hoisting),
    Algorithms 2+3 (poison placement), §5.3 merging, §5.4 speculative loads
    — unit-tested on the paper's running examples (Figures 1, 3, 4). *)
@@ -35,7 +38,7 @@ let test_decouple_fig1 () =
 let test_decouple_dae_keeps_synchronizing_consume () =
   (* In plain DAE mode the AGU still consumes the branch value — the
      loss-of-decoupling of Figure 1(b). *)
-  let p = Pipeline.compile ~mode:Pipeline.Dae (Fixtures.fig1 ()) in
+  let p = Pipeline.compile ~check:true ~mode:Pipeline.Dae (Fixtures.fig1 ()) in
   check Alcotest.bool "AGU consumes" true
     (count_kind p.Pipeline.agu (function Instr.Consume_val _ -> true | _ -> false)
      > 0);
@@ -49,7 +52,7 @@ let test_decouple_dae_keeps_synchronizing_consume () =
 let test_spec_fully_decouples_fig1 () =
   (* After speculation the AGU has no consumes, no branches besides the
      loop, and the CU poisons — Figure 1(c). *)
-  let p = Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig1 ()) in
+  let p = Pipeline.compile ~check:true ~mode:Pipeline.Spec (Fixtures.fig1 ()) in
   check Alcotest.int "AGU consume-free" 0
     (count_kind p.Pipeline.agu (function Instr.Consume_val _ -> true | _ -> false));
   check Alcotest.int "CU has a poison" 1
@@ -72,7 +75,7 @@ let spec_info p =
 
 let test_hoist_fig4 () =
   let f = Fixtures.fig4 () in
-  let p = Pipeline.compile ~mode:Pipeline.Spec f in
+  let p = Pipeline.compile ~check:true ~mode:Pipeline.Spec f in
   let s = spec_info p in
   let map = s.Pipeline.hoist.Hoist.spec_req_map in
   (* chain heads are paper blocks 2 (bb3) and 3 (bb4) *)
@@ -121,7 +124,7 @@ let test_hoist_fig4 () =
     map
 
 let test_hoist_order_b_before_e_from_block2 () =
-  let p = Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
+  let p = Pipeline.compile ~check:true ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
   let s = spec_info p in
   let reqs = Hoist.spec_requests s.Pipeline.hoist 3 in
   let stores =
@@ -134,7 +137,7 @@ let test_hoist_order_b_before_e_from_block2 () =
 
 (* §5.1.3: hoisting c before b from block 3 (b's trueBB is after c's). *)
 let test_hoist_c_before_b_from_block3 () =
-  let p = Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
+  let p = Pipeline.compile ~check:true ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
   let s = spec_info p in
   let stores =
     List.filter_map
@@ -156,7 +159,7 @@ let test_hoist_c_before_b_from_block3 () =
 (* --- Algorithms 2+3 on Figure 4 ---------------------------------------------- *)
 
 let test_poison_stats_fig4 () =
-  let p = Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
+  let p = Pipeline.compile ~check:true ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
   let s = spec_info p in
   let st = s.Pipeline.poison_stats in
   check Alcotest.bool "poison calls inserted" true (st.Poison.poison_calls > 0);
@@ -258,7 +261,7 @@ let test_merge_applied_in_pipeline () =
   (* mm's two parallel poison sites merge (the paper notes mm's two poison
      blocks merged into one) *)
   let k = Dae_workloads.Kernels.mm ~left:8 ~right:8 ~m:30 () in
-  let p = Pipeline.compile ~mode:Pipeline.Spec (k.Dae_workloads.Kernels.build ()) in
+  let p = Pipeline.compile ~check:true ~mode:Pipeline.Spec (k.Dae_workloads.Kernels.build ()) in
   let s = spec_info p in
   check Alcotest.bool "pipeline merged poison blocks" true
     (s.Pipeline.merged_blocks >= 0)
@@ -271,7 +274,7 @@ let test_spec_load_consume_moved () =
   let f = k.Dae_workloads.Kernels.build () in
   let lod = Lod.analyze f in
   let head = List.hd lod.Lod.chain_heads in
-  let p = Pipeline.compile ~mode:Pipeline.Spec f in
+  let p = Pipeline.compile ~check:true ~mode:Pipeline.Spec f in
   let s = spec_info p in
   check Alcotest.bool "consumes were moved" true
     (s.Pipeline.load_stats.Spec_load.moved_consumes > 0);
@@ -294,7 +297,7 @@ let test_spec_load_consume_moved () =
    negative side — that ordering genuinely matters — is witnessed by the
    AGU emitting requests from *both* parallel arms (b and e plus c, d). *)
 let test_agu_emits_parallel_arm_requests () =
-  let p = Pipeline.compile ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
+  let p = Pipeline.compile ~check:true ~mode:Pipeline.Spec (Fixtures.fig4 ()) in
   let r =
     Dae_sim.Exec.run p
       ~args:(Fixtures.fig4_args 16)

@@ -1,3 +1,6 @@
+(* Every checked compile in this suite is also protocol-checked. *)
+let () = Dae_analysis.Checker.install ()
+
 (* Workloads: graph generators, reference algorithms, all nine benchmark
    kernels across all four architectures, the §8.3.1 synthetic template,
    and the Table-2 mis-speculation instrumentation. *)
@@ -114,7 +117,7 @@ let test_synthetic_poison_counts () =
     (fun depth ->
       let k = Synthetic.workload ~n:50 ~depth () in
       let p =
-        Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Spec
+        Dae_core.Pipeline.compile ~check:true ~mode:Dae_core.Pipeline.Spec
           (k.Kernels.build ())
       in
       (* paper: n poison blocks and n(n+1)/2 poison calls *)
