@@ -12,9 +12,10 @@
    domain pool (Dae_sim.Runner) with a per-domain memoized
    compile+simulate cache, so sections that share points (fig6 and
    table1 use the same paper-suite runs) pay for them once. The
-   per-job results — cycles, mis-speculation rate, area, wall-clock —
-   are written to BENCH_3.json so the perf trajectory is machine-
-   readable from PR 1 onward.
+   per-job results — cycles, mis-speculation rate, area, wall-clock,
+   and the channel-sizing analyzer's per-channel minimum depths and
+   deadlock verdict — are written to BENCH_4.json so the perf
+   trajectory is machine-readable from PR 1 onward.
 
    Cycle counts are this repository's simulator, not the paper's ModelSim
    runs; EXPERIMENTS.md records the side-by-side comparison of shapes. *)
@@ -43,6 +44,8 @@ type sim_out = {
   o_stats : Dae_sim.Stats.keyed; (* per-unit cycle attribution *)
   o_check_errors : int; (* soundness-checker diagnostics on the compile *)
   o_check_warnings : int;
+  o_min_depths : (string * int) list; (* sizing analyzer minimum per channel *)
+  o_sizing_verdict : string; (* deadlock-free | deadlock | skipped | n/a *)
   o_wall_s : float;
 }
 
@@ -95,6 +98,22 @@ let run_req (r : sim_req) : sim_out =
       (Dae_analysis.Diag.errors ds, Dae_analysis.Diag.warnings ds)
     | None -> (0, 0)
   in
+  let min_depths, sizing_verdict =
+    match res.Dae_sim.Machine.pipeline with
+    | None -> ([], "n/a")
+    | Some p -> (
+      match Dae_analysis.Sizing.analyze ~cfg:r.r_cfg p with
+      | Error _ -> ([], "skipped")
+      | Ok sz ->
+        ( List.map
+            (fun (s : Dae_analysis.Sizing.sized) ->
+              ( Dae_analysis.Channel.name
+                  s.Dae_analysis.Sizing.sz_chan.Dae_analysis.Channel.kind,
+                s.Dae_analysis.Sizing.sz_min ))
+            sz.Dae_analysis.Sizing.channels,
+          if Dae_analysis.Sizing.deadlocks sz then "deadlock"
+          else "deadlock-free" ))
+  in
   {
     o_kernel = r.r_kernel;
     o_arch = Dae_sim.Machine.arch_name r.r_arch;
@@ -111,6 +130,8 @@ let run_req (r : sim_req) : sim_out =
     o_stats = res.Dae_sim.Machine.stats;
     o_check_errors = check_errors;
     o_check_warnings = check_warnings;
+    o_min_depths = min_depths;
+    o_sizing_verdict = sizing_verdict;
     o_wall_s = Unix.gettimeofday () -. t0;
   }
 
@@ -448,6 +469,92 @@ let ablation_print () =
     (Dae_sim.Area.sta (branchy_max ())).Dae_sim.Area.total
     (Dae_sim.Area.sta f).Dae_sim.Area.total
 
+(* --- channel-sizing sweep: the static analyzer vs the simulator -------------- *)
+
+(* For every paper-suite kernel in both decoupled modes: run the sizing
+   analyzer at the default config, re-simulate at the analyzer's minimum
+   safe depths (must complete deadlock-free within the predicted cycle
+   bound), then decrement the critical channel's class knob below its
+   minimum and confirm the simulator either trips its dynamic deadlock
+   detector or degrades rather than completing faster. *)
+let sizing_print () =
+  Fmt.pr "@.== Channel sizing: static minimums cross-validated in the sim ==@.";
+  Fmt.pr "%-6s %-5s %4s %8s %-14s %10s %12s  %s@." "kernel" "mode" "min"
+    "matched" "critical" "cyc@min" "bound" "critical at min-1";
+  List.iter
+    (fun (k : Kernels.t) ->
+      List.iter
+        (fun (mname, mode, arch) ->
+          match
+            Dae_core.Pipeline.compile ~mode
+              (Dae_ir.Func.clone ((k.Kernels.build) ()))
+          with
+          | exception Dae_core.Pipeline.Compile_error e ->
+            Fmt.pr "%-6s %-5s compile error: %s@." k.Kernels.name mname e
+          | p -> (
+            match
+              Dae_analysis.Sizing.analyze ~cfg:Dae_sim.Config.default p
+            with
+            | Error _ ->
+              Fmt.pr "%-6s %-5s (segment budget exceeded, skipped)@."
+                k.Kernels.name mname
+            | Ok sz ->
+              let fold f init =
+                List.fold_left f init sz.Dae_analysis.Sizing.channels
+              in
+              let min_max =
+                fold (fun a s -> max a s.Dae_analysis.Sizing.sz_min) 1
+              in
+              let matched_max =
+                fold (fun a s -> max a s.Dae_analysis.Sizing.sz_matched) 1
+              in
+              let simulate ?(validate = true) cfg =
+                Dae_sim.Machine.simulate ~cfg ~validate ~collect:true arch
+                  (k.Kernels.build ())
+                  ~invocations:(k.Kernels.invocations ())
+                  ~mem:(k.Kernels.init_mem ())
+              in
+              let r = simulate sz.Dae_analysis.Sizing.min_cfg in
+              let bound =
+                Dae_analysis.Sizing.bound_of_timelines sz
+                  r.Dae_sim.Machine.timelines
+              in
+              if r.Dae_sim.Machine.cycles > bound then
+                Fmt.failwith
+                  "%s (%s): %d cycles at the analyzer's minimum depths \
+                   exceed the predicted bound %d"
+                  k.Kernels.name mname r.Dae_sim.Machine.cycles bound;
+              let critical, probe =
+                match Dae_analysis.Sizing.critical_decrement sz with
+                | None -> ("-", "no critical channel")
+                | Some (kind, probe_cfg) -> (
+                  let cname = Dae_analysis.Channel.name kind in
+                  match simulate ~validate:false probe_cfg with
+                  | r' ->
+                    ( cname,
+                      Printf.sprintf "%d cycles (%+.1f%% vs min)"
+                        r'.Dae_sim.Machine.cycles
+                        (100.
+                        *. (float_of_int r'.Dae_sim.Machine.cycles
+                            /. float_of_int r.Dae_sim.Machine.cycles
+                           -. 1.)) )
+                  | exception Dae_sim.Timing.Deadlock _ ->
+                    (cname, "dynamic deadlock (as predicted)")
+                  | exception Invalid_argument _ ->
+                    (cname, "rejected by Config.validate"))
+              in
+              Fmt.pr "%-6s %-5s %4d %8d %-14s %10d %12d  %s@." k.Kernels.name
+                mname min_max matched_max critical r.Dae_sim.Machine.cycles
+                bound probe))
+        [
+          ("dae", Dae_core.Pipeline.Dae, Dae_sim.Machine.Dae);
+          ("spec", Dae_core.Pipeline.Spec, Dae_sim.Machine.Spec);
+        ])
+    (Kernels.paper_suite ());
+  Fmt.pr
+    "(analyzer minimums keep every kernel deadlock-free; one step below \
+     the critical channel's minimum is the deadlock boundary)@."
+
 (* --- smoke: tiny sweep exercising the pool and the JSON emitter ------------- *)
 
 let smoke_reqs () =
@@ -583,11 +690,17 @@ let write_json ~path ~sections ~domains ~wall_s
          \"area\": %d, \"area_cu\": %d, \"area_agu\": %d, \"pblk\": %d, \
          \"pcall\": %d, \"killed_stores\": %d, \"committed_stores\": %d, \
          \"check_errors\": %d, \"check_warnings\": %d, \
+         \"sizing_verdict\": \"%s\", \"min_depths\": { %s }, \
          \"stats\": { %s }, \"wall_s\": %.6f }%s\n"
         (json_escape key) (json_escape o.o_kernel) (json_escape o.o_arch)
         (json_escape o.o_cfg) o.o_cycles o.o_misspec o.o_area_total
         o.o_area_cu o.o_area_agu o.o_pblk o.o_pcall o.o_killed o.o_committed
         o.o_check_errors o.o_check_warnings
+        (json_escape o.o_sizing_verdict)
+        (String.concat ", "
+           (List.map
+              (fun (n, d) -> Printf.sprintf "\"%s\": %d" (json_escape n) d)
+              o.o_min_depths))
         (stats_json o.o_stats) o.o_wall_s
         (if i = List.length outs - 1 then "" else ","))
     outs;
@@ -609,15 +722,17 @@ let sections_all =
     { s_name = "table2"; s_reqs = table2_reqs; s_print = table2_print };
     { s_name = "fig7"; s_reqs = fig7_reqs; s_print = fig7_print };
     { s_name = "ablation"; s_reqs = ablation_reqs; s_print = ablation_print };
+    { s_name = "sizing"; s_reqs = (fun () -> []); s_print = sizing_print };
     { s_name = "micro"; s_reqs = (fun () -> []); s_print = micro };
     { s_name = "smoke"; s_reqs = smoke_reqs; s_print = smoke_print };
   ]
 
-let default_section_names = [ "fig6"; "table1"; "table2"; "fig7"; "ablation"; "micro" ]
+let default_section_names =
+  [ "fig6"; "table1"; "table2"; "fig7"; "ablation"; "sizing"; "micro" ]
 
 let () =
   let jobs = ref (Dae_sim.Runner.default_domains ()) in
-  let json_path = ref "BENCH_3.json" in
+  let json_path = ref "BENCH_4.json" in
   let names = ref [] in
   let rec parse = function
     | [] -> ()

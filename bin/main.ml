@@ -7,10 +7,13 @@
      daec compile file.ir --mode dae
      daec run --kernel hist --arch spec         # simulate + verify
      daec run --kernel bfs --all --sq 8         # all four architectures
+     daec run --kernel thr --req-fifo 2 --val-fifo 2 --stv-fifo 2
      daec stats --kernel bfs --arch dae --arch spec   # stall attribution
      daec trace --kernel thr --out thr.json     # Perfetto timeline JSON
      daec check --kernel bfs --mode both        # soundness checker
      daec check --all-kernels                   # gate the whole suite
+     daec size --kernel hist --mode both        # channel sizing report
+     daec size --all-kernels --json             # machine-readable sweep
 
    Files use the textual IR grammar printed by the compiler itself (see
    examples/quickstart.exe output or lib/ir/parser.ml). *)
@@ -78,6 +81,27 @@ let fifo_lat_arg =
   Arg.(value & opt int Dae_sim.Config.default.Dae_sim.Config.fifo_latency
        & info [ "fifo-latency" ] ~doc:"Channel latency in cycles.")
 
+let req_fifo_arg =
+  Arg.(
+    value
+    & opt int Dae_sim.Config.default.Dae_sim.Config.request_fifo_capacity
+    & info [ "req-fifo" ] ~docv:"N"
+        ~doc:"AGU->DU request channel capacity (load and store).")
+
+let val_fifo_arg =
+  Arg.(
+    value
+    & opt int Dae_sim.Config.default.Dae_sim.Config.value_fifo_capacity
+    & info [ "val-fifo" ] ~docv:"N"
+        ~doc:"DU->unit load-value channel capacity.")
+
+let stv_fifo_arg =
+  Arg.(
+    value
+    & opt int Dae_sim.Config.default.Dae_sim.Config.store_value_fifo_capacity
+    & info [ "stv-fifo" ] ~docv:"N"
+        ~doc:"CU->DU store-value/poison channel capacity.")
+
 let jobs_arg =
   Arg.(value & opt int (Dae_sim.Runner.default_domains ())
        & info [ "j"; "jobs" ] ~docv:"N"
@@ -85,12 +109,15 @@ let jobs_arg =
                  domains (default: the machine's recommended domain \
                  count).")
 
-let cfg_of ~sq ~lq ~fifo_lat =
+let cfg_of ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo =
   {
     Dae_sim.Config.default with
     Dae_sim.Config.store_queue_size = sq;
     load_queue_size = lq;
     fifo_latency = fifo_lat;
+    request_fifo_capacity = req_fifo;
+    value_fifo_capacity = val_fifo;
+    store_value_fifo_capacity = stv_fifo;
   }
 
 let pick_archs ~archs ~all =
@@ -219,7 +246,8 @@ let compile_cmd =
 (* --- run ----------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file kernel archs all sq lq fifo_lat jobs =
+  let run file kernel archs all sq lq fifo_lat req_fifo val_fifo stv_fifo
+      jobs =
     match load_func ~file ~kernel with
     | Error e ->
       Fmt.epr "%s@." e;
@@ -228,7 +256,7 @@ let run_cmd =
       Fmt.epr "run needs --kernel (files carry no input data)@.";
       exit 2
     | Ok (_, Some k) ->
-      let cfg = cfg_of ~sq ~lq ~fifo_lat in
+      let cfg = cfg_of ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo in
       let archs = pick_archs ~archs ~all in
       Fmt.pr "%s: %s  (%a)@." k.Dae_workloads.Kernels.name
         k.Dae_workloads.Kernels.description Dae_sim.Config.pp cfg;
@@ -261,12 +289,14 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Simulate a kernel and verify against its reference.")
     Term.(
       const run $ file_arg $ kernel_arg $ archs_arg $ all_arg $ sq_arg
-      $ lq_arg $ fifo_lat_arg $ jobs_arg)
+      $ lq_arg $ fifo_lat_arg $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg
+      $ jobs_arg)
 
 (* --- stats --------------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run file kernel archs all sq lq fifo_lat jobs =
+  let run file kernel archs all sq lq fifo_lat req_fifo val_fifo stv_fifo
+      jobs =
     match load_func ~file ~kernel with
     | Error e ->
       Fmt.epr "%s@." e;
@@ -275,7 +305,7 @@ let stats_cmd =
       Fmt.epr "stats needs --kernel (files carry no input data)@.";
       exit 2
     | Ok (_, Some k) ->
-      let cfg = cfg_of ~sq ~lq ~fifo_lat in
+      let cfg = cfg_of ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo in
       let archs = pick_archs ~archs ~all in
       Fmt.pr "%s: %s  (%a)@." k.Dae_workloads.Kernels.name
         k.Dae_workloads.Kernels.description Dae_sim.Config.pp cfg;
@@ -301,12 +331,13 @@ let stats_cmd =
           (each unit's causes partition its total cycles).")
     Term.(
       const run $ file_arg $ kernel_arg $ archs_arg $ all_arg $ sq_arg
-      $ lq_arg $ fifo_lat_arg $ jobs_arg)
+      $ lq_arg $ fifo_lat_arg $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg
+      $ jobs_arg)
 
 (* --- trace --------------------------------------------------------------------- *)
 
 let trace_cmd =
-  let run file kernel arch sq lq fifo_lat out =
+  let run file kernel arch sq lq fifo_lat req_fifo val_fifo stv_fifo out =
     match load_func ~file ~kernel with
     | Error e ->
       Fmt.epr "%s@." e;
@@ -320,7 +351,7 @@ let trace_cmd =
           "trace needs a decoupled architecture (dae, spec or oracle)@.";
         exit 2
       end;
-      let cfg = cfg_of ~sq ~lq ~fifo_lat in
+      let cfg = cfg_of ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo in
       let r =
         Dae_sim.Machine.simulate ~cfg ~collect:true arch
           (k.Dae_workloads.Kernels.build ())
@@ -354,7 +385,7 @@ let trace_cmd =
           (unit occupancy slices plus channel-depth counter tracks).")
     Term.(
       const run $ file_arg $ kernel_arg $ arch_arg $ sq_arg $ lq_arg
-      $ fifo_lat_arg $ out_arg)
+      $ fifo_lat_arg $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg $ out_arg)
 
 (* --- check --------------------------------------------------------------------- *)
 
@@ -449,6 +480,181 @@ let check_cmd =
       const run $ file_arg $ kernel_arg $ all_kernels_arg $ mode_arg
       $ path_limit_arg $ verbose_arg)
 
+(* --- size ---------------------------------------------------------------------- *)
+
+let size_cmd =
+  let modes_of = function
+    | `Dae -> [ Dae_core.Pipeline.Dae ]
+    | `Spec -> [ Dae_core.Pipeline.Spec ]
+    | `Both -> [ Dae_core.Pipeline.Dae; Dae_core.Pipeline.Spec ]
+  in
+  let mode_name = function
+    | Dae_core.Pipeline.Dae -> "dae"
+    | Dae_core.Pipeline.Spec -> "spec"
+  in
+  (* Optional cross-validation against the simulator: the analyzer's
+     minimum depths must complete within the predicted cycle bound, and
+     the critical channel at minimum-1 must be rejected by
+     Config.validate and then (validation off) either trip the dynamic
+     deadlock detector or run no faster than the minimum. *)
+  let validate_sim ~cfg:_ ~mode (k : Dae_workloads.Kernels.t)
+      (sz : Dae_analysis.Sizing.t) : bool =
+    let arch =
+      match mode with
+      | Dae_core.Pipeline.Dae -> Dae_sim.Machine.Dae
+      | Dae_core.Pipeline.Spec -> Dae_sim.Machine.Spec
+    in
+    let simulate ?(validate = true) cfg =
+      Dae_sim.Machine.simulate ~cfg ~validate ~collect:true arch
+        (k.Dae_workloads.Kernels.build ())
+        ~invocations:(k.Dae_workloads.Kernels.invocations ())
+        ~mem:(k.Dae_workloads.Kernels.init_mem ())
+    in
+    let ok = ref true in
+    (match simulate sz.Dae_analysis.Sizing.min_cfg with
+    | r ->
+      let b =
+        Dae_analysis.Sizing.bound_of_timelines sz
+          r.Dae_sim.Machine.timelines
+      in
+      let fits = r.Dae_sim.Machine.cycles <= b in
+      if not fits then ok := false;
+      Fmt.pr "  sim at min depths: %d cycles (bound %d) %s@."
+        r.Dae_sim.Machine.cycles b
+        (if fits then "ok" else "EXCEEDS BOUND")
+    | exception e ->
+      ok := false;
+      Fmt.pr "  sim at min depths: FAILED (%s)@." (Printexc.to_string e));
+    (match Dae_analysis.Sizing.critical_decrement sz with
+    | None -> ()
+    | Some (kind, probe_cfg) -> (
+      let cname = Dae_analysis.Channel.name kind in
+      match simulate ~validate:false probe_cfg with
+      | r ->
+        Fmt.pr "  sim at %s min-1: %d cycles (no deadlock: stall shifts)@."
+          cname r.Dae_sim.Machine.cycles
+      | exception Dae_sim.Timing.Deadlock msg ->
+        Fmt.pr "  sim at %s min-1: dynamic deadlock reproduced (%s)@." cname
+          msg
+      | exception Invalid_argument msg ->
+        Fmt.pr "  sim at %s min-1: rejected (%s)@." cname msg
+      | exception e ->
+        ok := false;
+        Fmt.pr "  sim at %s min-1: unexpected failure (%s)@." cname
+          (Printexc.to_string e)));
+    !ok
+  in
+  let run file kernel all_kernels mode json validate sq lq fifo_lat req_fifo
+      val_fifo stv_fifo path_limit =
+    let targets =
+      if all_kernels then
+        Ok
+          (List.map
+             (fun (k : Dae_workloads.Kernels.t) ->
+               ( k.Dae_workloads.Kernels.name,
+                 k.Dae_workloads.Kernels.build (),
+                 Some k ))
+             (kernels ()))
+      else
+        match load_func ~file ~kernel with
+        | Error e -> Error e
+        | Ok (f, Some k) -> Ok [ (k.Dae_workloads.Kernels.name, f, Some k) ]
+        | Ok (f, None) -> Ok [ (f.Dae_ir.Func.name, f, None) ]
+    in
+    match targets with
+    | Error e ->
+      Fmt.epr "%s@." e;
+      exit 2
+    | Ok targets ->
+      let cfg = cfg_of ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo in
+      let failed = ref false in
+      let json_items = ref [] in
+      List.iter
+        (fun (name, f, krec) ->
+          List.iter
+            (fun mode ->
+              match
+                Dae_core.Pipeline.compile ~mode (Dae_ir.Func.clone f)
+              with
+              | exception Dae_core.Pipeline.Compile_error e ->
+                failed := true;
+                Fmt.epr "%s (%s): compile error@.  %s@." name
+                  (mode_name mode) e
+              | p -> (
+                match
+                  Dae_analysis.Sizing.analyze ~path_limit ~cfg p
+                with
+                | Error (b : Dae_analysis.Segments.budget) ->
+                  failed := true;
+                  Fmt.epr
+                    "%s (%s): sizing skipped — %d blocks explored from \
+                     bb%d exceed the segment budget of %d@."
+                    name (mode_name mode) b.Dae_analysis.Segments.explored
+                    b.Dae_analysis.Segments.start
+                    b.Dae_analysis.Segments.limit
+                | Ok sz ->
+                  if json then
+                    json_items :=
+                      Dae_analysis.Sizing.to_json ~kernel:name
+                        ~mode:(mode_name mode) sz
+                      :: !json_items
+                  else begin
+                    Fmt.pr "%s (%s): %a" name (mode_name mode)
+                      Dae_analysis.Sizing.pp sz;
+                    match krec with
+                    | Some k when validate ->
+                      if not (validate_sim ~cfg ~mode k sz) then
+                        failed := true
+                    | _ -> ()
+                  end;
+                  if Dae_analysis.Sizing.deadlocks sz then failed := true))
+            (modes_of mode))
+        targets;
+      if json then
+        Fmt.pr "[%a]@."
+          Fmt.(list ~sep:(any ",@.") string)
+          (List.rev !json_items);
+      if !failed then exit 1
+  in
+  let all_kernels_arg =
+    Arg.(value & flag
+         & info [ "all-kernels" ] ~doc:"Size every benchmark kernel.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("dae", `Dae); ("spec", `Spec); ("both", `Both) ]) `Both
+      & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"dae, spec or both (default).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit one JSON object per kernel and mode.")
+  in
+  let validate_arg =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"Cross-validate against the simulator: run at the \
+                   computed minimum depths (must meet the cycle bound) and \
+                   at minimum-1 on the critical channel (must deadlock, be \
+                   rejected, or stall harder). Needs --kernel data.")
+  in
+  let path_limit_arg =
+    Arg.(value & opt int Dae_core.Poison.default_path_limit
+         & info [ "path-limit" ] ~docv:"N"
+             ~doc:"Path-enumeration budget for the segment universe.")
+  in
+  Cmd.v
+    (Cmd.info "size"
+       ~doc:
+         "Statically size the inter-unit channels: minimum safe and \
+          slack-matched depth per channel, deadlock-freedom proof for the \
+          given capacities, and the predicted dominant Fifo_full channel. \
+          Exits 1 on a provable deadlock.")
+    Term.(
+      const run $ file_arg $ kernel_arg $ all_kernels_arg $ mode_arg
+      $ json_arg $ validate_arg $ sq_arg $ lq_arg $ fifo_lat_arg
+      $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg $ path_limit_arg)
+
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
@@ -460,4 +666,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; analyze_cmd; compile_cmd; run_cmd; stats_cmd;
-            trace_cmd; check_cmd ]))
+            trace_cmd; check_cmd; size_cmd ]))

@@ -1,0 +1,240 @@
+(* Channel dependence graph extraction.
+
+   The edge set comes straight from the compiled pipeline (channel uses +
+   load subscribers: exactly the FIFOs Timing.run instantiates). Rates
+   come from the checker's segment universe: every dynamic trace is a
+   concatenation of segments, so per-edge token counts over the
+   scope-owned events of each segment give sound per-iteration rate
+   intervals, and the raw per-segment streams (kept in [seg_raw]) are the
+   emission orders the sizing analyzer's abstract causality replay
+   composes. *)
+
+open Dae_ir
+module Pipeline = Dae_core.Pipeline
+module Hoist = Dae_core.Hoist
+module Config = Dae_sim.Config
+
+type kind =
+  | Req_ld of string
+  | Req_st of string
+  | Stv of string
+  | Ldv of Instr.mem_id * [ `Agu | `Cu ]
+
+type rate = { lo : int; hi : int; spec_hi : int; kill_hi : int }
+type chan = { kind : kind; arr : string; rate : rate }
+
+type t = {
+  chans : chan list;
+  sync_consumes : int;
+  events_hi : int;
+  n_segments : int;
+  seg_raw : (Replay.event list * Replay.event list) list;
+  load_subscribers : (Instr.mem_id * [ `Agu | `Cu ] list) list;
+}
+
+let unit_suffix = function `Agu -> "AGU" | `Cu -> "CU"
+
+let name = function
+  | Req_ld arr -> arr ^ ".req_ld"
+  | Req_st arr -> arr ^ ".req_st"
+  | Stv arr -> arr ^ ".stv"
+  | Ldv (mem, u) -> Printf.sprintf "ldv%d.%s" mem (unit_suffix u)
+
+let knob = function
+  | Req_ld _ | Req_st _ -> "req-fifo"
+  | Ldv _ -> "val-fifo"
+  | Stv _ -> "stv-fifo"
+
+let capacity (cfg : Config.t) = function
+  | Req_ld _ | Req_st _ -> cfg.Config.request_fifo_capacity
+  | Ldv _ -> cfg.Config.value_fifo_capacity
+  | Stv _ -> cfg.Config.store_value_fifo_capacity
+
+let with_capacity (cfg : Config.t) kind v =
+  match kind with
+  | Req_ld _ | Req_st _ -> { cfg with Config.request_fifo_capacity = v }
+  | Ldv _ -> { cfg with Config.value_fifo_capacity = v }
+  | Stv _ -> { cfg with Config.store_value_fifo_capacity = v }
+
+(* Count the events a segment moves on one edge. The counting functions
+   see only the scope-owned events (Checker.seg_events filtering), so the
+   interval is per iteration of the edge's own scope. *)
+let count_kind kind ~(agu : Replay.event list) ~(cu : Replay.event list) =
+  let count pred evs = List.length (List.filter pred evs) in
+  match kind with
+  | Req_ld arr ->
+    count
+      (fun (e : Replay.event) ->
+        e.Replay.ev_kind = Replay.Send_ld && e.Replay.ev_arr = arr)
+      agu
+  | Req_st arr ->
+    count
+      (fun (e : Replay.event) ->
+        e.Replay.ev_kind = Replay.Send_st && e.Replay.ev_arr = arr)
+      agu
+  | Stv arr ->
+    count
+      (fun (e : Replay.event) ->
+        (e.Replay.ev_kind = Replay.Produce || e.Replay.ev_kind = Replay.Kill)
+        && e.Replay.ev_arr = arr)
+      cu
+  | Ldv (mem, u) ->
+    let evs = match u with `Agu -> agu | `Cu -> cu in
+    count
+      (fun (e : Replay.event) ->
+        e.Replay.ev_kind = Replay.Consume && e.Replay.ev_mem = mem)
+      evs
+
+let count_spec kind ~hoisted ~(agu : Replay.event list)
+    ~(cu : Replay.event list) =
+  let count pred evs = List.length (List.filter pred evs) in
+  match kind with
+  | Req_ld arr ->
+    count
+      (fun (e : Replay.event) ->
+        e.Replay.ev_kind = Replay.Send_ld && e.Replay.ev_arr = arr
+        && List.mem e.Replay.ev_mem hoisted)
+      agu
+  | Req_st arr ->
+    count
+      (fun (e : Replay.event) ->
+        e.Replay.ev_kind = Replay.Send_st && e.Replay.ev_arr = arr
+        && List.mem e.Replay.ev_mem hoisted)
+      agu
+  | Stv arr ->
+    count
+      (fun (e : Replay.event) ->
+        e.Replay.ev_kind = Replay.Kill && e.Replay.ev_arr = arr)
+      cu
+  | Ldv _ -> 0
+
+let count_kill kind ~(cu : Replay.event list) =
+  match kind with
+  | Stv arr ->
+    List.length
+      (List.filter
+         (fun (e : Replay.event) ->
+           e.Replay.ev_kind = Replay.Kill && e.Replay.ev_arr = arr)
+         cu)
+  | _ -> 0
+
+let of_pipeline ?path_limit (p : Pipeline.t) : (t, Segments.budget) result =
+  match Checker.segment_events ?path_limit p with
+  | Error b -> Error b
+  | Ok segs ->
+    let hoisted =
+      match p.Pipeline.spec with
+      | Some si -> si.Pipeline.hoist.Hoist.hoisted_mems
+      | None -> []
+    in
+    (* one edge per (class, array) plus one per subscribed load value *)
+    let kinds =
+      let ld_arrs = ref [] and st_arrs = ref [] in
+      List.iter
+        (fun (c : Dae_core.Decouple.channel_use) ->
+          let tgt = if c.Dae_core.Decouple.is_store then st_arrs else ld_arrs in
+          if not (List.mem c.Dae_core.Decouple.arr !tgt) then
+            tgt := c.Dae_core.Decouple.arr :: !tgt)
+        p.Pipeline.channels;
+      let ld_arrs = List.sort compare !ld_arrs
+      and st_arrs = List.sort compare !st_arrs in
+      List.map (fun a -> Req_ld a) ld_arrs
+      @ List.map (fun a -> Req_st a) st_arrs
+      @ List.map (fun a -> Stv a) st_arrs
+      @ List.concat_map
+          (fun (mem, subs) -> List.map (fun u -> Ldv (mem, u)) subs)
+          p.Pipeline.load_subscribers
+    in
+    let arr_of_mem mem =
+      match
+        List.find_opt
+          (fun (c : Dae_core.Decouple.channel_use) ->
+            c.Dae_core.Decouple.mem = mem)
+          p.Pipeline.channels
+      with
+      | Some c -> c.Dae_core.Decouple.arr
+      | None -> "?"
+    in
+    let chans =
+      List.map
+        (fun kind ->
+          let arr =
+            match kind with
+            | Req_ld a | Req_st a | Stv a -> a
+            | Ldv (mem, _) -> arr_of_mem mem
+          in
+          let lo = ref max_int and hi = ref 0 in
+          let spec_hi = ref 0 and kill_hi = ref 0 in
+          List.iter
+            (fun (se : Checker.seg_events) ->
+              let n =
+                count_kind kind ~agu:se.Checker.se_agu ~cu:se.Checker.se_cu
+              in
+              if n < !lo then lo := n;
+              if n > !hi then hi := n;
+              let s =
+                count_spec kind ~hoisted ~agu:se.Checker.se_agu
+                  ~cu:se.Checker.se_cu
+              in
+              if s > !spec_hi then spec_hi := s;
+              let k = count_kill kind ~cu:se.Checker.se_cu in
+              if k > !kill_hi then kill_hi := k)
+            segs;
+          let lo = if !lo = max_int then 0 else !lo in
+          {
+            kind;
+            arr;
+            rate = { lo; hi = !hi; spec_hi = !spec_hi; kill_hi = !kill_hi };
+          })
+        kinds
+    in
+    let sync_consumes =
+      List.fold_left
+        (fun acc (se : Checker.seg_events) ->
+          let n =
+            List.length
+              (List.filter
+                 (fun (e : Replay.event) ->
+                   e.Replay.ev_kind = Replay.Consume)
+                 se.Checker.se_agu)
+          in
+          max acc n)
+        0 segs
+    in
+    let events_hi =
+      List.fold_left
+        (fun acc (se : Checker.seg_events) ->
+          max acc
+            (List.length se.Checker.se_agu + List.length se.Checker.se_cu))
+        0 segs
+    in
+    Ok
+      {
+        chans;
+        sync_consumes;
+        events_hi;
+        n_segments = List.length segs;
+        seg_raw =
+          List.map
+            (fun (se : Checker.seg_events) ->
+              (se.Checker.se_agu_raw, se.Checker.se_cu_raw))
+            segs;
+        load_subscribers = p.Pipeline.load_subscribers;
+      }
+
+let pp ppf (g : t) =
+  Fmt.pf ppf
+    "channel graph: %d edge(s) over %d segment(s), <=%d events/segment, \
+     <=%d synchronizing consume(s)@."
+    (List.length g.chans) g.n_segments g.events_hi g.sync_consumes;
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "  %-14s rate [%d,%d]%s%s@." (name c.kind) c.rate.lo
+        c.rate.hi
+        (if c.rate.spec_hi > 0 then
+           Fmt.str " spec<=%d" c.rate.spec_hi
+         else "")
+        (if c.rate.kill_hi > 0 then
+           Fmt.str " kills<=%d" c.rate.kill_hi
+         else ""))
+    g.chans

@@ -1,0 +1,70 @@
+(** The inter-unit channel dependence graph of a compiled pipeline.
+
+    Nodes are the units of the architecture template (AGU, CU, one DU per
+    array); edges are the bounded FIFOs the timing engine instantiates —
+    AGU→DU load/store request channels, CU→DU store-value/poison channels
+    and DU→unit load-value channels — plus the synchronizing consumes the
+    AGU itself retains (a residual loss of decoupling). Each edge carries
+    a per-iteration token-rate interval derived from the checker's segment
+    universe: replaying every segment of every scope on both pre-cleanup
+    slice snapshots and counting the scope-owned events, with §5.1
+    speculated (hoisted) requests and §5.2 poison kills attributed
+    separately. The graph is what the {!Sizing} analyzer sizes. *)
+
+open Dae_ir
+
+type kind =
+  | Req_ld of string  (** AGU→DU load-request channel of one array *)
+  | Req_st of string  (** AGU→DU store-request channel of one array *)
+  | Stv of string  (** CU→DU store-value/poison channel of one array *)
+  | Ldv of Instr.mem_id * [ `Agu | `Cu ]
+      (** DU→unit load-value channel of one subscribed load *)
+
+type rate = {
+  lo : int;  (** fewest tokens any segment moves on the edge *)
+  hi : int;  (** most tokens any segment moves on the edge *)
+  spec_hi : int;  (** of [hi], tokens from §5.1 hoisted (speculated) requests *)
+  kill_hi : int;  (** of [hi], §5.2 poison kills (store-value edges only) *)
+}
+
+type chan = {
+  kind : kind;
+  arr : string;  (** the DU endpoint's array *)
+  rate : rate;
+}
+
+type t = {
+  chans : chan list;  (** every channel the compiled pipeline instantiates *)
+  sync_consumes : int;
+      (** most load values any segment makes the AGU itself consume — the
+          synchronizing back-edges that bound runahead (§5.1) *)
+  events_hi : int;  (** most scope-owned AGU+CU events on any one segment *)
+  n_segments : int;
+  seg_raw : (Replay.event list * Replay.event list) list;
+      (** per segment, the raw (unfiltered) AGU and CU replay streams in
+          emission order — the input of the abstract causality replay *)
+  load_subscribers : (Instr.mem_id * [ `Agu | `Cu ] list) list;
+}
+
+val name : kind -> string
+(** The timing engine's channel naming: ["<arr>.req_ld"], ["<arr>.req_st"],
+    ["<arr>.stv"], ["ldv<mem>.<AGU|CU>"] — matches
+    [Timing.result.depth_samples] and the stall-attribution tables. *)
+
+val knob : kind -> string
+(** The [Config] field (and CLI flag) that sets the channel's class:
+    ["req-fifo"], ["val-fifo"] or ["stv-fifo"]. *)
+
+val capacity : Dae_sim.Config.t -> kind -> int
+(** The configured depth of the channel's class. *)
+
+val with_capacity : Dae_sim.Config.t -> kind -> int -> Dae_sim.Config.t
+(** Set the channel's class knob (coarse: the template shares one depth
+    per channel class across arrays). *)
+
+(** Extract the channel graph. [Error] propagates the segment-enumeration
+    budget overrun, as in {!Checker.segment_events}. *)
+val of_pipeline :
+  ?path_limit:int -> Dae_core.Pipeline.t -> (t, Segments.budget) result
+
+val pp : Format.formatter -> t -> unit

@@ -165,6 +165,35 @@ let check_segment (p : Pipeline.t) agu_ctx cu_ctx ~keep (seg : int list) :
     p.Pipeline.channels;
   List.rev !diags
 
+(* Per-segment event-ownership filter, shared with the channel-sizing
+   analyzer. A poison call's home scope is its speculation block's loop,
+   not the block hosting it (steered hosts sit on exit chains one block
+   past the scope). An unattributed kill has no home: keep it everywhere
+   so it cannot hide from the stream comparison. *)
+let scope_keep (p : Pipeline.t) =
+  let loops = Loops.compute p.Pipeline.original in
+  let scope_of_block b =
+    match Loops.innermost loops b with
+    | Some l -> Some l.Loops.header
+    | None -> None
+  in
+  let kill_scope = Hashtbl.create 32 in
+  (match p.Pipeline.spec with
+  | None -> ()
+  | Some si ->
+    List.iter
+      (fun (pl : Poison.placement) ->
+        Hashtbl.replace kill_scope pl.Poison.p_instr
+          (scope_of_block pl.Poison.p_decision.Poison.spec_bb))
+      si.Pipeline.poison.Poison.placements);
+  fun (sg : Segments.seg) (e : Replay.event) ->
+    match e.Replay.ev_kind with
+    | Replay.Kill -> (
+      match Hashtbl.find_opt kill_scope e.Replay.ev_instr with
+      | Some s -> s = sg.Segments.sg_scope
+      | None -> true)
+    | _ -> scope_of_block e.Replay.ev_block = sg.Segments.sg_scope
+
 let check_balance ~path_limit (p : Pipeline.t) agu_ctx cu_ctx : Diag.t list =
   match Segments.segments ~limit:path_limit p.Pipeline.original with
   | Error (b : Segments.budget) ->
@@ -177,36 +206,10 @@ let check_balance ~path_limit (p : Pipeline.t) agu_ctx cu_ctx : Diag.t list =
            b.Segments.explored b.Segments.start b.Segments.limit);
     ]
   | Ok segs ->
-    let loops = Loops.compute p.Pipeline.original in
-    let scope_of_block b =
-      match Loops.innermost loops b with
-      | Some l -> Some l.Loops.header
-      | None -> None
-    in
-    (* A poison call's home scope is its speculation block's loop, not the
-       block hosting it (steered hosts sit on exit chains one block past
-       the scope). An unattributed kill has no home: keep it everywhere so
-       it cannot hide from the stream comparison. *)
-    let kill_scope = Hashtbl.create 32 in
-    (match p.Pipeline.spec with
-    | None -> ()
-    | Some si ->
-      List.iter
-        (fun (pl : Poison.placement) ->
-          Hashtbl.replace kill_scope pl.Poison.p_instr
-            (scope_of_block pl.Poison.p_decision.Poison.spec_bb))
-        si.Pipeline.poison.Poison.placements);
+    let keep = scope_keep p in
     List.concat_map
       (fun (sg : Segments.seg) ->
-        let keep (e : Replay.event) =
-          match e.Replay.ev_kind with
-          | Replay.Kill -> (
-            match Hashtbl.find_opt kill_scope e.Replay.ev_instr with
-            | Some s -> s = sg.Segments.sg_scope
-            | None -> true)
-          | _ -> scope_of_block e.Replay.ev_block = sg.Segments.sg_scope
-        in
-        check_segment p agu_ctx cu_ctx ~keep sg.Segments.sg_blocks)
+        check_segment p agu_ctx cu_ctx ~keep:(keep sg) sg.Segments.sg_blocks)
       segs
 
 (* --- 2. poison coverage ------------------------------------------------- *)
@@ -521,8 +524,7 @@ let dedup (ds : Diag.t list) : Diag.t list =
       end)
     ds
 
-let run ?(path_limit = Poison.default_path_limit) (p : Pipeline.t) :
-    Diag.t list =
+let contexts (p : Pipeline.t) : Replay.ctx * Replay.ctx =
   let dispatches =
     match p.Pipeline.spec with
     | Some si -> si.Pipeline.poison.Poison.dispatches
@@ -538,6 +540,40 @@ let run ?(path_limit = Poison.default_path_limit) (p : Pipeline.t) :
       ~final:p.Pipeline.cu ~slice_tag:Diag.Cu
       ~inserted_from:p.Pipeline.cu_inserted_from ~dispatches
   in
+  (agu_ctx, cu_ctx)
+
+type seg_events = {
+  se_seg : Segments.seg;
+  se_agu : Replay.event list;
+  se_cu : Replay.event list;
+  se_agu_raw : Replay.event list;
+  se_cu_raw : Replay.event list;
+}
+
+let segment_events ?(path_limit = Poison.default_path_limit) (p : Pipeline.t)
+    : (seg_events list, Segments.budget) result =
+  match Segments.segments ~limit:path_limit p.Pipeline.original with
+  | Error b -> Error b
+  | Ok segs ->
+    let agu_ctx, cu_ctx = contexts p in
+    let keep = scope_keep p in
+    Ok
+      (List.map
+         (fun (sg : Segments.seg) ->
+           let agu_o = Replay.replay agu_ctx sg.Segments.sg_blocks in
+           let cu_o = Replay.replay cu_ctx sg.Segments.sg_blocks in
+           {
+             se_seg = sg;
+             se_agu = List.filter (keep sg) agu_o.Replay.events;
+             se_cu = List.filter (keep sg) cu_o.Replay.events;
+             se_agu_raw = agu_o.Replay.events;
+             se_cu_raw = cu_o.Replay.events;
+           })
+         segs)
+
+let run ?(path_limit = Poison.default_path_limit) (p : Pipeline.t) :
+    Diag.t list =
+  let agu_ctx, cu_ctx = contexts p in
   let balance = check_balance ~path_limit p agu_ctx cu_ctx in
   let coverage =
     match p.Pipeline.spec with

@@ -22,6 +22,27 @@ open Dae_core
     degrade to [Warning] diagnostics, never exceptions. *)
 val run : ?path_limit:int -> Pipeline.t -> Diag.t list
 
+val contexts : Pipeline.t -> Replay.ctx * Replay.ctx
+(** The (AGU, CU) replay contexts over the pre-cleanup snapshots, exactly
+    as {!run} builds them — shared with the channel-sizing analyzer. *)
+
+type seg_events = {
+  se_seg : Segments.seg;
+  se_agu : Replay.event list;  (** scope-owned AGU events of the segment *)
+  se_cu : Replay.event list;
+  se_agu_raw : Replay.event list;
+      (** the full replayed stream, including events the segment merely
+          passes (a nested scope's header sends, an outer scope's kills) —
+          the faithful emission order for causality replay *)
+  se_cu_raw : Replay.event list;
+}
+
+(** Replay every segment of the path universe on both slices: the
+    scope-filtered streams drive per-iteration token-rate accounting, the
+    raw streams drive the sizing analyzer's abstract causality replay. *)
+val segment_events :
+  ?path_limit:int -> Pipeline.t -> (seg_events list, Segments.budget) result
+
 (** Install the checker as {!Pipeline.post_check_hook}: every
     [Pipeline.compile ~check:true] then raises {!Pipeline.Compile_error}
     listing the diagnostics whenever the checker finds an [Error]. *)

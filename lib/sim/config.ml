@@ -47,6 +47,31 @@ let default =
     vector_width = 1;
   }
 
+(* Every field is a count of cycles or slots and must be at least 1: the
+   timing engine's ring buffers clamp `phys = max capacity 1`, which used
+   to mask a zero capacity until the run deadlocked dynamically. Reject
+   bad configs at the entry points instead (the sizing analyzer probes
+   the deadlock boundary with validation off). *)
+let validate (c : t) =
+  let need what v =
+    if v < 1 then
+      invalid_arg
+        (Printf.sprintf "Config.validate: %s must be >= 1, got %d" what v)
+  in
+  need "load_queue_size" c.load_queue_size;
+  need "store_queue_size" c.store_queue_size;
+  need "request_fifo_capacity" c.request_fifo_capacity;
+  need "value_fifo_capacity" c.value_fifo_capacity;
+  need "store_value_fifo_capacity" c.store_value_fifo_capacity;
+  need "fifo_latency" c.fifo_latency;
+  need "memory_load_latency" c.memory_load_latency;
+  need "memory_store_latency" c.memory_store_latency;
+  need "forward_latency" c.forward_latency;
+  need "alu_latency" c.alu_latency;
+  need "branch_latency" c.branch_latency;
+  need "unit_ii" c.unit_ii;
+  need "vector_width" c.vector_width
+
 (* Canonical compact rendering of every field, in declaration order — the
    memoization/dedup key of the evaluation harness's job pool. *)
 let key (c : t) =

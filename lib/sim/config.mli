@@ -23,6 +23,13 @@ type t = {
 
 val default : t
 
+val validate : t -> unit
+(** Reject non-positive capacities, latencies and queue sizes with a
+    descriptive [Invalid_argument] naming the offending field. Called by
+    the {!Machine}/{!Timing} entry points (the timing engine's ring
+    buffers used to clamp [phys = max capacity 1] silently, deferring a
+    zero capacity to a dynamic deadlock). *)
+
 val key : t -> string
 (** Canonical compact rendering of every field — stable cache/dedup key
     for (kernel × arch × config) simulation jobs. *)

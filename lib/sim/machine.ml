@@ -44,9 +44,10 @@ exception Check_failed of string
 
 let golden_run (f : Func.t) ~args ~mem = Interp.run f ~args ~mem
 
-let simulate ?(cfg = Config.default) ?(w = Area.default_weights)
-    ?(collect = false) (arch : arch) (f : Func.t)
+let simulate ?(cfg = Config.default) ?(validate = true)
+    ?(w = Area.default_weights) ?(collect = false) (arch : arch) (f : Func.t)
     ~(invocations : invocation list) ~(mem : Interp.Memory.t) : result =
+  if validate then Config.validate cfg;
   match arch with
   | Sta ->
     let mem = Interp.Memory.copy mem in
@@ -114,7 +115,8 @@ let simulate ?(cfg = Config.default) ?(w = Area.default_weights)
           | _ -> (r.Exec.agu_trace, r.Exec.cu_trace)
         in
         let timed =
-          Timing.run ~cfg ~record_depths:collect ~subscribers agu_tr cu_tr
+          Timing.run ~cfg ~validate:false ~record_depths:collect ~subscribers
+            agu_tr cu_tr
         in
         cycles := !cycles + timed.Timing.cycles;
         stats := Stats.merge_keyed !stats timed.Timing.stats;

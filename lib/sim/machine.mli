@@ -50,11 +50,16 @@ exception Check_failed of string
 
 (** [collect] (default false) additionally keeps every invocation's traces,
     retire times and channel-depth samples for the timeline exporter — it
-    never changes cycles or stats.
+    never changes cycles or stats. [validate] (default true) runs
+    {!Config.validate} before simulating; deadlock-boundary probes pass
+    [~validate:false] to drive the timing engine with a rejected
+    configuration.
+    @raise Invalid_argument on an invalid configuration.
     @raise Check_failed when a decoupled run disagrees with the golden
     model. *)
 val simulate :
   ?cfg:Config.t ->
+  ?validate:bool ->
   ?w:Area.weights ->
   ?collect:bool ->
   arch ->

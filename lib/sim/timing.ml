@@ -64,6 +64,11 @@ type result = {
 
 exception Timing_error of string
 
+(* The dynamic deadlock detector's verdict, distinct from Timing_error so
+   the sizing analyzer's boundary probes can tell "the model deadlocked"
+   from engine misuse or a cycle overrun. *)
+exception Deadlock of string
+
 (* --- FIFO with arrival latency and bounded capacity ---------------------- *)
 
 module Fifo = struct
@@ -799,9 +804,10 @@ let du_wakes (a : du_array) ~t ~(push : int -> unit) =
 
 (* --- top level ------------------------------------------------------------ *)
 
-let run ?(cfg = Config.default) ?(max_cycles = 50_000_000)
+let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
     ?(record_depths = false) ~(subscribers : (int * Trace.unit_id list) list)
     (agu_tr : Trace.unit_trace) (cu_tr : Trace.unit_trace) : result =
+  if validate then Config.validate cfg;
   let env =
     {
       cfg;
@@ -911,7 +917,7 @@ let run ?(cfg = Config.default) ?(max_cycles = 50_000_000)
           incr idle_rounds;
           if !idle_rounds > 4 then
             raise
-              (Timing_error
+              (Deadlock
                  (Fmt.str
                     "timing deadlock at cycle %d (AGU %d/%d, CU %d/%d retired)"
                     !t agu.n_retired n_agu cu.n_retired n_cu));
@@ -950,6 +956,10 @@ let run ?(cfg = Config.default) ?(max_cycles = 50_000_000)
       |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2);
     depth_samples = Array.of_list (List.rev !samples);
   }
+
+(* The out-of-order scan depth, exposed so the static sizing analyzer's
+   abstract causality replay matches the engine's retirement window. *)
+let scan_window = window
 
 (* --- ORACLE trace filtering ----------------------------------------------- *)
 

@@ -44,6 +44,15 @@ type result = {
 
 exception Timing_error of string
 
+exception Deadlock of string
+(** The dynamic deadlock detector's verdict: no unit can make progress and
+    no future calendar wake exists. Distinct from {!Timing_error} (engine
+    misuse, cycle overrun) so deadlock-boundary probes can discriminate. *)
+
+val scan_window : int
+(** Per-unit out-of-order retirement scan depth; the static sizing
+    analyzer's abstract causality replay mirrors it. *)
+
 (** Bounded FIFO whose entries become visible [latency] cycles after the
     push. *)
 module Fifo : sig
@@ -64,10 +73,15 @@ end
 
 (** Replay a pair of unit traces to completion. [record_depths] (default
     false) additionally records channel-occupancy samples for the timeline
-    exporter; it never affects scheduling or cycle counts.
-    @raise Timing_error on a modelled deadlock or cycle overrun. *)
+    exporter; it never affects scheduling or cycle counts. [validate]
+    (default true) runs {!Config.validate} first; deadlock-boundary probes
+    pass [~validate:false] to simulate a rejected configuration.
+    @raise Invalid_argument on an invalid configuration.
+    @raise Deadlock on a modelled deadlock.
+    @raise Timing_error on a cycle overrun. *)
 val run :
   ?cfg:Config.t ->
+  ?validate:bool ->
   ?max_cycles:int ->
   ?record_depths:bool ->
   subscribers:(int * Trace.unit_id list) list ->

@@ -33,14 +33,25 @@ let partition_exact (r : M.result) =
 
 (* --- qcheck: partition on randomized structured CFGs ------------------------- *)
 
-let gen_partition (g : G.t) =
+let gen_partition ?cfg (g : G.t) =
   List.for_all
     (fun arch ->
       let r =
-        M.simulate arch g.G.func ~invocations:[ g.G.args ] ~mem:(g.G.mem ())
+        M.simulate ?cfg arch g.G.func ~invocations:[ g.G.args ]
+          ~mem:(g.G.mem ())
       in
       partition_exact r)
     archs
+
+(* minimal legal FIFO depths: the partition must survive the far heavier
+   fifo_full/fifo_empty traffic, with no spurious deadlock *)
+let stress_cfg =
+  {
+    Dae_sim.Config.default with
+    Dae_sim.Config.request_fifo_capacity = 1;
+    Dae_sim.Config.value_fifo_capacity = 1;
+    Dae_sim.Config.store_value_fifo_capacity = 1;
+  }
 
 let qcheck_props =
   let open QCheck in
@@ -57,6 +68,9 @@ let qcheck_props =
       ~count:30 gen_seed
       (fun seed ->
         gen_partition (G.generate ~seed ~inner_loops:true ~max_stmts:16 ()));
+    Test.make ~name:"same, at capacity-1 FIFOs (no spurious deadlock)"
+      ~count:40 gen_seed
+      (fun seed -> gen_partition ~cfg:stress_cfg (G.generate ~seed ()));
   ]
 
 (* --- suite-wide: every kernel×arch pair of the paper suite ------------------- *)

@@ -118,6 +118,48 @@ let test_depth_sweep () =
         (sta, dae, spec, oracle))
     depth_fixture
 
+(* --- capacity-1 stress: every FIFO at its minimal legal depth ------------------ *)
+
+(* The channel-sizing analyzer (test_sizing) proves depth 1 safe for the
+   suite; here the engine itself is held to that: at request/value/
+   store-value capacity 1 every kernel still completes with the right
+   memory image and never runs faster than at the default depths. No
+   exact cycle pins — depth-1 counts may legitimately move with engine
+   changes; the deadlock-freedom and monotonicity are the contract. *)
+let stress_cfg =
+  {
+    Dae_sim.Config.default with
+    Dae_sim.Config.request_fifo_capacity = 1;
+    Dae_sim.Config.value_fifo_capacity = 1;
+    Dae_sim.Config.store_value_fifo_capacity = 1;
+  }
+
+let test_capacity1_stress () =
+  List.iter
+    (fun (k : Kernels.t) ->
+      List.iter
+        (fun arch ->
+          let label what =
+            Printf.sprintf "%s/%s %s" k.Kernels.name
+              (Dae_sim.Machine.arch_name arch)
+              what
+          in
+          let r =
+            Dae_sim.Machine.simulate ~cfg:stress_cfg arch
+              (k.Kernels.build ())
+              ~invocations:(k.Kernels.invocations ())
+              ~mem:(k.Kernels.init_mem ())
+          in
+          (match k.Kernels.check r.Dae_sim.Machine.memory with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "%s: %s" (label "reference check") msg);
+          check Alcotest.bool
+            (label "no faster than default depths")
+            true
+            (r.Dae_sim.Machine.cycles >= cycles arch k))
+        [ Dae_sim.Machine.Dae; Dae_sim.Machine.Spec; Dae_sim.Machine.Oracle ])
+    (Kernels.test_suite ())
+
 (* --- Runner ------------------------------------------------------------------- *)
 
 let test_runner_map_matches_serial () =
@@ -182,6 +224,9 @@ let () =
             tc name speed (test_paper_kernel name))
           paper_fixture );
       ("synthetic", [ tc "depth sweep n=400" `Quick test_depth_sweep ]);
+      ( "capacity-1 stress",
+        [ tc "suite completes at minimal FIFO depths" `Quick
+            test_capacity1_stress ] );
       ( "runner",
         [
           tc "map matches serial" `Quick test_runner_map_matches_serial;
