@@ -4,8 +4,10 @@
 
      dune exec bench/main.exe                       # everything
      dune exec bench/main.exe -- fig6 table1        # some sections
+     dune exec bench/main.exe -- --section fig6 --section table1   # same
      dune exec bench/main.exe -- --jobs 4 --json out.json fig6
-     sections: fig6 table1 table2 fig7 ablation micro smoke
+     dune exec bench/main.exe -- --quick            # fig6 on small kernels
+     sections: fig6 table1 table2 fig7 ablation sizing micro smoke
 
    Every section first *declares* its simulation jobs (kernel × arch ×
    config); the distinct jobs are fanned out once over a work-stealing
@@ -13,9 +15,14 @@
    compile+simulate cache, so sections that share points (fig6 and
    table1 use the same paper-suite runs) pay for them once. The
    per-job results — cycles, mis-speculation rate, area, wall-clock,
-   and the channel-sizing analyzer's per-channel minimum depths and
-   deadlock verdict — are written to BENCH_4.json so the perf
-   trajectory is machine-readable from PR 1 onward.
+   GC pressure, and the channel-sizing analyzer's per-channel minimum
+   depths and deadlock verdict — are written to BENCH_5.json so the
+   perf trajectory is machine-readable from PR 1 onward.
+
+   --quick swaps the paper suite for the small test-suite instances and
+   runs fig6 only: a seconds-long sweep whose cycle counts are pinned
+   byte-for-byte by the @ci bench-quick rule (bench/bench_quick.expected),
+   so any accidental timing-model change fails the build.
 
    Cycle counts are this repository's simulator, not the paper's ModelSim
    runs; EXPERIMENTS.md records the side-by-side comparison of shapes. *)
@@ -25,6 +32,14 @@ open Dae_workloads
 let archs =
   [ Dae_sim.Machine.Sta; Dae_sim.Machine.Dae; Dae_sim.Machine.Spec;
     Dae_sim.Machine.Oracle ]
+
+(* --quick: the small test-suite kernel instances instead of the paper
+   sizes, fig6 only — deterministic cycle counts in seconds, pinned by the
+   @ci bench-quick rule. *)
+let quick = ref false
+
+let bench_suite () =
+  if !quick then Kernels.test_suite () else Kernels.paper_suite ()
 
 (* --- simulation jobs -------------------------------------------------------- *)
 
@@ -47,6 +62,11 @@ type sim_out = {
   o_min_depths : (string * int) list; (* sizing analyzer minimum per channel *)
   o_sizing_verdict : string; (* deadlock-free | deadlock | skipped | n/a *)
   o_wall_s : float;
+  (* GC pressure of this job (Gc.quick_stat deltas around the run) *)
+  o_gc_minor_words : float;
+  o_gc_major_words : float;
+  o_gc_minor_collections : int;
+  o_gc_major_collections : int;
 }
 
 type sim_req = {
@@ -71,6 +91,7 @@ let req ?(cfg = Dae_sim.Config.default) ~kernel ~arch mk =
 
 let run_req (r : sim_req) : sim_out =
   let t0 = Unix.gettimeofday () in
+  let g0 = Gc.quick_stat () in
   let k = r.r_mk () in
   let res =
     Dae_sim.Machine.simulate ~cfg:r.r_cfg r.r_arch
@@ -114,6 +135,7 @@ let run_req (r : sim_req) : sim_out =
           if Dae_analysis.Sizing.deadlocks sz then "deadlock"
           else "deadlock-free" ))
   in
+  let g1 = Gc.quick_stat () in
   {
     o_kernel = r.r_kernel;
     o_arch = Dae_sim.Machine.arch_name r.r_arch;
@@ -133,6 +155,12 @@ let run_req (r : sim_req) : sim_out =
     o_min_depths = min_depths;
     o_sizing_verdict = sizing_verdict;
     o_wall_s = Unix.gettimeofday () -. t0;
+    o_gc_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+    o_gc_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    o_gc_minor_collections =
+      g1.Gc.minor_collections - g0.Gc.minor_collections;
+    o_gc_major_collections =
+      g1.Gc.major_collections - g0.Gc.major_collections;
   }
 
 (* Filled once by the pool; sections read it through [get]. *)
@@ -155,15 +183,15 @@ let suite_reqs () =
       List.map
         (fun arch ->
           req ~kernel:k.Kernels.name ~arch (fun () ->
-              match Kernels.by_name (Kernels.paper_suite ()) k.Kernels.name with
+              match Kernels.by_name (bench_suite ()) k.Kernels.name with
               | Some k -> k
               | None -> assert false))
         archs)
-    (Kernels.paper_suite ())
+    (bench_suite ())
 
 let suite_req name arch =
   req ~kernel:name ~arch (fun () ->
-      match Kernels.by_name (Kernels.paper_suite ()) name with
+      match Kernels.by_name (bench_suite ()) name with
       | Some k -> k
       | None -> assert false)
 
@@ -183,7 +211,7 @@ let fig6_print () =
       Fmt.pr "%-6s %9.2fx %9.2fx %9.2fx@." k.Kernels.name
         (norm Dae_sim.Machine.Dae) spec
         (norm Dae_sim.Machine.Oracle))
-    (Kernels.paper_suite ());
+    (bench_suite ());
   Fmt.pr "SPEC harmonic-mean speedup over STA: %.2fx (paper: 1.9x avg, up to 3x)@."
     (harmonic_mean !speedups)
 
@@ -217,7 +245,7 @@ let table1_print () =
           (f (area Dae_sim.Machine.Dae) /. a0) :: ad,
           (f (area Dae_sim.Machine.Spec) /. a0) :: as_,
           (f (area Dae_sim.Machine.Oracle) /. a0) :: ao ))
-    (Kernels.paper_suite ());
+    (bench_suite ());
   let cd, cs, co, ad, as_, ao = !ratios in
   Fmt.pr
     "Harmonic means vs STA — cycles: DAE %.2f SPEC %.2f ORACLE %.2f; area: \
@@ -629,9 +657,13 @@ let micro () =
 
 (* --- JSON emitter ------------------------------------------------------------ *)
 
-(* Recorded with the seed (cycle-polling) engine on this host, before the
-   event-driven rewrite — the denominator of the §"perf trajectory". *)
+(* Perf-trajectory denominators, all measured on this host at --jobs 1:
+   the seed cycle-polling engine (PR 1), and the BENCH_4 event-driven
+   engine with the tree-walking co-simulator, immediately before the
+   micro-op lowering of this PR. *)
 let seed_fig6_table1_wall_s = 142.5
+let bench4_fig6_table1_wall_s = 26.626
+let bench4_suite_wall_s = 87.390
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -664,9 +696,11 @@ let write_json ~path ~sections ~domains ~wall_s
   p "  \"domains\": %d,\n" domains;
   p "  \"jobs\": %d,\n" (List.length outs);
   p "  \"wall_s\": %.3f,\n" wall_s;
-  p "  \"baseline\": { \"engine\": \"seed cycle-polling\", \
-     \"fig6_table1_wall_s\": %.1f },\n"
-    seed_fig6_table1_wall_s;
+  p
+    "  \"baseline\": { \"bench\": \"BENCH_4.json\", \"engine\": \
+     \"event-driven, tree-walking co-sim\", \"fig6_table1_wall_s\": %.3f, \
+     \"suite_wall_s\": %.3f, \"seed_fig6_table1_wall_s\": %.1f },\n"
+    bench4_fig6_table1_wall_s bench4_suite_wall_s seed_fig6_table1_wall_s;
   let stats_json (stats : Dae_sim.Stats.keyed) =
     (* nonzero causes only: the full 11-row vector is mostly zeros *)
     String.concat ", "
@@ -691,7 +725,9 @@ let write_json ~path ~sections ~domains ~wall_s
          \"pcall\": %d, \"killed_stores\": %d, \"committed_stores\": %d, \
          \"check_errors\": %d, \"check_warnings\": %d, \
          \"sizing_verdict\": \"%s\", \"min_depths\": { %s }, \
-         \"stats\": { %s }, \"wall_s\": %.6f }%s\n"
+         \"stats\": { %s }, \"gc\": { \"minor_words\": %.0f, \
+         \"major_words\": %.0f, \"minor_collections\": %d, \
+         \"major_collections\": %d }, \"wall_s\": %.6f }%s\n"
         (json_escape key) (json_escape o.o_kernel) (json_escape o.o_arch)
         (json_escape o.o_cfg) o.o_cycles o.o_misspec o.o_area_total
         o.o_area_cu o.o_area_agu o.o_pblk o.o_pcall o.o_killed o.o_committed
@@ -701,7 +737,8 @@ let write_json ~path ~sections ~domains ~wall_s
            (List.map
               (fun (n, d) -> Printf.sprintf "\"%s\": %d" (json_escape n) d)
               o.o_min_depths))
-        (stats_json o.o_stats) o.o_wall_s
+        (stats_json o.o_stats) o.o_gc_minor_words o.o_gc_major_words
+        o.o_gc_minor_collections o.o_gc_major_collections o.o_wall_s
         (if i = List.length outs - 1 then "" else ","))
     outs;
   p "  ]\n}\n";
@@ -732,8 +769,18 @@ let default_section_names =
 
 let () =
   let jobs = ref (Dae_sim.Runner.default_domains ()) in
-  let json_path = ref "BENCH_4.json" in
+  let json_path = ref "BENCH_5.json" in
+  let expect_path = ref None in
   let names = ref [] in
+  let add_section s =
+    if List.exists (fun sec -> sec.s_name = s) sections_all then
+      names := s :: !names
+    else begin
+      Fmt.epr "unknown section %s (sections: %s)@." s
+        (String.concat " " (List.map (fun sec -> sec.s_name) sections_all));
+      exit 2
+    end
+  in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: n :: rest ->
@@ -746,22 +793,27 @@ let () =
     | "--json" :: p :: rest ->
       json_path := p;
       parse rest
-    | ("--jobs" | "--json") :: [] ->
+    | "--section" :: s :: rest ->
+      add_section s;
+      parse rest
+    | "--expect" :: p :: rest ->
+      expect_path := Some p;
+      parse rest
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | ("--jobs" | "--json" | "--section" | "--expect") :: [] ->
       Fmt.epr "missing argument@.";
       exit 2
     | s :: rest ->
-      (if List.exists (fun sec -> sec.s_name = s) sections_all then
-         names := s :: !names
-       else begin
-         Fmt.epr "unknown section %s (sections: %s)@." s
-           (String.concat " " (List.map (fun sec -> sec.s_name) sections_all));
-         exit 2
-       end);
+      add_section s;
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
   let names =
-    if !names = [] then default_section_names else List.rev !names
+    if !quick then [ "fig6" ]
+    else if !names = [] then default_section_names
+    else List.rev !names
   in
   let selected =
     List.filter_map
@@ -789,5 +841,16 @@ let () =
   let wall = Unix.gettimeofday () -. t0 in
   write_json ~path:!json_path ~sections:names ~domains:!jobs ~wall_s:wall
     results;
+  (* --expect: a timing-free "key cycles" table, sorted by key — the
+     deterministic artifact the @ci bench-quick rule diffs against its
+     committed expectation *)
+  (match !expect_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    List.iter
+      (fun (key, o) -> Printf.fprintf oc "%s %d\n" key o.o_cycles)
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) results);
+    close_out oc);
   Fmt.pr "@.[bench] %d jobs on %d domain(s) in %.1fs -> %s@."
     (List.length results) !jobs wall !json_path

@@ -43,18 +43,15 @@ let timeline arch =
 
 let show name (tr : Trace.unit_trace) (retire : int array) ~width =
   Fmt.pr "%s@." name;
-  Array.iteri
-    (fun k (e : Trace.entry) ->
-      let cycle = retire.(k) in
-      let bar =
-        String.concat ""
-          (List.init (min cycle width) (fun _ -> "."))
-        ^ "#"
-      in
-      Fmt.pr "  i%-2d %-24s |%-*s| t=%d@." e.Trace.iter
-        (Fmt.str "%a" Trace.pp_ev e.Trace.ev)
-        (width + 1) bar cycle)
-    tr.Trace.entries
+  for k = 0 to Trace.length tr - 1 do
+    let cycle = retire.(k) in
+    let bar =
+      String.concat "" (List.init (min cycle width) (fun _ -> ".")) ^ "#"
+    in
+    Fmt.pr "  i%-2d %-24s |%-*s| t=%d@." (Trace.iter tr k)
+      (Fmt.str "%a" Trace.pp_ev (Trace.ev tr k))
+      (width + 1) bar cycle
+  done
 
 let export path (r : Machine.result) =
   Trace_export.write_file ~path ~kernel:"fig2" r;

@@ -619,8 +619,8 @@ let bound_of_timelines (t : t) (tls : Dae_sim.Machine.timeline list) =
   List.fold_left
     (fun acc (tl : Dae_sim.Machine.timeline) ->
       let events =
-        Array.length tl.Dae_sim.Machine.t_agu.Dae_sim.Trace.entries
-        + Array.length tl.Dae_sim.Machine.t_cu.Dae_sim.Trace.entries
+        Dae_sim.Trace.length tl.Dae_sim.Machine.t_agu
+        + Dae_sim.Trace.length tl.Dae_sim.Machine.t_cu
       in
       let iters =
         max tl.Dae_sim.Machine.t_agu.Dae_sim.Trace.iterations

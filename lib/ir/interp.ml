@@ -66,11 +66,35 @@ type event =
   | Eload of { mem : Instr.mem_id; arr : string; idx : int; value : int }
   | Estore of { mem : Instr.mem_id; arr : string; idx : int; value : int }
 
+(* The memory trace, compact: four int words per event (word 0 packs the
+   store bit and a dense array id interned per run), so recording a golden
+   run allocates no per-event blocks and the live trace is a GC leaf. *)
+type trace = {
+  tdata : int array; (* 4 words per event *)
+  tn : int; (* number of events *)
+  tarrays : string array; (* dense array id -> name *)
+}
+
+let t_stride = 4
+
+let trace_length (tr : trace) = tr.tn
+let[@inline] t_is_store (tr : trace) k = tr.tdata.(k * t_stride) land 1 = 1
+let[@inline] t_arr (tr : trace) k = tr.tarrays.(tr.tdata.(k * t_stride) lsr 1)
+let[@inline] t_mem (tr : trace) k = tr.tdata.((k * t_stride) + 1)
+let[@inline] t_idx (tr : trace) k = tr.tdata.((k * t_stride) + 2)
+let[@inline] t_value (tr : trace) k = tr.tdata.((k * t_stride) + 3)
+
+let event (tr : trace) k : event =
+  let mem = t_mem tr k and arr = t_arr tr k in
+  let idx = t_idx tr k and value = t_value tr k in
+  if t_is_store tr k then Estore { mem; arr; idx; value }
+  else Eload { mem; arr; idx; value }
+
 type result = {
   ret : value option;
-  trace : event list; (* program-order memory events *)
+  trace : trace; (* program-order memory events *)
   steps : int; (* dynamic instruction count *)
-  block_trace : int list; (* dynamic block path, entry first *)
+  block_trace : int array; (* dynamic block path, entry first *)
 }
 
 exception Out_of_fuel
@@ -78,24 +102,118 @@ exception Channel_op_in_sequential_code of string
 
 let run ?(fuel = 10_000_000) (f : Func.t) ~(args : (string * value) list)
     ~(mem : Memory.t) : result =
-  let env : (int, value) Hashtbl.t = Hashtbl.create 64 in
+  (* Value and block ids are allocated densely (Func.fresh_vid /
+     Func.add_block), so the environment and the block table flatten into
+     arrays; [undef] is a shared sentinel block, distinguished by physical
+     equality from any value the program itself constructs. *)
+  let undef = Vint min_int in
+  let env : value array = Array.make (max 1 f.Func.next_vid) undef in
   List.iter
     (fun (name, vid) ->
       match List.assoc_opt name args with
-      | Some v -> Hashtbl.replace env vid v
+      | Some v -> env.(vid) <- v
       | None -> Fmt.invalid_arg "Interp.run: missing argument %s" name)
     f.Func.params;
+  let blocks =
+    Array.init (max 1 f.Func.next_bid) (fun bid ->
+        Hashtbl.find_opt f.Func.blocks bid)
+  in
+  let block bid =
+    if bid < 0 || bid >= Array.length blocks then Func.block f bid
+    else
+      match blocks.(bid) with Some b -> b | None -> Func.block f bid
+  in
+  (* Load/store instructions name their array by string; resolve each once
+     per run, keyed by the (dense) instruction id. Memory.set mutates
+     elements in place, never rebinds the array, so cached refs stay
+     valid. The empty array is the shared atom, usable as a free slot
+     marker. *)
+  let arr_cache : int array array = Array.make (max 1 f.Func.next_vid) [||] in
+  let resolve_arr id name =
+    let a = arr_cache.(id) in
+    if a != [||] then a
+    else begin
+      let a = Memory.array mem name in
+      arr_cache.(id) <- a;
+      a
+    end
+  in
+  (* Array-name interning for the compact trace, memoized per instruction
+     id alongside [arr_cache] so the hot path never hashes a string. *)
+  let intern : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let names_rev = ref [] in
+  let n_names = ref 0 in
+  let arr_ids : int array = Array.make (max 1 f.Func.next_vid) (-1) in
+  let arr_id_of id name =
+    let i = arr_ids.(id) in
+    if i >= 0 then i
+    else
+      let i =
+        match Hashtbl.find_opt intern name with
+        | Some i -> i
+        | None ->
+          let i = !n_names in
+          Hashtbl.replace intern name i;
+          incr n_names;
+          names_rev := name :: !names_rev;
+          i
+      in
+      arr_ids.(id) <- i;
+      i
+  in
+  let tdata = ref (Array.make (256 * t_stride) 0) in
+  let tn = ref 0 in
+  let push_tev ~store ~aid ~m ~idx ~v =
+    let base = !tn * t_stride in
+    if base + t_stride > Array.length !tdata then begin
+      let bigger = Array.make (2 * Array.length !tdata) 0 in
+      Array.blit !tdata 0 bigger 0 base;
+      tdata := bigger
+    end;
+    let d = !tdata in
+    d.(base) <- (aid lsl 1) lor (if store then 1 else 0);
+    d.(base + 1) <- m;
+    d.(base + 2) <- idx;
+    d.(base + 3) <- v;
+    incr tn
+  in
+  let bdata = ref (Array.make 256 0) in
+  let bn = ref 0 in
+  let push_block bid =
+    if !bn >= Array.length !bdata then begin
+      let bigger = Array.make (2 * Array.length !bdata) 0 in
+      Array.blit !bdata 0 bigger 0 !bn;
+      bdata := bigger
+    end;
+    !bdata.(!bn) <- bid;
+    incr bn
+  in
   let value_of = function
     | Cst c -> value_of_const c
-    | Var v -> (
-      match Hashtbl.find_opt env v with
-      | Some x -> x
-      | None -> Fmt.invalid_arg "Interp.run: read of undefined %%%d" v)
+    | Var v ->
+      let x = env.(v) in
+      if x == undef then
+        Fmt.invalid_arg "Interp.run: read of undefined %%%d" v
+      else x
   in
-  let int_of op = int_of_value (value_of op) in
-  let bool_of op = bool_of_value (value_of op) in
-  let trace = ref [] in
-  let block_trace = ref [] in
+  (* Specialized coercions: constant operands skip the value boxing, with
+     the same errors as [int_of_value] / [bool_of_value] on a type clash. *)
+  let int_of = function
+    | Cst (Int n) -> n
+    | Cst (Bool _) -> invalid_arg "Types.int_of_value: boolean value"
+    | Var _ as op -> (
+      match value_of op with
+      | Vint n -> n
+      | Vbool _ -> invalid_arg "Types.int_of_value: boolean value")
+  in
+  let bool_of = function
+    | Cst (Bool b) -> b
+    | Cst (Int _) -> invalid_arg "Types.bool_of_value: integer value"
+    | Var _ as op -> (
+      match value_of op with
+      | Vbool b -> b
+      | Vint _ -> invalid_arg "Types.bool_of_value: integer value")
+  in
   let steps = ref 0 in
   let tick () =
     incr steps;
@@ -105,25 +223,30 @@ let run ?(fuel = 10_000_000) (f : Func.t) ~(args : (string * value) list)
     tick ();
     match i.Instr.kind with
     | Instr.Binop (op, a, b) ->
-      Hashtbl.replace env i.Instr.id
-        (Vint (Instr.eval_binop op (int_of a) (int_of b)))
+      env.(i.Instr.id) <- Vint (Instr.eval_binop op (int_of a) (int_of b))
     | Instr.Cmp (op, a, b) ->
-      Hashtbl.replace env i.Instr.id
-        (Vbool (Instr.eval_cmp op (int_of a) (int_of b)))
+      env.(i.Instr.id) <- Vbool (Instr.eval_cmp op (int_of a) (int_of b))
     | Instr.Select (c, a, b) ->
-      Hashtbl.replace env i.Instr.id
-        (if bool_of c then value_of a else value_of b)
-    | Instr.Not a -> Hashtbl.replace env i.Instr.id (Vbool (not (bool_of a)))
+      env.(i.Instr.id) <- (if bool_of c then value_of a else value_of b)
+    | Instr.Not a -> env.(i.Instr.id) <- Vbool (not (bool_of a))
     | Instr.Load { arr; idx; mem = m } ->
+      let a = resolve_arr i.Instr.id arr in
       let idx = int_of idx in
-      let v = Memory.get mem arr idx in
-      trace := Eload { mem = m; arr; idx; value = v } :: !trace;
-      Hashtbl.replace env i.Instr.id (Vint v)
+      if idx < 0 || idx >= Array.length a then
+        Fmt.invalid_arg "Interp.Memory: %s[%d] out of bounds (len %d)" arr idx
+          (Array.length a);
+      let v = a.(idx) in
+      push_tev ~store:false ~aid:(arr_id_of i.Instr.id arr) ~m ~idx ~v;
+      env.(i.Instr.id) <- Vint v
     | Instr.Store { arr; idx; value; mem = m } ->
+      let a = resolve_arr i.Instr.id arr in
       let idx = int_of idx in
       let v = int_of value in
-      trace := Estore { mem = m; arr; idx; value = v } :: !trace;
-      Memory.set mem arr idx v
+      if idx < 0 || idx >= Array.length a then
+        Fmt.invalid_arg "Interp.Memory: %s[%d] out of bounds (len %d)" arr idx
+          (Array.length a);
+      push_tev ~store:true ~aid:(arr_id_of i.Instr.id arr) ~m ~idx ~v;
+      a.(idx) <- v
     | Instr.Send_ld_addr _ | Instr.Send_st_addr _ | Instr.Consume_val _
     | Instr.Produce_val _ | Instr.Poison _ ->
       raise
@@ -131,22 +254,26 @@ let run ?(fuel = 10_000_000) (f : Func.t) ~(args : (string * value) list)
   in
   (* φs of a block are evaluated simultaneously on entry from [pred]. *)
   let exec_phis (b : Block.t) ~pred =
-    let resolved =
-      List.map
-        (fun (p : Block.phi) ->
-          match List.assoc_opt pred p.Block.incoming with
-          | Some op -> (p.Block.pid, value_of op)
-          | None ->
-            Fmt.invalid_arg "Interp.run: phi %%%d in bb%d has no entry for bb%d"
-              p.Block.pid b.Block.bid pred)
-        b.Block.phis
-    in
-    List.iter (fun (pid, v) -> Hashtbl.replace env pid v) resolved
+    match b.Block.phis with
+    | [] -> ()
+    | phis ->
+      let resolved =
+        List.map
+          (fun (p : Block.phi) ->
+            match List.assoc_opt pred p.Block.incoming with
+            | Some op -> (p.Block.pid, value_of op)
+            | None ->
+              Fmt.invalid_arg
+                "Interp.run: phi %%%d in bb%d has no entry for bb%d"
+                p.Block.pid b.Block.bid pred)
+          phis
+      in
+      List.iter (fun (pid, v) -> env.(pid) <- v) resolved
   in
   let rec exec_block bid ~pred =
     tick ();
-    block_trace := bid :: !block_trace;
-    let b = Func.block f bid in
+    push_block bid;
+    let b = block bid in
     (match pred with Some p -> exec_phis b ~pred:p | None -> ());
     List.iter exec_instr b.Block.instrs;
     match b.Block.term with
@@ -161,20 +288,35 @@ let run ?(fuel = 10_000_000) (f : Func.t) ~(args : (string * value) list)
     | Block.Ret v -> Option.map value_of v
   in
   let ret = exec_block f.Func.entry ~pred:None in
-  { ret; trace = List.rev !trace; steps = !steps;
-    block_trace = List.rev !block_trace }
+  {
+    ret;
+    trace =
+      {
+        tdata = Array.sub !tdata 0 (!tn * t_stride);
+        tn = !tn;
+        tarrays = Array.of_list (List.rev !names_rev);
+      };
+    steps = !steps;
+    block_trace = Array.sub !bdata 0 !bn;
+  }
 
 (* Convenience: the store sub-trace, in program order. *)
 let stores (r : result) =
-  List.filter_map
-    (function
-      | Estore { mem; arr; idx; value } -> Some (mem, arr, idx, value)
-      | Eload _ -> None)
-    r.trace
+  let acc = ref [] in
+  for k = trace_length r.trace - 1 downto 0 do
+    if t_is_store r.trace k then
+      acc :=
+        (t_mem r.trace k, t_arr r.trace k, t_idx r.trace k, t_value r.trace k)
+        :: !acc
+  done;
+  !acc
 
 let loads (r : result) =
-  List.filter_map
-    (function
-      | Eload { mem; arr; idx; value } -> Some (mem, arr, idx, value)
-      | Estore _ -> None)
-    r.trace
+  let acc = ref [] in
+  for k = trace_length r.trace - 1 downto 0 do
+    if not (t_is_store r.trace k) then
+      acc :=
+        (t_mem r.trace k, t_arr r.trace k, t_idx r.trace k, t_value r.trace k)
+        :: !acc
+  done;
+  !acc

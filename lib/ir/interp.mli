@@ -31,11 +31,27 @@ type event =
   | Eload of { mem : Instr.mem_id; arr : string; idx : int; value : int }
   | Estore of { mem : Instr.mem_id; arr : string; idx : int; value : int }
 
+(** Compact program-order memory trace: an unboxed int encoding with a
+    per-run interned array-name table, so recording a golden run allocates
+    no per-event blocks. Decode one event with {!event}. *)
+type trace
+
+val trace_length : trace -> int
+
+(** Decoded view of event [k], [0 <= k < trace_length]. *)
+val event : trace -> int -> event
+
+val t_is_store : trace -> int -> bool
+val t_arr : trace -> int -> string
+val t_mem : trace -> int -> Instr.mem_id
+val t_idx : trace -> int -> int
+val t_value : trace -> int -> int
+
 type result = {
   ret : Types.value option;
-  trace : event list;  (** program-order memory events *)
+  trace : trace;  (** program-order memory events *)
   steps : int;
-  block_trace : int list;  (** dynamic block path, entry first *)
+  block_trace : int array;  (** dynamic block path, entry first *)
 }
 
 exception Out_of_fuel

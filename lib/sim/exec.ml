@@ -15,7 +15,14 @@
    - deadlock freedom: a global round with no progress raises [Deadlock].
 
    As a side effect the run produces the per-unit channel traces the
-   timing engine replays. *)
+   timing engine replays.
+
+   The fast path ([run_lowered]) interprets the dense micro-op form of
+   {!Lower}: flat slot arrays instead of Hashtbl environments, int-indexed
+   ring queues instead of string-keyed Queue tables, and compact trace
+   append. [Reference] keeps the original tree-walking interpreter — the
+   qcheck equivalence property in test/test_lower.ml holds the two to
+   identical results, commit orders and traces. *)
 
 open Dae_ir
 
@@ -23,488 +30,7 @@ exception Deadlock of string
 exception Stream_mismatch of string
 exception Desync of string
 
-type request =
-  | Rld of { mem : int; addr : int }
-  | Rst of { mem : int; addr : int }
-
-type store_tag = { tag_mem : int; value : int; poisoned : bool }
-
 type commit = { c_arr : string; c_addr : int; c_value : int }
-
-type channels = {
-  requests : (string, request Queue.t) Hashtbl.t;
-  store_values : (string, store_tag Queue.t) Hashtbl.t;
-  load_values : (int * Trace.unit_id, int Queue.t) Hashtbl.t;
-  subscribers : (int, Trace.unit_id list) Hashtbl.t; (* load mem -> units *)
-}
-
-let get_queue tbl key =
-  match Hashtbl.find_opt tbl key with
-  | Some q -> q
-  | None ->
-    let q = Queue.create () in
-    Hashtbl.replace tbl key q;
-    q
-
-(* --- per-unit interpreter state ------------------------------------------ *)
-
-type phase = Phis | At of int (* instruction index *) | Term
-
-(* A value slot: either a materialised value or a cell that a lazily-issued
-   consume will fill when the DU responds. φ-nodes copy slots (a mux does
-   not force its input), so a pending consume value can flow through joins
-   without blocking the unit; only a computational *use* forces it. *)
-type slot = Ready of Types.value | Cell of Types.value option ref
-
-type ustate = {
-  uid : Trace.unit_id;
-  func : Func.t;
-  env : (int, slot) Hashtbl.t;
-  mutable cur : int;
-  mutable came_from : int option;
-  mutable phase : phase;
-  mutable finished : bool;
-  mutable iter : int;
-  mutable depth : int;
-  mutable steps : int;
-  mutable trace_rev : Trace.entry list;
-  mutable n_events : int;
-  (* Lazy consumes: a consume whose channel is still empty registers a
-     cell and execution continues — only a *use* of the value blocks.
-     This models the dataflow CU, where an unconsumed value never stops
-     independent operations (e.g. poisoning an earlier store the DU is
-     waiting on — sequential consumption would deadlock there). Cells per
-     channel fill in FIFO order. *)
-  promise_queues : (int, Types.value option ref Queue.t) Hashtbl.t;
-      (* mem -> cells in pop order *)
-  hot_header : int option;
-  control_consumes : (int, unit) Hashtbl.t; (* consume ids feeding branches *)
-  (* block -> consume ids its terminator condition transitively depends on;
-     executing such a terminator emits a Gate event *)
-  serializing_terms : (int, int list) Hashtbl.t;
-  last_consume_idx : (int, int) Hashtbl.t; (* consume id -> last trace index *)
-}
-
-(* The innermost loop header with the most channel operations: iteration
-   boundaries for trace purposes. *)
-let hot_header (f : Func.t) : int option =
-  let loops = Loops.compute f in
-  let channel_ops_in body =
-    List.fold_left
-      (fun acc bid ->
-        acc
-        + List.length
-            (List.filter
-               (fun (i : Instr.t) ->
-                 match i.Instr.kind with
-                 | Instr.Send_ld_addr _ | Instr.Send_st_addr _
-                 | Instr.Consume_val _ | Instr.Produce_val _ | Instr.Poison _
-                   ->
-                   true
-                 | _ -> false)
-               (Func.block f bid).Block.instrs))
-      0 body
-  in
-  let candidates =
-    List.map (fun (l : Loops.loop) -> (l, channel_ops_in l.Loops.body)) loops.Loops.loops
-  in
-  let innermost_first =
-    List.sort
-      (fun ((a : Loops.loop), na) (b, nb) ->
-        match compare nb na with
-        | 0 -> compare b.Loops.depth a.Loops.depth
-        | c -> c)
-      candidates
-  in
-  match innermost_first with
-  | ((l, n) :: _) when n > 0 -> Some l.Loops.header
-  | _ -> None
-
-(* Consume instructions whose value (transitively) reaches a terminator:
-   these make the unit control-synchronized. *)
-let control_consume_ids (f : Func.t) : (int, unit) Hashtbl.t =
-  let du = Defuse.compute f in
-  let result = Hashtbl.create 8 in
-  let feeds_control v =
-    let seen = Hashtbl.create 16 in
-    let rec go v =
-      (not (Hashtbl.mem seen v))
-      && begin
-        Hashtbl.replace seen v ();
-        Defuse.terminator_users du v <> []
-        || List.exists go (Defuse.users du v)
-      end
-    in
-    go v
-  in
-  Func.iter_instrs f (fun (i : Instr.t) ->
-      match i.Instr.kind with
-      | Instr.Consume_val _ ->
-        if feeds_control i.Instr.id then Hashtbl.replace result i.Instr.id ()
-      | _ -> ());
-  result
-
-(* For each block whose terminator condition transitively depends on
-   consumed values: the consume ids it depends on. The unit cannot know its
-   downstream FIFO push order before such a branch resolves. *)
-let serializing_terminators (f : Func.t) : (int, int list) Hashtbl.t =
-  let du = Defuse.compute f in
-  let consumes =
-    Func.fold_instrs f
-      (fun acc (i : Instr.t) ->
-        match i.Instr.kind with
-        | Instr.Consume_val _ -> i.Instr.id :: acc
-        | _ -> acc)
-      []
-  in
-  let result = Hashtbl.create 8 in
-  if consumes <> [] then
-    List.iter
-      (fun bid ->
-        let b = Func.block f bid in
-        let deps =
-          List.concat_map
-            (fun op ->
-              match op with
-              | Types.Cst _ -> []
-              | Types.Var v ->
-                let slice = Defuse.backward_slice du v in
-                List.filter (fun c -> Hashtbl.mem slice c) consumes)
-            (Block.terminator_operands b)
-        in
-        if deps <> [] then
-          Hashtbl.replace result bid (List.sort_uniq compare deps))
-      f.Func.layout;
-  result
-
-let make_ustate uid (f : Func.t) ~(args : (string * Types.value) list) : ustate
-    =
-  let env = Hashtbl.create 64 in
-  List.iter
-    (fun (name, vid) ->
-      match List.assoc_opt name args with
-      | Some v -> Hashtbl.replace env vid (Ready v)
-      | None -> Fmt.invalid_arg "Exec: missing argument %s" name)
-    f.Func.params;
-  {
-    uid;
-    func = f;
-    env;
-    cur = f.Func.entry;
-    came_from = None;
-    phase = Phis;
-    finished = false;
-    iter = -1 (* becomes 0 on first hot-header entry; stays -1 pre-loop *);
-    depth = 0;
-    steps = 0;
-    trace_rev = [];
-    n_events = 0;
-    hot_header = hot_header f;
-    control_consumes = control_consume_ids f;
-    serializing_terms = serializing_terminators f;
-    last_consume_idx = Hashtbl.create 8;
-    promise_queues = Hashtbl.create 8;
-  }
-
-(* --- small-step execution ------------------------------------------------ *)
-
-type step_result = Progress | Blocked | Finished
-
-exception Blocked_on_value
-
-(* The slot an operand denotes, without forcing it. *)
-let slot_of (u : ustate) = function
-  | Types.Cst c -> Ready (Types.value_of_const c)
-  | Types.Var v -> (
-    match Hashtbl.find_opt u.env v with
-    | Some s -> s
-    | None ->
-      Fmt.invalid_arg "Exec(%s): read of undefined %%%d in %s"
-        (Trace.unit_name u.uid) v u.func.Func.name)
-
-let value_of (u : ustate) op =
-  match slot_of u op with
-  | Ready v -> v
-  | Cell r -> (
-    match !r with Some v -> v | None -> raise Blocked_on_value)
-
-(* Fill outstanding consume cells from their channels, FIFO per channel.
-   Returns true on progress. *)
-let fulfill_promises (ch : channels) (u : ustate) : bool =
-  let progress = ref false in
-  Hashtbl.iter
-    (fun mem q ->
-      let data = get_queue ch.load_values (mem, u.uid) in
-      while (not (Queue.is_empty q)) && not (Queue.is_empty data) do
-        let cell = Queue.pop q in
-        let v = Queue.pop data in
-        cell := Some (Types.Vint v);
-        progress := true
-      done)
-    u.promise_queues;
-  !progress
-
-let int_of u op = Types.int_of_value (value_of u op)
-let bool_of u op = Types.bool_of_value (value_of u op)
-
-let record (u : ustate) ev =
-  u.trace_rev <-
-    { Trace.iter = max u.iter 0; depth = u.depth; ev } :: u.trace_rev;
-  u.n_events <- u.n_events + 1
-
-let enter_block (u : ustate) bid =
-  (match u.hot_header with
-  | Some h when bid = h -> begin
-    u.iter <- u.iter + 1;
-    u.depth <- 0
-  end
-  | _ -> ());
-  u.came_from <- Some u.cur;
-  u.cur <- bid;
-  u.phase <- Phis
-
-let step (ch : channels) (u : ustate) : step_result =
-  if u.finished then Finished
-  else begin
-    let b = Func.block u.func u.cur in
-    match u.phase with
-    | Phis ->
-      (match u.came_from with
-      | None -> ()
-      | Some pred ->
-        (* φs copy slots, not values: a pending consume flows through the
-           join and only blocks a later computational use *)
-        let resolved =
-          List.map
-            (fun (p : Block.phi) ->
-              match List.assoc_opt pred p.Block.incoming with
-              | Some op -> (p.Block.pid, slot_of u op)
-              | None ->
-                Fmt.invalid_arg "Exec(%s): phi %%%d in bb%d lacks entry for bb%d"
-                  (Trace.unit_name u.uid) p.Block.pid b.Block.bid pred)
-            b.Block.phis
-        in
-        List.iter (fun (pid, s) -> Hashtbl.replace u.env pid s) resolved);
-      u.phase <- At 0;
-      u.steps <- u.steps + 1;
-      Progress
-    | At k when k >= List.length b.Block.instrs ->
-      u.phase <- Term;
-      Progress
-    | At k -> (
-      let i = List.nth b.Block.instrs k in
-      let advance () =
-        u.phase <- At (k + 1);
-        u.depth <- u.depth + 1;
-        u.steps <- u.steps + 1;
-        Progress
-      in
-      match i.Instr.kind with
-      | Instr.Binop (op, a, b') ->
-        Hashtbl.replace u.env i.Instr.id
-          (Ready (Types.Vint (Instr.eval_binop op (int_of u a) (int_of u b'))));
-        advance ()
-      | Instr.Cmp (op, a, b') ->
-        Hashtbl.replace u.env i.Instr.id
-          (Ready (Types.Vbool (Instr.eval_cmp op (int_of u a) (int_of u b'))));
-        advance ()
-      | Instr.Select (c, a, b') ->
-        Hashtbl.replace u.env i.Instr.id
-          (if bool_of u c then slot_of u a else slot_of u b');
-        advance ()
-      | Instr.Not a ->
-        Hashtbl.replace u.env i.Instr.id (Ready (Types.Vbool (not (bool_of u a))));
-        advance ()
-      | Instr.Load _ | Instr.Store _ ->
-        Fmt.invalid_arg "Exec(%s): raw memory op survived decoupling: %s"
-          (Trace.unit_name u.uid)
-          (Printer.instr_to_string i)
-      | Instr.Send_ld_addr { arr; idx; mem } ->
-        let addr = int_of u idx in
-        Queue.add (Rld { mem; addr }) (get_queue ch.requests arr);
-        record u (Trace.Send_ld { arr; mem; addr });
-        advance ()
-      | Instr.Send_st_addr { arr; idx; mem } ->
-        let addr = int_of u idx in
-        Queue.add (Rst { mem; addr }) (get_queue ch.requests arr);
-        record u (Trace.Send_st { arr; mem; addr });
-        advance ()
-      | Instr.Consume_val { arr; mem } ->
-        let q = get_queue ch.load_values (mem, u.uid) in
-        let pq =
-          match Hashtbl.find_opt u.promise_queues mem with
-          | Some pq -> pq
-          | None ->
-            let pq = Queue.create () in
-            Hashtbl.replace u.promise_queues mem pq;
-            pq
-        in
-        (if Queue.is_empty q || not (Queue.is_empty pq) then begin
-           (* channel empty (or earlier pops still pending): issue the pop
-              lazily and keep going — only a use of the value blocks *)
-           let cell = ref None in
-           Hashtbl.replace u.env i.Instr.id (Cell cell);
-           Queue.add cell pq
-         end
-         else begin
-           let v = Queue.pop q in
-           Hashtbl.replace u.env i.Instr.id (Ready (Types.Vint v))
-         end);
-        record u
-          (Trace.Consume
-             {
-               arr;
-               mem;
-               feeds_control = Hashtbl.mem u.control_consumes i.Instr.id;
-             });
-        Hashtbl.replace u.last_consume_idx i.Instr.id (u.n_events - 1);
-        advance ()
-      | Instr.Produce_val { arr; value; mem } ->
-        let v = int_of u value in
-        Queue.add
-          { tag_mem = mem; value = v; poisoned = false }
-          (get_queue ch.store_values arr);
-        record u (Trace.Produce { arr; mem; value = v });
-        advance ()
-      | Instr.Poison { arr; mem } ->
-        Queue.add
-          { tag_mem = mem; value = 0; poisoned = true }
-          (get_queue ch.store_values arr);
-        record u (Trace.Kill { arr; mem });
-        advance ())
-    | Term ->
-      (* evaluate the branch first: a blocked condition must not record the
-         gate or advance any state *)
-      let target =
-        match b.Block.term with
-        | Block.Br t -> Some t
-        | Block.Cond_br (c, t, f) -> Some (if bool_of u c then t else f)
-        | Block.Switch (c, ts) ->
-          let n = List.length ts in
-          let k = int_of u c in
-          let k = if k < 0 then 0 else if k >= n then n - 1 else k in
-          Some (List.nth ts k)
-        | Block.Ret _ -> None
-      in
-      u.steps <- u.steps + 1;
-      (match Hashtbl.find_opt u.serializing_terms u.cur with
-      | Some consume_ids ->
-        let dep =
-          List.fold_left
-            (fun acc c ->
-              match Hashtbl.find_opt u.last_consume_idx c with
-              | Some idx -> max acc idx
-              | None -> acc)
-            (-1) consume_ids
-        in
-        record u (Trace.Gate { dep })
-      | None -> ());
-      (match target with
-      | Some t ->
-        enter_block u t;
-        Progress
-      | None ->
-        u.finished <- true;
-        Finished)
-  end
-
-let step ch u : step_result =
-  match step ch u with r -> r | exception Blocked_on_value -> Blocked
-
-(* --- functional DU ------------------------------------------------------- *)
-
-type du_state = {
-  (* per array: stores allocated (in request order) awaiting value/poison *)
-  pending : (string, (int * int) Queue.t) Hashtbl.t; (* (mem, addr) *)
-  mutable commits : commit list; (* reverse order *)
-  mutable killed : int;
-  mutable committed : int;
-  mutable loads_served : int;
-}
-
-let du_create () =
-  {
-    pending = Hashtbl.create 8;
-    commits = [];
-    killed = 0;
-    committed = 0;
-    loads_served = 0;
-  }
-
-(* Drain store values into pending allocations (checking Lemma 6.1), commit
-   or drop resolved heads, and serve load requests whose earlier stores are
-   all resolved. Returns true if any progress was made. *)
-let du_pump (du : du_state) (ch : channels) (mem : Interp.Memory.t) : bool =
-  let progress = ref false in
-  let arrays =
-    Hashtbl.fold (fun arr _ acc -> arr :: acc) ch.requests []
-    @ Hashtbl.fold (fun arr _ acc -> arr :: acc) ch.store_values []
-    |> List.sort_uniq compare
-  in
-  List.iter
-    (fun arr ->
-      let reqs = get_queue ch.requests arr in
-      let vals = get_queue ch.store_values arr in
-      let pend = get_queue du.pending arr in
-      let continue_ = ref true in
-      while !continue_ do
-        continue_ := false;
-        (* resolve the pending head with an arrived value *)
-        if (not (Queue.is_empty pend)) && not (Queue.is_empty vals) then begin
-          let p_mem, p_addr = Queue.pop pend in
-          let tag = Queue.pop vals in
-          if tag.tag_mem <> p_mem then
-            raise
-              (Stream_mismatch
-                 (Fmt.str
-                    "array %s: store request stream has mem%d at head but \
-                     value stream delivered mem%d — AGU/CU order mismatch"
-                    arr p_mem tag.tag_mem));
-          if tag.poisoned then du.killed <- du.killed + 1
-          else begin
-            Interp.Memory.set mem arr p_addr tag.value;
-            du.commits <-
-              { c_arr = arr; c_addr = p_addr; c_value = tag.value }
-              :: du.commits;
-            du.committed <- du.committed + 1
-          end;
-          progress := true;
-          continue_ := true
-        end;
-        (* serve the request head *)
-        if not (Queue.is_empty reqs) then begin
-          match Queue.peek reqs with
-          | Rst { mem = m; addr } ->
-            ignore (Queue.pop reqs);
-            Queue.add (m, addr) pend;
-            progress := true;
-            continue_ := true
-          | Rld { mem = m; addr } ->
-            (* strict in-order disambiguation: a load waits until every
-               earlier store of this array is resolved *)
-            if Queue.is_empty pend then begin
-              ignore (Queue.pop reqs);
-              (* speculative request: the address may be out of bounds on a
-                 mis-speculated path; the read must not trap *)
-              let v = Interp.Memory.get_speculative mem arr addr in
-              let subs =
-                match Hashtbl.find_opt ch.subscribers m with
-                | Some s -> s
-                | None -> []
-              in
-              List.iter
-                (fun unit -> Queue.add v (get_queue ch.load_values (m, unit)))
-                subs;
-              du.loads_served <- du.loads_served + 1;
-              progress := true;
-              continue_ := true
-            end
-        end
-      done)
-    arrays;
-  !progress
-
-(* --- co-simulation driver ------------------------------------------------ *)
 
 type result = {
   memory : Interp.Memory.t;
@@ -518,61 +44,533 @@ type result = {
   cu_steps : int;
 }
 
-let finalize_trace (u : ustate) : Trace.unit_trace =
-  {
-    Trace.unit = u.uid;
-    entries = Array.of_list (List.rev u.trace_rev);
-    iterations = u.iter + 1;
-    control_synchronized = Hashtbl.length u.control_consumes > 0;
+type step_result = Progress | Blocked | Finished
+
+exception Blocked_on_value
+
+(* --- unboxed ring queues ------------------------------------------------- *)
+
+(* Growable circular int queue; capacity stays a power of two. Multi-word
+   channel entries are pushed/popped as consecutive words. *)
+module Iq = struct
+  type t = { mutable buf : int array; mutable head : int; mutable len : int }
+
+  let create () = { buf = Array.make 16 0; head = 0; len = 0 }
+  let[@inline] is_empty q = q.len = 0
+
+  let[@inline never] grow q =
+    let cap = Array.length q.buf in
+    let bigger = Array.make (2 * cap) 0 in
+    for i = 0 to q.len - 1 do
+      bigger.(i) <- q.buf.((q.head + i) land (cap - 1))
+    done;
+    q.buf <- bigger;
+    q.head <- 0
+
+  (* ring indices are masked to the power-of-two capacity: in range *)
+  let[@inline] push q x =
+    if q.len = Array.length q.buf then grow q;
+    Array.unsafe_set q.buf ((q.head + q.len) land (Array.length q.buf - 1)) x;
+    q.len <- q.len + 1
+
+  (* caller checks [is_empty] *)
+  let[@inline] pop q =
+    let x = Array.unsafe_get q.buf q.head in
+    q.head <- (q.head + 1) land (Array.length q.buf - 1);
+    q.len <- q.len - 1;
+    x
+
+  let[@inline] peek q = Array.unsafe_get q.buf q.head
+end
+
+(* Same ring, for consume cells. *)
+module Rq = struct
+  type 'a t = {
+    mutable buf : 'a array;
+    mutable head : int;
+    mutable len : int;
+    dummy : 'a;
   }
 
-let run ?(fuel = 50_000_000) (p : Dae_core.Pipeline.t)
+  let create dummy = { buf = Array.make 16 dummy; head = 0; len = 0; dummy }
+  let[@inline] is_empty q = q.len = 0
+
+  let[@inline never] grow q =
+    let cap = Array.length q.buf in
+    let bigger = Array.make (2 * cap) q.dummy in
+    for i = 0 to q.len - 1 do
+      bigger.(i) <- q.buf.((q.head + i) land (cap - 1))
+    done;
+    q.buf <- bigger;
+    q.head <- 0
+
+  let[@inline] push q x =
+    if q.len = Array.length q.buf then grow q;
+    q.buf.((q.head + q.len) land (Array.length q.buf - 1)) <- x;
+    q.len <- q.len + 1
+
+  let[@inline] pop q =
+    let x = q.buf.(q.head) in
+    q.buf.(q.head) <- q.dummy;
+    q.head <- (q.head + 1) land (Array.length q.buf - 1);
+    q.len <- q.len - 1;
+    x
+end
+
+(* --- lowered interpreter state ------------------------------------------- *)
+
+(* A lazily-issued consume: the value lands here when the DU responds.
+   φ-nodes and selects copy slots (a mux does not force its input), so a
+   pending consume can flow through joins without blocking the unit; only a
+   computational *use* forces it. Cells per channel fill in FIFO order. *)
+type cell = { mutable full : bool; mutable cv : int }
+
+let dummy_cell = { full = false; cv = 0 }
+
+(* Inter-unit channels, one ring per dense array id. Request entries are
+   (mem lsl 1) lor is_store, then the address; store-value entries are
+   (mem lsl 1) lor poisoned, then the value. All rings exist from the
+   start — no lazy creation on the hot path. *)
+type channels = { requests : Iq.t array; store_values : Iq.t array }
+
+type urt = {
+  prog : Lower.uprog;
+  vals : int array; (* slot -> value (booleans 0/1) *)
+  pend : cell option array; (* slot -> unforced consume cell, if any *)
+  ldv : Iq.t array; (* load mem -> values the DU delivered to this unit *)
+  promises : cell Rq.t array; (* load mem -> outstanding cells, pop order *)
+  last_consume : int array; (* dense consume id -> last trace index *)
+  scratch_v : int array; (* φ copies are simultaneous: read all, *)
+  scratch_p : cell option array; (* then write all *)
+  tb : Trace.Builder.t;
+  mutable cur : int; (* dense block id *)
+  mutable came_from : int; (* dense block id, -1 before entry *)
+  mutable phase : int; (* -1 φs | k in [0,n) uop k | n pre-term | n+1 term *)
+  mutable finished : bool;
+  mutable iter : int; (* becomes 0 on first hot-header entry *)
+  mutable depth : int;
+  mutable steps : int;
+}
+
+let[@inline] int_of_arg = function
+  | Types.Vint n -> n
+  | Types.Vbool b -> if b then 1 else 0
+
+let make_urt (prog : Lower.uprog) ~n_mems ~(args : (string * Types.value) list)
+    : urt =
+  let vals = Array.make (max prog.Lower.n_slots 1) 0 in
+  let pend = Array.make (max prog.Lower.n_slots 1) None in
+  List.iter
+    (fun (name, s) ->
+      match List.assoc_opt name args with
+      | Some v -> vals.(s) <- int_of_arg v
+      | None -> Fmt.invalid_arg "Exec: missing argument %s" name)
+    prog.Lower.params;
+  {
+    prog;
+    vals;
+    pend;
+    ldv = Array.init (max n_mems 1) (fun _ -> Iq.create ());
+    promises = Array.init (max n_mems 1) (fun _ -> Rq.create dummy_cell);
+    last_consume = Array.make (max prog.Lower.n_consumes 1) (-1);
+    scratch_v = Array.make (max prog.Lower.max_phis 1) 0;
+    scratch_p = Array.make (max prog.Lower.max_phis 1) None;
+    tb = Trace.Builder.create ();
+    cur = prog.Lower.entry;
+    came_from = -1;
+    phase = -1;
+    finished = false;
+    iter = -1;
+    depth = 0;
+    steps = 0;
+  }
+
+(* Force a slot: resolve a filled cell in place, block on an unfilled one.
+   Slots are assigned densely by Lower, so accesses are in range. *)
+let[@inline] force (u : urt) s =
+  match Array.unsafe_get u.pend s with
+  | None -> Array.unsafe_get u.vals s
+  | Some c ->
+    if c.full then begin
+      Array.unsafe_set u.vals s c.cv;
+      Array.unsafe_set u.pend s None;
+      c.cv
+    end
+    else raise Blocked_on_value
+
+let[@inline] read (u : urt) = function
+  | Lower.Imm n -> n
+  | Lower.Slot s -> force u s
+
+(* Copy a slot without forcing it. *)
+let[@inline] copy_to (u : urt) dst = function
+  | Lower.Imm n ->
+    u.vals.(dst) <- n;
+    u.pend.(dst) <- None
+  | Lower.Slot s ->
+    u.vals.(dst) <- u.vals.(s);
+    u.pend.(dst) <- u.pend.(s)
+
+let[@inline] push_ev (u : urt) ~meta ~payload =
+  Trace.Builder.push u.tb ~meta
+    ~iter:(if u.iter >= 0 then u.iter else 0)
+    ~depth:u.depth ~payload
+
+let gate_meta = Trace.pack_meta ~tag:Trace.t_gate ~ctrl:false ~arr:0 ~mem:0
+
+let apply_phis (u : urt) (phis : (int * Lower.copy array) array) =
+  let copies = ref [||] in
+  (let found = ref false in
+   Array.iter
+     (fun (pred, cs) ->
+       if (not !found) && pred = u.came_from then begin
+         found := true;
+         copies := cs
+       end)
+     phis;
+   if not !found then
+     Fmt.invalid_arg "Exec(%s): bb%d entered from unexpected bb%d"
+       (Trace.unit_name u.prog.Lower.u_unit)
+       u.prog.Lower.blocks.(u.cur).Lower.orig_bid
+       u.prog.Lower.blocks.(u.came_from).Lower.orig_bid);
+  let copies = !copies in
+  let n = Array.length copies in
+  for i = 0 to n - 1 do
+    match copies.(i).Lower.c_src with
+    | Lower.Imm k ->
+      u.scratch_v.(i) <- k;
+      u.scratch_p.(i) <- None
+    | Lower.Slot s ->
+      u.scratch_v.(i) <- u.vals.(s);
+      u.scratch_p.(i) <- u.pend.(s)
+  done;
+  for i = 0 to n - 1 do
+    let c = copies.(i) in
+    u.vals.(c.Lower.c_dst) <- u.scratch_v.(i);
+    u.pend.(c.Lower.c_dst) <- u.scratch_p.(i)
+  done
+
+let[@inline] advance (u : urt) =
+  u.phase <- u.phase + 1;
+  u.depth <- u.depth + 1;
+  u.steps <- u.steps + 1;
+  Progress
+
+let exec_uop (ch : channels) (u : urt) (uop : Lower.uop) : step_result =
+  match uop with
+  | Lower.Ubinop { dst; op; a; b } ->
+    let r = Instr.eval_binop op (read u a) (read u b) in
+    u.vals.(dst) <- r;
+    u.pend.(dst) <- None;
+    advance u
+  | Lower.Ucmp { dst; op; a; b } ->
+    let r = Instr.eval_cmp op (read u a) (read u b) in
+    u.vals.(dst) <- (if r then 1 else 0);
+    u.pend.(dst) <- None;
+    advance u
+  | Lower.Uselect { dst; c; a; b } ->
+    copy_to u dst (if read u c <> 0 then a else b);
+    advance u
+  | Lower.Unot { dst; a } ->
+    u.vals.(dst) <- (if read u a <> 0 then 0 else 1);
+    u.pend.(dst) <- None;
+    advance u
+  | Lower.Usend_ld { arr; idx; mem; meta } ->
+    let addr = read u idx in
+    let q = ch.requests.(arr) in
+    Iq.push q (mem lsl 1);
+    Iq.push q addr;
+    push_ev u ~meta ~payload:addr;
+    advance u
+  | Lower.Usend_st { arr; idx; mem; meta } ->
+    let addr = read u idx in
+    let q = ch.requests.(arr) in
+    Iq.push q ((mem lsl 1) lor 1);
+    Iq.push q addr;
+    push_ev u ~meta ~payload:addr;
+    advance u
+  | Lower.Uconsume { dst; mem; cid; meta } ->
+    let q = u.ldv.(mem) in
+    let pq = u.promises.(mem) in
+    (if Iq.is_empty q || not (Rq.is_empty pq) then begin
+       (* channel empty (or earlier pops still pending): issue the pop
+          lazily and keep going — only a use of the value blocks *)
+       let c = { full = false; cv = 0 } in
+       u.pend.(dst) <- Some c;
+       Rq.push pq c
+     end
+     else begin
+       u.vals.(dst) <- Iq.pop q;
+       u.pend.(dst) <- None
+     end);
+    push_ev u ~meta ~payload:0;
+    u.last_consume.(cid) <- Trace.Builder.length u.tb - 1;
+    advance u
+  | Lower.Uproduce { arr; value; mem; meta } ->
+    let v = read u value in
+    let q = ch.store_values.(arr) in
+    Iq.push q (mem lsl 1);
+    Iq.push q v;
+    push_ev u ~meta ~payload:v;
+    advance u
+  | Lower.Upoison { arr; mem; meta } ->
+    let q = ch.store_values.(arr) in
+    Iq.push q ((mem lsl 1) lor 1);
+    Iq.push q 0;
+    push_ev u ~meta ~payload:0;
+    advance u
+
+let exec_term (u : urt) (b : Lower.blk) : step_result =
+  (* evaluate the branch first: a blocked condition must not record the
+     gate or advance any state *)
+  let target =
+    match b.Lower.term with
+    | Lower.Tbr t -> t
+    | Lower.Tcond (c, t, e) -> if read u c <> 0 then t else e
+    | Lower.Tswitch (c, ts) ->
+      let n = Array.length ts in
+      let k = read u c in
+      ts.(if k < 0 then 0 else if k >= n then n - 1 else k)
+    | Lower.Tret -> -1
+  in
+  u.steps <- u.steps + 1;
+  let g = b.Lower.gate in
+  if Array.length g > 0 then begin
+    let dep = ref (-1) in
+    for i = 0 to Array.length g - 1 do
+      let d = u.last_consume.(g.(i)) in
+      if d > !dep then dep := d
+    done;
+    push_ev u ~meta:gate_meta ~payload:!dep
+  end;
+  if target >= 0 then begin
+    if u.prog.Lower.blocks.(target).Lower.is_hot then begin
+      u.iter <- u.iter + 1;
+      u.depth <- 0
+    end;
+    u.came_from <- u.cur;
+    u.cur <- target;
+    u.phase <- -1;
+    Progress
+  end
+  else begin
+    u.finished <- true;
+    Finished
+  end
+
+let step_inner (ch : channels) (u : urt) : step_result =
+  if u.finished then Finished
+  else begin
+    let b = u.prog.Lower.blocks.(u.cur) in
+    let ph = u.phase in
+    if ph = -1 then begin
+      if u.came_from >= 0 && Array.length b.Lower.phis > 0 then
+        apply_phis u b.Lower.phis;
+      u.phase <- 0;
+      u.steps <- u.steps + 1;
+      Progress
+    end
+    else begin
+      let n = Array.length b.Lower.uops in
+      if ph < n then exec_uop ch u b.Lower.uops.(ph)
+      else if ph = n then begin
+        u.phase <- n + 1;
+        Progress
+      end
+      else exec_term u b
+    end
+  end
+
+(* Fill outstanding consume cells from their channels, FIFO per channel.
+   Returns true on progress. *)
+let fulfill (u : urt) : bool =
+  let progress = ref false in
+  for m = 0 to Array.length u.promises - 1 do
+    let pq = u.promises.(m) in
+    if not (Rq.is_empty pq) then begin
+      let q = u.ldv.(m) in
+      while (not (Rq.is_empty pq)) && not (Iq.is_empty q) do
+        let c = Rq.pop pq in
+        c.cv <- Iq.pop q;
+        c.full <- true;
+        progress := true
+      done
+    end
+  done;
+  !progress
+
+(* --- functional DU ------------------------------------------------------- *)
+
+type du_state = {
+  names : string array; (* dense array id -> name *)
+  memory : Interp.Memory.t;
+  marr : int array option array; (* dense array id -> backing store *)
+  pending : Iq.t array; (* per array: (mem, addr) stores awaiting value *)
+  ldvs : Iq.t array array; (* unit index -> per-mem delivered load values *)
+  mutable commits : commit list; (* reverse order *)
+  mutable killed : int;
+  mutable committed : int;
+  mutable loads_served : int;
+}
+
+let[@inline] arr_data (du : du_state) a =
+  match du.marr.(a) with
+  | Some d -> d
+  | None ->
+    let d = Interp.Memory.array du.memory du.names.(a) in
+    du.marr.(a) <- Some d;
+    d
+
+(* Same bounds behaviour as Interp.Memory.set / get_speculative: a store to
+   an out-of-range address is an error, a speculative read returns 0. *)
+let mem_set (du : du_state) a idx v =
+  let d = arr_data du a in
+  if idx < 0 || idx >= Array.length d then
+    Fmt.invalid_arg "Interp.Memory: %s[%d] out of bounds (len %d)" du.names.(a)
+      idx (Array.length d)
+  else d.(idx) <- v
+
+let[@inline] mem_get_spec (du : du_state) a idx =
+  let d = arr_data du a in
+  if idx < 0 || idx >= Array.length d then 0 else d.(idx)
+
+(* Drain store values into pending allocations (checking Lemma 6.1), commit
+   or drop resolved heads, and serve load requests whose earlier stores are
+   all resolved. Returns true if any progress was made. Arrays are visited
+   in dense-id order — the same sorted-name order the pre-lowering DU
+   established — so the global commit interleaving is unchanged. *)
+let du_pump (l : Lower.t) (ch : channels) (du : du_state) : bool =
+  let progress = ref false in
+  for a = 0 to Array.length du.names - 1 do
+    let reqs = ch.requests.(a) in
+    let vals = ch.store_values.(a) in
+    let pend = du.pending.(a) in
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      (* resolve the pending head with an arrived value *)
+      if (not (Iq.is_empty pend)) && not (Iq.is_empty vals) then begin
+        let p_mem = Iq.pop pend in
+        let p_addr = Iq.pop pend in
+        let tagw = Iq.pop vals in
+        let value = Iq.pop vals in
+        let t_mem = tagw lsr 1 in
+        if t_mem <> p_mem then
+          raise
+            (Stream_mismatch
+               (Fmt.str
+                  "array %s: store request stream has mem%d at head but \
+                   value stream delivered mem%d — AGU/CU order mismatch"
+                  du.names.(a) p_mem t_mem));
+        if tagw land 1 = 1 then du.killed <- du.killed + 1
+        else begin
+          mem_set du a p_addr value;
+          du.commits <-
+            { c_arr = du.names.(a); c_addr = p_addr; c_value = value }
+            :: du.commits;
+          du.committed <- du.committed + 1
+        end;
+        progress := true;
+        continue_ := true
+      end;
+      (* serve the request head *)
+      if not (Iq.is_empty reqs) then begin
+        let w0 = Iq.peek reqs in
+        if w0 land 1 = 1 then begin
+          (* store allocation *)
+          ignore (Iq.pop reqs);
+          let addr = Iq.pop reqs in
+          Iq.push pend (w0 lsr 1);
+          Iq.push pend addr;
+          progress := true;
+          continue_ := true
+        end
+        else if Iq.is_empty pend then begin
+          (* strict in-order disambiguation: a load waits until every
+             earlier store of this array is resolved *)
+          ignore (Iq.pop reqs);
+          let addr = Iq.pop reqs in
+          let m = w0 lsr 1 in
+          (* speculative request: the address may be out of bounds on a
+             mis-speculated path; the read must not trap *)
+          let v = mem_get_spec du a addr in
+          let subs = l.Lower.subscribers.(m) in
+          for i = 0 to Array.length subs - 1 do
+            Iq.push du.ldvs.(subs.(i)).(m) v
+          done;
+          du.loads_served <- du.loads_served + 1;
+          progress := true;
+          continue_ := true
+        end
+      end
+    done
+  done;
+  !progress
+
+(* --- co-simulation driver ------------------------------------------------ *)
+
+let finalize_trace ~(arrays : string array) (u : urt) : Trace.unit_trace =
+  Trace.Builder.finalize u.tb ~unit:u.prog.Lower.u_unit ~arrays
+    ~iterations:(u.iter + 1)
+    ~control_synchronized:u.prog.Lower.control_synchronized
+
+let run_lowered ?(fuel = 50_000_000) (l : Lower.t)
     ~(args : (string * Types.value) list) ~(mem : Interp.Memory.t) : result =
+  let n_arr = Array.length l.Lower.arrays in
   let ch =
     {
-      requests = Hashtbl.create 8;
-      store_values = Hashtbl.create 8;
-      load_values = Hashtbl.create 16;
-      subscribers = Hashtbl.create 16;
+      requests = Array.init n_arr (fun _ -> Iq.create ());
+      store_values = Array.init n_arr (fun _ -> Iq.create ());
     }
   in
-  List.iter
-    (fun (m, subs) ->
-      Hashtbl.replace ch.subscribers m
-        (List.map (function `Agu -> Trace.Agu | `Cu -> Trace.Cu) subs))
-    p.Dae_core.Pipeline.load_subscribers;
-  let agu = make_ustate Trace.Agu p.Dae_core.Pipeline.agu ~args in
-  let cu = make_ustate Trace.Cu p.Dae_core.Pipeline.cu ~args in
-  let du = du_create () in
+  let agu = make_urt l.Lower.agu ~n_mems:l.Lower.n_mems ~args in
+  let cu = make_urt l.Lower.cu ~n_mems:l.Lower.n_mems ~args in
+  let du =
+    {
+      names = l.Lower.arrays;
+      memory = mem;
+      marr = Array.make (max n_arr 1) None;
+      pending = Array.init n_arr (fun _ -> Iq.create ());
+      ldvs = [| agu.ldv; cu.ldv |];
+      commits = [];
+      killed = 0;
+      committed = 0;
+      loads_served = 0;
+    }
+  in
   let total_steps = ref 0 in
-  let finished () = agu.finished && cu.finished in
-  let running = ref true in
-  while !running do
-    let progress = ref false in
-    (* run each unit as far as it can go this round *)
-    List.iter
-      (fun u ->
-        if fulfill_promises ch u then progress := true;
-        let go = ref true in
-        while !go do
-          match step ch u with
+  (* Run one unit as far as it can go this round; a block on an unfulfilled
+     consume retries after draining the unit's channels. The handler is
+     installed once per blocked episode, not once per micro-op: a raise of
+     [Blocked_on_value] happens before the micro-op has any side effect, so
+     re-entering [step_inner] after a successful [fulfill] replays it. *)
+  let run_unit u ~progress =
+    let go = ref true in
+    while !go do
+      match
+        while not u.finished do
+          match step_inner ch u with
           | Progress ->
             progress := true;
             incr total_steps;
-            if !total_steps > fuel then raise (Deadlock "out of fuel");
-            if fulfill_promises ch u then ()
-          | Blocked | Finished -> go := false
-        done)
-      [ agu; cu ];
-    if du_pump du ch mem then progress := true;
-    if finished () then begin
+            if !total_steps > fuel then raise (Deadlock "out of fuel")
+          | Finished | Blocked -> ()
+        done
+      with
+      | () -> go := false
+      | exception Blocked_on_value -> if not (fulfill u) then go := false
+    done
+  in
+  let running = ref true in
+  while !running do
+    let progress = ref false in
+    run_unit agu ~progress;
+    run_unit cu ~progress;
+    if du_pump l ch du then progress := true;
+    if agu.finished && cu.finished then begin
       (* final drain: let the DU retire trailing stores and fulfill any
          consumes that were issued lazily and never used *)
-      while
-        du_pump du ch mem
-        || fulfill_promises ch agu
-        || fulfill_promises ch cu
-      do
+      while du_pump l ch du || fulfill agu || fulfill cu do
         ()
       done;
       running := false
@@ -582,40 +580,40 @@ let run ?(fuel = 50_000_000) (p : Dae_core.Pipeline.t)
         (Deadlock
            (Fmt.str "no progress: AGU %s at bb%d, CU %s at bb%d"
               (if agu.finished then "finished" else "blocked")
-              agu.cur
+              agu.prog.Lower.blocks.(agu.cur).Lower.orig_bid
               (if cu.finished then "finished" else "blocked")
-              cu.cur))
+              cu.prog.Lower.blocks.(cu.cur).Lower.orig_bid))
   done;
   (* post-run invariants: every channel must be fully drained *)
-  Hashtbl.iter
-    (fun arr q ->
-      if not (Queue.is_empty q) then
-        raise (Desync (Fmt.str "unserved requests remain for array %s" arr)))
-    ch.requests;
-  Hashtbl.iter
-    (fun arr q ->
-      if not (Queue.is_empty q) then
-        raise (Desync (Fmt.str "unmatched store values remain for array %s" arr)))
-    ch.store_values;
-  Hashtbl.iter
-    (fun arr q ->
-      if not (Queue.is_empty q) then
-        raise
-          (Desync
-             (Fmt.str "store allocations never resolved for array %s" arr)))
-    du.pending;
-  Hashtbl.iter
-    (fun (m, unit) q ->
-      if not (Queue.is_empty q) then
-        raise
-          (Desync
-             (Fmt.str "load values for mem%d never consumed by %s" m
-                (Trace.unit_name unit))))
-    ch.load_values;
+  for a = 0 to n_arr - 1 do
+    if not (Iq.is_empty ch.requests.(a)) then
+      raise
+        (Desync (Fmt.str "unserved requests remain for array %s" du.names.(a)));
+    if not (Iq.is_empty ch.store_values.(a)) then
+      raise
+        (Desync
+           (Fmt.str "unmatched store values remain for array %s" du.names.(a)));
+    if not (Iq.is_empty du.pending.(a)) then
+      raise
+        (Desync
+           (Fmt.str "store allocations never resolved for array %s"
+              du.names.(a)))
+  done;
+  List.iter
+    (fun u ->
+      Array.iteri
+        (fun m q ->
+          if not (Iq.is_empty q) then
+            raise
+              (Desync
+                 (Fmt.str "load values for mem%d never consumed by %s" m
+                    (Trace.unit_name u.prog.Lower.u_unit))))
+        u.ldv)
+    [ agu; cu ];
   {
     memory = mem;
-    agu_trace = finalize_trace agu;
-    cu_trace = finalize_trace cu;
+    agu_trace = finalize_trace ~arrays:l.Lower.arrays agu;
+    cu_trace = finalize_trace ~arrays:l.Lower.arrays cu;
     commits = List.rev du.commits;
     killed_stores = du.killed;
     committed_stores = du.committed;
@@ -623,6 +621,10 @@ let run ?(fuel = 50_000_000) (p : Dae_core.Pipeline.t)
     agu_steps = agu.steps;
     cu_steps = cu.steps;
   }
+
+let run ?fuel (p : Dae_core.Pipeline.t) ~(args : (string * Types.value) list)
+    ~(mem : Interp.Memory.t) : result =
+  run_lowered ?fuel (Lower.compile p) ~args ~mem
 
 (* Mis-speculation rate: fraction of store requests whose value was a kill. *)
 let misspeculation_rate (r : result) : float =
@@ -638,23 +640,41 @@ let check_against_golden ~(golden_mem : Interp.Memory.t)
       (Fmt.str "final memory differs@.golden:@.%a@.decoupled:@.%a"
          Interp.Memory.pp golden_mem Interp.Memory.pp r.memory)
   else begin
+    (* group stores per array in one pass over each trace (the golden trace
+       is long; walking it once per array was the old cost) *)
+    let group seq =
+      let tbl : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+      seq (fun arr p ->
+          match Hashtbl.find_opt tbl arr with
+          | Some r -> r := p :: !r
+          | None -> Hashtbl.replace tbl arr (ref [ p ]));
+      tbl
+    in
+    let golden_tbl =
+      group (fun emit ->
+          let tr = golden.Interp.trace in
+          for k = 0 to Interp.trace_length tr - 1 do
+            if Interp.t_is_store tr k then
+              emit (Interp.t_arr tr k) (Interp.t_idx tr k, Interp.t_value tr k)
+          done)
+    in
+    let sim_tbl =
+      group (fun emit ->
+          List.iter (fun c -> emit c.c_arr (c.c_addr, c.c_value)) r.commits)
+    in
     let arrays =
       List.sort_uniq compare (List.map (fun c -> c.c_arr) r.commits)
+    in
+    let stores_of tbl arr =
+      match Hashtbl.find_opt tbl arr with
+      | Some l -> List.rev !l
+      | None -> []
     in
     let mismatch =
       List.find_map
         (fun arr ->
-          let golden_stores =
-            List.filter_map
-              (fun (_, a, idx, v) -> if a = arr then Some (idx, v) else None)
-              (Interp.stores golden)
-          in
-          let sim_stores =
-            List.filter_map
-              (fun c ->
-                if c.c_arr = arr then Some (c.c_addr, c.c_value) else None)
-              r.commits
-          in
+          let golden_stores = stores_of golden_tbl arr in
+          let sim_stores = stores_of sim_tbl arr in
           if golden_stores <> sim_stores then
             Some
               (Fmt.str
@@ -667,3 +687,475 @@ let check_against_golden ~(golden_mem : Interp.Memory.t)
     in
     match mismatch with None -> Ok () | Some m -> Error m
   end
+
+(* --- pre-lowering reference interpreter ---------------------------------- *)
+
+(* The original tree-walking co-simulator, kept as the oracle for the
+   lowering equivalence property (test/test_lower.ml): Hashtbl value
+   environments, string-keyed channel tables, lazy queue creation. Only the
+   trace recording was ported to the compact encoding (over the same
+   interned array table as the fast path) so the two results compare with
+   Trace.equal. *)
+module Reference = struct
+  type request =
+    | Rld of { mem : int; addr : int }
+    | Rst of { mem : int; addr : int }
+
+  type store_tag = { tag_mem : int; value : int; poisoned : bool }
+
+  type ref_channels = {
+    requests : (string, request Queue.t) Hashtbl.t;
+    store_values : (string, store_tag Queue.t) Hashtbl.t;
+    load_values : (int * Trace.unit_id, int Queue.t) Hashtbl.t;
+    subscribers : (int, Trace.unit_id list) Hashtbl.t; (* load mem -> units *)
+  }
+
+  let get_queue tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some q -> q
+    | None ->
+      let q = Queue.create ()
+      in
+      Hashtbl.replace tbl key q;
+      q
+
+  type phase = Phis | At of int (* instruction index *) | Term
+
+  (* A value slot: either a materialised value or a cell a lazily-issued
+     consume will fill when the DU responds. *)
+  type slot = Ready of Types.value | Cell of Types.value option ref
+
+  type ustate = {
+    uid : Trace.unit_id;
+    func : Func.t;
+    arr_id : (string, int) Hashtbl.t;
+    env : (int, slot) Hashtbl.t;
+    mutable cur : int;
+    mutable came_from : int option;
+    mutable phase : phase;
+    mutable finished : bool;
+    mutable iter : int;
+    mutable depth : int;
+    mutable steps : int;
+    tb : Trace.Builder.t;
+    promise_queues : (int, Types.value option ref Queue.t) Hashtbl.t;
+    hot_header : int option;
+    control_consumes : (int, unit) Hashtbl.t;
+    serializing_terms : (int, int list) Hashtbl.t;
+    last_consume_idx : (int, int) Hashtbl.t; (* consume id -> trace index *)
+  }
+
+  let make_ustate uid (f : Func.t) ~arr_id
+      ~(args : (string * Types.value) list) : ustate =
+    let env = Hashtbl.create 64 in
+    List.iter
+      (fun (name, vid) ->
+        match List.assoc_opt name args with
+        | Some v -> Hashtbl.replace env vid (Ready v)
+        | None -> Fmt.invalid_arg "Exec: missing argument %s" name)
+      f.Func.params;
+    {
+      uid;
+      func = f;
+      arr_id;
+      env;
+      cur = f.Func.entry;
+      came_from = None;
+      phase = Phis;
+      finished = false;
+      iter = -1;
+      depth = 0;
+      steps = 0;
+      tb = Trace.Builder.create ();
+      hot_header = Lower.hot_header f;
+      control_consumes = Lower.control_consume_ids f;
+      serializing_terms = Lower.serializing_terminators f;
+      last_consume_idx = Hashtbl.create 8;
+      promise_queues = Hashtbl.create 8;
+    }
+
+  (* The slot an operand denotes, without forcing it. *)
+  let slot_of (u : ustate) = function
+    | Types.Cst c -> Ready (Types.value_of_const c)
+    | Types.Var v -> (
+      match Hashtbl.find_opt u.env v with
+      | Some s -> s
+      | None ->
+        Fmt.invalid_arg "Exec(%s): read of undefined %%%d in %s"
+          (Trace.unit_name u.uid) v u.func.Func.name)
+
+  let value_of (u : ustate) op =
+    match slot_of u op with
+    | Ready v -> v
+    | Cell r -> ( match !r with Some v -> v | None -> raise Blocked_on_value)
+
+  let fulfill_promises (ch : ref_channels) (u : ustate) : bool =
+    let progress = ref false in
+    Hashtbl.iter
+      (fun mem q ->
+        let data = get_queue ch.load_values (mem, u.uid) in
+        while (not (Queue.is_empty q)) && not (Queue.is_empty data) do
+          let cell = Queue.pop q in
+          let v = Queue.pop data in
+          cell := Some (Types.Vint v);
+          progress := true
+        done)
+      u.promise_queues;
+    !progress
+
+  let int_of u op = Types.int_of_value (value_of u op)
+  let bool_of u op = Types.bool_of_value (value_of u op)
+
+  let record (u : ustate) ~tag ~ctrl ~arr ~mem ~payload =
+    let arr = Hashtbl.find u.arr_id arr in
+    Trace.Builder.push u.tb
+      ~meta:(Trace.pack_meta ~tag ~ctrl ~arr ~mem)
+      ~iter:(max u.iter 0) ~depth:u.depth ~payload
+
+  let enter_block (u : ustate) bid =
+    (match u.hot_header with
+    | Some h when bid = h ->
+      u.iter <- u.iter + 1;
+      u.depth <- 0
+    | _ -> ());
+    u.came_from <- Some u.cur;
+    u.cur <- bid;
+    u.phase <- Phis
+
+  let step (ch : ref_channels) (u : ustate) : step_result =
+    if u.finished then Finished
+    else begin
+      let b = Func.block u.func u.cur in
+      match u.phase with
+      | Phis ->
+        (match u.came_from with
+        | None -> ()
+        | Some pred ->
+          (* φs copy slots, not values: a pending consume flows through the
+             join and only blocks a later computational use *)
+          let resolved =
+            List.map
+              (fun (p : Block.phi) ->
+                match List.assoc_opt pred p.Block.incoming with
+                | Some op -> (p.Block.pid, slot_of u op)
+                | None ->
+                  Fmt.invalid_arg
+                    "Exec(%s): phi %%%d in bb%d lacks entry for bb%d"
+                    (Trace.unit_name u.uid) p.Block.pid b.Block.bid pred)
+              b.Block.phis
+          in
+          List.iter (fun (pid, s) -> Hashtbl.replace u.env pid s) resolved);
+        u.phase <- At 0;
+        u.steps <- u.steps + 1;
+        Progress
+      | At k when k >= List.length b.Block.instrs ->
+        u.phase <- Term;
+        Progress
+      | At k -> (
+        let i = List.nth b.Block.instrs k in
+        let advance () =
+          u.phase <- At (k + 1);
+          u.depth <- u.depth + 1;
+          u.steps <- u.steps + 1;
+          Progress
+        in
+        match i.Instr.kind with
+        | Instr.Binop (op, a, b') ->
+          Hashtbl.replace u.env i.Instr.id
+            (Ready
+               (Types.Vint (Instr.eval_binop op (int_of u a) (int_of u b'))));
+          advance ()
+        | Instr.Cmp (op, a, b') ->
+          Hashtbl.replace u.env i.Instr.id
+            (Ready
+               (Types.Vbool (Instr.eval_cmp op (int_of u a) (int_of u b'))));
+          advance ()
+        | Instr.Select (c, a, b') ->
+          Hashtbl.replace u.env i.Instr.id
+            (if bool_of u c then slot_of u a else slot_of u b');
+          advance ()
+        | Instr.Not a ->
+          Hashtbl.replace u.env i.Instr.id
+            (Ready (Types.Vbool (not (bool_of u a))));
+          advance ()
+        | Instr.Load _ | Instr.Store _ ->
+          Fmt.invalid_arg "Exec(%s): raw memory op survived decoupling: %s"
+            (Trace.unit_name u.uid)
+            (Printer.instr_to_string i)
+        | Instr.Send_ld_addr { arr; idx; mem } ->
+          let addr = int_of u idx in
+          Queue.add (Rld { mem; addr }) (get_queue ch.requests arr);
+          record u ~tag:Trace.t_send_ld ~ctrl:false ~arr ~mem ~payload:addr;
+          advance ()
+        | Instr.Send_st_addr { arr; idx; mem } ->
+          let addr = int_of u idx in
+          Queue.add (Rst { mem; addr }) (get_queue ch.requests arr);
+          record u ~tag:Trace.t_send_st ~ctrl:false ~arr ~mem ~payload:addr;
+          advance ()
+        | Instr.Consume_val { arr; mem } ->
+          let q = get_queue ch.load_values (mem, u.uid) in
+          let pq =
+            match Hashtbl.find_opt u.promise_queues mem with
+            | Some pq -> pq
+            | None ->
+              let pq = Queue.create () in
+              Hashtbl.replace u.promise_queues mem pq;
+              pq
+          in
+          (if Queue.is_empty q || not (Queue.is_empty pq) then begin
+             (* channel empty (or earlier pops still pending): issue the
+                pop lazily and keep going — only a use of the value blocks *)
+             let cell = ref None in
+             Hashtbl.replace u.env i.Instr.id (Cell cell);
+             Queue.add cell pq
+           end
+           else begin
+             let v = Queue.pop q in
+             Hashtbl.replace u.env i.Instr.id (Ready (Types.Vint v))
+           end);
+          record u ~tag:Trace.t_consume
+            ~ctrl:(Hashtbl.mem u.control_consumes i.Instr.id)
+            ~arr ~mem ~payload:0;
+          Hashtbl.replace u.last_consume_idx i.Instr.id
+            (Trace.Builder.length u.tb - 1);
+          advance ()
+        | Instr.Produce_val { arr; value; mem } ->
+          let v = int_of u value in
+          Queue.add
+            { tag_mem = mem; value = v; poisoned = false }
+            (get_queue ch.store_values arr);
+          record u ~tag:Trace.t_produce ~ctrl:false ~arr ~mem ~payload:v;
+          advance ()
+        | Instr.Poison { arr; mem } ->
+          Queue.add
+            { tag_mem = mem; value = 0; poisoned = true }
+            (get_queue ch.store_values arr);
+          record u ~tag:Trace.t_kill ~ctrl:false ~arr ~mem ~payload:0;
+          advance ())
+      | Term ->
+        (* evaluate the branch first: a blocked condition must not record
+           the gate or advance any state *)
+        let target =
+          match b.Block.term with
+          | Block.Br t -> Some t
+          | Block.Cond_br (c, t, f) -> Some (if bool_of u c then t else f)
+          | Block.Switch (c, ts) ->
+            let n = List.length ts in
+            let k = int_of u c in
+            let k = if k < 0 then 0 else if k >= n then n - 1 else k in
+            Some (List.nth ts k)
+          | Block.Ret _ -> None
+        in
+        u.steps <- u.steps + 1;
+        (match Hashtbl.find_opt u.serializing_terms u.cur with
+        | Some consume_ids ->
+          let dep =
+            List.fold_left
+              (fun acc c ->
+                match Hashtbl.find_opt u.last_consume_idx c with
+                | Some idx -> max acc idx
+                | None -> acc)
+              (-1) consume_ids
+          in
+          Trace.Builder.push u.tb ~meta:gate_meta ~iter:(max u.iter 0)
+            ~depth:u.depth ~payload:dep
+        | None -> ());
+        (match target with
+        | Some t ->
+          enter_block u t;
+          Progress
+        | None ->
+          u.finished <- true;
+          Finished)
+    end
+
+  let step ch u : step_result =
+    match step ch u with r -> r | exception Blocked_on_value -> Blocked
+
+  type du_state = {
+    pending : (string, (int * int) Queue.t) Hashtbl.t; (* (mem, addr) *)
+    mutable commits : commit list; (* reverse order *)
+    mutable killed : int;
+    mutable committed : int;
+    mutable loads_served : int;
+  }
+
+  let du_create () =
+    {
+      pending = Hashtbl.create 8;
+      commits = [];
+      killed = 0;
+      committed = 0;
+      loads_served = 0;
+    }
+
+  let du_pump (du : du_state) (ch : ref_channels) (mem : Interp.Memory.t) :
+      bool =
+    let progress = ref false in
+    let arrays =
+      Hashtbl.fold (fun arr _ acc -> arr :: acc) ch.requests []
+      @ Hashtbl.fold (fun arr _ acc -> arr :: acc) ch.store_values []
+      |> List.sort_uniq compare
+    in
+    List.iter
+      (fun arr ->
+        let reqs = get_queue ch.requests arr in
+        let vals = get_queue ch.store_values arr in
+        let pend = get_queue du.pending arr in
+        let continue_ = ref true in
+        while !continue_ do
+          continue_ := false;
+          if (not (Queue.is_empty pend)) && not (Queue.is_empty vals) then begin
+            let p_mem, p_addr = Queue.pop pend in
+            let tag = Queue.pop vals in
+            if tag.tag_mem <> p_mem then
+              raise
+                (Stream_mismatch
+                   (Fmt.str
+                      "array %s: store request stream has mem%d at head but \
+                       value stream delivered mem%d — AGU/CU order mismatch"
+                      arr p_mem tag.tag_mem));
+            if tag.poisoned then du.killed <- du.killed + 1
+            else begin
+              Interp.Memory.set mem arr p_addr tag.value;
+              du.commits <-
+                { c_arr = arr; c_addr = p_addr; c_value = tag.value }
+                :: du.commits;
+              du.committed <- du.committed + 1
+            end;
+            progress := true;
+            continue_ := true
+          end;
+          if not (Queue.is_empty reqs) then begin
+            match Queue.peek reqs with
+            | Rst { mem = m; addr } ->
+              ignore (Queue.pop reqs);
+              Queue.add (m, addr) pend;
+              progress := true;
+              continue_ := true
+            | Rld { mem = m; addr } ->
+              if Queue.is_empty pend then begin
+                ignore (Queue.pop reqs);
+                let v = Interp.Memory.get_speculative mem arr addr in
+                let subs =
+                  match Hashtbl.find_opt ch.subscribers m with
+                  | Some s -> s
+                  | None -> []
+                in
+                List.iter
+                  (fun unit ->
+                    Queue.add v (get_queue ch.load_values (m, unit)))
+                  subs;
+                du.loads_served <- du.loads_served + 1;
+                progress := true;
+                continue_ := true
+              end
+          end
+        done)
+      arrays;
+    !progress
+
+  let finalize_trace ~(arrays : string array) (u : ustate) : Trace.unit_trace
+      =
+    Trace.Builder.finalize u.tb ~unit:u.uid ~arrays ~iterations:(u.iter + 1)
+      ~control_synchronized:(Hashtbl.length u.control_consumes > 0)
+
+  let run ?(fuel = 50_000_000) (p : Dae_core.Pipeline.t)
+      ~(args : (string * Types.value) list) ~(mem : Interp.Memory.t) : result
+      =
+    let arrays = Lower.array_table p in
+    let arr_id = Hashtbl.create 16 in
+    Array.iteri (fun i name -> Hashtbl.replace arr_id name i) arrays;
+    let ch =
+      {
+        requests = Hashtbl.create 8;
+        store_values = Hashtbl.create 8;
+        load_values = Hashtbl.create 16;
+        subscribers = Hashtbl.create 16;
+      }
+    in
+    List.iter
+      (fun (m, subs) ->
+        Hashtbl.replace ch.subscribers m
+          (List.map (function `Agu -> Trace.Agu | `Cu -> Trace.Cu) subs))
+      p.Dae_core.Pipeline.load_subscribers;
+    let agu = make_ustate Trace.Agu p.Dae_core.Pipeline.agu ~arr_id ~args in
+    let cu = make_ustate Trace.Cu p.Dae_core.Pipeline.cu ~arr_id ~args in
+    let du = du_create () in
+    let total_steps = ref 0 in
+    let finished () = agu.finished && cu.finished in
+    let running = ref true in
+    while !running do
+      let progress = ref false in
+      List.iter
+        (fun u ->
+          if fulfill_promises ch u then progress := true;
+          let go = ref true in
+          while !go do
+            match step ch u with
+            | Progress ->
+              progress := true;
+              incr total_steps;
+              if !total_steps > fuel then raise (Deadlock "out of fuel");
+              if fulfill_promises ch u then ()
+            | Blocked | Finished -> go := false
+          done)
+        [ agu; cu ];
+      if du_pump du ch mem then progress := true;
+      if finished () then begin
+        while
+          du_pump du ch mem
+          || fulfill_promises ch agu
+          || fulfill_promises ch cu
+        do
+          ()
+        done;
+        running := false
+      end
+      else if not !progress then
+        raise
+          (Deadlock
+             (Fmt.str "no progress: AGU %s at bb%d, CU %s at bb%d"
+                (if agu.finished then "finished" else "blocked")
+                agu.cur
+                (if cu.finished then "finished" else "blocked")
+                cu.cur))
+    done;
+    Hashtbl.iter
+      (fun arr q ->
+        if not (Queue.is_empty q) then
+          raise (Desync (Fmt.str "unserved requests remain for array %s" arr)))
+      ch.requests;
+    Hashtbl.iter
+      (fun arr q ->
+        if not (Queue.is_empty q) then
+          raise
+            (Desync (Fmt.str "unmatched store values remain for array %s" arr)))
+      ch.store_values;
+    Hashtbl.iter
+      (fun arr q ->
+        if not (Queue.is_empty q) then
+          raise
+            (Desync
+               (Fmt.str "store allocations never resolved for array %s" arr)))
+      du.pending;
+    Hashtbl.iter
+      (fun (m, unit) q ->
+        if not (Queue.is_empty q) then
+          raise
+            (Desync
+               (Fmt.str "load values for mem%d never consumed by %s" m
+                  (Trace.unit_name unit))))
+      ch.load_values;
+    {
+      memory = mem;
+      agu_trace = finalize_trace ~arrays agu;
+      cu_trace = finalize_trace ~arrays cu;
+      commits = List.rev du.commits;
+      killed_stores = du.killed;
+      committed_stores = du.committed;
+      loads_served = du.loads_served;
+      agu_steps = agu.steps;
+      cu_steps = cu.steps;
+    }
+end

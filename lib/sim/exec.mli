@@ -7,11 +7,18 @@
     lazily (a value pops when available; only a computational use blocks),
     matching the dataflow CU.
 
+    The fast path interprets the dense micro-op form of {!Lower}; compile
+    once with {!Lower.compile} and call {!run_lowered} per invocation.
+    {!run} compiles and runs in one go. {!Reference} keeps the original
+    tree-walking interpreter as the oracle for the lowering equivalence
+    property (test/test_lower.ml).
+
     The paper's §6 guarantees are checked dynamically on every run:
     {!Stream_mismatch} if the store-value/kill stream ever disagrees with
     the request stream (Lemma 6.1), {!Deadlock} on global non-progress,
     and {!check_against_golden} compares final memory and per-array commit
-    order with the sequential interpreter. *)
+    order with the sequential interpreter. Diagnostics report unit and
+    array {e names}, mapped back from the dense ids. *)
 
 open Dae_ir
 
@@ -35,6 +42,15 @@ type result = {
 
 (** [mem] is mutated to the final state.
     @raise Deadlock | Stream_mismatch | Desync as described above. *)
+val run_lowered :
+  ?fuel:int ->
+  Lower.t ->
+  args:(string * Types.value) list ->
+  mem:Interp.Memory.t ->
+  result
+
+(** [Lower.compile] + {!run_lowered}; when running several invocations of
+    one pipeline, compile once instead. *)
 val run :
   ?fuel:int ->
   Dae_core.Pipeline.t ->
@@ -50,3 +66,15 @@ val check_against_golden :
   golden:Interp.result ->
   result ->
   (unit, string) Stdlib.result
+
+(** The pre-lowering tree-walking interpreter, unchanged except that it
+    records compact traces over the same interned array table — the oracle
+    the lowered path is property-tested against. *)
+module Reference : sig
+  val run :
+    ?fuel:int ->
+    Dae_core.Pipeline.t ->
+    args:(string * Types.value) list ->
+    mem:Interp.Memory.t ->
+    result
+end

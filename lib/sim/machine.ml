@@ -81,6 +81,7 @@ let simulate ?(cfg = Config.default) ?(validate = true)
       | Sta -> assert false
     in
     let p = Dae_core.Pipeline.compile ~mode f in
+    let lowered = Lower.compile p in
     let sim_mem = Interp.Memory.copy mem in
     let golden_mem = Interp.Memory.copy mem in
     let cycles = ref 0 in
@@ -100,7 +101,7 @@ let simulate ?(cfg = Config.default) ?(validate = true)
         let golden =
           golden_run p.Dae_core.Pipeline.original ~args ~mem:golden_mem
         in
-        let r = Exec.run p ~args ~mem:sim_mem in
+        let r = Exec.run_lowered lowered ~args ~mem:sim_mem in
         (match Exec.check_against_golden ~golden_mem ~golden r with
         | Ok () -> ()
         | Error msg ->

@@ -246,6 +246,10 @@ let cycles_of_run ?(cfg = Config.default) (f : Func.t)
     | None -> 0
     | Some h ->
       (* header visits − 1: the final visit fails the loop condition *)
-      max 0 (List.length (List.filter (fun b -> b = h) golden.Interp.block_trace) - 1)
+      max 0
+        (Array.fold_left
+           (fun n b -> if b = h then n + 1 else n)
+           0 golden.Interp.block_trace
+        - 1)
   in
   { cycles = (a.ii * iterations) + a.pipeline_depth; ii = a.ii; iterations }

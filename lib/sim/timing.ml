@@ -123,60 +123,19 @@ module Fifo = struct
     v
 end
 
-(* --- min-heap calendar ----------------------------------------------------- *)
+(* --- calendar --------------------------------------------------------------- *)
 
 module Calendar = struct
-  (* Binary min-heap of wake-up cycles. Rebuilt per stall: when a cycle
-     makes no progress, every component pushes its next-wake candidates and
-     the engine advances t to the minimum. *)
-  type t = { mutable heap : int array; mutable size : int }
+  (* The stall path only ever advances to the *earliest* wake-up candidate,
+     so the calendar is a running minimum, not a heap: components push their
+     candidates and the engine jumps to [min]. *)
+  type t = { mutable min : int }
 
-  let create () = { heap = Array.make 64 0; size = 0 }
-  let clear c = c.size <- 0
-  let is_empty c = c.size = 0
-
-  let push c x =
-    if c.size = Array.length c.heap then begin
-      let bigger = Array.make (2 * c.size) 0 in
-      Array.blit c.heap 0 bigger 0 c.size;
-      c.heap <- bigger
-    end;
-    let i = ref c.size in
-    c.size <- c.size + 1;
-    c.heap.(!i) <- x;
-    while
-      !i > 0
-      &&
-      let p = (!i - 1) / 2 in
-      c.heap.(p) > c.heap.(!i)
-    do
-      let p = (!i - 1) / 2 in
-      let tmp = c.heap.(p) in
-      c.heap.(p) <- c.heap.(!i);
-      c.heap.(!i) <- tmp;
-      i := p
-    done
-
-  let pop_min c =
-    let top = c.heap.(0) in
-    c.size <- c.size - 1;
-    c.heap.(0) <- c.heap.(c.size);
-    let i = ref 0 in
-    let continue_ = ref true in
-    while !continue_ do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let s = ref !i in
-      if l < c.size && c.heap.(l) < c.heap.(!s) then s := l;
-      if r < c.size && c.heap.(r) < c.heap.(!s) then s := r;
-      if !s = !i then continue_ := false
-      else begin
-        let tmp = c.heap.(!s) in
-        c.heap.(!s) <- c.heap.(!i);
-        c.heap.(!i) <- tmp;
-        i := !s
-      end
-    done;
-    top
+  let create () = { min = max_int }
+  let clear c = c.min <- max_int
+  let is_empty c = c.min = max_int
+  let push c x = if x < c.min then c.min <- x
+  let pop_min c = c.min
 end
 
 (* --- LSQ / DU per array --------------------------------------------------- *)
@@ -267,19 +226,14 @@ let sq_pop a =
 
 (* --- unit replay ---------------------------------------------------------- *)
 
-type chan_key =
-  | Kreq_ld of string
-  | Kreq_st of string
-  | Kstv of string
-  | Kldv of int (* load value channel, per mem id; per unit by construction *)
+(* Channel identity packed as an int: (dense id lsl 2) lor kind. Request
+   and store-value channels are keyed by array id, load-value channels by
+   mem id (per unit by construction). *)
+let k_req_ld = 0
 
-let chan_of_ev (ev : Trace.ev) : chan_key option =
-  match ev with
-  | Trace.Send_ld { arr; _ } -> Some (Kreq_ld arr)
-  | Trace.Send_st { arr; _ } -> Some (Kreq_st arr)
-  | Trace.Produce { arr; _ } | Trace.Kill { arr; _ } -> Some (Kstv arr)
-  | Trace.Consume { mem; _ } -> Some (Kldv mem)
-  | Trace.Gate _ -> None
+let k_req_st = 1
+let k_stv = 2
+let k_ldv = 3
 
 (* Per-event action with its targets resolved up front: the hot loop never
    hashes an array name or allocates a request payload. *)
@@ -295,10 +249,10 @@ type urep = {
   tr : Trace.unit_trace;
   retire : int array; (* retire cycle per event; -1 = not retired *)
   prev_chan : int array; (* index of previous event on same channel; -1 *)
+  sched : int array; (* iteration × unit_ii + depth, precomputed per event *)
   acts : action array;
   mutable n_retired : int;
   mutable scan_from : int; (* first unretired index *)
-  unit_ii : int;
 }
 
 let window = 24
@@ -399,109 +353,129 @@ let ldv_fifo env key =
     f
 
 let make_urep env (tr : Trace.unit_trace) ~unit_ii =
-  let n = Array.length tr.Trace.entries in
+  let n = Trace.length tr in
   let prev_chan = Array.make n (-1) in
-  let last : (chan_key, int) Hashtbl.t = Hashtbl.create 8 in
-  let seq_counter : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let st_counter : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let bump tbl arr =
-    let v = try Hashtbl.find tbl arr with Not_found -> 0 in
-    Hashtbl.replace tbl arr (v + 1);
-    v
-  in
-  let get tbl arr = try Hashtbl.find tbl arr with Not_found -> 0 in
+  let sched = Array.make n 0 in
+  let last : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let n_arr = Array.length tr.Trace.arrays in
+  let seq_counter = Array.make (max n_arr 1) 0 in
+  let st_counter = Array.make (max n_arr 1) 0 in
   let subs_of mem =
     match Hashtbl.find_opt env.sub_fifos mem with Some a -> a | None -> [||]
   in
-  let acts =
-    Array.mapi
-      (fun k (e : Trace.entry) ->
-        let act =
-          match e.Trace.ev with
-          | Trace.Send_ld { arr; mem; addr } ->
-            let seq = bump seq_counter arr in
-            let older = get st_counter arr in
-            Asend_ld
-              ( du_array env arr,
-                { rq_addr = addr; rq_seq = seq; rq_older = older;
-                  rq_subs = subs_of mem } )
-          | Trace.Send_st { arr; addr; _ } ->
-            let seq = bump seq_counter arr in
-            ignore (bump st_counter arr);
-            Asend_st (du_array env arr, { sq_addr = addr; sq_seq = seq })
-          | Trace.Produce { arr; _ } -> Aproduce (du_array env arr)
-          | Trace.Kill { arr; _ } -> Akill (du_array env arr)
-          | Trace.Consume { mem; _ } ->
-            Aconsume (ldv_fifo env (mem, tr.Trace.unit))
-          | Trace.Gate { dep } -> Agate dep
-        in
-        (match chan_of_ev e.Trace.ev with
-        | None -> ()
-        | Some c ->
-          (match Hashtbl.find_opt last c with
-          | Some j -> prev_chan.(k) <- j
-          | None -> ());
-          Hashtbl.replace last c k);
-        act)
-      tr.Trace.entries
-  in
+  let acts = Array.make n (Agate (-1)) in
+  (* ascending: seq/st counters, DU creation order and prev_chan wiring all
+     depend on trace order *)
+  for k = 0 to n - 1 do
+    sched.(k) <- (Trace.iter tr k * unit_ii) + Trace.depth tr k;
+    let tag = Trace.tag tr k in
+    let chan = ref (-1) in
+    let act =
+      if tag = Trace.t_send_ld then begin
+        let a = Trace.arr_id tr k in
+        let seq = seq_counter.(a) in
+        seq_counter.(a) <- seq + 1;
+        chan := (a lsl 2) lor k_req_ld;
+        Asend_ld
+          ( du_array env tr.Trace.arrays.(a),
+            { rq_addr = Trace.payload tr k; rq_seq = seq;
+              rq_older = st_counter.(a); rq_subs = subs_of (Trace.mem tr k) }
+          )
+      end
+      else if tag = Trace.t_send_st then begin
+        let a = Trace.arr_id tr k in
+        let seq = seq_counter.(a) in
+        seq_counter.(a) <- seq + 1;
+        st_counter.(a) <- st_counter.(a) + 1;
+        chan := (a lsl 2) lor k_req_st;
+        Asend_st
+          ( du_array env tr.Trace.arrays.(a),
+            { sq_addr = Trace.payload tr k; sq_seq = seq } )
+      end
+      else if tag = Trace.t_produce then begin
+        let a = Trace.arr_id tr k in
+        chan := (a lsl 2) lor k_stv;
+        Aproduce (du_array env tr.Trace.arrays.(a))
+      end
+      else if tag = Trace.t_kill then begin
+        let a = Trace.arr_id tr k in
+        chan := (a lsl 2) lor k_stv;
+        Akill (du_array env tr.Trace.arrays.(a))
+      end
+      else if tag = Trace.t_consume then begin
+        let mem = Trace.mem tr k in
+        chan := (mem lsl 2) lor k_ldv;
+        Aconsume (ldv_fifo env (mem, tr.Trace.unit))
+      end
+      else Agate (Trace.payload tr k)
+    in
+    acts.(k) <- act;
+    if !chan >= 0 then begin
+      (match Hashtbl.find_opt last !chan with
+      | Some j -> prev_chan.(k) <- j
+      | None -> ());
+      Hashtbl.replace last !chan k
+    end
+  done;
   {
     tr;
     retire = Array.make n (-1);
     prev_chan;
+    sched;
     acts;
     n_retired = 0;
     scan_from = 0;
-    unit_ii;
   }
 
 (* Attempt to retire events of [u] at cycle [t]. Returns true on progress. *)
 let step_unit env (u : urep) ~t : bool =
-  let entries = u.tr.Trace.entries in
-  let n = Array.length entries in
+  let n = Array.length u.retire in
   let progress = ref false in
   (* earliest unresolved gate index before which everything must retire *)
   let idx = ref u.scan_from in
   let stop = min n (u.scan_from + window) in
   let blocked_by_gate = ref false in
+  (* indices are bounded by [stop <= n] and prev_chan/dep entries are -1 or
+     earlier in-range indices, so the scan reads unchecked *)
+  let retire = u.retire in
   while !idx < stop && not !blocked_by_gate do
     let k = !idx in
-    if u.retire.(k) < 0 then begin
-      let e = entries.(k) in
-      let sched_ok = (e.Trace.iter * u.unit_ii) + e.Trace.depth <= t in
+    if Array.unsafe_get retire k < 0 then begin
       (* in-order per channel: the previous event on this channel must have
          retired, and at most [vector_width] ops share a cycle on one
          channel (§10's vectorized requests; width 1 = the paper's scalar
          port) *)
-      let chan_ok =
+      let chan_ok () =
         let w = env.vector_width in
-        let p = u.prev_chan.(k) in
+        let p = Array.unsafe_get u.prev_chan k in
         p < 0
-        || (u.retire.(p) >= 0
-           &&
-           if u.retire.(p) < t then true
-           else begin
-             (* count how many chain predecessors already retired at t *)
-             let rec same_cycle p n =
-               if p < 0 || u.retire.(p) < t then n
-               else same_cycle u.prev_chan.(p) (n + 1)
-             in
-             same_cycle p 0 < w
-           end)
+        || (let rp = Array.unsafe_get retire p in
+            rp >= 0
+            &&
+            if rp < t then true
+            else if w = 1 then false
+            else begin
+              (* count how many chain predecessors already retired at t *)
+              let rec same_cycle p n =
+                if p < 0 || Array.unsafe_get retire p < t then n
+                else same_cycle (Array.unsafe_get u.prev_chan p) (n + 1)
+              in
+              same_cycle p 0 < w
+            end)
       in
       let retire_now () =
-        u.retire.(k) <- t;
+        Array.unsafe_set retire k t;
         u.n_retired <- u.n_retired + 1;
         progress := true
       in
-      if sched_ok && chan_ok then begin
-        match u.acts.(k) with
+      if Array.unsafe_get u.sched k <= t && chan_ok () then begin
+        match Array.unsafe_get u.acts k with
         | Agate dep ->
           let resolved =
             if dep < 0 then true
             else
-              u.retire.(dep) >= 0
-              && u.retire.(dep) + env.branch_latency <= t
+              let rd = Array.unsafe_get retire dep in
+              rd >= 0 && rd + env.branch_latency <= t
           in
           if resolved then retire_now () else blocked_by_gate := true
         | Asend_ld (a, rq) ->
@@ -531,13 +505,13 @@ let step_unit env (u : urep) ~t : bool =
           end
       end;
       (* a gate that has not retired blocks everything after it *)
-      (match u.acts.(k) with
-      | Agate _ when u.retire.(k) < 0 -> blocked_by_gate := true
+      (match Array.unsafe_get u.acts k with
+      | Agate _ when Array.unsafe_get retire k < 0 -> blocked_by_gate := true
       | _ -> ())
     end;
     incr idx
   done;
-  while u.scan_from < n && u.retire.(u.scan_from) >= 0 do
+  while u.scan_from < n && Array.unsafe_get retire u.scan_from >= 0 do
     u.scan_from <- u.scan_from + 1
   done;
   !progress
@@ -622,52 +596,53 @@ let step_du env (a : du_array) ~t : bool =
   end;
   (* 3. issue one ready load (out of order within the LQ): the oldest
      unissued load the RAW check admits *)
-  let best = ref None in
-  let admissible = ref 0 in
-  Array.iter
-    (fun l ->
-      if l.live && not l.issued then begin
-        let c = can_issue a l in
-        if c <> 0 then begin
-          incr admissible;
-          match !best with
-          | Some (bl, _) when bl.pos < l.pos -> ()
-          | _ -> best := Some (l, c)
-        end
-      end)
-    a.lq;
-  (match !best with
-  | Some (l, code) ->
-    (* all subscriber FIFOs must have space (reserved at issue) *)
-    if Array.for_all Fifo.has_space l.subs then begin
-      let latency =
-        if code = 2 then begin
-          a.stats.forwards <- a.stats.forwards + 1;
-          env.forward_latency
-        end
-        else env.memory_load_latency
-      in
-      l.issued <- true;
-      l.complete_at <- t + latency;
-      a.lq_unissued <- a.lq_unissued - 1;
-      a.stats.loads <- a.stats.loads + 1;
-      Array.iter (fun f -> Fifo.push f ~now:(t + latency) ()) l.subs;
-      progress := true;
-      if !admissible >= 2 then a.f_extra_adm <- true
-    end
-    else a.f_subs_full <- true
-  | None ->
-    if a.lq_unissued > 0 then
-      a.stats.raw_wait_cycles <- a.stats.raw_wait_cycles + 1);
+  if a.lq_unissued > 0 then begin
+    let best = ref None in
+    let admissible = ref 0 in
+    Array.iter
+      (fun l ->
+        if l.live && not l.issued then begin
+          let c = can_issue a l in
+          if c <> 0 then begin
+            incr admissible;
+            match !best with
+            | Some (bl, _) when bl.pos < l.pos -> ()
+            | _ -> best := Some (l, c)
+          end
+        end)
+      a.lq;
+    match !best with
+    | Some (l, code) ->
+      (* all subscriber FIFOs must have space (reserved at issue) *)
+      if Array.for_all Fifo.has_space l.subs then begin
+        let latency =
+          if code = 2 then begin
+            a.stats.forwards <- a.stats.forwards + 1;
+            env.forward_latency
+          end
+          else env.memory_load_latency
+        in
+        l.issued <- true;
+        l.complete_at <- t + latency;
+        a.lq_unissued <- a.lq_unissued - 1;
+        a.stats.loads <- a.stats.loads + 1;
+        Array.iter (fun f -> Fifo.push f ~now:(t + latency) ()) l.subs;
+        progress := true;
+        if !admissible >= 2 then a.f_extra_adm <- true
+      end
+      else a.f_subs_full <- true
+    | None -> a.stats.raw_wait_cycles <- a.stats.raw_wait_cycles + 1
+  end;
   (* 4. retire completed loads from the LQ *)
-  Array.iter
-    (fun l ->
-      if l.live && l.issued && l.complete_at <= t then begin
-        l.live <- false;
-        a.lq_live <- a.lq_live - 1;
-        progress := true
-      end)
-    a.lq;
+  if a.lq_live > a.lq_unissued then
+    Array.iter
+      (fun l ->
+        if l.live && l.issued && l.complete_at <= t then begin
+          l.live <- false;
+          a.lq_live <- a.lq_live - 1;
+          progress := true
+        end)
+      a.lq;
   (* 5. accept up to [vector_width] store and load requests into the LSQ *)
   let k = ref 0 in
   let continue_ = ref true in
@@ -744,8 +719,7 @@ let classify_unit (u : urep) ~progress ~t : Stats.cause =
   else if u.n_retired = Array.length u.retire then Stats.Drain
   else begin
     let k = u.scan_from in
-    let e = u.tr.Trace.entries.(k) in
-    if (e.Trace.iter * u.unit_ii) + e.Trace.depth > t then Stats.Sched_wait
+    if u.sched.(k) > t then Stats.Sched_wait
     else
       match u.acts.(k) with
       | Agate _ -> Stats.Gate_wait
@@ -774,22 +748,29 @@ let classify_du (a : du_array) ~progress : Stats.cause =
 (* --- next-wake candidates --------------------------------------------------- *)
 
 (* Contribute every cycle at which [u] might retire something: scheduled
-   issue slots, in-order successors of retired events, gate resolutions. *)
+   issue slots, in-order successors of retired events, gate resolutions.
+   The scan stops at the first unresolved gate, as [step_unit]'s does:
+   nothing past it can retire before the gate does, and the gate's own
+   resolution candidate is pushed before stopping. *)
 let unit_wakes env (u : urep) ~t ~(push : int -> unit) =
   let cand x = if x > t then push x in
   let n = Array.length u.retire in
   let stop = min n (u.scan_from + window) in
-  for k = u.scan_from to stop - 1 do
-    if u.retire.(k) < 0 then begin
-      let e = u.tr.Trace.entries.(k) in
-      cand ((e.Trace.iter * u.unit_ii) + e.Trace.depth);
-      let p = u.prev_chan.(k) in
+  let k = ref u.scan_from in
+  let blocked = ref false in
+  while !k < stop && not !blocked do
+    if u.retire.(!k) < 0 then begin
+      cand u.sched.(!k);
+      let p = u.prev_chan.(!k) in
       if p >= 0 && u.retire.(p) >= 0 then cand (u.retire.(p) + 1);
-      match u.acts.(k) with
-      | Agate dep when dep >= 0 && u.retire.(dep) >= 0 ->
-        cand (u.retire.(dep) + env.branch_latency)
+      match u.acts.(!k) with
+      | Agate dep ->
+        if dep >= 0 && u.retire.(dep) >= 0 then
+          cand (u.retire.(dep) + env.branch_latency);
+        blocked := true
       | _ -> ()
-    end
+    end;
+    incr k
   done
 
 (* FIFO arrivals and load completions of one DU array. *)
@@ -833,8 +814,8 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
     subscribers;
   let agu = make_urep env agu_tr ~unit_ii:cfg.Config.unit_ii in
   let cu = make_urep env cu_tr ~unit_ii:cfg.Config.unit_ii in
-  let n_agu = Array.length agu_tr.Trace.entries in
-  let n_cu = Array.length cu_tr.Trace.entries in
+  let n_agu = Trace.length agu_tr in
+  let n_cu = Trace.length cu_tr in
   let t = ref 0 in
   let agu_finish = ref 0 and cu_finish = ref 0 in
   let idle_rounds = ref 0 in
@@ -866,10 +847,23 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
       (fun (name, (f : unit Fifo.t)) -> sample ~t name f.Fifo.size)
       (List.rev env.ldv_named)
   in
+  (* [make_urep] has resolved every event's targets, so the DU array and
+     load-value FIFO sets are final: freeze them for the hot loop. *)
+  let dus = Array.of_list env.du_list in
+  let n_dus = Array.length dus in
+  let ldvs = Array.of_list env.ldv_list in
+  let n_ldvs = Array.length ldvs in
   let done_ () =
     agu.n_retired = n_agu && cu.n_retired = n_cu
-    && List.for_all du_idle env.du_list
-    && List.for_all Fifo.is_empty env.ldv_list
+    &&
+    let ok = ref true in
+    for i = 0 to n_dus - 1 do
+      if not (du_idle (Array.unsafe_get dus i)) then ok := false
+    done;
+    for i = 0 to n_ldvs - 1 do
+      if not (Fifo.is_empty (Array.unsafe_get ldvs i)) then ok := false
+    done;
+    !ok
   in
   while not (done_ ()) do
     if !t > max_cycles then
@@ -879,14 +873,24 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
               max_cycles agu.n_retired n_agu cu.n_retired n_cu));
     let p1 = step_unit env agu ~t:!t in
     let p2 = step_unit env cu ~t:!t in
-    let p3 =
-      List.fold_left
-        (fun acc a ->
-          let p = step_du env a ~t:!t in
-          a.f_progress <- p;
-          p || acc)
-        false env.du_list
-    in
+    let p3 = ref false in
+    for i = 0 to n_dus - 1 do
+      let a = Array.unsafe_get dus i in
+      (* a fully drained array is a no-op step: skip it, clearing the
+         flags [step_du] would have cleared *)
+      let p =
+        if du_idle a then begin
+          a.f_alloc_block <- false;
+          a.f_subs_full <- false;
+          a.f_extra_adm <- false;
+          false
+        end
+        else step_du env a ~t:!t
+      in
+      a.f_progress <- p;
+      if p then p3 := true
+    done;
+    let p3 = !p3 in
     if agu.n_retired = n_agu && !agu_finish = 0 then agu_finish := !t;
     if cu.n_retired = n_cu && !cu_finish = 0 then cu_finish := !t;
     let next_t =
@@ -905,14 +909,16 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
         let push x = Calendar.push calendar x in
         unit_wakes env agu ~t:!t ~push;
         unit_wakes env cu ~t:!t ~push;
-        List.iter (fun a -> du_wakes a ~t:!t ~push) env.du_list;
-        List.iter
-          (fun (f : unit Fifo.t) ->
-            if f.Fifo.size > 0 then begin
-              let avail = Fifo.head_avail f in
-              if avail > !t then push avail
-            end)
-          env.ldv_list;
+        for i = 0 to n_dus - 1 do
+          du_wakes (Array.unsafe_get dus i) ~t:!t ~push
+        done;
+        for i = 0 to n_ldvs - 1 do
+          let f = Array.unsafe_get ldvs i in
+          if f.Fifo.size > 0 then begin
+            let avail = Fifo.head_avail f in
+            if avail > !t then push avail
+          end
+        done;
         if Calendar.is_empty calendar then begin
           incr idle_rounds;
           if !idle_rounds > 4 then
@@ -935,9 +941,9 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
     let span = next_t - !t in
     Stats.add agu_stats (classify_unit agu ~progress:p1 ~t:!t) span;
     Stats.add cu_stats (classify_unit cu ~progress:p2 ~t:!t) span;
-    List.iter
+    Array.iter
       (fun a -> Stats.add a.cstats (classify_du a ~progress:a.f_progress) span)
-      env.du_list;
+      dus;
     if record_depths then sample_depths ~t:!t;
     t := next_t
   done;
@@ -970,75 +976,51 @@ let scan_window = window
    tag — exactly the pairing Lemma 6.1 guarantees. *)
 let oracle_filter (agu_tr : Trace.unit_trace) (cu_tr : Trace.unit_trace) :
     Trace.unit_trace * Trace.unit_trace =
-  (* per array, the kill flags in CU store-value order *)
-  let counts : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
-  let bump arr =
-    match Hashtbl.find_opt counts arr with
-    | Some r -> incr r
-    | None -> Hashtbl.replace counts arr (ref 1)
+  (* per array, the kill flags in CU store-value order; both traces share
+     one dense array-id table *)
+  let n_arr =
+    max (Array.length agu_tr.Trace.arrays) (Array.length cu_tr.Trace.arrays)
   in
-  Array.iter
-    (fun (e : Trace.entry) ->
-      match e.Trace.ev with
-      | Trace.Produce { arr; _ } | Trace.Kill { arr; _ } -> bump arr
-      | _ -> ())
-    cu_tr.Trace.entries;
-  let kill_flags : (string, bool array) Hashtbl.t = Hashtbl.create 8 in
-  Hashtbl.iter
-    (fun arr r -> Hashtbl.replace kill_flags arr (Array.make !r false))
-    counts;
-  let fill : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
-  Array.iter
-    (fun (e : Trace.entry) ->
-      let set arr v =
-        let i =
-          match Hashtbl.find_opt fill arr with
-          | Some r -> r
-          | None ->
-            let r = ref 0 in
-            Hashtbl.replace fill arr r;
-            r
-        in
-        (Hashtbl.find kill_flags arr).(!i) <- v;
-        incr i
-      in
-      match e.Trace.ev with
-      | Trace.Produce { arr; _ } -> set arr false
-      | Trace.Kill { arr; _ } -> set arr true
-      | _ -> ())
-    cu_tr.Trace.entries;
+  let counts = Array.make (max n_arr 1) 0 in
+  let n_cu = Trace.length cu_tr in
+  for k = 0 to n_cu - 1 do
+    let tag = Trace.tag cu_tr k in
+    if tag = Trace.t_produce || tag = Trace.t_kill then begin
+      let a = Trace.arr_id cu_tr k in
+      counts.(a) <- counts.(a) + 1
+    end
+  done;
+  let kill_flags = Array.map (fun c -> Array.make (max c 1) false) counts in
+  let fill = Array.make (max n_arr 1) 0 in
+  for k = 0 to n_cu - 1 do
+    let tag = Trace.tag cu_tr k in
+    if tag = Trace.t_produce || tag = Trace.t_kill then begin
+      let a = Trace.arr_id cu_tr k in
+      kill_flags.(a).(fill.(a)) <- tag = Trace.t_kill;
+      fill.(a) <- fill.(a) + 1
+    end
+  done;
   (* rebuild each trace, dropping killed store sends and kill events, and
      remapping gate dependency indices *)
   let filter_trace (tr : Trace.unit_trace) =
-    let n = Array.length tr.Trace.entries in
-    let cursor : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
-    let killed arr =
-      let k =
-        match Hashtbl.find_opt cursor arr with
-        | Some r -> r
-        | None ->
-          let r = ref 0 in
-          Hashtbl.replace cursor arr r;
-          r
-      in
-      let i = !k in
-      incr k;
-      match Hashtbl.find_opt kill_flags arr with
-      | Some flags when i < Array.length flags -> flags.(i)
-      | _ -> false
+    let n = Trace.length tr in
+    let cursor = Array.make (max n_arr 1) 0 in
+    let killed a =
+      let i = cursor.(a) in
+      cursor.(a) <- i + 1;
+      i < counts.(a) && kill_flags.(a).(i)
     in
-    let keep = Array.make n true in
-    Array.iteri
-      (fun i (e : Trace.entry) ->
-        match e.Trace.ev with
-        | Trace.Send_st { arr; _ } -> if killed arr then keep.(i) <- false
-        | Trace.Kill { arr; _ } -> if killed arr then keep.(i) <- false
-        | Trace.Produce { arr; _ } ->
-          (* advances the same per-array cursor as kills: the k-th store
-             value tag pairs with the k-th store request *)
-          ignore (killed arr)
-        | _ -> ())
-      tr.Trace.entries;
+    let keep = Array.make (max n 1) true in
+    for i = 0 to n - 1 do
+      let tag = Trace.tag tr i in
+      if tag = Trace.t_send_st || tag = Trace.t_kill then begin
+        if killed (Trace.arr_id tr i) then keep.(i) <- false
+      end
+      else if tag = Trace.t_produce then
+        (* advances the same per-array cursor as kills: the k-th store
+           value tag pairs with the k-th store request *)
+        ignore (killed (Trace.arr_id tr i))
+    done;
     (* new index of the latest kept entry at or before each old index *)
     let before = Array.make (max n 1) (-1) in
     let kept_count = ref 0 in
@@ -1049,26 +1031,19 @@ let oracle_filter (agu_tr : Trace.unit_trace) (cu_tr : Trace.unit_trace) :
       end
       else before.(i) <- (if i = 0 then -1 else before.(i - 1))
     done;
-    let entries =
-      if !kept_count = 0 then [||]
-      else begin
-        let out = Array.make !kept_count tr.Trace.entries.(0) in
-        let j = ref 0 in
-        for i = 0 to n - 1 do
-          if keep.(i) then begin
-            let e = tr.Trace.entries.(i) in
-            (out.(!j) <-
-               (match e.Trace.ev with
-               | Trace.Gate { dep } ->
-                 let dep = if dep < 0 then -1 else before.(dep) in
-                 { e with Trace.ev = Trace.Gate { dep } }
-               | _ -> e));
-            incr j
-          end
-        done;
-        out
+    let stride = Trace.stride in
+    let out = Array.make (!kept_count * stride) 0 in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if keep.(i) then begin
+        Array.blit tr.Trace.data (i * stride) out (!j * stride) stride;
+        if Trace.tag tr i = Trace.t_gate then begin
+          let dep = Trace.payload tr i in
+          out.((!j * stride) + 3) <- (if dep < 0 then -1 else before.(dep))
+        end;
+        incr j
       end
-    in
-    { tr with Trace.entries }
+    done;
+    { tr with Trace.data = out; n = !kept_count }
   in
   (filter_trace agu_tr, filter_trace cu_tr)

@@ -40,14 +40,13 @@ let metadata em ~pid ~tid ~kind ~name =
     kind pid tid (escape name)
 
 let slices em ~pid ~tid (tr : Trace.unit_trace) (retire : int array) =
-  Array.iteri
-    (fun k (e : Trace.entry) ->
-      if retire.(k) >= 0 then
-        event em
-          {|{ "name": "%s", "cat": "i%d", "ph": "X", "ts": %d, "dur": 1, "pid": %d, "tid": %d }|}
-          (escape (Fmt.str "%a" Trace.pp_ev e.Trace.ev))
-          e.Trace.iter retire.(k) pid tid)
-    tr.Trace.entries
+  for k = 0 to Trace.length tr - 1 do
+    if retire.(k) >= 0 then
+      event em
+        {|{ "name": "%s", "cat": "i%d", "ph": "X", "ts": %d, "dur": 1, "pid": %d, "tid": %d }|}
+        (escape (Fmt.str "%a" (fun ppf -> Trace.pp_event tr ppf) k))
+        (Trace.iter tr k) retire.(k) pid tid
+  done
 
 let counters em ~pid (samples : (int * string * int) array) =
   Array.iter

@@ -231,7 +231,7 @@ let test_steer_flag_values () =
   let iter = ref (-1) in
   let saw4 = ref false in
   let checked = ref 0 in
-  List.iter
+  Array.iter
     (fun bid ->
       match bid with
       | 1 ->

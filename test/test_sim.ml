@@ -47,10 +47,11 @@ let test_exec_misspec_rate () =
 
 let test_exec_traces_have_gates_only_when_synchronized () =
   let count_gates (tr : Trace.unit_trace) =
-    Array.fold_left
-      (fun n (e : Trace.entry) ->
-        match e.Trace.ev with Trace.Gate _ -> n + 1 | _ -> n)
-      0 tr.Trace.entries
+    let n = ref 0 in
+    for k = 0 to Trace.length tr - 1 do
+      if Trace.tag tr k = Trace.t_gate then incr n
+    done;
+    !n
   in
   let mem () = Interp.Memory.create [ ("A", Array.make 8 1) ] in
   let run mode =
@@ -141,9 +142,11 @@ let test_oracle_filter_drops_kills () =
   let r = Exec.run p ~args:[ ("n", Types.Vint 4) ] ~mem in
   let agu', cu' = Timing.oracle_filter r.Exec.agu_trace r.Exec.cu_trace in
   let count sel (tr : Trace.unit_trace) =
-    Array.fold_left
-      (fun n (e : Trace.entry) -> if sel e.Trace.ev then n + 1 else n)
-      0 tr.Trace.entries
+    let n = ref 0 in
+    for k = 0 to Trace.length tr - 1 do
+      if sel (Trace.ev tr k) then incr n
+    done;
+    !n
   in
   check Alcotest.int "kills removed" 0
     (count (function Trace.Kill _ -> true | _ -> false) cu');

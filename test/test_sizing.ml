@@ -161,14 +161,7 @@ let test_entry_points_validate () =
   (match sim ~cfg M.Spec k with
   | (_ : M.result) -> Alcotest.fail "Machine.simulate accepted fifo_latency 0"
   | exception Invalid_argument _ -> ());
-  let tr u =
-    {
-      Dae_sim.Trace.unit = u;
-      entries = [||];
-      iterations = 0;
-      control_synchronized = false;
-    }
-  in
+  let tr u = Dae_sim.Trace.empty u in
   match
     Dae_sim.Timing.run ~cfg ~subscribers:[]
       (tr Dae_sim.Trace.Agu) (tr Dae_sim.Trace.Cu)
