@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- --section fig6 --section table1   # same
      dune exec bench/main.exe -- --jobs 4 --json out.json fig6
      dune exec bench/main.exe -- --quick            # fig6 on small kernels
-     sections: fig6 table1 table2 fig7 ablation sizing micro smoke
+     sections: fig6 table1 table2 fig7 ablation sizing sweep micro smoke
 
    Every section first *declares* its simulation jobs (kernel × arch ×
    config); the distinct jobs are fanned out once over a work-stealing
@@ -15,9 +15,13 @@
    compile+simulate cache, so sections that share points (fig6 and
    table1 use the same paper-suite runs) pay for them once. The
    per-job results — cycles, mis-speculation rate, area, wall-clock,
-   GC pressure, and the channel-sizing analyzer's per-channel minimum
-   depths and deadlock verdict — are written to BENCH_5.json so the
-   perf trajectory is machine-readable from PR 1 onward.
+   GC pressure, the pool's own scheduling statistics (per-domain
+   utilization, steal counts), and the channel-sizing analyzer's
+   per-channel minimum depths and deadlock verdict — are written to
+   BENCH_6.json so the perf trajectory is machine-readable from PR 1
+   onward. The sweep section additionally runs the trace-driven
+   re-timing DSE engine cold and warm over its on-disk result cache and
+   records both passes' throughput and hit rates.
 
    --quick swaps the paper suite for the small test-suite instances and
    runs fig6 only: a seconds-long sweep whose cycle counts are pinned
@@ -536,11 +540,16 @@ let sizing_print () =
               let matched_max =
                 fold (fun a s -> max a s.Dae_analysis.Sizing.sz_matched) 1
               in
-              let simulate ?(validate = true) cfg =
-                Dae_sim.Machine.simulate ~cfg ~validate ~collect:true arch
-                  (k.Kernels.build ())
+              (* one functional execution; both the minimum-depth run and
+                 the boundary probe only replay its stored traces *)
+              let prepared =
+                Dae_sim.Retime.prepare
+                  (Dae_sim.Retime.plan arch (k.Kernels.build ()))
                   ~invocations:(k.Kernels.invocations ())
                   ~mem:(k.Kernels.init_mem ())
+              in
+              let simulate ?(validate = true) cfg =
+                Dae_sim.Retime.simulate ~validate ~collect:true ~cfg prepared
               in
               let r = simulate sz.Dae_analysis.Sizing.min_cfg in
               let bound =
@@ -582,6 +591,63 @@ let sizing_print () =
   Fmt.pr
     "(analyzer minimums keep every kernel deadlock-free; one step below \
      the critical channel's minimum is the deadlock boundary)@."
+
+(* --- sweep: the trace-driven re-timing DSE engine, cold and warm ------------- *)
+
+(* Parsed before the sections run; the sweep section reuses the pool
+   bound. *)
+let pool_jobs = ref (Dae_sim.Runner.default_domains ())
+
+(* Kept for the JSON emitter: (label, summary) for the cold and warm
+   passes. *)
+let sweep_summaries : (string * Dae_dse.Sweep.summary) list ref = ref []
+
+(* Quick-suite kernels × {DAE, SPEC, ORACLE} × the default capacity grid
+   (648 configurations each): one functional execution per kernel and
+   architecture, everything else is timing replay. Run twice over a fresh
+   cache directory — the cold pass measures the re-timing engine, the
+   warm pass measures the memoization (it must execute nothing and hit on
+   every point). STA is excluded: its cycles do not depend on the swept
+   capacities, so every axis collapses to one point. *)
+let sweep_print () =
+  Fmt.pr "@.== Design-space sweep: re-timed, memoized (daec sweep) ==@.";
+  let dir = Filename.concat "_daec_cache" "bench" in
+  let cache () = Dae_sim.Cache.create ~dir () in
+  ignore (Dae_sim.Cache.clear (cache ()));
+  let workloads =
+    List.map
+      (Dae_dse.Sweep.workload_of_kernel ~suite:"quick")
+      (Kernels.test_suite ())
+  in
+  let sweep () =
+    Dae_dse.Sweep.run ~domains:!pool_jobs ~cache:(cache ())
+      ~axes:Dae_dse.Sweep.default_axes
+      ~archs:
+        [ Dae_sim.Machine.Dae; Dae_sim.Machine.Spec; Dae_sim.Machine.Oracle ]
+      workloads
+  in
+  let cold = sweep () in
+  let warm = sweep () in
+  Fmt.pr "-- cold --@.%a@." Dae_dse.Sweep.pp_summary cold.Dae_dse.Sweep.summary;
+  Fmt.pr "-- warm --@.%a@." Dae_dse.Sweep.pp_summary warm.Dae_dse.Sweep.summary;
+  let cs = cold.Dae_dse.Sweep.summary and ws = warm.Dae_dse.Sweep.summary in
+  Fmt.pr
+    "warm re-sweep: %.1fx faster, %.1f%% hit rate, %d functional \
+     executions@."
+    (cs.Dae_dse.Sweep.sm_wall_s /. ws.Dae_dse.Sweep.sm_wall_s)
+    (100. *. ws.Dae_dse.Sweep.sm_hit_rate)
+    ws.Dae_dse.Sweep.sm_prepares;
+  if cs.Dae_dse.Sweep.sm_check_failures <> []
+     || ws.Dae_dse.Sweep.sm_check_failures <> []
+  then
+    Fmt.failwith "sweep cross-checks failed: %s"
+      (String.concat "; "
+         (cs.Dae_dse.Sweep.sm_check_failures
+         @ ws.Dae_dse.Sweep.sm_check_failures));
+  if cs.Dae_dse.Sweep.sm_sizing_violations <> [] then
+    Fmt.failwith "sweep sizing violations: %s"
+      (String.concat "; " cs.Dae_dse.Sweep.sm_sizing_violations);
+  sweep_summaries := [ ("cold", cs); ("warm", ws) ]
 
 (* --- smoke: tiny sweep exercising the pool and the JSON emitter ------------- *)
 
@@ -658,12 +724,16 @@ let micro () =
 (* --- JSON emitter ------------------------------------------------------------ *)
 
 (* Perf-trajectory denominators, all measured on this host at --jobs 1:
-   the seed cycle-polling engine (PR 1), and the BENCH_4 event-driven
-   engine with the tree-walking co-simulator, immediately before the
-   micro-op lowering of this PR. *)
+   the seed cycle-polling engine (PR 1), the BENCH_4 event-driven engine
+   with the tree-walking co-simulator, and the BENCH_5 lowered micro-op
+   engine immediately before this PR's trace-driven re-timing — whose 93
+   fused jobs in 45.455 s are the sweep section's points-per-second
+   baseline. *)
 let seed_fig6_table1_wall_s = 142.5
 let bench4_fig6_table1_wall_s = 26.626
 let bench4_suite_wall_s = 87.390
+let bench5_suite_wall_s = 45.455
+let bench5_suite_jobs = 93
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -679,7 +749,47 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~path ~sections ~domains ~wall_s
+let pool_json (s : Dae_sim.Runner.pool_stats) =
+  Printf.sprintf
+    "{ \"domains\": %d, \"wall_s\": %.3f, \"utilization\": %.4f, \
+     \"steals\": %d, \"workers\": [%s] }"
+    s.Dae_sim.Runner.p_domains s.Dae_sim.Runner.p_wall_s
+    (Dae_sim.Runner.utilization s)
+    (Dae_sim.Runner.total_steals s)
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun (w : Dae_sim.Runner.worker_stats) ->
+               Printf.sprintf
+                 "{ \"jobs\": %d, \"steals\": %d, \"busy_s\": %.3f }"
+                 w.Dae_sim.Runner.w_jobs w.Dae_sim.Runner.w_steals
+                 w.Dae_sim.Runner.w_busy_s)
+             s.Dae_sim.Runner.p_workers)))
+
+let sweep_json (label, (s : Dae_dse.Sweep.summary)) =
+  Printf.sprintf
+    "\"%s\": { \"points\": %d, \"deadlocked\": %d, \"wall_s\": %.3f, \
+     \"points_per_s\": %.0f, \"functional_executions\": %d, \"cache\": { \
+     \"hits\": %d, \"misses\": %d, \"stores\": %d, \"corrupt\": %d, \
+     \"hit_rate\": %.4f }, \"cross_checks\": %d, \"cross_check_failures\": \
+     %d, \"sizing_jobs_validated\": %d, \"sizing_violations\": %d, \
+     \"pool\": %s }"
+    label s.Dae_dse.Sweep.sm_points s.Dae_dse.Sweep.sm_deadlocked
+    s.Dae_dse.Sweep.sm_wall_s
+    (if s.Dae_dse.Sweep.sm_wall_s > 0. then
+       float_of_int s.Dae_dse.Sweep.sm_points /. s.Dae_dse.Sweep.sm_wall_s
+     else 0.)
+    s.Dae_dse.Sweep.sm_prepares s.Dae_dse.Sweep.sm_cache.Dae_sim.Cache.hits
+    s.Dae_dse.Sweep.sm_cache.Dae_sim.Cache.misses
+    s.Dae_dse.Sweep.sm_cache.Dae_sim.Cache.stores
+    s.Dae_dse.Sweep.sm_cache.Dae_sim.Cache.corrupt
+    s.Dae_dse.Sweep.sm_hit_rate s.Dae_dse.Sweep.sm_checks
+    (List.length s.Dae_dse.Sweep.sm_check_failures)
+    s.Dae_dse.Sweep.sm_sizing_checked
+    (List.length s.Dae_dse.Sweep.sm_sizing_violations)
+    (pool_json s.Dae_dse.Sweep.sm_pool)
+
+let write_json ~path ~sections ~domains ~wall_s ~pool
     (outs : (string * sim_out) list) =
   let oc =
     try open_out path
@@ -696,11 +806,20 @@ let write_json ~path ~sections ~domains ~wall_s
   p "  \"domains\": %d,\n" domains;
   p "  \"jobs\": %d,\n" (List.length outs);
   p "  \"wall_s\": %.3f,\n" wall_s;
+  p "  \"pool\": %s,\n" (pool_json pool);
+  (match !sweep_summaries with
+  | [] -> ()
+  | summaries ->
+    p "  \"sweep\": { \"grid\": \"default\", \"suite\": \"quick\", %s },\n"
+      (String.concat ", " (List.map sweep_json summaries)));
   p
-    "  \"baseline\": { \"bench\": \"BENCH_4.json\", \"engine\": \
-     \"event-driven, tree-walking co-sim\", \"fig6_table1_wall_s\": %.3f, \
-     \"suite_wall_s\": %.3f, \"seed_fig6_table1_wall_s\": %.1f },\n"
-    bench4_fig6_table1_wall_s bench4_suite_wall_s seed_fig6_table1_wall_s;
+    "  \"baseline\": { \"bench\": \"BENCH_5.json\", \"engine\": \
+     \"lowered micro-op co-sim, fused exec+timing per point\", \
+     \"suite_wall_s\": %.3f, \"suite_jobs\": %d, \
+     \"fig6_table1_wall_s_bench4\": %.3f, \"suite_wall_s_bench4\": %.3f, \
+     \"seed_fig6_table1_wall_s\": %.1f },\n"
+    bench5_suite_wall_s bench5_suite_jobs bench4_fig6_table1_wall_s
+    bench4_suite_wall_s seed_fig6_table1_wall_s;
   let stats_json (stats : Dae_sim.Stats.keyed) =
     (* nonzero causes only: the full 11-row vector is mostly zeros *)
     String.concat ", "
@@ -760,16 +879,17 @@ let sections_all =
     { s_name = "fig7"; s_reqs = fig7_reqs; s_print = fig7_print };
     { s_name = "ablation"; s_reqs = ablation_reqs; s_print = ablation_print };
     { s_name = "sizing"; s_reqs = (fun () -> []); s_print = sizing_print };
+    { s_name = "sweep"; s_reqs = (fun () -> []); s_print = sweep_print };
     { s_name = "micro"; s_reqs = (fun () -> []); s_print = micro };
     { s_name = "smoke"; s_reqs = smoke_reqs; s_print = smoke_print };
   ]
 
 let default_section_names =
-  [ "fig6"; "table1"; "table2"; "fig7"; "ablation"; "sizing"; "micro" ]
+  [ "fig6"; "table1"; "table2"; "fig7"; "ablation"; "sizing"; "sweep"; "micro" ]
 
 let () =
-  let jobs = ref (Dae_sim.Runner.default_domains ()) in
-  let json_path = ref "BENCH_5.json" in
+  let jobs = pool_jobs in
+  let json_path = ref "BENCH_6.json" in
   let expect_path = ref None in
   let names = ref [] in
   let add_section s =
@@ -830,8 +950,8 @@ let () =
   let compute =
     Dae_sim.Runner.memoize (fun key -> run_req (Hashtbl.find by_key key))
   in
-  let results =
-    Dae_sim.Runner.map_keyed ~domains:!jobs
+  let results, pool =
+    Dae_sim.Runner.map_keyed_stats ~domains:!jobs
       ~key:(fun r -> r.r_key)
       ~f:(fun r -> compute r.r_key)
       reqs
@@ -840,7 +960,7 @@ let () =
   List.iter (fun s -> s.s_print ()) selected;
   let wall = Unix.gettimeofday () -. t0 in
   write_json ~path:!json_path ~sections:names ~domains:!jobs ~wall_s:wall
-    results;
+    ~pool results;
   (* --expect: a timing-free "key cycles" table, sorted by key — the
      deterministic artifact the @ci bench-quick rule diffs against its
      committed expectation *)
@@ -852,5 +972,10 @@ let () =
       (fun (key, o) -> Printf.fprintf oc "%s %d\n" key o.o_cycles)
       (List.sort (fun (a, _) (b, _) -> String.compare a b) results);
     close_out oc);
-  Fmt.pr "@.[bench] %d jobs on %d domain(s) in %.1fs -> %s@."
-    (List.length results) !jobs wall !json_path
+  Fmt.pr
+    "@.[bench] %d jobs on %d domain(s) in %.1fs (%.0f%% utilization, %d \
+     steals) -> %s@."
+    (List.length results) !jobs wall
+    (100. *. Dae_sim.Runner.utilization pool)
+    (Dae_sim.Runner.total_steals pool)
+    !json_path

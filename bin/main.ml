@@ -14,6 +14,10 @@
      daec check --all-kernels                   # gate the whole suite
      daec size --kernel hist --mode both        # channel sizing report
      daec size --all-kernels --json             # machine-readable sweep
+     daec sweep --grid quick                    # memoized capacity DSE
+     daec sweep --suite quick --expect out.txt  # deterministic point dump
+     daec cache stats                           # on-disk result cache
+     daec cache clear
 
    Files use the textual IR grammar printed by the compiler itself (see
    examples/quickstart.exe output or lib/ir/parser.ml). *)
@@ -496,7 +500,9 @@ let size_cmd =
      minimum depths must complete within the predicted cycle bound, and
      the critical channel at minimum-1 must be rejected by
      Config.validate and then (validation off) either trip the dynamic
-     deadlock detector or run no faster than the minimum. *)
+     deadlock detector or run no faster than the minimum. Both probes
+     ride the re-timing engine: the functional execution runs once and
+     each boundary configuration only replays the stored traces. *)
   let validate_sim ~cfg:_ ~mode (k : Dae_workloads.Kernels.t)
       (sz : Dae_analysis.Sizing.t) : bool =
     let arch =
@@ -504,11 +510,14 @@ let size_cmd =
       | Dae_core.Pipeline.Dae -> Dae_sim.Machine.Dae
       | Dae_core.Pipeline.Spec -> Dae_sim.Machine.Spec
     in
-    let simulate ?(validate = true) cfg =
-      Dae_sim.Machine.simulate ~cfg ~validate ~collect:true arch
-        (k.Dae_workloads.Kernels.build ())
+    let prepared =
+      Dae_sim.Retime.prepare
+        (Dae_sim.Retime.plan arch (k.Dae_workloads.Kernels.build ()))
         ~invocations:(k.Dae_workloads.Kernels.invocations ())
         ~mem:(k.Dae_workloads.Kernels.init_mem ())
+    in
+    let simulate ?(validate = true) cfg =
+      Dae_sim.Retime.simulate ~validate ~collect:true ~cfg prepared
     in
     let ok = ref true in
     (match simulate sz.Dae_analysis.Sizing.min_cfg with
@@ -655,6 +664,183 @@ let size_cmd =
       $ json_arg $ validate_arg $ sq_arg $ lq_arg $ fifo_lat_arg
       $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg $ path_limit_arg)
 
+(* --- sweep --------------------------------------------------------------------- *)
+
+let cache_dir_arg =
+  Arg.(value & opt string Dae_sim.Cache.default_dir
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Result cache directory (default: _daec_cache).")
+
+let sweep_cmd =
+  let run suite kernel_names archs grid jobs no_cache cache_dir check
+      no_sizing_check expect min_hit_rate quiet =
+    let suite_name, suite_kernels =
+      match suite with
+      | `Quick -> ("quick", Dae_workloads.Kernels.test_suite ())
+      | `Paper -> ("paper", Dae_workloads.Kernels.paper_suite ())
+    in
+    let selected =
+      if kernel_names = [] then suite_kernels
+      else
+        List.filter
+          (fun (k : Dae_workloads.Kernels.t) ->
+            List.mem k.Dae_workloads.Kernels.name kernel_names)
+          suite_kernels
+    in
+    if selected = [] then begin
+      Fmt.epr "no kernels selected (try `daec list')@.";
+      exit 2
+    end;
+    let workloads =
+      List.map (Dae_dse.Sweep.workload_of_kernel ~suite:suite_name) selected
+    in
+    let archs =
+      if archs = [] then
+        [ Dae_sim.Machine.Dae; Dae_sim.Machine.Spec; Dae_sim.Machine.Oracle ]
+      else archs
+    in
+    let axes =
+      match grid with
+      | `Default -> Dae_dse.Sweep.default_axes
+      | `Quick -> Dae_dse.Sweep.quick_axes
+    in
+    let cache =
+      if no_cache then Dae_sim.Cache.disabled ()
+      else Dae_sim.Cache.create ~dir:cache_dir ()
+    in
+    let result =
+      Dae_dse.Sweep.run ~domains:jobs ~check
+        ~sizing_check:(not no_sizing_check) ~cache ~axes ~archs workloads
+    in
+    (match expect with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      List.iter
+        (fun p -> Printf.fprintf oc "%s\n" (Fmt.str "%a" Dae_dse.Sweep.pp_point p))
+        result.Dae_dse.Sweep.points;
+      close_out oc);
+    let s = result.Dae_dse.Sweep.summary in
+    if not quiet then Fmt.pr "%a@." Dae_dse.Sweep.pp_summary s;
+    let failed = ref false in
+    List.iter
+      (fun e ->
+        failed := true;
+        Fmt.epr "cross-check FAILED: %s@." e)
+      s.Dae_dse.Sweep.sm_check_failures;
+    List.iter
+      (fun e ->
+        failed := true;
+        Fmt.epr "sizing violation: %s@." e)
+      s.Dae_dse.Sweep.sm_sizing_violations;
+    (match min_hit_rate with
+    | Some r when s.Dae_dse.Sweep.sm_hit_rate < r ->
+      failed := true;
+      Fmt.epr "cache hit rate %.1f%% below required %.1f%%@."
+        (100. *. s.Dae_dse.Sweep.sm_hit_rate)
+        (100. *. r)
+    | _ -> ());
+    if !failed then exit 1
+  in
+  let suite_arg =
+    Arg.(
+      value
+      & opt (enum [ ("quick", `Quick); ("paper", `Paper) ]) `Quick
+      & info [ "suite" ] ~docv:"SUITE"
+          ~doc:"Workload sizes: quick (test suite) or paper (Table 1).")
+  in
+  let kernels_arg =
+    Arg.(value & opt_all string []
+         & info [ "k"; "kernel" ] ~docv:"NAME"
+             ~doc:"Restrict to this kernel (repeatable; default: all).")
+  in
+  let grid_arg =
+    Arg.(
+      value
+      & opt (enum [ ("default", `Default); ("quick", `Quick) ]) `Default
+      & info [ "grid" ] ~docv:"GRID"
+          ~doc:"Configuration grid: default (648 points per kernel and \
+                architecture) or quick (12, the CI grid).")
+  in
+  let no_cache_arg =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Disable the on-disk result cache: every point re-times.")
+  in
+  let check_arg =
+    Arg.(value & opt int 1
+         & info [ "check" ] ~docv:"N"
+             ~doc:"Sampled equivalence audits per (kernel, arch) job: \
+                   re-run the fused co-simulation at $(docv) swept \
+                   configurations and require bit-identical cycles and \
+                   stall partitions. 0 disables.")
+  in
+  let no_sizing_check_arg =
+    Arg.(value & flag
+         & info [ "no-sizing-check" ]
+             ~doc:"Skip cross-validating swept deadlocks against the \
+                   static sizing analyzer's minimum depths.")
+  in
+  let expect_arg =
+    Arg.(value & opt (some string) None
+         & info [ "expect" ] ~docv:"FILE"
+             ~doc:"Write one deterministic line per point (kernel, arch, \
+                   config, outcome) to $(docv) — diffable across cold and \
+                   warm sweeps.")
+  in
+  let min_hit_rate_arg =
+    Arg.(value & opt (some float) None
+         & info [ "min-hit-rate" ] ~docv:"R"
+             ~doc:"Exit nonzero when the cache hit rate falls below \
+                   $(docv) (0..1); warm CI re-sweeps pass 0.95.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the summary.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Design-space exploration: re-time every kernel and architecture \
+          over a FIFO/LSQ capacity grid. The functional execution runs \
+          once per (kernel, arch) and each configuration only replays the \
+          stored traces; results are memoized on disk, so a warm re-sweep \
+          is pure cache lookups. Exits 1 on any cross-check failure, \
+          sizing violation or missed --min-hit-rate.")
+    Term.(
+      const run $ suite_arg $ kernels_arg $ archs_arg $ grid_arg $ jobs_arg
+      $ no_cache_arg $ cache_dir_arg $ check_arg $ no_sizing_check_arg
+      $ expect_arg $ min_hit_rate_arg $ quiet_arg)
+
+(* --- cache --------------------------------------------------------------------- *)
+
+let cache_cmd =
+  let run action cache_dir =
+    let cache = Dae_sim.Cache.create ~dir:cache_dir () in
+    match action with
+    | `Stats ->
+      let d = Dae_sim.Cache.disk_stats cache in
+      Fmt.pr "dir:     %s@.engine:  %s@.entries: %d@.bytes:   %d@."
+        cache_dir Dae_sim.Cache.version d.Dae_sim.Cache.entries
+        d.Dae_sim.Cache.bytes
+    | `Clear ->
+      let n = Dae_sim.Cache.clear cache in
+      Fmt.pr "removed %d entr%s@." n (if n = 1 then "y" else "ies")
+  in
+  let action_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stats", `Stats); ("clear", `Clear) ])) None
+      & info [] ~docv:"ACTION" ~doc:"stats or clear.")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect (stats) or empty (clear) the on-disk re-timing result \
+          cache used by `daec sweep'. Entries are content-addressed and \
+          versioned by the timing-engine stamp, so clearing is never \
+          required for correctness.")
+    Term.(const run $ action_arg $ cache_dir_arg)
+
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
@@ -666,4 +852,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; analyze_cmd; compile_cmd; run_cmd; stats_cmd;
-            trace_cmd; check_cmd; size_cmd ]))
+            trace_cmd; check_cmd; size_cmd; sweep_cmd; cache_cmd ]))

@@ -1,0 +1,391 @@
+(* Memoized design-space sweep over the re-timing engine (see sweep.mli).
+
+   Shape: one pool job per (workload, arch). Inside a job the grid loop
+   consults the cache per configuration and lazily runs the functional
+   execution (Retime.prepare) on the first miss — a fully warm job never
+   executes a single instruction, and a fully cold job executes each
+   invocation exactly once for the whole grid. Points carry their full
+   stall partition so cached results remain cross-checkable bit-for-bit
+   against a fresh fused simulation. *)
+
+open Dae_ir
+module Machine = Dae_sim.Machine
+module Config = Dae_sim.Config
+module Cache = Dae_sim.Cache
+module Retime = Dae_sim.Retime
+module Runner = Dae_sim.Runner
+module Stats = Dae_sim.Stats
+module Timing = Dae_sim.Timing
+module Kernels = Dae_workloads.Kernels
+
+(* --- grid ----------------------------------------------------------------- *)
+
+type axes = {
+  req_fifo : int list;
+  val_fifo : int list;
+  stv_fifo : int list;
+  lq : int list;
+  sq : int list;
+}
+
+let default_axes =
+  {
+    req_fifo = [ 0; 1; 2; 4; 8; 16 ];
+    val_fifo = [ 0; 1; 2; 8 ];
+    stv_fifo = [ 0; 1; 4 ];
+    lq = [ 1; 2; 4 ];
+    sq = [ 2; 8; 32 ];
+  }
+
+let quick_axes =
+  {
+    req_fifo = [ 0; 1; 16 ];
+    val_fifo = [ 1; 16 ];
+    stv_fifo = [ 16 ];
+    lq = [ 4 ];
+    sq = [ 4; 32 ];
+  }
+
+let grid ?(base = Config.default) (a : axes) : Config.t list =
+  List.concat_map
+    (fun rf ->
+      List.concat_map
+        (fun vf ->
+          List.concat_map
+            (fun svf ->
+              List.concat_map
+                (fun lq ->
+                  List.map
+                    (fun sq ->
+                      {
+                        base with
+                        Config.request_fifo_capacity = rf;
+                        value_fifo_capacity = vf;
+                        store_value_fifo_capacity = svf;
+                        load_queue_size = lq;
+                        store_queue_size = sq;
+                      })
+                    a.sq)
+                a.lq)
+            a.stv_fifo)
+        a.val_fifo)
+    a.req_fifo
+
+(* --- workloads ------------------------------------------------------------- *)
+
+type workload = {
+  w_name : string;
+  w_instance : string;
+  w_func : Func.t;
+  w_invocations : Machine.invocation list;
+  w_mem : Interp.Memory.t;
+}
+
+let workload_of_kernel ~suite (k : Kernels.t) =
+  {
+    w_name = k.Kernels.name;
+    w_instance = suite ^ "/" ^ k.Kernels.name;
+    w_func = k.Kernels.build ();
+    w_invocations = k.Kernels.invocations ();
+    w_mem = k.Kernels.init_mem ();
+  }
+
+(* --- points ---------------------------------------------------------------- *)
+
+type status = Cycles of int | Deadlock
+
+type point = {
+  pt_workload : string;
+  pt_arch : Machine.arch;
+  pt_cfg : string;
+  pt_status : status;
+  pt_killed : int;
+  pt_committed : int;
+  pt_stats : (string * (string * int) list) list;
+  pt_cached : bool;
+}
+
+(* The complete partition, all causes in declaration order — a canonical
+   form two independent simulations can be compared on bit-for-bit. *)
+let export_stats (keyed : Stats.keyed) =
+  List.map
+    (fun (unit, t) ->
+      ( unit,
+        List.map (fun c -> (Stats.cause_name c, Stats.get t c)) Stats.all_causes
+      ))
+    keyed
+
+(* On-disk payload. The key already pins workload instance, plan digest,
+   configuration and engine version; the payload is just the result. *)
+type cached_point = {
+  cp_status : status;
+  cp_killed : int;
+  cp_committed : int;
+  cp_stats : (string * (string * int) list) list;
+}
+
+let payload_tag = "sweep-point/1"
+
+type summary = {
+  sm_points : int;
+  sm_deadlocked : int;
+  sm_wall_s : float;
+  sm_prepares : int;
+  sm_cache : Cache.counters;
+  sm_hit_rate : float;
+  sm_pool : Runner.pool_stats;
+  sm_checks : int;
+  sm_check_failures : string list;
+  sm_sizing_checked : int;
+  sm_sizing_violations : string list;
+}
+
+type t = { points : point list; summary : summary }
+
+(* --- one (workload, arch) job ---------------------------------------------- *)
+
+type job_out = {
+  j_points : (Config.t * point) list;
+  j_prepares : int;
+  j_checks : int;
+  j_check_failures : string list;
+  j_sizing_checked : int;
+  j_sizing_violations : string list;
+}
+
+let point_of_cached w arch cfg_key (cp : cached_point) ~cached =
+  {
+    pt_workload = w.w_name;
+    pt_arch = arch;
+    pt_cfg = cfg_key;
+    pt_status = cp.cp_status;
+    pt_killed = cp.cp_killed;
+    pt_committed = cp.cp_committed;
+    pt_stats = cp.cp_stats;
+    pt_cached = cached;
+  }
+
+(* Replay one swept point through the fused Machine.simulate and compare
+   verdict, cycles, kill/commit counts and the whole stall partition. *)
+let cross_check w (cfg, (pt : point)) =
+  let full =
+    match
+      Machine.simulate ~cfg ~validate:false pt.pt_arch w.w_func
+        ~invocations:w.w_invocations ~mem:w.w_mem
+    with
+    | r ->
+      {
+        cp_status = Cycles r.Machine.cycles;
+        cp_killed = r.Machine.killed_stores;
+        cp_committed = r.Machine.committed_stores;
+        cp_stats = export_stats r.Machine.stats;
+      }
+    | exception Timing.Deadlock _ ->
+      { cp_status = Deadlock; cp_killed = 0; cp_committed = 0; cp_stats = [] }
+  in
+  let where =
+    Fmt.str "%s/%s@%s" w.w_name (Machine.arch_name pt.pt_arch) pt.pt_cfg
+  in
+  match (pt.pt_status, full.cp_status) with
+  | Deadlock, Deadlock -> Ok ()
+  | Cycles a, Cycles b when a <> b ->
+    Error (Fmt.str "%s: re-timed %d cycles, fused %d" where a b)
+  | Cycles _, Cycles _ ->
+    if pt.pt_killed <> full.cp_killed || pt.pt_committed <> full.cp_committed
+    then Error (Fmt.str "%s: kill/commit counts diverge" where)
+    else if pt.pt_stats <> full.cp_stats then
+      Error (Fmt.str "%s: stall partitions diverge" where)
+    else Ok ()
+  | Cycles c, Deadlock ->
+    Error (Fmt.str "%s: re-timed %d cycles, fused deadlocks" where c)
+  | Deadlock, Cycles c ->
+    Error (Fmt.str "%s: re-timed deadlocks, fused runs %d cycles" where c)
+
+let capacities (c : Config.t) =
+  ( c.Config.request_fifo_capacity,
+    c.Config.value_fifo_capacity,
+    c.Config.store_value_fifo_capacity,
+    c.Config.load_queue_size,
+    c.Config.store_queue_size )
+
+let covers ~(min : Config.t) (c : Config.t) =
+  let r, v, s, l, q = capacities c and mr, mv, ms, ml, mq = capacities min in
+  r >= mr && v >= mv && s >= ms && l >= ml && q >= mq
+
+let run_job ~cache ~base ~check ~sizing_check ~cfgs (w, arch) : job_out =
+  let plan = Retime.plan arch w.w_func in
+  let prepares = ref 0 in
+  let prepared =
+    lazy
+      (incr prepares;
+       Retime.prepare plan ~invocations:w.w_invocations ~mem:w.w_mem)
+  in
+  let points =
+    List.map
+      (fun cfg ->
+        let cfg_key = Config.key cfg in
+        let key =
+          Cache.key
+            [
+              Cache.version;
+              payload_tag;
+              Retime.plan_digest plan;
+              w.w_instance;
+              cfg_key;
+            ]
+        in
+        match (Cache.find cache key : cached_point option) with
+        | Some cp -> (cfg, point_of_cached w arch cfg_key cp ~cached:true)
+        | None ->
+          let cp =
+            match
+              Retime.simulate ~validate:false ~cfg (Lazy.force prepared)
+            with
+            | r ->
+              {
+                cp_status = Cycles r.Machine.cycles;
+                cp_killed = r.Machine.killed_stores;
+                cp_committed = r.Machine.committed_stores;
+                cp_stats = export_stats r.Machine.stats;
+              }
+            | exception Timing.Deadlock _ ->
+              {
+                cp_status = Deadlock;
+                cp_killed = 0;
+                cp_committed = 0;
+                cp_stats = [];
+              }
+          in
+          Cache.store cache key cp;
+          (cfg, point_of_cached w arch cfg_key cp ~cached:false))
+      cfgs
+  in
+  (* Sampled equivalence audit: [check] points spread over the grid,
+     cached or not — a poisoned cache entry fails the same comparison a
+     wrong replay would. *)
+  let samples =
+    if check <= 0 then []
+    else
+      let n = List.length points in
+      let step = max 1 (n / check) in
+      List.filteri (fun i _ -> i mod step = 0) points
+      |> List.filteri (fun i _ -> i < check)
+  in
+  let failures =
+    List.filter_map
+      (fun s -> match cross_check w s with Ok () -> None | Error e -> Some e)
+      samples
+  in
+  (* Deadlock-boundary cross-validation against the static analyzer: a
+     deadlock at capacities at or above the analyzer's minima would
+     disprove the sizing proof. *)
+  let sizing_checked, sizing_violations =
+    match (sizing_check, Retime.pipeline plan) with
+    | false, _ | _, None -> (0, [])
+    | true, Some p -> (
+      match Dae_analysis.Sizing.analyze ~cfg:base p with
+      | Error _ -> (0, [])
+      | Ok sz ->
+        let min = sz.Dae_analysis.Sizing.min_cfg in
+        ( 1,
+          List.filter_map
+            (fun (cfg, pt) ->
+              match pt.pt_status with
+              | Deadlock when covers ~min cfg ->
+                Some
+                  (Fmt.str
+                     "%s/%s@%s: deadlock at capacities >= sizing minima (%s)"
+                     w.w_name (Machine.arch_name arch) pt.pt_cfg
+                     (Config.key min))
+              | _ -> None)
+            points ))
+  in
+  {
+    j_points = points;
+    j_prepares = !prepares;
+    j_checks = List.length samples;
+    j_check_failures = failures;
+    j_sizing_checked = sizing_checked;
+    j_sizing_violations = sizing_violations;
+  }
+
+let counters_diff (a : Cache.counters) (b : Cache.counters) : Cache.counters =
+  {
+    Cache.hits = b.Cache.hits - a.Cache.hits;
+    misses = b.Cache.misses - a.Cache.misses;
+    corrupt = b.Cache.corrupt - a.Cache.corrupt;
+    stores = b.Cache.stores - a.Cache.stores;
+  }
+
+let run ?domains ?(base = Config.default) ?(check = 1) ?(sizing_check = true)
+    ~cache ~axes ~(archs : Machine.arch list) (workloads : workload list) : t =
+  let cfgs = grid ~base axes in
+  let before = Cache.counters cache in
+  let jobs =
+    Array.of_list
+      (List.concat_map (fun w -> List.map (fun a -> (w, a)) archs) workloads)
+  in
+  let outs, pool =
+    Runner.map_stats ?domains
+      ~f:(run_job ~cache ~base ~check ~sizing_check ~cfgs)
+      jobs
+  in
+  let after = Cache.counters cache in
+  let cache_delta = counters_diff before after in
+  let points =
+    List.concat_map (fun j -> List.map snd j.j_points) (Array.to_list outs)
+  in
+  let sum f = Array.fold_left (fun acc j -> acc + f j) 0 outs in
+  let gather f =
+    List.concat_map f (Array.to_list outs)
+  in
+  {
+    points;
+    summary =
+      {
+        sm_points = List.length points;
+        sm_deadlocked =
+          List.length
+            (List.filter (fun p -> p.pt_status = Deadlock) points);
+        sm_wall_s = pool.Runner.p_wall_s;
+        sm_prepares = sum (fun j -> j.j_prepares);
+        sm_cache = cache_delta;
+        sm_hit_rate = Cache.hit_rate cache_delta;
+        sm_pool = pool;
+        sm_checks = sum (fun j -> j.j_checks);
+        sm_check_failures = gather (fun j -> j.j_check_failures);
+        sm_sizing_checked = sum (fun j -> j.j_sizing_checked);
+        sm_sizing_violations = gather (fun j -> j.j_sizing_violations);
+      };
+  }
+
+(* --- rendering ------------------------------------------------------------- *)
+
+let pp_point ppf (p : point) =
+  Fmt.pf ppf "%s %s %s %s" p.pt_workload
+    (Machine.arch_name p.pt_arch)
+    p.pt_cfg
+    (match p.pt_status with
+    | Cycles c -> Fmt.str "cycles:%d killed:%d committed:%d" c p.pt_killed p.pt_committed
+    | Deadlock -> "deadlock")
+
+let pp_summary ppf (s : summary) =
+  Fmt.pf ppf
+    "@[<v>points: %d (%d deadlocked)@,\
+     wall: %.3f s (%.0f points/s)@,\
+     functional executions: %d@,\
+     cache: %d hits / %d misses (%.1f%% hit rate), %d stored, %d corrupt@,\
+     pool: %d domains, %.0f%% utilization, %d steals@,\
+     cross-checks: %d run, %d failed@,\
+     sizing: %d jobs validated, %d violations@]"
+    s.sm_points s.sm_deadlocked s.sm_wall_s
+    (if s.sm_wall_s > 0. then float_of_int s.sm_points /. s.sm_wall_s else 0.)
+    s.sm_prepares s.sm_cache.Cache.hits s.sm_cache.Cache.misses
+    (100. *. s.sm_hit_rate)
+    s.sm_cache.Cache.stores s.sm_cache.Cache.corrupt s.sm_pool.Runner.p_domains
+    (100. *. Runner.utilization s.sm_pool)
+    (Runner.total_steals s.sm_pool)
+    s.sm_checks
+    (List.length s.sm_check_failures)
+    s.sm_sizing_checked
+    (List.length s.sm_sizing_violations)

@@ -1,0 +1,136 @@
+(** Design-space exploration: a memoized configuration sweep over the
+    re-timing engine.
+
+    One sweep point is (workload × architecture × configuration). Points
+    sharing a workload and architecture share their functional execution:
+    the engine builds one {!Dae_sim.Retime.plan} per (workload, arch) job,
+    {!Dae_sim.Retime.prepare}s lazily on the first cache miss, and re-times
+    every configuration of the grid against the stored traces. Results are
+    memoized in a content-addressed on-disk cache ({!Dae_sim.Cache}) keyed
+    by plan digest × workload instance × configuration × engine version, so
+    a warm re-sweep touches neither {!Dae_sim.Exec} nor
+    {!Dae_sim.Timing} — it is pure cache lookups.
+
+    Jobs fan out over the {!Dae_sim.Runner} work-stealing pool (one job
+    per workload×arch; the grid loop runs inside the job, keeping cache
+    and trace locality per domain).
+
+    Trust, but verify: [check] samples per job re-run the full fused
+    {!Dae_sim.Machine.simulate} at swept configurations and compare
+    cycles, kill/commit counts and the complete stall partition
+    bit-for-bit; [sizing_check] cross-validates the static sizing
+    analyzer's minimum-depth verdict against the sweep's observed deadlock
+    boundary (a deadlock at capacities at or above the analyzer's minima
+    would disprove the analyzer). Both report violations in the summary
+    rather than raising. *)
+
+open Dae_ir
+module Machine = Dae_sim.Machine
+module Config = Dae_sim.Config
+module Cache = Dae_sim.Cache
+
+(** {1 Grid} *)
+
+type axes = {
+  req_fifo : int list;
+  val_fifo : int list;
+  stv_fifo : int list;
+  lq : int list;
+  sq : int list;
+}
+(** Capacity axes; every other knob keeps the base configuration's value.
+    [0] entries are deliberately invalid configurations
+    ({!Config.validate} rejects them): the sweep runs those with
+    validation off to chart the deadlock boundary the static sizing
+    analyzer predicts. *)
+
+val default_axes : axes
+(** 6×4×3×3×3 = 648 configurations per (workload, arch):
+    req [0;1;2;4;8;16], val [0;1;2;8], stv [0;1;4], lq [1;2;4],
+    sq [2;8;32]. *)
+
+val quick_axes : axes
+(** 3×2×1×1×2 = 12 configurations — the CI grid. *)
+
+val grid : ?base:Config.t -> axes -> Config.t list
+(** All combinations, in a deterministic order (req outermost, sq
+    innermost). *)
+
+(** {1 Workloads} *)
+
+type workload = {
+  w_name : string;
+  w_instance : string;
+      (** cache identity of the workload {e instance}: name alone is not
+          enough (the quick and paper suites reuse kernel names at
+          different sizes), so callers tag the suite or fold input
+          parameters in *)
+  w_func : Func.t;
+  w_invocations : Machine.invocation list;
+  w_mem : Dae_ir.Interp.Memory.t;
+}
+
+val workload_of_kernel : suite:string -> Dae_workloads.Kernels.t -> workload
+(** Builds the kernel's IR, memory image and invocation list;
+    [w_instance] is ["<suite>/<name>"]. *)
+
+(** {1 Points and results} *)
+
+type status = Cycles of int | Deadlock
+(** A point either completes in a cycle count or deadlocks (possible only
+    at capacity-0 axes or, if the sizing analyzer is wrong, above them). *)
+
+type point = {
+  pt_workload : string;
+  pt_arch : Machine.arch;
+  pt_cfg : string;  (** {!Config.key} *)
+  pt_status : status;
+  pt_killed : int;
+  pt_committed : int;
+  pt_stats : (string * (string * int) list) list;
+      (** unit -> stall cause -> cycles; the complete partition *)
+  pt_cached : bool;  (** served from the on-disk cache *)
+}
+
+type summary = {
+  sm_points : int;
+  sm_deadlocked : int;
+  sm_wall_s : float;
+  sm_prepares : int;  (** functional executions actually run *)
+  sm_cache : Cache.counters;
+  sm_hit_rate : float;
+  sm_pool : Dae_sim.Runner.pool_stats;
+  sm_checks : int;  (** sampled full-simulation cross-checks run *)
+  sm_check_failures : string list;
+  sm_sizing_checked : int;
+  sm_sizing_violations : string list;
+}
+
+type t = { points : point list; summary : summary }
+(** [points] are in deterministic order: workloads × archs in argument
+    order, configurations in {!grid} order — cold and warm sweeps of the
+    same request produce byte-identical renderings. *)
+
+val run :
+  ?domains:int ->
+  ?base:Config.t ->
+  ?check:int ->
+  ?sizing_check:bool ->
+  cache:Cache.t ->
+  axes:axes ->
+  archs:Machine.arch list ->
+  workload list ->
+  t
+(** Sweep the full grid. [check] (default 1) samples that many completed
+    points per (workload, arch) job and replays them through the fused
+    {!Machine.simulate}, comparing cycles, kills/commits and stall
+    partitions exactly; cached points are checked the same way, so a
+    poisoned cache entry cannot hide. [sizing_check] (default true) runs
+    the static sizing analyzer per decoupled job and flags any swept
+    deadlock at capacities ≥ the analyzer's minima. *)
+
+val pp_point : Format.formatter -> point -> unit
+(** One line: [workload arch cfg status] — the `--expect` rendering the
+    CI cold/warm diff pins. *)
+
+val pp_summary : Format.formatter -> summary -> unit

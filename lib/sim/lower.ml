@@ -426,3 +426,10 @@ let compile (p : Dae_core.Pipeline.t) : t =
     n_mems;
     subscribers;
   }
+
+(* Content digest of the lowered program. [t] is a closed tree of ints,
+   strings, arrays and constant constructors — Marshal gives a canonical
+   byte image, and MD5 of that identifies the program's execution and
+   re-timing behaviour completely. The result cache keys on this without
+   having to run anything. *)
+let digest (p : t) = Digest.string (Marshal.to_string p [])

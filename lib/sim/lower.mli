@@ -66,6 +66,12 @@ type t = {
 
 val compile : Dae_core.Pipeline.t -> t
 
+val digest : t -> Digest.t
+(** Content digest of the whole lowered program (both units' micro-ops,
+    tables and static analyses). Two pipelines with equal digests execute
+    and re-time identically, so the on-disk result cache ({!Cache}) keys
+    on this — computable without running a single invocation. *)
+
 val array_table : Dae_core.Pipeline.t -> string array
 (** The dense array-name table {!compile} interns (sorted union of both
     slices' channel arrays) — exposed so the reference interpreter emits

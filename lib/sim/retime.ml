@@ -1,0 +1,234 @@
+(* Trace-driven re-timing (see retime.mli).
+
+   The seam this module exploits is structural: Exec.run_lowered takes no
+   Config.t, and Timing.oracle_filter is likewise config-independent, so
+   everything up to and including the recorded traces is identical across
+   every point of a configuration sweep. [prepare] does that half once;
+   [simulate] is then Timing.run per stored invocation plus the (cheap,
+   config-dependent) area model.
+
+   Equivalence with Machine.simulate is not by delegation — Machine keeps
+   its own fused loop — but by construction plus the property suite in
+   test/test_retime.ml: same compile, same lowering, same per-invocation
+   trace threading, same Timing.run arguments, same stats merge order. *)
+
+open Dae_ir
+
+exception Check_failed of string
+
+type decoupled_plan = {
+  p_pipeline : Dae_core.Pipeline.t;
+  p_lowered : Lower.t;
+  p_subscribers : (int * Trace.unit_id list) list;
+}
+
+type plan = {
+  pl_arch : Machine.arch;
+  pl_func : Func.t;
+  pl_digest : string;
+  pl_dec : decoupled_plan option; (* None for STA *)
+}
+
+let plan (arch : Machine.arch) (f : Func.t) : plan =
+  match arch with
+  | Machine.Sta ->
+    (* the printed IR is the canonical byte form of a function *)
+    let digest =
+      Digest.to_hex (Digest.string (Fmt.str "%a" Printer.pp_func f))
+    in
+    {
+      pl_arch = arch;
+      pl_func = f;
+      pl_digest = "STA:" ^ digest;
+      pl_dec = None;
+    }
+  | Machine.Dae | Machine.Spec | Machine.Oracle ->
+    let mode =
+      match arch with
+      | Machine.Dae -> Dae_core.Pipeline.Dae
+      | _ -> Dae_core.Pipeline.Spec
+    in
+    let p = Dae_core.Pipeline.compile ~mode f in
+    let lowered = Lower.compile p in
+    let subscribers =
+      List.map
+        (fun (m, subs) ->
+          (m, List.map (function `Agu -> Trace.Agu | `Cu -> Trace.Cu) subs))
+        p.Dae_core.Pipeline.load_subscribers
+    in
+    {
+      pl_arch = arch;
+      pl_func = f;
+      (* SPEC and ORACLE share a lowering (mode Spec); the arch prefix
+         keeps their identities distinct — ORACLE filters its traces *)
+      pl_digest =
+        Machine.arch_name arch ^ ":" ^ Digest.to_hex (Lower.digest lowered);
+      pl_dec =
+        Some { p_pipeline = p; p_lowered = lowered; p_subscribers = subscribers };
+    }
+
+let plan_digest p = p.pl_digest
+let arch p = p.pl_arch
+
+let pipeline p =
+  match p.pl_dec with None -> None | Some d -> Some d.p_pipeline
+
+type prepared = {
+  pr_plan : plan;
+  pr_invocations : int;
+  pr_traces : (Trace.unit_trace * Trace.unit_trace) array;
+      (* per invocation, post oracle-filter; [||] for STA *)
+  pr_golden_runs : Interp.result array;
+      (* STA only: cycles are cfg-dependent (port pressure bounds the II),
+         so the golden runs are stored and re-derived per configuration *)
+  pr_killed : int;
+  pr_committed : int;
+  pr_memory : Interp.Memory.t; (* final memory after all invocations *)
+}
+
+let prepare (plan : plan) ~(invocations : Machine.invocation list)
+    ~(mem : Interp.Memory.t) : prepared =
+  match plan.pl_dec with
+  | None ->
+    (* STA: the functional half is the sequence of golden runs; cycles
+       are re-derived per configuration from their iteration counts *)
+    let mem = Interp.Memory.copy mem in
+    let goldens =
+      Array.of_list
+        (List.map (fun args -> Interp.run plan.pl_func ~args ~mem) invocations)
+    in
+    {
+      pr_plan = plan;
+      pr_invocations = List.length invocations;
+      pr_traces = [||];
+      pr_golden_runs = goldens;
+      pr_killed = 0;
+      pr_committed = 0;
+      pr_memory = mem;
+    }
+  | Some dec ->
+    let p = dec.p_pipeline in
+    let sim_mem = Interp.Memory.copy mem in
+    let golden_mem = Interp.Memory.copy mem in
+    let killed = ref 0 and committed = ref 0 in
+    let traces =
+      Array.of_list
+        (List.map
+           (fun args ->
+             let golden =
+               Interp.run p.Dae_core.Pipeline.original ~args ~mem:golden_mem
+             in
+             let r = Exec.run_lowered dec.p_lowered ~args ~mem:sim_mem in
+             (match Exec.check_against_golden ~golden_mem ~golden r with
+             | Ok () -> ()
+             | Error msg ->
+               raise
+                 (Check_failed
+                    (Fmt.str "%s/%s: %s" plan.pl_func.Func.name
+                       (Machine.arch_name plan.pl_arch)
+                       msg)));
+             killed := !killed + r.Exec.killed_stores;
+             committed := !committed + r.Exec.committed_stores;
+             match plan.pl_arch with
+             | Machine.Oracle ->
+               Timing.oracle_filter r.Exec.agu_trace r.Exec.cu_trace
+             | _ -> (r.Exec.agu_trace, r.Exec.cu_trace))
+           invocations)
+    in
+    {
+      pr_plan = plan;
+      pr_invocations = Array.length traces;
+      pr_traces = traces;
+      pr_golden_runs = [||];
+      pr_killed = !killed;
+      pr_committed = !committed;
+      pr_memory = sim_mem;
+    }
+
+let trace_digest (pr : prepared) =
+  match pr.pr_plan.pl_dec with
+  | None ->
+    Digest.to_hex
+      (Digest.string
+         (String.concat ";"
+            (Array.to_list
+               (Array.map
+                  (fun (g : Interp.result) -> string_of_int g.Interp.steps)
+                  pr.pr_golden_runs))))
+  | Some _ ->
+    Digest.to_hex
+      (Digest.string
+         (String.concat ""
+            (Array.to_list
+               (Array.map
+                  (fun (a, c) -> Trace.digest a ^ Trace.digest c)
+                  pr.pr_traces))))
+
+let simulate ?(validate = true) ?(w = Area.default_weights)
+    ?(collect = false) ?max_cycles ~(cfg : Config.t) (pr : prepared) :
+    Machine.result =
+  if validate then Config.validate cfg;
+  let plan = pr.pr_plan in
+  match plan.pl_dec with
+  | None ->
+    let cycles =
+      Array.fold_left
+        (fun acc golden ->
+          acc + (Sta.cycles_of_run ~cfg plan.pl_func golden).Sta.cycles)
+        0 pr.pr_golden_runs
+    in
+    {
+      Machine.arch = plan.pl_arch;
+      cycles;
+      invocations = pr.pr_invocations;
+      killed_stores = 0;
+      committed_stores = 0;
+      misspec_rate = 0.0;
+      area = Area.sta ~w plan.pl_func;
+      memory = pr.pr_memory;
+      pipeline = None;
+      stats = [ ("STA", Stats.of_busy cycles) ];
+      timelines = [];
+    }
+  | Some dec ->
+    let cycles = ref 0 in
+    let stats = ref [] in
+    let timelines = ref [] in
+    Array.iteri
+      (fun i (agu_tr, cu_tr) ->
+        let timed =
+          Timing.run ~cfg ~validate:false ?max_cycles ~record_depths:collect
+            ~subscribers:dec.p_subscribers agu_tr cu_tr
+        in
+        cycles := !cycles + timed.Timing.cycles;
+        stats := Stats.merge_keyed !stats timed.Timing.stats;
+        if collect then
+          timelines :=
+            {
+              Machine.t_invocation = i;
+              t_agu = agu_tr;
+              t_cu = cu_tr;
+              t_timing = timed;
+            }
+            :: !timelines)
+      pr.pr_traces;
+    let total = pr.pr_killed + pr.pr_committed in
+    {
+      Machine.arch = plan.pl_arch;
+      cycles = !cycles;
+      invocations = pr.pr_invocations;
+      killed_stores = pr.pr_killed;
+      committed_stores = pr.pr_committed;
+      misspec_rate =
+        (if total = 0 then 0.0
+         else float_of_int pr.pr_killed /. float_of_int total);
+      area =
+        (match plan.pl_arch with
+        | Machine.Oracle ->
+          Area.decoupled ~w ~cfg ~ignore_poison:true dec.p_pipeline
+        | _ -> Area.decoupled ~w ~cfg dec.p_pipeline);
+      memory = pr.pr_memory;
+      pipeline = Some dec.p_pipeline;
+      stats = !stats;
+      timelines = List.rev !timelines;
+    }

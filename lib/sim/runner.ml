@@ -1,12 +1,38 @@
 (* Work-stealing job pool over OCaml 5 domains (see runner.mli).
 
-   One-shot pools: [map] distributes the jobs up front, spawns the
+   One-shot pools: [map_stats] distributes the jobs up front, spawns the
    workers, and joins them — no job is added while the pool runs, so a
    worker simply exits once its own deque and every victim's deque are
    empty. Each result slot is written by exactly one worker before its
-   domain is joined; [Domain.join] publishes the writes to the caller. *)
+   domain is joined; [Domain.join] publishes the writes to the caller.
+
+   Every worker keeps private counters (jobs run, jobs stolen, wall time
+   inside [f]) and publishes them into its own slot of the stats array
+   before exiting — the per-domain utilization and steal counts the bench
+   JSON and `daec sweep` report come straight from here. *)
 
 let default_domains () = Domain.recommended_domain_count ()
+
+type worker_stats = {
+  w_jobs : int; (* jobs this worker ran *)
+  w_steals : int; (* of those, how many it stole from a victim's deque *)
+  w_busy_s : float; (* wall-clock spent inside [f] *)
+}
+
+type pool_stats = {
+  p_domains : int;
+  p_wall_s : float; (* pool wall-clock, distribution to last join *)
+  p_workers : worker_stats array; (* one entry per worker domain *)
+}
+
+let utilization (s : pool_stats) =
+  if s.p_wall_s <= 0. || Array.length s.p_workers = 0 then 1.
+  else
+    Array.fold_left (fun a w -> a +. w.w_busy_s) 0. s.p_workers
+    /. (s.p_wall_s *. float_of_int (Array.length s.p_workers))
+
+let total_steals (s : pool_stats) =
+  Array.fold_left (fun a w -> a + w.w_steals) 0 s.p_workers
 
 (* A deque under a lock: the owner pops the front, thieves pop the back.
    Contention is one mutex per worker, held for O(1) amortized list
@@ -62,14 +88,34 @@ module Deque = struct
     r
 end
 
-let map (type a b) ?domains ~(f : a -> b) (jobs : a array) : b array =
+let map_stats (type a b) ?domains ~(f : a -> b) (jobs : a array) :
+    b array * pool_stats =
   let n = Array.length jobs in
   let d =
     match domains with
     | Some d -> max 1 (min d n)
     | None -> max 1 (min (default_domains ()) n)
   in
-  if d <= 1 || n <= 1 then Array.map f jobs
+  let t0 = Unix.gettimeofday () in
+  if d <= 1 || n <= 1 then begin
+    let busy = ref 0. in
+    let results =
+      Array.map
+        (fun j ->
+          let j0 = Unix.gettimeofday () in
+          let r = f j in
+          busy := !busy +. (Unix.gettimeofday () -. j0);
+          r)
+        jobs
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    ( results,
+      {
+        p_domains = 1;
+        p_wall_s = wall;
+        p_workers = [| { w_jobs = n; w_steals = 0; w_busy_s = !busy } |];
+      } )
+  end
   else begin
     let deques = Array.init d (fun _ -> Deque.create ()) in
     Array.iteri (fun i _ -> Deque.push_back deques.(i mod d) i) jobs;
@@ -77,6 +123,7 @@ let map (type a b) ?domains ~(f : a -> b) (jobs : a array) : b array =
     let errors : (int * exn * Printexc.raw_backtrace) option array =
       Array.make n None
     in
+    let stats = Array.make d { w_jobs = 0; w_steals = 0; w_busy_s = 0. } in
     let run_job i =
       match f jobs.(i) with
       | v -> results.(i) <- Some v
@@ -84,10 +131,17 @@ let map (type a b) ?domains ~(f : a -> b) (jobs : a array) : b array =
         errors.(i) <- Some (i, e, Printexc.get_raw_backtrace ())
     in
     let worker w () =
+      let jobs_run = ref 0 and steals = ref 0 and busy = ref 0. in
+      let timed i =
+        let j0 = Unix.gettimeofday () in
+        run_job i;
+        busy := !busy +. (Unix.gettimeofday () -. j0);
+        incr jobs_run
+      in
       let continue_ = ref true in
       while !continue_ do
         match Deque.pop_front deques.(w) with
-        | Some i -> run_job i
+        | Some i -> timed i
         | None ->
           (* own deque dry: sweep the victims' backs once; exit when the
              whole pool is dry (no new jobs appear mid-run) *)
@@ -98,27 +152,37 @@ let map (type a b) ?domains ~(f : a -> b) (jobs : a array) : b array =
             incr v
           done;
           (match !stolen with
-          | Some i -> run_job i
+          | Some i ->
+            incr steals;
+            timed i
           | None -> continue_ := false)
-      done
+      done;
+      stats.(w) <-
+        { w_jobs = !jobs_run; w_steals = !steals; w_busy_s = !busy }
     in
     let workers = Array.init d (fun w -> Domain.spawn (worker w)) in
     Array.iter Domain.join workers;
+    let wall = Unix.gettimeofday () -. t0 in
     (* first failure in submission order wins, as with a serial map *)
     Array.iter
       (function
         | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
         | None -> ())
       errors;
-    Array.map
-      (function Some v -> v | None -> invalid_arg "Runner.map: lost job")
-      results
+    let results =
+      Array.map
+        (function Some v -> v | None -> invalid_arg "Runner.map: lost job")
+        results
+    in
+    (results, { p_domains = d; p_wall_s = wall; p_workers = stats })
   end
+
+let map ?domains ~f jobs = fst (map_stats ?domains ~f jobs)
 
 let map_list ?domains ~f jobs =
   Array.to_list (map ?domains ~f (Array.of_list jobs))
 
-let map_keyed ?domains ~key ~f jobs =
+let map_keyed_stats ?domains ~key ~f jobs =
   let seen = Hashtbl.create 64 in
   let distinct =
     List.filter
@@ -131,8 +195,11 @@ let map_keyed ?domains ~key ~f jobs =
         end)
       jobs
   in
-  let results = map_list ?domains ~f distinct in
-  List.map2 (fun j r -> (key j, r)) distinct results
+  let results, stats = map_stats ?domains ~f (Array.of_list distinct) in
+  (List.map2 (fun j r -> (key j, r)) distinct (Array.to_list results), stats)
+
+let map_keyed ?domains ~key ~f jobs =
+  fst (map_keyed_stats ?domains ~key ~f jobs)
 
 let memoize (type a) (f : string -> a) : string -> a =
   let dls_key : (string, a) Hashtbl.t Domain.DLS.key =

@@ -16,12 +16,36 @@
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], the pool's bound. *)
 
+type worker_stats = {
+  w_jobs : int;  (** jobs this worker ran *)
+  w_steals : int;  (** of those, how many it stole from a victim's deque *)
+  w_busy_s : float;  (** wall-clock spent inside the job function *)
+}
+
+type pool_stats = {
+  p_domains : int;
+  p_wall_s : float;  (** pool wall-clock, distribution to last join *)
+  p_workers : worker_stats array;  (** one entry per worker domain *)
+}
+(** What the pool observed about its own scheduling: the bench JSON and
+    `daec sweep` record these so parallel scaling (per-domain utilization,
+    steal counts) is visible per run. *)
+
+val utilization : pool_stats -> float
+(** Mean busy/wall fraction over the workers, in [0, 1]. *)
+
+val total_steals : pool_stats -> int
+
 val map : ?domains:int -> f:('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains ~f jobs] runs [f] over [jobs] on up to [domains]
     worker domains (default {!default_domains}, clamped to the job
     count) and returns the results in order. If any job raises, the
     first exception (in submission order) is re-raised in the caller
     after all workers have drained. *)
+
+val map_stats :
+  ?domains:int -> f:('a -> 'b) -> 'a array -> 'b array * pool_stats
+(** {!map}, also returning the pool's scheduling statistics. *)
 
 val map_list : ?domains:int -> f:('a -> 'b) -> 'a list -> 'b list
 (** {!map} over lists. *)
@@ -38,6 +62,14 @@ val map_keyed :
     order. This is how the evaluation harness submits every section's
     (kernel, arch, config) jobs at once without re-simulating shared
     points. *)
+
+val map_keyed_stats :
+  ?domains:int ->
+  key:('a -> string) ->
+  f:('a -> 'b) ->
+  'a list ->
+  (string * 'b) list * pool_stats
+(** {!map_keyed}, also returning the pool's scheduling statistics. *)
 
 val memoize : (string -> 'a) -> string -> 'a
 (** [memoize f] is [f] with a per-domain cache keyed by the string

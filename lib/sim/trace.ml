@@ -80,6 +80,18 @@ let empty unit =
     control_synchronized = false;
   }
 
+(* Content digest of everything the timing engine's replay can observe:
+   the packed event words, the interned array table, the iteration count
+   and the synchronization flag. Two traces with equal digests re-time to
+   identical cycle counts under every configuration — the sweep engine's
+   sampled cross-checks and the result cache both key on this. *)
+let digest (tr : unit_trace) =
+  Digest.string
+    (Marshal.to_string
+       (unit_index tr.unit, tr.data, tr.arrays, tr.iterations,
+        tr.control_synchronized)
+       [])
+
 let equal (a : unit_trace) (b : unit_trace) =
   a.unit = b.unit && a.n = b.n && a.iterations = b.iterations
   && a.control_synchronized = b.control_synchronized

@@ -64,6 +64,13 @@ val arr_name : unit_trace -> int -> string
 val empty : unit_id -> unit_trace
 val equal : unit_trace -> unit_trace -> bool
 
+val digest : unit_trace -> Digest.t
+(** Content digest of everything the timing replay can observe (packed
+    events, array table, iteration count, synchronization flag): equal
+    digests re-time identically under every configuration. The sweep
+    engine's sampled cross-checks and the on-disk result cache key on
+    this. *)
+
 (** {1 Decoded view (off the hot path)} *)
 
 type ev =

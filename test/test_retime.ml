@@ -1,0 +1,270 @@
+(* Trace-driven re-timing, held to bit-identical equivalence with the
+   fused simulation path it factored apart: for every kernel of the test
+   suite and for randomized generator CFGs, across all four architectures
+   and a spread of configurations (including invalid capacity-0 boundary
+   probes run with validation off), Retime.prepare-once/simulate-many must
+   reproduce Machine.simulate's cycle counts, complete stall partitions,
+   kill/commit counters and deadlock verdicts exactly. Plus the on-disk
+   result cache: a warm sweep serves identical points without a single
+   functional execution, and a corrupted entry is detected, discarded and
+   recomputed — never trusted. *)
+
+open Dae_workloads
+module M = Dae_sim.Machine
+module R = Dae_sim.Retime
+module C = Dae_sim.Cache
+module Cfg = Dae_sim.Config
+module Stats = Dae_sim.Stats
+module Timing = Dae_sim.Timing
+module E = Dae_sim.Exec
+module Sweep = Dae_dse.Sweep
+module G = Gen
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+let archs = [ M.Sta; M.Dae; M.Spec; M.Oracle ]
+
+(* default; every capacity at its floor; an invalid boundary probe *)
+let cfgs =
+  [
+    Cfg.default;
+    {
+      Cfg.default with
+      Cfg.request_fifo_capacity = 1;
+      value_fifo_capacity = 1;
+      store_value_fifo_capacity = 1;
+      load_queue_size = 1;
+      store_queue_size = 2;
+    };
+    { Cfg.default with Cfg.request_fifo_capacity = 0 };
+    { Cfg.default with Cfg.value_fifo_capacity = 0; store_queue_size = 2 };
+  ]
+
+let export_stats keyed =
+  List.map
+    (fun (unit, t) ->
+      ( unit,
+        List.map (fun c -> (Stats.cause_name c, Stats.get t c)) Stats.all_causes
+      ))
+    keyed
+
+type verdict =
+  | Done of int * (string * (string * int) list) list * int * int
+  | Dead
+  | Refused  (** the functional half itself rejects the program *)
+
+let fused_verdict arch func ~invocations ~mem cfg =
+  match
+    M.simulate ~cfg ~validate:false arch (Dae_ir.Func.clone func) ~invocations
+      ~mem
+  with
+  | r ->
+    Done
+      ( r.M.cycles,
+        export_stats r.M.stats,
+        r.M.killed_stores,
+        r.M.committed_stores )
+  | exception Timing.Deadlock _ -> Dead
+  | exception (E.Deadlock _ | E.Stream_mismatch _ | E.Desync _) -> Refused
+  | exception M.Check_failed _ -> Refused
+
+let retimed_verdict prepared cfg =
+  match R.simulate ~validate:false ~cfg prepared with
+  | r ->
+    Done
+      ( r.M.cycles,
+        export_stats r.M.stats,
+        r.M.killed_stores,
+        r.M.committed_stores )
+  | exception Timing.Deadlock _ -> Dead
+
+let pp_verdict ppf = function
+  | Done (c, _, k, m) -> Fmt.pf ppf "done(%d cyc, %d killed, %d committed)" c k m
+  | Dead -> Fmt.pf ppf "deadlock"
+  | Refused -> Fmt.pf ppf "refused"
+
+let verdict_t = Alcotest.testable pp_verdict ( = )
+
+(* --- test-suite kernels: every arch, every config, one prepare ------------ *)
+
+let test_kernel name () =
+  let k =
+    match Kernels.by_name (Kernels.test_suite ()) name with
+    | Some k -> k
+    | None -> Alcotest.failf "kernel %s not in test suite" name
+  in
+  let invocations = k.Kernels.invocations () in
+  List.iter
+    (fun arch ->
+      let plan = R.plan arch (k.Kernels.build ()) in
+      let prepared =
+        R.prepare plan ~invocations ~mem:(k.Kernels.init_mem ())
+      in
+      List.iter
+        (fun cfg ->
+          let label =
+            Fmt.str "%s/%s@%s" name (M.arch_name arch) (Cfg.key cfg)
+          in
+          check verdict_t label
+            (fused_verdict arch (k.Kernels.build ()) ~invocations
+               ~mem:(k.Kernels.init_mem ()) cfg)
+            (retimed_verdict prepared cfg))
+        cfgs)
+    archs
+
+(* --- qcheck: the same statement over randomized generator CFGs ----------- *)
+
+let gen_retime_equiv (g : G.t) =
+  List.for_all
+    (fun arch ->
+      let invocations = [ g.G.args ] in
+      let retimed =
+        match R.plan arch (Dae_ir.Func.clone g.G.func) with
+        | exception Dae_core.Pipeline.Compile_error _ -> None
+        | plan -> (
+          match R.prepare plan ~invocations ~mem:(g.G.mem ()) with
+          | prepared -> Some (fun cfg -> retimed_verdict prepared cfg)
+          | exception
+              ( E.Deadlock _ | E.Stream_mismatch _ | E.Desync _
+              | R.Check_failed _ ) ->
+            Some (fun _ -> Refused))
+      in
+      match retimed with
+      | None -> true (* undecouplable either way *)
+      | Some retimed ->
+        List.for_all
+          (fun cfg ->
+            fused_verdict arch g.G.func ~invocations ~mem:(g.G.mem ()) cfg
+            = retimed cfg)
+          cfgs)
+    archs
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"re-timed == fused, randomized CFGs" ~count:60 small_nat
+      (fun seed -> gen_retime_equiv (G.generate ~seed ()));
+    Test.make ~name:"same, stores on several arrays and inner loops" ~count:30
+      small_nat (fun seed ->
+        gen_retime_equiv
+          (G.generate ~seed ~stored:2 ~max_stmts:14 ~inner_loops:true ()));
+  ]
+
+(* --- cache round-trip ------------------------------------------------------ *)
+
+let with_cache_dir f =
+  let dir = Filename.temp_file "daec_cache" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let rm_rf () =
+    let cache = C.create ~dir () in
+    ignore (C.clear cache);
+    Array.iter
+      (fun s ->
+        let p = Filename.concat dir s in
+        if Sys.is_directory p then Sys.rmdir p else Sys.remove p)
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  in
+  Fun.protect ~finally:rm_rf (fun () -> f dir)
+
+let cache_roundtrip () =
+  with_cache_dir (fun dir ->
+      let cache = C.create ~dir () in
+      let k = C.key [ "alpha"; "beta" ] in
+      check Alcotest.bool "miss before store" true (C.find cache k = None);
+      C.store cache k (42, "payload", [ 1; 2; 3 ]);
+      check
+        (Alcotest.option
+           (Alcotest.triple Alcotest.int Alcotest.string
+              (Alcotest.list Alcotest.int)))
+        "hit after store"
+        (Some (42, "payload", [ 1; 2; 3 ]))
+        (C.find cache k);
+      (* component boundaries must matter *)
+      check Alcotest.bool "length-prefixed key components" true
+        (C.key [ "ab"; "c" ] <> C.key [ "a"; "bc" ]))
+
+let strip p = { p with Sweep.pt_cached = false }
+
+let sweep_points dir =
+  let cache = C.create ~dir () in
+  let wl =
+    match Kernels.by_name (Kernels.test_suite ()) "hist" with
+    | Some k -> Sweep.workload_of_kernel ~suite:"quick" k
+    | None -> Alcotest.fail "hist not in test suite"
+  in
+  let r =
+    Sweep.run ~cache ~axes:Sweep.quick_axes ~archs:[ M.Dae; M.Spec ] [ wl ]
+  in
+  (List.map strip r.Sweep.points, r.Sweep.summary)
+
+let cache_cold_warm () =
+  with_cache_dir (fun dir ->
+      let cold, cold_s = sweep_points dir in
+      check Alcotest.bool "cold pass misses" true
+        (cold_s.Sweep.sm_cache.C.misses > 0
+        && cold_s.Sweep.sm_cache.C.hits = 0);
+      check Alcotest.bool "cold pass executes" true
+        (cold_s.Sweep.sm_prepares > 0);
+      let warm, warm_s = sweep_points dir in
+      check Alcotest.bool "cold == warm points" true (cold = warm);
+      check Alcotest.int "warm pass never executes" 0 warm_s.Sweep.sm_prepares;
+      check (Alcotest.float 1e-9) "warm pass all hits" 1.0
+        warm_s.Sweep.sm_hit_rate;
+      check Alcotest.int "no cross-check failures" 0
+        (List.length cold_s.Sweep.sm_check_failures
+        + List.length warm_s.Sweep.sm_check_failures))
+
+let cache_corruption () =
+  with_cache_dir (fun dir ->
+      let cold, _ = sweep_points dir in
+      (* flip the last byte of every entry's payload *)
+      let corrupted = ref 0 in
+      Array.iter
+        (fun shard ->
+          let sdir = Filename.concat dir shard in
+          if Sys.is_directory sdir then
+            Array.iter
+              (fun file ->
+                let path = Filename.concat sdir file in
+                let ic = open_in_bin path in
+                let raw = really_input_string ic (in_channel_length ic) in
+                close_in ic;
+                let b = Bytes.of_string raw in
+                let last = Bytes.length b - 1 in
+                Bytes.set b last
+                  (Char.chr (Char.code (Bytes.get b last) lxor 0xff));
+                let oc = open_out_bin path in
+                output_bytes oc b;
+                close_out oc;
+                incr corrupted)
+              (Sys.readdir sdir))
+        (Sys.readdir dir);
+      check Alcotest.bool "entries were corrupted" true (!corrupted > 0);
+      let again, s = sweep_points dir in
+      check Alcotest.bool "corruption detected, never trusted" true
+        (s.Sweep.sm_cache.C.corrupt = !corrupted);
+      check Alcotest.bool "every point recomputed" true
+        (s.Sweep.sm_cache.C.hits = 0 && s.Sweep.sm_prepares > 0);
+      check Alcotest.bool "recomputed results identical" true (cold = again))
+
+let () =
+  let kernel_cases =
+    List.map
+      (fun (k : Kernels.t) ->
+        tc k.Kernels.name `Quick (test_kernel k.Kernels.name))
+      (Kernels.test_suite ())
+  in
+  Alcotest.run "retime"
+    [
+      ("test-suite kernels", kernel_cases);
+      ( "randomized CFGs",
+        List.map QCheck_alcotest.to_alcotest qcheck_props );
+      ( "result cache",
+        [
+          tc "store/find round-trip" `Quick cache_roundtrip;
+          tc "cold sweep == warm sweep" `Quick cache_cold_warm;
+          tc "corrupted entries recomputed" `Quick cache_corruption;
+        ] );
+    ]
