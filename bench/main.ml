@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- --section fig6 --section table1   # same
      dune exec bench/main.exe -- --jobs 4 --json out.json fig6
      dune exec bench/main.exe -- --quick            # fig6 on small kernels
-     sections: fig6 table1 table2 fig7 ablation sizing sweep micro smoke
+     sections: fig6 table1 table2 fig7 ablation sizing sweep mem micro smoke
 
    Every section first *declares* its simulation jobs (kernel × arch ×
    config); the distinct jobs are fanned out once over a work-stealing
@@ -18,7 +18,7 @@
    GC pressure, the pool's own scheduling statistics (per-domain
    utilization, steal counts), and the channel-sizing analyzer's
    per-channel minimum depths and deadlock verdict — are written to
-   BENCH_6.json so the perf trajectory is machine-readable from PR 1
+   BENCH_7.json so the perf trajectory is machine-readable from PR 1
    onward. The sweep section additionally runs the trace-driven
    re-timing DSE engine cold and warm over its on-disk result cache and
    records both passes' throughput and hit rates.
@@ -649,6 +649,99 @@ let sweep_print () =
       (String.concat "; " cs.Dae_dse.Sweep.sm_sizing_violations);
   sweep_summaries := [ ("cold", cs); ("warm", ws) ]
 
+(* --- mem: fig6/table1 re-run under the banked-cache + DRAM hierarchy --------- *)
+
+(* Two hierarchy points: the CLI's --mem cache baseline and a deliberately
+   starved one (direct-mapped single bank, 2 MSHRs, slow narrow DRAM) that
+   pushes the Mshr_full/Dram_bank partitions into the attribution. STA is
+   left out of the hierarchy tables — its analytic in-order model prices
+   loads at the scratchpad latency, so normalizing against it under a
+   cache would be meaningless; the fig6 half instead normalizes SPEC and
+   ORACLE to DAE (the latency-tolerance claim), and each point also
+   reports SPEC's slowdown against its own scratchpad run. *)
+let mem_points =
+  [
+    ("cache-base", Dae_sim.Config.default_geom);
+    ( "cache-small",
+      {
+        Dae_sim.Config.banks = 1;
+        sets = 8;
+        ways = 1;
+        line_words = 4;
+        hit_latency = 2;
+        mshrs = 2;
+        dram =
+          {
+            Dae_sim.Config.dram_banks = 2;
+            row_words = 128;
+            t_row_hit = 30;
+            t_row_miss = 80;
+            t_bus = 8;
+          };
+      } );
+  ]
+
+let mem_archs =
+  [ Dae_sim.Machine.Dae; Dae_sim.Machine.Spec; Dae_sim.Machine.Oracle ]
+
+let mem_cfg geom =
+  {
+    Dae_sim.Config.default with
+    Dae_sim.Config.hierarchy = Dae_sim.Config.Hierarchy geom;
+  }
+
+let mem_req geom name arch =
+  req ~cfg:(mem_cfg geom) ~kernel:name ~arch (fun () ->
+      match Kernels.by_name (bench_suite ()) name with
+      | Some k -> k
+      | None -> assert false)
+
+let mem_reqs () =
+  List.concat_map
+    (fun (k : Kernels.t) ->
+      (* the scratchpad SPEC point anchors the slowdown column; dedup by
+         key merges it with fig6/table1's identical job *)
+      suite_req k.Kernels.name Dae_sim.Machine.Spec
+      :: List.concat_map
+           (fun (_, geom) ->
+             List.map (mem_req geom k.Kernels.name) mem_archs)
+           mem_points)
+    (bench_suite ())
+
+let mem_print () =
+  List.iter
+    (fun (pname, geom) ->
+      Fmt.pr "@.== Memory hierarchy %s: %a ==@." pname
+        Dae_sim.Config.pp_hierarchy
+        (Dae_sim.Config.Hierarchy geom);
+      Fmt.pr "%-6s %10s %10s %10s %9s %9s %11s@." "kernel" "DAE" "SPEC"
+        "ORACLE" "SPEC/DAE" "ORA/DAE" "vs-scratch";
+      let spec_norms = ref [] and slowdowns = ref [] in
+      List.iter
+        (fun (k : Kernels.t) ->
+          let cycles arch =
+            float_of_int (get (mem_req geom k.Kernels.name arch)).o_cycles
+          in
+          let dae = cycles Dae_sim.Machine.Dae in
+          let spec = cycles Dae_sim.Machine.Spec in
+          let oracle = cycles Dae_sim.Machine.Oracle in
+          let scratch_spec =
+            float_of_int
+              (get (suite_req k.Kernels.name Dae_sim.Machine.Spec)).o_cycles
+          in
+          spec_norms := (dae /. spec) :: !spec_norms;
+          slowdowns := (spec /. scratch_spec) :: !slowdowns;
+          Fmt.pr "%-6s %10.0f %10.0f %10.0f %8.2fx %8.2fx %10.2fx@."
+            k.Kernels.name dae spec oracle (dae /. spec) (dae /. oracle)
+            (spec /. scratch_spec))
+        (bench_suite ());
+      Fmt.pr
+        "SPEC harmonic-mean speedup over DAE: %.2fx; harmonic-mean SPEC \
+         slowdown vs scratchpad: %.2fx@."
+        (harmonic_mean !spec_norms)
+        (harmonic_mean !slowdowns))
+    mem_points
+
 (* --- smoke: tiny sweep exercising the pool and the JSON emitter ------------- *)
 
 let smoke_reqs () =
@@ -880,16 +973,18 @@ let sections_all =
     { s_name = "ablation"; s_reqs = ablation_reqs; s_print = ablation_print };
     { s_name = "sizing"; s_reqs = (fun () -> []); s_print = sizing_print };
     { s_name = "sweep"; s_reqs = (fun () -> []); s_print = sweep_print };
+    { s_name = "mem"; s_reqs = mem_reqs; s_print = mem_print };
     { s_name = "micro"; s_reqs = (fun () -> []); s_print = micro };
     { s_name = "smoke"; s_reqs = smoke_reqs; s_print = smoke_print };
   ]
 
 let default_section_names =
-  [ "fig6"; "table1"; "table2"; "fig7"; "ablation"; "sizing"; "sweep"; "micro" ]
+  [ "fig6"; "table1"; "table2"; "fig7"; "ablation"; "sizing"; "sweep"; "mem";
+    "micro" ]
 
 let () =
   let jobs = pool_jobs in
-  let json_path = ref "BENCH_6.json" in
+  let json_path = ref "BENCH_7.json" in
   let expect_path = ref None in
   let names = ref [] in
   let add_section s =
@@ -931,9 +1026,9 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let names =
-    if !quick then [ "fig6" ]
-    else if !names = [] then default_section_names
-    else List.rev !names
+    if !names <> [] then List.rev !names
+    else if !quick then [ "fig6" ]
+    else default_section_names
   in
   let selected =
     List.filter_map

@@ -113,16 +113,123 @@ let jobs_arg =
                  domains (default: the machine's recommended domain \
                  count).")
 
-let cfg_of ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo =
-  {
-    Dae_sim.Config.default with
-    Dae_sim.Config.store_queue_size = sq;
-    load_queue_size = lq;
-    fifo_latency = fifo_lat;
-    request_fifo_capacity = req_fifo;
-    value_fifo_capacity = val_fifo;
-    store_value_fifo_capacity = stv_fifo;
-  }
+(* memory hierarchy: --mem picks the model, the geometry flags refine it
+   (they are ignored under scratchpad, like the seed behaved) *)
+let mem_arg =
+  Arg.(
+    value
+    & opt (enum [ ("scratchpad", `Scratchpad); ("cache", `Cache) ]) `Scratchpad
+    & info [ "mem" ] ~docv:"MODEL"
+        ~doc:
+          "Memory model: scratchpad (fixed-latency, the paper's baseline) \
+           or cache (banked non-blocking cache over a DRAM backend; see \
+           the --cache-* / --dram-* flags).")
+
+let geom_default = Dae_sim.Config.default_geom
+let dram_default = Dae_sim.Config.default_dram
+
+let cache_banks_arg =
+  Arg.(value & opt int geom_default.Dae_sim.Config.banks
+       & info [ "cache-banks" ] ~docv:"N" ~doc:"Cache banks (lines interleave by modulo).")
+
+let cache_sets_arg =
+  Arg.(value & opt int geom_default.Dae_sim.Config.sets
+       & info [ "cache-sets" ] ~docv:"N" ~doc:"Sets per cache bank.")
+
+let cache_ways_arg =
+  Arg.(value & opt int geom_default.Dae_sim.Config.ways
+       & info [ "cache-ways" ] ~docv:"N" ~doc:"Associativity per set.")
+
+let cache_line_arg =
+  Arg.(value & opt int geom_default.Dae_sim.Config.line_words
+       & info [ "cache-line" ] ~docv:"W" ~doc:"Cache line size in words.")
+
+let cache_hit_arg =
+  Arg.(value & opt int geom_default.Dae_sim.Config.hit_latency
+       & info [ "cache-hit-latency" ] ~docv:"CYCLES"
+           ~doc:"Cache hit latency in cycles.")
+
+let mshrs_arg =
+  Arg.(value & opt int geom_default.Dae_sim.Config.mshrs
+       & info [ "mshrs" ] ~docv:"N"
+           ~doc:"Miss-status holding registers per bank (outstanding \
+                 misses; a full bank refuses further misses).")
+
+let dram_banks_arg =
+  Arg.(value & opt int dram_default.Dae_sim.Config.dram_banks
+       & info [ "dram-banks" ] ~docv:"N" ~doc:"DRAM banks.")
+
+let dram_row_arg =
+  Arg.(value & opt int dram_default.Dae_sim.Config.row_words
+       & info [ "dram-row" ] ~docv:"W" ~doc:"DRAM row-buffer size in words.")
+
+let dram_hit_arg =
+  Arg.(value & opt int dram_default.Dae_sim.Config.t_row_hit
+       & info [ "dram-row-hit" ] ~docv:"CYCLES"
+           ~doc:"DRAM access latency on a row-buffer hit.")
+
+let dram_miss_arg =
+  Arg.(value & opt int dram_default.Dae_sim.Config.t_row_miss
+       & info [ "dram-row-miss" ] ~docv:"CYCLES"
+           ~doc:"DRAM access latency on a row-buffer miss \
+                 (precharge + activate).")
+
+let dram_bus_arg =
+  Arg.(value & opt int dram_default.Dae_sim.Config.t_bus
+       & info [ "dram-bus" ] ~docv:"CYCLES"
+           ~doc:"DRAM data-bus occupancy per transfer.")
+
+let hierarchy_of ~mem ~cb ~cs ~cw ~cl ~ch ~cm ~db ~dr ~dh ~dm ~du =
+  match mem with
+  | `Scratchpad -> Dae_sim.Config.Scratchpad
+  | `Cache ->
+    Dae_sim.Config.Hierarchy
+      {
+        Dae_sim.Config.banks = cb;
+        sets = cs;
+        ways = cw;
+        line_words = cl;
+        hit_latency = ch;
+        mshrs = cm;
+        dram =
+          {
+            Dae_sim.Config.dram_banks = db;
+            row_words = dr;
+            t_row_hit = dh;
+            t_row_miss = dm;
+            t_bus = du;
+          };
+      }
+
+(* one term folding the twelve flags into a Config.hierarchy *)
+let hierarchy_term =
+  Term.(
+    const
+      (fun mem cb cs cw cl ch cm db dr dh dm du ->
+        hierarchy_of ~mem ~cb ~cs ~cw ~cl ~ch ~cm ~db ~dr ~dh ~dm ~du)
+    $ mem_arg $ cache_banks_arg $ cache_sets_arg $ cache_ways_arg
+    $ cache_line_arg $ cache_hit_arg $ mshrs_arg $ dram_banks_arg
+    $ dram_row_arg $ dram_hit_arg $ dram_miss_arg $ dram_bus_arg)
+
+let cfg_of ?(hierarchy = Dae_sim.Config.Scratchpad) ~sq ~lq ~fifo_lat
+    ~req_fifo ~val_fifo ~stv_fifo () =
+  let cfg =
+    {
+      Dae_sim.Config.default with
+      Dae_sim.Config.store_queue_size = sq;
+      load_queue_size = lq;
+      fifo_latency = fifo_lat;
+      request_fifo_capacity = req_fifo;
+      value_fifo_capacity = val_fifo;
+      store_value_fifo_capacity = stv_fifo;
+      hierarchy;
+    }
+  in
+  match Dae_sim.Config.validate cfg with
+  | () -> cfg
+  | exception Invalid_argument e ->
+    Fmt.epr "invalid configuration: %s@." e;
+    exit 2
 
 let pick_archs ~archs ~all =
   if all then
@@ -251,7 +358,7 @@ let compile_cmd =
 
 let run_cmd =
   let run file kernel archs all sq lq fifo_lat req_fifo val_fifo stv_fifo
-      jobs =
+      hierarchy jobs =
     match load_func ~file ~kernel with
     | Error e ->
       Fmt.epr "%s@." e;
@@ -260,7 +367,9 @@ let run_cmd =
       Fmt.epr "run needs --kernel (files carry no input data)@.";
       exit 2
     | Ok (_, Some k) ->
-      let cfg = cfg_of ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo in
+      let cfg =
+        cfg_of ~hierarchy ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo ()
+      in
       let archs = pick_archs ~archs ~all in
       Fmt.pr "%s: %s  (%a)@." k.Dae_workloads.Kernels.name
         k.Dae_workloads.Kernels.description Dae_sim.Config.pp cfg;
@@ -294,13 +403,13 @@ let run_cmd =
     Term.(
       const run $ file_arg $ kernel_arg $ archs_arg $ all_arg $ sq_arg
       $ lq_arg $ fifo_lat_arg $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg
-      $ jobs_arg)
+      $ hierarchy_term $ jobs_arg)
 
 (* --- stats --------------------------------------------------------------------- *)
 
 let stats_cmd =
   let run file kernel archs all sq lq fifo_lat req_fifo val_fifo stv_fifo
-      jobs =
+      hierarchy jobs =
     match load_func ~file ~kernel with
     | Error e ->
       Fmt.epr "%s@." e;
@@ -309,7 +418,9 @@ let stats_cmd =
       Fmt.epr "stats needs --kernel (files carry no input data)@.";
       exit 2
     | Ok (_, Some k) ->
-      let cfg = cfg_of ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo in
+      let cfg =
+        cfg_of ~hierarchy ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo ()
+      in
       let archs = pick_archs ~archs ~all in
       Fmt.pr "%s: %s  (%a)@." k.Dae_workloads.Kernels.name
         k.Dae_workloads.Kernels.description Dae_sim.Config.pp cfg;
@@ -336,12 +447,13 @@ let stats_cmd =
     Term.(
       const run $ file_arg $ kernel_arg $ archs_arg $ all_arg $ sq_arg
       $ lq_arg $ fifo_lat_arg $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg
-      $ jobs_arg)
+      $ hierarchy_term $ jobs_arg)
 
 (* --- trace --------------------------------------------------------------------- *)
 
 let trace_cmd =
-  let run file kernel arch sq lq fifo_lat req_fifo val_fifo stv_fifo out =
+  let run file kernel arch sq lq fifo_lat req_fifo val_fifo stv_fifo
+      hierarchy out =
     match load_func ~file ~kernel with
     | Error e ->
       Fmt.epr "%s@." e;
@@ -355,7 +467,9 @@ let trace_cmd =
           "trace needs a decoupled architecture (dae, spec or oracle)@.";
         exit 2
       end;
-      let cfg = cfg_of ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo in
+      let cfg =
+        cfg_of ~hierarchy ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo ()
+      in
       let r =
         Dae_sim.Machine.simulate ~cfg ~collect:true arch
           (k.Dae_workloads.Kernels.build ())
@@ -389,7 +503,8 @@ let trace_cmd =
           (unit occupancy slices plus channel-depth counter tracks).")
     Term.(
       const run $ file_arg $ kernel_arg $ arch_arg $ sq_arg $ lq_arg
-      $ fifo_lat_arg $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg $ out_arg)
+      $ fifo_lat_arg $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg
+      $ hierarchy_term $ out_arg)
 
 (* --- check --------------------------------------------------------------------- *)
 
@@ -575,7 +690,7 @@ let size_cmd =
       Fmt.epr "%s@." e;
       exit 2
     | Ok targets ->
-      let cfg = cfg_of ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo in
+      let cfg = cfg_of ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo () in
       let failed = ref false in
       let json_items = ref [] in
       List.iter
@@ -672,8 +787,8 @@ let cache_dir_arg =
            ~doc:"Result cache directory (default: _daec_cache).")
 
 let sweep_cmd =
-  let run suite kernel_names archs grid jobs no_cache cache_dir check
-      no_sizing_check expect min_hit_rate quiet =
+  let run suite kernel_names archs grid hierarchy jobs no_cache cache_dir
+      check no_sizing_check expect min_hit_rate quiet =
     let suite_name, suite_kernels =
       match suite with
       | `Quick -> ("quick", Dae_workloads.Kernels.test_suite ())
@@ -708,8 +823,13 @@ let sweep_cmd =
       if no_cache then Dae_sim.Cache.disabled ()
       else Dae_sim.Cache.create ~dir:cache_dir ()
     in
+    (* the hierarchy is not a swept axis: it joins the base config, so the
+       whole grid re-times under the selected memory model (and the cache
+       keys pick it up through Config.key) *)
+    let base = { Dae_sim.Config.default with Dae_sim.Config.hierarchy } in
+    Dae_sim.Config.validate base;
     let result =
-      Dae_dse.Sweep.run ~domains:jobs ~check
+      Dae_dse.Sweep.run ~domains:jobs ~base ~check
         ~sizing_check:(not no_sizing_check) ~cache ~axes ~archs workloads
     in
     (match expect with
@@ -807,9 +927,9 @@ let sweep_cmd =
           is pure cache lookups. Exits 1 on any cross-check failure, \
           sizing violation or missed --min-hit-rate.")
     Term.(
-      const run $ suite_arg $ kernels_arg $ archs_arg $ grid_arg $ jobs_arg
-      $ no_cache_arg $ cache_dir_arg $ check_arg $ no_sizing_check_arg
-      $ expect_arg $ min_hit_rate_arg $ quiet_arg)
+      const run $ suite_arg $ kernels_arg $ archs_arg $ grid_arg
+      $ hierarchy_term $ jobs_arg $ no_cache_arg $ cache_dir_arg $ check_arg
+      $ no_sizing_check_arg $ expect_arg $ min_hit_rate_arg $ quiet_arg)
 
 (* --- cache --------------------------------------------------------------------- *)
 

@@ -12,7 +12,9 @@
 (* Bump whenever Exec/Timing/Lower semantics or any cached payload
    representation changes observably: retires the whole cache without a
    migration. *)
-let version = "daec-engine-1"
+(* Bumped to 2 with the memory hierarchy: Stats gained the
+   Mshr_full/Dram_bank causes, which changes the sweep payload shape. *)
+let version = "daec-engine-2"
 
 let default_dir = "_daec_cache"
 

@@ -7,6 +7,37 @@
    ModelSim; the latency ratios are what shapes the results, and every
    knob is exposed for the ablation benches. *)
 
+(* DRAM backend timing: per-bank open-row tracking with a shared data
+   bus. A line maps to a bank by its low line bits; the bank's row is
+   [line / (row_words / line_words)]. Hitting the open row costs
+   [t_row_hit], switching rows [t_row_miss], and every access holds the
+   shared bus for [t_bus] cycles — that is where inter-array bank/bus
+   contention comes from. *)
+type dram = {
+  dram_banks : int;
+  row_words : int; (* words per DRAM row (row-buffer reach) *)
+  t_row_hit : int; (* access latency when the row buffer hits *)
+  t_row_miss : int; (* precharge + activate + access on a row switch *)
+  t_bus : int; (* data-bus occupancy per transfer *)
+}
+
+(* One level of non-blocking banked cache in front of the DRAM. Misses
+   allocate an MSHR (merged when the line is already in flight); when the
+   pool is exhausted the load port stalls with [Stats.Mshr_full]. *)
+type cache_geom = {
+  banks : int;
+  sets : int; (* sets per bank *)
+  ways : int;
+  line_words : int;
+  hit_latency : int;
+  mshrs : int; (* shared miss-status holding registers *)
+  dram : dram;
+}
+
+type hierarchy =
+  | Scratchpad (* deterministic dual-ported SRAM — the seed behavior *)
+  | Hierarchy of cache_geom
+
 type t = {
   load_queue_size : int; (* paper: 4 *)
   store_queue_size : int; (* paper: 32 *)
@@ -28,7 +59,25 @@ type t = {
      (1 load issue + 1 commit per array and cycle): vectorization widens
      runahead and kill bandwidth, not SRAM bandwidth. 1 = the paper's
      evaluated scalar design. *)
+  hierarchy : hierarchy;
+  (* Scratchpad reproduces the paper's deterministic SRAM bit-identically;
+     Hierarchy puts a banked non-blocking cache + DRAM behind the load
+     port, making load latency variable (ROADMAP item 1). *)
 }
+
+let default_dram =
+  { dram_banks = 4; row_words = 256; t_row_hit = 18; t_row_miss = 40; t_bus = 4 }
+
+let default_geom =
+  {
+    banks = 2;
+    sets = 16;
+    ways = 2;
+    line_words = 8;
+    hit_latency = 2;
+    mshrs = 4;
+    dram = default_dram;
+  }
 
 let default =
   {
@@ -45,6 +94,7 @@ let default =
     branch_latency = 1;
     unit_ii = 1;
     vector_width = 1;
+    hierarchy = Scratchpad;
   }
 
 (* Every field is a count of cycles or slots and must be at least 1: the
@@ -70,20 +120,66 @@ let validate (c : t) =
   need "alu_latency" c.alu_latency;
   need "branch_latency" c.branch_latency;
   need "unit_ii" c.unit_ii;
-  need "vector_width" c.vector_width
+  need "vector_width" c.vector_width;
+  match c.hierarchy with
+  | Scratchpad -> ()
+  | Hierarchy g ->
+      need "cache banks" g.banks;
+      need "cache sets" g.sets;
+      need "cache ways" g.ways;
+      need "cache line_words" g.line_words;
+      need "cache hit_latency" g.hit_latency;
+      need "cache mshrs" g.mshrs;
+      need "dram banks" g.dram.dram_banks;
+      need "dram row_words" g.dram.row_words;
+      need "dram t_row_hit" g.dram.t_row_hit;
+      need "dram t_row_miss" g.dram.t_row_miss;
+      need "dram t_bus" g.dram.t_bus;
+      if g.dram.row_words < g.line_words then
+        invalid_arg
+          (Printf.sprintf
+             "Config.validate: dram row_words (%d) must be >= cache \
+              line_words (%d)"
+             g.dram.row_words g.line_words)
 
 (* Canonical compact rendering of every field, in declaration order — the
-   memoization/dedup key of the evaluation harness's job pool. *)
+   memoization/dedup key of the evaluation harness's job pool. Scratchpad
+   mode renders exactly as before the hierarchy existed (the committed
+   bench expectations embed these keys); hierarchy mode appends a suffix
+   covering every cache/DRAM parameter. *)
+let hierarchy_key = function
+  | Scratchpad -> ""
+  | Hierarchy g ->
+      Printf.sprintf ".cb%d.cs%d.cw%d.cl%d.ch%d.cm%d.db%d.dr%d.dh%d.dm%d.du%d"
+        g.banks g.sets g.ways g.line_words g.hit_latency g.mshrs
+        g.dram.dram_banks g.dram.row_words g.dram.t_row_hit g.dram.t_row_miss
+        g.dram.t_bus
+
 let key (c : t) =
-  Printf.sprintf "lq%d.sq%d.rf%d.vf%d.svf%d.fl%d.ml%d.ms%d.fw%d.al%d.bl%d.ii%d.vw%d"
+  Printf.sprintf
+    "lq%d.sq%d.rf%d.vf%d.svf%d.fl%d.ml%d.ms%d.fw%d.al%d.bl%d.ii%d.vw%d%s"
     c.load_queue_size c.store_queue_size c.request_fifo_capacity
     c.value_fifo_capacity c.store_value_fifo_capacity c.fifo_latency
     c.memory_load_latency c.memory_store_latency c.forward_latency
     c.alu_latency c.branch_latency c.unit_ii c.vector_width
+    (hierarchy_key c.hierarchy)
+
+let pp_hierarchy ppf = function
+  | Scratchpad -> Fmt.pf ppf "scratchpad"
+  | Hierarchy g ->
+      Fmt.pf ppf
+        "cache %dx%dset/%dway line %d hit %d mshr %d, dram %db row %d %d/%d \
+         bus %d"
+        g.banks g.sets g.ways g.line_words g.hit_latency g.mshrs
+        g.dram.dram_banks g.dram.row_words g.dram.t_row_hit g.dram.t_row_miss
+        g.dram.t_bus
 
 let pp ppf (c : t) =
   Fmt.pf ppf
     "lsq %d/%d, req fifo %d, val fifo %d, fifo lat %d, mem ld/st %d/%d"
     c.load_queue_size c.store_queue_size c.request_fifo_capacity
     c.value_fifo_capacity c.fifo_latency c.memory_load_latency
-    c.memory_store_latency
+    c.memory_store_latency;
+  match c.hierarchy with
+  | Scratchpad -> ()
+  | Hierarchy _ -> Fmt.pf ppf ", mem %a" pp_hierarchy c.hierarchy

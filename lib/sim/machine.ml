@@ -38,6 +38,8 @@ type result = {
   pipeline : Dae_core.Pipeline.t option;
   stats : Stats.keyed; (* cycle attribution, merged over invocations *)
   timelines : timeline list; (* per invocation; only with ~collect:true *)
+  mem_events : Timing.mem_event array list;
+      (* per invocation, in order; only with ~record_mem:true *)
 }
 
 exception Check_failed of string
@@ -45,7 +47,8 @@ exception Check_failed of string
 let golden_run (f : Func.t) ~args ~mem = Interp.run f ~args ~mem
 
 let simulate ?(cfg = Config.default) ?(validate = true)
-    ?(w = Area.default_weights) ?(collect = false) (arch : arch) (f : Func.t)
+    ?(w = Area.default_weights) ?(collect = false) ?(record_mem = false)
+    ?max_cycles (arch : arch) (f : Func.t)
     ~(invocations : invocation list) ~(mem : Interp.Memory.t) : result =
   if validate then Config.validate cfg;
   match arch with
@@ -72,6 +75,7 @@ let simulate ?(cfg = Config.default) ?(validate = true)
          scheduling fills every cycle, so the whole run is Busy *)
       stats = [ ("STA", Stats.of_busy !cycles) ];
       timelines = [];
+      mem_events = [];
     }
   | Dae | Spec | Oracle ->
     let mode =
@@ -88,6 +92,7 @@ let simulate ?(cfg = Config.default) ?(validate = true)
     let killed = ref 0 and committed = ref 0 in
     let stats = ref [] in
     let timelines = ref [] in
+    let mem_events = ref [] in
     let inv_index = ref 0 in
     let subscribers =
       List.map
@@ -116,11 +121,13 @@ let simulate ?(cfg = Config.default) ?(validate = true)
           | _ -> (r.Exec.agu_trace, r.Exec.cu_trace)
         in
         let timed =
-          Timing.run ~cfg ~validate:false ~record_depths:collect ~subscribers
-            agu_tr cu_tr
+          Timing.run ~cfg ~validate:false ?max_cycles
+            ~record_depths:collect ~record_mem ~subscribers agu_tr cu_tr
         in
         cycles := !cycles + timed.Timing.cycles;
         stats := Stats.merge_keyed !stats timed.Timing.stats;
+        if record_mem then
+          mem_events := timed.Timing.mem_events :: !mem_events;
         if collect then
           timelines :=
             {
@@ -149,6 +156,7 @@ let simulate ?(cfg = Config.default) ?(validate = true)
       pipeline = Some p;
       stats = !stats;
       timelines = List.rev !timelines;
+      mem_events = List.rev !mem_events;
     }
 
 (* Convenience: run all four architectures on the same kernel/input. *)

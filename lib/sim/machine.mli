@@ -44,6 +44,9 @@ type result = {
   timelines : timeline list;
       (** per-invocation replays with channel-depth samples; empty unless
           [simulate ~collect:true] *)
+  mem_events : Timing.mem_event array list;
+      (** per-invocation committed-order memory event logs for the
+          {!Mem_model} oracle; empty unless [simulate ~record_mem:true] *)
 }
 
 exception Check_failed of string
@@ -53,7 +56,9 @@ exception Check_failed of string
     never changes cycles or stats. [validate] (default true) runs
     {!Config.validate} before simulating; deadlock-boundary probes pass
     [~validate:false] to drive the timing engine with a rejected
-    configuration.
+    configuration. [record_mem] (default false) keeps each invocation's
+    memory event log; [max_cycles] caps each invocation's replay (the
+    qcheck harness's hang guard — overruns raise {!Timing.Timing_error}).
     @raise Invalid_argument on an invalid configuration.
     @raise Check_failed when a decoupled run disagrees with the golden
     model. *)
@@ -62,6 +67,8 @@ val simulate :
   ?validate:bool ->
   ?w:Area.weights ->
   ?collect:bool ->
+  ?record_mem:bool ->
+  ?max_cycles:int ->
   arch ->
   Func.t ->
   invocations:invocation list ->

@@ -1,0 +1,184 @@
+(* Operational LSQ memory-ordering model (see mem_model.mli).
+
+   State is per array: a growable vector of store records in allocation
+   order plus cursors for the resolve and exit fronts — a direct
+   transcription of the abstract machine, not of the engine's ring
+   buffers. Scans are linear in the store count; the harness's generated
+   kernels are small, and clarity is the point of a specification. *)
+
+type violation = { v_index : int; v_msg : string }
+
+let pp_violation ppf v = Fmt.pf ppf "event %d: %s" v.v_index v.v_msg
+
+type phase =
+  | P_alloc (* address known, value pending *)
+  | P_ready (* value arrived, awaiting the store port *)
+  | P_poisoned (* mis-speculated, awaiting the kill *)
+  | P_committed
+  | P_killed
+
+type store = {
+  s_seq : int;
+  s_addr : int;
+  mutable s_phase : phase;
+}
+
+type astate = {
+  mutable stores : store array; (* allocation order; first [n_stores] live *)
+  mutable n_stores : int;
+  mutable resolve_front : int; (* next store to receive a value *)
+  mutable exit_front : int; (* next store to commit or be killed *)
+  mutable last_alloc_seq : int;
+}
+
+let new_astate () =
+  {
+    stores = [||];
+    n_stores = 0;
+    resolve_front = 0;
+    exit_front = 0;
+    last_alloc_seq = -1;
+  }
+
+let push_store st s =
+  if st.n_stores = Array.length st.stores then begin
+    let grown = Array.make (max 8 (2 * st.n_stores)) s in
+    Array.blit st.stores 0 grown 0 st.n_stores;
+    st.stores <- grown
+  end;
+  st.stores.(st.n_stores) <- s;
+  st.n_stores <- st.n_stores + 1
+
+let check (events : Timing.mem_event array) : violation list =
+  let arrays : (string, astate) Hashtbl.t = Hashtbl.create 8 in
+  let state arr =
+    match Hashtbl.find_opt arrays arr with
+    | Some st -> st
+    | None ->
+      let st = new_astate () in
+      Hashtbl.add arrays arr st;
+      st
+  in
+  let violations = ref [] in
+  let bad i fmt = Fmt.kstr (fun m -> violations := { v_index = i; v_msg = m } :: !violations) fmt in
+  Array.iteri
+    (fun i ev ->
+      match (ev : Timing.mem_event) with
+      | Ev_st_alloc { arr; seq; addr; t = _ } ->
+        let st = state arr in
+        if seq <= st.last_alloc_seq then
+          bad i "%s: store %d allocated out of program order (last %d)" arr
+            seq st.last_alloc_seq;
+        st.last_alloc_seq <- seq;
+        push_store st { s_seq = seq; s_addr = addr; s_phase = P_alloc }
+      | Ev_st_resolve { arr; seq; poisoned; t = _ } ->
+        let st = state arr in
+        if st.resolve_front >= st.n_stores then
+          bad i "%s: store value %d arrived with no awaiting allocation" arr
+            seq
+        else begin
+          let s = st.stores.(st.resolve_front) in
+          if s.s_seq <> seq then
+            bad i
+              "%s: store %d resolved out of allocation order (front is %d)"
+              arr seq s.s_seq;
+          if s.s_phase <> P_alloc then
+            bad i "%s: store %d resolved twice" arr seq;
+          s.s_phase <- (if poisoned then P_poisoned else P_ready);
+          st.resolve_front <- st.resolve_front + 1
+        end
+      | Ev_st_commit { arr; seq; addr; t = _ } ->
+        let st = state arr in
+        if st.exit_front >= st.n_stores then
+          bad i "%s: store %d committed but was never allocated" arr seq
+        else begin
+          let s = st.stores.(st.exit_front) in
+          if s.s_seq <> seq then
+            bad i "%s: store %d committed out of program order (front is %d)"
+              arr seq s.s_seq
+          else begin
+            if s.s_phase <> P_ready then
+              bad i "%s: store %d committed without a ready value" arr seq;
+            if s.s_addr <> addr then
+              bad i "%s: store %d committed to %d but allocated %d" arr seq
+                addr s.s_addr;
+            s.s_phase <- P_committed;
+            st.exit_front <- st.exit_front + 1
+          end
+        end
+      | Ev_st_kill { arr; seq; t = _ } ->
+        let st = state arr in
+        if st.exit_front >= st.n_stores then
+          bad i "%s: store %d killed but was never allocated" arr seq
+        else begin
+          let s = st.stores.(st.exit_front) in
+          if s.s_seq <> seq then
+            bad i "%s: store %d killed out of program order (front is %d)"
+              arr seq s.s_seq
+          else begin
+            if s.s_phase <> P_poisoned then
+              bad i "%s: store %d killed without a poison verdict" arr seq;
+            s.s_phase <- P_killed;
+            st.exit_front <- st.exit_front + 1
+          end
+        end
+      | Ev_ld_issue { arr; seq; addr; older_sts; forwarded; t; complete_at }
+        ->
+        let st = state arr in
+        if complete_at <= t then
+          bad i "%s: load %d completes at %d, not after issue at %d" arr seq
+            complete_at t;
+        (* disambiguation precondition: every program-order-older store
+           has its address in the queue *)
+        if st.n_stores < older_sts then
+          bad i
+            "%s: load %d issued with %d/%d older stores allocated"
+            arr seq st.n_stores older_sts;
+        (* classify the program-order-older same-address stores; younger
+           stores are out of scope — the memory is age-ordered (see the
+           interface), so WAR timing reorders are benign by construction *)
+        let awaiting = ref 0 and live_ready = ref 0 in
+        for k = 0 to st.n_stores - 1 do
+          let s = st.stores.(k) in
+          if s.s_addr = addr && s.s_seq < seq then
+            match s.s_phase with
+            | P_alloc -> incr awaiting
+            | P_ready -> incr live_ready
+            | P_poisoned | P_committed | P_killed -> ()
+        done;
+        if !awaiting > 0 then
+          bad i
+            "%s: load %d issued past %d older same-address store(s) still \
+             awaiting their value"
+            arr seq !awaiting;
+        if forwarded then begin
+          if !live_ready = 0 then
+            bad i
+              "%s: load %d forwarded with no live ready same-address store"
+              arr seq
+        end
+        else if !live_ready > 0 then
+          bad i
+            "%s: load %d read memory past %d uncommitted ready same-address \
+             store(s)"
+            arr seq !live_ready)
+    events;
+  (* end of trace: no store may be left in the queue *)
+  Hashtbl.iter
+    (fun arr st ->
+      for k = st.exit_front to st.n_stores - 1 do
+        bad (Array.length events)
+          "%s: store %d never exited the queue (phase at end: %s)" arr
+          st.stores.(k).s_seq
+          (match st.stores.(k).s_phase with
+          | P_alloc -> "allocated"
+          | P_ready -> "ready"
+          | P_poisoned -> "poisoned"
+          | P_committed -> "committed"
+          | P_killed -> "killed")
+      done)
+    arrays;
+  List.rev !violations
+
+let check_run (runs : Timing.mem_event array list) : violation list =
+  List.concat_map check runs

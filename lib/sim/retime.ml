@@ -165,8 +165,8 @@ let trace_digest (pr : prepared) =
                   pr.pr_traces))))
 
 let simulate ?(validate = true) ?(w = Area.default_weights)
-    ?(collect = false) ?max_cycles ~(cfg : Config.t) (pr : prepared) :
-    Machine.result =
+    ?(collect = false) ?(record_mem = false) ?max_cycles ~(cfg : Config.t)
+    (pr : prepared) : Machine.result =
   if validate then Config.validate cfg;
   let plan = pr.pr_plan in
   match plan.pl_dec with
@@ -189,19 +189,23 @@ let simulate ?(validate = true) ?(w = Area.default_weights)
       pipeline = None;
       stats = [ ("STA", Stats.of_busy cycles) ];
       timelines = [];
+      mem_events = [];
     }
   | Some dec ->
     let cycles = ref 0 in
     let stats = ref [] in
     let timelines = ref [] in
+    let mem_events = ref [] in
     Array.iteri
       (fun i (agu_tr, cu_tr) ->
         let timed =
           Timing.run ~cfg ~validate:false ?max_cycles ~record_depths:collect
-            ~subscribers:dec.p_subscribers agu_tr cu_tr
+            ~record_mem ~subscribers:dec.p_subscribers agu_tr cu_tr
         in
         cycles := !cycles + timed.Timing.cycles;
         stats := Stats.merge_keyed !stats timed.Timing.stats;
+        if record_mem then
+          mem_events := timed.Timing.mem_events :: !mem_events;
         if collect then
           timelines :=
             {
@@ -231,4 +235,5 @@ let simulate ?(validate = true) ?(w = Area.default_weights)
       pipeline = Some dec.p_pipeline;
       stats = !stats;
       timelines = List.rev !timelines;
+      mem_events = List.rev !mem_events;
     }

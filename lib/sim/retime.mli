@@ -83,6 +83,7 @@ val simulate :
   ?validate:bool ->
   ?w:Area.weights ->
   ?collect:bool ->
+  ?record_mem:bool ->
   ?max_cycles:int ->
   cfg:Config.t ->
   prepared ->

@@ -17,8 +17,19 @@ type cause =
   | Poison_wait
   | Mem_wait
   | Drain
+  | Mshr_full
+  | Dram_bank
 
 let all_causes =
+  [
+    Busy; Fifo_full; Fifo_empty; Gate_wait; Sched_wait; Lsq_alloc; Raw_wait;
+    Port_contention; Poison_wait; Mem_wait; Drain; Mshr_full; Dram_bank;
+  ]
+
+(* The legacy causes existed before the memory hierarchy; [to_list] emits
+   them unconditionally so scratchpad-mode JSON stays byte-identical, and
+   appends the hierarchy-only causes only when nonzero. *)
+let legacy_causes =
   [
     Busy; Fifo_full; Fifo_empty; Gate_wait; Sched_wait; Lsq_alloc; Raw_wait;
     Port_contention; Poison_wait; Mem_wait; Drain;
@@ -38,6 +49,8 @@ let index = function
   | Poison_wait -> 8
   | Mem_wait -> 9
   | Drain -> 10
+  | Mshr_full -> 11
+  | Dram_bank -> 12
 
 let cause_name = function
   | Busy -> "busy"
@@ -51,6 +64,8 @@ let cause_name = function
   | Poison_wait -> "poison_wait"
   | Mem_wait -> "mem_wait"
   | Drain -> "drain"
+  | Mshr_full -> "mshr_full"
+  | Dram_bank -> "dram_bank"
 
 type t = int array
 
@@ -74,7 +89,14 @@ let merge a b =
   t
 
 let equal (a : t) (b : t) = a = b
-let to_list t = List.map (fun c -> (cause_name c, get t c)) all_causes
+let to_list t =
+  let legacy = List.map (fun c -> (cause_name c, get t c)) legacy_causes in
+  let extra =
+    List.filter_map
+      (fun c -> if get t c > 0 then Some (cause_name c, get t c) else None)
+      [ Mshr_full; Dram_bank ]
+  in
+  legacy @ extra
 
 type keyed = (string * t) list
 

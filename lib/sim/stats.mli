@@ -29,6 +29,12 @@ type cause =
       (** DU: store-queue head awaiting its value/poison verdict from the CU *)
   | Mem_wait  (** DU: only in-flight SRAM accesses; nothing else to do *)
   | Drain  (** finished (or empty) while the rest of the machine runs *)
+  | Mshr_full
+      (** DU (hierarchy mode): an admissible load missed but every MSHR is
+          occupied — the non-blocking cache turned it away this cycle *)
+  | Dram_bank
+      (** DU (hierarchy mode): in-flight misses only, and the oldest one
+          was delayed by DRAM bank/bus contention rather than pure latency *)
 
 val all_causes : cause list
 (** Every cause, in declaration order — also the canonical render order. *)
@@ -60,7 +66,10 @@ val merge : t -> t -> t
 val equal : t -> t -> bool
 
 val to_list : t -> (string * int) list
-(** [(cause_name, count)] in {!all_causes} order. *)
+(** [(cause_name, count)] in {!all_causes} order. The pre-hierarchy causes
+    are always present; [Mshr_full]/[Dram_bank] are appended only when
+    nonzero, so scratchpad-mode output is byte-identical to older
+    versions. *)
 
 type keyed = (string * t) list
 (** Per-unit counter sets, sorted by unit name ("AGU", "CU", "DU:a", …). *)

@@ -42,6 +42,25 @@ type lsq_stats = {
   mutable loads : int;
 }
 
+(* Committed-order memory events, recorded only under [run ~record_mem] —
+   the input to the Mem_model SC/ordering oracle. List order is execution
+   order (the engine is sequential), which the oracle uses to order events
+   within one cycle. *)
+type mem_event =
+  | Ev_st_alloc of { arr : string; seq : int; addr : int; t : int }
+  | Ev_st_resolve of { arr : string; seq : int; poisoned : bool; t : int }
+  | Ev_st_commit of { arr : string; seq : int; addr : int; t : int }
+  | Ev_st_kill of { arr : string; seq : int; t : int }
+  | Ev_ld_issue of {
+      arr : string;
+      seq : int;
+      addr : int;
+      older_sts : int;
+      forwarded : bool;
+      t : int;
+      complete_at : int;
+    }
+
 type result = {
   cycles : int;
   agu_finish : int;
@@ -60,6 +79,9 @@ type result = {
          when [run ~record_depths:true]; channels are "<arr>.req_ld",
          "<arr>.req_st", "<arr>.stv", "<arr>.sq", "<arr>.lq" and
          "ldv<mem>.<unit>" *)
+  mem_events : mem_event array;
+      (* execution-order LSQ/memory event log; empty unless
+         [run ~record_mem:true] *)
 }
 
 exception Timing_error of string
@@ -155,6 +177,7 @@ type load_slot = {
   mutable ld_older_sts : int; (* stores preceding this load in program order *)
   mutable issued : bool;
   mutable complete_at : int; (* valid when issued *)
+  mutable delayed : bool; (* hierarchy: DRAM start was pushed by contention *)
   mutable subs : unit Fifo.t array; (* subscriber value FIFOs of its mem *)
 }
 
@@ -180,6 +203,7 @@ type st_request = { sq_addr : int; sq_seq : int }
    order — a load consults only same-address stores. *)
 type du_array = {
   arr : string;
+  arr_id : int; (* dense creation-order id — the hierarchy's array key *)
   req_ld : ld_request Fifo.t;
   req_st : st_request Fifo.t;
   stv : bool Fifo.t; (* payload: poisoned? *)
@@ -205,6 +229,7 @@ type du_array = {
   mutable f_alloc_block : bool; (* ready request turned away: queue full *)
   mutable f_subs_full : bool; (* issuable load held by full subscriber FIFO *)
   mutable f_extra_adm : bool; (* admissible work beyond the scalar ports *)
+  mutable f_mshr_full : bool; (* issuable load turned away: no free MSHR *)
 }
 
 let sq_live a = a.sq_tail_abs - a.sq_head_abs
@@ -273,7 +298,12 @@ type env = {
   mutable ldv_list : unit Fifo.t list;
   mutable ldv_named : (string * unit Fifo.t) list; (* creation order, rev *)
   sub_fifos : (int, unit Fifo.t array) Hashtbl.t;
+  mem : Mem.t option; (* None = scratchpad: the pre-hierarchy load path *)
+  record_mem : bool;
+  mutable mem_log : mem_event list; (* reversed execution order *)
 }
+
+let logm env ev = if env.record_mem then env.mem_log <- ev :: env.mem_log
 
 let du_array env arr =
   match Hashtbl.find_opt env.arrays arr with
@@ -285,6 +315,7 @@ let du_array env arr =
     let a =
       {
         arr;
+        arr_id = Hashtbl.length env.arrays;
         req_ld =
           Fifo.create ~capacity:cfg.Config.request_fifo_capacity
             ~latency:cfg.Config.fifo_latency;
@@ -312,6 +343,7 @@ let du_array env arr =
                 ld_older_sts = 0;
                 issued = false;
                 complete_at = 0;
+                delayed = false;
                 subs = [||];
               });
         lq_live = 0;
@@ -331,6 +363,7 @@ let du_array env arr =
         f_alloc_block = false;
         f_subs_full = false;
         f_extra_adm = false;
+        f_mshr_full = false;
       }
     in
     Hashtbl.replace env.arrays arr a;
@@ -555,6 +588,7 @@ let step_du env (a : du_array) ~t : bool =
   a.f_alloc_block <- false;
   a.f_subs_full <- false;
   a.f_extra_adm <- false;
+  a.f_mshr_full <- false;
   (* 1. apply store values (up to the vector width) to the oldest awaiting
      allocations — the awaiting-head cursor, no scan *)
   let k = ref 0 in
@@ -562,8 +596,9 @@ let step_du env (a : du_array) ~t : bool =
   while !continue_ && !k < w do
     if Fifo.ready a.stv ~now:t && a.sq_resolved < a.sq_tail_abs then begin
       let poisoned = Fifo.pop a.stv in
-      a.sq_state.(sq_slot a a.sq_resolved) <-
-        (if poisoned then st_poisoned else st_ready);
+      let s = sq_slot a a.sq_resolved in
+      a.sq_state.(s) <- (if poisoned then st_poisoned else st_ready);
+      logm env (Ev_st_resolve { arr = a.arr; seq = a.sq_seq.(s); poisoned; t });
       a.sq_resolved <- a.sq_resolved + 1;
       progress := true;
       incr k
@@ -578,6 +613,9 @@ let step_du env (a : du_array) ~t : bool =
   while !continue_ && !k < w do
     if sq_live a > 0 && a.sq_state.(sq_slot a a.sq_head_abs) = st_poisoned
     then begin
+      logm env
+        (Ev_st_kill
+           { arr = a.arr; seq = a.sq_seq.(sq_slot a a.sq_head_abs); t });
       sq_pop a;
       a.stats.kills <- a.stats.kills + 1;
       progress := true;
@@ -587,6 +625,14 @@ let step_du env (a : du_array) ~t : bool =
   done;
   if sq_live a > 0 && a.sq_state.(sq_slot a a.sq_head_abs) = st_ready then begin
     (* store port: one commit per cycle *)
+    let s = sq_slot a a.sq_head_abs in
+    let st_addr = a.sq_addr.(s) in
+    logm env (Ev_st_commit { arr = a.arr; seq = a.sq_seq.(s); addr = st_addr; t });
+    (* write-through to the hierarchy: posted, but it occupies the DRAM
+       bank and bus, delaying load misses *)
+    (match env.mem with
+    | Some mem -> Mem.store mem ~now:t ~arr:a.arr_id ~addr:st_addr
+    | None -> ());
     sq_pop a;
     a.stats.commits <- a.stats.commits + 1;
     progress := true;
@@ -615,20 +661,38 @@ let step_du env (a : du_array) ~t : bool =
     | Some (l, code) ->
       (* all subscriber FIFOs must have space (reserved at issue) *)
       if Array.for_all Fifo.has_space l.subs then begin
-        let latency =
+        (* forwarded loads bypass the hierarchy (LSQ-internal); memory
+           loads either take the fixed scratchpad latency or consult the
+           cache/DRAM model, which may turn them away (MSHR exhaustion) *)
+        let outcome =
           if code = 2 then begin
             a.stats.forwards <- a.stats.forwards + 1;
-            env.forward_latency
+            Mem.Load_done { complete_at = t + env.forward_latency;
+                            delayed = false }
           end
-          else env.memory_load_latency
+          else
+            match env.mem with
+            | None ->
+              Mem.Load_done { complete_at = t + env.memory_load_latency;
+                              delayed = false }
+            | Some mem -> Mem.load mem ~now:t ~arr:a.arr_id ~addr:l.ld_addr
         in
-        l.issued <- true;
-        l.complete_at <- t + latency;
-        a.lq_unissued <- a.lq_unissued - 1;
-        a.stats.loads <- a.stats.loads + 1;
-        Array.iter (fun f -> Fifo.push f ~now:(t + latency) ()) l.subs;
-        progress := true;
-        if !admissible >= 2 then a.f_extra_adm <- true
+        match outcome with
+        | Mem.Load_mshr_full -> a.f_mshr_full <- true
+        | Mem.Load_done { complete_at; delayed } ->
+          l.issued <- true;
+          l.complete_at <- complete_at;
+          l.delayed <- delayed;
+          a.lq_unissued <- a.lq_unissued - 1;
+          a.stats.loads <- a.stats.loads + 1;
+          logm env
+            (Ev_ld_issue
+               { arr = a.arr; seq = l.ld_seq; addr = l.ld_addr;
+                 older_sts = l.ld_older_sts; forwarded = code = 2; t;
+                 complete_at });
+          Array.iter (fun f -> Fifo.push f ~now:complete_at ()) l.subs;
+          progress := true;
+          if !admissible >= 2 then a.f_extra_adm <- true
       end
       else a.f_subs_full <- true
     | None -> a.stats.raw_wait_cycles <- a.stats.raw_wait_cycles + 1
@@ -654,6 +718,8 @@ let step_du env (a : du_array) ~t : bool =
         a.sq_seq.(s) <- rq.sq_seq;
         a.sq_addr.(s) <- rq.sq_addr;
         a.sq_state.(s) <- st_awaiting;
+        logm env
+          (Ev_st_alloc { arr = a.arr; seq = rq.sq_seq; addr = rq.sq_addr; t });
         (match Hashtbl.find_opt a.by_addr rq.sq_addr with
         | Some r -> r := !r @ [ a.sq_tail_abs ]
         | None -> Hashtbl.replace a.by_addr rq.sq_addr (ref [ a.sq_tail_abs ]));
@@ -741,8 +807,16 @@ let classify_du (a : du_array) ~progress : Stats.cause =
   else if du_idle a then Stats.Drain
   else if sq_live a > 0 then Stats.Poison_wait
   else if a.lq_unissued > 0 then
-    if a.f_subs_full then Stats.Fifo_full else Stats.Raw_wait
-  else if a.lq_live > 0 then Stats.Mem_wait
+    if a.f_subs_full then Stats.Fifo_full
+    else if a.f_mshr_full then Stats.Mshr_full
+    else Stats.Raw_wait
+  else if a.lq_live > 0 then
+    (* hierarchy only: if an in-flight miss's DRAM access was pushed past
+       its allocation cycle by bank/bus contention, the wait is
+       contention, not pure latency *)
+    if Array.exists (fun l -> l.live && l.issued && l.delayed) a.lq then
+      Stats.Dram_bank
+    else Stats.Mem_wait
   else Stats.Fifo_empty (* only in-flight tokens on the input channels *)
 
 (* --- next-wake candidates --------------------------------------------------- *)
@@ -786,7 +860,8 @@ let du_wakes (a : du_array) ~t ~(push : int -> unit) =
 (* --- top level ------------------------------------------------------------ *)
 
 let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
-    ?(record_depths = false) ~(subscribers : (int * Trace.unit_id list) list)
+    ?(record_depths = false) ?(record_mem = false)
+    ~(subscribers : (int * Trace.unit_id list) list)
     (agu_tr : Trace.unit_trace) (cu_tr : Trace.unit_trace) : result =
   if validate then Config.validate cfg;
   let env =
@@ -804,6 +879,12 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
       ldv_list = [];
       ldv_named = [];
       sub_fifos = Hashtbl.create 16;
+      mem =
+        (match cfg.Config.hierarchy with
+        | Config.Scratchpad -> None
+        | Config.Hierarchy g -> Some (Mem.create g));
+      record_mem;
+      mem_log = [];
     }
   in
   (* last binding wins for duplicate mems, as with Hashtbl.replace *)
@@ -883,6 +964,7 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
           a.f_alloc_block <- false;
           a.f_subs_full <- false;
           a.f_extra_adm <- false;
+          a.f_mshr_full <- false;
           false
         end
         else step_du env a ~t:!t
@@ -919,6 +1001,16 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
             if avail > !t then push avail
           end
         done;
+        (* hierarchy: an MSHR freeing (its fill completing) can admit a
+           previously turned-away load. The fill time is also the
+           allocating load's complete_at, so this is usually redundant
+           with du_wakes — kept for the frozen-span invariant's sake. *)
+        (match env.mem with
+        | Some mem -> (
+          match Mem.next_wake mem ~now:!t with
+          | Some w -> push w
+          | None -> ())
+        | None -> ());
         if Calendar.is_empty calendar then begin
           incr idle_rounds;
           if !idle_rounds > 4 then
@@ -961,6 +1053,7 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
       :: List.map (fun a -> ("DU:" ^ a.arr, a.cstats)) env.du_list)
       |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2);
     depth_samples = Array.of_list (List.rev !samples);
+    mem_events = Array.of_list (List.rev env.mem_log);
   }
 
 (* The out-of-order scan depth, exposed so the static sizing analyzer's

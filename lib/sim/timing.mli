@@ -20,6 +20,26 @@ type lsq_stats = {
   mutable loads : int;
 }
 
+(** Committed-order LSQ/memory events, recorded under [run ~record_mem] in
+    execution order — the trace the {!Mem_model} SC/ordering oracle
+    replays. [seq] is the per-array program-order tag the AGU assigned;
+    [older_sts] on a load is the number of same-array stores preceding it
+    in program order. *)
+type mem_event =
+  | Ev_st_alloc of { arr : string; seq : int; addr : int; t : int }
+  | Ev_st_resolve of { arr : string; seq : int; poisoned : bool; t : int }
+  | Ev_st_commit of { arr : string; seq : int; addr : int; t : int }
+  | Ev_st_kill of { arr : string; seq : int; t : int }
+  | Ev_ld_issue of {
+      arr : string;
+      seq : int;
+      addr : int;
+      older_sts : int;
+      forwarded : bool;
+      t : int;
+      complete_at : int;
+    }
+
 type result = {
   cycles : int;
   agu_finish : int;
@@ -40,6 +60,9 @@ type result = {
           in cycle order; empty unless [run ~record_depths:true]. Channels
           are ["<arr>.req_ld"], ["<arr>.req_st"], ["<arr>.stv"],
           ["<arr>.sq"], ["<arr>.lq"] and ["ldv<mem>.<unit>"]. *)
+  mem_events : mem_event array;
+      (** execution-order memory event log; empty unless
+          [run ~record_mem:true] *)
 }
 
 exception Timing_error of string
@@ -73,9 +96,13 @@ end
 
 (** Replay a pair of unit traces to completion. [record_depths] (default
     false) additionally records channel-occupancy samples for the timeline
-    exporter; it never affects scheduling or cycle counts. [validate]
-    (default true) runs {!Config.validate} first; deadlock-boundary probes
-    pass [~validate:false] to simulate a rejected configuration.
+    exporter; [record_mem] (default false) records the committed-order
+    memory event log; neither ever affects scheduling or cycle counts.
+    [validate] (default true) runs {!Config.validate} first;
+    deadlock-boundary probes pass [~validate:false] to simulate a rejected
+    configuration. In [Config.Hierarchy] mode loads consult a fresh {!Mem}
+    instance (cold caches per run); in [Scratchpad] mode the pre-hierarchy
+    fixed-latency path runs unchanged.
     @raise Invalid_argument on an invalid configuration.
     @raise Deadlock on a modelled deadlock.
     @raise Timing_error on a cycle overrun. *)
@@ -84,6 +111,7 @@ val run :
   ?validate:bool ->
   ?max_cycles:int ->
   ?record_depths:bool ->
+  ?record_mem:bool ->
   subscribers:(int * Trace.unit_id list) list ->
   Trace.unit_trace ->
   Trace.unit_trace ->

@@ -1,6 +1,27 @@
-(* Shared test fixtures: the paper's running examples as parseable IR. *)
+(* Shared test fixtures: the paper's running examples as parseable IR,
+   plus the temp-directory scaffolding for tests that touch the on-disk
+   result cache. *)
 
 open Dae_ir
+
+(* Run [f dir] against a fresh cache directory under the system temp dir
+   and remove it afterwards, whatever happens — cache tests must never
+   dirty the working tree's _daec_cache. *)
+let with_cache_dir f =
+  let dir = Filename.temp_file "daec_cache" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let rm_rf () =
+    let cache = Dae_sim.Cache.create ~dir () in
+    ignore (Dae_sim.Cache.clear cache);
+    Array.iter
+      (fun s ->
+        let p = Filename.concat dir s in
+        if Sys.is_directory p then Sys.rmdir p else Sys.remove p)
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  in
+  Fun.protect ~finally:rm_rf (fun () -> f dir)
 
 (* Figure 4(a): paper block 1 = bb2, 2 = bb3 (request a, LoD source),
    3 = bb4 (LoD source, 3-way switch), 4 = bb5 (request c),

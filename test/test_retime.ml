@@ -152,21 +152,7 @@ let qcheck_props =
 
 (* --- cache round-trip ------------------------------------------------------ *)
 
-let with_cache_dir f =
-  let dir = Filename.temp_file "daec_cache" "" in
-  Sys.remove dir;
-  Sys.mkdir dir 0o755;
-  let rm_rf () =
-    let cache = C.create ~dir () in
-    ignore (C.clear cache);
-    Array.iter
-      (fun s ->
-        let p = Filename.concat dir s in
-        if Sys.is_directory p then Sys.rmdir p else Sys.remove p)
-      (Sys.readdir dir);
-    Sys.rmdir dir
-  in
-  Fun.protect ~finally:rm_rf (fun () -> f dir)
+let with_cache_dir = Fixtures.with_cache_dir
 
 let cache_roundtrip () =
   with_cache_dir (fun dir ->
@@ -249,6 +235,89 @@ let cache_corruption () =
         (s.Sweep.sm_cache.C.hits = 0 && s.Sweep.sm_prepares > 0);
       check Alcotest.bool "recomputed results identical" true (cold = again))
 
+let entry_files dir =
+  Array.fold_left
+    (fun acc shard ->
+      let sdir = Filename.concat dir shard in
+      if Sys.is_directory sdir then
+        Array.fold_left
+          (fun acc f -> Filename.concat sdir f :: acc)
+          acc (Sys.readdir sdir)
+      else acc)
+    [] (Sys.readdir dir)
+
+(* a crashed writer can leave a zero-length or header-truncated entry;
+   both must read as a miss, be counted corrupt, be deleted, and leave
+   the slot storable again *)
+let cache_damaged_entries () =
+  with_cache_dir (fun dir ->
+      let cache = C.create ~dir () in
+      let k_zero = C.key [ "zero-length" ] in
+      let k_trunc = C.key [ "truncated-header" ] in
+      C.store cache k_zero "payload-zero";
+      C.store cache k_trunc "payload-truncated";
+      let path_of k =
+        match
+          List.find_opt
+            (fun f -> Filename.basename f = k ^ ".entry")
+            (entry_files dir)
+        with
+        | Some p -> p
+        | None -> Alcotest.failf "no entry file for %s" k
+      in
+      let pz = path_of k_zero and pt = path_of k_trunc in
+      close_out (open_out_bin pz);
+      let raw =
+        let ic = open_in_bin pt in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      (* cut inside the one-line header, before its newline *)
+      let oc = open_out_bin pt in
+      output_string oc (String.sub raw 0 5);
+      close_out oc;
+      check Alcotest.bool "zero-length entry misses" true
+        ((C.find cache k_zero : string option) = None);
+      check Alcotest.bool "truncated entry misses" true
+        ((C.find cache k_trunc : string option) = None);
+      check Alcotest.int "both counted corrupt" 2 (C.counters cache).C.corrupt;
+      check Alcotest.bool "damaged entries deleted" true
+        (not (Sys.file_exists pz) && not (Sys.file_exists pt));
+      C.store cache k_zero "payload-zero";
+      check
+        (Alcotest.option Alcotest.string)
+        "slot recovers after re-store" (Some "payload-zero")
+        (C.find cache k_zero))
+
+(* two runner domains hammering the same key: temp-file + rename means a
+   reader only ever observes whole entries — some valid payload, never a
+   torn one, never a spurious miss *)
+let cache_concurrent_writers () =
+  with_cache_dir (fun dir ->
+      let k = C.key [ "contended" ] in
+      let rounds = 200 in
+      let results =
+        Dae_sim.Runner.map_list ~domains:2
+          ~f:(fun id ->
+            let cache = C.create ~dir () in
+            let bad = ref 0 in
+            for i = 1 to rounds do
+              C.store cache k (id, i);
+              match (C.find cache k : (int * int) option) with
+              | Some (w, j) when (w = 0 || w = 1) && j >= 1 && j <= rounds ->
+                ()
+              | Some _ | None -> incr bad
+            done;
+            (!bad, (C.counters cache).C.corrupt))
+          [ 0; 1 ]
+      in
+      List.iter
+        (fun (bad, corrupt) ->
+          check Alcotest.int "every read is a whole valid entry" 0 bad;
+          check Alcotest.int "no torn entries observed" 0 corrupt)
+        results)
+
 let () =
   let kernel_cases =
     List.map
@@ -266,5 +335,7 @@ let () =
           tc "store/find round-trip" `Quick cache_roundtrip;
           tc "cold sweep == warm sweep" `Quick cache_cold_warm;
           tc "corrupted entries recomputed" `Quick cache_corruption;
+          tc "zero-length and truncated entries" `Quick cache_damaged_entries;
+          tc "concurrent writers, one key" `Quick cache_concurrent_writers;
         ] );
     ]

@@ -53,6 +53,40 @@ let stress_cfg =
     Dae_sim.Config.store_value_fifo_capacity = 1;
   }
 
+(* the memory hierarchy adds the Mshr_full/Dram_bank causes; the
+   partition invariant must hold with them in play, both at the baseline
+   cache point and at a starved one (1 MSHR, 1 DRAM bank) that actually
+   exercises the new counters *)
+let hier_cfg =
+  {
+    Dae_sim.Config.default with
+    Dae_sim.Config.hierarchy =
+      Dae_sim.Config.Hierarchy Dae_sim.Config.default_geom;
+  }
+
+let hier_tight_cfg =
+  {
+    Dae_sim.Config.default with
+    Dae_sim.Config.hierarchy =
+      Dae_sim.Config.Hierarchy
+        {
+          Dae_sim.Config.banks = 1;
+          sets = 2;
+          ways = 1;
+          line_words = 2;
+          hit_latency = 1;
+          mshrs = 1;
+          dram =
+            {
+              Dae_sim.Config.dram_banks = 1;
+              row_words = 4;
+              t_row_hit = 6;
+              t_row_miss = 15;
+              t_bus = 2;
+            };
+        };
+  }
+
 let qcheck_props =
   let open QCheck in
   let gen_seed = small_nat in
@@ -71,6 +105,11 @@ let qcheck_props =
     Test.make ~name:"same, at capacity-1 FIFOs (no spurious deadlock)"
       ~count:40 gen_seed
       (fun seed -> gen_partition ~cfg:stress_cfg (G.generate ~seed ()));
+    Test.make ~name:"same, under the cache+DRAM hierarchy" ~count:40 gen_seed
+      (fun seed -> gen_partition ~cfg:hier_cfg (G.generate ~seed ()));
+    Test.make ~name:"same, starved hierarchy (1 MSHR, 1 DRAM bank)" ~count:30
+      gen_seed
+      (fun seed -> gen_partition ~cfg:hier_tight_cfg (G.generate ~seed ()));
   ]
 
 (* --- suite-wide: every kernel×arch pair of the paper suite ------------------- *)
@@ -96,6 +135,34 @@ let test_suite_partition name () =
           check Alcotest.bool (label "has AGU+CU counters") true
             (List.mem_assoc "AGU" r.M.stats && List.mem_assoc "CU" r.M.stats))
       archs
+
+(* under the starved hierarchy, sum the causes explicitly —
+   Mshr_full/Dram_bank included — rather than through S.total, so a
+   future cause added to the type but dropped from the partition cannot
+   hide; small test-suite instances keep this fast *)
+let test_suite_partition_hier name () =
+  match Kernels.by_name (Kernels.test_suite ()) name with
+  | None -> Alcotest.failf "kernel %s not in test suite" name
+  | Some k ->
+    List.iter
+      (fun arch ->
+        let r =
+          M.simulate ~cfg:hier_tight_cfg arch
+            (k.Kernels.build ())
+            ~invocations:(k.Kernels.invocations ())
+            ~mem:(k.Kernels.init_mem ())
+        in
+        List.iter
+          (fun (u, c) ->
+            let explicit =
+              List.fold_left (fun a cause -> a + S.get c cause) 0 S.all_causes
+            in
+            check Alcotest.int
+              (Printf.sprintf "%s/%s %s: all causes sum to cycles" name
+                 (M.arch_name arch) u)
+              r.M.cycles explicit)
+          r.M.stats)
+      [ M.Dae; M.Spec; M.Oracle ]
 
 (* --- golden trace: byte-stable exporter -------------------------------------- *)
 
@@ -183,6 +250,12 @@ let () =
             in
             tc name speed (test_suite_partition name))
           (Kernels.paper_suite ()) );
+      ( "hierarchy partition (explicit cause sum)",
+        List.map
+          (fun (k : Kernels.t) ->
+            let name = k.Kernels.name in
+            tc name `Quick (test_suite_partition_hier name))
+          (Kernels.test_suite ()) );
       ( "trace golden",
         [
           tc "thr SPEC trace digest" `Quick test_trace_golden;
