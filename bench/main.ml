@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- --section fig6 --section table1   # same
      dune exec bench/main.exe -- --jobs 4 --json out.json fig6
      dune exec bench/main.exe -- --quick            # fig6 on small kernels
-     sections: fig6 table1 table2 fig7 ablation sizing sweep mem micro smoke
+     sections: fig6 table1 table2 fig7 ablation sizing leak sweep mem micro
+     smoke
 
    Every section first *declares* its simulation jobs (kernel × arch ×
    config); the distinct jobs are fanned out once over a work-stealing
@@ -18,8 +19,10 @@
    GC pressure, the pool's own scheduling statistics (per-domain
    utilization, steal counts), and the channel-sizing analyzer's
    per-channel minimum depths and deadlock verdict — are written to
-   BENCH_7.json so the perf trajectory is machine-readable from PR 1
-   onward. The sweep section additionally runs the trace-driven
+   BENCH_8.json so the perf trajectory is machine-readable from PR 1
+   onward. The leak section adds the static speculative-leakage census
+   (taint sources and leak sites per kernel and mode; `daec leak`'s
+   verdicts). The sweep section additionally runs the trace-driven
    re-timing DSE engine cold and warm over its on-disk result cache and
    records both passes' throughput and hit rates.
 
@@ -592,6 +595,50 @@ let sizing_print () =
     "(analyzer minimums keep every kernel deadlock-free; one step below \
      the critical channel's minimum is the deadlock boundary)@."
 
+(* --- leak: static speculative-leakage census over the suite ------------------ *)
+
+(* Kept for the JSON emitter: (kernel, mode, taint verdict) rows. *)
+let leak_rows : (string * string * Dae_analysis.Taint.t) list ref = ref []
+
+(* Pure static analysis — no simulation jobs to declare; the dynamic
+   witness confirmation lives in `daec leak --witness` and the @ci
+   leak-quick golden, where its budget is controlled. *)
+let leak_print () =
+  Fmt.pr "@.== Speculative leakage: taint verdicts (daec leak) ==@.";
+  Fmt.pr "%-6s %-5s %8s %6s %6s %6s %6s  %s@." "kernel" "mode" "sources"
+    "sites" "ld-a" "st-a" "ctrl" "verdict";
+  let rows = ref [] in
+  List.iter
+    (fun (k : Kernels.t) ->
+      List.iter
+        (fun (mode, mname) ->
+          match Dae_core.Pipeline.compile ~mode (k.Kernels.build ()) with
+          | exception Dae_core.Pipeline.Compile_error e ->
+            Fmt.pr "%-6s %-5s compile error: %s@." k.Kernels.name mname e
+          | p ->
+            let t = Dae_analysis.Taint.analyze p in
+            let count kind =
+              List.length
+                (List.filter
+                   (fun (s : Dae_analysis.Taint.site) ->
+                     s.Dae_analysis.Taint.s_kind = kind)
+                   t.Dae_analysis.Taint.sites)
+            in
+            Fmt.pr "%-6s %-5s %8d %6d %6d %6d %6d  %s@." k.Kernels.name mname
+              (List.length t.Dae_analysis.Taint.sources)
+              (List.length t.Dae_analysis.Taint.sites)
+              (count Dae_analysis.Taint.Load_addr)
+              (count Dae_analysis.Taint.Store_addr)
+              (count Dae_analysis.Taint.Control)
+              (if Dae_analysis.Taint.clean t then "clean" else "LEAKY");
+            rows := (k.Kernels.name, mname, t) :: !rows)
+        [ (Dae_core.Pipeline.Dae, "dae"); (Dae_core.Pipeline.Spec, "spec") ])
+    (bench_suite ());
+  Fmt.pr
+    "(sources = values loaded by hoisted pre-guard requests; a kernel is \
+     clean when no tainted address, branch or produced value exists)@.";
+  leak_rows := List.rev !rows
+
 (* --- sweep: the trace-driven re-timing DSE engine, cold and warm ------------- *)
 
 (* Parsed before the sections run; the sweep section reuses the pool
@@ -905,6 +952,26 @@ let write_json ~path ~sections ~domains ~wall_s ~pool
   | summaries ->
     p "  \"sweep\": { \"grid\": \"default\", \"suite\": \"quick\", %s },\n"
       (String.concat ", " (List.map sweep_json summaries)));
+  (match !leak_rows with
+  | [] -> ()
+  | rows ->
+    p "  \"leak\": [%s],\n"
+      (String.concat ", "
+         (List.map
+            (fun (kernel, mode, (t : Dae_analysis.Taint.t)) ->
+              Printf.sprintf
+                "{ \"kernel\": \"%s\", \"mode\": \"%s\", \"sources\": %d, \
+                 \"sites\": %d, \"speculative_sites\": %d, \"clean\": %b }"
+                (json_escape kernel) (json_escape mode)
+                (List.length t.Dae_analysis.Taint.sources)
+                (List.length t.Dae_analysis.Taint.sites)
+                (List.length
+                   (List.filter
+                      (fun (s : Dae_analysis.Taint.site) ->
+                        s.Dae_analysis.Taint.s_speculative)
+                      t.Dae_analysis.Taint.sites))
+                (Dae_analysis.Taint.clean t))
+            rows)));
   p
     "  \"baseline\": { \"bench\": \"BENCH_5.json\", \"engine\": \
      \"lowered micro-op co-sim, fused exec+timing per point\", \
@@ -972,6 +1039,7 @@ let sections_all =
     { s_name = "fig7"; s_reqs = fig7_reqs; s_print = fig7_print };
     { s_name = "ablation"; s_reqs = ablation_reqs; s_print = ablation_print };
     { s_name = "sizing"; s_reqs = (fun () -> []); s_print = sizing_print };
+    { s_name = "leak"; s_reqs = (fun () -> []); s_print = leak_print };
     { s_name = "sweep"; s_reqs = (fun () -> []); s_print = sweep_print };
     { s_name = "mem"; s_reqs = mem_reqs; s_print = mem_print };
     { s_name = "micro"; s_reqs = (fun () -> []); s_print = micro };
@@ -979,12 +1047,12 @@ let sections_all =
   ]
 
 let default_section_names =
-  [ "fig6"; "table1"; "table2"; "fig7"; "ablation"; "sizing"; "sweep"; "mem";
-    "micro" ]
+  [ "fig6"; "table1"; "table2"; "fig7"; "ablation"; "sizing"; "leak";
+    "sweep"; "mem"; "micro" ]
 
 let () =
   let jobs = pool_jobs in
-  let json_path = ref "BENCH_7.json" in
+  let json_path = ref "BENCH_8.json" in
   let expect_path = ref None in
   let names = ref [] in
   let add_section s =

@@ -9,9 +9,12 @@
      daec run --kernel bfs --all --sq 8         # all four architectures
      daec run --kernel thr --req-fifo 2 --val-fifo 2 --stv-fifo 2
      daec stats --kernel bfs --arch dae --arch spec   # stall attribution
+     daec stats --kernel bfs --json             # machine-readable stats
      daec trace --kernel thr --out thr.json     # Perfetto timeline JSON
      daec check --kernel bfs --mode both        # soundness checker
      daec check --all-kernels                   # gate the whole suite
+     daec leak --kernel spmv --witness          # speculative-leakage report
+     daec leak --suite quick --arch dae --arch spec --json
      daec size --kernel hist --mode both        # channel sizing report
      daec size --all-kernels --json             # machine-readable sweep
      daec sweep --grid quick                    # memoized capacity DSE
@@ -42,6 +45,46 @@ let load_func ~file ~kernel =
         (Fmt.str "unknown kernel %s (try `daec list')" name))
   | Some _, Some _ -> Error "give either a file or --kernel, not both"
   | None, None -> Error "give an IR file or --kernel NAME"
+
+(* --- JSON ------------------------------------------------------------------- *)
+
+(* One tiny emitter shared by `stats --json` and `leak --json`, so the two
+   machine-readable outputs cannot drift apart in escaping or layout. *)
+module Json = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec pp ppf = function
+    | Bool b -> Fmt.pf ppf "%b" b
+    | Int i -> Fmt.pf ppf "%d" i
+    | Str s -> Fmt.pf ppf "\"%s\"" (escape s)
+    | List l -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ",") pp) l
+    | Obj kvs ->
+      Fmt.pf ppf "{%a}"
+        Fmt.(
+          list ~sep:(any ",") (fun ppf (k, v) ->
+              pf ppf "\"%s\":%a" (escape k) pp v))
+        kvs
+end
 
 (* --- common arguments ------------------------------------------------------ *)
 
@@ -407,9 +450,31 @@ let run_cmd =
 
 (* --- stats --------------------------------------------------------------------- *)
 
+let stats_json ~kernel ~cfg (arch, (r : Dae_sim.Machine.result)) =
+  Json.Obj
+    [
+      ("kernel", Json.Str kernel);
+      ("arch", Json.Str (Dae_sim.Machine.arch_name arch));
+      ("config", Json.Str (Dae_sim.Config.key cfg));
+      ("cycles", Json.Int r.Dae_sim.Machine.cycles);
+      ("invocations", Json.Int r.Dae_sim.Machine.invocations);
+      ("killed_stores", Json.Int r.Dae_sim.Machine.killed_stores);
+      ("committed_stores", Json.Int r.Dae_sim.Machine.committed_stores);
+      ( "units",
+        Json.Obj
+          (List.map
+             (fun (unit, t) ->
+               ( unit,
+                 Json.Obj
+                   (List.map
+                      (fun (cause, n) -> (cause, Json.Int n))
+                      (Dae_sim.Stats.to_list t)) ))
+             r.Dae_sim.Machine.stats) );
+    ]
+
 let stats_cmd =
   let run file kernel archs all sq lq fifo_lat req_fifo val_fifo stv_fifo
-      hierarchy jobs =
+      hierarchy jobs json =
     match load_func ~file ~kernel with
     | Error e ->
       Fmt.epr "%s@." e;
@@ -422,22 +487,41 @@ let stats_cmd =
         cfg_of ~hierarchy ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo ()
       in
       let archs = pick_archs ~archs ~all in
-      Fmt.pr "%s: %s  (%a)@." k.Dae_workloads.Kernels.name
-        k.Dae_workloads.Kernels.description Dae_sim.Config.pp cfg;
-      Dae_sim.Runner.map_list ~domains:jobs
-        ~f:(fun arch ->
-          ( arch,
-            Dae_sim.Machine.simulate ~cfg arch
-              (k.Dae_workloads.Kernels.build ())
-              ~invocations:(k.Dae_workloads.Kernels.invocations ())
-              ~mem:(k.Dae_workloads.Kernels.init_mem ()) ))
-        archs
-      |> List.iter (fun (arch, r) ->
-             Fmt.pr "@.%s: %d cycles over %d invocation%s@."
-               (Dae_sim.Machine.arch_name arch)
-               r.Dae_sim.Machine.cycles r.Dae_sim.Machine.invocations
-               (if r.Dae_sim.Machine.invocations = 1 then "" else "s");
-             Fmt.pr "%a" Dae_sim.Machine.pp_stats r)
+      if not json then
+        Fmt.pr "%s: %s  (%a)@." k.Dae_workloads.Kernels.name
+          k.Dae_workloads.Kernels.description Dae_sim.Config.pp cfg;
+      let results =
+        Dae_sim.Runner.map_list ~domains:jobs
+          ~f:(fun arch ->
+            ( arch,
+              Dae_sim.Machine.simulate ~cfg arch
+                (k.Dae_workloads.Kernels.build ())
+                ~invocations:(k.Dae_workloads.Kernels.invocations ())
+                ~mem:(k.Dae_workloads.Kernels.init_mem ()) ))
+          archs
+      in
+      if json then
+        Fmt.pr "%a@." Json.pp
+          (Json.List
+             (List.map
+                (stats_json ~kernel:k.Dae_workloads.Kernels.name ~cfg)
+                results))
+      else
+        List.iter
+          (fun (arch, r) ->
+            Fmt.pr "@.%s: %d cycles over %d invocation%s@."
+              (Dae_sim.Machine.arch_name arch)
+              r.Dae_sim.Machine.cycles r.Dae_sim.Machine.invocations
+              (if r.Dae_sim.Machine.invocations = 1 then "" else "s");
+            Fmt.pr "%a" Dae_sim.Machine.pp_stats r)
+          results
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one JSON object per architecture (cycles, \
+                   invocations, store verdicts and the per-unit stall \
+                   partition) instead of the table.")
   in
   Cmd.v
     (Cmd.info "stats"
@@ -447,7 +531,7 @@ let stats_cmd =
     Term.(
       const run $ file_arg $ kernel_arg $ archs_arg $ all_arg $ sq_arg
       $ lq_arg $ fifo_lat_arg $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg
-      $ hierarchy_term $ jobs_arg)
+      $ hierarchy_term $ jobs_arg $ json_arg)
 
 (* --- trace --------------------------------------------------------------------- *)
 
@@ -598,6 +682,225 @@ let check_cmd =
     Term.(
       const run $ file_arg $ kernel_arg $ all_kernels_arg $ mode_arg
       $ path_limit_arg $ verbose_arg)
+
+(* --- leak ---------------------------------------------------------------------- *)
+
+let leak_cmd =
+  let module Taint = Dae_analysis.Taint in
+  let module Leak = Dae_analysis.Leak in
+  let site_json (s : Taint.site) =
+    Json.Obj
+      [
+        ("kind", Json.Str (Taint.site_kind_name s.Taint.s_kind));
+        ("unit", Json.Str (Dae_sim.Trace.unit_name s.Taint.s_unit));
+        ("block", Json.Int s.Taint.s_block);
+        ("arr", Json.Str s.Taint.s_arr);
+        ("mem", Json.Int s.Taint.s_mem);
+        ("speculative", Json.Bool s.Taint.s_speculative);
+      ]
+  in
+  let outcome_json = function
+    | Leak.Cycles c -> Json.Int c
+    | Leak.Deadlock -> Json.Str "deadlock"
+  in
+  let witness_json (w : Leak.witness) =
+    Json.Obj
+      [
+        ("arr", Json.Str w.Leak.w_arr);
+        ("idx", Json.Int w.Leak.w_idx);
+        ("base", Json.Int w.Leak.w_base);
+        ("flip", Json.Int w.Leak.w_flip);
+        ("digest_differs", Json.Bool w.Leak.w_digest_differs);
+        ( "divergences",
+          Json.List
+            (List.map
+               (fun (d : Leak.divergence) ->
+                 Json.Obj
+                   [
+                     ("config", Json.Str d.Leak.d_cfg);
+                     ("base", outcome_json d.Leak.d_base);
+                     ("flip", outcome_json d.Leak.d_flip);
+                     ("cycles_differ", Json.Bool d.Leak.d_cycles_differ);
+                     ("stalls_differ", Json.Bool d.Leak.d_stats_differ);
+                   ])
+               w.Leak.w_divs) );
+      ]
+  in
+  let search_json (r : Leak.t) =
+    Json.Obj
+      [
+        ("reads", Json.Int r.Leak.l_reads);
+        ("candidates", Json.Int r.Leak.l_candidates);
+        ("probed", Json.Int r.Leak.l_probed);
+        ("skipped", Json.Int r.Leak.l_skipped);
+        ("witnesses", Json.List (List.map witness_json r.Leak.l_witnesses));
+      ]
+  in
+  let mode_of_arch = function
+    | Dae_sim.Machine.Dae -> Some Dae_core.Pipeline.Dae
+    | Dae_sim.Machine.Spec | Dae_sim.Machine.Oracle ->
+      Some Dae_core.Pipeline.Spec
+    | Dae_sim.Machine.Sta -> None
+  in
+  let run suite kernel_names archs witness budget json hierarchy =
+    let suite_kernels =
+      match suite with
+      | `Quick -> Dae_workloads.Kernels.test_suite ()
+      | `Paper -> Dae_workloads.Kernels.paper_suite ()
+    in
+    let selected =
+      if kernel_names = [] then suite_kernels
+      else
+        List.filter
+          (fun (k : Dae_workloads.Kernels.t) ->
+            List.mem k.Dae_workloads.Kernels.name kernel_names)
+          suite_kernels
+    in
+    if selected = [] then begin
+      Fmt.epr "no kernels selected (try `daec list')@.";
+      exit 2
+    end;
+    let archs =
+      if archs = [] then [ Dae_sim.Machine.Spec ]
+      else if List.mem Dae_sim.Machine.Sta archs then begin
+        Fmt.epr "leak needs a decoupled architecture (dae, spec or oracle)@.";
+        exit 2
+      end
+      else archs
+    in
+    (* --mem cache (and the geometry flags) customize the hierarchy probe
+       point; the scratchpad baseline is always probed alongside it *)
+    let points =
+      match hierarchy with
+      | Dae_sim.Config.Scratchpad -> Leak.default_points
+      | Dae_sim.Config.Hierarchy _ ->
+        [
+          ("scratchpad", Dae_sim.Config.default);
+          ("cache", { Dae_sim.Config.default with Dae_sim.Config.hierarchy });
+        ]
+    in
+    let failed = ref false in
+    let json_items = ref [] in
+    List.iter
+      (fun (k : Dae_workloads.Kernels.t) ->
+        let name = k.Dae_workloads.Kernels.name in
+        List.iter
+          (fun arch ->
+            let mode =
+              match mode_of_arch arch with
+              | Some m -> m
+              | None -> assert false
+            in
+            let mode_name = Dae_sim.Machine.arch_name arch in
+            match
+              Dae_core.Pipeline.compile ~mode
+                (k.Dae_workloads.Kernels.build ())
+            with
+            | exception Dae_core.Pipeline.Compile_error e ->
+              failed := true;
+              Fmt.epr "%s (%s): compile error@.  %s@." name mode_name e
+            | p ->
+              let t = Taint.analyze p in
+              let search =
+                if witness then
+                  match
+                    Leak.search ~budget ~points arch
+                      (k.Dae_workloads.Kernels.build ())
+                      ~invocations:(k.Dae_workloads.Kernels.invocations ())
+                      ~mem:(k.Dae_workloads.Kernels.init_mem ())
+                  with
+                  | r -> Some (Ok r)
+                  | exception e -> Some (Error (Printexc.to_string e))
+                else None
+              in
+              if json then
+                json_items :=
+                  Json.Obj
+                    ([
+                       ("kernel", Json.Str name);
+                       ("arch", Json.Str mode_name);
+                       ("clean", Json.Bool (Taint.clean t));
+                       ( "sources",
+                         Json.List (List.map (fun m -> Json.Int m) t.Taint.sources)
+                       );
+                       ( "tainted_arrays",
+                         Json.List
+                           (List.map (fun a -> Json.Str a) t.Taint.tainted_arrays)
+                       );
+                       ("sites", Json.List (List.map site_json t.Taint.sites));
+                     ]
+                    @
+                    match search with
+                    | None -> []
+                    | Some (Ok r) -> [ ("witness_search", search_json r) ]
+                    | Some (Error e) ->
+                      [ ("witness_search_error", Json.Str e) ])
+                  :: !json_items
+              else begin
+                Fmt.pr "== %s (%s) ==@.%a" name mode_name Taint.pp t;
+                (match search with
+                | None -> ()
+                | Some (Ok r) -> Fmt.pr "%a" Leak.pp r
+                | Some (Error e) ->
+                  failed := true;
+                  Fmt.pr "witness search FAILED: %s@." e);
+                Fmt.pr "@."
+              end)
+          archs)
+      selected;
+    if json then
+      Fmt.pr "%a@." Json.pp (Json.List (List.rev !json_items));
+    if !failed then exit 1
+  in
+  let suite_arg =
+    Arg.(
+      value
+      & opt (enum [ ("quick", `Quick); ("paper", `Paper) ]) `Quick
+      & info [ "suite" ] ~docv:"SUITE"
+          ~doc:"Workload sizes: quick (test suite) or paper (Table 1).")
+  in
+  let kernels_arg =
+    Arg.(value & opt_all string []
+         & info [ "k"; "kernel" ] ~docv:"NAME"
+             ~doc:"Restrict to this kernel (repeatable; default: all).")
+  in
+  let archs_arg =
+    Arg.(value & opt_all arch_conv []
+         & info [ "a"; "arch" ] ~docv:"ARCH"
+             ~doc:"Architecture: dae, spec or oracle (repeatable; default \
+                   spec).")
+  in
+  let witness_arg =
+    Arg.(value & flag
+         & info [ "witness" ]
+             ~doc:"Also search for dynamic interference witnesses: flip one \
+                   architecturally dead cell at a time and replay through \
+                   the re-timing engine at the scratchpad and cache \
+                   configuration points.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 8
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Candidate cells to probe per kernel and architecture.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one JSON object per kernel and architecture.")
+  in
+  Cmd.v
+    (Cmd.info "leak"
+       ~doc:
+         "Speculative-leakage analysis: statically taint values loaded by \
+          hoisted (pre-guard) requests, flag every tainted address, branch \
+          condition or produced value (the places a secret can reach the \
+          memory ports, the schedule or the channels), and optionally \
+          confirm with timing-interference witnesses under --witness. \
+          Exits 1 only on compile or witness-search failure — leaks found \
+          are a report, not an error.")
+    Term.(
+      const run $ suite_arg $ kernels_arg $ archs_arg $ witness_arg
+      $ budget_arg $ json_arg $ hierarchy_term)
 
 (* --- size ---------------------------------------------------------------------- *)
 
@@ -972,4 +1275,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; analyze_cmd; compile_cmd; run_cmd; stats_cmd;
-            trace_cmd; check_cmd; size_cmd; sweep_cmd; cache_cmd ]))
+            trace_cmd; check_cmd; leak_cmd; size_cmd; sweep_cmd;
+            cache_cmd ]))

@@ -15,7 +15,7 @@
 
 type severity = Error | Warning | Info
 
-type analysis = Balance | Poison_coverage | Lod_residue | Structure
+type analysis = Balance | Poison_coverage | Lod_residue | Structure | Taint
 
 type slice = Agu | Cu | Both
 
@@ -38,6 +38,7 @@ let analysis_name = function
   | Poison_coverage -> "poison"
   | Lod_residue -> "lod-residue"
   | Structure -> "structure"
+  | Taint -> "taint"
 
 let severity_name = function
   | Error -> "error"

@@ -6,7 +6,7 @@
     listings. *)
 
 type severity = Error | Warning | Info
-type analysis = Balance | Poison_coverage | Lod_residue | Structure
+type analysis = Balance | Poison_coverage | Lod_residue | Structure | Taint
 type slice = Agu | Cu | Both
 
 type t = {

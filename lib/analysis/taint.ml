@@ -1,0 +1,282 @@
+(* Static speculative-taint analysis over lowered micro-op programs.
+
+   Sources are the value channels of hoisted loads (Algorithm 1 moved
+   their requests above the guarding LoD branch, so the machine reads —
+   and fans out — cells the golden execution may never touch). Taint then
+   flows through plain dataflow on micro-op slots, φ-edge copies, the
+   inter-unit load-value channels and, at array granularity, through
+   memory (a tainted Produce marks its array; loads from a marked array
+   are tainted). The fixpoint is tiny: slots are SSA (one def each), so
+   only the channel/array feedback loops need iteration.
+
+   Sites — tainted request addresses, tainted branch conditions, tainted
+   produced values — are exactly the places a secret can reach something
+   the timing replay observes (trace payloads, cache/DRAM indexing,
+   schedule shape). Leak.search's dynamic witnesses can therefore only
+   diverge on taint-flagged programs; test/test_leak.ml pins that. *)
+
+module Lower = Dae_sim.Lower
+module Trace = Dae_sim.Trace
+
+type site_kind = Load_addr | Store_addr | Control | Value_channel
+
+type site = {
+  s_kind : site_kind;
+  s_unit : Trace.unit_id;
+  s_block : int;
+  s_arr : string;
+  s_mem : int;
+  s_speculative : bool;
+}
+
+type t = {
+  sources : int list;
+  tainted_mems : int list;
+  tainted_arrays : string list;
+  sites : site list;
+}
+
+let site_kind_name = function
+  | Load_addr -> "load-addr"
+  | Store_addr -> "store-addr"
+  | Control -> "control"
+  | Value_channel -> "value-channel"
+
+let clean t = t.sites = []
+
+(* hoisted load mems: the secret sources; all hoisted mems: requests that
+   issue before their guard resolves (marks a site as speculative) *)
+let spec_sets (p : Dae_core.Pipeline.t) =
+  match p.Dae_core.Pipeline.spec with
+  | None -> ([], fun _ -> false)
+  | Some s ->
+    let h = s.Dae_core.Pipeline.hoist in
+    let loads =
+      List.concat_map
+        (fun (_, reqs) ->
+          List.filter_map
+            (fun (r : Dae_core.Hoist.spec_req) ->
+              if r.Dae_core.Hoist.is_store then None
+              else Some r.Dae_core.Hoist.mem)
+            reqs)
+        h.Dae_core.Hoist.spec_req_map
+    in
+    let sources = List.sort_uniq compare loads in
+    let hoisted = h.Dae_core.Hoist.hoisted_mems in
+    (sources, fun m -> List.mem m hoisted)
+
+let analyze (p : Dae_core.Pipeline.t) : t =
+  let low = Lower.compile p in
+  let sources, is_hoisted = spec_sets p in
+  let n_arrays = Array.length low.Lower.arrays in
+  let mem_tainted = Array.make (max low.Lower.n_mems 1) false in
+  let arr_tainted = Array.make (max n_arrays 1) false in
+  List.iter (fun m -> mem_tainted.(m) <- true) sources;
+  let progs = [ low.Lower.agu; low.Lower.cu ] in
+  let slots =
+    List.map (fun (u : Lower.uprog) -> Array.make (max u.Lower.n_slots 1) false) progs
+  in
+  let changed = ref true in
+  let op_tainted taint = function
+    | Lower.Slot s -> taint.(s)
+    | Lower.Imm _ -> false
+  in
+  let set taint dst v =
+    if v && not taint.(dst) then begin
+      taint.(dst) <- true;
+      changed := true
+    end
+  in
+  (* slots are SSA but the load channels and arrays feed back across both
+     units, so iterate the whole pass until nothing moves *)
+  while !changed do
+    changed := false;
+    List.iter2
+      (fun (u : Lower.uprog) taint ->
+        Array.iter
+          (fun (b : Lower.blk) ->
+            Array.iter
+              (fun (_, copies) ->
+                Array.iter
+                  (fun (c : Lower.copy) ->
+                    set taint c.Lower.c_dst (op_tainted taint c.Lower.c_src))
+                  copies)
+              b.Lower.phis;
+            Array.iter
+              (fun (uop : Lower.uop) ->
+                match uop with
+                | Lower.Ubinop { dst; a; b; _ } ->
+                  set taint dst (op_tainted taint a || op_tainted taint b)
+                | Lower.Ucmp { dst; a; b; _ } ->
+                  set taint dst (op_tainted taint a || op_tainted taint b)
+                | Lower.Uselect { dst; c; a; b } ->
+                  set taint dst
+                    (op_tainted taint c || op_tainted taint a
+                   || op_tainted taint b)
+                | Lower.Unot { dst; a } -> set taint dst (op_tainted taint a)
+                | Lower.Uconsume { dst; mem; _ } ->
+                  set taint dst mem_tainted.(mem)
+                | Lower.Usend_ld { arr; idx; mem; _ } ->
+                  (* the loaded value is secret-dependent when either the
+                     array holds tainted data or the address itself is *)
+                  if
+                    (arr_tainted.(arr) || op_tainted taint idx)
+                    && not mem_tainted.(mem)
+                  then begin
+                    mem_tainted.(mem) <- true;
+                    changed := true
+                  end
+                | Lower.Usend_st _ | Lower.Upoison _ -> ()
+                | Lower.Uproduce { arr; value; _ } ->
+                  if op_tainted taint value && not arr_tainted.(arr) then begin
+                    arr_tainted.(arr) <- true;
+                    changed := true
+                  end)
+              b.Lower.uops)
+          u.Lower.blocks)
+      progs slots
+  done;
+  (* site collection: deterministic program order, deduped by identity *)
+  let seen = Hashtbl.create 16 in
+  let sites = ref [] in
+  let add s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      sites := s :: !sites
+    end
+  in
+  List.iter2
+    (fun (u : Lower.uprog) taint ->
+      Array.iter
+        (fun (b : Lower.blk) ->
+          Array.iter
+            (fun (uop : Lower.uop) ->
+              match uop with
+              | Lower.Usend_ld { arr; idx; mem; _ }
+                when op_tainted taint idx ->
+                add
+                  {
+                    s_kind = Load_addr;
+                    s_unit = u.Lower.u_unit;
+                    s_block = b.Lower.orig_bid;
+                    s_arr = low.Lower.arrays.(arr);
+                    s_mem = mem;
+                    s_speculative = is_hoisted mem;
+                  }
+              | Lower.Usend_st { arr; idx; mem; _ }
+                when op_tainted taint idx ->
+                add
+                  {
+                    s_kind = Store_addr;
+                    s_unit = u.Lower.u_unit;
+                    s_block = b.Lower.orig_bid;
+                    s_arr = low.Lower.arrays.(arr);
+                    s_mem = mem;
+                    s_speculative = is_hoisted mem;
+                  }
+              | Lower.Uproduce { arr; value; mem; _ }
+                when op_tainted taint value ->
+                add
+                  {
+                    s_kind = Value_channel;
+                    s_unit = u.Lower.u_unit;
+                    s_block = b.Lower.orig_bid;
+                    s_arr = low.Lower.arrays.(arr);
+                    s_mem = mem;
+                    s_speculative = is_hoisted mem;
+                  }
+              | _ -> ())
+            b.Lower.uops;
+          let ctrl op =
+            if op_tainted taint op then
+              add
+                {
+                  s_kind = Control;
+                  s_unit = u.Lower.u_unit;
+                  s_block = b.Lower.orig_bid;
+                  s_arr = "";
+                  s_mem = -1;
+                  s_speculative = false;
+                }
+          in
+          match b.Lower.term with
+          | Lower.Tcond (op, _, _) | Lower.Tswitch (op, _) -> ctrl op
+          | Lower.Tbr _ | Lower.Tret -> ())
+        u.Lower.blocks)
+    progs slots;
+  let collect_idx a =
+    let r = ref [] in
+    Array.iteri (fun i v -> if v then r := i :: !r) a;
+    List.rev !r
+  in
+  {
+    sources;
+    tainted_mems = collect_idx mem_tainted;
+    tainted_arrays =
+      List.map (fun i -> low.Lower.arrays.(i)) (collect_idx arr_tainted);
+    sites = List.rev !sites;
+  }
+
+let unit_slice = function
+  | Trace.Agu -> Diag.Agu
+  | Trace.Cu -> Diag.Cu
+
+let diags (t : t) : Diag.t list =
+  List.map
+    (fun s ->
+      let sev =
+        match s.s_kind with
+        | Load_addr | Store_addr | Control -> Diag.Error
+        | Value_channel -> Diag.Warning
+      in
+      let msg =
+        match s.s_kind with
+        | Load_addr ->
+          Fmt.str
+            "load-request address depends on a speculatively-loaded secret%s"
+            (if s.s_speculative then
+               " (and the request itself issues before its guard resolves)"
+             else "")
+        | Store_addr ->
+          Fmt.str
+            "store-request address depends on a speculatively-loaded secret%s"
+            (if s.s_speculative then
+               " (and the request itself issues before its guard resolves)"
+             else "")
+        | Control ->
+          "branch condition depends on a speculatively-loaded secret: the \
+           unit's whole event schedule is secret-dependent"
+        | Value_channel ->
+          "secret-dependent value enters the store-value channel (it lands \
+           in memory, reachable by later tainted loads)"
+      in
+      let mem = if s.s_mem >= 0 then Some s.s_mem else None in
+      let arr = if s.s_arr = "" then None else Some s.s_arr in
+      Diag.make ~block:s.s_block ?mem ?arr ~sev ~analysis:Diag.Taint
+        ~slice:(unit_slice s.s_unit) msg)
+    t.sites
+
+let pp ppf (t : t) =
+  if t.sources = [] then
+    Fmt.pf ppf "no speculative sources (nothing hoisted): clean@."
+  else begin
+    Fmt.pf ppf "sources (hoisted load mems): %a@."
+      Fmt.(list ~sep:(any ", ") (fun ppf m -> pf ppf "mem%d" m))
+      t.sources;
+    if t.tainted_arrays <> [] then
+      Fmt.pf ppf "tainted arrays: %a@."
+        Fmt.(list ~sep:(any ", ") string)
+        t.tainted_arrays;
+    if clean t then Fmt.pf ppf "0 leak sites: clean@."
+    else
+      List.iter
+        (fun s ->
+          Fmt.pf ppf "%s %s bb%d%s%s%s@."
+            (site_kind_name s.s_kind)
+            (Trace.unit_name s.s_unit)
+            s.s_block
+            (if s.s_arr = "" then "" else " " ^ s.s_arr)
+            (if s.s_mem >= 0 then Fmt.str " mem%d" s.s_mem else "")
+            (if s.s_speculative then " (speculative request)" else ""))
+        t.sites
+  end

@@ -1,0 +1,68 @@
+(** Static speculative-taint analysis over lowered micro-op programs.
+
+    The speculation pass (Algorithm 1) hoists memory requests above the
+    loss-of-decoupling branch that guards them, so the machine reads cells
+    the architectural (golden) execution never touches. The *values* of
+    those speculatively-loaded cells are the secrets: this pass marks every
+    hoisted load's value channel as a taint source and propagates taint
+    through both units' micro-op dataflow — slot arithmetic, φ copies,
+    select conditions, inter-unit load channels, and (at array granularity)
+    values stored and later reloaded — then flags every program point where
+    a tainted value becomes microarchitecturally observable before the
+    speculation resolves:
+
+    - a tainted *address* at a load or store request port (the classic
+      speculative-leak gadget: cache set/bank, DRAM row and LSQ occupancy
+      all key on the address);
+    - a tainted *branch condition* (the unit's control path, hence its
+      whole event schedule, depends on the secret);
+    - a tainted *value* entering the store-value channel (channel occupancy
+      is value-blind, but the value lands in memory where a later tainted
+      load address can pick it up — kept as a warning-level egress).
+
+    A program with no sites is *clean*: its event streams — the only thing
+    the timing replay observes — are independent of every speculatively-read
+    cell, so no interference witness ({!Leak}) can exist. The converse is
+    deliberately conservative: a flagged site need not be dynamically
+    reachable with a secret that diverges (mm's control site, for one,
+    never fires because architecturally-dead values are dead in SSA too). *)
+
+type site_kind =
+  | Load_addr  (** tainted index reaches a load-request port *)
+  | Store_addr  (** tainted index reaches a store-request port *)
+  | Control  (** tainted terminator condition *)
+  | Value_channel  (** tainted value produced onto the store-value channel *)
+
+type site = {
+  s_kind : site_kind;
+  s_unit : Dae_sim.Trace.unit_id;
+  s_block : int;  (** original block id, for diagnostics *)
+  s_arr : string;
+  s_mem : int;
+  s_speculative : bool;
+      (** the flagged request is itself hoisted: it issues, with its
+          secret-dependent address, before the guard resolves *)
+}
+
+type t = {
+  sources : int list;  (** hoisted load mem ids — the secret value channels *)
+  tainted_mems : int list;  (** load channels carrying tainted values *)
+  tainted_arrays : string list;  (** arrays a tainted value was stored to *)
+  sites : site list;  (** deterministic order: AGU then CU, program order *)
+}
+
+val analyze : Dae_core.Pipeline.t -> t
+(** Lower the pipeline ({!Dae_sim.Lower.compile}) and run the taint
+    fixpoint. Dae-mode pipelines (and Spec pipelines where nothing was
+    hoisted) have no sources and are vacuously clean. *)
+
+val clean : t -> bool
+(** No sites — see the module comment for what that guarantees. *)
+
+val site_kind_name : site_kind -> string
+
+val diags : t -> Diag.t list
+(** One diagnostic per site: address and control sites are [Error],
+    value-channel egress is [Warning]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -85,6 +85,70 @@ let fig4_mem ?(n = 32) ?(seed = 3) () =
 
 let fig4_args n = [ ("n", Types.Vint n) ]
 
+(* The randomized-CFG generator profiles shared by the qcheck properties
+   in test_retime, test_mem, test_sizing and test_leak — one place to
+   widen the envelope for every differential property at once. [gen_cfg]
+   is the default kernel; [gen_cfg_multi] stores to several arrays with
+   longer bodies and (by default) small inner loops, whose requests stay
+   synchronized — partial decoupling the properties must survive. *)
+let gen_cfg ~seed = Dae_workloads.Gen.generate ~seed ()
+
+let gen_cfg_multi ?(inner_loops = true) ~seed () =
+  Dae_workloads.Gen.generate ~seed ~stored:2 ~max_stmts:14 ~inner_loops ()
+
+(* Speculative-leakage gadget for the taint/poison interplay tests: the
+   guard loads the stored array (an LoD source), so speculation hoists
+   both the secret load b[i] and the store whose *address* is computed
+   from that secret. On iterations where the guard is false the store is
+   poison-killed — but its request, secret-dependent address and all,
+   already reached the request channel, and b[i] was read even though the
+   golden execution never touches it. *)
+let leak_gadget () =
+  let b = Builder.create ~name:"gadget" ~params:[ "n" ] in
+  let (_ : Types.operand list) =
+    Builder.counted_loop b ~n:(Builder.param b "n") (fun b ~i ~carried:_ ->
+        let g = Builder.load b "a" i in
+        let c = Builder.cmp b Instr.Sgt g (Builder.int 0) in
+        Builder.if_ b c
+          ~then_:(fun b ->
+            let s = Builder.load b "b" i in
+            let idx = Builder.binop b Instr.And s (Builder.int 7) in
+            Builder.store b "a" ~idx ~value:(Builder.int 1))
+          ();
+        [])
+  in
+  Builder.seal b
+
+(* The non-speculative twin: same secret-dependent store address, but no
+   guard — nothing is hoisted, every read is architectural, so the taint
+   pass must call it clean and the witness search must come up empty. *)
+let leak_gadget_twin () =
+  let b = Builder.create ~name:"gadget_twin" ~params:[ "n" ] in
+  let (_ : Types.operand list) =
+    Builder.counted_loop b ~n:(Builder.param b "n") (fun b ~i ~carried:_ ->
+        let s = Builder.load b "b" i in
+        let idx = Builder.binop b Instr.And s (Builder.int 7) in
+        Builder.store b "a" ~idx ~value:(Builder.int 1);
+        [])
+  in
+  Builder.seal b
+
+let leak_gadget_n = 24
+
+(* a: mostly non-positive guards (plenty of kills); b: the secrets *)
+let leak_gadget_mem ?(seed = 11) () =
+  let rng = Dae_workloads.Rng.create seed in
+  Interp.Memory.create
+    [
+      ( "a",
+        Array.init leak_gadget_n (fun _ ->
+            if Dae_workloads.Rng.int rng 4 = 0 then 1 else 0) );
+      ( "b",
+        Array.init leak_gadget_n (fun _ -> Dae_workloads.Rng.int rng 1000) );
+    ]
+
+let leak_gadget_args = [ ("n", Types.Vint leak_gadget_n) ]
+
 (* Figure 1(b)/(c): the running example `if (A[i] > 0) A[i] = 0`. *)
 let fig1 () =
   let b = Builder.create ~name:"fig1" ~params:[ "n" ] in

@@ -327,12 +327,10 @@ let qcheck_props =
   [
     Test.make ~name:"SC oracle + retime equiv, randomized kernels" ~count:25
       small_nat
-      (fun seed -> gen_point_ok (G.generate ~seed ()));
+      (fun seed -> gen_point_ok (Fixtures.gen_cfg ~seed));
     Test.make ~name:"same, multi-array stores and inner loops" ~count:15
       small_nat
-      (fun seed ->
-        gen_point_ok
-          (G.generate ~seed ~stored:2 ~max_stmts:14 ~inner_loops:true ()));
+      (fun seed -> gen_point_ok (Fixtures.gen_cfg_multi ~seed ()));
   ]
 
 let () =

@@ -143,11 +143,10 @@ let qcheck_props =
   let open QCheck in
   [
     Test.make ~name:"re-timed == fused, randomized CFGs" ~count:60 small_nat
-      (fun seed -> gen_retime_equiv (G.generate ~seed ()));
+      (fun seed -> gen_retime_equiv (Fixtures.gen_cfg ~seed));
     Test.make ~name:"same, stores on several arrays and inner loops" ~count:30
       small_nat (fun seed ->
-        gen_retime_equiv
-          (G.generate ~seed ~stored:2 ~max_stmts:14 ~inner_loops:true ()));
+        gen_retime_equiv (Fixtures.gen_cfg_multi ~seed ()));
   ]
 
 (* --- cache round-trip ------------------------------------------------------ *)

@@ -211,10 +211,10 @@ let qcheck_props =
   [
     Test.make ~name:"analyzer minimums are safe, min-1 is the boundary"
       ~count:40 gen_seed
-      (fun seed -> gen_sizing_sound (G.generate ~seed ()));
+      (fun seed -> gen_sizing_sound (Fixtures.gen_cfg ~seed));
     Test.make ~name:"same, with stores on several arrays" ~count:15 gen_seed
       (fun seed ->
-        gen_sizing_sound (G.generate ~seed ~stored:2 ~max_stmts:14 ()));
+        gen_sizing_sound (Fixtures.gen_cfg_multi ~inner_loops:false ~seed ()));
   ]
 
 let () =
