@@ -7,8 +7,8 @@
      dune exec bench/main.exe -- --section fig6 --section table1   # same
      dune exec bench/main.exe -- --jobs 4 --json out.json fig6
      dune exec bench/main.exe -- --quick            # fig6 on small kernels
-     sections: fig6 table1 table2 fig7 ablation sizing leak sweep mem micro
-     smoke
+     sections: fig6 table1 table2 fig7 ablation sizing leak sweep mem mlp
+     micro smoke
 
    Every section first *declares* its simulation jobs (kernel × arch ×
    config); the distinct jobs are fanned out once over a work-stealing
@@ -19,10 +19,13 @@
    GC pressure, the pool's own scheduling statistics (per-domain
    utilization, steal counts), and the channel-sizing analyzer's
    per-channel minimum depths and deadlock verdict — are written to
-   BENCH_8.json so the perf trajectory is machine-readable from PR 1
+   BENCH_9.json so the perf trajectory is machine-readable from PR 1
    onward. The leak section adds the static speculative-leakage census
    (taint sources and leak sites per kernel and mode; `daec leak`'s
-   verdicts). The sweep section additionally runs the trace-driven
+   verdicts). The mlp section re-runs DAE on the graph/irregular
+   kernels under the cache hierarchy at 1, 2 and the partitioner's
+   natural N access units (jobs keyed with a `#uN` suffix). The sweep
+   section additionally runs the trace-driven
    re-timing DSE engine cold and warm over its on-disk result cache and
    records both passes' throughput and hit rates.
 
@@ -81,18 +84,24 @@ type sim_req = {
   r_kernel : string;
   r_arch : Dae_sim.Machine.arch;
   r_cfg : Dae_sim.Config.t;
+  r_partition : Dae_core.Decouple.assignment option; (* N-way access DAG *)
   r_mk : unit -> Kernels.t; (* built fresh in the worker domain *)
 }
 
-let req ?(cfg = Dae_sim.Config.default) ~kernel ~arch mk =
+let req ?(cfg = Dae_sim.Config.default) ?partition ~kernel ~arch mk =
   {
     r_key =
-      Printf.sprintf "%s:%s:%s" kernel
+      Printf.sprintf "%s:%s:%s%s" kernel
         (Dae_sim.Machine.arch_name arch)
-        (Dae_sim.Config.key cfg);
+        (Dae_sim.Config.key cfg)
+        (match partition with
+        | None -> ""
+        | Some (a : Dae_core.Decouple.assignment) ->
+          Printf.sprintf "#u%d" a.Dae_core.Decouple.n_access);
     r_kernel = kernel;
     r_arch = arch;
     r_cfg = cfg;
+    r_partition = partition;
     r_mk = mk;
   }
 
@@ -101,7 +110,7 @@ let run_req (r : sim_req) : sim_out =
   let g0 = Gc.quick_stat () in
   let k = r.r_mk () in
   let res =
-    Dae_sim.Machine.simulate ~cfg:r.r_cfg r.r_arch
+    Dae_sim.Machine.simulate ~cfg:r.r_cfg ?partition:r.r_partition r.r_arch
       (k.Kernels.build ())
       ~invocations:(k.Kernels.invocations ())
       ~mem:(k.Kernels.init_mem ())
@@ -789,6 +798,71 @@ let mem_print () =
         (harmonic_mean !slowdowns))
     mem_points
 
+(* --- mlp: N-way access-unit scaling on the graph/irregular kernels --------- *)
+
+(* The static partitioner's case for more than one access unit: under the
+   cache hierarchy (cache-base geometry), re-run DAE with the address
+   streams split across 1 (classic AGU), 2, and the inferred natural N
+   access units. Independent streams in their own units issue their
+   misses concurrently instead of serializing behind one AGU's blocked
+   loads, so the MLP — and with it the cycle count — should improve on
+   the kernels whose partition DAG is wider than the classic split. The
+   1-unit point is partition-free and dedups with the mem section's
+   cache-base DAE job. *)
+let mlp_kernels = [ "bfs"; "bc"; "sssp"; "mm"; "spmv" ]
+
+let mlp_units name =
+  match Kernels.by_name (bench_suite ()) name with
+  | None -> []
+  | Some k ->
+    let natural =
+      Dae_analysis.Partition.analyze (k.Kernels.build ())
+    in
+    let n = natural.Dae_analysis.Partition.assignment.Dae_core.Decouple.n_access in
+    List.sort_uniq compare [ 1; min 2 n; n ]
+
+let mlp_req name units =
+  let mk () =
+    match Kernels.by_name (bench_suite ()) name with
+    | Some k -> k
+    | None -> assert false
+  in
+  let partition =
+    if units <= 1 then None
+    else
+      let k = mk () in
+      Some
+        (Dae_analysis.Partition.analyze ~max_units:units (k.Kernels.build ()))
+          .Dae_analysis.Partition.assignment
+  in
+  req
+    ~cfg:(mem_cfg Dae_sim.Config.default_geom)
+    ?partition ~kernel:name ~arch:Dae_sim.Machine.Dae mk
+
+let mlp_reqs () =
+  List.concat_map
+    (fun name -> List.map (mlp_req name) (mlp_units name))
+    mlp_kernels
+
+let mlp_print () =
+  Fmt.pr
+    "@.== MLP scaling: DAE cycles vs access-unit count (cache-base) ==@.";
+  Fmt.pr "%-6s %6s %10s %10s %10s %9s %9s@." "kernel" "units" "1-unit"
+    "2-unit" "N-unit" "2u/1u" "Nu/2u";
+  List.iter
+    (fun name ->
+      match mlp_units name with
+      | [] -> ()
+      | units ->
+        let cycles u = float_of_int (get (mlp_req name u)).o_cycles in
+        let n = List.fold_left max 1 units in
+        let c1 = cycles 1 in
+        let c2 = if List.mem 2 units then cycles 2 else c1 in
+        let cn = cycles n in
+        Fmt.pr "%-6s %6d %10.0f %10.0f %10.0f %8.2fx %8.2fx@." name n c1 c2
+          cn (c1 /. c2) (c2 /. cn))
+    mlp_kernels
+
 (* --- smoke: tiny sweep exercising the pool and the JSON emitter ------------- *)
 
 let smoke_reqs () =
@@ -1042,17 +1116,18 @@ let sections_all =
     { s_name = "leak"; s_reqs = (fun () -> []); s_print = leak_print };
     { s_name = "sweep"; s_reqs = (fun () -> []); s_print = sweep_print };
     { s_name = "mem"; s_reqs = mem_reqs; s_print = mem_print };
+    { s_name = "mlp"; s_reqs = mlp_reqs; s_print = mlp_print };
     { s_name = "micro"; s_reqs = (fun () -> []); s_print = micro };
     { s_name = "smoke"; s_reqs = smoke_reqs; s_print = smoke_print };
   ]
 
 let default_section_names =
   [ "fig6"; "table1"; "table2"; "fig7"; "ablation"; "sizing"; "leak";
-    "sweep"; "mem"; "micro" ]
+    "sweep"; "mem"; "mlp"; "micro" ]
 
 let () =
   let jobs = pool_jobs in
-  let json_path = ref "BENCH_8.json" in
+  let json_path = ref "BENCH_9.json" in
   let expect_path = ref None in
   let names = ref [] in
   let add_section s =

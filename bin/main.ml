@@ -17,6 +17,9 @@
      daec leak --suite quick --arch dae --arch spec --json
      daec size --kernel hist --mode both        # channel sizing report
      daec size --all-kernels --json             # machine-readable sweep
+     daec partition --kernel mm                 # N-way address-stream DAG
+     daec partition --all-kernels --max-units 3
+     daec partition --kernel spmv --dot         # cluster DAG as graphviz
      daec sweep --grid quick                    # memoized capacity DSE
      daec sweep --suite quick --expect out.txt  # deterministic point dump
      daec cache stats                           # on-disk result cache
@@ -52,6 +55,7 @@ let load_func ~file ~kernel =
    machine-readable outputs cannot drift apart in escaping or layout. *)
 module Json = struct
   type t =
+    | Null
     | Bool of bool
     | Int of int
     | Str of string
@@ -74,6 +78,7 @@ module Json = struct
     Buffer.contents b
 
   let rec pp ppf = function
+    | Null -> Fmt.pf ppf "null"
     | Bool b -> Fmt.pf ppf "%b" b
     | Int i -> Fmt.pf ppf "%d" i
     | Str s -> Fmt.pf ppf "\"%s\"" (escape s)
@@ -592,6 +597,24 @@ let trace_cmd =
 
 (* --- check --------------------------------------------------------------------- *)
 
+let diag_json (d : Dae_analysis.Diag.t) =
+  let module Diag = Dae_analysis.Diag in
+  Json.Obj
+    ([
+       ("severity", Json.Str (Diag.severity_name d.Diag.sev));
+       ("analysis", Json.Str (Diag.analysis_name d.Diag.analysis));
+       ("slice", Json.Str (Diag.slice_name d.Diag.slice));
+     ]
+    @ (match d.Diag.block with
+      | Some b -> [ ("block", Json.Int b) ]
+      | None -> [])
+    @ (match d.Diag.edge with
+      | Some (a, b) -> [ ("edge", Json.List [ Json.Int a; Json.Int b ]) ]
+      | None -> [])
+    @ (match d.Diag.mem with Some m -> [ ("mem", Json.Int m) ] | None -> [])
+    @ (match d.Diag.arr with Some a -> [ ("arr", Json.Str a) ] | None -> [])
+    @ [ ("msg", Json.Str d.Diag.msg) ])
+
 let check_cmd =
   let modes_of = function
     | `Dae -> [ Dae_core.Pipeline.Dae ]
@@ -602,56 +625,79 @@ let check_cmd =
     | Dae_core.Pipeline.Dae -> "dae"
     | Dae_core.Pipeline.Spec -> "spec"
   in
-  let check_one ~path_limit ~verbose name mode (f : Dae_ir.Func.t) =
-    match Dae_core.Pipeline.compile ~mode ~check:true f with
-    | exception Dae_core.Pipeline.Compile_error e ->
-      Fmt.pr "%s (%s): compile error@.  %s@." name (mode_name mode) e;
-      (1, 0)
-    | p ->
-      let ds = Dae_analysis.Checker.run ~path_limit p in
-      let shown =
-        if verbose then ds
-        else List.filter (fun d -> d.Dae_analysis.Diag.sev <> Dae_analysis.Diag.Info) ds
-      in
-      Fmt.pr "%s (%s): %a" name (mode_name mode) Dae_analysis.Diag.pp_report
-        shown;
-      (Dae_analysis.Diag.errors ds, Dae_analysis.Diag.warnings ds)
-  in
-  let run file kernel all_kernels mode path_limit verbose =
-    let targets =
+  let run file kernel all_kernels mode path_limit verbose json =
+    let errs = ref 0 and warns = ref 0 in
+    let n_targets = ref 0 in
+    let json_items = ref [] in
+    let process name f =
+      incr n_targets;
+      List.iter
+        (fun mode ->
+          match
+            Dae_core.Pipeline.compile ~mode ~check:true (Dae_ir.Func.clone f)
+          with
+          | exception Dae_core.Pipeline.Compile_error e ->
+            incr errs;
+            if json then
+              json_items :=
+                Json.Obj
+                  [
+                    ("kernel", Json.Str name);
+                    ("mode", Json.Str (mode_name mode));
+                    ("compile_error", Json.Str e);
+                  ]
+                :: !json_items
+            else
+              Fmt.pr "%s (%s): compile error@.  %s@." name (mode_name mode) e
+          | p ->
+            let ds = Dae_analysis.Checker.run ~path_limit p in
+            errs := !errs + Dae_analysis.Diag.errors ds;
+            warns := !warns + Dae_analysis.Diag.warnings ds;
+            if json then
+              json_items :=
+                Json.Obj
+                  [
+                    ("kernel", Json.Str name);
+                    ("mode", Json.Str (mode_name mode));
+                    ("errors", Json.Int (Dae_analysis.Diag.errors ds));
+                    ("warnings", Json.Int (Dae_analysis.Diag.warnings ds));
+                    ("diagnostics", Json.List (List.map diag_json ds));
+                  ]
+                :: !json_items
+            else begin
+              let shown =
+                if verbose then ds
+                else
+                  List.filter
+                    (fun d ->
+                      d.Dae_analysis.Diag.sev <> Dae_analysis.Diag.Info)
+                    ds
+              in
+              Fmt.pr "%s (%s): %a" name (mode_name mode)
+                Dae_analysis.Diag.pp_report shown
+            end)
+        (modes_of mode)
+    in
+    let dispatched =
       if all_kernels then
-        Ok
-          (List.map
-             (fun (k : Dae_workloads.Kernels.t) ->
-               (k.Dae_workloads.Kernels.name, k.Dae_workloads.Kernels.build ()))
-             (kernels ()))
+        Dae_workloads.Kernels.suite_iter (fun k ->
+            process k.Dae_workloads.Kernels.name
+              (k.Dae_workloads.Kernels.build ()))
       else
         match load_func ~file ~kernel with
         | Error e -> Error e
-        | Ok (f, Some k) -> Ok [ (k.Dae_workloads.Kernels.name, f) ]
-        | Ok (f, None) -> Ok [ (f.Dae_ir.Func.name, f) ]
+        | Ok (f, Some k) -> Ok (process k.Dae_workloads.Kernels.name f)
+        | Ok (f, None) -> Ok (process f.Dae_ir.Func.name f)
     in
-    match targets with
+    (match dispatched with
     | Error e ->
       Fmt.epr "%s@." e;
       exit 2
-    | Ok targets ->
-      let errs = ref 0 and warns = ref 0 in
-      List.iter
-        (fun (name, f) ->
-          List.iter
-            (fun mode ->
-              let e, w =
-                check_one ~path_limit ~verbose name mode
-                  (Dae_ir.Func.clone f)
-              in
-              errs := !errs + e;
-              warns := !warns + w)
-            (modes_of mode))
-        targets;
-      if List.length targets > 1 then
-        Fmt.pr "total: %d error(s), %d warning(s)@." !errs !warns;
-      if !errs > 0 then exit 1
+    | Ok () -> ());
+    if json then Fmt.pr "%a@." Json.pp (Json.List (List.rev !json_items))
+    else if !n_targets > 1 then
+      Fmt.pr "total: %d error(s), %d warning(s)@." !errs !warns;
+    if !errs > 0 then exit 1
   in
   let all_kernels_arg =
     Arg.(value & flag
@@ -673,6 +719,13 @@ let check_cmd =
     Arg.(value & flag & info [ "v"; "verbose" ]
            ~doc:"Also print info-level diagnostics.")
   in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one JSON object per kernel and mode (error and \
+                   warning counts plus every diagnostic, including \
+                   info-level) instead of the report.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -681,7 +734,7 @@ let check_cmd =
           (§5.1). Exits 1 when any error-level diagnostic is found.")
     Term.(
       const run $ file_arg $ kernel_arg $ all_kernels_arg $ mode_arg
-      $ path_limit_arg $ verbose_arg)
+      $ path_limit_arg $ verbose_arg $ json_arg)
 
 (* --- leak ---------------------------------------------------------------------- *)
 
@@ -743,23 +796,6 @@ let leak_cmd =
     | Dae_sim.Machine.Sta -> None
   in
   let run suite kernel_names archs witness budget json hierarchy =
-    let suite_kernels =
-      match suite with
-      | `Quick -> Dae_workloads.Kernels.test_suite ()
-      | `Paper -> Dae_workloads.Kernels.paper_suite ()
-    in
-    let selected =
-      if kernel_names = [] then suite_kernels
-      else
-        List.filter
-          (fun (k : Dae_workloads.Kernels.t) ->
-            List.mem k.Dae_workloads.Kernels.name kernel_names)
-          suite_kernels
-    in
-    if selected = [] then begin
-      Fmt.epr "no kernels selected (try `daec list')@.";
-      exit 2
-    end;
     let archs =
       if archs = [] then [ Dae_sim.Machine.Spec ]
       else if List.mem Dae_sim.Machine.Sta archs then begin
@@ -781,8 +817,9 @@ let leak_cmd =
     in
     let failed = ref false in
     let json_items = ref [] in
-    List.iter
-      (fun (k : Dae_workloads.Kernels.t) ->
+    let census =
+      Dae_workloads.Kernels.suite_iter ~suite ~only:kernel_names
+        (fun (k : Dae_workloads.Kernels.t) ->
         let name = k.Dae_workloads.Kernels.name in
         List.iter
           (fun arch ->
@@ -847,7 +884,12 @@ let leak_cmd =
                 Fmt.pr "@."
               end)
           archs)
-      selected;
+    in
+    (match census with
+    | Ok () -> ()
+    | Error e ->
+      Fmt.epr "%s@." e;
+      exit 2);
     if json then
       Fmt.pr "%a@." Json.pp (Json.List (List.rev !json_items));
     if !failed then exit 1
@@ -903,6 +945,56 @@ let leak_cmd =
       $ budget_arg $ json_arg $ hierarchy_term)
 
 (* --- size ---------------------------------------------------------------------- *)
+
+(* `size --json` on the shared emitter: same shape the sizing analyzer's
+   report describes (verdict, critical channel, bound coefficients,
+   per-channel depth/rate table). *)
+let sizing_json ~kernel ~mode (sz : Dae_analysis.Sizing.t) =
+  let module Sizing = Dae_analysis.Sizing in
+  let module Channel = Dae_analysis.Channel in
+  let chan_json (s : Sizing.sized) =
+    Json.Obj
+      [
+        ("name", Json.Str (Channel.name s.Sizing.sz_chan.Channel.kind));
+        ("knob", Json.Str (Channel.knob s.Sizing.sz_chan.Channel.kind));
+        ("configured", Json.Int s.Sizing.sz_configured);
+        ("min_depth", Json.Int s.Sizing.sz_min);
+        ("matched_depth", Json.Int s.Sizing.sz_matched);
+        ("rate_lo", Json.Int s.Sizing.sz_chan.Channel.rate.Channel.lo);
+        ("rate_hi", Json.Int s.Sizing.sz_chan.Channel.rate.Channel.hi);
+        ("spec_hi", Json.Int s.Sizing.sz_chan.Channel.rate.Channel.spec_hi);
+        ("kill_hi", Json.Int s.Sizing.sz_chan.Channel.rate.Channel.kill_hi);
+      ]
+  in
+  Json.Obj
+    ([
+       ("kernel", Json.Str kernel);
+       ("mode", Json.Str mode);
+       ( "verdict",
+         Json.Str
+           (match sz.Sizing.verdict with
+           | Sizing.Deadlock_free -> "deadlock-free"
+           | Sizing.Deadlock _ -> "deadlock") );
+       ( "critical",
+         match sz.Sizing.critical with
+         | Some k -> Json.Str (Channel.name k)
+         | None -> Json.Null );
+       ("bound_per_event", Json.Int sz.Sizing.bound_per_event);
+       ("bound_fill", Json.Int sz.Sizing.bound_fill);
+       ( "min_depths",
+         Json.Obj
+           (List.map
+              (fun (s : Sizing.sized) ->
+                (Channel.name s.Sizing.sz_chan.Channel.kind,
+                 Json.Int s.Sizing.sz_min))
+              sz.Sizing.channels) );
+       ("channels", Json.List (List.map chan_json sz.Sizing.channels));
+     ]
+    @
+    match sz.Sizing.verdict with
+    | Sizing.Deadlock cycles ->
+      [ ("deadlock_cycles", Json.List (List.map (fun c -> Json.Str c) cycles)) ]
+    | Sizing.Deadlock_free -> [])
 
 let size_cmd =
   let modes_of = function
@@ -973,75 +1065,60 @@ let size_cmd =
   in
   let run file kernel all_kernels mode json validate sq lq fifo_lat req_fifo
       val_fifo stv_fifo path_limit =
-    let targets =
+    let cfg = cfg_of ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo () in
+    let failed = ref false in
+    let json_items = ref [] in
+    let process name f krec =
+      List.iter
+        (fun mode ->
+          match Dae_core.Pipeline.compile ~mode (Dae_ir.Func.clone f) with
+          | exception Dae_core.Pipeline.Compile_error e ->
+            failed := true;
+            Fmt.epr "%s (%s): compile error@.  %s@." name (mode_name mode) e
+          | p -> (
+            match Dae_analysis.Sizing.analyze ~path_limit ~cfg p with
+            | Error (b : Dae_analysis.Segments.budget) ->
+              failed := true;
+              Fmt.epr
+                "%s (%s): sizing skipped — %d blocks explored from bb%d \
+                 exceed the segment budget of %d@."
+                name (mode_name mode) b.Dae_analysis.Segments.explored
+                b.Dae_analysis.Segments.start b.Dae_analysis.Segments.limit
+            | Ok sz ->
+              if json then
+                json_items :=
+                  sizing_json ~kernel:name ~mode:(mode_name mode) sz
+                  :: !json_items
+              else begin
+                Fmt.pr "%s (%s): %a" name (mode_name mode)
+                  Dae_analysis.Sizing.pp sz;
+                match krec with
+                | Some k when validate ->
+                  if not (validate_sim ~cfg ~mode k sz) then failed := true
+                | _ -> ()
+              end;
+              if Dae_analysis.Sizing.deadlocks sz then failed := true))
+        (modes_of mode)
+    in
+    let dispatched =
       if all_kernels then
-        Ok
-          (List.map
-             (fun (k : Dae_workloads.Kernels.t) ->
-               ( k.Dae_workloads.Kernels.name,
-                 k.Dae_workloads.Kernels.build (),
-                 Some k ))
-             (kernels ()))
+        Dae_workloads.Kernels.suite_iter (fun k ->
+            process k.Dae_workloads.Kernels.name
+              (k.Dae_workloads.Kernels.build ())
+              (Some k))
       else
         match load_func ~file ~kernel with
         | Error e -> Error e
-        | Ok (f, Some k) -> Ok [ (k.Dae_workloads.Kernels.name, f, Some k) ]
-        | Ok (f, None) -> Ok [ (f.Dae_ir.Func.name, f, None) ]
+        | Ok (f, Some k) -> Ok (process k.Dae_workloads.Kernels.name f (Some k))
+        | Ok (f, None) -> Ok (process f.Dae_ir.Func.name f None)
     in
-    match targets with
+    (match dispatched with
     | Error e ->
       Fmt.epr "%s@." e;
       exit 2
-    | Ok targets ->
-      let cfg = cfg_of ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo () in
-      let failed = ref false in
-      let json_items = ref [] in
-      List.iter
-        (fun (name, f, krec) ->
-          List.iter
-            (fun mode ->
-              match
-                Dae_core.Pipeline.compile ~mode (Dae_ir.Func.clone f)
-              with
-              | exception Dae_core.Pipeline.Compile_error e ->
-                failed := true;
-                Fmt.epr "%s (%s): compile error@.  %s@." name
-                  (mode_name mode) e
-              | p -> (
-                match
-                  Dae_analysis.Sizing.analyze ~path_limit ~cfg p
-                with
-                | Error (b : Dae_analysis.Segments.budget) ->
-                  failed := true;
-                  Fmt.epr
-                    "%s (%s): sizing skipped — %d blocks explored from \
-                     bb%d exceed the segment budget of %d@."
-                    name (mode_name mode) b.Dae_analysis.Segments.explored
-                    b.Dae_analysis.Segments.start
-                    b.Dae_analysis.Segments.limit
-                | Ok sz ->
-                  if json then
-                    json_items :=
-                      Dae_analysis.Sizing.to_json ~kernel:name
-                        ~mode:(mode_name mode) sz
-                      :: !json_items
-                  else begin
-                    Fmt.pr "%s (%s): %a" name (mode_name mode)
-                      Dae_analysis.Sizing.pp sz;
-                    match krec with
-                    | Some k when validate ->
-                      if not (validate_sim ~cfg ~mode k sz) then
-                        failed := true
-                    | _ -> ()
-                  end;
-                  if Dae_analysis.Sizing.deadlocks sz then failed := true))
-            (modes_of mode))
-        targets;
-      if json then
-        Fmt.pr "[%a]@."
-          Fmt.(list ~sep:(any ",@.") string)
-          (List.rev !json_items);
-      if !failed then exit 1
+    | Ok () -> ());
+    if json then Fmt.pr "%a@." Json.pp (Json.List (List.rev !json_items));
+    if !failed then exit 1
   in
   let all_kernels_arg =
     Arg.(value & flag
@@ -1081,6 +1158,172 @@ let size_cmd =
       const run $ file_arg $ kernel_arg $ all_kernels_arg $ mode_arg
       $ json_arg $ validate_arg $ sq_arg $ lq_arg $ fifo_lat_arg
       $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg $ path_limit_arg)
+
+(* --- partition ----------------------------------------------------------------- *)
+
+let partition_cmd =
+  let module Partition = Dae_analysis.Partition in
+  let cluster_json (c : Partition.cluster) =
+    Json.Obj
+      [
+        ("unit", Json.Int c.Partition.cl_unit);
+        ("name", Json.Str (Partition.unit_name c.Partition.cl_unit));
+        ( "arrays",
+          Json.List (List.map (fun a -> Json.Str a) c.Partition.cl_arrays) );
+        ("loads", Json.Int c.Partition.cl_loads);
+        ("stores", Json.Int c.Partition.cl_stores);
+        ("traffic", Json.Int c.Partition.cl_traffic);
+        ("mlp", Json.Int c.Partition.cl_streams);
+      ]
+  in
+  let edge_json (e : Partition.edge) =
+    Json.Obj
+      [
+        ("src", Json.Int e.Partition.e_src);
+        ("dst", Json.Int e.Partition.e_dst);
+        ("kind", Json.Str (Partition.edge_kind_name e.Partition.e_kind));
+        ("src_arr", Json.Str e.Partition.e_src_arr);
+        ("dst_arr", Json.Str e.Partition.e_dst_arr);
+      ]
+  in
+  let run file kernel all_kernels max_units json dot =
+    let failed = ref false in
+    let json_items = ref [] in
+    let process name f =
+      let pa = Partition.analyze ?max_units (Dae_ir.Func.clone f) in
+      if dot then Fmt.pr "%a" Partition.pp_dot pa
+      else begin
+        (* re-verify the emitted DAG end to end: compile under the
+           assignment, then run the generalized soundness checker and the
+           sizing analyzer over the N-way pipeline *)
+        let verify =
+          match
+            Dae_core.Pipeline.compile ~mode:Dae_core.Pipeline.Dae
+              ~partition:pa.Partition.assignment (Dae_ir.Func.clone f)
+          with
+          | exception Dae_core.Pipeline.Compile_error e -> Error e
+          | p ->
+            Ok
+              ( Dae_analysis.Checker.run p,
+                Dae_analysis.Sizing.analyze ~cfg:Dae_sim.Config.default p )
+        in
+        if json then
+          json_items :=
+            Json.Obj
+              ([
+                 ("kernel", Json.Str name);
+                 ("n_units", Json.Int (List.length pa.Partition.clusters));
+                 ("n_arrays", Json.Int pa.Partition.n_arrays);
+                 ( "clusters",
+                   Json.List (List.map cluster_json pa.Partition.clusters) );
+                 ("edges", Json.List (List.map edge_json pa.Partition.edges));
+               ]
+              @
+              match verify with
+              | Error e ->
+                failed := true;
+                [ ("compile_error", Json.Str e) ]
+              | Ok (ds, sz) ->
+                let errs = Dae_analysis.Diag.errors ds in
+                if errs > 0 then failed := true;
+                [
+                  ("check_errors", Json.Int errs);
+                  ("check_warnings", Json.Int (Dae_analysis.Diag.warnings ds));
+                  ("diagnostics", Json.List (List.map diag_json ds));
+                  ( "sizing",
+                    match sz with
+                    | Error _ -> Json.Str "skipped"
+                    | Ok sz ->
+                      if Dae_analysis.Sizing.deadlocks sz then begin
+                        failed := true;
+                        Json.Str "deadlock"
+                      end
+                      else Json.Str "deadlock-free" );
+                ])
+            :: !json_items
+        else begin
+          Fmt.pr "%s: %a" name Partition.pp pa;
+          match verify with
+          | Error e ->
+            failed := true;
+            Fmt.pr "  compile error: %s@." e
+          | Ok (ds, sz) ->
+            let errs = Dae_analysis.Diag.errors ds in
+            if errs > 0 then failed := true;
+            Fmt.pr "  check (dae): %d error(s), %d warning(s)@." errs
+              (Dae_analysis.Diag.warnings ds);
+            List.iter
+              (fun d ->
+                if d.Dae_analysis.Diag.sev <> Dae_analysis.Diag.Info then
+                  Fmt.pr "    %a@." Dae_analysis.Diag.pp d)
+              ds;
+            (match sz with
+            | Error (b : Dae_analysis.Segments.budget) ->
+              Fmt.pr "  sizing (dae): skipped (segment budget %d exceeded)@."
+                b.Dae_analysis.Segments.limit
+            | Ok sz ->
+              if Dae_analysis.Sizing.deadlocks sz then begin
+                failed := true;
+                Fmt.pr "  sizing (dae): DEADLOCK at default depths@."
+              end
+              else Fmt.pr "  sizing (dae): deadlock-free at default depths@.")
+        end
+      end
+    in
+    let dispatched =
+      if all_kernels then
+        Dae_workloads.Kernels.suite_iter (fun k ->
+            process k.Dae_workloads.Kernels.name
+              (k.Dae_workloads.Kernels.build ()))
+      else
+        match load_func ~file ~kernel with
+        | Error e -> Error e
+        | Ok (f, Some k) -> Ok (process k.Dae_workloads.Kernels.name f)
+        | Ok (f, None) -> Ok (process f.Dae_ir.Func.name f)
+    in
+    (match dispatched with
+    | Error e ->
+      Fmt.epr "%s@." e;
+      exit 2
+    | Ok () -> ());
+    if json then Fmt.pr "%a@." Json.pp (Json.List (List.rev !json_items));
+    if !failed then exit 1
+  in
+  let all_kernels_arg =
+    Arg.(value & flag
+         & info [ "all-kernels" ] ~doc:"Partition every benchmark kernel.")
+  in
+  let max_units_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-units" ] ~docv:"N"
+             ~doc:"Cap the access-unit count: over budget, the two \
+                   lightest-traffic clusters merge repeatedly. 1 recovers \
+                   the classic single-AGU split.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one JSON object per kernel (clusters, edges and \
+                   the verification verdicts).")
+  in
+  let dot_arg =
+    Arg.(value & flag
+         & info [ "dot" ]
+             ~doc:"Emit the cluster DAG as graphviz instead of the report \
+                   (skips the compile/check/size verification).")
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:
+         "Statically partition a kernel's address streams into an N-way \
+          access-unit DAG: cluster loads/stores by array and \
+          address-dataflow reachability, report per-unit traffic and MLP, \
+          then re-verify the emitted assignment with the soundness checker \
+          and the channel-sizing analyzer. Exits 1 when verification \
+          fails.")
+    Term.(
+      const run $ file_arg $ kernel_arg $ all_kernels_arg $ max_units_arg
+      $ json_arg $ dot_arg)
 
 (* --- sweep --------------------------------------------------------------------- *)
 
@@ -1275,5 +1518,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; analyze_cmd; compile_cmd; run_cmd; stats_cmd;
-            trace_cmd; check_cmd; leak_cmd; size_cmd; sweep_cmd;
-            cache_cmd ]))
+            trace_cmd; check_cmd; leak_cmd; size_cmd; partition_cmd;
+            sweep_cmd; cache_cmd ]))

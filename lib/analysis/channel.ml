@@ -18,7 +18,7 @@ type kind =
   | Req_ld of string
   | Req_st of string
   | Stv of string
-  | Ldv of Instr.mem_id * [ `Agu | `Cu ]
+  | Ldv of Instr.mem_id * [ `Agu | `Cu | `Au of int ]
 
 type rate = { lo : int; hi : int; spec_hi : int; kill_hi : int }
 type chan = { kind : kind; arr : string; rate : rate }
@@ -28,11 +28,16 @@ type t = {
   sync_consumes : int;
   events_hi : int;
   n_segments : int;
-  seg_raw : (Replay.event list * Replay.event list) list;
-  load_subscribers : (Instr.mem_id * [ `Agu | `Cu ] list) list;
+  seg_raw : Replay.event list array list;
+  load_subscribers : (Instr.mem_id * [ `Agu | `Cu | `Au of int ] list) list;
 }
 
-let unit_suffix = function `Agu -> "AGU" | `Cu -> "CU"
+let unit_suffix = function
+  | `Agu -> "AGU"
+  | `Cu -> "CU"
+  | `Au k -> "AU" ^ string_of_int k
+
+let dense_of = function `Agu -> 0 | `Cu -> 1 | `Au k -> k + 1
 
 let name = function
   | Req_ld arr -> arr ^ ".req_ld"
@@ -58,35 +63,43 @@ let with_capacity (cfg : Config.t) kind v =
 
 (* Count the events a segment moves on one edge. The counting functions
    see only the scope-owned events (Checker.seg_events filtering), so the
-   interval is per iteration of the edge's own scope. *)
-let count_kind kind ~(agu : Replay.event list) ~(cu : Replay.event list) =
+   interval is per iteration of the edge's own scope. [units] holds one
+   stream per unit in dense order [agu; cu; au1; ...]; per-array single
+   ownership means requests for an array appear in exactly one access
+   unit's stream, so counting sends over every access-unit stream counts
+   the owner's. *)
+let access_streams (units : Replay.event list array) =
+  List.concat
+    (List.filteri
+       (fun i _ -> i <> 1)
+       (Array.to_list units))
+
+let count_kind kind ~(units : Replay.event list array) =
   let count pred evs = List.length (List.filter pred evs) in
   match kind with
   | Req_ld arr ->
     count
       (fun (e : Replay.event) ->
         e.Replay.ev_kind = Replay.Send_ld && e.Replay.ev_arr = arr)
-      agu
+      (access_streams units)
   | Req_st arr ->
     count
       (fun (e : Replay.event) ->
         e.Replay.ev_kind = Replay.Send_st && e.Replay.ev_arr = arr)
-      agu
+      (access_streams units)
   | Stv arr ->
     count
       (fun (e : Replay.event) ->
         (e.Replay.ev_kind = Replay.Produce || e.Replay.ev_kind = Replay.Kill)
         && e.Replay.ev_arr = arr)
-      cu
+      units.(1)
   | Ldv (mem, u) ->
-    let evs = match u with `Agu -> agu | `Cu -> cu in
     count
       (fun (e : Replay.event) ->
         e.Replay.ev_kind = Replay.Consume && e.Replay.ev_mem = mem)
-      evs
+      units.(dense_of u)
 
-let count_spec kind ~hoisted ~(agu : Replay.event list)
-    ~(cu : Replay.event list) =
+let count_spec kind ~hoisted ~(units : Replay.event list array) =
   let count pred evs = List.length (List.filter pred evs) in
   match kind with
   | Req_ld arr ->
@@ -94,28 +107,28 @@ let count_spec kind ~hoisted ~(agu : Replay.event list)
       (fun (e : Replay.event) ->
         e.Replay.ev_kind = Replay.Send_ld && e.Replay.ev_arr = arr
         && List.mem e.Replay.ev_mem hoisted)
-      agu
+      (access_streams units)
   | Req_st arr ->
     count
       (fun (e : Replay.event) ->
         e.Replay.ev_kind = Replay.Send_st && e.Replay.ev_arr = arr
         && List.mem e.Replay.ev_mem hoisted)
-      agu
+      (access_streams units)
   | Stv arr ->
     count
       (fun (e : Replay.event) ->
         e.Replay.ev_kind = Replay.Kill && e.Replay.ev_arr = arr)
-      cu
+      units.(1)
   | Ldv _ -> 0
 
-let count_kill kind ~(cu : Replay.event list) =
+let count_kill kind ~(units : Replay.event list array) =
   match kind with
   | Stv arr ->
     List.length
       (List.filter
          (fun (e : Replay.event) ->
            e.Replay.ev_kind = Replay.Kill && e.Replay.ev_arr = arr)
-         cu)
+         units.(1))
   | _ -> 0
 
 let of_pipeline ?path_limit (p : Pipeline.t) : (t, Segments.budget) result =
@@ -167,17 +180,14 @@ let of_pipeline ?path_limit (p : Pipeline.t) : (t, Segments.budget) result =
           let spec_hi = ref 0 and kill_hi = ref 0 in
           List.iter
             (fun (se : Checker.seg_events) ->
-              let n =
-                count_kind kind ~agu:se.Checker.se_agu ~cu:se.Checker.se_cu
-              in
+              let n = count_kind kind ~units:se.Checker.se_units in
               if n < !lo then lo := n;
               if n > !hi then hi := n;
               let s =
-                count_spec kind ~hoisted ~agu:se.Checker.se_agu
-                  ~cu:se.Checker.se_cu
+                count_spec kind ~hoisted ~units:se.Checker.se_units
               in
               if s > !spec_hi then spec_hi := s;
-              let k = count_kill kind ~cu:se.Checker.se_cu in
+              let k = count_kill kind ~units:se.Checker.se_units in
               if k > !kill_hi then kill_hi := k)
             segs;
           let lo = if !lo = max_int then 0 else !lo in
@@ -188,24 +198,33 @@ let of_pipeline ?path_limit (p : Pipeline.t) : (t, Segments.budget) result =
           })
         kinds
     in
+    (* synchronizing back-edges: most load values any segment makes one
+       access unit itself consume *)
     let sync_consumes =
       List.fold_left
         (fun acc (se : Checker.seg_events) ->
-          let n =
-            List.length
-              (List.filter
-                 (fun (e : Replay.event) ->
-                   e.Replay.ev_kind = Replay.Consume)
-                 se.Checker.se_agu)
-          in
-          max acc n)
+          let per_unit = ref 0 in
+          Array.iteri
+            (fun i evs ->
+              if i <> 1 then
+                per_unit :=
+                  max !per_unit
+                    (List.length
+                       (List.filter
+                          (fun (e : Replay.event) ->
+                            e.Replay.ev_kind = Replay.Consume)
+                          evs)))
+            se.Checker.se_units;
+          max acc !per_unit)
         0 segs
     in
     let events_hi =
       List.fold_left
         (fun acc (se : Checker.seg_events) ->
           max acc
-            (List.length se.Checker.se_agu + List.length se.Checker.se_cu))
+            (Array.fold_left
+               (fun n evs -> n + List.length evs)
+               0 se.Checker.se_units))
         0 segs
     in
     Ok
@@ -216,8 +235,7 @@ let of_pipeline ?path_limit (p : Pipeline.t) : (t, Segments.budget) result =
         n_segments = List.length segs;
         seg_raw =
           List.map
-            (fun (se : Checker.seg_events) ->
-              (se.Checker.se_agu_raw, se.Checker.se_cu_raw))
+            (fun (se : Checker.seg_events) -> se.Checker.se_units_raw)
             segs;
         load_subscribers = p.Pipeline.load_subscribers;
       }

@@ -17,7 +17,7 @@ type kind =
   | Req_ld of string  (** AGU→DU load-request channel of one array *)
   | Req_st of string  (** AGU→DU store-request channel of one array *)
   | Stv of string  (** CU→DU store-value/poison channel of one array *)
-  | Ldv of Instr.mem_id * [ `Agu | `Cu ]
+  | Ldv of Instr.mem_id * [ `Agu | `Cu | `Au of int ]
       (** DU→unit load-value channel of one subscribed load *)
 
 type rate = {
@@ -36,19 +36,22 @@ type chan = {
 type t = {
   chans : chan list;  (** every channel the compiled pipeline instantiates *)
   sync_consumes : int;
-      (** most load values any segment makes the AGU itself consume — the
-          synchronizing back-edges that bound runahead (§5.1) *)
-  events_hi : int;  (** most scope-owned AGU+CU events on any one segment *)
+      (** most load values any segment makes one access unit itself
+          consume — the synchronizing back-edges that bound runahead
+          (§5.1) *)
+  events_hi : int;
+      (** most scope-owned events on any one segment, summed over units *)
   n_segments : int;
-  seg_raw : (Replay.event list * Replay.event list) list;
-      (** per segment, the raw (unfiltered) AGU and CU replay streams in
-          emission order — the input of the abstract causality replay *)
-  load_subscribers : (Instr.mem_id * [ `Agu | `Cu ] list) list;
+  seg_raw : Replay.event list array list;
+      (** per segment, the raw (unfiltered) replay streams of every unit
+          in dense order [[agu; cu; au1; ...]], each in emission order —
+          the input of the abstract causality replay *)
+  load_subscribers : (Instr.mem_id * [ `Agu | `Cu | `Au of int ] list) list;
 }
 
 val name : kind -> string
 (** The timing engine's channel naming: ["<arr>.req_ld"], ["<arr>.req_st"],
-    ["<arr>.stv"], ["ldv<mem>.<AGU|CU>"] — matches
+    ["<arr>.stv"], ["ldv<mem>.<AGU|CU|AU<k>>"] — matches
     [Timing.result.depth_samples] and the stall-attribution tables. *)
 
 val knob : kind -> string

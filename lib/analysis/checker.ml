@@ -38,6 +38,26 @@ let pp_path ppf (blocks : int list) =
     shown
     (if n > 12 then Fmt.str "->...(%d blocks)" n else "")
 
+(* Dense unit indexing [agu; cu; au1; ...] — the same order the simulator
+   uses (Trace.unit_index). *)
+let dense_of = function `Agu -> 0 | `Cu -> 1 | `Au k -> k + 1
+
+let dense_name = function
+  | 0 -> "AGU"
+  | 1 -> "CU"
+  | k -> "AU" ^ string_of_int (k - 1)
+
+let dense_slice = function
+  | 0 -> Diag.Agu
+  | 1 -> Diag.Cu
+  | k -> Diag.Au (k - 1)
+
+(* Dense index of the access unit owning an array's request stream. *)
+let owner_dense (p : Pipeline.t) arr =
+  match Dae_core.Decouple.owner_of p.Pipeline.partition arr with
+  | 0 -> 0
+  | j -> j + 1
+
 (* --- 1. channel balance ------------------------------------------------- *)
 
 let mems_of kind events =
@@ -52,18 +72,28 @@ let mems_of kind events =
    decision's speculation block. Events of other scopes that a segment
    passes (a nested loop's header and exit sources, an outer scope's kills
    on an exit chain) are counted by that scope's own segments instead. *)
-let check_segment (p : Pipeline.t) agu_ctx cu_ctx ~keep (seg : int list) :
-    Diag.t list =
-  let agu_o = Replay.replay agu_ctx seg in
-  let cu_o = Replay.replay cu_ctx seg in
-  let diags = ref (List.rev_append agu_o.Replay.diags cu_o.Replay.diags) in
-  let agu_o = { agu_o with Replay.events = List.filter keep agu_o.Replay.events } in
-  let cu_o = { cu_o with Replay.events = List.filter keep cu_o.Replay.events } in
+let check_segment (p : Pipeline.t) (ctxs : Replay.ctx array) ~keep
+    (seg : int list) : Diag.t list =
+  let outs = Array.map (fun ctx -> Replay.replay ctx seg) ctxs in
+  let diags =
+    ref
+      (List.rev_append outs.(0).Replay.diags
+         (List.concat
+            (List.map
+               (fun (o : Replay.outcome) -> o.Replay.diags)
+               (List.tl (Array.to_list outs)))))
+  in
+  let outs =
+    Array.map
+      (fun (o : Replay.outcome) ->
+        { o with Replay.events = List.filter keep o.Replay.events })
+      outs
+  in
   let add d = diags := d :: !diags in
-  (* Store streams: per array, the AGU request mem sequence must equal the
-     CU produce/poison mem sequence (order and multiplicity) — otherwise a
-     trace through this segment mispairs a store address with another
-     store's value (the paper's §2 failure). *)
+  (* Store streams: per array, the owning access unit's request mem
+     sequence must equal the CU produce/poison mem sequence (order and
+     multiplicity) — otherwise a trace through this segment mispairs a
+     store address with another store's value (the paper's §2 failure). *)
   let arrays =
     List.sort_uniq compare
       (List.filter_map
@@ -80,8 +110,10 @@ let check_segment (p : Pipeline.t) agu_ctx cu_ctx ~keep (seg : int list) :
           (fun (e : Replay.event) -> e.Replay.ev_arr = arr)
           (mems_of kinds o.Replay.events)
       in
-      let agu_st = of_slice [ Replay.Send_st ] agu_o in
-      let cu_st = of_slice [ Replay.Produce; Replay.Kill ] cu_o in
+      let owner = owner_dense p arr in
+      let owner_name = dense_name owner in
+      let owner_st = of_slice [ Replay.Send_st ] outs.(owner) in
+      let cu_st = of_slice [ Replay.Produce; Replay.Kill ] outs.(1) in
       let rec cmp i a c =
         match (a, c) with
         | [], [] -> ()
@@ -93,30 +125,30 @@ let check_segment (p : Pipeline.t) agu_ctx cu_ctx ~keep (seg : int list) :
                  ~sev:Diag.Error ~analysis:Diag.Balance ~slice:Diag.Both
                  (Fmt.str
                     "store streams diverge at position %d of segment %a: \
-                     the AGU requests mem%d but the CU resolves mem%d"
-                    i pp_path seg ae.Replay.ev_mem ce.Replay.ev_mem))
+                     the %s requests mem%d but the CU resolves mem%d"
+                    i pp_path seg owner_name ae.Replay.ev_mem ce.Replay.ev_mem))
         | (ae : Replay.event) :: _, [] ->
           add
             (Diag.make ~block:ae.Replay.ev_block ~mem:ae.Replay.ev_mem ~arr
                ~sev:Diag.Error ~analysis:Diag.Balance ~slice:Diag.Both
                (Fmt.str
-                  "on segment %a the AGU sends %d store request(s) for \
+                  "on segment %a the %s sends %d store request(s) for \
                    which the CU never produces or poisons a value \
                    (starting with mem%d) — the store unit deadlocks"
-                  pp_path seg (List.length a) ae.Replay.ev_mem))
+                  pp_path seg owner_name (List.length a) ae.Replay.ev_mem))
         | [], (ce : Replay.event) :: _ ->
           add
             (Diag.make ~block:ce.Replay.ev_block ~mem:ce.Replay.ev_mem ~arr
                ~sev:Diag.Error ~analysis:Diag.Balance ~slice:Diag.Both
                (Fmt.str
-                  "on segment %a the CU resolves %d store value(s) the AGU \
+                  "on segment %a the CU resolves %d store value(s) the %s \
                    never requested (starting with mem%d)"
-                  pp_path seg (List.length c) ce.Replay.ev_mem))
+                  pp_path seg (List.length c) owner_name ce.Replay.ev_mem))
       in
-      cmp 0 agu_st cu_st)
+      cmp 0 owner_st cu_st)
     arrays;
   (* Load channels: every subscribing unit must consume exactly as many
-     values as the AGU sends requests for, per segment. *)
+     values as the owning access unit sends requests for, per segment. *)
   List.iter
     (fun (c : Dae_core.Decouple.channel_use) ->
       if not c.Dae_core.Decouple.is_store then begin
@@ -133,17 +165,22 @@ let check_segment (p : Pipeline.t) agu_ctx cu_ctx ~keep (seg : int list) :
                  e.Replay.ev_kind = kind && e.Replay.ev_mem = mem)
                o.Replay.events)
         in
-        let sends = count Replay.Send_ld agu_o in
-        let check unit slice_tag consumed =
+        let owner = owner_dense p c.Dae_core.Decouple.arr in
+        let owner_name = dense_name owner in
+        let sends = count Replay.Send_ld outs.(owner) in
+        let check unit =
+          let d = dense_of unit in
+          let slice_tag = dense_slice d in
+          let consumed = count Replay.Consume outs.(d) in
           if List.mem unit subs then begin
             if consumed <> sends then
               add
                 (Diag.make ~mem ~arr:c.Dae_core.Decouple.arr ~sev:Diag.Error
                    ~analysis:Diag.Balance ~slice:slice_tag
                    (Fmt.str
-                      "on segment %a the AGU sends %d load request(s) but \
+                      "on segment %a the %s sends %d load request(s) but \
                        the %s consumes %d value(s) — the channel %s"
-                      pp_path seg sends
+                      pp_path seg owner_name sends
                       (Diag.slice_name slice_tag)
                       consumed
                       (if consumed < sends then "accumulates stale values"
@@ -159,8 +196,12 @@ let check_segment (p : Pipeline.t) agu_ctx cu_ctx ~keep (seg : int list) :
                     (Diag.slice_name slice_tag)
                     mem pp_path seg))
         in
-        check `Cu Diag.Cu (count Replay.Consume cu_o);
-        check `Agu Diag.Agu (count Replay.Consume agu_o)
+        (* CU first, then the access units — the 2-way emission order. *)
+        check `Cu;
+        check `Agu;
+        for k = 1 to Pipeline.n_access p - 1 do
+          check (`Au k)
+        done
       end)
     p.Pipeline.channels;
   List.rev !diags
@@ -194,7 +235,8 @@ let scope_keep (p : Pipeline.t) =
       | None -> true)
     | _ -> scope_of_block e.Replay.ev_block = sg.Segments.sg_scope
 
-let check_balance ~path_limit (p : Pipeline.t) agu_ctx cu_ctx : Diag.t list =
+let check_balance ~path_limit (p : Pipeline.t) (ctxs : Replay.ctx array) :
+    Diag.t list =
   match Segments.segments ~limit:path_limit p.Pipeline.original with
   | Error (b : Segments.budget) ->
     [
@@ -209,7 +251,7 @@ let check_balance ~path_limit (p : Pipeline.t) agu_ctx cu_ctx : Diag.t list =
     let keep = scope_keep p in
     List.concat_map
       (fun (sg : Segments.seg) ->
-        check_segment p agu_ctx cu_ctx ~keep:(keep sg) sg.Segments.sg_blocks)
+        check_segment p ctxs ~keep:(keep sg) sg.Segments.sg_blocks)
       segs
 
 (* --- 2. poison coverage ------------------------------------------------- *)
@@ -524,7 +566,7 @@ let dedup (ds : Diag.t list) : Diag.t list =
       end)
     ds
 
-let contexts (p : Pipeline.t) : Replay.ctx * Replay.ctx =
+let unit_contexts (p : Pipeline.t) : Replay.ctx array =
   let dispatches =
     match p.Pipeline.spec with
     | Some si -> si.Pipeline.poison.Poison.dispatches
@@ -540,14 +582,24 @@ let contexts (p : Pipeline.t) : Replay.ctx * Replay.ctx =
       ~final:p.Pipeline.cu ~slice_tag:Diag.Cu
       ~inserted_from:p.Pipeline.cu_inserted_from ~dispatches
   in
-  (agu_ctx, cu_ctx)
+  let au_ctxs =
+    List.mapi
+      (fun i (snap, final) ->
+        Replay.create ~orig:p.Pipeline.original ~slice:snap ~final
+          ~slice_tag:(Diag.Au (i + 1))
+          ~inserted_from:p.Pipeline.cu_inserted_from ~dispatches:[])
+      (List.combine p.Pipeline.snap_aus p.Pipeline.aus)
+  in
+  Array.of_list (agu_ctx :: cu_ctx :: au_ctxs)
+
+let contexts (p : Pipeline.t) : Replay.ctx * Replay.ctx =
+  let ctxs = unit_contexts p in
+  (ctxs.(0), ctxs.(1))
 
 type seg_events = {
   se_seg : Segments.seg;
-  se_agu : Replay.event list;
-  se_cu : Replay.event list;
-  se_agu_raw : Replay.event list;
-  se_cu_raw : Replay.event list;
+  se_units : Replay.event list array;
+  se_units_raw : Replay.event list array;
 }
 
 let segment_events ?(path_limit = Poison.default_path_limit) (p : Pipeline.t)
@@ -555,29 +607,34 @@ let segment_events ?(path_limit = Poison.default_path_limit) (p : Pipeline.t)
   match Segments.segments ~limit:path_limit p.Pipeline.original with
   | Error b -> Error b
   | Ok segs ->
-    let agu_ctx, cu_ctx = contexts p in
+    let ctxs = unit_contexts p in
     let keep = scope_keep p in
     Ok
       (List.map
          (fun (sg : Segments.seg) ->
-           let agu_o = Replay.replay agu_ctx sg.Segments.sg_blocks in
-           let cu_o = Replay.replay cu_ctx sg.Segments.sg_blocks in
+           let outs =
+             Array.map (fun ctx -> Replay.replay ctx sg.Segments.sg_blocks)
+               ctxs
+           in
            {
              se_seg = sg;
-             se_agu = List.filter (keep sg) agu_o.Replay.events;
-             se_cu = List.filter (keep sg) cu_o.Replay.events;
-             se_agu_raw = agu_o.Replay.events;
-             se_cu_raw = cu_o.Replay.events;
+             se_units =
+               Array.map
+                 (fun (o : Replay.outcome) ->
+                   List.filter (keep sg) o.Replay.events)
+                 outs;
+             se_units_raw =
+               Array.map (fun (o : Replay.outcome) -> o.Replay.events) outs;
            })
          segs)
 
 let run ?(path_limit = Poison.default_path_limit) (p : Pipeline.t) :
     Diag.t list =
-  let agu_ctx, cu_ctx = contexts p in
-  let balance = check_balance ~path_limit p agu_ctx cu_ctx in
+  let ctxs = unit_contexts p in
+  let balance = check_balance ~path_limit p ctxs in
   let coverage =
     match p.Pipeline.spec with
-    | Some si -> check_coverage ~path_limit p si cu_ctx
+    | Some si -> check_coverage ~path_limit p si ctxs.(1)
     | None -> []
   in
   let residue = check_residue p in

@@ -22,22 +22,26 @@ open Dae_core
     degrade to [Warning] diagnostics, never exceptions. *)
 val run : ?path_limit:int -> Pipeline.t -> Diag.t list
 
+val unit_contexts : Pipeline.t -> Replay.ctx array
+(** Replay contexts over the pre-cleanup snapshots for every unit, in
+    dense order [[agu; cu; au1; ...]], exactly as {!run} builds them —
+    shared with the channel-sizing analyzer. *)
+
 val contexts : Pipeline.t -> Replay.ctx * Replay.ctx
-(** The (AGU, CU) replay contexts over the pre-cleanup snapshots, exactly
-    as {!run} builds them — shared with the channel-sizing analyzer. *)
+(** The (AGU, CU) contexts of {!unit_contexts} — the classic 2-way pair. *)
 
 type seg_events = {
   se_seg : Segments.seg;
-  se_agu : Replay.event list;  (** scope-owned AGU events of the segment *)
-  se_cu : Replay.event list;
-  se_agu_raw : Replay.event list;
-      (** the full replayed stream, including events the segment merely
+  se_units : Replay.event list array;
+      (** scope-owned events of the segment, one stream per unit in dense
+          order [[agu; cu; au1; ...]] *)
+  se_units_raw : Replay.event list array;
+      (** the full replayed streams, including events the segment merely
           passes (a nested scope's header sends, an outer scope's kills) —
           the faithful emission order for causality replay *)
-  se_cu_raw : Replay.event list;
 }
 
-(** Replay every segment of the path universe on both slices: the
+(** Replay every segment of the path universe on all unit slices: the
     scope-filtered streams drive per-iteration token-rate accounting, the
     raw streams drive the sizing analyzer's abstract causality replay. *)
 val segment_events :

@@ -17,7 +17,7 @@ type severity = Error | Warning | Info
 
 type analysis = Balance | Poison_coverage | Lod_residue | Structure | Taint
 
-type slice = Agu | Cu | Both
+type slice = Agu | Cu | Au of int | Both
 
 type t = {
   sev : severity;
@@ -45,7 +45,11 @@ let severity_name = function
   | Warning -> "warning"
   | Info -> "info"
 
-let slice_name = function Agu -> "agu" | Cu -> "cu" | Both -> "agu+cu"
+let slice_name = function
+  | Agu -> "agu"
+  | Cu -> "cu"
+  | Au k -> "au" ^ string_of_int k
+  | Both -> "agu+cu"
 
 let pp ppf (d : t) =
   Fmt.pf ppf "%s[%s] %s" (severity_name d.sev)

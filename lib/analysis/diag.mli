@@ -7,7 +7,7 @@
 
 type severity = Error | Warning | Info
 type analysis = Balance | Poison_coverage | Lod_residue | Structure | Taint
-type slice = Agu | Cu | Both
+type slice = Agu | Cu | Au of int | Both
 
 type t = {
   sev : severity;

@@ -1,0 +1,377 @@
+(* Static address-stream partitioning (N-way decoupling).
+
+   The retrospective's lesson — and DAE4HLS's (PAPERS.md) — is that one
+   AGU serializes address streams that could run ahead independently:
+   memory-level parallelism is bounded by the single unit's issue order.
+   This analysis recovers the streams statically:
+
+   + cluster the kernel's memory operations by array (ownership is
+     per-array: the request stream of one array must stay single-producer
+     so the per-array Lemma 6.1 pairing survives);
+   + connect array A to array B when B's address computation (value
+     dependence) or B's guarding branch conditions (order dependence)
+     transitively read a load of A — both traced with the same
+     {!Defuse.backward_slice} the LoD analysis uses, so through-φ
+     selection conditions are included;
+   + merge strongly connected components: mutually address-dependent
+     arrays would only ping-pong values between units, so they share one.
+     The quotient is a DAG of clusters;
+   + number the clusters in deterministic topological order — cluster 0
+     is the classic AGU — and, over [max_units], repeatedly merge the two
+     lightest-traffic clusters so the big streams keep their own units.
+
+   The per-unit report estimates traffic (static ops weighted 4^depth by
+   loop nesting) and MLP (address streams with load-free address slices —
+   the requests a unit can issue arbitrarily far ahead). The emitted
+   assignment feeds Decouple.run_n; the generalized checker and sizer
+   then prove every new unit boundary sound and sized. *)
+
+open Dae_ir
+module Lod = Dae_core.Lod
+
+type edge_kind = Value | Order
+
+type cluster = {
+  cl_unit : int;
+  cl_arrays : string list;
+  cl_loads : int;
+  cl_stores : int;
+  cl_traffic : int;
+  cl_streams : int;
+}
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_kind : edge_kind;
+  e_src_arr : string;
+  e_dst_arr : string;
+}
+
+type t = {
+  clusters : cluster list;
+  edges : edge list;
+  assignment : Dae_core.Decouple.assignment;
+  n_arrays : int;
+}
+
+let edge_kind_name = function Value -> "value" | Order -> "order"
+
+(* 4^depth, capped so deep artificial nests cannot overflow. *)
+let depth_weight d = 1 lsl (2 * min d 10)
+
+let analyze ?(max_units = max_int) (f : Func.t) : t =
+  let max_units = max 1 max_units in
+  let ops = Lod.collect_mem_ops f in
+  let du = Defuse.compute f in
+  let loops = Loops.compute f in
+  let arrays =
+    List.sort_uniq compare (List.map (fun (o : Lod.mem_op) -> o.Lod.arr) ops)
+  in
+  (* SSA id -> array it loads *)
+  let load_arr : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  Func.iter_instrs f (fun (i : Instr.t) ->
+      match i.Instr.kind with
+      | Instr.Load { arr; _ } -> Hashtbl.replace load_arr i.Instr.id arr
+      | _ -> ());
+  (* Memoized slices: one backward slice per address/condition variable. *)
+  let slice_memo : (int, (int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let slice_of v =
+    match Hashtbl.find_opt slice_memo v with
+    | Some s -> s
+    | None ->
+      let s = Defuse.backward_slice du v in
+      Hashtbl.replace slice_memo v s;
+      s
+  in
+  let loads_feeding vars =
+    List.concat_map
+      (fun v ->
+        Hashtbl.fold
+          (fun id () acc ->
+            match Hashtbl.find_opt load_arr id with
+            | Some a -> a :: acc
+            | None -> acc)
+          (slice_of v) [])
+      vars
+    |> List.sort_uniq compare
+  in
+  let cdep = Control_dep.compute f in
+  (* array-level dependence edges, deduplicated *)
+  let deps : (string * string * edge_kind, unit) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let idx_of (i : Instr.t) =
+    match i.Instr.kind with
+    | Instr.Load { idx; _ } | Instr.Store { idx; _ } -> Some idx
+    | _ -> None
+  in
+  List.iter
+    (fun (o : Lod.mem_op) ->
+      let b = o.Lod.arr in
+      (match Defuse.find_instr du o.Lod.instr_id with
+      | Some i -> (
+        match idx_of i with
+        | Some idx ->
+          List.iter
+            (fun a ->
+              if a <> b then Hashtbl.replace deps (a, b, Value) ())
+            (loads_feeding (Defuse.vars_of_operands [ idx ]))
+        | None -> ())
+      | None -> ());
+      (* order: the op executes only when branches decide so; a branch
+         condition reading a load of A orders A before B *)
+      List.iter
+        (fun src ->
+          match Func.block_opt f src with
+          | None -> ()
+          | Some sb ->
+            List.iter
+              (fun a ->
+                if a <> b && not (Hashtbl.mem deps (a, b, Value)) then
+                  Hashtbl.replace deps (a, b, Order) ())
+              (loads_feeding
+                 (Defuse.vars_of_operands (Block.terminator_operands sb))))
+        (Control_dep.transitive_sources cdep o.Lod.block))
+    ops;
+  let dep_list =
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) deps [])
+  in
+  (* SCCs over the union graph (value ∪ order): mutually dependent arrays
+     share a unit, so the cluster quotient is a DAG. Kosaraju on the
+     (tiny) array graph. *)
+  let succs a =
+    List.filter_map
+      (fun (x, y, _) -> if x = a then Some y else None)
+      dep_list
+    |> List.sort_uniq compare
+  in
+  let preds a =
+    List.filter_map
+      (fun (x, y, _) -> if y = a then Some x else None)
+      dep_list
+    |> List.sort_uniq compare
+  in
+  let order = ref [] in
+  let seen = Hashtbl.create 16 in
+  let rec dfs1 a =
+    if not (Hashtbl.mem seen a) then begin
+      Hashtbl.replace seen a ();
+      List.iter dfs1 (succs a);
+      order := a :: !order
+    end
+  in
+  List.iter dfs1 arrays;
+  let comp_of : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let rec dfs2 root a =
+    if not (Hashtbl.mem comp_of a) then begin
+      Hashtbl.replace comp_of a root;
+      List.iter (dfs2 root) (preds a)
+    end
+  in
+  List.iter (fun a -> dfs2 a a) !order;
+  let comp a = try Hashtbl.find comp_of a with Not_found -> a in
+  let roots = List.sort_uniq compare (List.map comp arrays) in
+  let members r = List.filter (fun a -> comp a = r) arrays in
+  (* Topological order of the cluster DAG (Kahn, smallest root name
+     first) — deterministic, and cluster 0 becomes the classic AGU. *)
+  let cedges =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (a, b, _) ->
+           let ca = comp a and cb = comp b in
+           if ca <> cb then Some (ca, cb) else None)
+         dep_list)
+  in
+  let topo =
+    let remaining = ref roots and out = ref [] in
+    while !remaining <> [] do
+      let ready =
+        List.filter
+          (fun r ->
+            not
+              (List.exists
+                 (fun (s, d) -> d = r && List.mem s !remaining)
+                 cedges))
+          !remaining
+      in
+      (* cedges is acyclic by construction, so ready is never empty *)
+      let pick = List.hd (List.sort compare ready) in
+      out := pick :: !out;
+      remaining := List.filter (fun r -> r <> pick) !remaining
+    done;
+    List.rev !out
+  in
+  (* per-array static metrics *)
+  let depth_of b =
+    match Loops.innermost loops b with
+    | Some l -> l.Loops.depth
+    | None -> 0
+  in
+  let arr_metrics a =
+    List.fold_left
+      (fun (lds, sts, traffic, streams) (o : Lod.mem_op) ->
+        if o.Lod.arr <> a then (lds, sts, traffic, streams)
+        else
+          let w = depth_weight (depth_of o.Lod.block) in
+          if o.Lod.is_store then (lds, sts + 1, traffic + w, streams)
+          else
+            let streaming =
+              match Defuse.find_instr du o.Lod.instr_id with
+              | Some i -> (
+                match idx_of i with
+                | Some idx ->
+                  loads_feeding (Defuse.vars_of_operands [ idx ]) = []
+                | None -> false)
+              | None -> false
+            in
+            ( lds + 1,
+              sts,
+              traffic + w,
+              if streaming then streams + 1 else streams ))
+      (0, 0, 0, 0) ops
+  in
+  (* mutable proto-clusters in topo order *)
+  let protos =
+    ref
+      (List.mapi
+         (fun i r ->
+           let arrs = members r in
+           let lds, sts, traffic, streams =
+             List.fold_left
+               (fun (l, s, t, st) a ->
+                 let l', s', t', st' = arr_metrics a in
+                 (l + l', s + s', t + t', st + st'))
+               (0, 0, 0, 0) arrs
+           in
+           (i, arrs, lds, sts, traffic, streams))
+         topo)
+  in
+  (* over budget: merge the two lightest-traffic clusters (the big
+     streams keep their own units); deterministic tie-break on the
+     earlier topological index *)
+  while List.length !protos > max_units do
+    match
+      List.sort
+        (fun (i1, _, _, _, t1, _) (i2, _, _, _, t2, _) ->
+          compare (t1, i1) (t2, i2))
+        !protos
+    with
+    | (i1, a1, l1, s1, t1, m1) :: (i2, a2, l2, s2, t2, m2) :: _ ->
+      let merged =
+        ( min i1 i2,
+          List.sort compare (a1 @ a2),
+          l1 + l2,
+          s1 + s2,
+          t1 + t2,
+          m1 + m2 )
+      in
+      protos :=
+        merged
+        :: List.filter
+             (fun (i, _, _, _, _, _) -> i <> i1 && i <> i2)
+             !protos
+    | _ -> assert false
+  done;
+  let protos =
+    List.sort (fun (i1, _, _, _, _, _) (i2, _, _, _, _, _) -> compare i1 i2)
+      !protos
+  in
+  let clusters =
+    List.mapi
+      (fun u (_, arrs, lds, sts, traffic, streams) ->
+        {
+          cl_unit = u;
+          cl_arrays = arrs;
+          cl_loads = lds;
+          cl_stores = sts;
+          cl_traffic = traffic;
+          cl_streams = streams;
+        })
+      protos
+  in
+  let unit_of_arr a =
+    match
+      List.find_opt (fun c -> List.mem a c.cl_arrays) clusters
+    with
+    | Some c -> c.cl_unit
+    | None -> 0
+  in
+  let edges =
+    List.filter_map
+      (fun (a, b, kind) ->
+        let ua = unit_of_arr a and ub = unit_of_arr b in
+        if ua = ub then None
+        else
+          Some
+            { e_src = ua; e_dst = ub; e_kind = kind; e_src_arr = a;
+              e_dst_arr = b })
+      dep_list
+    |> List.sort_uniq compare
+  in
+  {
+    clusters;
+    edges;
+    assignment =
+      {
+        Dae_core.Decouple.n_access = List.length clusters;
+        owner = List.map (fun a -> (a, unit_of_arr a)) arrays;
+      };
+    n_arrays = List.length arrays;
+  }
+
+let unit_name = function 0 -> "AGU" | k -> "AU" ^ string_of_int k
+
+let pp ppf (t : t) =
+  let values, orders =
+    List.partition (fun e -> e.e_kind = Value) t.edges
+  in
+  Fmt.pf ppf
+    "partition: %d access unit(s) over %d array(s), %d value edge(s), %d \
+     order edge(s)@."
+    (List.length t.clusters) t.n_arrays (List.length values)
+    (List.length orders);
+  List.iter
+    (fun c ->
+      Fmt.pf ppf
+        "  unit %d (%-4s) arrays [%s]  loads %d  stores %d  traffic %d  \
+         mlp %d@."
+        c.cl_unit
+        (unit_name c.cl_unit)
+        (String.concat "," c.cl_arrays)
+        c.cl_loads c.cl_stores c.cl_traffic c.cl_streams)
+    t.clusters;
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "  %s -> %s (%s): %s feeds %s@." (unit_name e.e_src)
+        (unit_name e.e_dst)
+        (edge_kind_name e.e_kind)
+        e.e_src_arr e.e_dst_arr)
+    t.edges
+
+let pp_dot ppf (t : t) =
+  Fmt.pf ppf "digraph partition {@.  rankdir=LR;@.";
+  List.iter
+    (fun c ->
+      Fmt.pf ppf
+        "  u%d [shape=box,label=\"%s\\n%s\\nloads %d stores %d\\ntraffic \
+         %d mlp %d\"];@."
+        c.cl_unit
+        (unit_name c.cl_unit)
+        (String.concat "," c.cl_arrays)
+        c.cl_loads c.cl_stores c.cl_traffic c.cl_streams)
+    t.clusters;
+  Fmt.pf ppf "  cu [shape=ellipse,label=\"CU\"];@.";
+  List.iter
+    (fun c -> Fmt.pf ppf "  u%d -> cu [style=dotted];@." c.cl_unit)
+    t.clusters;
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "  u%d -> u%d [label=\"%s: %s->%s\"%s];@." e.e_src e.e_dst
+        (edge_kind_name e.e_kind)
+        e.e_src_arr e.e_dst_arr
+        (match e.e_kind with Value -> "" | Order -> ",style=dashed"))
+    t.edges;
+  Fmt.pf ppf "}@."

@@ -1,0 +1,65 @@
+(** Static address-stream partitioning: the N-way generalization of the
+    paper's two-unit split.
+
+    Clusters a kernel's memory operations by array and address-dataflow
+    reachability: array [A] feeds array [B] when [B]'s address computation
+    ({e value} edge) or the branch conditions guarding [B]'s operations
+    ({e order} edge) transitively read a load of [A] — both traced with
+    {!Defuse.backward_slice}, so through-φ selection conditions count.
+    Mutually dependent arrays (SCCs of the union graph) share a unit; the
+    cluster quotient is therefore a DAG, numbered in deterministic
+    topological order with cluster 0 playing the classic AGU. Per-array
+    single ownership keeps every request stream single-producer, so the
+    generalized checker's per-array pairing argument (Lemma 6.1) applies
+    to each unit boundary separately.
+
+    The report estimates per-unit traffic (static ops weighted [4^depth]
+    by loop nesting) and MLP ({e streams}: loads whose address slices are
+    load-free — requests the unit can run arbitrarily far ahead on). *)
+
+open Dae_ir
+
+type edge_kind =
+  | Value  (** dst's address computation reads a load of src *)
+  | Order  (** dst's guarding branch conditions read a load of src *)
+
+type cluster = {
+  cl_unit : int;  (** access-unit number; 0 is the classic AGU *)
+  cl_arrays : string list;  (** owned arrays, sorted *)
+  cl_loads : int;  (** static loads of owned arrays *)
+  cl_stores : int;  (** static stores to owned arrays *)
+  cl_traffic : int;  (** 4^depth-weighted static op count *)
+  cl_streams : int;  (** loads with load-free address slices (MLP) *)
+}
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_kind : edge_kind;
+  e_src_arr : string;  (** witness arrays: a load of [e_src_arr] ... *)
+  e_dst_arr : string;  (** ... feeds [e_dst_arr]'s address or guard *)
+}
+
+type t = {
+  clusters : cluster list;  (** in unit order *)
+  edges : edge list;  (** inter-cluster, deduplicated, sorted *)
+  assignment : Dae_core.Decouple.assignment;
+      (** feed to [Pipeline.compile ~partition] / [Decouple.run_n] *)
+  n_arrays : int;
+}
+
+val analyze : ?max_units:int -> Func.t -> t
+(** [max_units] caps the access-unit count (default unlimited): over
+    budget, the two lightest-traffic clusters merge repeatedly, so the
+    heavy streams keep their own units. [max_units = 1] recovers the
+    classic single-AGU split. Deterministic for a given function. *)
+
+val edge_kind_name : edge_kind -> string
+val unit_name : int -> string
+(** ["AGU"] for unit 0, ["AU<k>"] otherwise — matching the simulator's
+    unit naming. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_dot : Format.formatter -> t -> unit
+(** Graphviz rendering of the cluster DAG (order edges dashed), with the
+    CU fan-in dotted. *)

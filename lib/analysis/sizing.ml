@@ -84,10 +84,18 @@ type aunit = {
 
 type machine = { m_units : aunit list; m_dus : adu list }
 
-(* Build one machine for one composed (AGU events, CU events) pair under a
+(* Dense unit indexing [agu; cu; au1; ...], as everywhere else. *)
+let tag_of = function 0 -> `Agu | 1 -> `Cu | k -> `Au (k - 1)
+
+let name_of = function
+  | 0 -> "AGU"
+  | 1 -> "CU"
+  | k -> "AU" ^ string_of_int (k - 1)
+
+(* Build one machine for one composed per-unit event-stream array under a
    per-channel capacity assignment. *)
 let build ~(caps : Channel.kind -> int) ~lq_size ~sq_size (g : Channel.t)
-    (agu_evs : Replay.event list) (cu_evs : Replay.event list) : machine =
+    (units : Replay.event list array) : machine =
   let dus : (string, adu) Hashtbl.t = Hashtbl.create 8 in
   let du_order = ref [] in
   let du arr =
@@ -113,7 +121,9 @@ let build ~(caps : Channel.kind -> int) ~lq_size ~sq_size (g : Channel.t)
       du_order := d :: !du_order;
       d
   in
-  let ldvs : (int * [ `Agu | `Cu ], afifo) Hashtbl.t = Hashtbl.create 16 in
+  let ldvs : (int * [ `Agu | `Cu | `Au of int ], afifo) Hashtbl.t =
+    Hashtbl.create 16
+  in
   let ldv key =
     match Hashtbl.find_opt ldvs key with
     | Some f -> f
@@ -177,9 +187,16 @@ let build ~(caps : Channel.kind -> int) ~lq_size ~sq_size (g : Channel.t)
       au_done = 0;
     }
   in
-  let agu = unit_of `Agu "AGU" agu_evs in
-  let cu = unit_of `Cu "CU" cu_evs in
-  { m_units = [ agu; cu ]; m_dus = List.rev !du_order }
+  let m_units =
+    (* Array.iteri visits indices in order, so the DU/ldv interning order
+       (and hence m_dus order) is the dense unit order, AGU first. *)
+    let acc = ref [] in
+    Array.iteri
+      (fun i evs -> acc := unit_of (tag_of i) (name_of i) evs :: !acc)
+      units;
+    List.rev !acc
+  in
+  { m_units; m_dus = List.rev !du_order }
 
 let step_unit (u : aunit) : bool =
   let n = Array.length u.au_evs in
@@ -332,9 +349,9 @@ let describe_stuck (m : machine) : string =
     (if parts = [] then [ "(no blocked actor recorded)" ] else parts)
 
 (* Run one composition to the fixpoint. *)
-let run_comp ~caps ~lq_size ~sq_size (g : Channel.t) (agu, cu) :
-    (unit, string) result =
-  let m = build ~caps ~lq_size ~sq_size g agu cu in
+let run_comp ~caps ~lq_size ~sq_size (g : Channel.t)
+    (units : Replay.event list array) : (unit, string) result =
+  let m = build ~caps ~lq_size ~sq_size g units in
   let rec fix () =
     let p =
       List.fold_left (fun acc u -> step_unit u || acc) false m.m_units
@@ -354,18 +371,25 @@ let run_comp ~caps ~lq_size ~sq_size (g : Channel.t) (agu, cu) :
 (* Steady-state compositions: each segment against itself (backpressure
    couples adjacent iterations) and the whole universe concatenated. *)
 let compositions (g : Channel.t) =
-  let rep n (a, c) =
-    let rec go i (acca, accc) =
-      if i = 0 then (List.concat (List.rev acca), List.concat (List.rev accc))
-      else go (i - 1) (a :: acca, c :: accc)
-    in
-    go n ([], [])
+  let rep n (streams : Replay.event list array) =
+    Array.map
+      (fun evs ->
+        let rec go i acc =
+          if i = 0 then List.concat (List.rev acc) else go (i - 1) (evs :: acc)
+        in
+        go n [])
+      streams
   in
   let per_seg = List.map (rep 3) g.Channel.seg_raw in
   let all =
-    rep 2
-      ( List.concat_map fst g.Channel.seg_raw,
-        List.concat_map snd g.Channel.seg_raw )
+    match g.Channel.seg_raw with
+    | [] -> [||]
+    | first :: _ ->
+      rep 2
+        (Array.init (Array.length first) (fun i ->
+             List.concat_map
+               (fun (streams : Replay.event list array) -> streams.(i))
+               g.Channel.seg_raw))
   in
   per_seg @ [ all ]
 
@@ -621,10 +645,17 @@ let bound_of_timelines (t : t) (tls : Dae_sim.Machine.timeline list) =
       let events =
         Dae_sim.Trace.length tl.Dae_sim.Machine.t_agu
         + Dae_sim.Trace.length tl.Dae_sim.Machine.t_cu
+        + Array.fold_left
+            (fun n tr -> n + Dae_sim.Trace.length tr)
+            0 tl.Dae_sim.Machine.t_aus
       in
       let iters =
-        max tl.Dae_sim.Machine.t_agu.Dae_sim.Trace.iterations
-          tl.Dae_sim.Machine.t_cu.Dae_sim.Trace.iterations
+        Array.fold_left
+          (fun m (tr : Dae_sim.Trace.unit_trace) ->
+            max m tr.Dae_sim.Trace.iterations)
+          (max tl.Dae_sim.Machine.t_agu.Dae_sim.Trace.iterations
+             tl.Dae_sim.Machine.t_cu.Dae_sim.Trace.iterations)
+          tl.Dae_sim.Machine.t_aus
       in
       acc + bound t ~events ~iters)
     0 tls
@@ -663,72 +694,3 @@ let pp ppf (t : t) =
   Fmt.pf ppf
     "  predicted cycle bound: <= %d*events + %d*iters + %d@."
     t.bound_per_event t.min_cfg.Config.unit_ii t.bound_fill
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 32 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let to_json ~kernel ~mode (t : t) =
-  let b = Buffer.create 1024 in
-  Buffer.add_string b
-    (Printf.sprintf
-       "{\"kernel\": \"%s\", \"mode\": \"%s\", \"verdict\": \"%s\", "
-       (json_escape kernel) (json_escape mode)
-       (match t.verdict with
-       | Deadlock_free -> "deadlock-free"
-       | Deadlock _ -> "deadlock"));
-  (match t.critical with
-  | Some k ->
-    Buffer.add_string b
-      (Printf.sprintf "\"critical\": \"%s\", " (json_escape (Channel.name k)))
-  | None -> Buffer.add_string b "\"critical\": null, ");
-  Buffer.add_string b
-    (Printf.sprintf
-       "\"bound_per_event\": %d, \"bound_fill\": %d, \"min_depths\": {"
-       t.bound_per_event t.bound_fill);
-  List.iteri
-    (fun i sz ->
-      if i > 0 then Buffer.add_string b ", ";
-      Buffer.add_string b
-        (Printf.sprintf "\"%s\": %d"
-           (json_escape (Channel.name sz.sz_chan.Channel.kind))
-           sz.sz_min))
-    t.channels;
-  Buffer.add_string b "}, \"channels\": [";
-  List.iteri
-    (fun i sz ->
-      if i > 0 then Buffer.add_string b ", ";
-      Buffer.add_string b
-        (Printf.sprintf
-           "{\"name\": \"%s\", \"knob\": \"%s\", \"configured\": %d, \
-            \"min_depth\": %d, \"matched_depth\": %d, \"rate_lo\": %d, \
-            \"rate_hi\": %d, \"spec_hi\": %d, \"kill_hi\": %d}"
-           (json_escape (Channel.name sz.sz_chan.Channel.kind))
-           (json_escape (Channel.knob sz.sz_chan.Channel.kind))
-           sz.sz_configured sz.sz_min sz.sz_matched
-           sz.sz_chan.Channel.rate.Channel.lo
-           sz.sz_chan.Channel.rate.Channel.hi
-           sz.sz_chan.Channel.rate.Channel.spec_hi
-           sz.sz_chan.Channel.rate.Channel.kill_hi))
-    t.channels;
-  (match t.verdict with
-  | Deadlock ds ->
-    Buffer.add_string b "], \"deadlock_cycles\": [";
-    List.iteri
-      (fun i d ->
-        if i > 0 then Buffer.add_string b ", ";
-        Buffer.add_string b (Printf.sprintf "\"%s\"" (json_escape d)))
-      ds
-  | Deadlock_free -> ());
-  Buffer.add_string b "]}";
-  Buffer.contents b

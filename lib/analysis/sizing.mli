@@ -79,7 +79,3 @@ val critical_decrement : t -> (Channel.kind * Config.t) option
     [None] when there is no critical channel. *)
 
 val pp : Format.formatter -> t -> unit
-
-val to_json : kernel:string -> mode:string -> t -> string
-(** One JSON object (no trailing newline): verdict, critical channel,
-    bound coefficients and the per-channel depth/rate table. *)

@@ -220,6 +220,7 @@ let analyze (p : Dae_core.Pipeline.t) : t =
 let unit_slice = function
   | Trace.Agu -> Diag.Agu
   | Trace.Cu -> Diag.Cu
+  | Trace.Au k -> Diag.Au k
 
 let diags (t : t) : Diag.t list =
   List.map

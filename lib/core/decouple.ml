@@ -19,16 +19,50 @@ open Dae_ir
 
 type channel_use = { mem : Instr.mem_id; arr : string; is_store : bool }
 
-type t = {
-  original : Func.t;
-  agu : Func.t;
-  cu : Func.t;
-  channels : channel_use list; (* one per decoupled memory op *)
+(* An N-way partition of the address streams: every array is owned by
+   exactly one access unit (single-producer request streams keep the
+   per-array Lemma 6.1 pairing), unit 0 being the classic AGU. Arrays
+   absent from [owner] default to unit 0, so [trivial] reproduces the
+   2-way split exactly. *)
+type assignment = {
+  n_access : int; (* access units, >= 1 *)
+  owner : (string * int) list; (* array -> owning access unit *)
 }
 
-(* Rewrite one slice. [keep_value_as] says whether the rewritten load keeps
-   a value-producing consume carrying the original instruction id. *)
-let rewrite_slice (f : Func.t) ~(mode : [ `Agu | `Cu ]) : unit =
+let trivial = { n_access = 1; owner = [] }
+
+let owner_of (a : assignment) (arr : string) : int =
+  match List.assoc_opt arr a.owner with Some u -> u | None -> 0
+
+let validate_assignment (a : assignment) =
+  if a.n_access < 1 then
+    Fmt.invalid_arg "Decouple: assignment needs >= 1 access units, got %d"
+      a.n_access;
+  List.iter
+    (fun (arr, u) ->
+      if u < 0 || u >= a.n_access then
+        Fmt.invalid_arg "Decouple: array %s assigned to unit %d of %d" arr u
+          a.n_access)
+    a.owner
+
+type t = {
+  original : Func.t;
+  agu : Func.t; (* access unit 0 *)
+  aus : Func.t list; (* access units 1 .. n_access-1, in order *)
+  cu : Func.t;
+  channels : channel_use list; (* one per decoupled memory op *)
+  assignment : assignment;
+}
+
+(* Rewrite one slice. Access unit [j] keeps the sends of the arrays it
+   owns; foreign loads degrade to a value consume (slice DCE removes it
+   when the unit does not use the value — a surviving one is a
+   cross-unit synchronization) and foreign stores vanish (the CU
+   produces every store value; only the owner sends the address). With
+   the trivial assignment [`Access 0] is byte-for-byte the classic AGU
+   rewrite, including the fresh-id sequence. *)
+let rewrite_slice (f : Func.t) ~(assign : assignment)
+    ~(mode : [ `Access of int | `Cu ]) : unit =
   List.iter
     (fun bid ->
       let b = Func.block f bid in
@@ -36,19 +70,22 @@ let rewrite_slice (f : Func.t) ~(mode : [ `Agu | `Cu ]) : unit =
         List.concat_map
           (fun (i : Instr.t) ->
             match i.Instr.kind, mode with
-            | Instr.Load { arr; idx; mem }, `Agu ->
+            | Instr.Load { arr; idx; mem }, `Access j
+              when owner_of assign arr = j ->
               (* The send gets a fresh id; the consume keeps the load's id so
-                 that AGU-side uses (branch conditions, address chains) still
+                 that unit-side uses (branch conditions, address chains) still
                  resolve. Slice DCE removes the consume when unused. *)
               [
                 { Instr.id = Func.fresh_vid f;
                   kind = Instr.Send_ld_addr { arr; idx; mem } };
                 { Instr.id = i.Instr.id; kind = Instr.Consume_val { arr; mem } };
               ]
-            | Instr.Load { arr; mem; _ }, `Cu ->
+            | Instr.Load { arr; mem; _ }, (`Access _ | `Cu) ->
               [ { Instr.id = i.Instr.id; kind = Instr.Consume_val { arr; mem } } ]
-            | Instr.Store { arr; idx; mem; _ }, `Agu ->
+            | Instr.Store { arr; idx; mem; _ }, `Access j
+              when owner_of assign arr = j ->
               [ { i with Instr.kind = Instr.Send_st_addr { arr; idx; mem } } ]
+            | Instr.Store _, `Access _ -> []
             | Instr.Store { arr; value; mem; _ }, `Cu ->
               [ { i with Instr.kind = Instr.Produce_val { arr; value; mem } } ]
             | ( ( Instr.Binop _ | Instr.Cmp _ | Instr.Select _ | Instr.Not _
@@ -59,7 +96,8 @@ let rewrite_slice (f : Func.t) ~(mode : [ `Agu | `Cu ]) : unit =
           b.Block.instrs)
     f.Func.layout
 
-let run (f : Func.t) : t =
+let run_n (f : Func.t) ~(assign : assignment) : t =
+  validate_assignment assign;
   let channels =
     List.map
       (fun (m : Lod.mem_op) ->
@@ -67,10 +105,17 @@ let run (f : Func.t) : t =
       (Lod.collect_mem_ops f)
   in
   let agu = Func.clone ~name:(f.Func.name ^ ".agu") f in
+  let aus =
+    List.init (assign.n_access - 1) (fun k ->
+        Func.clone ~name:(Fmt.str "%s.au%d" f.Func.name (k + 1)) f)
+  in
   let cu = Func.clone ~name:(f.Func.name ^ ".cu") f in
-  rewrite_slice agu ~mode:`Agu;
-  rewrite_slice cu ~mode:`Cu;
-  { original = f; agu; cu; channels }
+  rewrite_slice agu ~assign ~mode:(`Access 0);
+  List.iteri (fun k au -> rewrite_slice au ~assign ~mode:(`Access (k + 1))) aus;
+  rewrite_slice cu ~assign ~mode:`Cu;
+  { original = f; agu; aus; cu; channels; assignment = assign }
+
+let run (f : Func.t) : t = run_n f ~assign:trivial
 
 (* The liveness DCE works from: a value is live when it transitively feeds
    a root (a side-effecting instruction other than [Consume_val], or a
@@ -168,9 +213,10 @@ let cleanup (f : Func.t) : unit =
     Simplify.run f
   done
 
-(* Which units consume each load's value, after cleanup. *)
+(* Which units consume each load's value, after cleanup. Units are listed
+   in dense index order (AGU, CU, AU1, ...), matching Trace.unit_index. *)
 let load_subscribers (t : t) :
-    (Instr.mem_id * [ `Agu | `Cu ] list) list =
+    (Instr.mem_id * [ `Agu | `Cu | `Au of int ] list) list =
   let consumes f =
     Func.fold_instrs f
       (fun acc (i : Instr.t) ->
@@ -180,6 +226,7 @@ let load_subscribers (t : t) :
       []
   in
   let agu_c = consumes t.agu and cu_c = consumes t.cu in
+  let aus_c = List.map consumes t.aus in
   List.filter_map
     (fun c ->
       if c.is_store then None
@@ -187,5 +234,10 @@ let load_subscribers (t : t) :
         Some
           ( c.mem,
             (if List.mem c.mem agu_c then [ `Agu ] else [])
-            @ if List.mem c.mem cu_c then [ `Cu ] else [] ))
+            @ (if List.mem c.mem cu_c then [ `Cu ] else [])
+            @ List.concat
+                (List.mapi
+                   (fun k cs ->
+                     if List.mem c.mem cs then [ `Au (k + 1) ] else [])
+                   aus_c) ))
     t.channels

@@ -10,15 +10,39 @@ open Dae_ir
 
 type channel_use = { mem : Instr.mem_id; arr : string; is_store : bool }
 
+(** An N-way partition of the address streams: every array is owned by
+    exactly one access unit (so each array's request stream stays
+    single-producer and the per-array Lemma 6.1 pairing is preserved),
+    unit 0 being the classic AGU. Arrays absent from [owner] default to
+    unit 0. *)
+type assignment = {
+  n_access : int;  (** access units, >= 1 *)
+  owner : (string * int) list;  (** array -> owning access unit *)
+}
+
+val trivial : assignment
+(** One access unit owning everything — the classic 2-way split. *)
+
+val owner_of : assignment -> string -> int
+
 type t = {
   original : Func.t;
-  agu : Func.t;
+  agu : Func.t;  (** access unit 0 *)
+  aus : Func.t list;  (** access units 1 .. n_access-1, in order *)
   cu : Func.t;
   channels : channel_use list;  (** one per decoupled memory op *)
+  assignment : assignment;
 }
 
 (** Rewrite memory ops into channel ops; no cleanup yet. *)
 val run : Func.t -> t
+
+(** N-way decoupling along [assign]: access unit [j] sends the requests
+    of the arrays it owns; foreign loads degrade to value consumes
+    (removed by slice DCE when unused), foreign stores vanish. The CU is
+    unchanged: it consumes the load values it uses and produces every
+    store value. [run_n ~assign:trivial] is bit-identical to {!run}. *)
+val run_n : Func.t -> assign:assignment -> t
 
 (** The liveness relation behind {!dce_slice}: a value is live when it
     transitively feeds a root (a side-effecting instruction other than
@@ -36,5 +60,6 @@ val dce_slice : Func.t -> unit
 val cleanup : Func.t -> unit
 
 (** Which units consume each load's value after cleanup (the DU broadcasts
-    to all subscribers). *)
-val load_subscribers : t -> (Instr.mem_id * [ `Agu | `Cu ] list) list
+    to all subscribers), in dense unit order (AGU, CU, AU1, ...). *)
+val load_subscribers :
+  t -> (Instr.mem_id * [ `Agu | `Cu | `Au of int ] list) list

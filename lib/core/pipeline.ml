@@ -33,14 +33,19 @@ type t = {
   original : Func.t;
   lod : Lod.t;
   agu : Func.t;
+  aus : Func.t list;
   cu : Func.t;
   snap_agu : Func.t;
+  snap_aus : Func.t list;
   snap_cu : Func.t;
   cu_inserted_from : int;
   channels : Decouple.channel_use list;
-  load_subscribers : (Instr.mem_id * [ `Agu | `Cu ] list) list;
+  load_subscribers : (Instr.mem_id * [ `Agu | `Cu | `Au of int ] list) list;
+  partition : Decouple.assignment;
   spec : spec_info option;
 }
+
+let n_access (t : t) = 1 + List.length t.aus
 
 exception Compile_error of string
 
@@ -64,7 +69,15 @@ let verify_stage ~check ~stage (f : Func.t) =
               es))
 
 let compile ?(mode = Spec) ?(policy = Lod.Raw_hazard_loads)
-    ?(merge = true) ?(check = true) (original : Func.t) : t =
+    ?(merge = true) ?(check = true) ?(partition = Decouple.trivial)
+    (original : Func.t) : t =
+  if partition.Decouple.n_access > 1 && mode <> Dae then
+    raise
+      (Compile_error
+         (Fmt.str
+            "%s: N-way partitions require mode Dae (speculation assumes the \
+             2-way split)"
+            original.Func.name));
   if check then Verify.check_exn original;
   (* front-end normalization (§3.2): irreducible control flow is made
      reducible by node splitting, and multi-latch loops get a combined
@@ -83,8 +96,9 @@ let compile ?(mode = Spec) ?(policy = Lod.Raw_hazard_loads)
           original.Func.name added));
   if check then Verify.check_exn original;
   let lod = Lod.analyze ~policy original in
-  let slices = Decouple.run original in
+  let slices = Decouple.run_n original ~assign:partition in
   let agu = slices.Decouple.agu and cu = slices.Decouple.cu in
+  let aus = slices.Decouple.aus in
   (* Blocks with ids at or past this point are speculation-pass inserts
      (poison hosts, steering dispatch/join blocks) rather than clones of
      original blocks — the boundary the checker's path replay keys on. *)
@@ -132,13 +146,16 @@ let compile ?(mode = Spec) ?(policy = Lod.Raw_hazard_loads)
       end
   in
   let snap_agu = Func.clone agu in
+  let snap_aus = List.map Func.clone aus in
   let snap_cu =
     match !cu_snapshot with Some c -> c | None -> Func.clone cu
   in
   Decouple.cleanup agu;
+  List.iter Decouple.cleanup aus;
   Decouple.cleanup cu;
   if check then begin
     Verify.check_exn agu;
+    List.iter Verify.check_exn aus;
     Verify.check_exn cu
   end;
   let t =
@@ -147,14 +164,17 @@ let compile ?(mode = Spec) ?(policy = Lod.Raw_hazard_loads)
       original;
       lod;
       agu;
+      aus;
       cu;
       snap_agu;
+      snap_aus;
       snap_cu;
       cu_inserted_from;
       channels = slices.Decouple.channels;
       load_subscribers =
         Decouple.load_subscribers
-          { slices with Decouple.agu; Decouple.cu };
+          { slices with Decouple.agu; Decouple.aus; Decouple.cu };
+      partition = slices.Decouple.assignment;
       spec;
     }
   in
@@ -185,6 +205,10 @@ let pp_summary ppf (t : t) =
     (List.length t.agu.Func.layout)
     (List.length t.cu.Func.layout)
     (List.length t.channels);
+  if t.aus <> [] then
+    Fmt.pf ppf " | %d access units (%a blocks)" (n_access t)
+      Fmt.(list ~sep:(any "+") int)
+      (List.map (fun au -> List.length au.Func.layout) t.aus);
   match t.spec with
   | None -> Fmt.pf ppf " (no speculation applied)"
   | Some s ->

@@ -28,20 +28,28 @@ type t = {
   original : Func.t;
   lod : Lod.t;
   agu : Func.t;
+  aus : Func.t list;
+      (** extra access units 1 .. n-1 of an N-way partition; [] for the
+          classic 2-way split (always [] under [Spec]) *)
   cu : Func.t;
   snap_agu : Func.t;
       (** AGU snapshot after the speculation passes but before cleanup:
           every original block id is still present, so the checker can
           replay original CFG paths over it *)
+  snap_aus : Func.t list;  (** pre-cleanup snapshots of [aus], in order *)
   snap_cu : Func.t;  (** CU snapshot, same stage *)
   cu_inserted_from : int;
       (** CU blocks with [bid >= cu_inserted_from] were inserted by the
           poison pass (hosts, dispatches, joins), not cloned from the
           original *)
   channels : Decouple.channel_use list;
-  load_subscribers : (Instr.mem_id * [ `Agu | `Cu ] list) list;
+  load_subscribers : (Instr.mem_id * [ `Agu | `Cu | `Au of int ] list) list;
+  partition : Decouple.assignment;
   spec : spec_info option;  (** [None] when nothing was speculated *)
 }
+
+val n_access : t -> int
+(** Access units in the pipeline (1 for the classic split). *)
 
 exception Compile_error of string
 
@@ -54,9 +62,18 @@ val post_check_hook : (t -> unit) ref
 (** [merge] toggles §5.3 poison-block merging (ablations); [check] runs the
     IR verifier on the input, after each speculation pass (naming the
     offending pass in the {!Compile_error}), and on both final slices —
-    then invokes {!post_check_hook}. *)
+    then invokes {!post_check_hook}. [partition] slices along an N-way
+    address-stream assignment ({!Decouple.run_n}); it requires [mode = Dae]
+    (the speculation passes assume the 2-way split) and defaults to the
+    classic split. *)
 val compile :
-  ?mode:mode -> ?policy:Lod.policy -> ?merge:bool -> ?check:bool -> Func.t -> t
+  ?mode:mode ->
+  ?policy:Lod.policy ->
+  ?merge:bool ->
+  ?check:bool ->
+  ?partition:Decouple.assignment ->
+  Func.t ->
+  t
 
 (** CU blocks that exist purely to poison, post-merge (Table 1's "Poison
     Blocks"). *)

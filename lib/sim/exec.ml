@@ -35,6 +35,8 @@ type commit = { c_arr : string; c_addr : int; c_value : int }
 type result = {
   memory : Interp.Memory.t;
   agu_trace : Trace.unit_trace;
+  au_traces : Trace.unit_trace array;
+      (* extra access units 1 .. n-1 of an N-way partition; [||] for 2-way *)
   cu_trace : Trace.unit_trace;
   commits : commit list; (* program order per array *)
   killed_stores : int;
@@ -43,6 +45,10 @@ type result = {
   agu_steps : int;
   cu_steps : int;
 }
+
+(* All unit traces in dense Trace.unit_index order. *)
+let traces (r : result) : Trace.unit_trace array =
+  Array.append [| r.agu_trace; r.cu_trace |] r.au_traces
 
 type step_result = Progress | Blocked | Finished
 
@@ -523,15 +529,19 @@ let run_lowered ?(fuel = 50_000_000) (l : Lower.t)
       store_values = Array.init n_arr (fun _ -> Iq.create ());
     }
   in
-  let agu = make_urt l.Lower.agu ~n_mems:l.Lower.n_mems ~args in
-  let cu = make_urt l.Lower.cu ~n_mems:l.Lower.n_mems ~args in
+  let units =
+    Array.map
+      (fun p -> make_urt p ~n_mems:l.Lower.n_mems ~args)
+      (Lower.units l)
+  in
+  let agu = units.(0) and cu = units.(1) in
   let du =
     {
       names = l.Lower.arrays;
       memory = mem;
       marr = Array.make (max n_arr 1) None;
       pending = Array.init n_arr (fun _ -> Iq.create ());
-      ldvs = [| agu.ldv; cu.ldv |];
+      ldvs = Array.map (fun u -> u.ldv) units;
       commits = [];
       killed = 0;
       committed = 0;
@@ -561,16 +571,18 @@ let run_lowered ?(fuel = 50_000_000) (l : Lower.t)
       | exception Blocked_on_value -> if not (fulfill u) then go := false
     done
   in
+  let all_finished () = Array.for_all (fun u -> u.finished) units in
   let running = ref true in
   while !running do
     let progress = ref false in
-    run_unit agu ~progress;
-    run_unit cu ~progress;
+    Array.iter (fun u -> run_unit u ~progress) units;
     if du_pump l ch du then progress := true;
-    if agu.finished && cu.finished then begin
+    if all_finished () then begin
       (* final drain: let the DU retire trailing stores and fulfill any
          consumes that were issued lazily and never used *)
-      while du_pump l ch du || fulfill agu || fulfill cu do
+      while
+        du_pump l ch du || Array.exists (fun u -> fulfill u) units
+      do
         ()
       done;
       running := false
@@ -578,11 +590,16 @@ let run_lowered ?(fuel = 50_000_000) (l : Lower.t)
     else if not !progress then
       raise
         (Deadlock
-           (Fmt.str "no progress: AGU %s at bb%d, CU %s at bb%d"
-              (if agu.finished then "finished" else "blocked")
-              agu.prog.Lower.blocks.(agu.cur).Lower.orig_bid
-              (if cu.finished then "finished" else "blocked")
-              cu.prog.Lower.blocks.(cu.cur).Lower.orig_bid))
+           (Fmt.str "no progress: %s"
+              (String.concat ", "
+                 (Array.to_list
+                    (Array.map
+                       (fun u ->
+                         Fmt.str "%s %s at bb%d"
+                           (Trace.unit_name u.prog.Lower.u_unit)
+                           (if u.finished then "finished" else "blocked")
+                           u.prog.Lower.blocks.(u.cur).Lower.orig_bid)
+                       units)))))
   done;
   (* post-run invariants: every channel must be fully drained *)
   for a = 0 to n_arr - 1 do
@@ -599,7 +616,7 @@ let run_lowered ?(fuel = 50_000_000) (l : Lower.t)
            (Fmt.str "store allocations never resolved for array %s"
               du.names.(a)))
   done;
-  List.iter
+  Array.iter
     (fun u ->
       Array.iteri
         (fun m q ->
@@ -609,10 +626,14 @@ let run_lowered ?(fuel = 50_000_000) (l : Lower.t)
                  (Fmt.str "load values for mem%d never consumed by %s" m
                     (Trace.unit_name u.prog.Lower.u_unit))))
         u.ldv)
-    [ agu; cu ];
+    units;
   {
     memory = mem;
     agu_trace = finalize_trace ~arrays:l.Lower.arrays agu;
+    au_traces =
+      Array.map
+        (fun u -> finalize_trace ~arrays:l.Lower.arrays u)
+        (Array.sub units 2 (Array.length units - 2));
     cu_trace = finalize_trace ~arrays:l.Lower.arrays cu;
     commits = List.rev du.commits;
     killed_stores = du.killed;
@@ -1077,13 +1098,25 @@ module Reference = struct
     List.iter
       (fun (m, subs) ->
         Hashtbl.replace ch.subscribers m
-          (List.map (function `Agu -> Trace.Agu | `Cu -> Trace.Cu) subs))
+          (List.map
+             (function
+               | `Agu -> Trace.Agu
+               | `Cu -> Trace.Cu
+               | `Au k -> Trace.Au k)
+             subs))
       p.Dae_core.Pipeline.load_subscribers;
     let agu = make_ustate Trace.Agu p.Dae_core.Pipeline.agu ~arr_id ~args in
     let cu = make_ustate Trace.Cu p.Dae_core.Pipeline.cu ~arr_id ~args in
+    let aus =
+      List.mapi
+        (fun k f -> make_ustate (Trace.Au (k + 1)) f ~arr_id ~args)
+        p.Dae_core.Pipeline.aus
+    in
+    (* dense Trace.unit_index order *)
+    let units = agu :: cu :: aus in
     let du = du_create () in
     let total_steps = ref 0 in
-    let finished () = agu.finished && cu.finished in
+    let finished () = List.for_all (fun u -> u.finished) units in
     let running = ref true in
     while !running do
       let progress = ref false in
@@ -1100,13 +1133,12 @@ module Reference = struct
               if fulfill_promises ch u then ()
             | Blocked | Finished -> go := false
           done)
-        [ agu; cu ];
+        units;
       if du_pump du ch mem then progress := true;
       if finished () then begin
         while
           du_pump du ch mem
-          || fulfill_promises ch agu
-          || fulfill_promises ch cu
+          || List.exists (fun u -> fulfill_promises ch u) units
         do
           ()
         done;
@@ -1115,11 +1147,14 @@ module Reference = struct
       else if not !progress then
         raise
           (Deadlock
-             (Fmt.str "no progress: AGU %s at bb%d, CU %s at bb%d"
-                (if agu.finished then "finished" else "blocked")
-                agu.cur
-                (if cu.finished then "finished" else "blocked")
-                cu.cur))
+             (Fmt.str "no progress: %s"
+                (String.concat ", "
+                   (List.map
+                      (fun u ->
+                        Fmt.str "%s %s at bb%d" (Trace.unit_name u.uid)
+                          (if u.finished then "finished" else "blocked")
+                          u.cur)
+                      units))))
     done;
     Hashtbl.iter
       (fun arr q ->
@@ -1150,6 +1185,8 @@ module Reference = struct
     {
       memory = mem;
       agu_trace = finalize_trace ~arrays agu;
+      au_traces =
+        Array.of_list (List.map (fun u -> finalize_trace ~arrays u) aus);
       cu_trace = finalize_trace ~arrays cu;
       commits = List.rev du.commits;
       killed_stores = du.killed;

@@ -31,6 +31,9 @@ type commit = { c_arr : string; c_addr : int; c_value : int }
 type result = {
   memory : Interp.Memory.t;
   agu_trace : Trace.unit_trace;
+  au_traces : Trace.unit_trace array;
+      (** extra access units 1 .. n-1 of an N-way partition; [[||]] for the
+          classic 2-way split *)
   cu_trace : Trace.unit_trace;
   commits : commit list;  (** program order per array *)
   killed_stores : int;
@@ -39,6 +42,10 @@ type result = {
   agu_steps : int;
   cu_steps : int;
 }
+
+val traces : result -> Trace.unit_trace array
+(** All unit traces in dense {!Trace.unit_index} order
+    \[agu; cu; au1; ...\]. *)
 
 (** [mem] is mutated to the final state.
     @raise Deadlock | Stream_mismatch | Desync as described above. *)

@@ -71,12 +71,16 @@ type uprog = {
 
 type t = {
   agu : uprog;
+  aus : uprog array; (* extra access units 1 .. n-1; [||] for 2-way *)
   cu : uprog;
   arrays : string array;  (* dense array id -> name, sorted *)
   n_mems : int;
   subscribers : int array array;
       (* load mem -> unit indices ({!Trace.unit_index}) to fan the value to *)
 }
+
+let units (t : t) : uprog array =
+  Array.append [| t.agu; t.cu |] t.aus
 
 (* --- static analyses (once per pipeline, shared with Exec.Reference) ----- *)
 
@@ -189,14 +193,19 @@ let channel_arrays_and_mems (f : Func.t) =
       | _ -> acc)
     ([], -1)
 
-(* The dense array-name table both units' traces share: every array named
-   by a channel op of either slice, sorted. Iterating it in id order visits
+(* The dense array-name table all units' traces share: every array named
+   by a channel op of any slice, sorted. Iterating it in id order visits
    arrays in the same sorted order the co-simulator's functional DU always
    used, so commit interleaving is unchanged. *)
 let array_table (p : Dae_core.Pipeline.t) : string array =
   let a1, _ = channel_arrays_and_mems p.Dae_core.Pipeline.agu in
   let a2, _ = channel_arrays_and_mems p.Dae_core.Pipeline.cu in
-  Array.of_list (List.sort_uniq compare (a1 @ a2))
+  let a3 =
+    List.concat_map
+      (fun au -> fst (channel_arrays_and_mems au))
+      p.Dae_core.Pipeline.aus
+  in
+  Array.of_list (List.sort_uniq compare (a1 @ a2 @ a3))
 
 (* --- per-unit lowering --------------------------------------------------- *)
 
@@ -400,12 +409,17 @@ let compile (p : Dae_core.Pipeline.t) : t =
   Array.iteri (fun i name -> Hashtbl.replace arr_id name i) arrays;
   let _, m1 = channel_arrays_and_mems p.Dae_core.Pipeline.agu in
   let _, m2 = channel_arrays_and_mems p.Dae_core.Pipeline.cu in
+  let m3 =
+    List.fold_left
+      (fun acc au -> max acc (snd (channel_arrays_and_mems au)))
+      (-1) p.Dae_core.Pipeline.aus
+  in
   let max_sub_mem =
     List.fold_left
       (fun acc (m, _) -> max acc m)
       (-1) p.Dae_core.Pipeline.load_subscribers
   in
-  let n_mems = 1 + max m1 (max m2 max_sub_mem) in
+  let n_mems = 1 + max (max m1 m3) (max m2 max_sub_mem) in
   if n_mems > Trace.max_mem then
     Fmt.invalid_arg "Lower: %d memory ids exceed the trace encoding" n_mems;
   let subscribers = Array.make (max n_mems 1) [||] in
@@ -416,11 +430,17 @@ let compile (p : Dae_core.Pipeline.t) : t =
           (List.map
              (function
                | `Agu -> Trace.unit_index Trace.Agu
-               | `Cu -> Trace.unit_index Trace.Cu)
+               | `Cu -> Trace.unit_index Trace.Cu
+               | `Au k -> Trace.unit_index (Trace.Au k))
              subs))
     p.Dae_core.Pipeline.load_subscribers;
   {
     agu = lower_func Trace.Agu p.Dae_core.Pipeline.agu ~arr_id;
+    aus =
+      Array.of_list
+        (List.mapi
+           (fun k au -> lower_func (Trace.Au (k + 1)) au ~arr_id)
+           p.Dae_core.Pipeline.aus);
     cu = lower_func Trace.Cu p.Dae_core.Pipeline.cu ~arr_id;
     arrays;
     n_mems;

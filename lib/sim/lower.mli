@@ -57,12 +57,19 @@ type uprog = {
 
 type t = {
   agu : uprog;
+  aus : uprog array;
+      (** extra access units 1 .. n-1 of an N-way partition; [[||]] for the
+          classic 2-way split *)
   cu : uprog;
   arrays : string array;  (** dense array id -> name, sorted *)
   n_mems : int;
   subscribers : int array array;
       (** load mem -> unit indices ({!Trace.unit_index}) to fan the value to *)
 }
+
+val units : t -> uprog array
+(** All unit programs in dense {!Trace.unit_index} order
+    \[agu; cu; au1; ...\]. *)
 
 val compile : Dae_core.Pipeline.t -> t
 

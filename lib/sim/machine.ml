@@ -22,6 +22,7 @@ type invocation = (string * Types.value) list (* kernel arguments *)
 type timeline = {
   t_invocation : int;
   t_agu : Trace.unit_trace;
+  t_aus : Trace.unit_trace array; (* extra access units; [||] for 2-way *)
   t_cu : Trace.unit_trace;
   t_timing : Timing.result;
 }
@@ -48,8 +49,9 @@ let golden_run (f : Func.t) ~args ~mem = Interp.run f ~args ~mem
 
 let simulate ?(cfg = Config.default) ?(validate = true)
     ?(w = Area.default_weights) ?(collect = false) ?(record_mem = false)
-    ?max_cycles (arch : arch) (f : Func.t)
-    ~(invocations : invocation list) ~(mem : Interp.Memory.t) : result =
+    ?max_cycles ?(partition = Dae_core.Decouple.trivial) (arch : arch)
+    (f : Func.t) ~(invocations : invocation list) ~(mem : Interp.Memory.t) :
+    result =
   if validate then Config.validate cfg;
   match arch with
   | Sta ->
@@ -84,7 +86,7 @@ let simulate ?(cfg = Config.default) ?(validate = true)
       | Spec | Oracle -> Dae_core.Pipeline.Spec
       | Sta -> assert false
     in
-    let p = Dae_core.Pipeline.compile ~mode f in
+    let p = Dae_core.Pipeline.compile ~mode ~partition f in
     let lowered = Lower.compile p in
     let sim_mem = Interp.Memory.copy mem in
     let golden_mem = Interp.Memory.copy mem in
@@ -98,7 +100,12 @@ let simulate ?(cfg = Config.default) ?(validate = true)
       List.map
         (fun (m, subs) ->
           ( m,
-            List.map (function `Agu -> Trace.Agu | `Cu -> Trace.Cu) subs ))
+            List.map
+              (function
+                | `Agu -> Trace.Agu
+                | `Cu -> Trace.Cu
+                | `Au k -> Trace.Au k)
+              subs ))
         p.Dae_core.Pipeline.load_subscribers
     in
     List.iter
@@ -115,14 +122,18 @@ let simulate ?(cfg = Config.default) ?(validate = true)
                (Fmt.str "%s/%s: %s" f.Func.name (arch_name arch) msg)));
         killed := !killed + r.Exec.killed_stores;
         committed := !committed + r.Exec.committed_stores;
-        let agu_tr, cu_tr =
+        let trs =
           match arch with
-          | Oracle -> Timing.oracle_filter r.Exec.agu_trace r.Exec.cu_trace
-          | _ -> (r.Exec.agu_trace, r.Exec.cu_trace)
+          | Oracle ->
+            let agu_tr, cu_tr =
+              Timing.oracle_filter r.Exec.agu_trace r.Exec.cu_trace
+            in
+            [| agu_tr; cu_tr |]
+          | _ -> Exec.traces r
         in
         let timed =
-          Timing.run ~cfg ~validate:false ?max_cycles
-            ~record_depths:collect ~record_mem ~subscribers agu_tr cu_tr
+          Timing.run_units ~cfg ~validate:false ?max_cycles
+            ~record_depths:collect ~record_mem ~subscribers trs
         in
         cycles := !cycles + timed.Timing.cycles;
         stats := Stats.merge_keyed !stats timed.Timing.stats;
@@ -132,8 +143,9 @@ let simulate ?(cfg = Config.default) ?(validate = true)
           timelines :=
             {
               t_invocation = !inv_index;
-              t_agu = agu_tr;
-              t_cu = cu_tr;
+              t_agu = trs.(0);
+              t_aus = Array.sub trs 2 (Array.length trs - 2);
+              t_cu = trs.(1);
               t_timing = timed;
             }
             :: !timelines;

@@ -22,6 +22,8 @@ type invocation = (string * Types.value) list
 type timeline = {
   t_invocation : int;  (** 0-based invocation index *)
   t_agu : Trace.unit_trace;  (** as replayed (ORACLE: post-filter) *)
+  t_aus : Trace.unit_trace array;
+      (** extra access units of an N-way partition; [[||]] for 2-way *)
   t_cu : Trace.unit_trace;
   t_timing : Timing.result;
 }
@@ -59,6 +61,10 @@ exception Check_failed of string
     configuration. [record_mem] (default false) keeps each invocation's
     memory event log; [max_cycles] caps each invocation's replay (the
     qcheck harness's hang guard — overruns raise {!Timing.Timing_error}).
+    [partition] slices the kernel along an N-way address-stream assignment
+    ({!Dae_core.Decouple.run_n}); it requires arch {!Dae} (ignored by
+    {!Sta}, rejected by the pipeline for {!Spec}/{!Oracle}) and defaults
+    to the classic 2-way split.
     @raise Invalid_argument on an invalid configuration.
     @raise Check_failed when a decoupled run disagrees with the golden
     model. *)
@@ -69,6 +75,7 @@ val simulate :
   ?collect:bool ->
   ?record_mem:bool ->
   ?max_cycles:int ->
+  ?partition:Dae_core.Decouple.assignment ->
   arch ->
   Func.t ->
   invocations:invocation list ->

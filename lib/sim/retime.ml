@@ -29,7 +29,8 @@ type plan = {
   pl_dec : decoupled_plan option; (* None for STA *)
 }
 
-let plan (arch : Machine.arch) (f : Func.t) : plan =
+let plan ?(partition = Dae_core.Decouple.trivial) (arch : Machine.arch)
+    (f : Func.t) : plan =
   match arch with
   | Machine.Sta ->
     (* the printed IR is the canonical byte form of a function *)
@@ -48,12 +49,20 @@ let plan (arch : Machine.arch) (f : Func.t) : plan =
       | Machine.Dae -> Dae_core.Pipeline.Dae
       | _ -> Dae_core.Pipeline.Spec
     in
-    let p = Dae_core.Pipeline.compile ~mode f in
+    let p = Dae_core.Pipeline.compile ~mode ~partition f in
+    (* the partition is baked into the lowered unit programs, so
+       Lower.digest below already distinguishes N-way plans *)
     let lowered = Lower.compile p in
     let subscribers =
       List.map
         (fun (m, subs) ->
-          (m, List.map (function `Agu -> Trace.Agu | `Cu -> Trace.Cu) subs))
+          ( m,
+            List.map
+              (function
+                | `Agu -> Trace.Agu
+                | `Cu -> Trace.Cu
+                | `Au k -> Trace.Au k)
+              subs ))
         p.Dae_core.Pipeline.load_subscribers
     in
     {
@@ -76,8 +85,9 @@ let pipeline p =
 type prepared = {
   pr_plan : plan;
   pr_invocations : int;
-  pr_traces : (Trace.unit_trace * Trace.unit_trace) array;
-      (* per invocation, post oracle-filter; [||] for STA *)
+  pr_traces : Trace.unit_trace array array;
+      (* per invocation, dense unit order [agu; cu; au1; ...], post
+         oracle-filter; [||] for STA *)
   pr_golden_runs : Interp.result array;
       (* STA only: cycles are cfg-dependent (port pressure bounds the II),
          so the golden runs are stored and re-derived per configuration *)
@@ -131,8 +141,11 @@ let prepare (plan : plan) ~(invocations : Machine.invocation list)
              committed := !committed + r.Exec.committed_stores;
              match plan.pl_arch with
              | Machine.Oracle ->
-               Timing.oracle_filter r.Exec.agu_trace r.Exec.cu_trace
-             | _ -> (r.Exec.agu_trace, r.Exec.cu_trace))
+               let agu_tr, cu_tr =
+                 Timing.oracle_filter r.Exec.agu_trace r.Exec.cu_trace
+               in
+               [| agu_tr; cu_tr |]
+             | _ -> Exec.traces r)
            invocations)
     in
     {
@@ -161,7 +174,9 @@ let trace_digest (pr : prepared) =
          (String.concat ""
             (Array.to_list
                (Array.map
-                  (fun (a, c) -> Trace.digest a ^ Trace.digest c)
+                  (fun trs ->
+                    String.concat ""
+                      (Array.to_list (Array.map Trace.digest trs)))
                   pr.pr_traces))))
 
 let simulate ?(validate = true) ?(w = Area.default_weights)
@@ -197,10 +212,11 @@ let simulate ?(validate = true) ?(w = Area.default_weights)
     let timelines = ref [] in
     let mem_events = ref [] in
     Array.iteri
-      (fun i (agu_tr, cu_tr) ->
+      (fun i trs ->
         let timed =
-          Timing.run ~cfg ~validate:false ?max_cycles ~record_depths:collect
-            ~record_mem ~subscribers:dec.p_subscribers agu_tr cu_tr
+          Timing.run_units ~cfg ~validate:false ?max_cycles
+            ~record_depths:collect ~record_mem
+            ~subscribers:dec.p_subscribers trs
         in
         cycles := !cycles + timed.Timing.cycles;
         stats := Stats.merge_keyed !stats timed.Timing.stats;
@@ -210,8 +226,9 @@ let simulate ?(validate = true) ?(w = Area.default_weights)
           timelines :=
             {
               Machine.t_invocation = i;
-              t_agu = agu_tr;
-              t_cu = cu_tr;
+              t_agu = trs.(0);
+              t_aus = Array.sub trs 2 (Array.length trs - 2);
+              t_cu = trs.(1);
               t_timing = timed;
             }
             :: !timelines)

@@ -37,10 +37,15 @@ open Dae_ir
 type plan
 (** A compiled, lowered, digested kernel×architecture — no execution yet. *)
 
-val plan : Machine.arch -> Func.t -> plan
+val plan :
+  ?partition:Dae_core.Decouple.assignment -> Machine.arch -> Func.t -> plan
 (** Compile [f] for [arch]: slice + {!Lower.compile} for the decoupled
     architectures, {!Sta.analyze}-ready for STA. Pure compilation — cheap
-    enough to form cache keys for points that will never be simulated. *)
+    enough to form cache keys for points that will never be simulated.
+    [partition] slices along an N-way address-stream assignment (arch
+    {!Machine.Dae} only; default: the classic 2-way split). The partition
+    is baked into the lowered unit programs, so {!plan_digest} already
+    distinguishes N-way plans. *)
 
 val plan_digest : plan -> string
 (** Content identity of the plan: architecture name plus
@@ -74,7 +79,7 @@ val prepare :
 
 val trace_digest : prepared -> string
 (** Digest of the stored per-invocation traces ({!Trace.digest} folded
-    over both units, STA: over golden iteration counts). The sweep
+    over all units, STA: over golden iteration counts). The sweep
     engine's sampled cross-checks compare this against a fresh
     [Machine.simulate ~collect:true] replay to prove the persisted traces
     are the ones a full co-simulation would have produced. *)

@@ -65,9 +65,11 @@ type result = {
   cycles : int;
   agu_finish : int;
   cu_finish : int;
+  au_finish : int array; (* extra access units, trace order; [||] for 2-way *)
   lsq : (string * lsq_stats) list;
   agu_retire : int array; (* per-event retire cycles, for timeline views *)
   cu_retire : int array;
+  au_retire : int array array;
   stats : Stats.keyed;
       (* per-unit cycle attribution ("AGU", "CU", "DU:<arr>"); for every
          unit the counters sum exactly to [cycles] — each visited
@@ -859,10 +861,13 @@ let du_wakes (a : du_array) ~t ~(push : int -> unit) =
 
 (* --- top level ------------------------------------------------------------ *)
 
-let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
-    ?(record_depths = false) ?(record_mem = false)
+let run_units ?(cfg = Config.default) ?(validate = true)
+    ?(max_cycles = 50_000_000) ?(record_depths = false)
+    ?(record_mem = false)
     ~(subscribers : (int * Trace.unit_id list) list)
-    (agu_tr : Trace.unit_trace) (cu_tr : Trace.unit_trace) : result =
+    (trs : Trace.unit_trace array) : result =
+  if Array.length trs < 2 then
+    raise (Timing_error "run_units: need at least AGU and CU traces");
   if validate then Config.validate cfg;
   let env =
     {
@@ -893,15 +898,36 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
       Hashtbl.replace env.sub_fifos m
         (Array.of_list (List.map (fun u -> ldv_fifo env (m, u)) subs)))
     subscribers;
-  let agu = make_urep env agu_tr ~unit_ii:cfg.Config.unit_ii in
-  let cu = make_urep env cu_tr ~unit_ii:cfg.Config.unit_ii in
-  let n_agu = Trace.length agu_tr in
-  let n_cu = Trace.length cu_tr in
+  (* units in dense Trace.unit_index order: [agu; cu; au1; ...]. Build in
+     order — DU arrays and load-value FIFOs are interned at first
+     appearance, and their creation order is observable (stats, samples). *)
+  let n_units = Array.length trs in
+  let units =
+    (* explicit left-to-right loop: Array.init's application order is
+       unspecified and interning order must follow trace order *)
+    let u0 = make_urep env trs.(0) ~unit_ii:cfg.Config.unit_ii in
+    let a = Array.make n_units u0 in
+    for i = 1 to n_units - 1 do
+      a.(i) <- make_urep env trs.(i) ~unit_ii:cfg.Config.unit_ii
+    done;
+    a
+  in
+  let n_ev = Array.map (fun tr -> Trace.length tr) trs in
   let t = ref 0 in
-  let agu_finish = ref 0 and cu_finish = ref 0 in
+  let finish = Array.make n_units 0 in
   let idle_rounds = ref 0 in
   let calendar = Calendar.create () in
-  let agu_stats = Stats.create () and cu_stats = Stats.create () in
+  let ustats = Array.init n_units (fun _ -> Stats.create ()) in
+  let retired_summary () =
+    String.concat ", "
+      (Array.to_list
+         (Array.mapi
+            (fun i u ->
+              Fmt.str "%s %d/%d"
+                (Trace.unit_name u.tr.Trace.unit)
+                u.n_retired n_ev.(i))
+            units))
+  in
   (* depth sampling (only when requested): channel occupancies are
      piecewise constant between visited cycles — size changes only on a
      push or pop, which is machine progress — so sampling at visited
@@ -935,7 +961,11 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
   let ldvs = Array.of_list env.ldv_list in
   let n_ldvs = Array.length ldvs in
   let done_ () =
-    agu.n_retired = n_agu && cu.n_retired = n_cu
+    (let ok = ref true in
+     for i = 0 to n_units - 1 do
+       if units.(i).n_retired <> n_ev.(i) then ok := false
+     done;
+     !ok)
     &&
     let ok = ref true in
     for i = 0 to n_dus - 1 do
@@ -950,10 +980,12 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
     if !t > max_cycles then
       raise
         (Timing_error
-           (Fmt.str "exceeded %d cycles (AGU %d/%d, CU %d/%d retired)"
-              max_cycles agu.n_retired n_agu cu.n_retired n_cu));
-    let p1 = step_unit env agu ~t:!t in
-    let p2 = step_unit env cu ~t:!t in
+           (Fmt.str "exceeded %d cycles (%s retired)" max_cycles
+              (retired_summary ())));
+    let pu = Array.make n_units false in
+    for i = 0 to n_units - 1 do
+      pu.(i) <- step_unit env units.(i) ~t:!t
+    done;
     let p3 = ref false in
     for i = 0 to n_dus - 1 do
       let a = Array.unsafe_get dus i in
@@ -973,10 +1005,12 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
       if p then p3 := true
     done;
     let p3 = !p3 in
-    if agu.n_retired = n_agu && !agu_finish = 0 then agu_finish := !t;
-    if cu.n_retired = n_cu && !cu_finish = 0 then cu_finish := !t;
+    for i = 0 to n_units - 1 do
+      if units.(i).n_retired = n_ev.(i) && finish.(i) = 0 then
+        finish.(i) <- !t
+    done;
     let next_t =
-      if p1 || p2 || p3 then begin
+      if Array.exists (fun p -> p) pu || p3 then begin
         (* more same-state work may be admissible next cycle (per-channel
            in-order retirement, the scalar store port): wake at t+1 *)
         idle_rounds := 0;
@@ -989,8 +1023,7 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
            unblock anything, the architecture model has deadlocked. *)
         Calendar.clear calendar;
         let push x = Calendar.push calendar x in
-        unit_wakes env agu ~t:!t ~push;
-        unit_wakes env cu ~t:!t ~push;
+        Array.iter (fun u -> unit_wakes env u ~t:!t ~push) units;
         for i = 0 to n_dus - 1 do
           du_wakes (Array.unsafe_get dus i) ~t:!t ~push
         done;
@@ -1016,9 +1049,8 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
           if !idle_rounds > 4 then
             raise
               (Deadlock
-                 (Fmt.str
-                    "timing deadlock at cycle %d (AGU %d/%d, CU %d/%d retired)"
-                    !t agu.n_retired n_agu cu.n_retired n_cu));
+                 (Fmt.str "timing deadlock at cycle %d (%s retired)" !t
+                    (retired_summary ())));
           !t + 1
         end
         else begin
@@ -1031,8 +1063,11 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
        one cycle no unit progressed, so every classification below is a
        stall state frozen until the earliest calendar wake *)
     let span = next_t - !t in
-    Stats.add agu_stats (classify_unit agu ~progress:p1 ~t:!t) span;
-    Stats.add cu_stats (classify_unit cu ~progress:p2 ~t:!t) span;
+    for i = 0 to n_units - 1 do
+      Stats.add ustats.(i)
+        (classify_unit units.(i) ~progress:pu.(i) ~t:!t)
+        span
+    done;
     Array.iter
       (fun a -> Stats.add a.cstats (classify_du a ~progress:a.f_progress) span)
       dus;
@@ -1041,20 +1076,30 @@ let run ?(cfg = Config.default) ?(validate = true) ?(max_cycles = 50_000_000)
   done;
   {
     cycles = !t;
-    agu_finish = !agu_finish;
-    cu_finish = !cu_finish;
+    agu_finish = finish.(0);
+    cu_finish = finish.(1);
+    au_finish = Array.sub finish 2 (n_units - 2);
     lsq =
       Hashtbl.fold (fun arr a acc -> (arr, a.stats) :: acc) env.arrays []
       |> List.sort compare;
-    agu_retire = agu.retire;
-    cu_retire = cu.retire;
+    agu_retire = units.(0).retire;
+    cu_retire = units.(1).retire;
+    au_retire = Array.map (fun u -> u.retire) (Array.sub units 2 (n_units - 2));
     stats =
-      (("AGU", agu_stats) :: ("CU", cu_stats)
-      :: List.map (fun a -> ("DU:" ^ a.arr, a.cstats)) env.du_list)
+      (Array.to_list
+         (Array.mapi
+            (fun i u -> (Trace.unit_name u.tr.Trace.unit, ustats.(i)))
+            units)
+      @ List.map (fun a -> ("DU:" ^ a.arr, a.cstats)) env.du_list)
       |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2);
     depth_samples = Array.of_list (List.rev !samples);
     mem_events = Array.of_list (List.rev env.mem_log);
   }
+
+let run ?cfg ?validate ?max_cycles ?record_depths ?record_mem ~subscribers
+    (agu_tr : Trace.unit_trace) (cu_tr : Trace.unit_trace) : result =
+  run_units ?cfg ?validate ?max_cycles ?record_depths ?record_mem
+    ~subscribers [| agu_tr; cu_tr |]
 
 (* The out-of-order scan depth, exposed so the static sizing analyzer's
    abstract causality replay matches the engine's retirement window. *)

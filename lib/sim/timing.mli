@@ -44,13 +44,18 @@ type result = {
   cycles : int;
   agu_finish : int;
   cu_finish : int;
+  au_finish : int array;
+      (** finish cycles of the extra access units of an N-way partition,
+          in trace order; [[||]] for the classic 2-way split *)
   lsq : (string * lsq_stats) list;
   agu_retire : int array;
       (** per-event retire cycles, index-aligned with the trace entries —
           for pipeline timeline views (the paper's Figure 2) *)
   cu_retire : int array;
+  au_retire : int array array;  (** extra access units, trace order *)
   stats : Stats.keyed;
-      (** cycle attribution per unit, keyed ["AGU"], ["CU"], ["DU:<arr>"];
+      (** cycle attribution per unit, keyed ["AGU"], ["CU"], ["AU<k>"],
+          ["DU:<arr>"];
           for every unit [Stats.total] equals [cycles] exactly — the
           engine classifies each unit once per visited cycle-span, and
           between visited cycles the blocking state is frozen (the same
@@ -116,6 +121,20 @@ val run :
   Trace.unit_trace ->
   Trace.unit_trace ->
   result
+
+val run_units :
+  ?cfg:Config.t ->
+  ?validate:bool ->
+  ?max_cycles:int ->
+  ?record_depths:bool ->
+  ?record_mem:bool ->
+  subscribers:(int * Trace.unit_id list) list ->
+  Trace.unit_trace array ->
+  result
+(** Replay any number of unit traces (dense {!Trace.unit_index} order
+    \[agu; cu; au1; ...\]); {!run} is the two-trace special case and
+    produces identical results for the same pair. Needs at least two
+    traces. *)
 
 (** The ORACLE bound (paper §8.1.1): drop mis-speculated store requests
     from the AGU trace and kills from the CU trace — perfect speculation. *)

@@ -14,10 +14,15 @@
    small ints and the table maps back to names for diagnostics and
    export. *)
 
-type unit_id = Agu | Cu
+type unit_id = Agu | Cu | Au of int
 
-let unit_name = function Agu -> "AGU" | Cu -> "CU"
-let unit_index = function Agu -> 0 | Cu -> 1
+let unit_name = function
+  | Agu -> "AGU"
+  | Cu -> "CU"
+  | Au k -> "AU" ^ string_of_int k
+
+let unit_index = function Agu -> 0 | Cu -> 1 | Au k -> k + 1
+let of_index = function 0 -> Agu | 1 -> Cu | k -> Au (k - 1)
 
 (* Event tags. *)
 let t_send_ld = 0

@@ -9,12 +9,20 @@
     both units of a pipeline ({!Lower.compile}); {!arr_name} maps ids back
     for diagnostics and export. *)
 
-type unit_id = Agu | Cu
+type unit_id = Agu | Cu | Au of int
+(** [Agu] and [Cu] are the classic 2-way pair; [Au k] (k >= 1) is the k-th
+    extra access unit of an N-way partition ({!Dae_core.Decouple.run_n}) —
+    [Agu] doubles as access unit 0, so the 2-way encoding is unchanged. *)
 
 val unit_name : unit_id -> string
 
 val unit_index : unit_id -> int
-(** [Agu] is 0, [Cu] is 1 — for dense per-unit tables. *)
+(** [Agu] is 0, [Cu] is 1, [Au k] is [k + 1] — for dense per-unit tables.
+    The order \[AGU; CU; AU1; ...\] keeps every 2-way table and digest
+    bit-identical to the pre-partition encoding. *)
+
+val of_index : int -> unit_id
+(** Inverse of {!unit_index}. *)
 
 (** {1 Compact encoding} *)
 

@@ -612,3 +612,14 @@ let test_suite () : t list =
   ]
 
 let by_name suite name = List.find_opt (fun k -> k.name = name) suite
+
+let suite_iter ?(suite = `Paper) ?(only = []) f =
+  let ks = match suite with `Paper -> paper_suite () | `Quick -> test_suite () in
+  let selected =
+    if only = [] then ks else List.filter (fun k -> List.mem k.name only) ks
+  in
+  if selected = [] then Error "no kernels selected (try `daec list')"
+  else begin
+    List.iter f selected;
+    Ok ()
+  end

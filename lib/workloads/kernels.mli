@@ -49,3 +49,14 @@ val paper_suite : unit -> t list
 val test_suite : unit -> t list
 
 val by_name : t list -> string -> t option
+
+val suite_iter :
+  ?suite:[ `Paper | `Quick ] ->
+  ?only:string list ->
+  (t -> unit) ->
+  (unit, string) result
+(** The shared census driver of the CLI's suite-wide subcommands
+    ([check]/[size]/[partition] [--all-kernels], the [leak] census):
+    apply [f] to each kernel of [suite] (default [`Paper]), restricted to
+    the names in [only] when non-empty. [Error] when the selection is
+    empty — the caller's usage error. *)
