@@ -279,6 +279,30 @@ let cfg_of ?(hierarchy = Dae_sim.Config.Scratchpad) ~sq ~lq ~fifo_lat
     Fmt.epr "invalid configuration: %s@." e;
     exit 2
 
+let scheduler_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("wheel", Dae_sim.Timing.Event_wheel);
+             ("calendar", Dae_sim.Timing.Seed_calendar) ])
+        Dae_sim.Timing.Event_wheel
+    & info [ "scheduler" ] ~docv:"SCHED"
+        ~doc:"Timing-engine stall scheduler: wheel (the incremental event \
+              wheel, default) or calendar (the seed clear-and-rescan \
+              reference). Bit-identical results — the CI determinism \
+              check diffs the two.")
+
+let cache_dir_arg =
+  Arg.(value & opt string Dae_sim.Cache.default_dir
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Result cache directory (default: _daec_cache).")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Disable the on-disk result cache: every point re-times.")
+
 let pick_archs ~archs ~all =
   if all then
     [ Dae_sim.Machine.Sta; Dae_sim.Machine.Dae; Dae_sim.Machine.Spec;
@@ -406,7 +430,7 @@ let compile_cmd =
 
 let run_cmd =
   let run file kernel archs all sq lq fifo_lat req_fifo val_fifo stv_fifo
-      hierarchy jobs =
+      hierarchy jobs scheduler =
     match load_func ~file ~kernel with
     | Error e ->
       Fmt.epr "%s@." e;
@@ -426,7 +450,7 @@ let run_cmd =
       Dae_sim.Runner.map_list ~domains:jobs
         ~f:(fun arch ->
           let r =
-            Dae_sim.Machine.simulate ~cfg arch
+            Dae_sim.Machine.simulate ~cfg ~scheduler arch
               (k.Dae_workloads.Kernels.build ())
               ~invocations:(k.Dae_workloads.Kernels.invocations ())
               ~mem:(k.Dae_workloads.Kernels.init_mem ())
@@ -451,7 +475,7 @@ let run_cmd =
     Term.(
       const run $ file_arg $ kernel_arg $ archs_arg $ all_arg $ sq_arg
       $ lq_arg $ fifo_lat_arg $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg
-      $ hierarchy_term $ jobs_arg)
+      $ hierarchy_term $ jobs_arg $ scheduler_arg)
 
 (* --- stats --------------------------------------------------------------------- *)
 
@@ -479,7 +503,7 @@ let stats_json ~kernel ~cfg (arch, (r : Dae_sim.Machine.result)) =
 
 let stats_cmd =
   let run file kernel archs all sq lq fifo_lat req_fifo val_fifo stv_fifo
-      hierarchy jobs json =
+      hierarchy jobs scheduler json =
     match load_func ~file ~kernel with
     | Error e ->
       Fmt.epr "%s@." e;
@@ -499,7 +523,7 @@ let stats_cmd =
         Dae_sim.Runner.map_list ~domains:jobs
           ~f:(fun arch ->
             ( arch,
-              Dae_sim.Machine.simulate ~cfg arch
+              Dae_sim.Machine.simulate ~cfg ~scheduler arch
                 (k.Dae_workloads.Kernels.build ())
                 ~invocations:(k.Dae_workloads.Kernels.invocations ())
                 ~mem:(k.Dae_workloads.Kernels.init_mem ()) ))
@@ -536,7 +560,7 @@ let stats_cmd =
     Term.(
       const run $ file_arg $ kernel_arg $ archs_arg $ all_arg $ sq_arg
       $ lq_arg $ fifo_lat_arg $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg
-      $ hierarchy_term $ jobs_arg $ json_arg)
+      $ hierarchy_term $ jobs_arg $ scheduler_arg $ json_arg)
 
 (* --- trace --------------------------------------------------------------------- *)
 
@@ -996,6 +1020,12 @@ let sizing_json ~kernel ~mode (sz : Dae_analysis.Sizing.t) =
       [ ("deadlock_cycles", Json.List (List.map (fun c -> Json.Str c) cycles)) ]
     | Sizing.Deadlock_free -> [])
 
+(* memoized outcome of the min-1 boundary probe (see validate_sim) *)
+type probe_outcome =
+  | P_cycles of int
+  | P_deadlock of string
+  | P_rejected of string
+
 let size_cmd =
   let modes_of = function
     | `Dae -> [ Dae_core.Pipeline.Dae ]
@@ -1011,61 +1041,114 @@ let size_cmd =
      the critical channel at minimum-1 must be rejected by
      Config.validate and then (validation off) either trip the dynamic
      deadlock detector or run no faster than the minimum. Both probes
-     ride the re-timing engine: the functional execution runs once and
-     each boundary configuration only replays the stored traces. *)
-  let validate_sim ~cfg:_ ~mode (k : Dae_workloads.Kernels.t)
-      (sz : Dae_analysis.Sizing.t) : bool =
+     ride the re-timing engine: the functional execution runs (lazily) at
+     most once and each boundary configuration only replays the stored
+     traces. Probe outcomes are memoized in the on-disk result cache —
+     keyed by plan digest × base/probe configurations × path budget — so
+     a warm `size --validate` prints the same report without executing a
+     single instruction. *)
+  let validate_sim ~cache ~cfg ~path_limit ~mode
+      (k : Dae_workloads.Kernels.t) (sz : Dae_analysis.Sizing.t) : bool =
     let arch =
       match mode with
       | Dae_core.Pipeline.Dae -> Dae_sim.Machine.Dae
       | Dae_core.Pipeline.Spec -> Dae_sim.Machine.Spec
     in
-    let prepared =
-      Dae_sim.Retime.prepare
-        (Dae_sim.Retime.plan arch (k.Dae_workloads.Kernels.build ()))
-        ~invocations:(k.Dae_workloads.Kernels.invocations ())
-        ~mem:(k.Dae_workloads.Kernels.init_mem ())
+    let plan =
+      Dae_sim.Retime.plan arch (k.Dae_workloads.Kernels.build ())
     in
-    let simulate ?(validate = true) cfg =
-      Dae_sim.Retime.simulate ~validate ~collect:true ~cfg prepared
+    let prepared =
+      lazy
+        (Dae_sim.Retime.prepare plan
+           ~invocations:(k.Dae_workloads.Kernels.invocations ())
+           ~mem:(k.Dae_workloads.Kernels.init_mem ()))
+    in
+    let simulate ?(validate = true) ~collect cfg =
+      Dae_sim.Retime.simulate ~validate ~collect ~cfg (Lazy.force prepared)
+    in
+    let vkey sub cfg' =
+      Dae_sim.Cache.key
+        [
+          Dae_sim.Cache.version;
+          "size-validate/1";
+          sub;
+          Dae_sim.Retime.plan_digest plan;
+          "paper/" ^ k.Dae_workloads.Kernels.name;
+          string_of_int path_limit;
+          Dae_sim.Config.key cfg;
+          Dae_sim.Config.key cfg';
+        ]
     in
     let ok = ref true in
-    (match simulate sz.Dae_analysis.Sizing.min_cfg with
-    | r ->
-      let b =
-        Dae_analysis.Sizing.bound_of_timelines sz
-          r.Dae_sim.Machine.timelines
-      in
-      let fits = r.Dae_sim.Machine.cycles <= b in
-      if not fits then ok := false;
-      Fmt.pr "  sim at min depths: %d cycles (bound %d) %s@."
-        r.Dae_sim.Machine.cycles b
-        (if fits then "ok" else "EXCEEDS BOUND")
-    | exception e ->
-      ok := false;
-      Fmt.pr "  sim at min depths: FAILED (%s)@." (Printexc.to_string e));
+    let min_cfg = sz.Dae_analysis.Sizing.min_cfg in
+    (let key = vkey "min" min_cfg in
+     let outcome =
+       match (Dae_sim.Cache.find cache key : (int * int) option) with
+       | Some cb -> Ok cb
+       | None -> (
+         match simulate ~collect:true min_cfg with
+         | r ->
+           let b =
+             Dae_analysis.Sizing.bound_of_timelines sz
+               r.Dae_sim.Machine.timelines
+           in
+           let cb = (r.Dae_sim.Machine.cycles, b) in
+           Dae_sim.Cache.store ~kind:"size-validate" cache key cb;
+           Ok cb
+         | exception e -> Error e)
+     in
+     match outcome with
+     | Ok (cycles, b) ->
+       let fits = cycles <= b in
+       if not fits then ok := false;
+       Fmt.pr "  sim at min depths: %d cycles (bound %d) %s@." cycles b
+         (if fits then "ok" else "EXCEEDS BOUND")
+     | Error e ->
+       ok := false;
+       Fmt.pr "  sim at min depths: FAILED (%s)@." (Printexc.to_string e));
     (match Dae_analysis.Sizing.critical_decrement sz with
     | None -> ()
     | Some (kind, probe_cfg) -> (
       let cname = Dae_analysis.Channel.name kind in
-      match simulate ~validate:false probe_cfg with
-      | r ->
+      let key = vkey "probe" probe_cfg in
+      let outcome =
+        match (Dae_sim.Cache.find cache key : probe_outcome option) with
+        | Some o -> Ok o
+        | None -> (
+          let keep o =
+            Dae_sim.Cache.store ~kind:"size-validate" cache key o;
+            Ok o
+          in
+          match simulate ~validate:false ~collect:false probe_cfg with
+          | r -> keep (P_cycles r.Dae_sim.Machine.cycles)
+          | exception Dae_sim.Timing.Deadlock msg -> keep (P_deadlock msg)
+          | exception Invalid_argument msg -> keep (P_rejected msg)
+          | exception e -> Error e)
+      in
+      match outcome with
+      | Ok (P_cycles c) ->
         Fmt.pr "  sim at %s min-1: %d cycles (no deadlock: stall shifts)@."
-          cname r.Dae_sim.Machine.cycles
-      | exception Dae_sim.Timing.Deadlock msg ->
+          cname c
+      | Ok (P_deadlock msg) ->
         Fmt.pr "  sim at %s min-1: dynamic deadlock reproduced (%s)@." cname
           msg
-      | exception Invalid_argument msg ->
+      | Ok (P_rejected msg) ->
         Fmt.pr "  sim at %s min-1: rejected (%s)@." cname msg
-      | exception e ->
+      | Error e ->
         ok := false;
         Fmt.pr "  sim at %s min-1: unexpected failure (%s)@." cname
           (Printexc.to_string e)));
     !ok
   in
   let run file kernel all_kernels mode json validate sq lq fifo_lat req_fifo
-      val_fifo stv_fifo path_limit =
-    let cfg = cfg_of ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo () in
+      val_fifo stv_fifo hierarchy no_cache cache_dir path_limit =
+    let cfg =
+      cfg_of ~hierarchy ~sq ~lq ~fifo_lat ~req_fifo ~val_fifo ~stv_fifo ()
+    in
+    let cache =
+      if no_cache then Dae_sim.Cache.disabled ()
+      else Dae_sim.Cache.create ~dir:cache_dir ()
+    in
     let failed = ref false in
     let json_items = ref [] in
     let process name f krec =
@@ -1094,7 +1177,8 @@ let size_cmd =
                   Dae_analysis.Sizing.pp sz;
                 match krec with
                 | Some k when validate ->
-                  if not (validate_sim ~cfg ~mode k sz) then failed := true
+                  if not (validate_sim ~cache ~cfg ~path_limit ~mode k sz)
+                  then failed := true
                 | _ -> ()
               end;
               if Dae_analysis.Sizing.deadlocks sz then failed := true))
@@ -1157,7 +1241,8 @@ let size_cmd =
     Term.(
       const run $ file_arg $ kernel_arg $ all_kernels_arg $ mode_arg
       $ json_arg $ validate_arg $ sq_arg $ lq_arg $ fifo_lat_arg
-      $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg $ path_limit_arg)
+      $ req_fifo_arg $ val_fifo_arg $ stv_fifo_arg $ hierarchy_term
+      $ no_cache_arg $ cache_dir_arg $ path_limit_arg)
 
 (* --- partition ----------------------------------------------------------------- *)
 
@@ -1327,11 +1412,6 @@ let partition_cmd =
 
 (* --- sweep --------------------------------------------------------------------- *)
 
-let cache_dir_arg =
-  Arg.(value & opt string Dae_sim.Cache.default_dir
-       & info [ "cache-dir" ] ~docv:"DIR"
-           ~doc:"Result cache directory (default: _daec_cache).")
-
 let sweep_cmd =
   let run suite kernel_names archs grid hierarchy jobs no_cache cache_dir
       check no_sizing_check expect min_hit_rate quiet =
@@ -1364,6 +1444,7 @@ let sweep_cmd =
       match grid with
       | `Default -> Dae_dse.Sweep.default_axes
       | `Quick -> Dae_dse.Sweep.quick_axes
+      | `Hierarchy -> Dae_dse.Sweep.hierarchy_axes
     in
     let cache =
       if no_cache then Dae_sim.Cache.disabled ()
@@ -1423,15 +1504,19 @@ let sweep_cmd =
   let grid_arg =
     Arg.(
       value
-      & opt (enum [ ("default", `Default); ("quick", `Quick) ]) `Default
+      & opt
+          (enum
+             [ ("default", `Default); ("quick", `Quick);
+               ("hierarchy", `Hierarchy) ])
+          `Default
       & info [ "grid" ] ~docv:"GRID"
-          ~doc:"Configuration grid: default (648 points per kernel and \
-                architecture) or quick (12, the CI grid).")
-  in
-  let no_cache_arg =
-    Arg.(value & flag
-         & info [ "no-cache" ]
-             ~doc:"Disable the on-disk result cache: every point re-times.")
+          ~doc:"Configuration grid: default (648 capacity points per \
+                kernel and architecture), quick (12, the CI grid) or \
+                hierarchy (25 memory-system points at pinned capacities — \
+                the scratchpad anchor plus cache banks/ways/MSHRs crossed \
+                with a healthy and a starved DRAM model; the whole grid \
+                shares one functional execution per kernel and \
+                architecture).")
   in
   let check_arg =
     Arg.(value & opt int 1
@@ -1487,7 +1572,16 @@ let cache_cmd =
       let d = Dae_sim.Cache.disk_stats cache in
       Fmt.pr "dir:     %s@.engine:  %s@.entries: %d@.bytes:   %d@."
         cache_dir Dae_sim.Cache.version d.Dae_sim.Cache.entries
-        d.Dae_sim.Cache.bytes
+        d.Dae_sim.Cache.bytes;
+      (* prepared-plan stamps and re-timed hierarchy points are cheap and
+         plentiful; fused sweep points are the expensive ones — report the
+         populations separately *)
+      List.iter
+        (fun (kind, (n, b)) ->
+          Fmt.pr "  %-14s %d entr%s, %d bytes@." kind n
+            (if n = 1 then "y" else "ies")
+            b)
+        d.Dae_sim.Cache.by_kind
     | `Clear ->
       let n = Dae_sim.Cache.clear cache in
       Fmt.pr "removed %d entr%s@." n (if n = 1 then "y" else "ies")

@@ -26,6 +26,7 @@ type axes = {
   stv_fifo : int list;
   lq : int list;
   sq : int list;
+  hier : Config.hierarchy list; (* [] = keep the base hierarchy *)
 }
 
 let default_axes =
@@ -35,6 +36,7 @@ let default_axes =
     stv_fifo = [ 0; 1; 4 ];
     lq = [ 1; 2; 4 ];
     sq = [ 2; 8; 32 ];
+    hier = [];
   }
 
 let quick_axes =
@@ -44,9 +46,48 @@ let quick_axes =
     stv_fifo = [ 16 ];
     lq = [ 4 ];
     sq = [ 4; 32 ];
+    hier = [];
+  }
+
+(* The hierarchy grid holds capacities at the capacity grid's maxima (no
+   deadlock boundary to chart — every point is valid) and sweeps the
+   memory system instead: scratchpad anchor, then banks × ways × MSHRs
+   crossed with a healthy and a starved DRAM. *)
+let hierarchy_axes =
+  let g = Config.default_geom in
+  let starved_dram =
+    { Config.dram_banks = 2; row_words = 128; t_row_hit = 30; t_row_miss = 80; t_bus = 8 }
+  in
+  let geoms =
+    List.concat_map
+      (fun banks ->
+        List.concat_map
+          (fun ways ->
+            List.concat_map
+              (fun mshrs ->
+                List.map
+                  (fun dram -> Config.Hierarchy { g with banks; ways; mshrs; dram })
+                  [ g.Config.dram; starved_dram ])
+              [ 2; 4; 8 ])
+          [ 1; 2 ])
+      [ 1; 2 ]
+  in
+  {
+    req_fifo = [ 16 ];
+    val_fifo = [ 16 ];
+    stv_fifo = [ 16 ];
+    lq = [ 4 ];
+    sq = [ 32 ];
+    hier = Config.Scratchpad :: geoms;
   }
 
 let grid ?(base = Config.default) (a : axes) : Config.t list =
+  (* hierarchy innermost, defaulting to the base hierarchy alone, so
+     grids over the original five axes stay byte-identical in order and
+     content to pre-hierarchy versions *)
+  let hiers =
+    match a.hier with [] -> [ base.Config.hierarchy ] | hs -> hs
+  in
   List.concat_map
     (fun rf ->
       List.concat_map
@@ -55,16 +96,20 @@ let grid ?(base = Config.default) (a : axes) : Config.t list =
             (fun svf ->
               List.concat_map
                 (fun lq ->
-                  List.map
+                  List.concat_map
                     (fun sq ->
-                      {
-                        base with
-                        Config.request_fifo_capacity = rf;
-                        value_fifo_capacity = vf;
-                        store_value_fifo_capacity = svf;
-                        load_queue_size = lq;
-                        store_queue_size = sq;
-                      })
+                      List.map
+                        (fun hier ->
+                          {
+                            base with
+                            Config.request_fifo_capacity = rf;
+                            value_fifo_capacity = vf;
+                            store_value_fifo_capacity = svf;
+                            load_queue_size = lq;
+                            store_queue_size = sq;
+                            hierarchy = hier;
+                          })
+                        hiers)
                     a.sq)
                 a.lq)
             a.stv_fifo)
@@ -256,7 +301,7 @@ let run_job ~cache ~base ~check ~sizing_check ~cfgs (w, arch) : job_out =
                 cp_stats = [];
               }
           in
-          Cache.store cache key cp;
+          Cache.store ~kind:"sweep-point" cache key cp;
           (cfg, point_of_cached w arch cfg_key cp ~cached:false))
       cfgs
   in

@@ -37,24 +37,36 @@ type axes = {
   stv_fifo : int list;
   lq : int list;
   sq : int list;
+  hier : Config.hierarchy list;
+      (** memory-hierarchy axis; [[]] keeps the base hierarchy, making
+          five-axis grids byte-identical to pre-hierarchy versions *)
 }
-(** Capacity axes; every other knob keeps the base configuration's value.
-    [0] entries are deliberately invalid configurations
-    ({!Config.validate} rejects them): the sweep runs those with
-    validation off to chart the deadlock boundary the static sizing
-    analyzer predicts. *)
+(** Capacity axes (plus the hierarchy axis); every other knob keeps the
+    base configuration's value. [0] capacity entries are deliberately
+    invalid configurations ({!Config.validate} rejects them): the sweep
+    runs those with validation off to chart the deadlock boundary the
+    static sizing analyzer predicts. *)
 
 val default_axes : axes
 (** 6×4×3×3×3 = 648 configurations per (workload, arch):
     req [0;1;2;4;8;16], val [0;1;2;8], stv [0;1;4], lq [1;2;4],
-    sq [2;8;32]. *)
+    sq [2;8;32]; base hierarchy. *)
 
 val quick_axes : axes
-(** 3×2×1×1×2 = 12 configurations — the CI grid. *)
+(** 3×2×1×1×2 = 12 configurations — the CI grid; base hierarchy. *)
+
+val hierarchy_axes : axes
+(** The memory-hierarchy grid ([daec sweep --grid hierarchy]): capacities
+    pinned at the capacity grid's maxima (16/16/16, lq 4, sq 32) and 25
+    hierarchy points — the scratchpad anchor plus
+    {!Config.default_geom} varied over banks [1;2] × ways [1;2] ×
+    MSHRs [2;4;8] × \{default DRAM; a starved 2-bank slow DRAM\}. Every
+    point shares its job's single functional execution, so the whole
+    grid costs one prepare plus 25 re-times per (workload, arch). *)
 
 val grid : ?base:Config.t -> axes -> Config.t list
-(** All combinations, in a deterministic order (req outermost, sq
-    innermost). *)
+(** All combinations, in a deterministic order (req outermost, then
+    val/stv/lq/sq, hierarchy innermost). *)
 
 (** {1 Workloads} *)
 

@@ -95,13 +95,17 @@ let mkdir_p path =
 
 let magic = "daec-cache/1"
 
+let default_kind = "result"
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Header: "daec-cache/1 <payload-md5-hex> <len>\n", then the payload. *)
+(* Header: "daec-cache/1 <payload-md5-hex> <len> <kind>\n", then the
+   payload. Entries written before kinds existed have a three-token
+   header and read back as [default_kind]. *)
 let find (type a) t k : a option =
   match t.root with
   | None ->
@@ -122,7 +126,7 @@ let find (type a) t k : a option =
           | None -> None
           | Some nl -> (
             match String.split_on_char ' ' (String.sub raw 0 nl) with
-            | [ m; md5; len ]
+            | [ m; md5; len ] | [ m; md5; len; _ ]
               when m = magic
                    && (match int_of_string_opt len with
                       | Some l -> String.length raw = nl + 1 + l
@@ -148,18 +152,20 @@ let find (type a) t k : a option =
             t.misses <- t.misses + 1);
         None)
 
-let store t k v =
+let store ?(kind = default_kind) t k v =
   match t.root with
   | None -> ()
   | Some root -> (
     try
+      if String.exists (fun c -> c = ' ' || c = '\n') kind then
+        invalid_arg (Printf.sprintf "Cache.store: malformed kind %S" kind);
       let path = entry_path root k in
       mkdir_p (Filename.dirname path);
       let body = Marshal.to_string v [] in
       let header =
-        Printf.sprintf "%s %s %d\n" magic
+        Printf.sprintf "%s %s %d %s\n" magic
           (Digest.to_hex (Digest.string body))
-          (String.length body)
+          (String.length body) kind
       in
       let tmp =
         Filename.temp_file ~temp_dir:(Filename.dirname path) "daec" ".tmp"
@@ -172,7 +178,27 @@ let store t k v =
       bump t (fun t -> t.stores <- t.stores + 1)
     with Sys_error _ | Unix.Unix_error _ -> ())
 
-type disk_stats = { entries : int; bytes : int }
+type disk_stats = {
+  entries : int;
+  bytes : int;
+  by_kind : (string * (int * int)) list;
+}
+
+(* Read just the one-line header to classify an entry; anything malformed
+   counts under default_kind (find will deal with it on next lookup). *)
+let entry_kind path =
+  match open_in_bin path with
+  | exception Sys_error _ -> default_kind
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> default_kind
+        | line -> (
+          match String.split_on_char ' ' line with
+          | [ m; _; _; kind ] when m = magic -> kind
+          | _ -> default_kind))
 
 let fold_entries root f acc =
   if not (Sys.file_exists root) then acc
@@ -192,17 +218,31 @@ let fold_entries root f acc =
 
 let disk_stats t =
   match t.root with
-  | None -> { entries = 0; bytes = 0 }
+  | None -> { entries = 0; bytes = 0; by_kind = [] }
   | Some root ->
-    fold_entries root
-      (fun s path ->
-        let bytes =
-          match (Unix.stat path).Unix.st_size with
-          | sz -> sz
-          | exception Unix.Unix_error _ -> 0
-        in
-        { entries = s.entries + 1; bytes = s.bytes + bytes })
-      { entries = 0; bytes = 0 }
+    let kinds : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+    let s =
+      fold_entries root
+        (fun s path ->
+          let bytes =
+            match (Unix.stat path).Unix.st_size with
+            | sz -> sz
+            | exception Unix.Unix_error _ -> 0
+          in
+          let kind = entry_kind path in
+          let n, b =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt kinds kind)
+          in
+          Hashtbl.replace kinds kind (n + 1, b + bytes);
+          { s with entries = s.entries + 1; bytes = s.bytes + bytes })
+        { entries = 0; bytes = 0; by_kind = [] }
+    in
+    {
+      s with
+      by_kind =
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []);
+    }
 
 let clear t =
   match t.root with

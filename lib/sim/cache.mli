@@ -11,11 +11,14 @@
 
     Entries live under [dir]/[k₀k₁]/[key].entry where [k₀k₁] are the first
     two hex digits of the key (sharding keeps directories small). Each
-    entry is a one-line header [daec-cache/1 <payload-md5> <len>] followed
-    by a [Marshal] payload; {!find} verifies the length and digest before
-    trusting a byte, deletes anything that fails, and reports it as
-    corrupt — a damaged cache degrades to recomputation, never to wrong
-    answers.
+    entry is a one-line header [daec-cache/1 <payload-md5> <len> <kind>]
+    followed by a [Marshal] payload; {!find} verifies the length and
+    digest before trusting a byte, deletes anything that fails, and
+    reports it as corrupt — a damaged cache degrades to recomputation,
+    never to wrong answers. The [kind] token classifies the entry for
+    [daec cache stats] ({!disk_stats.by_kind}: re-timed hierarchy points,
+    sweep points, prepared-plan stamps, …); headers written before kinds
+    existed have three tokens and read back as {!default_kind}.
 
     Writes go to a temp file in the same directory and are published with
     [Sys.rename], so concurrent writers (pool domains, parallel CI jobs)
@@ -59,10 +62,16 @@ val find : t -> string -> 'a option
     tag into its key (the sweep engine folds {!version} plus a
     per-payload format tag). *)
 
-val store : t -> string -> 'a -> unit
-(** Atomically persist a payload under key [k]. Errors (disk full,
-    permissions) are swallowed: the cache is an accelerator, not a
-    store of record. *)
+val default_kind : string
+(** ["result"] — the kind recorded when {!store} is not given one, and
+    the kind legacy three-token headers read back as. *)
+
+val store : ?kind:string -> t -> string -> 'a -> unit
+(** Atomically persist a payload under key [k]. [kind] (default
+    {!default_kind}) labels the entry in {!disk_stats} — one short token,
+    no spaces. Errors (disk full, permissions) are swallowed: the cache
+    is an accelerator, not a store of record.
+    @raise Invalid_argument on a [kind] containing a space or newline. *)
 
 (** {1 Introspection} *)
 
@@ -79,10 +88,17 @@ val counters : t -> counters
 val hit_rate : counters -> float
 (** [hits / (hits + misses)]; 0 when no lookups happened. *)
 
-type disk_stats = { entries : int; bytes : int }
+type disk_stats = {
+  entries : int;
+  bytes : int;
+  by_kind : (string * (int * int)) list;
+      (** kind -> (entries, bytes), sorted by kind — separates re-timed
+          hierarchy points and prepared-plan stamps from sweep points *)
+}
 
 val disk_stats : t -> disk_stats
-(** Walk the cache directory: entry count and total payload bytes.
+(** Walk the cache directory: entry count and total payload bytes, plus
+    the per-kind breakdown read from each entry's header line.
     For [daec cache stats]. *)
 
 val clear : t -> int

@@ -49,9 +49,9 @@ let golden_run (f : Func.t) ~args ~mem = Interp.run f ~args ~mem
 
 let simulate ?(cfg = Config.default) ?(validate = true)
     ?(w = Area.default_weights) ?(collect = false) ?(record_mem = false)
-    ?max_cycles ?(partition = Dae_core.Decouple.trivial) (arch : arch)
-    (f : Func.t) ~(invocations : invocation list) ~(mem : Interp.Memory.t) :
-    result =
+    ?max_cycles ?(partition = Dae_core.Decouple.trivial) ?scheduler
+    (arch : arch) (f : Func.t) ~(invocations : invocation list)
+    ~(mem : Interp.Memory.t) : result =
   if validate then Config.validate cfg;
   match arch with
   | Sta ->
@@ -133,7 +133,7 @@ let simulate ?(cfg = Config.default) ?(validate = true)
         in
         let timed =
           Timing.run_units ~cfg ~validate:false ?max_cycles
-            ~record_depths:collect ~record_mem ~subscribers trs
+            ~record_depths:collect ~record_mem ?scheduler ~subscribers trs
         in
         cycles := !cycles + timed.Timing.cycles;
         stats := Stats.merge_keyed !stats timed.Timing.stats;

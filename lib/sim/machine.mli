@@ -64,7 +64,10 @@ exception Check_failed of string
     [partition] slices the kernel along an N-way address-stream assignment
     ({!Dae_core.Decouple.run_n}); it requires arch {!Dae} (ignored by
     {!Sta}, rejected by the pipeline for {!Spec}/{!Oracle}) and defaults
-    to the classic 2-way split.
+    to the classic 2-way split. [scheduler] selects the timing engine's
+    stall-path scheduler (default {!Timing.Event_wheel}; the seed
+    calendar is the bit-identical reference the CI determinism diff
+    replays).
     @raise Invalid_argument on an invalid configuration.
     @raise Check_failed when a decoupled run disagrees with the golden
     model. *)
@@ -76,6 +79,7 @@ val simulate :
   ?record_mem:bool ->
   ?max_cycles:int ->
   ?partition:Dae_core.Decouple.assignment ->
+  ?scheduler:Timing.scheduler ->
   arch ->
   Func.t ->
   invocations:invocation list ->

@@ -25,6 +25,17 @@ type t = {
   lru : int array array;
   mutable stamp : int;
   mshrs : mshr array;
+  (* Cached running minimum over the in-flight fills ([max_int] when none
+     are in flight), so [next_wake] and the hit fast path never scan the
+     pool. Maintained by [refresh]: allocation folds the new fill time
+     in; once time passes the minimum, the next call batch-reclaims every
+     retired MSHR and recomputes it. *)
+  mutable fill_min : int;
+  (* Free MSHR indices, lowest index on top ([free_top - 1]), rebuilt by
+     the same batched reclaim — popping matches the seed's first-free
+     scan choice exactly. *)
+  free_stack : int array;
+  mutable free_top : int;
   (* DRAM: per-bank open row (-1 = closed) and busy-until times *)
   open_row : int array;
   bank_free_at : int array;
@@ -42,10 +53,34 @@ let create (geom : Config.cache_geom) =
     mshrs =
       Array.init geom.mshrs (fun _ ->
           { m_line = -1; m_fill_at = min_int; m_delayed = false });
+    fill_min = max_int;
+    free_stack = Array.init geom.mshrs (fun i -> geom.mshrs - 1 - i);
+    free_top = geom.mshrs;
     open_row = Array.make geom.dram.dram_banks (-1);
     bank_free_at = Array.make geom.dram.dram_banks 0;
     bus_free_at = 0;
   }
+
+(* Lazy batched retirement: fills only leave flight as time advances, so
+   the cached minimum goes stale exactly when [now] reaches it. One pass
+   then reclaims every retired MSHR at once (free stack, lowest index on
+   top) and recomputes the minimum over the fills still in flight. *)
+let refresh t ~now =
+  if t.fill_min <= now then begin
+    let best = ref max_int in
+    t.free_top <- 0;
+    for i = Array.length t.mshrs - 1 downto 0 do
+      let m = t.mshrs.(i) in
+      if m.m_fill_at > now then begin
+        if m.m_fill_at < !best then best := m.m_fill_at
+      end
+      else begin
+        t.free_stack.(t.free_top) <- i;
+        t.free_top <- t.free_top + 1
+      end
+    done;
+    t.fill_min <- !best
+  end
 
 type load_outcome =
   | Load_done of { complete_at : int; delayed : bool }
@@ -101,38 +136,47 @@ let dram_access t ~now line =
 
 let load t ~now ~arr ~addr =
   let line = line_of t ~arr ~addr in
-  (* A fill in flight takes precedence over the tag array: the tag is
-     installed at allocation, but its data only arrives at m_fill_at. *)
-  let merged = ref None in
-  Array.iter
-    (fun m ->
-      if m.m_line = line && m.m_fill_at > now && !merged = None then
-        merged := Some m)
-    t.mshrs;
-  match !merged with
-  | Some m -> Load_done { complete_at = m.m_fill_at; delayed = false }
-  | None ->
-      if probe t line then
-        Load_done { complete_at = now + t.geom.hit_latency; delayed = false }
-      else begin
-        (* Fresh miss: find a free MSHR (lazily reclaimed once its fill
-           time has passed). *)
-        let free = ref (-1) in
-        Array.iteri
-          (fun i m -> if m.m_fill_at <= now && !free < 0 then free := i)
-          t.mshrs;
-        if !free < 0 then Load_mshr_full
-        else begin
-          let m = t.mshrs.(!free) in
-          let finish, delayed = dram_access t ~now line in
-          let complete_at = finish + t.geom.hit_latency in
-          m.m_line <- line;
-          m.m_fill_at <- complete_at;
-          m.m_delayed <- delayed;
-          install t line;
-          Load_done { complete_at; delayed }
-        end
-      end
+  refresh t ~now;
+  (* Fresh miss: pop the free stack — the lowest free index, the same
+     MSHR the seed's first-free scan would have picked. *)
+  let alloc_miss () =
+    if t.free_top = 0 then Load_mshr_full
+    else begin
+      t.free_top <- t.free_top - 1;
+      let m = t.mshrs.(t.free_stack.(t.free_top)) in
+      let finish, delayed = dram_access t ~now line in
+      let complete_at = finish + t.geom.hit_latency in
+      m.m_line <- line;
+      m.m_fill_at <- complete_at;
+      m.m_delayed <- delayed;
+      if complete_at < t.fill_min then t.fill_min <- complete_at;
+      install t line;
+      Load_done { complete_at; delayed }
+    end
+  in
+  if t.fill_min = max_int then
+    (* Fast path: nothing in flight — no merge can hit and the whole
+       pool is free, so a cache hit completes in two array reads and a
+       miss allocates without scanning the MSHRs. *)
+    if probe t line then
+      Load_done { complete_at = now + t.geom.hit_latency; delayed = false }
+    else alloc_miss ()
+  else begin
+    (* A fill in flight takes precedence over the tag array: the tag is
+       installed at allocation, but its data only arrives at m_fill_at. *)
+    let merged = ref None in
+    Array.iter
+      (fun m ->
+        if m.m_line = line && m.m_fill_at > now && !merged = None then
+          merged := Some m)
+      t.mshrs;
+    match !merged with
+    | Some m -> Load_done { complete_at = m.m_fill_at; delayed = false }
+    | None ->
+        if probe t line then
+          Load_done { complete_at = now + t.geom.hit_latency; delayed = false }
+        else alloc_miss ()
+  end
 
 let store t ~now ~arr ~addr =
   let line = line_of t ~arr ~addr in
@@ -144,8 +188,5 @@ let store t ~now ~arr ~addr =
   ignore (dram_access t ~now line : int * bool)
 
 let next_wake t ~now =
-  let best = ref max_int in
-  Array.iter
-    (fun m -> if m.m_fill_at > now && m.m_fill_at < !best then best := m.m_fill_at)
-    t.mshrs;
-  if !best = max_int then None else Some !best
+  refresh t ~now;
+  if t.fill_min = max_int then None else Some t.fill_min

@@ -43,4 +43,7 @@ val store : t -> now:int -> arr:int -> addr:int -> unit
 
 val next_wake : t -> now:int -> int option
 (** Earliest in-flight MSHR fill strictly after [now], if any — the
-    hierarchy's contribution to a stalled unit's wake candidates. *)
+    hierarchy's contribution to a stalled unit's wake candidates. A
+    cached running minimum maintained by batched MSHR reclaim, so the
+    stall path reads it in O(1) amortized instead of scanning the
+    pool. *)

@@ -158,6 +158,8 @@ let prepare (plan : plan) ~(invocations : Machine.invocation list)
       pr_memory = sim_mem;
     }
 
+let final_memory (pr : prepared) = pr.pr_memory
+
 let trace_digest (pr : prepared) =
   match pr.pr_plan.pl_dec with
   | None ->

@@ -77,6 +77,12 @@ val prepare :
 (** Run the functional half once. [mem] is copied, never mutated.
     @raise Check_failed on golden disagreement. *)
 
+val final_memory : prepared -> Interp.Memory.t
+(** Final memory after the prepared invocation sequence — what
+    {!simulate} returns in [Machine.result.memory]. Lets a cache-hit path
+    rebuild a result's memory without a replay; shared, treat as
+    read-only. *)
+
 val trace_digest : prepared -> string
 (** Digest of the stored per-invocation traces ({!Trace.digest} folded
     over all units, STA: over golden iteration counts). The sweep

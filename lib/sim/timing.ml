@@ -25,10 +25,15 @@
    retire. After a productive cycle the next wake-up is t+1 (units and DUs
    may have more same-state work: in-order retirement admits one event per
    channel per cycle, the store port one commit per cycle). When a cycle
-   makes no progress, every unit and DU array contributes its next-wake
-   candidates — earliest schedulable event, in-order successor, gate
-   resolution, FIFO arrival, load completion — to a min-heap calendar and
-   t jumps straight to the earliest one. Wake times are monotone (every
+   makes no progress, the engine jumps straight to the earliest next-wake
+   candidate — earliest schedulable event, in-order successor, gate
+   resolution, FIFO arrival, load completion, MSHR fill. The production
+   scheduler is an incremental event wheel: each unit and DU array owns a
+   sorted candidate bucket that is recomputed only when the engine marked
+   it dirty (its state changed since the last fill), so a stall costs O(1)
+   amortized per clean component instead of a full candidate rescan; the
+   seed calendar path (rescan everything per stall) is kept selectable as
+   the reference for the equivalence suite. Wake times are monotone (every
    candidate is > t), so cycle counts are exactly those of a naive
    cycle-by-cycle loop; the per-cycle work is O(live state), not
    O(total events). *)
@@ -93,6 +98,11 @@ exception Timing_error of string
    from engine misuse or a cycle overrun. *)
 exception Deadlock of string
 
+(* A config axis the key/validate layer accepts but the timing model does
+   not implement yet (heterogeneous unit clocks) — typed so callers can
+   distinguish "unsupported point" from model deadlock or misuse. *)
+exception Unsupported of string
+
 (* --- FIFO with arrival latency and bounded capacity ---------------------- *)
 
 module Fifo = struct
@@ -152,15 +162,79 @@ end
 module Calendar = struct
   (* The stall path only ever advances to the *earliest* wake-up candidate,
      so the calendar is a running minimum, not a heap: components push their
-     candidates and the engine jumps to [min]. *)
+     candidates and the engine jumps to [min]. Kept as the seed reference
+     scheduler: it rescans every component on every stall, which the event
+     wheel below replaces — the equivalence suite runs both. *)
   type t = { mutable min : int }
 
   let create () = { min = max_int }
   let clear c = c.min <- max_int
-  let is_empty c = c.min = max_int
   let push c x = if x < c.min then c.min <- x
   let pop_min c = c.min
 end
+
+(* --- incremental event wheel ----------------------------------------------- *)
+
+module Wheel = struct
+  (* Incremental wake-candidate wheel: each component — replay unit or DU
+     array — owns a bucket holding its future wake candidates, sorted
+     ascending behind a consume cursor. The engine marks a bucket dirty
+     whenever the component's state changes (it made progress, or a unit
+     pushed into a DU's input FIFO); at a stall only dirty buckets
+     recompute their candidates, clean ones advance their cursor past [t]
+     in O(1) amortized. The candidate sets are exactly the ones the seed
+     calendar would gather — the wheel only memoizes them between stalls —
+     so jump targets, cycle counts and stall spans are bit-identical. *)
+  type bucket = {
+    mutable cands : int array; (* sorted ascending over [0, len) *)
+    mutable len : int;
+    mutable cur : int; (* first candidate not yet behind t *)
+    mutable dirty : bool;
+  }
+
+  let create cap =
+    { cands = Array.make (max cap 1) 0; len = 0; cur = 0; dirty = true }
+
+  let reset b =
+    b.len <- 0;
+    b.cur <- 0
+
+  let push b x =
+    if b.len = Array.length b.cands then begin
+      let grown = Array.make (2 * b.len) 0 in
+      Array.blit b.cands 0 grown 0 b.len;
+      b.cands <- grown
+    end;
+    b.cands.(b.len) <- x;
+    b.len <- b.len + 1
+
+  (* Candidate lists are short (bounded by the scan window) and arrive
+     nearly sorted, so insertion sort beats a comparator closure. *)
+  let seal b =
+    let a = b.cands in
+    for i = 1 to b.len - 1 do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done;
+    b.dirty <- false
+
+  (* Earliest cached candidate strictly after [t]; [max_int] when none. *)
+  let head b ~t =
+    while b.cur < b.len && b.cands.(b.cur) <= t do
+      b.cur <- b.cur + 1
+    done;
+    if b.cur < b.len then b.cands.(b.cur) else max_int
+end
+
+(* Stall-path scheduler choice: the event wheel is the production path;
+   the seed calendar is kept as the reference the qcheck equivalence
+   suite and the CI determinism diff replay against. *)
+type scheduler = Event_wheel | Seed_calendar
 
 (* --- LSQ / DU per array --------------------------------------------------- *)
 
@@ -232,6 +306,9 @@ type du_array = {
   mutable f_subs_full : bool; (* issuable load held by full subscriber FIFO *)
   mutable f_extra_adm : bool; (* admissible work beyond the scalar ports *)
   mutable f_mshr_full : bool; (* issuable load turned away: no free MSHR *)
+  w_bucket : Wheel.bucket;
+      (* this array's wake-candidate bucket; dirtied by [step_du] progress
+         and by unit-side pushes into its input FIFOs *)
 }
 
 let sq_live a = a.sq_tail_abs - a.sq_head_abs
@@ -366,6 +443,7 @@ let du_array env arr =
         f_subs_full = false;
         f_extra_adm = false;
         f_mshr_full = false;
+        w_bucket = Wheel.create (3 + lq_phys);
       }
     in
     Hashtbl.replace env.arrays arr a;
@@ -516,21 +594,25 @@ let step_unit env (u : urep) ~t : bool =
         | Asend_ld (a, rq) ->
           if Fifo.has_space a.req_ld then begin
             Fifo.push a.req_ld ~now:t rq;
+            a.w_bucket.Wheel.dirty <- true;
             retire_now ()
           end
         | Asend_st (a, rq) ->
           if Fifo.has_space a.req_st then begin
             Fifo.push a.req_st ~now:t rq;
+            a.w_bucket.Wheel.dirty <- true;
             retire_now ()
           end
         | Aproduce a ->
           if Fifo.has_space a.stv then begin
             Fifo.push a.stv ~now:t false;
+            a.w_bucket.Wheel.dirty <- true;
             retire_now ()
           end
         | Akill a ->
           if Fifo.has_space a.stv then begin
             Fifo.push a.stv ~now:t true;
+            a.w_bucket.Wheel.dirty <- true;
             retire_now ()
           end
         | Aconsume f ->
@@ -863,12 +945,25 @@ let du_wakes (a : du_array) ~t ~(push : int -> unit) =
 
 let run_units ?(cfg = Config.default) ?(validate = true)
     ?(max_cycles = 50_000_000) ?(record_depths = false)
-    ?(record_mem = false)
+    ?(record_mem = false) ?(scheduler = Event_wheel)
     ~(subscribers : (int * Trace.unit_id list) list)
     (trs : Trace.unit_trace array) : result =
   if Array.length trs < 2 then
     raise (Timing_error "run_units: need at least AGU and CU traces");
   if validate then Config.validate cfg;
+  (* Heterogeneous unit clocks are a plumbed-but-unimplemented config
+     axis: the key/validate layer accepts them so sweeps can enumerate
+     the axis, but the timing model itself only supports a single clock
+     domain — reject anything else with a typed error rather than
+     silently mistiming. *)
+  if not (Array.for_all (fun r -> r = 1) cfg.Config.unit_clock_ratios) then
+    raise
+      (Unsupported
+         (Fmt.str
+            "heterogeneous unit clocks not yet modeled (unit_clock_ratios %s)"
+            (String.concat "x"
+               (Array.to_list
+                  (Array.map string_of_int cfg.Config.unit_clock_ratios)))));
   let env =
     {
       cfg;
@@ -917,6 +1012,8 @@ let run_units ?(cfg = Config.default) ?(validate = true)
   let finish = Array.make n_units 0 in
   let idle_rounds = ref 0 in
   let calendar = Calendar.create () in
+  (* one wake bucket per replay unit (DU buckets live on the arrays) *)
+  let ubuckets = Array.init n_units (fun _ -> Wheel.create (3 * window)) in
   let ustats = Array.init n_units (fun _ -> Stats.create ()) in
   let retired_summary () =
     String.concat ", "
@@ -984,7 +1081,8 @@ let run_units ?(cfg = Config.default) ?(validate = true)
               (retired_summary ())));
     let pu = Array.make n_units false in
     for i = 0 to n_units - 1 do
-      pu.(i) <- step_unit env units.(i) ~t:!t
+      pu.(i) <- step_unit env units.(i) ~t:!t;
+      if pu.(i) then (Array.unsafe_get ubuckets i).Wheel.dirty <- true
     done;
     let p3 = ref false in
     for i = 0 to n_dus - 1 do
@@ -1002,7 +1100,10 @@ let run_units ?(cfg = Config.default) ?(validate = true)
         else step_du env a ~t:!t
       in
       a.f_progress <- p;
-      if p then p3 := true
+      if p then begin
+        p3 := true;
+        a.w_bucket.Wheel.dirty <- true
+      end
     done;
     let p3 = !p3 in
     for i = 0 to n_units - 1 do
@@ -1017,34 +1118,84 @@ let run_units ?(cfg = Config.default) ?(validate = true)
         !t + 1
       end
       else begin
-        (* Nothing moved this cycle: gather every time-driven constraint
-           (FIFO arrival, load completion, scheduled issue, gate resolution)
-           into the calendar and jump to the earliest. If no future time can
-           unblock anything, the architecture model has deadlocked. *)
-        Calendar.clear calendar;
-        let push x = Calendar.push calendar x in
-        Array.iter (fun u -> unit_wakes env u ~t:!t ~push) units;
-        for i = 0 to n_dus - 1 do
-          du_wakes (Array.unsafe_get dus i) ~t:!t ~push
-        done;
-        for i = 0 to n_ldvs - 1 do
-          let f = Array.unsafe_get ldvs i in
-          if f.Fifo.size > 0 then begin
-            let avail = Fifo.head_avail f in
-            if avail > !t then push avail
-          end
-        done;
-        (* hierarchy: an MSHR freeing (its fill completing) can admit a
-           previously turned-away load. The fill time is also the
-           allocating load's complete_at, so this is usually redundant
-           with du_wakes — kept for the frozen-span invariant's sake. *)
-        (match env.mem with
-        | Some mem -> (
-          match Mem.next_wake mem ~now:!t with
-          | Some w -> push w
-          | None -> ())
-        | None -> ());
-        if Calendar.is_empty calendar then begin
+        (* Nothing moved this cycle: find the earliest time-driven
+           constraint (FIFO arrival, load completion, scheduled issue,
+           gate resolution) and jump to it. If no future time can unblock
+           anything, the architecture model has deadlocked. *)
+        let wake =
+          match scheduler with
+          | Seed_calendar ->
+            (* reference path: rebuild the full candidate set per stall *)
+            Calendar.clear calendar;
+            let push x = Calendar.push calendar x in
+            Array.iter (fun u -> unit_wakes env u ~t:!t ~push) units;
+            for i = 0 to n_dus - 1 do
+              du_wakes (Array.unsafe_get dus i) ~t:!t ~push
+            done;
+            for i = 0 to n_ldvs - 1 do
+              let f = Array.unsafe_get ldvs i in
+              if f.Fifo.size > 0 then begin
+                let avail = Fifo.head_avail f in
+                if avail > !t then push avail
+              end
+            done;
+            (match env.mem with
+            | Some mem -> (
+              match Mem.next_wake mem ~now:!t with
+              | Some w -> push w
+              | None -> ())
+            | None -> ());
+            Calendar.pop_min calendar
+          | Event_wheel ->
+            (* incremental path: only components whose state changed since
+               their last fill recompute; clean buckets advance a cursor *)
+            let best = ref max_int in
+            for i = 0 to n_units - 1 do
+              let b = Array.unsafe_get ubuckets i in
+              if b.Wheel.dirty then begin
+                Wheel.reset b;
+                unit_wakes env units.(i) ~t:!t ~push:(fun x ->
+                    Wheel.push b x);
+                Wheel.seal b
+              end;
+              let h = Wheel.head b ~t:!t in
+              if h < !best then best := h
+            done;
+            for i = 0 to n_dus - 1 do
+              let a = Array.unsafe_get dus i in
+              let b = a.w_bucket in
+              if b.Wheel.dirty then begin
+                Wheel.reset b;
+                du_wakes a ~t:!t ~push:(fun x -> Wheel.push b x);
+                Wheel.seal b
+              end;
+              let h = Wheel.head b ~t:!t in
+              if h < !best then best := h
+            done;
+            (* load-value FIFOs and the hierarchy are O(1) per stall
+               already (head cursor; cached fill minimum): re-reading
+               them beats tracking their cross-component dirtiness *)
+            for i = 0 to n_ldvs - 1 do
+              let f = Array.unsafe_get ldvs i in
+              if f.Fifo.size > 0 then begin
+                let avail = Fifo.head_avail f in
+                if avail > !t && avail < !best then best := avail
+              end
+            done;
+            (match env.mem with
+            | Some mem -> (
+              (* an MSHR freeing (its fill completing) can admit a
+                 previously turned-away load. The fill time is also the
+                 allocating load's complete_at, so this is usually
+                 redundant with du_wakes — kept for the frozen-span
+                 invariant's sake. *)
+              match Mem.next_wake mem ~now:!t with
+              | Some w when w < !best -> best := w
+              | _ -> ())
+            | None -> ());
+            !best
+        in
+        if wake = max_int then begin
           incr idle_rounds;
           if !idle_rounds > 4 then
             raise
@@ -1055,7 +1206,7 @@ let run_units ?(cfg = Config.default) ?(validate = true)
         end
         else begin
           idle_rounds := 0;
-          Calendar.pop_min calendar
+          wake
         end
       end
     in
@@ -1096,9 +1247,10 @@ let run_units ?(cfg = Config.default) ?(validate = true)
     mem_events = Array.of_list (List.rev env.mem_log);
   }
 
-let run ?cfg ?validate ?max_cycles ?record_depths ?record_mem ~subscribers
-    (agu_tr : Trace.unit_trace) (cu_tr : Trace.unit_trace) : result =
-  run_units ?cfg ?validate ?max_cycles ?record_depths ?record_mem
+let run ?cfg ?validate ?max_cycles ?record_depths ?record_mem ?scheduler
+    ~subscribers (agu_tr : Trace.unit_trace) (cu_tr : Trace.unit_trace) :
+    result =
+  run_units ?cfg ?validate ?max_cycles ?record_depths ?record_mem ?scheduler
     ~subscribers [| agu_tr; cu_tr |]
 
 (* The out-of-order scan depth, exposed so the static sizing analyzer's

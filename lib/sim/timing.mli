@@ -77,6 +77,20 @@ exception Deadlock of string
     no future calendar wake exists. Distinct from {!Timing_error} (engine
     misuse, cycle overrun) so deadlock-boundary probes can discriminate. *)
 
+exception Unsupported of string
+(** A config axis the key/validate layer accepts but the timing model does
+    not implement yet — today, heterogeneous
+    {!Config.t.unit_clock_ratios}. Typed so sweeps and probes can tell an
+    unsupported point from a modelled deadlock. *)
+
+(** Stall-path scheduler. {!Event_wheel} (the default) keeps one sorted
+    wake-candidate bucket per unit and DU array and recomputes a bucket
+    only when that component's state changed — O(1) amortized per clean
+    component per stall. {!Seed_calendar} is the seed's
+    rescan-everything-per-stall reference path; both produce bit-identical
+    results (pinned by the equivalence suite and a CI diff). *)
+type scheduler = Event_wheel | Seed_calendar
+
 val scan_window : int
 (** Per-unit out-of-order retirement scan depth; the static sizing
     analyzer's abstract causality replay mirrors it. *)
@@ -117,6 +131,7 @@ val run :
   ?max_cycles:int ->
   ?record_depths:bool ->
   ?record_mem:bool ->
+  ?scheduler:scheduler ->
   subscribers:(int * Trace.unit_id list) list ->
   Trace.unit_trace ->
   Trace.unit_trace ->
@@ -128,6 +143,7 @@ val run_units :
   ?max_cycles:int ->
   ?record_depths:bool ->
   ?record_mem:bool ->
+  ?scheduler:scheduler ->
   subscribers:(int * Trace.unit_id list) list ->
   Trace.unit_trace array ->
   result
